@@ -1,0 +1,28 @@
+//! Criterion bench mirroring Figure 10: the five systems on Q1–Q6 over a
+//! representative dataset (Sine) at small scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use etsqp_bench::{build_workload, run_query, Query, System};
+use etsqp_datasets::Spec;
+
+fn bench(c: &mut Criterion) {
+    let w = build_workload(Spec::Sine, 32_768);
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.warm_up_time(std::time::Duration::from_millis(150));
+    for q in Query::ALL {
+        group.throughput(Throughput::Elements(w.tuples(q)));
+        for system in System::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(q.name(), system.name()),
+                &(system, q),
+                |b, &(system, q)| b.iter(|| run_query(system, q, &w, 2)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

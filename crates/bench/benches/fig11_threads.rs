@@ -1,0 +1,28 @@
+//! Criterion bench mirroring Figure 11: Q1 throughput across thread
+//! counts for ETSQP, SBoost and FastLanes (Timestamp dataset).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use etsqp_bench::{build_workload, run_query, Query, System};
+use etsqp_datasets::Spec;
+
+fn bench(c: &mut Criterion) {
+    let w = build_workload(Spec::Timestamp, 32_768);
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.warm_up_time(std::time::Duration::from_millis(150));
+    group.throughput(Throughput::Elements(w.tuples(Query::Q1)));
+    for threads in [1usize, 2, 4, 8] {
+        for system in [System::EtsqpPrune, System::SBoost, System::FastLanes] {
+            group.bench_with_input(
+                BenchmarkId::new(system.name(), threads),
+                &threads,
+                |b, &threads| b.iter(|| run_query(system, Query::Q1, &w, threads)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

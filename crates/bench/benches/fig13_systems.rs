@@ -1,0 +1,44 @@
+//! Criterion bench mirroring Figure 13: the four deployment engines on a
+//! time-range aggregation over the Climate dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use etsqp_comparators::{monet::MonetLike, spark::SparkLike};
+use etsqp_core::engine::{EngineOptions, IotDb};
+use etsqp_core::expr::{AggFunc, Plan, Predicate};
+use etsqp_datasets::Spec;
+
+const N: usize = 32_768;
+
+fn bench(c: &mut Criterion) {
+    let d = Spec::Climate.generate(N);
+    let ts = &d.timestamps;
+    let vals = &d.columns[0].1;
+    let (lo, hi) = (ts[N / 4], ts[3 * N / 4]);
+    let plan = Plan::scan("s").filter(Predicate::time(lo, hi)).aggregate(AggFunc::Sum);
+
+    let serial = IotDb::new(EngineOptions::serial());
+    serial.create_series("s").unwrap();
+    serial.append_all("s", ts, vals).unwrap();
+    serial.flush().unwrap();
+    let simd = IotDb::new(EngineOptions::etsqp());
+    simd.create_series("s").unwrap();
+    simd.append_all("s", ts, vals).unwrap();
+    simd.flush().unwrap();
+    let monet = MonetLike::load(ts, vals);
+    let mut spark = SparkLike::load(ts, vals);
+    spark.simulate_codegen = false; // measure the scan itself
+
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.warm_up_time(std::time::Duration::from_millis(150));
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("iotdb_serial", |b| b.iter(|| serial.execute(&plan).unwrap().rows.len()));
+    group.bench_function("iotdb_simd", |b| b.iter(|| simd.execute(&plan).unwrap().rows.len()));
+    group.bench_function("monet_like", |b| b.iter(|| monet.sum_in_time_range(lo, hi).count));
+    group.bench_function("spark_like", |b| b.iter(|| spark.sum_in_time_range(lo, hi).count));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion bench mirroring Figure 14's ablations: fusion levels,
+//! pruning on/off, and sliced vs paged execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use etsqp_bench::custom_store;
+use etsqp_core::expr::{AggFunc, Plan, Predicate};
+use etsqp_core::fused::FuseLevel;
+use etsqp_core::plan::PipelineConfig;
+use etsqp_encoding::Encoding;
+
+const N: usize = 65_536;
+
+fn bench(c: &mut Criterion) {
+    let ts: Vec<i64> = (0..N as i64).map(|i| i * 10).collect();
+    let mut vals = Vec::with_capacity(N);
+    let mut v = 0i64;
+    for i in 0..N {
+        if i % 40 == 0 {
+            v += (i / 40) as i64 % 5 - 2;
+        }
+        v += 2;
+        vals.push(v);
+    }
+
+    let mut group = c.benchmark_group("fig14");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(500));
+    group.warm_up_time(std::time::Duration::from_millis(100));
+    group.throughput(Throughput::Elements(N as u64));
+
+    // (a) Fusion levels on Delta-RLE values.
+    let db = custom_store(&ts, &vals, Encoding::DeltaRle, 4096);
+    let plan = Plan::scan("a").aggregate(AggFunc::Sum);
+    for (name, fuse) in [("none", FuseLevel::None), ("delta", FuseLevel::Delta), ("delta_repeat", FuseLevel::DeltaRepeat)] {
+        let cfg = PipelineConfig { threads: 1, fuse, prune: false, allow_slicing: false, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("fuse", name), &cfg, |b, cfg| {
+            b.iter(|| db.execute_with(&plan, cfg).unwrap().rows.len())
+        });
+    }
+
+    // Pruning on/off under a selective time filter.
+    let db2 = custom_store(&ts, &vals, Encoding::Ts2Diff, 1024);
+    let selective = Plan::scan("a")
+        .filter(Predicate::time(ts[N / 2], ts[N / 2 + N / 50]))
+        .aggregate(AggFunc::Sum);
+    for (name, prune) in [("prune_on", true), ("prune_off", false)] {
+        let cfg = PipelineConfig { threads: 1, prune, allow_slicing: false, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("pruning", name), &cfg, |b, cfg| {
+            b.iter(|| db2.execute_with(&selective, cfg).unwrap().rows.len())
+        });
+    }
+
+    // (c-d) Sliced vs paged full-scan aggregation (one big page).
+    let db3 = custom_store(&ts, &vals, Encoding::Ts2Diff, N);
+    let full = Plan::scan("a").aggregate(AggFunc::Sum);
+    for (name, slicing, threads) in [("paged_1t", false, 1usize), ("sliced_4t", true, 4), ("sliced_16t", true, 16)] {
+        let cfg = PipelineConfig { threads, prune: false, allow_slicing: slicing, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("slicing", name), &cfg, |b, cfg| {
+            b.iter(|| db3.execute_with(&full, cfg).unwrap().rows.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

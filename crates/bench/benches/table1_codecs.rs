@@ -1,0 +1,76 @@
+//! Criterion bench behind Table I: encode/decode throughput of every
+//! codec on a realistic sensor column, plus the Figure 7 variable-width
+//! decoder (word-level separator scan vs bit-serial walk).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use etsqp_datasets::Spec;
+use etsqp_encoding::{fibonacci, Encoding};
+
+const N: usize = 32_768;
+
+fn int_codecs(c: &mut Criterion) {
+    let d = Spec::Climate.generate(N);
+    let col = &d.columns[0].1;
+    let mut group = c.benchmark_group("table1_int");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(400));
+    group.warm_up_time(std::time::Duration::from_millis(100));
+    group.throughput(Throughput::Elements(N as u64));
+    for enc in [
+        Encoding::Plain,
+        Encoding::Ts2Diff,
+        Encoding::Ts2DiffOrder2,
+        Encoding::DeltaRle,
+        Encoding::Sprintz,
+        Encoding::Rlbe,
+        Encoding::Gorilla,
+        Encoding::Rle,
+    ] {
+        group.bench_with_input(BenchmarkId::new("encode", enc.name()), col, |b, col| {
+            b.iter(|| enc.encode_i64(col))
+        });
+        let bytes = enc.encode_i64(col);
+        group.bench_with_input(BenchmarkId::new("decode", enc.name()), &bytes, |b, bytes| {
+            b.iter(|| enc.decode_i64(bytes).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn float_codecs(c: &mut Criterion) {
+    let vals: Vec<f64> = (0..N)
+        .map(|i| ((20.0 + (i as f64 * 0.01).sin() * 5.0) * 100.0).round() / 100.0)
+        .collect();
+    let mut group = c.benchmark_group("table1_float");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(400));
+    group.warm_up_time(std::time::Duration::from_millis(100));
+    group.throughput(Throughput::Elements(N as u64));
+    for enc in [Encoding::GorillaFloat, Encoding::Chimp, Encoding::Elf] {
+        group.bench_with_input(BenchmarkId::new("encode", enc.name()), &vals, |b, vals| {
+            b.iter(|| enc.encode_f64(vals))
+        });
+        let bytes = enc.encode_f64(&vals);
+        group.bench_with_input(BenchmarkId::new("decode", enc.name()), &bytes, |b, bytes| {
+            b.iter(|| enc.decode_f64(bytes).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn fig7_varwidth(c: &mut Criterion) {
+    // The Figure 7 comparison: separator-scan decoding vs bit-serial.
+    let vals: Vec<u64> = (1..=N as u64).map(|i| (i % 5000) + 1).collect();
+    let bytes = fibonacci::encode_all(&vals);
+    let mut group = c.benchmark_group("fig7_varwidth");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(400));
+    group.warm_up_time(std::time::Duration::from_millis(100));
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("separator_scan", |b| b.iter(|| fibonacci::decode_all_fast(&bytes).unwrap()));
+    group.bench_function("bit_serial", |b| b.iter(|| fibonacci::decode_all(&bytes).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, int_codecs, float_codecs, fig7_varwidth);
+criterion_main!(benches);

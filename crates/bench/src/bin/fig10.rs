@@ -1,0 +1,38 @@
+//! Figure 10 — performance of SIMD approaches over IoT queries:
+//! throughput (tuples of loaded pages per second, counting pruned tuples,
+//! §VII-B) of ETSQP-prune / ETSQP / Serial / FastLanes / SBoost on
+//! Q1–Q6 across the six Table II datasets, TS2DIFF-encoded.
+//!
+//! ```sh
+//! ETSQP_BENCH_ROWS=200000 cargo run --release -p etsqp-bench --bin fig10
+//! ```
+
+use etsqp_bench::{all_workloads, default_rows, fmt_mtps, run_query, throughput, time_median, Query, System};
+
+fn main() {
+    let rows = default_rows();
+    let threads = std::env::var("ETSQP_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    println!("Figure 10: query throughput [M tuples/s], {rows} rows/dataset, {threads} threads\n");
+    let workloads = all_workloads(rows);
+    for q in Query::ALL {
+        println!("--- {} ---", q.name());
+        print!("{:<14}", "system");
+        for w in &workloads {
+            print!("{:>9}", w.label);
+        }
+        println!();
+        for system in System::ALL {
+            print!("{:<14}", system.name());
+            for w in &workloads {
+                let d = time_median(3, || run_query(system, q, w, threads));
+                print!("{}", fmt_mtps(throughput(w.tuples(q), d)));
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("(throughput counts pruned tuples per the paper's §VII-B definition)");
+}

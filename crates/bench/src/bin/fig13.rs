@@ -1,0 +1,91 @@
+//! Figure 13 — system deployment comparison: answering time of time- and
+//! value-range aggregation queries on IoTDB (serial engine), IoTDB-SIMD
+//! (integrated ETSQP), MonetDB-like, and Spark/HDFS-like engines across
+//! the Table II datasets.
+//!
+//! ```sh
+//! cargo run --release -p etsqp-bench --bin fig13
+//! ```
+
+use etsqp_bench::{default_rows, time_median};
+use etsqp_comparators::{monet::MonetLike, spark::SparkLike};
+use etsqp_core::engine::{EngineOptions, IotDb};
+use etsqp_core::expr::{AggFunc, Plan, Predicate};
+use etsqp_datasets::Spec;
+
+fn main() {
+    let rows = default_rows();
+    println!("Figure 13: answering time [ms] of range aggregations, {rows} rows/dataset\n");
+    for (title, value_query) in [("time-range queries (selectivity 0.5)", false), ("value-range queries (selectivity 0.5)", true)] {
+        println!("--- {title} ---");
+        print!("{:<12}", "dataset");
+        for name in ["IoTDB", "IoTDB-SIMD", "MonetDB", "Spark/HDFS"] {
+            print!("{name:>12}");
+        }
+        println!();
+        for spec in Spec::ALL {
+            let d = spec.generate(rows);
+            let ts = &d.timestamps;
+            let vals = &d.columns[0].1;
+            let (t_lo, t_hi) = (ts[ts.len() / 4], ts[3 * ts.len() / 4]);
+            let (v_lo, v_hi) = {
+                let mut s = vals.clone();
+                s.sort_unstable();
+                (s[s.len() / 4], s[3 * s.len() / 4])
+            };
+            let pred = if value_query {
+                Predicate::value(v_lo, v_hi)
+            } else {
+                Predicate::time(t_lo, t_hi)
+            };
+            let plan = Plan::scan("s").filter(pred).aggregate(AggFunc::Sum);
+
+            // IoTDB: byte-serial engine.
+            let serial_db = IotDb::new(EngineOptions::serial());
+            serial_db.create_series("s").unwrap();
+            serial_db.append_all("s", ts, vals).unwrap();
+            serial_db.flush().unwrap();
+            let d_serial = time_median(3, || serial_db.execute(&plan).unwrap().rows.len());
+
+            // IoTDB-SIMD: the integrated ETSQP engine.
+            let simd_db = IotDb::new(EngineOptions::etsqp());
+            simd_db.create_series("s").unwrap();
+            simd_db.append_all("s", ts, vals).unwrap();
+            simd_db.flush().unwrap();
+            let d_simd = time_median(3, || simd_db.execute(&plan).unwrap().rows.len());
+
+            // MonetDB-like: decompress-then-process columns. Value-range
+            // queries scan all blocks (no time zone-map help).
+            let monet = MonetLike::load(ts, vals);
+            let d_monet = time_median(3, || {
+                if value_query {
+                    monet.sum_in_time_range(i64::MIN, i64::MAX).count
+                } else {
+                    monet.sum_in_time_range(t_lo, t_hi).count
+                }
+            });
+
+            // Spark-like: coarse row groups + per-query codegen latency.
+            let spark = SparkLike::load(ts, vals);
+            let d_spark = time_median(3, || {
+                if value_query {
+                    spark.sum_in_time_range(i64::MIN, i64::MAX).count
+                } else {
+                    spark.sum_in_time_range(t_lo, t_hi).count
+                }
+            });
+
+            println!(
+                "{:<12}{:>12.2}{:>12.2}{:>12.2}{:>12.2}",
+                spec.label(),
+                d_serial.as_secs_f64() * 1e3,
+                d_simd.as_secs_f64() * 1e3,
+                d_monet.as_secs_f64() * 1e3,
+                d_spark.as_secs_f64() * 1e3,
+            );
+        }
+        println!();
+    }
+    println!("(MonetDB/Spark are behavioural stand-ins — see DESIGN.md §3; the shape to");
+    println!(" check is IoTDB-SIMD < IoTDB < MonetDB < Spark on IoT range aggregations.)");
+}

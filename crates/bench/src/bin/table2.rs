@@ -1,0 +1,51 @@
+//! Table II — dataset statistics: the paper's declared sizes next to the
+//! generated (scaled) sizes used throughout this reproduction.
+//!
+//! ```sh
+//! cargo run --release -p etsqp-bench --bin table2
+//! ```
+
+use etsqp_datasets::Spec;
+
+fn main() {
+    let cap: usize = std::env::var("ETSQP_BENCH_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+    println!("Table II: Dataset statistics (scaled reproduction; cap = {cap} rows)\n");
+    println!(
+        "{:<15} {:<6} {:>12} {:>12} {:>6}  {:<12}",
+        "Name", "Label", "#Size(paper)", "#Size(here)", "#Attr", "Category"
+    );
+    for spec in Spec::ALL {
+        let rows = spec.paper_rows().min(cap as u64) as usize;
+        let d = spec.generate(rows);
+        let category = match spec {
+            Spec::Atmosphere | Spec::Climate | Spec::Timestamp => "IoT",
+            Spec::Gas => "IoT, Open",
+            Spec::Sine | Spec::Tpch => "Generated",
+        };
+        println!(
+            "{:<15} {:<6} {:>12} {:>12} {:>6}  {:<12}",
+            d.name,
+            d.label,
+            human(spec.paper_rows()),
+            human(d.rows() as u64),
+            d.attrs(),
+            category
+        );
+    }
+    println!("\n(1B-row datasets are scaled to the cap; every experiment records its scale.)");
+}
+
+fn human(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{}B", n / 1_000_000_000)
+    } else if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{}K", n / 1_000)
+    } else {
+        n.to_string()
+    }
+}

@@ -1,0 +1,36 @@
+//! # etsqp-comparators — simplified analytical engines for Figure 13
+//!
+//! The paper's deployment study (§VII-E) compares four systems: IoTDB,
+//! IoTDB-SIMD (ETSQP integrated), MonetDB, and Spark/HDFS. The first two
+//! come from `etsqp-core` (`EngineOptions::serial()` and
+//! `EngineOptions::etsqp()`); this crate provides *behavioural stand-ins*
+//! for the external two, exercising the code paths the paper blames:
+//!
+//! * [`monet::MonetLike`] — a block-wise decompress-then-process columnar
+//!   engine: columns stored as general-purpose-compressed blocks (single
+//!   encoder, no IoT deltas), fully materialized before column-at-a-time
+//!   operators run. Higher I/O (weaker ratio) + materialization cost.
+//! * [`spark::SparkLike`] — a coarse row-group engine with the same byte
+//!   codec over large groups plus a fixed per-query code-generation
+//!   latency (Spark's JIT planning), modelling the "HDFS compressor is
+//!   not efficient enough to reduce I/O" bottleneck.
+//!
+//! These are simulations of closed external systems — see DESIGN.md §3
+//! for why the substitution preserves the comparison's shape.
+
+#![warn(missing_docs)]
+
+pub mod lz;
+pub mod monet;
+pub mod spark;
+
+/// Aggregate answer returned by the comparator engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggAnswer {
+    /// Exact sum of qualifying values.
+    pub sum: i128,
+    /// Number of qualifying tuples.
+    pub count: u64,
+    /// Encoded bytes read to answer the query.
+    pub bytes_read: u64,
+}

@@ -1,0 +1,178 @@
+//! A small general-purpose LZSS-style byte compressor, built from
+//! scratch as the "single block compressor" the comparator engines use
+//! (MonetDB-like block compression; Spark/HDFS-like coarse codec).
+//!
+//! Format: a stream of tokens. Control byte `c`: bits examined LSB-first;
+//! bit = 1 → literal byte follows; bit = 0 → match: `u16` little-endian
+//! (offset 1..=4095 in the low 12 bits, length−3 in the high 4 bits,
+//! lengths 3..=18).
+
+const WINDOW: usize = 4095;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 18;
+
+/// Compresses `input`. The output starts with the original length (u32
+/// little-endian).
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+    // Hash chains over 3-byte prefixes.
+    let mut head = vec![usize::MAX; 1 << 13];
+    let mut prev = vec![usize::MAX; input.len().max(1)];
+    let hash = |b: &[u8]| -> usize {
+        ((b[0] as usize) << 6 ^ (b[1] as usize) << 3 ^ b[2] as usize) & ((1 << 13) - 1)
+    };
+    let mut i = 0usize;
+    let mut ctrl_pos = out.len();
+    out.push(0);
+    let mut ctrl_bits = 0u8;
+    let mut ctrl_used = 0u8;
+    let flush_ctrl = |out: &mut Vec<u8>, ctrl_pos: &mut usize, bits: &mut u8, used: &mut u8| {
+        out[*ctrl_pos] = *bits;
+        *ctrl_pos = out.len();
+        out.push(0);
+        *bits = 0;
+        *used = 0;
+    };
+    while i < input.len() {
+        // Find the best match in the window via the hash chain.
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let h = hash(&input[i..]);
+            let mut cand = head[h];
+            let mut tries = 16;
+            while cand != usize::MAX && tries > 0 && i - cand <= WINDOW {
+                let max = MAX_MATCH.min(input.len() - i);
+                let mut l = 0;
+                while l < max && input[cand + l] == input[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_off = i - cand;
+                    if l == MAX_MATCH {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                tries -= 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            // Match token (control bit 0).
+            let token = (best_off as u16) | (((best_len - MIN_MATCH) as u16) << 12);
+            out.extend_from_slice(&token.to_le_bytes());
+            // Insert hash entries for every covered position.
+            let end = i + best_len;
+            while i < end && i + MIN_MATCH <= input.len() {
+                let h = hash(&input[i..]);
+                prev[i] = head[h];
+                head[h] = i;
+                i += 1;
+            }
+            i = end;
+        } else {
+            ctrl_bits |= 1 << ctrl_used;
+            out.push(input[i]);
+            if i + MIN_MATCH <= input.len() {
+                let h = hash(&input[i..]);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+        ctrl_used += 1;
+        if ctrl_used == 8 {
+            flush_ctrl(&mut out, &mut ctrl_pos, &mut ctrl_bits, &mut ctrl_used);
+        }
+    }
+    out[ctrl_pos] = ctrl_bits;
+    out
+}
+
+/// Decompresses a [`compress`]-produced stream.
+pub fn decompress(input: &[u8]) -> Option<Vec<u8>> {
+    if input.len() < 4 {
+        return None;
+    }
+    let out_len = u32::from_le_bytes(input[..4].try_into().ok()?) as usize;
+    if out_len > (1 << 30) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(out_len);
+    let mut i = 4usize;
+    'outer: while out.len() < out_len {
+        let ctrl = *input.get(i)?;
+        i += 1;
+        for bit in 0..8 {
+            if out.len() >= out_len {
+                break 'outer;
+            }
+            if ctrl & (1 << bit) != 0 {
+                out.push(*input.get(i)?);
+                i += 1;
+            } else {
+                let token = u16::from_le_bytes([*input.get(i)?, *input.get(i + 1)?]);
+                i += 2;
+                let off = (token & 0x0FFF) as usize;
+                let len = ((token >> 12) as usize) + MIN_MATCH;
+                if off == 0 || off > out.len() {
+                    return None;
+                }
+                let start = out.len() - off;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    (out.len() == out_len).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_text() {
+        let data = b"the quick brown fox jumps over the lazy dog the quick brown fox".repeat(20);
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+        assert!(c.len() < data.len(), "compressible text must shrink");
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        for data in [&b""[..], b"a", b"ab", b"abc"] {
+            let c = compress(data);
+            assert_eq!(decompress(&c).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn roundtrip_binary_columns() {
+        // Big-endian i64 columns: the realistic input for the engines.
+        let vals: Vec<i64> = (0..5000).map(|i| 100_000 + i * 3).collect();
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_be_bytes()).collect();
+        let c = compress(&bytes);
+        assert_eq!(decompress(&c).unwrap(), bytes);
+        assert!(c.len() < bytes.len());
+    }
+
+    #[test]
+    fn roundtrip_incompressible() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_streams_rejected() {
+        let data = b"hello world hello world hello world".to_vec();
+        let c = compress(&data);
+        assert!(decompress(&c[..c.len() - 3]).is_none());
+        assert!(decompress(&[1, 2]).is_none());
+    }
+}

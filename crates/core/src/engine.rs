@@ -1,0 +1,281 @@
+//! The integrated IoT database facade (paper §VI): storage + SQL +
+//! pipeline engine behind one handle.
+
+use etsqp_encoding::Encoding;
+use etsqp_storage::store::SeriesStore;
+
+use crate::fused::FuseLevel;
+use crate::plan::{execute, PipelineConfig, QueryResult};
+use crate::sql;
+use crate::Result;
+
+/// Engine-level options (per-database defaults for every query).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Pipeline configuration (threads, pruning, fusion, vectorization).
+    pub pipeline: PipelineConfig,
+    /// Points per flushed page.
+    pub page_points: usize,
+    /// Default timestamp codec for new series.
+    pub ts_encoding: Encoding,
+    /// Default value codec for new series.
+    pub val_encoding: Encoding,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            pipeline: PipelineConfig::default(),
+            page_points: etsqp_storage::series::DEFAULT_PAGE_POINTS,
+            ts_encoding: Encoding::Ts2Diff,
+            val_encoding: Encoding::Ts2Diff,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// The full ETSQP configuration (vectorized, fused, pruned).
+    pub fn etsqp() -> Self {
+        Self::default()
+    }
+
+    /// ETSQP without the §V pruning rules (the "ETSQP" bar of Fig. 10;
+    /// the default is "ETSQP-prune").
+    pub fn etsqp_no_prune() -> Self {
+        let mut o = Self::default();
+        o.pipeline.prune = false;
+        o
+    }
+
+    /// The serial baseline: byte-sequential decoding, per-tuple operators,
+    /// one thread (the "Serial" bar of Fig. 10 / "IoTDB" of Fig. 13).
+    pub fn serial() -> Self {
+        let mut o = Self::default();
+        o.pipeline.vectorized = false;
+        o.pipeline.prune = false;
+        o.pipeline.fuse = FuseLevel::None;
+        o.pipeline.threads = 1;
+        o.pipeline.allow_slicing = false;
+        o
+    }
+
+    /// Sets the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pipeline.threads = threads;
+        self
+    }
+
+    /// Sets the page size in points.
+    pub fn with_page_points(mut self, points: usize) -> Self {
+        self.page_points = points;
+        self
+    }
+
+    /// Sets both column codecs for new series.
+    pub fn with_encodings(mut self, ts: Encoding, val: Encoding) -> Self {
+        self.ts_encoding = ts;
+        self.val_encoding = val;
+        self
+    }
+}
+
+/// An embedded IoT time-series database with the ETSQP query engine.
+pub struct IotDb {
+    store: SeriesStore,
+    opts: EngineOptions,
+}
+
+impl IotDb {
+    /// Creates an empty database.
+    pub fn new(opts: EngineOptions) -> Self {
+        IotDb {
+            store: SeriesStore::new(opts.page_points),
+            opts,
+        }
+    }
+
+    /// Wraps an existing store (e.g. loaded from a TsFile).
+    pub fn with_store(store: SeriesStore, opts: EngineOptions) -> Self {
+        IotDb { store, opts }
+    }
+
+    /// The underlying page store (shared handle).
+    pub fn store(&self) -> &SeriesStore {
+        &self.store
+    }
+
+    /// Engine options in effect.
+    pub fn options(&self) -> &EngineOptions {
+        &self.opts
+    }
+
+    /// Registers a series with the engine's default codecs.
+    pub fn create_series(&self, name: &str) -> Result<()> {
+        self.store.create_series(name, self.opts.ts_encoding, self.opts.val_encoding);
+        Ok(())
+    }
+
+    /// Registers a series with explicit codecs.
+    pub fn create_series_with(&self, name: &str, ts: Encoding, val: Encoding) -> Result<()> {
+        self.store.create_series(name, ts, val);
+        Ok(())
+    }
+
+    /// Appends a point (timestamps must be strictly increasing).
+    pub fn append(&self, series: &str, ts: i64, value: i64) -> Result<()> {
+        self.store.append(series, ts, value)?;
+        Ok(())
+    }
+
+    /// Bulk-appends points.
+    pub fn append_all(&self, series: &str, ts: &[i64], values: &[i64]) -> Result<()> {
+        self.store.append_all(series, ts, values)?;
+        Ok(())
+    }
+
+    /// Flushes every series' receive buffer to pages.
+    pub fn flush(&self) -> Result<()> {
+        for name in self.store.series_names() {
+            self.store.flush(&name)?;
+        }
+        Ok(())
+    }
+
+    /// Registers a float-valued series (GorillaFloat / Chimp / Elf value
+    /// codec).
+    pub fn create_series_f64(&self, name: &str, val: etsqp_encoding::Encoding) -> Result<()> {
+        self.store.create_series_f64(name, self.opts.ts_encoding, val);
+        Ok(())
+    }
+
+    /// Appends a float point (timestamps must be strictly increasing).
+    pub fn append_f64(&self, series: &str, ts: i64, value: f64) -> Result<()> {
+        self.store.append_f64(series, ts, value)?;
+        Ok(())
+    }
+
+    /// Aggregates a float series over optional time/value ranges.
+    pub fn aggregate_f64(
+        &self,
+        series: &str,
+        trange: Option<crate::expr::TimeRange>,
+        vrange: Option<crate::float::FloatRange>,
+        func: crate::expr::AggFunc,
+    ) -> Result<Option<f64>> {
+        let (agg, _) = crate::float::aggregate_f64(&self.store, series, trange, vrange, &self.opts.pipeline)?;
+        Ok(agg.finish(func))
+    }
+
+    /// Scans a float series' qualifying rows.
+    pub fn scan_f64(
+        &self,
+        series: &str,
+        trange: Option<crate::expr::TimeRange>,
+    ) -> Result<(Vec<i64>, Vec<f64>)> {
+        crate::float::scan_f64(&self.store, series, trange, &self.opts.pipeline)
+    }
+
+    /// Parses and executes one SQL statement.
+    pub fn query(&self, sql_text: &str) -> Result<QueryResult> {
+        let plan = sql::parse(sql_text)?;
+        execute(&plan, &self.store, &self.opts.pipeline)
+    }
+
+    /// Executes a pre-built logical plan.
+    pub fn execute(&self, plan: &crate::expr::Plan) -> Result<QueryResult> {
+        execute(plan, &self.store, &self.opts.pipeline)
+    }
+
+    /// Executes a plan under a one-off pipeline configuration.
+    pub fn execute_with(&self, plan: &crate::expr::Plan, cfg: &PipelineConfig) -> Result<QueryResult> {
+        execute(plan, &self.store, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Value;
+
+    fn seeded_db(opts: EngineOptions) -> IotDb {
+        let db = IotDb::new(opts);
+        db.create_series("velocity").unwrap();
+        let ts: Vec<i64> = (0..10_000).map(|i| i * 1000).collect();
+        let vals: Vec<i64> = (0..10_000).map(|i| 60 + (i % 25)).collect();
+        db.append_all("velocity", &ts, &vals).unwrap();
+        db.flush().unwrap();
+        db
+    }
+
+    #[test]
+    fn end_to_end_sql_avg() {
+        let db = seeded_db(EngineOptions::default());
+        let r = db
+            .query("SELECT AVG(velocity) FROM velocity WHERE time >= 0 AND time <= 9999000")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        let Value::Float(avg) = r.rows[0][0] else { panic!("{:?}", r.rows) };
+        let want = (0..10_000).map(|i| 60 + (i % 25)).sum::<i64>() as f64 / 10_000.0;
+        assert!((avg - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sliding_window_sql() {
+        let db = seeded_db(EngineOptions::default());
+        let r = db.query("SELECT SUM(velocity) FROM velocity SW(0, 1000000)").unwrap();
+        // 10_000 points over [0, 9_999_000] in 1e6-wide windows → 10 rows.
+        assert_eq!(r.rows.len(), 10);
+        let total: i64 = r
+            .rows
+            .iter()
+            .map(|row| match row[1] {
+                Value::Int(v) => v,
+                _ => panic!(),
+            })
+            .sum();
+        let want: i64 = (0..10_000).map(|i| 60 + (i % 25)).sum();
+        assert_eq!(total, want);
+    }
+
+    #[test]
+    fn engine_variants_agree() {
+        let q = "SELECT SUM(velocity) FROM (SELECT * FROM velocity WHERE velocity > 70)";
+        let fast = seeded_db(EngineOptions::etsqp()).query(q).unwrap();
+        let noprune = seeded_db(EngineOptions::etsqp_no_prune()).query(q).unwrap();
+        let serial = seeded_db(EngineOptions::serial()).query(q).unwrap();
+        assert_eq!(fast.rows, serial.rows);
+        assert_eq!(noprune.rows, serial.rows);
+    }
+
+    #[test]
+    fn join_queries_via_sql() {
+        let db = IotDb::new(EngineOptions::default());
+        db.create_series("ts1").unwrap();
+        db.create_series("ts2").unwrap();
+        for i in 0..1000i64 {
+            db.append("ts1", i * 2, i).unwrap();
+            db.append("ts2", i * 3, i * 10).unwrap();
+        }
+        db.flush().unwrap();
+        let union = db.query("SELECT * FROM ts1 UNION ts2 ORDER BY TIME").unwrap();
+        assert_eq!(union.rows.len(), 2000);
+        let join = db.query("SELECT * FROM ts1, ts2").unwrap();
+        assert!(!join.rows.is_empty());
+        let jexpr = db.query("SELECT ts1.A + ts2.A FROM ts1, ts2").unwrap();
+        assert_eq!(join.rows.len(), jexpr.rows.len());
+    }
+
+    #[test]
+    fn out_of_order_append_rejected() {
+        let db = IotDb::new(EngineOptions::default());
+        db.create_series("s").unwrap();
+        db.append("s", 10, 1).unwrap();
+        assert!(db.append("s", 10, 2).is_err());
+    }
+
+    #[test]
+    fn unknown_series_query_errors() {
+        let db = IotDb::new(EngineOptions::default());
+        assert!(db.query("SELECT SUM(A) FROM nope").is_err());
+    }
+}

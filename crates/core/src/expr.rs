@@ -1,0 +1,373 @@
+//! Logical query plans — the IoT expression language of Definitions 1–2
+//! (filters, aggregations, sliding windows, concatenation, natural join),
+//! the input to the `Pipe` pipeline generator (Algorithm 2).
+
+/// Aggregation functions (`f` in `f(e, mask)` / `G_sw:f`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Σ of valid values.
+    Sum,
+    /// Arithmetic mean (algebraic: SUM/COUNT).
+    Avg,
+    /// Number of valid tuples.
+    Count,
+    /// Minimum valid value.
+    Min,
+    /// Maximum valid value.
+    Max,
+    /// Population variance (algebraic: needs Σx²).
+    Variance,
+    /// First qualifying value in time order (IoT FIRST_VALUE).
+    First,
+    /// Last qualifying value in time order (IoT LAST_VALUE).
+    Last,
+}
+
+impl AggFunc {
+    /// SQL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Count => "COUNT",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Variance => "VARIANCE",
+            AggFunc::First => "FIRST",
+            AggFunc::Last => "LAST",
+        }
+    }
+}
+
+/// An inclusive time range `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeRange {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl TimeRange {
+    /// The full time domain.
+    pub fn all() -> Self {
+        TimeRange { lo: i64::MIN, hi: i64::MAX }
+    }
+
+    /// Intersection of two ranges; empty ranges have `lo > hi`.
+    pub fn intersect(&self, other: &TimeRange) -> TimeRange {
+        TimeRange {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// Whether the range contains no instants.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Whether `t` lies inside.
+    pub fn contains(&self, t: i64) -> bool {
+        t >= self.lo && t <= self.hi
+    }
+}
+
+/// Conjunctive predicates over one series (single-column: time or value).
+///
+/// Bounds are **inclusive**; strict SQL comparisons are normalized by the
+/// parser (`A > a` ⇒ `lo = a + 1` on the integer domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Predicate {
+    /// Optional time-range conjunct.
+    pub time: Option<TimeRange>,
+    /// Optional value-range conjunct `[lo, hi]`.
+    pub value: Option<(i64, i64)>,
+}
+
+impl Predicate {
+    /// A predicate with only a time conjunct.
+    pub fn time(lo: i64, hi: i64) -> Self {
+        Predicate {
+            time: Some(TimeRange { lo, hi }),
+            value: None,
+        }
+    }
+
+    /// A predicate with only a value conjunct.
+    pub fn value(lo: i64, hi: i64) -> Self {
+        Predicate {
+            time: None,
+            value: Some((lo, hi)),
+        }
+    }
+
+    /// Conjunction of two predicates.
+    pub fn and(&self, other: &Predicate) -> Predicate {
+        Predicate {
+            time: match (self.time, other.time) {
+                (Some(a), Some(b)) => Some(a.intersect(&b)),
+                (a, b) => a.or(b),
+            },
+            value: match (self.value, other.value) {
+                (Some((al, ah)), Some((bl, bh))) => Some((al.max(bl), ah.min(bh))),
+                (a, b) => a.or(b),
+            },
+        }
+    }
+
+    /// True when neither conjunct is present.
+    pub fn is_trivial(&self) -> bool {
+        self.time.is_none() && self.value.is_none()
+    }
+}
+
+/// A sliding-window description `sw(T_min, ΔT)`: window `k` covers
+/// `[T_min + k·ΔT, T_min + (k+1)·ΔT)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlidingWindow {
+    /// Start of window 0.
+    pub t_min: i64,
+    /// Window width (must be positive).
+    pub dt: i64,
+}
+
+impl SlidingWindow {
+    /// The window index containing `t`, if `t ≥ t_min`.
+    pub fn window_of(&self, t: i64) -> Option<usize> {
+        (t >= self.t_min).then(|| ((t - self.t_min) / self.dt) as usize)
+    }
+
+    /// Inclusive time range of window `k` (`[start, start + dt − 1]`).
+    pub fn range(&self, k: usize) -> TimeRange {
+        let start = self.t_min + k as i64 * self.dt;
+        TimeRange { lo: start, hi: start + self.dt - 1 }
+    }
+}
+
+/// Comparison operators for inter-column predicates (Algorithm 2 line 8:
+/// filters that need both columns decoded, applied to the joined vectors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `a < b`
+    Lt,
+    /// `a <= b`
+    Le,
+    /// `a > b`
+    Gt,
+    /// `a >= b`
+    Ge,
+    /// `a = b`
+    Eq,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+        }
+    }
+}
+
+/// Element-wise binary operators for inter-column expressions (Q4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+}
+
+impl BinOp {
+    /// Applies the operator with wrapping semantics.
+    pub fn apply(self, a: i64, b: i64) -> i64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+        }
+    }
+}
+
+/// Two-series (paired) aggregation functions computed over naturally
+/// joined tuples — the §IV extension to `Σ AᵢBᵢ`-style aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairAggFunc {
+    /// `Σ AᵢBᵢ` over matching timestamps.
+    Dot,
+    /// Population covariance of the matched pairs.
+    Covariance,
+    /// Pearson correlation of the matched pairs.
+    Correlation,
+}
+
+impl PairAggFunc {
+    /// SQL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            PairAggFunc::Dot => "DOT",
+            PairAggFunc::Covariance => "COV",
+            PairAggFunc::Correlation => "CORR",
+        }
+    }
+}
+
+/// Logical query plans — the `e` of Algorithm 2.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Scan one series.
+    Scan {
+        /// Series name.
+        series: String,
+    },
+    /// `σ_θ(e)` with a single-column conjunctive predicate.
+    Filter {
+        /// Input plan.
+        input: Box<Plan>,
+        /// The predicate.
+        pred: Predicate,
+    },
+    /// Whole-input aggregation `f(e, mask)`.
+    Aggregate {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Aggregation function.
+        func: AggFunc,
+    },
+    /// `G_{sw(T_min, ΔT): f}(e)` — one aggregate row per window instance.
+    WindowAggregate {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Window description.
+        window: SlidingWindow,
+        /// Aggregation function.
+        func: AggFunc,
+    },
+    /// Natural join on timestamps followed by an element-wise expression
+    /// over the two value columns (Q4: `ts1.A + ts2.A`).
+    JoinExpr {
+        /// Left series plan.
+        left: Box<Plan>,
+        /// Right series plan.
+        right: Box<Plan>,
+        /// The element-wise operator.
+        op: BinOp,
+    },
+    /// Series concatenation / merge ordered by time (Q5: `UNION … ORDER
+    /// BY TIME`).
+    Union {
+        /// Left series plan.
+        left: Box<Plan>,
+        /// Right series plan.
+        right: Box<Plan>,
+    },
+    /// Natural join emitting `(t, a_left, a_right)` tuples (Q6),
+    /// optionally restricted by an inter-column predicate
+    /// `left.A <op> right.A` (Algorithm 2 Eq. 3: applied to the decoded
+    /// vectors after the timestamp join).
+    Join {
+        /// Left series plan.
+        left: Box<Plan>,
+        /// Right series plan.
+        right: Box<Plan>,
+        /// Inter-column predicate between the joined values.
+        on: Option<CmpOp>,
+    },
+    /// Paired aggregation over the natural join (§IV: `Σ AᵢBᵢ`,
+    /// covariance, correlation).
+    JoinAggregate {
+        /// Left series plan.
+        left: Box<Plan>,
+        /// Right series plan.
+        right: Box<Plan>,
+        /// The paired aggregate.
+        func: PairAggFunc,
+    },
+}
+
+impl Plan {
+    /// Convenience: scan of a named series.
+    pub fn scan(series: &str) -> Plan {
+        Plan::Scan { series: series.to_string() }
+    }
+
+    /// Pushes `pred` onto this plan.
+    pub fn filter(self, pred: Predicate) -> Plan {
+        Plan::Filter { input: Box::new(self), pred }
+    }
+
+    /// Wraps this plan in a whole-input aggregate.
+    pub fn aggregate(self, func: AggFunc) -> Plan {
+        Plan::Aggregate { input: Box::new(self), func }
+    }
+
+    /// Wraps this plan in a sliding-window aggregate.
+    pub fn window(self, t_min: i64, dt: i64, func: AggFunc) -> Plan {
+        Plan::WindowAggregate {
+            input: Box::new(self),
+            window: SlidingWindow { t_min, dt },
+            func,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_range_algebra() {
+        let a = TimeRange { lo: 0, hi: 100 };
+        let b = TimeRange { lo: 50, hi: 200 };
+        assert_eq!(a.intersect(&b), TimeRange { lo: 50, hi: 100 });
+        assert!(!a.intersect(&b).is_empty());
+        let c = TimeRange { lo: 150, hi: 200 };
+        assert!(a.intersect(&c).is_empty());
+        assert!(TimeRange::all().contains(i64::MIN));
+    }
+
+    #[test]
+    fn predicate_conjunction() {
+        let p = Predicate::time(0, 100).and(&Predicate::value(5, 50));
+        assert_eq!(p.time, Some(TimeRange { lo: 0, hi: 100 }));
+        assert_eq!(p.value, Some((5, 50)));
+        let q = p.and(&Predicate::time(50, 200));
+        assert_eq!(q.time, Some(TimeRange { lo: 50, hi: 100 }));
+    }
+
+    #[test]
+    fn sliding_window_indexing() {
+        let sw = SlidingWindow { t_min: 100, dt: 50 };
+        assert_eq!(sw.window_of(100), Some(0));
+        assert_eq!(sw.window_of(149), Some(0));
+        assert_eq!(sw.window_of(150), Some(1));
+        assert_eq!(sw.window_of(99), None);
+        assert_eq!(sw.range(2), TimeRange { lo: 200, hi: 249 });
+    }
+
+    #[test]
+    fn binop_semantics() {
+        assert_eq!(BinOp::Add.apply(2, 3), 5);
+        assert_eq!(BinOp::Sub.apply(2, 3), -1);
+        assert_eq!(BinOp::Mul.apply(i64::MAX, 2), -2); // wrapping
+    }
+
+    #[test]
+    fn plan_builders_compose() {
+        let p = Plan::scan("velocity").filter(Predicate::time(0, 10)).aggregate(AggFunc::Avg);
+        match p {
+            Plan::Aggregate { input, func } => {
+                assert_eq!(func, AggFunc::Avg);
+                assert!(matches!(*input, Plan::Filter { .. }));
+            }
+            _ => panic!("wrong shape"),
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! # etsqp-core — Encoded Time-Series Query Pipelines (ETSQP)
+//!
+//! The paper's primary contribution: a pipeline query engine that executes
+//! selective aggregations *directly over encoded IoT time series*.
+//!
+//! Module map (paper section → module):
+//!
+//! | Paper | Module | What it implements |
+//! |-------|--------|--------------------|
+//! | §III-A, Alg. 1 | [`decode`] | vectorized unpack + Delta-chain layout recovery |
+//! | §III-B | `etsqp_simd::tables` | JIT-style cached shuffle/shift/mask plans |
+//! | §III-C, Fig. 8 | [`slice`], [`exec`] | page distribution, slicing, thread scheduling |
+//! | §III-D, Prop. 1/Thm. 2 | [`cost`] | `n_v` cost model and speedup estimate |
+//! | §IV, Prop. 3 | [`fused`] | aggregation without decoding (Delta / Delta-Repeat) |
+//! | §V, Prop. 4/5 | [`prune`] | time/value pruning from encoding statistics |
+//! | §VI, Alg. 2 | [`plan`], [`expr`] | `Pipe`: logical plan → pipeline jobs + merge nodes |
+//! | §VI-B | [`sql`], [`engine`] | SQL front end and the integrated database facade |
+//!
+//! The quickest way in is [`engine::IotDb`]:
+//!
+//! ```
+//! use etsqp_core::engine::{EngineOptions, IotDb};
+//!
+//! let db = IotDb::new(EngineOptions::default());
+//! db.create_series("velocity").unwrap();
+//! for i in 0..10_000i64 {
+//!     db.append("velocity", i * 1000, 60 + (i % 25)).unwrap();
+//! }
+//! db.flush().unwrap();
+//! let result = db
+//!     .query("SELECT AVG(velocity) FROM velocity WHERE time >= 100000 AND time <= 900000")
+//!     .unwrap();
+//! assert_eq!(result.rows.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod decode;
+pub mod engine;
+pub mod exec;
+pub mod expr;
+pub mod float;
+pub mod fused;
+pub mod plan;
+pub mod prune;
+pub mod slice;
+pub mod sql;
+
+/// Errors raised by the query pipelines.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying codec failure.
+    Encoding(etsqp_encoding::Error),
+    /// Storage-layer failure.
+    Storage(etsqp_storage::Error),
+    /// Structural decode failure inside a pipeline.
+    Decode(&'static str),
+    /// SQL text could not be parsed.
+    Sql(String),
+    /// The logical plan is not executable (unknown series, bad window…).
+    Plan(String),
+    /// An aggregate overflowed its checked accumulator (§VI-C).
+    Overflow,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Encoding(e) => write!(f, "encoding: {e}"),
+            Error::Storage(e) => write!(f, "storage: {e}"),
+            Error::Decode(what) => write!(f, "decode: {what}"),
+            Error::Sql(msg) => write!(f, "sql: {msg}"),
+            Error::Plan(msg) => write!(f, "plan: {msg}"),
+            Error::Overflow => write!(f, "aggregate overflow"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Encoding(e) => Some(e),
+            Error::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<etsqp_encoding::Error> for Error {
+    fn from(e: etsqp_encoding::Error) -> Self {
+        Error::Encoding(e)
+    }
+}
+
+impl From<etsqp_storage::Error> for Error {
+    fn from(e: etsqp_storage::Error) -> Self {
+        Error::Storage(e)
+    }
+}
+
+/// Result alias for pipeline operations.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,415 @@
+//! # etsqp-datasets — synthetic equivalents of the paper's Table II
+//!
+//! | Name          | Label | #Size | #Attr | Category   |
+//! |---------------|-------|-------|-------|------------|
+//! | Atmosphere    | Atm   | 132K  | 3     | IoT        |
+//! | Climate       | Clim  | 8.4M  | 4     | IoT        |
+//! | Gas (UCI)     | Gas   | 925K  | 19    | IoT, Open  |
+//! | Timestamp     | Time  | 1B    | 2     | IoT        |
+//! | Sine-function | Sine  | 1B    | 6     | Generated  |
+//! | TPC-H         | TPCH  | 24K   | 4     | Generated  |
+//!
+//! The originals are proprietary or impractically large for a laptop-scale
+//! reproduction; these generators are deterministic (seeded) synthetics
+//! matched on the statistics that drive the experiments: timestamp
+//! regularity (TS2DIFF width of the time column), value smoothness (delta
+//! magnitude → packing width), repeat-run distribution (→ RLE/fusion
+//! behaviour), and column/row counts. Billion-row datasets are *scaled*
+//! by [`Spec::rows`]; the scale factor is recorded in every report.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated multi-attribute time series.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Full name (Table II "Name").
+    pub name: &'static str,
+    /// Short label (Table II "Label").
+    pub label: &'static str,
+    /// Declared size in the paper (rows, before scaling).
+    pub paper_rows: u64,
+    /// Shared timestamp column (strictly increasing).
+    pub timestamps: Vec<i64>,
+    /// Named value columns, each aligned with `timestamps`.
+    pub columns: Vec<(String, Vec<i64>)>,
+}
+
+impl Dataset {
+    /// Generated row count.
+    pub fn rows(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// Number of attributes (value columns).
+    pub fn attrs(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Series name for column `i` as registered in a store: `label.col`.
+    pub fn series_name(&self, i: usize) -> String {
+        format!("{}.{}", self.label, self.columns[i].0)
+    }
+}
+
+/// Which dataset to generate, with its scaled row count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Spec {
+    /// Atmosphere: 10-second cadence, smooth weather signals, 3 columns.
+    Atmosphere,
+    /// Climate: 1-minute cadence, seasonal + diurnal signals, 4 columns.
+    Climate,
+    /// Gas sensors: 1-second cadence, step responses + drift, 19 columns.
+    Gas,
+    /// Timestamp: pure arrival stream (counter values), 2 columns.
+    Timestamp,
+    /// Sine: six quantized sine waves of different periods.
+    Sine,
+    /// TPC-H lineitem-like numeric columns over a synthetic order clock.
+    Tpch,
+}
+
+impl Spec {
+    /// All six Table II datasets.
+    pub const ALL: [Spec; 6] = [
+        Spec::Atmosphere,
+        Spec::Climate,
+        Spec::Gas,
+        Spec::Timestamp,
+        Spec::Sine,
+        Spec::Tpch,
+    ];
+
+    /// Paper-declared row count.
+    pub fn paper_rows(self) -> u64 {
+        match self {
+            Spec::Atmosphere => 132_000,
+            Spec::Climate => 8_400_000,
+            Spec::Gas => 925_000,
+            Spec::Timestamp => 1_000_000_000,
+            Spec::Sine => 1_000_000_000,
+            Spec::Tpch => 24_000,
+        }
+    }
+
+    /// Scaled row count actually generated: `paper_rows × scale`, clamped
+    /// to `[64, cap]`.
+    pub fn rows(self, scale: f64, cap: usize) -> usize {
+        ((self.paper_rows() as f64 * scale) as usize).clamp(64, cap)
+    }
+
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Spec::Atmosphere => "Atm",
+            Spec::Climate => "Clim",
+            Spec::Gas => "Gas",
+            Spec::Timestamp => "Time",
+            Spec::Sine => "Sine",
+            Spec::Tpch => "TPCH",
+        }
+    }
+
+    /// Generates the dataset with `rows` rows (deterministic per spec).
+    pub fn generate(self, rows: usize) -> Dataset {
+        match self {
+            Spec::Atmosphere => atmosphere(rows),
+            Spec::Climate => climate(rows),
+            Spec::Gas => gas(rows),
+            Spec::Timestamp => timestamp(rows),
+            Spec::Sine => sine(rows),
+            Spec::Tpch => tpch(rows),
+        }
+    }
+}
+
+/// Regular timestamps with occasional network jitter (the dominant IoT
+/// arrival pattern: TS2DIFF packs their deltas into a handful of bits).
+fn jittered_timestamps(rng: &mut StdRng, rows: usize, start: i64, interval: i64, jitter: i64) -> Vec<i64> {
+    let mut out = Vec::with_capacity(rows);
+    let mut t = start;
+    for _ in 0..rows {
+        out.push(t);
+        let j = if jitter > 0 && rng.gen_ratio(1, 50) {
+            rng.gen_range(-jitter..=jitter)
+        } else {
+            0
+        };
+        t += (interval + j).max(1);
+    }
+    out
+}
+
+/// Smooth sensor signal: bounded random walk around a slow drift, scaled
+/// to 2 decimal places (values are `reading × 100` integers).
+fn smooth_signal(rng: &mut StdRng, rows: usize, base: f64, amp: f64, step: f64) -> Vec<i64> {
+    let mut out = Vec::with_capacity(rows);
+    let mut v = base;
+    for i in 0..rows {
+        let drift = amp * (i as f64 / rows.max(1) as f64 * std::f64::consts::TAU).sin();
+        v += rng.gen_range(-step..=step);
+        v = v.clamp(base - 2.0 * amp, base + 2.0 * amp);
+        out.push(((base + drift + (v - base) * 0.5) * 100.0).round() as i64);
+    }
+    out
+}
+
+/// Atmosphere (132K × 3): temperature, humidity, pressure at 10 s cadence.
+pub fn atmosphere(rows: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(0xA7A0);
+    let timestamps = jittered_timestamps(&mut rng, rows, 1_600_000_000_000, 10_000, 40);
+    let columns = vec![
+        ("temperature".into(), smooth_signal(&mut rng, rows, 21.5, 6.0, 0.05)),
+        ("humidity".into(), smooth_signal(&mut rng, rows, 55.0, 20.0, 0.2)),
+        ("pressure".into(), smooth_signal(&mut rng, rows, 1013.2, 15.0, 0.1)),
+    ];
+    Dataset {
+        name: "Atmosphere",
+        label: "Atm",
+        paper_rows: Spec::Atmosphere.paper_rows(),
+        timestamps,
+        columns,
+    }
+}
+
+/// Climate (8.4M × 4): minute-cadence seasonal signals.
+pub fn climate(rows: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(0xC11A);
+    let timestamps = jittered_timestamps(&mut rng, rows, 1_500_000_000_000, 60_000, 0);
+    let mut wind = Vec::with_capacity(rows);
+    let mut w = 30.0f64;
+    for _ in 0..rows {
+        w = (w + rng.gen_range(-1.5..=1.5)).clamp(0.0, 250.0);
+        wind.push((w * 10.0).round() as i64);
+    }
+    let columns = vec![
+        ("temp".into(), smooth_signal(&mut rng, rows, 12.0, 14.0, 0.03)),
+        ("dewpoint".into(), smooth_signal(&mut rng, rows, 6.0, 10.0, 0.03)),
+        ("wind".into(), wind),
+        ("rain".into(), rain_column(&mut rng, rows)),
+    ];
+    Dataset {
+        name: "Climate",
+        label: "Clim",
+        paper_rows: Spec::Climate.paper_rows(),
+        timestamps,
+        columns,
+    }
+}
+
+/// Mostly-zero precipitation with bursts: long repeat runs (RLE-friendly).
+fn rain_column(rng: &mut StdRng, rows: usize) -> Vec<i64> {
+    let mut out = Vec::with_capacity(rows);
+    let mut remaining = 0usize;
+    let mut level = 0i64;
+    for _ in 0..rows {
+        if remaining == 0 {
+            if rng.gen_ratio(1, 20) {
+                remaining = rng.gen_range(10..200);
+                level = rng.gen_range(1..50);
+            } else {
+                remaining = rng.gen_range(50..500);
+                level = 0;
+            }
+        }
+        out.push(level);
+        remaining -= 1;
+    }
+    out
+}
+
+/// Gas (925K × 19): step responses with exponential decay + drift —
+/// the UCI home-activity gas-sensor shape.
+pub fn gas(rows: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(0x6A5);
+    let timestamps = jittered_timestamps(&mut rng, rows, 1_450_000_000_000, 1_000, 10);
+    let mut columns = Vec::with_capacity(19);
+    for s in 0..19u64 {
+        let mut col_rng = StdRng::seed_from_u64(0x6A5_0000 + s);
+        let mut v = 5000.0 + s as f64 * 173.0;
+        let mut target = v;
+        let mut col = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            if col_rng.gen_ratio(1, 400) {
+                target = 4000.0 + col_rng.gen_range(0.0..4000.0);
+            }
+            v += (target - v) * 0.01 + col_rng.gen_range(-2.0..=2.0);
+            col.push(v.round() as i64);
+        }
+        columns.push((format!("r{s}"), col));
+    }
+    Dataset {
+        name: "Gas",
+        label: "Gas",
+        paper_rows: Spec::Gas.paper_rows(),
+        timestamps,
+        columns,
+    }
+}
+
+/// Timestamp (1B × 2, scaled): a pure arrival stream — the value columns
+/// are an event counter and a source id with long repeat runs.
+pub fn timestamp(rows: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(0x7153);
+    let timestamps = jittered_timestamps(&mut rng, rows, 1_700_000_000_000, 100, 3);
+    let counter: Vec<i64> = (0..rows as i64).collect();
+    let mut source = Vec::with_capacity(rows);
+    let mut cur = 0i64;
+    let mut left = 0usize;
+    for _ in 0..rows {
+        if left == 0 {
+            cur = rng.gen_range(0..32);
+            left = rng.gen_range(100..2000);
+        }
+        source.push(cur);
+        left -= 1;
+    }
+    Dataset {
+        name: "Timestamp",
+        label: "Time",
+        paper_rows: Spec::Timestamp.paper_rows(),
+        timestamps,
+        columns: vec![("counter".into(), counter), ("source".into(), source)],
+    }
+}
+
+/// Sine (1B × 6, scaled): quantized sine waves of six periods.
+pub fn sine(rows: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(0x51E);
+    let timestamps = jittered_timestamps(&mut rng, rows, 0, 1_000, 0);
+    let periods = [64.0f64, 256.0, 1024.0, 4096.0, 16384.0, 65536.0];
+    let columns = periods
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let col: Vec<i64> = (0..rows)
+                .map(|k| ((k as f64 / p * std::f64::consts::TAU).sin() * 1000.0).round() as i64)
+                .collect();
+            (format!("sine{i}"), col)
+        })
+        .collect();
+    Dataset {
+        name: "Sine-function",
+        label: "Sine",
+        paper_rows: Spec::Sine.paper_rows(),
+        timestamps,
+        columns,
+    }
+}
+
+/// TPC-H (24K × 4): lineitem-like numeric columns (quantity, extended
+/// price, discount, tax) over a synthetic order-date clock.
+pub fn tpch(rows: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(0x79C8);
+    let timestamps = jittered_timestamps(&mut rng, rows, 694_224_000_000, 864_000, 86_400);
+    let mut quantity = Vec::with_capacity(rows);
+    let mut price = Vec::with_capacity(rows);
+    let mut discount = Vec::with_capacity(rows);
+    let mut tax = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let q = rng.gen_range(1..=50i64);
+        quantity.push(q);
+        price.push(q * rng.gen_range(90_000..=105_000)); // cents ×100
+        discount.push(rng.gen_range(0..=10i64)); // percent
+        tax.push(rng.gen_range(0..=8i64));
+    }
+    Dataset {
+        name: "TPC-H",
+        label: "TPCH",
+        paper_rows: Spec::Tpch.paper_rows(),
+        timestamps,
+        columns: vec![
+            ("quantity".into(), quantity),
+            ("extendedprice".into(), price),
+            ("discount".into(), discount),
+            ("tax".into(), tax),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_generate_requested_rows() {
+        for spec in Spec::ALL {
+            let d = spec.generate(1000);
+            assert_eq!(d.rows(), 1000, "{}", d.name);
+            assert!(d.attrs() >= 2 || spec != Spec::Gas);
+            for (name, col) in &d.columns {
+                assert_eq!(col.len(), 1000, "{} column {name}", d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn timestamps_strictly_increasing() {
+        for spec in Spec::ALL {
+            let d = spec.generate(5000);
+            assert!(
+                d.timestamps.windows(2).all(|w| w[0] < w[1]),
+                "{} timestamps not strictly increasing",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for spec in Spec::ALL {
+            let a = spec.generate(500);
+            let b = spec.generate(500);
+            assert_eq!(a.timestamps, b.timestamps, "{}", a.name);
+            for ((_, ca), (_, cb)) in a.columns.iter().zip(&b.columns) {
+                assert_eq!(ca, cb, "{}", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn attribute_counts_match_table2() {
+        assert_eq!(Spec::Atmosphere.generate(64).attrs(), 3);
+        assert_eq!(Spec::Climate.generate(64).attrs(), 4);
+        assert_eq!(Spec::Gas.generate(64).attrs(), 19);
+        assert_eq!(Spec::Timestamp.generate(64).attrs(), 2);
+        assert_eq!(Spec::Sine.generate(64).attrs(), 6);
+        assert_eq!(Spec::Tpch.generate(64).attrs(), 4);
+    }
+
+    #[test]
+    fn scaling_clamps() {
+        assert_eq!(Spec::Timestamp.rows(1.0, 4_000_000), 4_000_000);
+        assert_eq!(Spec::Tpch.rows(1.0, 4_000_000), 24_000);
+        assert_eq!(Spec::Tpch.rows(1e-9, 4_000_000), 64);
+    }
+
+    #[test]
+    fn iot_data_compresses_well_with_ts2diff() {
+        // The generators must produce TS2DIFF-friendly data or the whole
+        // evaluation premise breaks: expect ≥ 4× on the time column.
+        use etsqp_encoding::Encoding;
+        for spec in [Spec::Atmosphere, Spec::Climate, Spec::Gas, Spec::Timestamp, Spec::Sine] {
+            let d = spec.generate(4096);
+            let plain = d.timestamps.len() * 8;
+            let enc = Encoding::Ts2Diff.encode_i64(&d.timestamps);
+            assert!(
+                enc.len() * 4 <= plain,
+                "{}: time column only {} → {} bytes",
+                d.name,
+                plain,
+                enc.len()
+            );
+        }
+    }
+
+    #[test]
+    fn rain_has_long_runs() {
+        let d = climate(20_000);
+        let rain = &d.columns[3].1;
+        let runs = rain.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(runs * 10 < rain.len(), "rain should be run-heavy: {runs} changes");
+    }
+}

@@ -1,0 +1,189 @@
+//! Chimp float compression (Liakos et al., VLDB'22) — the `XOR / Pattern`
+//! row of Table I. Improves Gorilla's XOR scheme with a rounded 3-bit
+//! leading-zero alphabet and a dedicated short code for XORs with many
+//! trailing zeros.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::{Error, Result};
+
+/// Rounded leading-zero alphabet (Chimp paper).
+const LEADING_ROUND: [u32; 65] = {
+    let mut t = [0u32; 65];
+    let mut i = 0;
+    while i < 65 {
+        t[i] = match i {
+            0..=7 => 0,
+            8..=11 => 8,
+            12..=15 => 12,
+            16..=17 => 16,
+            18..=19 => 18,
+            20..=21 => 20,
+            22..=23 => 22,
+            _ => 24,
+        };
+        i += 1;
+    }
+    t
+};
+
+/// 3-bit code for each rounded leading count.
+fn leading_code(rounded: u32) -> u64 {
+    match rounded {
+        0 => 0,
+        8 => 1,
+        12 => 2,
+        16 => 3,
+        18 => 4,
+        20 => 5,
+        22 => 6,
+        _ => 7,
+    }
+}
+
+/// Inverse of [`leading_code`].
+fn leading_from_code(code: u64) -> u32 {
+    [0, 8, 12, 16, 18, 20, 22, 24][code as usize]
+}
+
+/// Encodes floats with Chimp.
+///
+/// Per value, a 2-bit flag selects: `00` identical; `01` many trailing
+/// zeros (3-bit leading code + 6-bit significant-count + center bits);
+/// `10` same leading as previous (64−leading bits); `11` new leading
+/// (3-bit code + 64−leading bits).
+pub fn encode(values: &[f64]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    w.write_bits(values.len() as u64, 32);
+    if values.is_empty() {
+        return w.finish();
+    }
+    let mut prev = values[0].to_bits();
+    w.write_bits(prev, 64);
+    let mut prev_lead = u32::MAX;
+    for &v in &values[1..] {
+        let bits = v.to_bits();
+        let xor = bits ^ prev;
+        prev = bits;
+        if xor == 0 {
+            w.write_bits(0b00, 2);
+            prev_lead = u32::MAX; // Chimp resets the stored leading on zero XOR
+            continue;
+        }
+        let trail = xor.trailing_zeros();
+        let lead = LEADING_ROUND[xor.leading_zeros() as usize];
+        if trail > 6 {
+            w.write_bits(0b01, 2);
+            let sig = 64 - lead - trail;
+            w.write_bits(leading_code(lead), 3);
+            w.write_bits(sig as u64, 6);
+            w.write_bits(xor >> trail, sig as u8);
+            prev_lead = u32::MAX;
+        } else if lead == prev_lead {
+            w.write_bits(0b10, 2);
+            w.write_bits(xor, (64 - lead) as u8);
+        } else {
+            w.write_bits(0b11, 2);
+            w.write_bits(leading_code(lead), 3);
+            w.write_bits(xor, (64 - lead) as u8);
+            prev_lead = lead;
+        }
+    }
+    w.finish()
+}
+
+/// Decodes a stream produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> Result<Vec<f64>> {
+    let mut r = BitReader::new(bytes);
+    let count = r.read_bits(32).ok_or(Error::Corrupt("chimp count"))? as usize;
+    if count > crate::MAX_PAGE_COUNT {
+        return Err(Error::Corrupt("chimp count exceeds page cap"));
+    }
+    let mut out = Vec::with_capacity(count);
+    if count == 0 {
+        return Ok(out);
+    }
+    let mut prev = r.read_bits(64).ok_or(Error::Corrupt("chimp first"))?;
+    out.push(f64::from_bits(prev));
+    let mut stored_lead = 0u32;
+    for _ in 1..count {
+        let flag = r.read_bits(2).ok_or(Error::Corrupt("chimp flag"))?;
+        let xor = match flag {
+            0b00 => 0,
+            0b01 => {
+                let lead = leading_from_code(r.read_bits(3).ok_or(Error::Corrupt("chimp lead"))?);
+                let sig = r.read_bits(6).ok_or(Error::Corrupt("chimp sig"))? as u32;
+                if lead + sig > 64 {
+                    return Err(Error::Corrupt("chimp lead+sig exceeds 64"));
+                }
+                let trail = 64 - lead - sig;
+                r.read_bits(sig as u8).ok_or(Error::Corrupt("chimp bits"))? << trail
+            }
+            0b10 => r
+                .read_bits((64 - stored_lead) as u8)
+                .ok_or(Error::Corrupt("chimp bits"))?,
+            _ => {
+                stored_lead = leading_from_code(r.read_bits(3).ok_or(Error::Corrupt("chimp lead"))?);
+                r.read_bits((64 - stored_lead) as u8)
+                    .ok_or(Error::Corrupt("chimp bits"))?
+            }
+        };
+        prev ^= xor;
+        out.push(f64::from_bits(prev));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bits_eq(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn roundtrip_sensor_like() {
+        let vals: Vec<f64> = (0..1000).map(|i| 101.3 + (i as f64 * 0.05).cos()).collect();
+        assert_bits_eq(&decode(&encode(&vals)).unwrap(), &vals);
+    }
+
+    #[test]
+    fn roundtrip_repeats() {
+        let vals = vec![7.25; 64];
+        let bytes = encode(&vals);
+        assert_bits_eq(&decode(&bytes).unwrap(), &vals);
+        // 64 repeated values: header + ~2 bits each.
+        assert!(bytes.len() < 35);
+    }
+
+    #[test]
+    fn roundtrip_specials() {
+        let vals = vec![0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::MAX, 1e-300, -1e300];
+        assert_bits_eq(&decode(&encode(&vals)).unwrap(), &vals);
+    }
+
+    #[test]
+    fn roundtrip_nan_payloads() {
+        let vals = vec![f64::NAN, f64::from_bits(0x7FF8_0000_0000_0001), 1.0];
+        let back = decode(&encode(&vals)).unwrap();
+        for (a, b) in back.iter().zip(&vals) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_single() {
+        assert!(decode(&encode(&[])).unwrap().is_empty());
+        assert_bits_eq(&decode(&encode(&[9.5])).unwrap(), &[9.5]);
+    }
+
+    #[test]
+    fn beats_plain_on_smooth_data() {
+        let vals: Vec<f64> = (0..4096).map(|i| 55.0 + (i % 16) as f64 * 0.25).collect();
+        let bytes = encode(&vals);
+        assert!(bytes.len() < vals.len() * 8, "chimp should compress");
+    }
+}

@@ -1,0 +1,256 @@
+//! Delta–Repeat encoding: run-length over first-order deltas — the input
+//! format of the paper's operator-fusion section (§IV), where aggregates
+//! are computed from `(Δ, run)` pairs without decoding single values.
+//!
+//! Page layout (big-endian):
+//!
+//! ```text
+//! u32 count
+//! i64 first
+//! u32 n_pairs
+//! i64 min_delta
+//! u8  delta_width
+//! u8  run_width
+//! u8[] payload            // n_pairs × (delta − min, run), byte-aligned
+//! ```
+//!
+//! Semantics: after `first`, each pair `(Δ, r)` contributes `r` values,
+//! each incrementing the running value by `Δ`, so
+//! `count = 1 + Σ r` (0 for the empty page).
+
+use crate::bitio::{bits_needed_u64, BitReader, BitWriter};
+use crate::{Error, Result};
+
+/// Parsed Delta-RLE page metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaRlePage<'a> {
+    /// Total decoded element count.
+    pub count: usize,
+    /// First raw value.
+    pub first: i64,
+    /// Number of `(Δ, run)` pairs.
+    pub n_pairs: usize,
+    /// Minimum delta (`base`).
+    pub min_delta: i64,
+    /// Packing width of deltas.
+    pub delta_width: u8,
+    /// Packing width of run lengths.
+    pub run_width: u8,
+    /// Packed payload.
+    pub payload: &'a [u8],
+}
+
+impl<'a> DeltaRlePage<'a> {
+    /// `D_M` bound of Propositions 4–5.
+    pub fn delta_upper_bound(&self) -> i64 {
+        if self.delta_width >= 64 {
+            return i64::MAX;
+        }
+        self.min_delta
+            .saturating_add(((1u128 << self.delta_width) - 1).min(i64::MAX as u128) as i64)
+    }
+
+    /// `D_m` bound of Propositions 4–5.
+    pub fn delta_lower_bound(&self) -> i64 {
+        self.min_delta
+    }
+
+    /// `R_M` bound of Proposition 4.
+    pub fn run_upper_bound(&self) -> u64 {
+        if self.run_width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.run_width) - 1
+        }
+    }
+
+    /// Iterates the `(Δ, run)` pairs.
+    pub fn pairs(&self) -> DeltaRleIter<'a> {
+        DeltaRleIter {
+            reader: BitReader::new(self.payload),
+            remaining: self.n_pairs,
+            min_delta: self.min_delta,
+            delta_width: self.delta_width,
+            run_width: self.run_width,
+        }
+    }
+}
+
+/// Iterator over `(Δ, run)` pairs of a Delta-RLE page.
+#[derive(Debug, Clone)]
+pub struct DeltaRleIter<'a> {
+    reader: BitReader<'a>,
+    remaining: usize,
+    min_delta: i64,
+    delta_width: u8,
+    run_width: u8,
+}
+
+impl Iterator for DeltaRleIter<'_> {
+    type Item = (i64, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let stored = self.reader.read_bits(self.delta_width)?;
+        let run = self.reader.read_bits(self.run_width)?;
+        Some((self.min_delta.wrapping_add(stored as i64), run))
+    }
+}
+
+/// Encodes `values` as a first value plus run-length-compressed deltas.
+pub fn encode(values: &[i64]) -> Vec<u8> {
+    let mut pairs: Vec<(i64, u64)> = Vec::new();
+    for w in values.windows(2) {
+        let d = w[1].wrapping_sub(w[0]);
+        match pairs.last_mut() {
+            Some((delta, run)) if *delta == d => *run += 1,
+            _ => pairs.push((d, 1)),
+        }
+    }
+    let min_delta = pairs.iter().map(|&(d, _)| d).min().unwrap_or(0);
+    let delta_width = pairs
+        .iter()
+        .map(|&(d, _)| bits_needed_u64(d.wrapping_sub(min_delta) as u64))
+        .max()
+        .unwrap_or(0);
+    let run_width = pairs.iter().map(|&(_, r)| bits_needed_u64(r)).max().unwrap_or(0);
+    let mut w = BitWriter::new();
+    w.write_bits(values.len() as u64, 32);
+    w.write_bits(values.first().copied().unwrap_or(0) as u64, 64);
+    w.write_bits(pairs.len() as u64, 32);
+    w.write_bits(min_delta as u64, 64);
+    w.write_bits(delta_width as u64, 8);
+    w.write_bits(run_width as u64, 8);
+    for &(d, r) in &pairs {
+        w.write_bits(d.wrapping_sub(min_delta) as u64, delta_width);
+        w.write_bits(r, run_width);
+    }
+    w.finish()
+}
+
+/// Parses the page header.
+pub fn parse(bytes: &[u8]) -> Result<DeltaRlePage<'_>> {
+    let mut r = BitReader::new(bytes);
+    let count = r.read_bits(32).ok_or(Error::Corrupt("delta_rle count"))? as usize;
+    let first = r.read_bits(64).ok_or(Error::Corrupt("delta_rle first"))? as i64;
+    let n_pairs = r.read_bits(32).ok_or(Error::Corrupt("delta_rle pairs"))? as usize;
+    if count > crate::MAX_PAGE_COUNT || n_pairs > count.max(1) {
+        return Err(Error::Corrupt("delta_rle counts exceed page cap"));
+    }
+    let min_delta = r.read_bits(64).ok_or(Error::Corrupt("delta_rle base"))? as i64;
+    let delta_width = r.read_bits(8).ok_or(Error::Corrupt("delta_rle dw"))? as u8;
+    let run_width = r.read_bits(8).ok_or(Error::Corrupt("delta_rle rw"))? as u8;
+    if delta_width > 64 || run_width > 64 {
+        return Err(Error::BadWidth(delta_width.max(run_width)));
+    }
+    let payload = &bytes[r.bit_pos() / 8..];
+    let need_bits = n_pairs * (delta_width as usize + run_width as usize);
+    if payload.len() * 8 < need_bits {
+        return Err(Error::Corrupt("delta_rle payload truncated"));
+    }
+    Ok(DeltaRlePage {
+        count,
+        first,
+        n_pairs,
+        min_delta,
+        delta_width,
+        run_width,
+        payload,
+    })
+}
+
+/// Serial reference decoder.
+pub fn decode(bytes: &[u8]) -> Result<Vec<i64>> {
+    let page = parse(bytes)?;
+    if page.count == 0 {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::with_capacity(page.count);
+    out.push(page.first);
+    let mut cur = page.first;
+    for (delta, run) in page.pairs() {
+        if run as usize > page.count - out.len() {
+            return Err(Error::Corrupt("delta_rle run overflows declared count"));
+        }
+        for _ in 0..run {
+            cur = cur.wrapping_add(delta);
+            out.push(cur);
+        }
+    }
+    if out.len() != page.count {
+        return Err(Error::BadCount {
+            declared: page.count as u64,
+            available: out.len() as u64,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_ramp_compresses_to_one_pair() {
+        let vals: Vec<i64> = (0..1000).map(|i| 100 + i * 5).collect();
+        let bytes = encode(&vals);
+        let page = parse(&bytes).unwrap();
+        assert_eq!(page.n_pairs, 1);
+        assert!(bytes.len() < 40);
+        assert_eq!(decode(&bytes).unwrap(), vals);
+    }
+
+    #[test]
+    fn roundtrip_mixed_slopes() {
+        let mut vals = Vec::new();
+        let mut v = 0i64;
+        for (slope, len) in [(3i64, 50usize), (-2, 30), (0, 100), (7, 1)] {
+            for _ in 0..len {
+                v += slope;
+                vals.push(v);
+            }
+        }
+        let bytes = encode(&vals);
+        let page = parse(&bytes).unwrap();
+        assert_eq!(page.n_pairs, 4);
+        assert_eq!(decode(&bytes).unwrap(), vals);
+    }
+
+    #[test]
+    fn empty_single_double() {
+        for vals in [vec![], vec![5], vec![5, 9]] {
+            assert_eq!(decode(&encode(&vals)).unwrap(), vals, "{vals:?}");
+        }
+    }
+
+    #[test]
+    fn bounds_from_widths() {
+        let vals = vec![0i64, 2, 4, 6, 13, 20]; // deltas 2,2,2,7,7 → pairs (2,3),(7,2)
+        let page_bytes = encode(&vals);
+        let page = parse(&page_bytes).unwrap();
+        assert_eq!(page.n_pairs, 2);
+        assert_eq!(page.delta_lower_bound(), 2);
+        // stored max = 5 → width 3 → D_M = 2 + 7 = 9.
+        assert_eq!(page.delta_upper_bound(), 9);
+        assert_eq!(page.run_upper_bound(), 3); // max run 3 → width 2
+    }
+
+    #[test]
+    fn pairs_iterator_matches_decode() {
+        let vals: Vec<i64> = vec![10, 13, 16, 19, 18, 17, 17, 17];
+        let bytes = encode(&vals);
+        let page = parse(&bytes).unwrap();
+        let mut rebuilt = vec![page.first];
+        let mut cur = page.first;
+        for (d, r) in page.pairs() {
+            for _ in 0..r {
+                cur += d;
+                rebuilt.push(cur);
+            }
+        }
+        assert_eq!(rebuilt, vals);
+    }
+}

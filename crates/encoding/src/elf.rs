@@ -1,0 +1,203 @@
+//! Elf float compression (Li et al., VLDB'23) — erasing-based lossless
+//! compression, the `XOR / Pattern (erase)` row of Table I.
+//!
+//! Elf zeroes low mantissa bits that are *recoverable from the value's
+//! decimal precision*, then XOR-compresses the erased doubles (which now
+//! have long trailing-zero runs). This implementation verifies every
+//! erasure at encode time — a value is only erased when rounding the
+//! erased double back to its decimal precision provably restores the
+//! original bits — so the codec is unconditionally lossless.
+//!
+//! Per value: a flag bit (`1` = erased, followed by 5 bits of decimal
+//! significant-digit count α) and then a Gorilla-style XOR code of the
+//! (possibly erased) double against the previous stored double.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::{Error, Result};
+
+/// Number of significant decimal digits in the shortest round-trip
+/// representation of `v` (1..=17 for finite doubles).
+fn sig_digits(v: f64) -> u32 {
+    let s = format!("{v:e}");
+    // Format is like "2.047e1" or "5e-3" — count mantissa digits.
+    let mantissa = s.split('e').next().unwrap_or("");
+    let digits = mantissa.chars().filter(|c| c.is_ascii_digit()).count() as u32;
+    digits.clamp(1, 17)
+}
+
+/// Rounds `x` to `alpha` significant decimal digits and reparses.
+fn round_sig(x: f64, alpha: u32) -> f64 {
+    format!("{x:.*e}", (alpha - 1) as usize).parse().unwrap_or(x)
+}
+
+/// Finds the largest erasure (in bits) of `v`'s mantissa that is provably
+/// recoverable from `alpha` significant digits; returns the erased bits
+/// pattern, or `None` when no bits can be erased.
+fn erase(v: f64, alpha: u32) -> Option<u64> {
+    if !v.is_finite() || v == 0.0 {
+        return None;
+    }
+    let bits = v.to_bits();
+    let mut best: Option<u64> = None;
+    // Binary-search-free sweep: erasable bit counts are small (≤ 52).
+    for t in (1..=52u32).rev() {
+        let cand = bits & !((1u64 << t) - 1);
+        if cand == bits {
+            continue; // nothing actually erased
+        }
+        if round_sig(f64::from_bits(cand), alpha).to_bits() == bits {
+            best = Some(cand);
+            break;
+        }
+    }
+    best
+}
+
+/// Encodes floats with verified Elf erasure + XOR.
+pub fn encode(values: &[f64]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    w.write_bits(values.len() as u64, 32);
+    if values.is_empty() {
+        return w.finish();
+    }
+    let mut prev_stored = 0u64;
+    for (i, &v) in values.iter().enumerate() {
+        let alpha = if v.is_finite() { sig_digits(v) } else { 17 };
+        let (stored, erased) = match erase(v, alpha) {
+            Some(e) => (e, true),
+            None => (v.to_bits(), false),
+        };
+        if erased {
+            w.write_bit(true);
+            w.write_bits(alpha as u64, 5);
+        } else {
+            w.write_bit(false);
+        }
+        if i == 0 {
+            w.write_bits(stored, 64);
+        } else {
+            write_xor(&mut w, prev_stored ^ stored);
+        }
+        prev_stored = stored;
+    }
+    w.finish()
+}
+
+/// Decodes a stream produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> Result<Vec<f64>> {
+    let mut r = BitReader::new(bytes);
+    let count = r.read_bits(32).ok_or(Error::Corrupt("elf count"))? as usize;
+    if count > crate::MAX_PAGE_COUNT {
+        return Err(Error::Corrupt("elf count exceeds page cap"));
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut prev_stored = 0u64;
+    for i in 0..count {
+        let erased = r.read_bit().ok_or(Error::Corrupt("elf flag"))?;
+        let alpha = if erased {
+            r.read_bits(5).ok_or(Error::Corrupt("elf alpha"))? as u32
+        } else {
+            0
+        };
+        let stored = if i == 0 {
+            r.read_bits(64).ok_or(Error::Corrupt("elf first"))?
+        } else {
+            prev_stored ^ read_xor(&mut r).ok_or(Error::Corrupt("elf xor"))?
+        };
+        prev_stored = stored;
+        let v = f64::from_bits(stored);
+        out.push(if erased { round_sig(v, alpha.max(1)) } else { v });
+    }
+    Ok(out)
+}
+
+/// Writes a 64-bit XOR with a compact prefix code: `0` for zero, else
+/// `1` + 6-bit leading-zero count + 6-bit (significant−1) + center bits.
+fn write_xor(w: &mut BitWriter, xor: u64) {
+    if xor == 0 {
+        w.write_bit(false);
+        return;
+    }
+    w.write_bit(true);
+    let lead = xor.leading_zeros();
+    let trail = xor.trailing_zeros();
+    let sig = 64 - lead - trail;
+    w.write_bits(lead as u64, 6);
+    w.write_bits((sig - 1) as u64, 6);
+    w.write_bits(xor >> trail, sig as u8);
+}
+
+/// Reads a code written by [`write_xor`].
+fn read_xor(r: &mut BitReader<'_>) -> Option<u64> {
+    if !r.read_bit()? {
+        return Some(0);
+    }
+    let lead = r.read_bits(6)? as u32;
+    let sig = r.read_bits(6)? as u32 + 1;
+    if lead + sig > 64 {
+        return None;
+    }
+    let trail = 64 - lead - sig;
+    Some(r.read_bits(sig as u8)? << trail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bits_eq(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_low_precision_decimals() {
+        // Two-decimal sensor readings: Elf's sweet spot.
+        let vals: Vec<f64> = (0..500).map(|i| (2000 + i * 3) as f64 / 100.0).collect();
+        let bytes = encode(&vals);
+        assert_bits_eq(&decode(&bytes).unwrap(), &vals);
+    }
+
+    #[test]
+    fn elf_beats_gorilla_on_low_precision() {
+        let vals: Vec<f64> = (0..2000)
+            .map(|i| ((20.0 + (i as f64 * 0.1).sin() * 5.0) * 100.0).round() / 100.0)
+            .collect();
+        let elf = encode(&vals);
+        let gor = crate::gorilla::encode_f64(&vals);
+        assert_bits_eq(&decode(&elf).unwrap(), &vals);
+        assert!(
+            elf.len() < gor.len(),
+            "elf {} should beat gorilla {} on 2-decimal data",
+            elf.len(),
+            gor.len()
+        );
+    }
+
+    #[test]
+    fn roundtrip_full_precision() {
+        let vals: Vec<f64> = (0..200).map(|i| (i as f64).sqrt() * std::f64::consts::PI).collect();
+        assert_bits_eq(&decode(&encode(&vals)).unwrap(), &vals);
+    }
+
+    #[test]
+    fn roundtrip_specials() {
+        let vals = vec![0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, 1e-308, -1e308];
+        assert_bits_eq(&decode(&encode(&vals)).unwrap(), &vals);
+    }
+
+    #[test]
+    fn empty_single() {
+        assert!(decode(&encode(&[])).unwrap().is_empty());
+        assert_bits_eq(&decode(&encode(&[0.07])).unwrap(), &[0.07]);
+    }
+
+    #[test]
+    fn sig_digit_detection() {
+        assert_eq!(sig_digits(20.47), 4);
+        assert_eq!(sig_digits(0.5), 1);
+        assert_eq!(sig_digits(100.0), 1);
+    }
+}

@@ -1,0 +1,295 @@
+//! Fibonacci (Zeckendorf) variable-width coding — the Packing stage of the
+//! RLBE encoder (Table I) and the paper's variable-width unpacking example
+//! (Figure 7): every codeword ends with the bit pair `11`, which is how
+//! the vectorized separator scan `(V >> 1) & V` finds element boundaries.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::{Error, Result};
+
+/// Fibonacci numbers F(2)=1, F(3)=2, … up to the largest below 2^63.
+fn fib_table() -> &'static [u64] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Vec<u64>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut v = vec![1u64, 2];
+        loop {
+            let n = v[v.len() - 1].saturating_add(v[v.len() - 2]);
+            if n < *v.last().unwrap() || n > (1u64 << 63) {
+                break;
+            }
+            v.push(n);
+        }
+        v
+    })
+}
+
+/// Appends the Fibonacci code of `v` (must be ≥ 1) to the writer.
+///
+/// The Zeckendorf representation is emitted lowest Fibonacci term first,
+/// followed by a terminating `1` bit, so every codeword ends in `11`.
+///
+/// # Panics
+/// If `v == 0` (encode `v + 1` to cover zero).
+pub fn write_fib(w: &mut BitWriter, v: u64) {
+    assert!(v >= 1, "Fibonacci coding requires v >= 1");
+    let table = fib_table();
+    // Find the Zeckendorf decomposition (greedy from the largest term).
+    let mut bits = Vec::with_capacity(32);
+    let mut rest = v;
+    let mut hi = match table.binary_search(&v) {
+        Ok(i) => i,
+        Err(i) => i.saturating_sub(1),
+    };
+    bits.resize(hi + 1, false);
+    loop {
+        bits[hi] = true;
+        rest -= table[hi];
+        if rest == 0 {
+            break;
+        }
+        hi = match table[..hi].binary_search(&rest) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+    }
+    for b in &bits {
+        w.write_bit(*b);
+    }
+    w.write_bit(true); // terminator: forms the `11` pair with the top term
+}
+
+/// Reads one Fibonacci codeword; `None` on stream end / missing terminator.
+pub fn read_fib(r: &mut BitReader<'_>) -> Option<u64> {
+    let table = fib_table();
+    let mut v = 0u64;
+    let mut prev = false;
+    let mut idx = 0usize;
+    loop {
+        let bit = r.read_bit()?;
+        if bit && prev {
+            return Some(v);
+        }
+        if bit {
+            v = v.checked_add(*table.get(idx)?)?;
+        }
+        prev = bit;
+        idx += 1;
+    }
+}
+
+/// Encodes a slice of u64 (≥ 1 each) as concatenated Fibonacci codes.
+pub fn encode_all(values: &[u64]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    w.write_bits(values.len() as u64, 32);
+    for &v in values {
+        write_fib(&mut w, v);
+    }
+    w.finish()
+}
+
+/// Decodes a stream produced by [`encode_all`].
+pub fn decode_all(bytes: &[u8]) -> Result<Vec<u64>> {
+    let mut r = BitReader::new(bytes);
+    let count = r.read_bits(32).ok_or(Error::Corrupt("fib count"))? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(read_fib(&mut r).ok_or(Error::Corrupt("fib codeword"))?);
+    }
+    Ok(out)
+}
+
+/// Scans a bit window for `11` separator positions the way the vectorized
+/// decoder of Figure 7 does: returns `(word >> 1) & word`, whose set bits
+/// mark codeword terminators (when scanning MSB-first halves).
+#[inline]
+pub fn separator_scan(word: u64) -> u64 {
+    (word >> 1) & word
+}
+
+/// Word-at-a-time Fibonacci decoder — the paper's variable-width
+/// unpacking technique (Figure 7): load 64 stream bits, find the
+/// terminating `11` pair with one `(V << 1) & V` separator scan, and
+/// extract the whole codeword's terms with bit arithmetic instead of
+/// walking bits one by one.
+#[derive(Debug, Clone)]
+pub struct FibReader<'a> {
+    src: &'a [u8],
+    /// Current bit position in the stream.
+    pub pos: usize,
+}
+
+impl<'a> FibReader<'a> {
+    /// Creates a reader at `bit_pos`.
+    pub fn at(src: &'a [u8], bit_pos: usize) -> Self {
+        FibReader { src, pos: bit_pos }
+    }
+
+    /// Loads up to 64 stream bits starting at `p` (MSB-first), zero-padded
+    /// past the end; returns `(window, valid_bits)`.
+    fn window(&self, p: usize) -> (u64, usize) {
+        let total = self.src.len() * 8;
+        if p >= total {
+            return (0, 0);
+        }
+        let avail = (total - p).min(64);
+        let w = etsqp_simd::scalar::read_bits_be(self.src, p, avail);
+        (w << (64 - avail), avail)
+    }
+
+    /// Decodes the next codeword; `None` on stream end or malformed code.
+    #[allow(clippy::should_implement_trait)] // fallible cursor, not an Iterator
+    pub fn next(&mut self) -> Option<u64> {
+        let table = fib_table();
+        let (w, valid) = self.window(self.pos);
+        if valid < 2 {
+            return None;
+        }
+        // Separator scan: bit (63−k) of (w & w<<1) ⇔ stream bits k, k+1
+        // are both set. The first pair at or after the codeword start is
+        // its terminator (Zeckendorf bodies have no adjacent ones).
+        let pairs = w & (w << 1);
+        let lead = pairs.leading_zeros() as usize;
+        if pairs != 0 && lead + 1 < valid {
+            let term = lead; // stream offset of the terminator's first bit
+            // Codeword body: stream bits 0..=term (the top term is at
+            // `term` itself), terminator bit at term+1.
+            let len = term + 1;
+            let body = if len == 64 { w } else { w >> (64 - len) };
+            // body bit j (LSB-indexed) ⇔ stream bit (len−1−j) ⇔ Fibonacci
+            // term index (len−1−j).
+            let mut v: u64 = 0;
+            let mut bits = body;
+            while bits != 0 {
+                let j = bits.trailing_zeros() as usize;
+                v = v.checked_add(*table.get(len - 1 - j)?)?;
+                bits &= bits - 1;
+            }
+            self.pos += len + 1;
+            Some(v)
+        } else {
+            // No terminator inside the window: a >62-bit codeword (rare:
+            // values beyond F(64)) — fall back to the bit-serial reader.
+            let mut r = BitReader::at(self.src, self.pos);
+            let v = read_fib(&mut r)?;
+            self.pos = r.bit_pos();
+            Some(v)
+        }
+    }
+}
+
+/// Fast counterpart of [`decode_all`] using the Figure 7 separator scan.
+pub fn decode_all_fast(bytes: &[u8]) -> Result<Vec<u64>> {
+    let mut r = BitReader::new(bytes);
+    let count = r.read_bits(32).ok_or(Error::Corrupt("fib count"))? as usize;
+    if count > crate::MAX_PAGE_COUNT {
+        return Err(Error::Corrupt("fib count exceeds page cap"));
+    }
+    let mut reader = FibReader::at(bytes, 32);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(reader.next().ok_or(Error::Corrupt("fib codeword"))?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_codewords() {
+        // 1 → "11", 2 → "011", 3 → "0011", 4 → "1011".
+        let mut w = BitWriter::new();
+        write_fib(&mut w, 1);
+        let bytes = w.finish();
+        assert_eq!(bytes[0] >> 6, 0b11);
+        let mut w = BitWriter::new();
+        write_fib(&mut w, 4);
+        let bytes = w.finish();
+        assert_eq!(bytes[0] >> 4, 0b1011);
+    }
+
+    #[test]
+    fn roundtrip_range() {
+        let vals: Vec<u64> = (1..=500).collect();
+        assert_eq!(decode_all(&encode_all(&vals)).unwrap(), vals);
+    }
+
+    #[test]
+    fn roundtrip_large_values() {
+        let vals = vec![1, u32::MAX as u64, 1 << 40, (1 << 62) + 12345, 2, 3];
+        assert_eq!(decode_all(&encode_all(&vals)).unwrap(), vals);
+    }
+
+    #[test]
+    fn separator_scan_finds_terminators() {
+        // Bits "11" adjacent anywhere → nonzero scan.
+        assert_ne!(separator_scan(0b11), 0);
+        assert_eq!(separator_scan(0b101010), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_is_rejected() {
+        let mut w = BitWriter::new();
+        write_fib(&mut w, 0);
+    }
+
+    #[test]
+    fn truncated_stream_is_error() {
+        let bytes = encode_all(&[100, 200, 300]);
+        assert!(decode_all(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn fast_decoder_matches_serial_on_ranges() {
+        let vals: Vec<u64> = (1..=2000).collect();
+        let bytes = encode_all(&vals);
+        assert_eq!(decode_all_fast(&bytes).unwrap(), decode_all(&bytes).unwrap());
+    }
+
+    #[test]
+    fn fast_decoder_handles_large_values_and_mixes() {
+        let vals = vec![
+            1,
+            2,
+            3,
+            u32::MAX as u64,
+            1 << 40,
+            (1 << 62) + 12345,
+            7,
+            (1 << 61) | 12345,
+            1,
+        ];
+        let bytes = encode_all(&vals);
+        assert_eq!(decode_all_fast(&bytes).unwrap(), vals);
+    }
+
+    #[test]
+    fn fast_decoder_consecutive_ones_codewords() {
+        // Value 1 encodes as "11": back-to-back terminators are the
+        // adversarial case for the separator scan (spurious pairs).
+        let vals = vec![1u64; 500];
+        let bytes = encode_all(&vals);
+        assert_eq!(decode_all_fast(&bytes).unwrap(), vals);
+    }
+
+    #[test]
+    fn fast_decoder_rejects_truncation() {
+        let bytes = encode_all(&[100, 200, 300]);
+        assert!(decode_all_fast(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn fib_reader_positions_advance_correctly() {
+        let vals = vec![5u64, 1, 1 << 30, 2];
+        let bytes = encode_all(&vals);
+        let mut fast = FibReader::at(&bytes, 32);
+        let mut slow = BitReader::at(&bytes, 32);
+        for &want in &vals {
+            assert_eq!(fast.next(), Some(want));
+            assert_eq!(read_fib(&mut slow), Some(want));
+            assert_eq!(fast.pos, slow.bit_pos(), "positions diverge");
+        }
+    }
+}

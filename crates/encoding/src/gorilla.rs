@@ -1,0 +1,239 @@
+//! Gorilla encoding (Pelkonen et al., VLDB'15): delta-of-delta with
+//! variable-length prefix buckets for integers/timestamps, and
+//! leading/trailing-zero XOR compression for floats — the `±, XOR / Flag /
+//! Pattern` row of Table I. The single `0` bit for a zero delta-of-delta
+//! is the "Flag" repeat encoder.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::{Error, Result};
+
+// ---------------------------------------------------------------------------
+// Integer (timestamp) side: delta-of-delta with prefix buckets.
+// ---------------------------------------------------------------------------
+
+/// Encodes integers with Gorilla delta-of-delta prefix codes.
+///
+/// Layout: `u32 count`, `i64 first`, `i64 second_delta_base`(first delta,
+/// varint-free raw 64), then per value a bucket-coded delta-of-delta:
+/// `0` → 0; `10` + 7 bits → [−63, 64]; `110` + 9 bits → [−255, 256];
+/// `1110` + 12 bits → [−2047, 2048]; `1111` + 64 bits otherwise.
+pub fn encode_i64(values: &[i64]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    w.write_bits(values.len() as u64, 32);
+    if values.is_empty() {
+        return w.finish();
+    }
+    w.write_bits(values[0] as u64, 64);
+    if values.len() == 1 {
+        return w.finish();
+    }
+    let first_delta = values[1].wrapping_sub(values[0]);
+    w.write_bits(first_delta as u64, 64);
+    let mut prev_delta = first_delta;
+    for pair in values[1..].windows(2) {
+        let delta = pair[1].wrapping_sub(pair[0]);
+        let dod = delta.wrapping_sub(prev_delta);
+        prev_delta = delta;
+        if dod == 0 {
+            w.write_bit(false);
+        } else if (-63..=64).contains(&dod) {
+            w.write_bits(0b10, 2);
+            w.write_bits((dod + 63) as u64, 7);
+        } else if (-255..=256).contains(&dod) {
+            w.write_bits(0b110, 3);
+            w.write_bits((dod + 255) as u64, 9);
+        } else if (-2047..=2048).contains(&dod) {
+            w.write_bits(0b1110, 4);
+            w.write_bits((dod + 2047) as u64, 12);
+        } else {
+            w.write_bits(0b1111, 4);
+            w.write_bits(dod as u64, 64);
+        }
+    }
+    w.finish()
+}
+
+/// Decodes a stream produced by [`encode_i64`].
+pub fn decode_i64(bytes: &[u8]) -> Result<Vec<i64>> {
+    let mut r = BitReader::new(bytes);
+    let count = r.read_bits(32).ok_or(Error::Corrupt("gorilla count"))? as usize;
+    if count > crate::MAX_PAGE_COUNT {
+        return Err(Error::Corrupt("gorilla count exceeds page cap"));
+    }
+    let mut out = Vec::with_capacity(count);
+    if count == 0 {
+        return Ok(out);
+    }
+    let first = r.read_bits(64).ok_or(Error::Corrupt("gorilla first"))? as i64;
+    out.push(first);
+    if count == 1 {
+        return Ok(out);
+    }
+    let mut delta = r.read_bits(64).ok_or(Error::Corrupt("gorilla delta0"))? as i64;
+    let mut cur = first.wrapping_add(delta);
+    out.push(cur);
+    for _ in 2..count {
+        let dod = if !r.read_bit().ok_or(Error::Corrupt("gorilla dod"))? {
+            0
+        } else if !r.read_bit().ok_or(Error::Corrupt("gorilla dod"))? {
+            r.read_bits(7).ok_or(Error::Corrupt("gorilla dod7"))? as i64 - 63
+        } else if !r.read_bit().ok_or(Error::Corrupt("gorilla dod"))? {
+            r.read_bits(9).ok_or(Error::Corrupt("gorilla dod9"))? as i64 - 255
+        } else if !r.read_bit().ok_or(Error::Corrupt("gorilla dod"))? {
+            r.read_bits(12).ok_or(Error::Corrupt("gorilla dod12"))? as i64 - 2047
+        } else {
+            r.read_bits(64).ok_or(Error::Corrupt("gorilla dod64"))? as i64
+        };
+        delta = delta.wrapping_add(dod);
+        cur = cur.wrapping_add(delta);
+        out.push(cur);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Float (value) side: XOR with leading/trailing-zero windows.
+// ---------------------------------------------------------------------------
+
+/// Encodes floats with Gorilla XOR compression.
+///
+/// Per value: `0` → identical to previous; `10` → XOR fits the previous
+/// leading/trailing window (write meaningful bits); `11` → new window
+/// (5 bits leading count, 6 bits meaningful length, then the bits).
+pub fn encode_f64(values: &[f64]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    w.write_bits(values.len() as u64, 32);
+    if values.is_empty() {
+        return w.finish();
+    }
+    let mut prev = values[0].to_bits();
+    w.write_bits(prev, 64);
+    let mut prev_lead = 65u32; // forces a new window on first non-zero XOR
+    let mut prev_trail = 0u32;
+    for &v in &values[1..] {
+        let bits = v.to_bits();
+        let xor = bits ^ prev;
+        prev = bits;
+        if xor == 0 {
+            w.write_bit(false);
+            continue;
+        }
+        w.write_bit(true);
+        let lead = xor.leading_zeros().min(31);
+        let trail = xor.trailing_zeros();
+        if prev_lead <= lead && prev_trail <= trail {
+            // Fits the previous window.
+            w.write_bit(false);
+            let meaningful = 64 - prev_lead - prev_trail;
+            w.write_bits(xor >> prev_trail, meaningful as u8);
+        } else {
+            w.write_bit(true);
+            let meaningful = 64 - lead - trail;
+            w.write_bits(lead as u64, 5);
+            // Store meaningful-1 in 6 bits (meaningful ∈ 1..=64).
+            w.write_bits((meaningful - 1) as u64, 6);
+            w.write_bits(xor >> trail, meaningful as u8);
+            prev_lead = lead;
+            prev_trail = trail;
+        }
+    }
+    w.finish()
+}
+
+/// Decodes a stream produced by [`encode_f64`].
+pub fn decode_f64(bytes: &[u8]) -> Result<Vec<f64>> {
+    let mut r = BitReader::new(bytes);
+    let count = r.read_bits(32).ok_or(Error::Corrupt("gorilla f count"))? as usize;
+    if count > crate::MAX_PAGE_COUNT {
+        return Err(Error::Corrupt("gorilla count exceeds page cap"));
+    }
+    let mut out = Vec::with_capacity(count);
+    if count == 0 {
+        return Ok(out);
+    }
+    let mut prev = r.read_bits(64).ok_or(Error::Corrupt("gorilla f first"))?;
+    out.push(f64::from_bits(prev));
+    let mut lead = 0u32;
+    let mut trail = 0u32;
+    for _ in 1..count {
+        if !r.read_bit().ok_or(Error::Corrupt("gorilla f flag"))? {
+            out.push(f64::from_bits(prev));
+            continue;
+        }
+        if r.read_bit().ok_or(Error::Corrupt("gorilla f flag2"))? {
+            lead = r.read_bits(5).ok_or(Error::Corrupt("gorilla f lead"))? as u32;
+            let meaningful = r.read_bits(6).ok_or(Error::Corrupt("gorilla f len"))? as u32 + 1;
+            trail = 64 - lead - meaningful;
+        }
+        let meaningful = 64 - lead - trail;
+        let xor = r.read_bits(meaningful as u8).ok_or(Error::Corrupt("gorilla f bits"))? << trail;
+        prev ^= xor;
+        out.push(f64::from_bits(prev));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_roundtrip_regular_timestamps() {
+        let ts: Vec<i64> = (0..2000).map(|i| 1_600_000_000_000 + i * 500).collect();
+        let bytes = encode_i64(&ts);
+        assert_eq!(decode_i64(&bytes).unwrap(), ts);
+        // Regular cadence → ~1 bit per point after the header.
+        assert!(bytes.len() < 20 + ts.len() / 4);
+    }
+
+    #[test]
+    fn int_roundtrip_jittery() {
+        let ts: Vec<i64> = (0..500)
+            .scan(0i64, |acc, i| {
+                *acc += 1000 + (i % 37) - 18;
+                Some(*acc)
+            })
+            .collect();
+        assert_eq!(decode_i64(&encode_i64(&ts)).unwrap(), ts);
+    }
+
+    #[test]
+    fn int_roundtrip_extremes() {
+        let vals = vec![i64::MIN, i64::MAX, 0, -5, 5, i64::MAX];
+        assert_eq!(decode_i64(&encode_i64(&vals)).unwrap(), vals);
+    }
+
+    #[test]
+    fn int_edge_counts() {
+        for vals in [vec![], vec![7], vec![7, 9]] {
+            assert_eq!(decode_i64(&encode_i64(&vals)).unwrap(), vals);
+        }
+    }
+
+    #[test]
+    fn float_roundtrip_sensor_like() {
+        let vals: Vec<f64> = (0..800).map(|i| 20.0 + (i as f64 * 0.01).sin() * 2.0).collect();
+        let bytes = encode_f64(&vals);
+        let back = decode_f64(&bytes).unwrap();
+        assert_eq!(back.len(), vals.len());
+        for (a, b) in back.iter().zip(&vals) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn float_roundtrip_repeats_and_specials() {
+        let vals = vec![1.5, 1.5, 1.5, -0.0, 0.0, f64::MAX, f64::MIN_POSITIVE, 3.14159, 3.14159];
+        let back = decode_f64(&encode_f64(&vals)).unwrap();
+        for (a, b) in back.iter().zip(&vals) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn float_empty_single() {
+        assert!(decode_f64(&encode_f64(&[])).unwrap().is_empty());
+        let one = decode_f64(&encode_f64(&[2.25])).unwrap();
+        assert_eq!(one, vec![2.25]);
+    }
+}

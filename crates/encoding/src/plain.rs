@@ -1,0 +1,58 @@
+//! Plain (uncompressed) encoding: raw 64-bit big-endian values behind a
+//! count header. The no-compression baseline for ratio comparisons.
+
+use crate::{Error, Result};
+
+/// Encodes values as `u32 count` followed by raw big-endian `i64`s.
+pub fn encode(values: &[i64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + values.len() * 8);
+    out.extend_from_slice(&(values.len() as u32).to_be_bytes());
+    for &v in values {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+    out
+}
+
+/// Decodes a [`encode`]-produced stream.
+pub fn decode(bytes: &[u8]) -> Result<Vec<i64>> {
+    if bytes.len() < 4 {
+        return Err(Error::Corrupt("plain header truncated"));
+    }
+    let count = u32::from_be_bytes(bytes[..4].try_into().unwrap()) as usize;
+    let need = 4 + count * 8;
+    if bytes.len() < need {
+        return Err(Error::BadCount {
+            declared: count as u64,
+            available: ((bytes.len() - 4) / 8) as u64,
+        });
+    }
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let off = 4 + i * 8;
+        out.push(i64::from_be_bytes(bytes[off..off + 8].try_into().unwrap()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let vals = vec![0, -1, i64::MAX, i64::MIN, 123456789];
+        assert_eq!(decode(&encode(&vals)).unwrap(), vals);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        assert_eq!(decode(&encode(&[])).unwrap(), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn truncated_is_error() {
+        let bytes = encode(&[1, 2, 3]);
+        assert!(decode(&bytes[..10]).is_err());
+        assert!(decode(&[0]).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Run-length encoding over raw values (the "Repeat" encoder of Table I),
+//! with min-base subtraction and bit-packed runs and values.
+//!
+//! Page layout (big-endian):
+//!
+//! ```text
+//! u32 count
+//! u32 n_runs
+//! i64 min_value
+//! u8  value_width
+//! u8  run_width
+//! u8[] payload            // n_runs × (run, value − min), byte-aligned
+//! ```
+
+use crate::bitio::{bits_needed_u64, BitReader, BitWriter};
+use crate::{Error, Result};
+
+/// Parsed RLE page metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RlePage<'a> {
+    /// Total decoded element count.
+    pub count: usize,
+    /// Number of (run, value) pairs.
+    pub n_runs: usize,
+    /// Minimum value (subtracted before packing).
+    pub min_value: i64,
+    /// Packing width of values.
+    pub value_width: u8,
+    /// Packing width of run lengths.
+    pub run_width: u8,
+    /// Packed payload.
+    pub payload: &'a [u8],
+}
+
+impl<'a> RlePage<'a> {
+    /// Upper bound on any run length, from the packing width — the `R_M`
+    /// statistic of Proposition 4.
+    pub fn run_upper_bound(&self) -> u64 {
+        if self.run_width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.run_width) - 1
+        }
+    }
+
+    /// Iterates `(run, value)` pairs.
+    pub fn runs(&self) -> RleIter<'a> {
+        RleIter {
+            reader: BitReader::new(self.payload),
+            remaining: self.n_runs,
+            min_value: self.min_value,
+            value_width: self.value_width,
+            run_width: self.run_width,
+        }
+    }
+}
+
+/// Iterator over the `(run, value)` pairs of an RLE page.
+#[derive(Debug, Clone)]
+pub struct RleIter<'a> {
+    reader: BitReader<'a>,
+    remaining: usize,
+    min_value: i64,
+    value_width: u8,
+    run_width: u8,
+}
+
+impl Iterator for RleIter<'_> {
+    type Item = (u64, i64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let run = self.reader.read_bits(self.run_width)?;
+        let stored = self.reader.read_bits(self.value_width)?;
+        Some((run, self.min_value.wrapping_add(stored as i64)))
+    }
+}
+
+/// Encodes `values` as run-length pairs.
+pub fn encode(values: &[i64]) -> Vec<u8> {
+    let mut runs: Vec<(u64, i64)> = Vec::new();
+    for &v in values {
+        match runs.last_mut() {
+            Some((run, last)) if *last == v => *run += 1,
+            _ => runs.push((1, v)),
+        }
+    }
+    let min_value = runs.iter().map(|&(_, v)| v).min().unwrap_or(0);
+    let value_width = runs
+        .iter()
+        .map(|&(_, v)| bits_needed_u64(v.wrapping_sub(min_value) as u64))
+        .max()
+        .unwrap_or(0);
+    let run_width = runs.iter().map(|&(r, _)| bits_needed_u64(r)).max().unwrap_or(0);
+    let mut w = BitWriter::new();
+    w.write_bits(values.len() as u64, 32);
+    w.write_bits(runs.len() as u64, 32);
+    w.write_bits(min_value as u64, 64);
+    w.write_bits(value_width as u64, 8);
+    w.write_bits(run_width as u64, 8);
+    for &(run, v) in &runs {
+        w.write_bits(run, run_width);
+        w.write_bits(v.wrapping_sub(min_value) as u64, value_width);
+    }
+    w.finish()
+}
+
+/// Parses the page header.
+pub fn parse(bytes: &[u8]) -> Result<RlePage<'_>> {
+    let mut r = BitReader::new(bytes);
+    let count = r.read_bits(32).ok_or(Error::Corrupt("rle count"))? as usize;
+    let n_runs = r.read_bits(32).ok_or(Error::Corrupt("rle n_runs"))? as usize;
+    if count > crate::MAX_PAGE_COUNT || n_runs > count.max(1) {
+        return Err(Error::Corrupt("rle counts exceed page cap"));
+    }
+    let min_value = r.read_bits(64).ok_or(Error::Corrupt("rle min"))? as i64;
+    let value_width = r.read_bits(8).ok_or(Error::Corrupt("rle vw"))? as u8;
+    let run_width = r.read_bits(8).ok_or(Error::Corrupt("rle rw"))? as u8;
+    if value_width > 64 || run_width > 64 {
+        return Err(Error::BadWidth(value_width.max(run_width)));
+    }
+    let payload = &bytes[r.bit_pos() / 8..];
+    let need_bits = n_runs * (value_width as usize + run_width as usize);
+    if payload.len() * 8 < need_bits {
+        return Err(Error::Corrupt("rle payload truncated"));
+    }
+    Ok(RlePage {
+        count,
+        n_runs,
+        min_value,
+        value_width,
+        run_width,
+        payload,
+    })
+}
+
+/// Serial reference decoder.
+pub fn decode(bytes: &[u8]) -> Result<Vec<i64>> {
+    let page = parse(bytes)?;
+    let mut out = Vec::with_capacity(page.count);
+    for (run, v) in page.runs() {
+        if run as usize > page.count - out.len() {
+            return Err(Error::Corrupt("rle run overflows declared count"));
+        }
+        for _ in 0..run {
+            out.push(v);
+        }
+    }
+    if out.len() != page.count {
+        return Err(Error::BadCount {
+            declared: page.count as u64,
+            available: out.len() as u64,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_long_runs() {
+        let mut vals = vec![5i64; 100];
+        vals.extend(vec![7i64; 50]);
+        vals.extend(vec![-3i64; 200]);
+        let bytes = encode(&vals);
+        assert_eq!(decode(&bytes).unwrap(), vals);
+        let page = parse(&bytes).unwrap();
+        assert_eq!(page.n_runs, 3);
+        assert!(bytes.len() < 40);
+    }
+
+    #[test]
+    fn roundtrip_no_repeats() {
+        let vals: Vec<i64> = (0..100).collect();
+        assert_eq!(decode(&encode(&vals)).unwrap(), vals);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(decode(&encode(&[])).unwrap(), Vec::<i64>::new());
+        assert_eq!(decode(&encode(&[9])).unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn run_upper_bound_from_width() {
+        let vals = vec![1i64; 200]; // single run of 200 → width 8 → bound 255
+        let page_bytes = encode(&vals);
+        let page = parse(&page_bytes).unwrap();
+        assert_eq!(page.run_upper_bound(), 255);
+        assert!(page.run_upper_bound() >= 200);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let vals = vec![1i64, 1, 2, 2, 3, 3];
+        let bytes = encode(&vals);
+        assert!(parse(&bytes[..10]).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Sprintz-style encoding: first-order delta → ZigZag → bit-packing
+//! (paper Table I, Sprintz row).
+//!
+//! Page layout (big-endian):
+//!
+//! ```text
+//! u32 count
+//! i64 first
+//! u8  width
+//! u8[] payload            // (count − 1) packed ZigZag deltas
+//! ```
+
+use crate::bitio::{bits_needed_u64, BitReader, BitWriter};
+use crate::zigzag::{decode_zigzag, encode_zigzag};
+use crate::{Error, Result};
+
+/// Parsed Sprintz page metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SprintzPage<'a> {
+    /// Total decoded element count.
+    pub count: usize,
+    /// First raw value.
+    pub first: i64,
+    /// ZigZag-delta packing width.
+    pub width: u8,
+    /// Packed payload.
+    pub payload: &'a [u8],
+}
+
+impl SprintzPage<'_> {
+    /// Magnitude bound on any delta derived from the ZigZag width:
+    /// `|Δ| ≤ 2^(width−1)` (ZigZag of width ω covers [−2^(ω−1), 2^(ω−1)−… ]).
+    pub fn delta_magnitude_bound(&self) -> i64 {
+        if self.width == 0 {
+            0
+        } else if self.width >= 64 {
+            i64::MAX
+        } else {
+            1i64 << (self.width - 1)
+        }
+    }
+}
+
+/// Encodes `values` with delta + ZigZag + bit-packing.
+pub fn encode(values: &[i64]) -> Vec<u8> {
+    let deltas: Vec<u64> = values
+        .windows(2)
+        .map(|w| encode_zigzag(w[1].wrapping_sub(w[0])))
+        .collect();
+    let width = deltas.iter().map(|&z| bits_needed_u64(z)).max().unwrap_or(0);
+    let mut w = BitWriter::new();
+    w.write_bits(values.len() as u64, 32);
+    w.write_bits(values.first().copied().unwrap_or(0) as u64, 64);
+    w.write_bits(width as u64, 8);
+    for &z in &deltas {
+        w.write_bits(z, width);
+    }
+    w.finish()
+}
+
+/// Parses the page header.
+pub fn parse(bytes: &[u8]) -> Result<SprintzPage<'_>> {
+    let mut r = BitReader::new(bytes);
+    let count = r.read_bits(32).ok_or(Error::Corrupt("sprintz count"))? as usize;
+    if count > crate::MAX_PAGE_COUNT {
+        return Err(Error::Corrupt("sprintz count exceeds page cap"));
+    }
+    let first = r.read_bits(64).ok_or(Error::Corrupt("sprintz first"))? as i64;
+    let width = r.read_bits(8).ok_or(Error::Corrupt("sprintz width"))? as u8;
+    if width > 64 {
+        return Err(Error::BadWidth(width));
+    }
+    let payload = &bytes[r.bit_pos() / 8..];
+    if payload.len() * 8 < count.saturating_sub(1) * width as usize {
+        return Err(Error::Corrupt("sprintz payload truncated"));
+    }
+    Ok(SprintzPage {
+        count,
+        first,
+        width,
+        payload,
+    })
+}
+
+/// Serial reference decoder.
+pub fn decode(bytes: &[u8]) -> Result<Vec<i64>> {
+    let page = parse(bytes)?;
+    decode_from_parts(&page)
+}
+
+/// Serial decode of an already-parsed page.
+pub fn decode_from_parts(page: &SprintzPage<'_>) -> Result<Vec<i64>> {
+    if page.count == 0 {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::with_capacity(page.count);
+    out.push(page.first);
+    let mut cur = page.first;
+    let mut r = BitReader::new(page.payload);
+    for _ in 1..page.count {
+        let z = r.read_bits(page.width).ok_or(Error::Corrupt("sprintz payload"))?;
+        cur = cur.wrapping_add(decode_zigzag(z));
+        out.push(cur);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_oscillating_series() {
+        // ZigZag shines on sign-alternating deltas.
+        let vals: Vec<i64> = (0..500).map(|i| 1000 + if i % 2 == 0 { 3 } else { -3 }).collect();
+        let bytes = encode(&vals);
+        let page = parse(&bytes).unwrap();
+        assert!(page.width <= 4); // deltas ±6 → zigzag ≤ 12 → 4 bits
+        assert_eq!(decode(&bytes).unwrap(), vals);
+    }
+
+    #[test]
+    fn roundtrip_extremes() {
+        let vals = vec![0i64, i64::MAX, i64::MIN, -1, 1];
+        assert_eq!(decode(&encode(&vals)).unwrap(), vals);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(decode(&encode(&[])).unwrap(), Vec::<i64>::new());
+        assert_eq!(decode(&encode(&[-9])).unwrap(), vec![-9]);
+    }
+
+    #[test]
+    fn magnitude_bound() {
+        let vals = vec![0i64, 100, 50]; // deltas 100, -50 → zigzag 200, 99 → width 8
+        let page_bytes = encode(&vals);
+        let page = parse(&page_bytes).unwrap();
+        assert_eq!(page.width, 8);
+        assert_eq!(page.delta_magnitude_bound(), 128);
+    }
+}

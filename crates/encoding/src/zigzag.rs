@@ -1,0 +1,44 @@
+//! ZigZag mapping between signed deltas and unsigned packable values
+//! (used by Sprintz, paper Table I).
+
+/// Maps a signed integer to an unsigned one: 0→0, -1→1, 1→2, -2→3, …
+#[inline]
+pub fn encode_zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`encode_zigzag`].
+#[inline]
+pub fn decode_zigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(encode_zigzag(0), 0);
+        assert_eq!(encode_zigzag(-1), 1);
+        assert_eq!(encode_zigzag(1), 2);
+        assert_eq!(encode_zigzag(-2), 3);
+        assert_eq!(encode_zigzag(i64::MAX), u64::MAX - 1);
+        assert_eq!(encode_zigzag(i64::MIN), u64::MAX);
+    }
+
+    #[test]
+    fn roundtrip_extremes() {
+        for v in [0, 1, -1, 42, -42, i64::MAX, i64::MIN, i64::MAX - 1, i64::MIN + 1] {
+            assert_eq!(decode_zigzag(encode_zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn small_magnitudes_stay_small() {
+        // The point of ZigZag: |v| <= 127 packs into 8 bits.
+        for v in -127i64..=127 {
+            assert!(encode_zigzag(v) < 256);
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! # etsqp-fastlanes — the FastLanes FLMM1024 baseline
+//!
+//! Reimplements the comparison system of paper §VII-A (baseline 4): the
+//! FastLanes compression layout (Afroozeh & Boncz, VLDB'23) adapted to
+//! the paper's Figure 1(c) description:
+//!
+//! * data is taken in fixed **1024-value blocks** (short tails are padded
+//!   — the buffer-pressure weakness the paper calls out);
+//! * each block is a virtual 1024-bit-register transposition: **32 lanes**
+//!   of 32 values each, lane `l` holding positions `l, 32+l, 64+l, …`;
+//! * lane heads (32 *original* values) are stored raw — more stored
+//!   originals than TS2DIFF's single first value, hence the lower
+//!   compression ratio the paper observes;
+//! * within-lane deltas are frame-of-reference packed with one width per
+//!   block, laid out **row-major** (all 32 lanes' step-k deltas
+//!   contiguous), so decoding is a branch-free vertical add per row:
+//!   `running[l] += delta_row[k][l]` — SIMD-friendly with *scalar code*,
+//!   which is FastLanes' core idea.
+//!
+//! The crate also provides a paged store and an aggregation executor so
+//! the benchmark harness can run the same queries against FastLanes.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use etsqp_encoding::bitio::{bits_needed_u64, BitReader, BitWriter};
+use etsqp_encoding::{Error as EncError, Result as EncResult};
+
+/// Values per FLMM block (the virtual 1024-bit register abstraction).
+pub const BLOCK: usize = 1024;
+/// Lanes per block.
+pub const LANES: usize = 32;
+/// Values per lane.
+pub const LANE_LEN: usize = BLOCK / LANES;
+
+/// One encoded FLMM1024 block.
+///
+/// Layout: `u32 count` (real values, ≤ 1024), `i64 heads[32]`,
+/// `i64 min_delta`, `u8 width`, then `(LANE_LEN − 1)` rows of 32 packed
+/// deltas each (row-major).
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Encoded bytes.
+    pub bytes: Arc<[u8]>,
+}
+
+/// Parsed block header.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockMeta {
+    /// Real (un-padded) value count.
+    pub count: usize,
+    /// Frame-of-reference base for deltas.
+    pub min_delta: i64,
+    /// Packing width.
+    pub width: u8,
+    /// Byte offset of the packed delta rows.
+    pub payload_off: usize,
+}
+
+/// Encodes up to [`BLOCK`] values into one block (padding the tail by
+/// repeating the last value, which adds zero-deltas).
+pub fn encode_block(values: &[i64]) -> Block {
+    assert!(!values.is_empty() && values.len() <= BLOCK);
+    let count = values.len();
+    let mut padded: Vec<i64> = Vec::with_capacity(BLOCK);
+    padded.extend_from_slice(values);
+    padded.resize(BLOCK, *values.last().unwrap());
+    // Transpose: lane l = positions l, 32+l, ...
+    // Lane deltas: d[l][k] = v[32k+l] − v[32(k−1)+l].
+    let mut deltas = [[0i64; LANE_LEN - 1]; LANES];
+    let mut min_delta = i64::MAX;
+    #[allow(clippy::needless_range_loop)] // (l, k) mirror the layout math
+    for l in 0..LANES {
+        for k in 1..LANE_LEN {
+            let d = padded[k * LANES + l].wrapping_sub(padded[(k - 1) * LANES + l]);
+            deltas[l][k - 1] = d;
+            min_delta = min_delta.min(d);
+        }
+    }
+    if min_delta == i64::MAX {
+        min_delta = 0;
+    }
+    let width = deltas
+        .iter()
+        .flatten()
+        .map(|&d| bits_needed_u64(d.wrapping_sub(min_delta) as u64))
+        .max()
+        .unwrap_or(0);
+    let mut w = BitWriter::with_capacity_bits(32 + LANES * 64 + 64 + 8 + BLOCK * width as usize);
+    w.write_bits(count as u64, 32);
+    for head in padded.iter().take(LANES) {
+        w.write_bits(*head as u64, 64); // lane heads = positions 0..32
+    }
+    w.write_bits(min_delta as u64, 64);
+    w.write_bits(width as u64, 8);
+    // Row-major delta rows: step k, lanes 0..32.
+    for k in 0..LANE_LEN - 1 {
+        for lane in deltas.iter() {
+            w.write_bits(lane[k].wrapping_sub(min_delta) as u64, width);
+        }
+    }
+    Block {
+        bytes: w.finish().into(),
+    }
+}
+
+/// Parses a block header.
+pub fn parse_block(bytes: &[u8]) -> EncResult<BlockMeta> {
+    let mut r = BitReader::new(bytes);
+    let count = r.read_bits(32).ok_or(EncError::Corrupt("flmm count"))? as usize;
+    if count == 0 || count > BLOCK {
+        return Err(EncError::Corrupt("flmm count out of range"));
+    }
+    r.skip_bits(LANES * 64);
+    let min_delta = r.read_bits(64).ok_or(EncError::Corrupt("flmm base"))? as i64;
+    let width = r.read_bits(8).ok_or(EncError::Corrupt("flmm width"))? as u8;
+    if width > 64 {
+        return Err(EncError::BadWidth(width));
+    }
+    let payload_off = r.bit_pos() / 8;
+    let need = (LANE_LEN - 1) * LANES * width as usize;
+    if (bytes.len() - payload_off) * 8 < need {
+        return Err(EncError::Corrupt("flmm payload truncated"));
+    }
+    Ok(BlockMeta {
+        count,
+        min_delta,
+        width,
+        payload_off,
+    })
+}
+
+/// Decodes a block into `out` (appends `meta.count` values).
+///
+/// The inner loop is the FastLanes pattern: one running vector of 32
+/// lanes, advanced by a full delta row per step — no shuffles, no
+/// prefix permutations; the compiler auto-vectorizes the lane loop.
+pub fn decode_block(bytes: &[u8], out: &mut Vec<i64>) -> EncResult<()> {
+    let meta = parse_block(bytes)?;
+    let mut r = BitReader::at(bytes, 32);
+    let mut running = [0i64; LANES];
+    for lane in running.iter_mut() {
+        *lane = r.read_bits(64).ok_or(EncError::Corrupt("flmm head"))? as i64;
+    }
+    let start = out.len();
+    out.resize(start + BLOCK, 0);
+    let dst = &mut out[start..];
+    dst[..LANES].copy_from_slice(&running);
+    let mut row = [0u64; LANES];
+    let mut bit = meta.payload_off * 8;
+    let w = meta.width as usize;
+    for k in 1..LANE_LEN {
+        if w == 0 {
+            row.fill(0);
+        } else {
+            etsqp_simd::unpack::unpack_u64(bytes, bit, meta.width, &mut row);
+            bit += LANES * w;
+        }
+        let base = k * LANES;
+        for l in 0..LANES {
+            running[l] = running[l]
+                .wrapping_add(meta.min_delta)
+                .wrapping_add(row[l] as i64);
+            dst[base + l] = running[l];
+        }
+    }
+    out.truncate(start + meta.count);
+    Ok(())
+}
+
+/// Counters shared by every FastLanes series (I/O accounting mirrors
+/// `etsqp_storage::store::IoStats`).
+#[derive(Debug, Default)]
+pub struct FlIoStats {
+    bytes: AtomicU64,
+    blocks: AtomicU64,
+}
+
+impl FlIoStats {
+    /// Encoded bytes read so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Blocks read so far.
+    pub fn blocks_read(&self) -> u64 {
+        self.blocks.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counters.
+    pub fn reset(&self) {
+        self.bytes.store(0, Ordering::Relaxed);
+        self.blocks.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A (timestamp, value) series stored as paired FLMM1024 blocks.
+pub struct FlSeries {
+    /// Timestamp blocks.
+    pub ts_blocks: Vec<Block>,
+    /// Value blocks (aligned with `ts_blocks`).
+    pub val_blocks: Vec<Block>,
+    /// Per-block first/last timestamps for block skipping.
+    pub ranges: Vec<(i64, i64)>,
+    io: Arc<FlIoStats>,
+}
+
+impl FlSeries {
+    /// Encodes a series into FLMM1024 block pairs.
+    pub fn encode(ts: &[i64], vals: &[i64]) -> FlSeries {
+        assert_eq!(ts.len(), vals.len());
+        let mut ts_blocks = Vec::new();
+        let mut val_blocks = Vec::new();
+        let mut ranges = Vec::new();
+        for (tc, vc) in ts.chunks(BLOCK).zip(vals.chunks(BLOCK)) {
+            ts_blocks.push(encode_block(tc));
+            val_blocks.push(encode_block(vc));
+            ranges.push((tc[0], *tc.last().unwrap()));
+        }
+        FlSeries {
+            ts_blocks,
+            val_blocks,
+            ranges,
+            io: Arc::new(FlIoStats::default()),
+        }
+    }
+
+    /// Shared I/O counters.
+    pub fn io(&self) -> &FlIoStats {
+        &self.io
+    }
+
+    /// Total encoded bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.ts_blocks
+            .iter()
+            .chain(&self.val_blocks)
+            .map(|b| b.bytes.len())
+            .sum()
+    }
+
+    /// Total stored points.
+    pub fn len(&self) -> usize {
+        self.ts_blocks
+            .iter()
+            .map(|b| parse_block(&b.bytes).map(|m| m.count).unwrap_or(0))
+            .sum()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ts_blocks.is_empty()
+    }
+
+    /// Decodes everything (reference path).
+    pub fn decode_all(&self) -> EncResult<(Vec<i64>, Vec<i64>)> {
+        let mut ts = Vec::new();
+        let mut vals = Vec::new();
+        for (tb, vb) in self.ts_blocks.iter().zip(&self.val_blocks) {
+            self.charge(tb);
+            self.charge(vb);
+            decode_block(&tb.bytes, &mut ts)?;
+            decode_block(&vb.bytes, &mut vals)?;
+        }
+        Ok((ts, vals))
+    }
+
+    fn charge(&self, b: &Block) {
+        self.io.bytes.fetch_add(b.bytes.len() as u64, Ordering::Relaxed);
+        self.io.blocks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// SUM and COUNT of values whose timestamp lies in `[t_lo, t_hi]`,
+    /// decode-then-filter (FastLanes has no fusion/pruning), parallel
+    /// over blocks.
+    pub fn sum_in_range(&self, t_lo: i64, t_hi: i64, threads: usize) -> EncResult<(i128, u64)> {
+        let idx: Vec<usize> = (0..self.ts_blocks.len())
+            .filter(|&i| {
+                let (first, last) = self.ranges[i];
+                first <= t_hi && last >= t_lo
+            })
+            .collect();
+        let results = parallel_map(&idx, threads.max(1), |&i| -> EncResult<(i128, u64)> {
+            let tb = &self.ts_blocks[i];
+            let vb = &self.val_blocks[i];
+            self.charge(tb);
+            self.charge(vb);
+            let mut ts = Vec::with_capacity(BLOCK);
+            let mut vals = Vec::with_capacity(BLOCK);
+            decode_block(&tb.bytes, &mut ts)?;
+            decode_block(&vb.bytes, &mut vals)?;
+            let a = ts.partition_point(|&t| t < t_lo);
+            let b = ts.partition_point(|&t| t <= t_hi);
+            let mut sum = 0i128;
+            for &v in &vals[a..b] {
+                sum += v as i128;
+            }
+            Ok((sum, (b - a) as u64))
+        });
+        let mut total = 0i128;
+        let mut count = 0u64;
+        for r in results {
+            let (s, c) = r?;
+            total += s;
+            count += c;
+        }
+        Ok((total, count))
+    }
+}
+
+/// Minimal block-parallel map (FastLanes block granularity).
+fn parallel_map<T: Sync, R: Send>(items: &[T], threads: usize, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let next = AtomicU64::new(0);
+    let slots: Vec<_> = out.iter_mut().map(|s| s as *mut Option<R> as usize).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(items.len()) {
+            let next = &next;
+            let f = &f;
+            let slots = &slots;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                // SAFETY: each index is claimed by exactly one worker via
+                // the atomic counter, so the slot writes never alias.
+                unsafe { *(slots[i] as *mut Option<R>) = Some(r) };
+            });
+        }
+    })
+    .expect("fastlanes worker panicked");
+    out.into_iter().map(|s| s.expect("slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_roundtrip_full() {
+        let values: Vec<i64> = (0..1024).map(|i| 10_000 + i * 3 + (i % 7)).collect();
+        let block = encode_block(&values);
+        let mut out = Vec::new();
+        decode_block(&block.bytes, &mut out).unwrap();
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn block_roundtrip_partial_tail() {
+        // The buffer-pressure case: a short series still occupies a full
+        // 1024-value block.
+        for len in [1usize, 31, 32, 33, 1000, 1023] {
+            let values: Vec<i64> = (0..len as i64).map(|i| 500 - i * 11).collect();
+            let block = encode_block(&values);
+            let mut out = Vec::new();
+            decode_block(&block.bytes, &mut out).unwrap();
+            assert_eq!(out, values, "len {len}");
+        }
+    }
+
+    #[test]
+    fn block_roundtrip_extremes() {
+        let mut values = vec![i64::MAX, i64::MIN, 0, -1, 1];
+        values.extend((0..500).map(|i| i * 1_000_003));
+        let block = encode_block(&values);
+        let mut out = Vec::new();
+        decode_block(&block.bytes, &mut out).unwrap();
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn compression_worse_than_ts2diff_on_short_series() {
+        // The paper's Figure 1 argument: for short/regular IoT series the
+        // FLMM1024 layout stores 32 originals and pads to 1024 values.
+        let values: Vec<i64> = (0..100).map(|i| 1_700_000_000_000 + i * 1000).collect();
+        let fl = encode_block(&values);
+        let ts2 = etsqp_encoding::ts2diff::encode(&values, 1);
+        assert!(
+            fl.bytes.len() > ts2.len() * 2,
+            "flmm {} vs ts2diff {}",
+            fl.bytes.len(),
+            ts2.len()
+        );
+    }
+
+    #[test]
+    fn series_sum_in_range_matches_naive() {
+        let ts: Vec<i64> = (0..5000).map(|i| i * 10).collect();
+        let vals: Vec<i64> = (0..5000).map(|i| (i % 99) - 40).collect();
+        let series = FlSeries::encode(&ts, &vals);
+        for threads in [1usize, 4] {
+            let (sum, count) = series.sum_in_range(10_000, 30_000, threads).unwrap();
+            let want: i128 = ts
+                .iter()
+                .zip(&vals)
+                .filter(|(&t, _)| (10_000..=30_000).contains(&t))
+                .map(|(_, &v)| v as i128)
+                .sum();
+            assert_eq!(sum, want, "threads {threads}");
+            assert_eq!(count, 2001);
+        }
+    }
+
+    #[test]
+    fn series_block_skipping_reduces_io() {
+        let ts: Vec<i64> = (0..10_240).collect();
+        let vals = ts.clone();
+        let series = FlSeries::encode(&ts, &vals);
+        series.io().reset();
+        series.sum_in_range(0, 500, 1).unwrap();
+        // Only 1 of 10 block pairs overlaps.
+        assert_eq!(series.io().blocks_read(), 2);
+    }
+
+    #[test]
+    fn decode_all_roundtrip() {
+        let ts: Vec<i64> = (0..3000).map(|i| i * 7).collect();
+        let vals: Vec<i64> = (0..3000).map(|i| i * i % 1000).collect();
+        let series = FlSeries::encode(&ts, &vals);
+        let (t2, v2) = series.decode_all().unwrap();
+        assert_eq!(t2, ts);
+        assert_eq!(v2, vals);
+        assert_eq!(series.len(), 3000);
+    }
+
+    #[test]
+    fn corrupt_blocks_rejected() {
+        let values: Vec<i64> = (0..100).collect();
+        let block = encode_block(&values);
+        assert!(parse_block(&block.bytes[..10]).is_err());
+        let mut out = Vec::new();
+        assert!(decode_block(&block.bytes[..block.bytes.len() / 2], &mut out).is_err());
+    }
+}

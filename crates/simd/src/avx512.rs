@@ -1,0 +1,186 @@
+//! AVX-512 unpack kernel — the paper's `ω_SIMD = 512` configuration
+//! (§III-A: "n_v ≤ 32 under AVX-512 devices").
+//!
+//! One 512-bit round unpacks **sixteen** values: four 16-byte source
+//! windows are inserted into the four 128-bit lanes of a zmm register,
+//! `_mm512_shuffle_epi8` gathers each value's bytes within its lane
+//! (AVX512BW), `_mm512_srlv_epi32` aligns and a single AND masks — the
+//! same shuffle→srlv→and pattern as the AVX2 path at twice the width.
+
+#![cfg(target_arch = "x86_64")]
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use std::arch::x86_64::*;
+
+/// Unpacking plan for a 512-bit round of sixteen values (widths 1..=25).
+#[derive(Debug, Clone)]
+pub struct Plan512 {
+    /// Packing width in bits (recorded for diagnostics).
+    #[allow(dead_code)]
+    pub width: u8,
+    /// `start_bit % 8` of the first value of every round.
+    #[allow(dead_code)]
+    pub align: u8,
+    /// Byte-gather indices for all four 128-bit lanes (lane-local).
+    pub shuffle: [u8; 64],
+    /// Per-lane right shifts.
+    pub shifts: [u32; 16],
+    /// Value mask.
+    pub mask: u32,
+    /// Byte offsets of the four 16-byte windows from the round base.
+    pub win_off: [usize; 4],
+    /// Bytes consumed per round of sixteen values (= `2 * width`).
+    pub bytes_per_round: usize,
+}
+
+/// Builds the plan for `(width, align)`; widths 1..=25, align < 8.
+pub fn build_plan512(width: u8, align: u8) -> Plan512 {
+    assert!((1..=25).contains(&width));
+    assert!(align < 8);
+    let w = width as usize;
+    let a = align as usize;
+    let p = |i: usize| a + i * w;
+    // Window k serves values 4k..4k+4.
+    let win_off = [p(0) / 8, p(4) / 8, p(8) / 8, p(12) / 8];
+    let mut shuffle = [0u8; 64];
+    let mut shifts = [0u32; 16];
+    for i in 0..16 {
+        let lane128 = i / 4;
+        let r = p(i) / 8 - win_off[lane128];
+        debug_assert!(r + 3 < 16, "window overflow w={width} align={align} i={i}");
+        let slot = i * 4;
+        // Reverse bytes: little-endian 32-bit lane from big-endian stream.
+        shuffle[slot] = (r + 3) as u8;
+        shuffle[slot + 1] = (r + 2) as u8;
+        shuffle[slot + 2] = (r + 1) as u8;
+        shuffle[slot + 3] = r as u8;
+        shifts[i] = (32 - (p(i) % 8) - w) as u32;
+    }
+    Plan512 {
+        width,
+        align,
+        shuffle,
+        shifts,
+        mask: if w == 32 { u32::MAX } else { (1u32 << w) - 1 },
+        win_off,
+        bytes_per_round: 2 * w,
+    }
+}
+
+/// Cached plan lookup (the §III-B JIT table at 512-bit width).
+pub fn plan512(width: u8, align: u8) -> &'static Plan512 {
+    use std::sync::OnceLock;
+    static PLANS: OnceLock<Vec<Plan512>> = OnceLock::new();
+    let plans = PLANS.get_or_init(|| {
+        let mut v = Vec::with_capacity(25 * 8);
+        for w in 1..=25u8 {
+            for a in 0..8 {
+                v.push(build_plan512(w, a));
+            }
+        }
+        v
+    });
+    assert!((1..=25).contains(&width), "plan512 width {width}");
+    assert!(align < 8);
+    &plans[(width as usize - 1) * 8 + align as usize]
+}
+
+/// Unpacks `rounds * 16` values.
+///
+/// # Safety
+/// AVX-512F + AVX-512BW must be available; for every round `r`, the bytes
+/// `src[start_byte + r*2w + win_off[k] .. + 16]` must be in bounds for
+/// all four windows.
+#[target_feature(enable = "avx512f,avx512bw")]
+pub unsafe fn unpack_u32_plan512(
+    src: &[u8],
+    start_byte: usize,
+    rounds: usize,
+    plan: &Plan512,
+    out: &mut [u32],
+) {
+    debug_assert!(out.len() >= rounds * 16);
+    let shuffle = _mm512_loadu_si512(plan.shuffle.as_ptr() as *const _);
+    let shifts = _mm512_loadu_si512(plan.shifts.as_ptr() as *const _);
+    let mask = _mm512_set1_epi32(plan.mask as i32);
+    let mut base = start_byte;
+    let mut optr = out.as_mut_ptr();
+    for _ in 0..rounds {
+        let w0 = _mm_loadu_si128(src.as_ptr().add(base + plan.win_off[0]) as *const __m128i);
+        let w1 = _mm_loadu_si128(src.as_ptr().add(base + plan.win_off[1]) as *const __m128i);
+        let w2 = _mm_loadu_si128(src.as_ptr().add(base + plan.win_off[2]) as *const __m128i);
+        let w3 = _mm_loadu_si128(src.as_ptr().add(base + plan.win_off[3]) as *const __m128i);
+        let v = _mm512_inserti32x4::<1>(_mm512_castsi128_si512(w0), w1);
+        let v = _mm512_inserti32x4::<2>(v, w2);
+        let v = _mm512_inserti32x4::<3>(v, w3);
+        let gathered = _mm512_shuffle_epi8(v, shuffle);
+        let shifted = _mm512_srlv_epi32(gathered, shifts);
+        let vals = _mm512_and_si512(shifted, mask);
+        _mm512_storeu_si512(optr as *mut _, vals);
+        base += plan.bytes_per_round;
+        optr = optr.add(16);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan512_structure() {
+        let p = plan512(10, 0);
+        assert_eq!(p.bytes_per_round, 20);
+        assert_eq!(p.mask, 0x3FF);
+        assert_eq!(p.win_off, [0, 5, 10, 15]);
+        // Lane 0 gathers bytes 3..=0 reversed.
+        assert_eq!(&p.shuffle[0..4], &[3, 2, 1, 0]);
+        for i in 0..16 {
+            assert!(p.shifts[i] < 32);
+        }
+    }
+
+    #[test]
+    fn unpack_matches_scalar_for_all_widths() {
+        if !(std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512bw"))
+        {
+            eprintln!("skipping: no AVX-512 on this host");
+            return;
+        }
+        for width in 1u8..=25 {
+            let mask = (1u64 << width) - 1;
+            let vals: Vec<u64> = (0..160).map(|i| (i * 0x9E3779B9u64) & mask).collect();
+            for align in [0usize, 3, 5] {
+                // Pack big-endian at the given alignment.
+                let total_bits = align + vals.len() * width as usize;
+                let mut bytes = vec![0u8; total_bits.div_ceil(8) + 32];
+                let mut p = align;
+                for &v in &vals {
+                    for b in 0..width as usize {
+                        if (v >> (width as usize - 1 - b)) & 1 != 0 {
+                            bytes[(p + b) / 8] |= 1 << (7 - (p + b) % 8);
+                        }
+                    }
+                    p += width as usize;
+                }
+                let plan = plan512(width, align as u8);
+                let rounds = vals.len() / 16;
+                let mut out = vec![0u32; rounds * 16];
+                unsafe { unpack_u32_plan512(&bytes, align / 8, rounds, plan, &mut out) };
+                for (i, (&got, &want)) in out.iter().zip(&vals).enumerate() {
+                    assert_eq!(got as u64, want, "w={width} align={align} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_plans_within_windows() {
+        for w in 1..=25u8 {
+            for a in 0..8 {
+                let p = plan512(w, a);
+                assert!(p.shuffle.iter().all(|&b| b < 16), "w={w} a={a}");
+            }
+        }
+    }
+}

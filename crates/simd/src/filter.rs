@@ -1,0 +1,120 @@
+//! Vectorized range filters producing bitmasks (paper Definition 2,
+//! "Filter"; masks feed the valid-value aggregations of `agg`).
+
+use crate::{backend, scalar, Backend};
+
+/// Builds an inclusive range bitmask: bit `i` of `out[i / 64]` is set when
+/// `lo <= vals[i] <= hi`. Callers express strict bounds by pre-adjusting
+/// `lo`/`hi` (integer domains make `T > x` ≡ `T >= x + 1`).
+///
+/// # Panics
+/// If `out` has fewer than `vals.len().div_ceil(64)` words.
+pub fn range_mask_i64(vals: &[i64], lo: i64, hi: i64, out: &mut [u64]) {
+    assert!(out.len() * 64 >= vals.len(), "mask buffer too small");
+    match backend() {
+        Backend::Scalar => scalar::range_mask_i64(vals, lo, hi, out),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 | Backend::Avx512 => unsafe { crate::avx2::range_mask_i64(vals, lo, hi, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 | Backend::Avx512 => scalar::range_mask_i64(vals, lo, hi, out),
+    }
+}
+
+/// Intersects two bitmasks in place (`a &= b`), used when conjoining time
+/// and value predicates or joining timestamp columns.
+pub fn and_masks(a: &mut [u64], b: &[u64]) {
+    assert_eq!(a.len(), b.len());
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x &= y;
+    }
+}
+
+/// Unions two bitmasks in place (`a |= b`).
+pub fn or_masks(a: &mut [u64], b: &[u64]) {
+    assert_eq!(a.len(), b.len());
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x |= y;
+    }
+}
+
+/// Number of set bits in the first `n` positions of the mask.
+pub fn count_mask(mask: &[u64], n: usize) -> u64 {
+    let full = n / 64;
+    let mut c: u64 = mask[..full].iter().map(|w| w.count_ones() as u64).sum();
+    let rem = n % 64;
+    if rem > 0 {
+        c += (mask[full] & ((1u64 << rem) - 1)).count_ones() as u64;
+    }
+    c
+}
+
+/// Allocates a zeroed mask able to cover `n` elements.
+pub fn new_mask(n: usize) -> Vec<u64> {
+    vec![0u64; n.div_ceil(64)]
+}
+
+/// Sets all of the first `n` bits.
+pub fn fill_mask(mask: &mut [u64], n: usize) {
+    let full = n / 64;
+    mask[..full].fill(u64::MAX);
+    let rem = n % 64;
+    if rem > 0 {
+        mask[full] = (1u64 << rem) - 1;
+    }
+    for w in mask[full + usize::from(rem > 0)..].iter_mut() {
+        *w = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_mask_inclusive_bounds() {
+        let vals: Vec<i64> = (0..10).collect();
+        let mut mask = new_mask(vals.len());
+        range_mask_i64(&vals, 3, 6, &mut mask);
+        assert_eq!(mask[0], 0b0111_1000);
+        assert_eq!(count_mask(&mask, vals.len()), 4);
+    }
+
+    #[test]
+    fn range_mask_handles_negatives_and_extremes() {
+        let vals = [i64::MIN, -1, 0, 1, i64::MAX];
+        let mut mask = new_mask(vals.len());
+        range_mask_i64(&vals, i64::MIN, i64::MAX, &mut mask);
+        assert_eq!(count_mask(&mask, vals.len()), 5);
+        range_mask_i64(&vals, 0, 0, &mut mask);
+        assert_eq!(mask[0], 0b00100);
+    }
+
+    #[test]
+    fn range_mask_long_input_crosses_words() {
+        let vals: Vec<i64> = (0..200).collect();
+        let mut mask = new_mask(vals.len());
+        range_mask_i64(&vals, 60, 70, &mut mask);
+        assert_eq!(count_mask(&mask, vals.len()), 11);
+        assert_ne!(mask[0], 0);
+        assert_ne!(mask[1], 0);
+    }
+
+    #[test]
+    fn and_or_count() {
+        let mut a = vec![0b1100u64];
+        let b = vec![0b1010u64];
+        and_masks(&mut a, &b);
+        assert_eq!(a[0], 0b1000);
+        or_masks(&mut a, &b);
+        assert_eq!(a[0], 0b1010);
+    }
+
+    #[test]
+    fn fill_mask_partial_word() {
+        let mut m = vec![u64::MAX; 2];
+        fill_mask(&mut m, 70);
+        assert_eq!(m[0], u64::MAX);
+        assert_eq!(m[1], (1u64 << 6) - 1);
+        assert_eq!(count_mask(&m, 70), 70);
+    }
+}

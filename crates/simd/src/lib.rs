@@ -1,0 +1,124 @@
+//! # etsqp-simd — SIMD kernels for encoded time-series pipelines
+//!
+//! This crate provides the instruction-level building blocks used by the
+//! ETSQP query pipelines (paper §II-B, §III-A):
+//!
+//! * **Bit unpacking** of big-endian packed integer arrays into 32-bit (or
+//!   64-bit) lanes, via byte shuffles, variable shifts and masks — the
+//!   `shuffle / srlv / and` pattern of the paper's Figure 3.
+//! * **Delta-chain decoding** over the *unpacked layout* of Algorithm 1:
+//!   consecutive deltas live in the same lane across `n_v` vectors, so Delta
+//!   recovery is `n_v − 1` lane-wise partial-sum additions, one logarithmic
+//!   prefix scan of the chain sums, and `n_v` broadcast additions.
+//! * **Filtering** (range compares producing bitmasks) and **masked
+//!   aggregation** (sum / count / min / max) over decoded lanes.
+//!
+//! Every kernel has two implementations: an `unsafe` AVX2 version using the
+//! instruction families the paper names (`_mm256_shuffle_epi8`,
+//! `_mm256_srlv_epi32`, `_mm256_and_si256`, `_mm256_permutevar8x32_epi32`),
+//! and a semantically identical safe scalar version. The active backend is
+//! chosen once at startup (`backend()`); setting the environment variable
+//! `ETSQP_FORCE_SCALAR=1` forces the scalar twin, which the test-suite uses
+//! for differential testing.
+//!
+//! All unpacking kernels consume **big-endian bit streams** (MSB-first
+//! within each byte), matching how IoT databases flush encoded pages
+//! (paper Figure 1(b)).
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod filter;
+pub mod scan;
+pub mod tables;
+pub mod transpose;
+pub mod unpack;
+
+mod avx2;
+mod avx512;
+#[doc(hidden)]
+pub mod scalar;
+
+/// The SIMD backend selected at process start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable scalar implementations (bit-exact twins of the AVX2 path).
+    Scalar,
+    /// 256-bit AVX2 implementations.
+    Avx2,
+    /// AVX-512 unpacking (512-bit rounds) over the AVX2 kernel set.
+    Avx512,
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Scalar => write!(f, "scalar"),
+            Backend::Avx2 => write!(f, "avx2"),
+            Backend::Avx512 => write!(f, "avx512"),
+        }
+    }
+}
+
+/// Returns the backend used by all kernels in this crate.
+///
+/// Detection runs once; `ETSQP_FORCE_SCALAR=1` overrides to [`Backend::Scalar`].
+pub fn backend() -> Backend {
+    use std::sync::OnceLock;
+    static BACKEND: OnceLock<Backend> = OnceLock::new();
+    *BACKEND.get_or_init(|| {
+        if std::env::var_os("ETSQP_FORCE_SCALAR").is_some_and(|v| v == "1") {
+            return Backend::Scalar;
+        }
+        let forced = std::env::var("ETSQP_FORCE_BACKEND").ok();
+        match forced.as_deref() {
+            Some("scalar") => return Backend::Scalar,
+            Some("avx512") => {
+                #[cfg(target_arch = "x86_64")]
+                if std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512bw")
+                {
+                    return Backend::Avx512;
+                }
+            }
+            _ => {}
+        }
+        // AVX2 is the default even on AVX-512 hardware: 512-bit unpack
+        // rounds measured slightly slower on this class of machines
+        // (window-insert overhead and frequency scaling) — see
+        // EXPERIMENTS.md. Opt in with ETSQP_FORCE_BACKEND=avx512.
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return Backend::Avx2;
+            }
+        }
+        #[allow(unreachable_code)]
+        Backend::Scalar
+    })
+}
+
+/// Number of 32-bit lanes in one SIMD vector (256-bit AVX2 register).
+pub const LANES32: usize = 8;
+/// Number of 64-bit lanes in one SIMD vector.
+pub const LANES64: usize = 4;
+
+/// A 256-bit vector of eight 32-bit lanes, the unit the unpack/delta
+/// kernels operate on (paper's `V'_i` vectors in Figure 4).
+pub type V32 = [u32; LANES32];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_is_stable_across_calls() {
+        assert_eq!(backend(), backend());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Backend::Scalar.to_string(), "scalar");
+        assert_eq!(Backend::Avx2.to_string(), "avx2");
+    }
+}

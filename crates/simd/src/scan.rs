@@ -1,0 +1,128 @@
+//! Delta-recovery kernels: lane prefix scans and the Algorithm 1
+//! chain-layout decode (paper §III-A.1, Figures 4–5).
+
+use crate::{backend, scalar, Backend, V32};
+
+/// Wrapping inclusive prefix scan over the eight lanes of `v`, seeded with
+/// `*carry`; `*carry` becomes the scan total.
+///
+/// This is the *straight-order* Delta strategy (one scan per vector), used
+/// by the SBoost baseline and as an ablation against the chain layout.
+pub fn inclusive_scan_v32(v: &mut V32, carry: &mut u32) {
+    match backend() {
+        Backend::Scalar => scalar::inclusive_scan_v32(v, carry),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 | Backend::Avx512 => unsafe { crate::avx2::inclusive_scan_v32(v, carry) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 | Backend::Avx512 => scalar::inclusive_scan_v32(v, carry),
+    }
+}
+
+/// Algorithm 1 lines 10–15: Delta recovery over the unpacked chain layout.
+///
+/// `vs[j][l]` holds the delta of element `l * vs.len() + j` on input and
+/// its inclusive prefix sum (seeded by `*carry`) on output. Arithmetic
+/// wraps in 32 bits; callers use page statistics to guarantee relative
+/// offsets fit (two's-complement) before choosing this path.
+///
+/// # Panics
+/// If `vs.len() > 8` on the AVX2 path (the layout never exceeds 8 vectors).
+pub fn chain_delta_decode(vs: &mut [V32], carry: &mut u32) {
+    match backend() {
+        Backend::Scalar => scalar::chain_delta_decode(vs, carry),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 | Backend::Avx512 => {
+            if vs.len() <= 8 {
+                unsafe { crate::avx2::chain_delta_decode(vs, carry) }
+            } else {
+                scalar::chain_delta_decode(vs, carry)
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 | Backend::Avx512 => scalar::chain_delta_decode(vs, carry),
+    }
+}
+
+/// Widens 32-bit two's-complement relative offsets to absolute `i64`:
+/// `out[i] = base + (rel[i] as i32 as i64)`.
+pub fn widen_rel_i64(base: i64, rel: &[u32], out: &mut [i64]) {
+    assert_eq!(rel.len(), out.len());
+    match backend() {
+        Backend::Scalar => scalar::widen_rel_i64(base, rel, out),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 | Backend::Avx512 => unsafe { crate::avx2::widen_rel_i64(base, rel, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 | Backend::Avx512 => scalar::widen_rel_i64(base, rel, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LANES32;
+
+    #[test]
+    fn scan_seeds_and_carries() {
+        let mut v: V32 = [1, 2, 3, 4, 5, 6, 7, 8];
+        let mut carry = 10;
+        inclusive_scan_v32(&mut v, &mut carry);
+        assert_eq!(v, [11, 13, 16, 20, 25, 31, 38, 46]);
+        assert_eq!(carry, 46);
+    }
+
+    #[test]
+    fn scan_wraps() {
+        let mut v: V32 = [u32::MAX, 1, 0, 0, 0, 0, 0, 0];
+        let mut carry = 2;
+        inclusive_scan_v32(&mut v, &mut carry);
+        assert_eq!(v[0], 1); // 2 + MAX wraps to 1
+        assert_eq!(v[1], 2);
+    }
+
+    #[test]
+    fn chain_decode_n8_matches_prefix_sum() {
+        let deltas: Vec<u32> = (0..64).map(|i| i * 3 + 1).collect();
+        let n_v = 8;
+        let mut vs = vec![[0u32; LANES32]; n_v];
+        for (e, &d) in deltas.iter().enumerate() {
+            vs[e % n_v][e / n_v] = d;
+        }
+        let mut carry = 7u32;
+        chain_delta_decode(&mut vs, &mut carry);
+        let mut acc = 7u32;
+        for (e, &d) in deltas.iter().enumerate() {
+            acc = acc.wrapping_add(d);
+            assert_eq!(vs[e % n_v][e / n_v], acc, "element {e}");
+        }
+        assert_eq!(carry, acc);
+    }
+
+    #[test]
+    fn chain_decode_all_nv() {
+        for n_v in [1usize, 2, 4, 8] {
+            let n = n_v * LANES32;
+            let deltas: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x01010101)).collect();
+            let mut vs = vec![[0u32; LANES32]; n_v];
+            for (e, &d) in deltas.iter().enumerate() {
+                vs[e % n_v][e / n_v] = d;
+            }
+            let mut carry = 0u32;
+            chain_delta_decode(&mut vs, &mut carry);
+            let mut acc = 0u32;
+            for (e, &d) in deltas.iter().enumerate() {
+                acc = acc.wrapping_add(d);
+                assert_eq!(vs[e % n_v][e / n_v], acc, "n_v={n_v} element {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn widen_matches_scalar() {
+        let rel: Vec<u32> = (0..19).map(|i| (i - 9) as u32).collect();
+        let mut out = vec![0i64; rel.len()];
+        widen_rel_i64(-1_000_000_007, &rel, &mut out);
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(o, -1_000_000_007 + (i as i64 - 9));
+        }
+    }
+}

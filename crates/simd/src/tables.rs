@@ -1,0 +1,283 @@
+//! Precomputed unpacking layout plans — the Rust analog of the paper's
+//! Just-in-Time decoder generation (§III-B).
+//!
+//! For every (packing width, bit alignment) pair we derive once, and cache,
+//! the shuffle index vectors, per-lane shift counts and the value mask that
+//! the `shuffle → srlv → and` unpacking sequence of Figure 3 needs. At
+//! query time the pipeline *looks the plan up* instead of computing indices
+//! per round, exactly as §III-B prescribes.
+//!
+//! Two plan families exist:
+//!
+//! * [`Plan32`] — widths 1..=25: each 32-bit output lane gathers at most
+//!   four source bytes, so one 256-bit shuffle unpacks eight values.
+//! * [`Plan64`] — widths 1..=57: each 64-bit lane gathers at most eight
+//!   source bytes; eight values need two 256-bit vectors. This family
+//!   serves both wide 32-bit values (26..=32) and 64-bit unpacking.
+//!
+//! A key invariant exploited throughout: a round of **eight** values spans
+//! exactly `width` bytes (8·w bits), so the bit alignment within the first
+//! byte is identical for every round of a page. One plan therefore covers
+//! the entire page.
+
+use std::sync::OnceLock;
+
+/// Unpacking plan for widths 1..=25 (four source bytes per 32-bit lane).
+#[derive(Debug, Clone)]
+pub struct Plan32 {
+    /// Packing width in bits.
+    pub width: u8,
+    /// `start_bit % 8` of the first value of every round.
+    pub align: u8,
+    /// Shuffle indices for lanes 0..4, relative to the low 16-byte window.
+    /// Byte order is reversed per lane so a little-endian 32-bit lane load
+    /// yields the big-endian stream bytes.
+    pub shuffle_lo: [u8; 16],
+    /// Shuffle indices for lanes 4..8, relative to the high 16-byte window.
+    pub shuffle_hi: [u8; 16],
+    /// Per-lane right-shift counts (`srlv` operands).
+    pub shifts: [u32; 8],
+    /// Value mask `(1 << width) - 1`.
+    pub mask: u32,
+    /// Byte offset of the high window from the low window.
+    pub win1_off: usize,
+    /// Bytes consumed per round of eight values (= `width`).
+    pub bytes_per_round: usize,
+}
+
+/// Unpacking plan for widths 1..=57 using 64-bit lanes (eight source bytes
+/// per lane, four values per 256-bit vector, eight values per round).
+#[derive(Debug, Clone)]
+pub struct Plan64 {
+    /// Packing width in bits.
+    pub width: u8,
+    /// `start_bit % 8` of the first value of every round.
+    pub align: u8,
+    /// Shuffle indices for the vector holding values 0..4: two 16-byte
+    /// halves, each gathering two 64-bit lanes.
+    pub shuffle_a: [[u8; 16]; 2],
+    /// Shuffle indices for the vector holding values 4..8.
+    pub shuffle_b: [[u8; 16]; 2],
+    /// Window byte offsets (relative to the round's base byte) for the four
+    /// 16-byte loads: `[a_lo, a_hi, b_lo, b_hi]`.
+    pub win_off: [usize; 4],
+    /// Per-lane right-shift counts for vector A (values 0..4).
+    pub shifts_a: [u64; 4],
+    /// Per-lane right-shift counts for vector B (values 4..8).
+    pub shifts_b: [u64; 4],
+    /// Value mask `(1 << width) - 1`.
+    pub mask: u64,
+    /// Bytes consumed per round of eight values (= `width`).
+    pub bytes_per_round: usize,
+}
+
+/// Maximum width served by [`Plan32`].
+pub const PLAN32_MAX_WIDTH: u8 = 25;
+/// Maximum width served by [`Plan64`].
+pub const PLAN64_MAX_WIDTH: u8 = 57;
+
+#[allow(clippy::needless_range_loop)] // lane index i is the spec variable
+fn build_plan32(width: u8, align: u8) -> Plan32 {
+    assert!((1..=PLAN32_MAX_WIDTH).contains(&width));
+    assert!(align < 8);
+    let w = width as usize;
+    let a = align as usize;
+    let mut shuffle_lo = [0u8; 16];
+    let mut shuffle_hi = [0u8; 16];
+    let mut shifts = [0u32; 8];
+    // Bit position of value i relative to the round's base byte.
+    let p = |i: usize| a + i * w;
+    // High window starts at the byte containing value 4.
+    let win1_off = p(4) / 8;
+    for i in 0..8 {
+        let (tbl, base_byte) = if i < 4 {
+            (&mut shuffle_lo, 0usize)
+        } else {
+            (&mut shuffle_hi, win1_off)
+        };
+        let r = p(i) / 8 - base_byte;
+        debug_assert!(r + 3 < 16, "window overflow: w={width} align={align} lane={i}");
+        let lane = (i % 4) * 4;
+        // Reverse bytes: little-endian lane := big-endian stream bytes.
+        tbl[lane] = (r + 3) as u8;
+        tbl[lane + 1] = (r + 2) as u8;
+        tbl[lane + 2] = (r + 1) as u8;
+        tbl[lane + 3] = r as u8;
+        shifts[i] = (32 - (p(i) % 8) - w) as u32;
+    }
+    let mask = if w == 32 { u32::MAX } else { (1u32 << w) - 1 };
+    Plan32 {
+        width,
+        align,
+        shuffle_lo,
+        shuffle_hi,
+        shifts,
+        mask,
+        win1_off,
+        bytes_per_round: w,
+    }
+}
+
+fn build_plan64(width: u8, align: u8) -> Plan64 {
+    assert!((1..=PLAN64_MAX_WIDTH).contains(&width));
+    assert!(align < 8);
+    let w = width as usize;
+    let a = align as usize;
+    let p = |i: usize| a + i * w;
+    // Four 16-byte windows, each serving two consecutive values.
+    let win_off = [p(0) / 8, p(2) / 8, p(4) / 8, p(6) / 8];
+    let mut shuffle_a = [[0u8; 16]; 2];
+    let mut shuffle_b = [[0u8; 16]; 2];
+    let mut shifts_a = [0u64; 4];
+    let mut shifts_b = [0u64; 4];
+    for i in 0..8 {
+        let win = i / 2;
+        let r = p(i) / 8 - win_off[win];
+        debug_assert!(r + 7 < 16, "window overflow: w={width} align={align} lane={i}");
+        let tbl = if i < 4 {
+            &mut shuffle_a[win][..]
+        } else {
+            &mut shuffle_b[win - 2][..]
+        };
+        let lane = (i % 2) * 8;
+        for b in 0..8 {
+            // Reverse eight bytes per 64-bit lane.
+            tbl[lane + b] = (r + 7 - b) as u8;
+        }
+        let s = (64 - (p(i) % 8) - w) as u64;
+        if i < 4 {
+            shifts_a[i] = s;
+        } else {
+            shifts_b[i - 4] = s;
+        }
+    }
+    let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+    Plan64 {
+        width,
+        align,
+        shuffle_a,
+        shuffle_b,
+        win_off,
+        shifts_a,
+        shifts_b,
+        mask,
+        bytes_per_round: w,
+    }
+}
+
+/// Looks up the cached [`Plan32`] for `(width, align)`.
+///
+/// # Panics
+/// If `width` is outside `1..=25` or `align >= 8`.
+pub fn plan32(width: u8, align: u8) -> &'static Plan32 {
+    static PLANS: OnceLock<Vec<Plan32>> = OnceLock::new();
+    let plans = PLANS.get_or_init(|| {
+        let mut v = Vec::with_capacity(PLAN32_MAX_WIDTH as usize * 8);
+        for w in 1..=PLAN32_MAX_WIDTH {
+            for a in 0..8 {
+                v.push(build_plan32(w, a));
+            }
+        }
+        v
+    });
+    assert!((1..=PLAN32_MAX_WIDTH).contains(&width), "plan32 width {width}");
+    assert!(align < 8);
+    &plans[(width as usize - 1) * 8 + align as usize]
+}
+
+/// Looks up the cached [`Plan64`] for `(width, align)`.
+///
+/// # Panics
+/// If `width` is outside `1..=57` or `align >= 8`.
+pub fn plan64(width: u8, align: u8) -> &'static Plan64 {
+    static PLANS: OnceLock<Vec<Plan64>> = OnceLock::new();
+    let plans = PLANS.get_or_init(|| {
+        let mut v = Vec::with_capacity(PLAN64_MAX_WIDTH as usize * 8);
+        for w in 1..=PLAN64_MAX_WIDTH {
+            for a in 0..8 {
+                v.push(build_plan64(w, a));
+            }
+        }
+        v
+    });
+    assert!((1..=PLAN64_MAX_WIDTH).contains(&width), "plan64 width {width}");
+    assert!(align < 8);
+    &plans[(width as usize - 1) * 8 + align as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan32_ten_bit_aligned_matches_paper_example() {
+        // Paper Figure 3: 10-bit packing, byte-aligned start.
+        let p = plan32(10, 0);
+        assert_eq!(p.bytes_per_round, 10);
+        assert_eq!(p.mask, 0x3FF);
+        // Value 0 starts at bit 0: shift = 32 - 0 - 10 = 22.
+        assert_eq!(p.shifts[0], 22);
+        // Value 1 starts at bit 10: in-byte offset 2, shift = 32 - 2 - 10 = 20.
+        assert_eq!(p.shifts[1], 20);
+        // Value 4 starts at bit 40 = byte 5; high window starts there.
+        assert_eq!(p.win1_off, 5);
+        // Lane 0 gathers bytes 3,2,1,0 (reversed).
+        assert_eq!(&p.shuffle_lo[0..4], &[3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn plan32_covers_all_widths_and_aligns() {
+        for w in 1..=PLAN32_MAX_WIDTH {
+            for a in 0..8 {
+                let p = plan32(w, a);
+                assert_eq!(p.width, w);
+                assert_eq!(p.align, a);
+                for i in 0..8 {
+                    assert!(p.shifts[i] < 32);
+                }
+                // All shuffle indices must stay inside the 16-byte window.
+                assert!(p.shuffle_lo.iter().all(|&b| b < 16));
+                assert!(p.shuffle_hi.iter().all(|&b| b < 16));
+            }
+        }
+    }
+
+    #[test]
+    fn plan64_covers_all_widths_and_aligns() {
+        for w in 1..=PLAN64_MAX_WIDTH {
+            for a in 0..8 {
+                let p = plan64(w, a);
+                assert_eq!(p.width, w);
+                for i in 0..4 {
+                    assert!(p.shifts_a[i] < 64);
+                    assert!(p.shifts_b[i] < 64);
+                }
+                for half in 0..2 {
+                    assert!(p.shuffle_a[half].iter().all(|&b| b < 16));
+                    assert!(p.shuffle_b[half].iter().all(|&b| b < 16));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_alignment_is_round_invariant() {
+        // Eight values of width w consume exactly w bytes, so the alignment
+        // of round k+1 equals that of round k.
+        for w in 1u64..=25 {
+            assert_eq!((8 * w) % 8, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn plan32_rejects_width_zero() {
+        plan32(0, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn plan32_rejects_wide_width() {
+        plan32(26, 0);
+    }
+}

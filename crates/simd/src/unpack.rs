@@ -1,0 +1,239 @@
+//! Bulk bit-unpacking of big-endian packed arrays (paper Figure 3).
+//!
+//! The vectorized main loop processes rounds of eight values using the
+//! cached layout plans of [`crate::tables`]; partial rounds and
+//! out-of-window tails fall back to the scalar twin, so no kernel ever
+//! reads past the end of the source slice.
+
+use crate::tables::{plan32, plan64, PLAN32_MAX_WIDTH, PLAN64_MAX_WIDTH};
+use crate::{backend, scalar, Backend, LANES32};
+
+/// Number of values per vectorized unpack round.
+pub const ROUND: usize = LANES32;
+
+/// Unpacks `out.len()` unsigned values of `width` bits (0..=32), starting
+/// at `start_bit` of the big-endian stream `src`, into 32-bit outputs.
+///
+/// ```
+/// // Two 12-bit values 0xABC, 0xDEF packed big-endian: AB CD EF.
+/// let src = [0xAB, 0xCD, 0xEF];
+/// let mut out = [0u32; 2];
+/// etsqp_simd::unpack::unpack_u32(&src, 0, 12, &mut out);
+/// assert_eq!(out, [0xABC, 0xDEF]);
+/// ```
+///
+/// # Panics
+/// If `width > 32` or the stream does not contain
+/// `start_bit + width * out.len()` bits.
+pub fn unpack_u32(src: &[u8], start_bit: usize, width: u8, out: &mut [u32]) {
+    assert!(width <= 32, "unpack_u32 width {width}");
+    if width == 0 {
+        out.fill(0);
+        return;
+    }
+    let need_bits = start_bit + width as usize * out.len();
+    assert!(need_bits <= src.len() * 8, "unpack_u32 out of bounds");
+    match backend() {
+        Backend::Scalar => scalar::unpack_u32(src, start_bit, width, out),
+        Backend::Avx2 => unpack_u32_avx2(src, start_bit, width, out),
+        Backend::Avx512 => unpack_u32_avx512(src, start_bit, width, out),
+    }
+}
+
+/// Unpacks `out.len()` unsigned values of `width` bits (0..=64) into
+/// 64-bit outputs. Widths up to 57 are vectorized; wider fall back to the
+/// scalar reader.
+///
+/// # Panics
+/// If `width > 64` or the stream is too short.
+pub fn unpack_u64(src: &[u8], start_bit: usize, width: u8, out: &mut [u64]) {
+    assert!(width <= 64, "unpack_u64 width {width}");
+    if width == 0 {
+        out.fill(0);
+        return;
+    }
+    let need_bits = start_bit + width as usize * out.len();
+    assert!(need_bits <= src.len() * 8, "unpack_u64 out of bounds");
+    if backend() != Backend::Scalar && width <= PLAN64_MAX_WIDTH {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let plan = plan64(width, (start_bit % 8) as u8);
+            let start_byte = start_bit / 8;
+            let max_win = *plan.win_off.iter().max().unwrap();
+            let rounds = safe_rounds(src.len(), start_byte, plan.bytes_per_round, max_win, out.len());
+            if rounds > 0 {
+                unsafe { crate::avx2::unpack_u64_plan64(src, start_byte, rounds, plan, out) };
+            }
+            let done = rounds * ROUND;
+            if done < out.len() {
+                let bit = start_bit + done * width as usize;
+                scalar::unpack_u64(src, bit, width, &mut out[done..]);
+            }
+            return;
+        }
+    }
+    scalar::unpack_u64(src, start_bit, width, out);
+}
+
+#[cfg(target_arch = "x86_64")]
+fn unpack_u32_avx2(src: &[u8], start_bit: usize, width: u8, out: &mut [u32]) {
+    let start_byte = start_bit / 8;
+    let align = (start_bit % 8) as u8;
+    let (rounds, max_win, bpr) = if width <= PLAN32_MAX_WIDTH {
+        let plan = plan32(width, align);
+        let r = safe_rounds(src.len(), start_byte, plan.bytes_per_round, plan.win1_off, out.len());
+        if r > 0 {
+            unsafe { crate::avx2::unpack_u32_plan32(src, start_byte, r, plan, out) };
+        }
+        (r, plan.win1_off, plan.bytes_per_round)
+    } else {
+        let plan = plan64(width, align);
+        let mw = *plan.win_off.iter().max().unwrap();
+        let r = safe_rounds(src.len(), start_byte, plan.bytes_per_round, mw, out.len());
+        if r > 0 {
+            unsafe { crate::avx2::unpack_u32_plan64(src, start_byte, r, plan, out) };
+        }
+        (r, mw, plan.bytes_per_round)
+    };
+    let _ = (max_win, bpr);
+    let done = rounds * ROUND;
+    if done < out.len() {
+        let bit = start_bit + done * width as usize;
+        scalar::unpack_u32(src, bit, width, &mut out[done..]);
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn unpack_u32_avx2(src: &[u8], start_bit: usize, width: u8, out: &mut [u32]) {
+    scalar::unpack_u32(src, start_bit, width, out)
+}
+
+/// 512-bit unpack rounds (sixteen values each) for widths ≤ 25; wider
+/// widths and tails reuse the AVX2 / scalar paths.
+#[cfg(target_arch = "x86_64")]
+fn unpack_u32_avx512(src: &[u8], start_bit: usize, width: u8, out: &mut [u32]) {
+    use crate::avx512::plan512;
+    if width > 25 {
+        return unpack_u32_avx2(src, start_bit, width, out);
+    }
+    let start_byte = start_bit / 8;
+    let align = (start_bit % 8) as u8;
+    let plan = plan512(width, align);
+    let max_win = *plan.win_off.iter().max().unwrap();
+    // 16 values per round.
+    let full = out.len() / 16;
+    let budget = src.len().saturating_sub(start_byte + max_win + 16);
+    let by_bytes = budget / plan.bytes_per_round
+        + usize::from(src.len() >= start_byte + max_win + 16);
+    let rounds = full.min(by_bytes);
+    if rounds > 0 {
+        unsafe { crate::avx512::unpack_u32_plan512(src, start_byte, rounds, plan, out) };
+    }
+    let done = rounds * 16;
+    if done < out.len() {
+        let bit = start_bit + done * width as usize;
+        unpack_u32_avx2(src, bit, width, &mut out[done..]);
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn unpack_u32_avx512(src: &[u8], start_bit: usize, width: u8, out: &mut [u32]) {
+    scalar::unpack_u32(src, start_bit, width, out)
+}
+
+/// Largest number of full rounds whose 16-byte window loads all stay
+/// within `len` bytes: round `r` loads from
+/// `start + r*bytes_per_round + max_win_off .. + 16`.
+fn safe_rounds(len: usize, start: usize, bytes_per_round: usize, max_win_off: usize, n_out: usize) -> usize {
+    let full = n_out / ROUND;
+    if full == 0 {
+        return 0;
+    }
+    // Need: start + (r-1)*bpr + max_win_off + 16 <= len  for the last round r-1.
+    let budget = len.saturating_sub(start + max_win_off + 16);
+    let by_bytes = budget / bytes_per_round + if len >= start + max_win_off + 16 { 1 } else { 0 };
+    full.min(by_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::read_bits_be;
+
+    /// Packs `vals` of `width` bits into a big-endian stream starting at
+    /// `start_bit` (test helper — the real writer lives in etsqp-encoding).
+    fn pack_be(vals: &[u64], width: usize, start_bit: usize) -> Vec<u8> {
+        let total_bits = start_bit + vals.len() * width;
+        let mut bytes = vec![0u8; total_bits.div_ceil(8)];
+        let mut p = start_bit;
+        for &v in vals {
+            for b in 0..width {
+                let bit = (v >> (width - 1 - b)) & 1;
+                if bit != 0 {
+                    bytes[(p + b) / 8] |= 1 << (7 - (p + b) % 8);
+                }
+            }
+            p += width;
+        }
+        bytes
+    }
+
+    #[test]
+    fn unpack_u32_all_widths_roundtrip() {
+        for width in 1usize..=32 {
+            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let vals: Vec<u64> = (0..67).map(|i| (i as u64 * 0x9E3779B9) & mask).collect();
+            for start_bit in [0usize, 3, 8, 13] {
+                let bytes = pack_be(&vals, width, start_bit);
+                let mut out = vec![0u32; vals.len()];
+                unpack_u32(&bytes, start_bit, width as u8, &mut out);
+                for (i, (&got, &want)) in out.iter().zip(&vals).enumerate() {
+                    assert_eq!(got as u64, want, "w={width} start={start_bit} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_u64_wide_widths_roundtrip() {
+        for width in [33usize, 40, 48, 57, 58, 64] {
+            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let vals: Vec<u64> = (0..41).map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15) & mask).collect();
+            let bytes = pack_be(&vals, width, 0);
+            let mut out = vec![0u64; vals.len()];
+            unpack_u64(&bytes, 0, width as u8, &mut out);
+            assert_eq!(out, vals, "w={width}");
+        }
+    }
+
+    #[test]
+    fn unpack_zero_width_yields_zeros() {
+        let mut out = vec![7u32; 10];
+        unpack_u32(&[], 0, 0, &mut out);
+        assert!(out.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn unpack_exact_buffer_no_padding() {
+        // The stream is exactly as long as the packed data — the vector
+        // path must stop early and the scalar tail must finish the job.
+        let width = 10usize;
+        let vals: Vec<u64> = (0..96).map(|i| i as u64 % 1024).collect();
+        let bytes = pack_be(&vals, width, 0);
+        assert_eq!(bytes.len(), 120); // no slack at all
+        let mut out = vec![0u32; vals.len()];
+        unpack_u32(&bytes, 0, width as u8, &mut out);
+        for (i, (&got, &want)) in out.iter().zip(&vals).enumerate() {
+            assert_eq!(got as u64, want, "i={i}");
+        }
+    }
+
+    #[test]
+    fn read_bits_sanity_against_pack() {
+        let vals = [5u64, 1023, 0, 512];
+        let bytes = pack_be(&vals, 10, 0);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(read_bits_be(&bytes, i * 10, 10), v);
+        }
+    }
+}

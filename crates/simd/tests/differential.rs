@@ -1,0 +1,178 @@
+//! Differential property tests: the public (dispatched, possibly AVX2)
+//! kernels must agree bit-for-bit with the scalar reference twins on
+//! arbitrary inputs.
+
+use etsqp_simd::{agg, filter, scalar, scan, transpose, unpack};
+use proptest::prelude::*;
+
+/// Packs `vals` of `width` bits into a big-endian stream at `start_bit`.
+fn pack_be(vals: &[u64], width: usize, start_bit: usize) -> Vec<u8> {
+    let total_bits = start_bit + vals.len() * width;
+    let mut bytes = vec![0u8; total_bits.div_ceil(8)];
+    let mut p = start_bit;
+    for &v in vals {
+        for b in 0..width {
+            if (v >> (width - 1 - b)) & 1 != 0 {
+                bytes[(p + b) / 8] |= 1 << (7 - (p + b) % 8);
+            }
+        }
+        p += width;
+    }
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unpack_u32_matches_scalar(
+        width in 1u8..=32,
+        start_bit in 0usize..16,
+        raw in proptest::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let vals: Vec<u64> = raw.iter().map(|v| v & mask).collect();
+        let bytes = pack_be(&vals, width as usize, start_bit);
+        let mut got = vec![0u32; vals.len()];
+        let mut want = vec![0u32; vals.len()];
+        unpack::unpack_u32(&bytes, start_bit, width, &mut got);
+        scalar::unpack_u32(&bytes, start_bit, width, &mut want);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn unpack_u64_matches_scalar(
+        width in 1u8..=64,
+        start_bit in 0usize..8,
+        raw in proptest::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let vals: Vec<u64> = raw.iter().map(|v| v & mask).collect();
+        let bytes = pack_be(&vals, width as usize, start_bit);
+        let mut got = vec![0u64; vals.len()];
+        let mut want = vec![0u64; vals.len()];
+        unpack::unpack_u64(&bytes, start_bit, width, &mut got);
+        scalar::unpack_u64(&bytes, start_bit, width, &mut want);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn chain_delta_decode_matches_scalar(
+        n_v_idx in 0usize..4,
+        deltas in proptest::collection::vec(any::<u32>(), 64..=64),
+        seed in any::<u32>(),
+    ) {
+        let n_v = transpose::SUPPORTED_NV[n_v_idx];
+        let mut a = vec![[0u32; 8]; n_v];
+        for e in 0..n_v * 8 {
+            a[e % n_v][e / n_v] = deltas[e];
+        }
+        let mut b = a.clone();
+        let mut ca = seed;
+        let mut cb = seed;
+        scan::chain_delta_decode(&mut a, &mut ca);
+        scalar::chain_delta_decode(&mut b, &mut cb);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn scan_matches_scalar(v in any::<[u32; 8]>(), seed in any::<u32>()) {
+        let mut a = v;
+        let mut b = v;
+        let mut ca = seed;
+        let mut cb = seed;
+        scan::inclusive_scan_v32(&mut a, &mut ca);
+        scalar::inclusive_scan_v32(&mut b, &mut cb);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn transpose_matches_scalar(
+        n_v_idx in 0usize..4,
+        raw in proptest::collection::vec(any::<u32>(), 64..=64),
+    ) {
+        let n_v = transpose::SUPPORTED_NV[n_v_idx];
+        let scratch = &raw[..n_v * 8];
+        let mut a = vec![[0u32; 8]; n_v];
+        let mut b = vec![[0u32; 8]; n_v];
+        transpose::layout_transpose(scratch, &mut a);
+        scalar::layout_transpose(scratch, &mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn range_mask_matches_scalar(
+        vals in proptest::collection::vec(any::<i64>(), 0..300),
+        lo in any::<i64>(),
+        hi in any::<i64>(),
+    ) {
+        let mut a = filter::new_mask(vals.len().max(1));
+        let mut b = a.clone();
+        filter::range_mask_i64(&vals, lo, hi, &mut a);
+        scalar::range_mask_i64(&vals, lo, hi, &mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn masked_sum_matches_scalar(
+        vals in proptest::collection::vec(any::<i64>(), 0..300),
+        mask_words in proptest::collection::vec(any::<u64>(), 5..=5),
+    ) {
+        let got = agg::masked_sum_i64(&vals, &mask_words);
+        let want = scalar::masked_sum_i64(&vals, &mask_words);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sum_matches_scalar(vals in proptest::collection::vec(any::<i64>(), 0..300)) {
+        prop_assert_eq!(agg::sum_i64(&vals), scalar::sum_i64(&vals));
+    }
+
+    #[test]
+    fn min_max_matches_scalar(vals in proptest::collection::vec(any::<i64>(), 0..300)) {
+        prop_assert_eq!(agg::min_max_i64(&vals), scalar::min_max_i64(&vals));
+    }
+
+    #[test]
+    fn widen_matches_scalar(
+        base in any::<i64>(),
+        rel in proptest::collection::vec(any::<u32>(), 0..100),
+    ) {
+        let mut a = vec![0i64; rel.len()];
+        let mut b = vec![0i64; rel.len()];
+        scan::widen_rel_i64(base, &rel, &mut a);
+        scalar::widen_rel_i64(base, &rel, &mut b);
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn unpack_delta_chain_end_to_end() {
+    // Pack deltas, unpack with the public API, transpose into the chain
+    // layout, chain-decode, untranspose — must equal a scalar prefix sum.
+    let width = 11u8;
+    let deltas: Vec<u64> = (0..128u64).map(|i| (i * 37) % (1 << 11)).collect();
+    let bytes = pack_be(&deltas, width as usize, 0);
+    let mut unpacked = vec![0u32; deltas.len()];
+    unpack::unpack_u32(&bytes, 0, width, &mut unpacked);
+
+    let n_v = 8;
+    let mut carry = 1000u32;
+    let mut decoded = Vec::new();
+    for round in unpacked.chunks(n_v * 8) {
+        let mut vs = vec![[0u32; 8]; n_v];
+        transpose::layout_transpose(round, &mut vs);
+        scan::chain_delta_decode(&mut vs, &mut carry);
+        let mut straight = vec![0u32; n_v * 8];
+        transpose::layout_untranspose(&vs, &mut straight);
+        decoded.extend_from_slice(&straight);
+    }
+
+    let mut acc = 1000u32;
+    for (i, &d) in deltas.iter().enumerate() {
+        acc = acc.wrapping_add(d as u32);
+        assert_eq!(decoded[i], acc, "element {i}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Memory budgeting (paper §VI-C, "Memory management"): IoT series can be
+//! arbitrarily long, so pipelines load and decode pages *gradually*,
+//! bounded by a byte budget. Worker threads acquire budget before
+//! materializing a decoded page and release it when the page's vectors
+//! are consumed; acquisition blocks (never fails) so pipelines degrade to
+//! gradual loading instead of exhausting memory.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+struct Inner {
+    capacity: u64,
+    used: Mutex<u64>,
+    freed: Condvar,
+}
+
+/// A shared byte budget for decoded page data.
+#[derive(Clone)]
+pub struct MemoryBudget {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for MemoryBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryBudget")
+            .field("capacity", &self.inner.capacity)
+            .field("used", &*self.inner.used.lock())
+            .finish()
+    }
+}
+
+impl MemoryBudget {
+    /// Creates a budget of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        MemoryBudget {
+            inner: Arc::new(Inner {
+                capacity,
+                used: Mutex::new(0),
+                freed: Condvar::new(),
+            }),
+        }
+    }
+
+    /// An effectively unlimited budget.
+    pub fn unlimited() -> Self {
+        Self::new(u64::MAX)
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.inner.capacity
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> u64 {
+        *self.inner.used.lock()
+    }
+
+    /// Blocks until `bytes` can be reserved, then reserves them and
+    /// returns a guard that releases on drop. Requests larger than the
+    /// whole capacity are granted when the budget is otherwise empty
+    /// (single oversized pages must still be processable).
+    pub fn acquire(&self, bytes: u64) -> BudgetGuard {
+        let mut used = self.inner.used.lock();
+        loop {
+            let fits = *used + bytes <= self.inner.capacity;
+            let oversized_ok = bytes > self.inner.capacity && *used == 0;
+            if fits || oversized_ok {
+                *used += bytes;
+                return BudgetGuard {
+                    budget: self.clone(),
+                    bytes,
+                };
+            }
+            self.inner.freed.wait(&mut used);
+        }
+    }
+
+    /// Non-blocking reserve; `None` when it would exceed the budget.
+    pub fn try_acquire(&self, bytes: u64) -> Option<BudgetGuard> {
+        let mut used = self.inner.used.lock();
+        if *used + bytes <= self.inner.capacity || (bytes > self.inner.capacity && *used == 0) {
+            *used += bytes;
+            Some(BudgetGuard {
+                budget: self.clone(),
+                bytes,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn release(&self, bytes: u64) {
+        let mut used = self.inner.used.lock();
+        *used = used.saturating_sub(bytes);
+        drop(used);
+        self.inner.freed.notify_all();
+    }
+}
+
+/// RAII reservation on a [`MemoryBudget`].
+pub struct BudgetGuard {
+    budget: MemoryBudget,
+    bytes: u64,
+}
+
+impl BudgetGuard {
+    /// Reserved size.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        self.budget.release(self.bytes);
+    }
+}
+
+impl std::fmt::Debug for BudgetGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BudgetGuard({} bytes)", self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn acquire_and_release_track_usage() {
+        let b = MemoryBudget::new(1000);
+        let g1 = b.acquire(400);
+        assert_eq!(b.used(), 400);
+        let g2 = b.acquire(600);
+        assert_eq!(b.used(), 1000);
+        drop(g1);
+        assert_eq!(b.used(), 600);
+        drop(g2);
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn try_acquire_refuses_over_budget() {
+        let b = MemoryBudget::new(100);
+        let _g = b.acquire(80);
+        assert!(b.try_acquire(30).is_none());
+        assert!(b.try_acquire(20).is_some());
+    }
+
+    #[test]
+    fn oversized_request_granted_when_empty() {
+        let b = MemoryBudget::new(10);
+        let g = b.acquire(1000); // must not deadlock
+        assert_eq!(b.used(), 1000);
+        drop(g);
+        assert!(b.try_acquire(5).is_some());
+    }
+
+    #[test]
+    fn blocked_acquirer_wakes_on_release() {
+        let b = MemoryBudget::new(100);
+        let g = b.acquire(100);
+        let b2 = b.clone();
+        let handle = std::thread::spawn(move || {
+            let _g = b2.acquire(50); // blocks until main releases
+            b2.used()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        drop(g);
+        let used_inside = handle.join().unwrap();
+        assert_eq!(used_inside, 50);
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn unlimited_never_blocks() {
+        let b = MemoryBudget::unlimited();
+        let _gs: Vec<_> = (0..100).map(|_| b.acquire(u64::MAX / 256)).collect();
+    }
+}

@@ -1,0 +1,84 @@
+//! # etsqp-storage — page-based time-series storage
+//!
+//! Models how IoT databases lay out encoded series (paper §VI, Apache
+//! IoTDB / TsFile): every time series is stored as a sequence of **pages**,
+//! each encoded separately with a private header carrying the statistics
+//! the pruning rules of §V need (first/last timestamp, min/max value,
+//! element count) plus the codec tags of the timestamp and value columns.
+//!
+//! * [`page::Page`] — one encoded page (timestamp chunk + value chunk).
+//! * [`series::SeriesWriter`] — the receive buffer: accumulates points and
+//!   flushes bounded pages, mirroring the incremental encode-and-flush
+//!   behaviour of §I.
+//! * [`store::SeriesStore`] — an in-memory multi-series store with I/O
+//!   accounting (pages and bytes touched), the substrate the query
+//!   pipelines and benchmarks run against.
+//! * [`tsfile::TsFile`] — a minimal on-disk container (magic, series
+//!   index, length-prefixed pages) for persistence round-trips.
+
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod page;
+pub mod series;
+pub mod store;
+pub mod tsfile;
+
+/// Errors raised by storage operations.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying codec failure.
+    Encoding(etsqp_encoding::Error),
+    /// Structural problem in a file or page image.
+    Corrupt(&'static str),
+    /// Timestamps must be strictly increasing within a series.
+    OutOfOrder {
+        /// Latest timestamp already in the series.
+        last: i64,
+        /// The out-of-order timestamp that was rejected.
+        attempted: i64,
+    },
+    /// The requested series does not exist.
+    NoSuchSeries(String),
+    /// I/O failure while reading or writing a TsFile.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Encoding(e) => write!(f, "encoding error: {e}"),
+            Error::Corrupt(what) => write!(f, "corrupt storage image: {what}"),
+            Error::OutOfOrder { last, attempted } => {
+                write!(f, "timestamp {attempted} not after {last}")
+            }
+            Error::NoSuchSeries(name) => write!(f, "no such series: {name}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Encoding(e) => Some(e),
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<etsqp_encoding::Error> for Error {
+    fn from(e: etsqp_encoding::Error) -> Self {
+        Error::Encoding(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,298 @@
+//! Encoded pages: the unit of storage, decoding, pruning and scheduling.
+
+use bytes::Bytes;
+use etsqp_encoding::Encoding;
+
+use crate::{Error, Result};
+
+/// Statistics and codec tags stored ahead of every page's payload —
+/// the header the pruning rules of paper §V read without decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageHeader {
+    /// Number of (timestamp, value) tuples in the page.
+    pub count: u32,
+    /// First (smallest) timestamp.
+    pub first_ts: i64,
+    /// Last (largest) timestamp.
+    pub last_ts: i64,
+    /// Minimum value in the page.
+    pub min_value: i64,
+    /// Maximum value in the page.
+    pub max_value: i64,
+    /// Codec of the timestamp column.
+    pub ts_encoding: Encoding,
+    /// Codec of the value column.
+    pub val_encoding: Encoding,
+}
+
+/// Serialized header size in bytes.
+pub const HEADER_LEN: usize = 4 + 8 * 4 + 2;
+
+impl PageHeader {
+    /// Serializes the header (big-endian, fixed width).
+    pub fn to_bytes(&self) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[0..4].copy_from_slice(&self.count.to_be_bytes());
+        out[4..12].copy_from_slice(&self.first_ts.to_be_bytes());
+        out[12..20].copy_from_slice(&self.last_ts.to_be_bytes());
+        out[20..28].copy_from_slice(&self.min_value.to_be_bytes());
+        out[28..36].copy_from_slice(&self.max_value.to_be_bytes());
+        out[36] = self.ts_encoding.tag();
+        out[37] = self.val_encoding.tag();
+        out
+    }
+
+    /// Deserializes a header written by [`PageHeader::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < HEADER_LEN {
+            return Err(Error::Corrupt("page header truncated"));
+        }
+        Ok(PageHeader {
+            count: u32::from_be_bytes(bytes[0..4].try_into().unwrap()),
+            first_ts: i64::from_be_bytes(bytes[4..12].try_into().unwrap()),
+            last_ts: i64::from_be_bytes(bytes[12..20].try_into().unwrap()),
+            min_value: i64::from_be_bytes(bytes[20..28].try_into().unwrap()),
+            max_value: i64::from_be_bytes(bytes[28..36].try_into().unwrap()),
+            ts_encoding: Encoding::from_tag(bytes[36])?,
+            val_encoding: Encoding::from_tag(bytes[37])?,
+        })
+    }
+
+    /// Whether the page's time range intersects `[t_lo, t_hi]` (inclusive).
+    pub fn overlaps_time(&self, t_lo: i64, t_hi: i64) -> bool {
+        self.first_ts <= t_hi && self.last_ts >= t_lo
+    }
+
+    /// Whether any value in the page can satisfy `[v_lo, v_hi]` (inclusive).
+    pub fn overlaps_value(&self, v_lo: i64, v_hi: i64) -> bool {
+        self.min_value <= v_hi && self.max_value >= v_lo
+    }
+}
+
+/// One encoded page: header + timestamp chunk + value chunk.
+///
+/// Chunks are cheaply cloneable [`Bytes`], so pipeline jobs on different
+/// threads share the underlying buffers without copying.
+#[derive(Debug, Clone)]
+pub struct Page {
+    /// Page statistics and codec tags.
+    pub header: PageHeader,
+    /// Encoded timestamp column.
+    pub ts_bytes: Bytes,
+    /// Encoded value column.
+    pub val_bytes: Bytes,
+}
+
+impl Page {
+    /// Builds a page by encoding `(timestamps, values)` with the given
+    /// codecs. Timestamps must be strictly increasing and non-empty.
+    pub fn encode(
+        timestamps: &[i64],
+        values: &[i64],
+        ts_encoding: Encoding,
+        val_encoding: Encoding,
+    ) -> Result<Page> {
+        assert_eq!(timestamps.len(), values.len(), "column length mismatch");
+        assert!(!timestamps.is_empty(), "empty page");
+        debug_assert!(timestamps.windows(2).all(|w| w[0] < w[1]), "unsorted timestamps");
+        let (mut min_v, mut max_v) = (i64::MAX, i64::MIN);
+        for &v in values {
+            min_v = min_v.min(v);
+            max_v = max_v.max(v);
+        }
+        Ok(Page {
+            header: PageHeader {
+                count: timestamps.len() as u32,
+                first_ts: timestamps[0],
+                last_ts: *timestamps.last().unwrap(),
+                min_value: min_v,
+                max_value: max_v,
+                ts_encoding,
+                val_encoding,
+            },
+            ts_bytes: Bytes::from(ts_encoding.encode_i64(timestamps)),
+            val_bytes: Bytes::from(val_encoding.encode_i64(values)),
+        })
+    }
+
+    /// Builds a page from a float value column: the value chunk uses a
+    /// float XOR codec; header min/max hold the order-preserving integer
+    /// mapping of the float extremes, so page-level range pruning works
+    /// unchanged (compare against `f64_to_ordered_i64` of the bounds).
+    pub fn encode_f64(
+        timestamps: &[i64],
+        values: &[f64],
+        ts_encoding: Encoding,
+        val_encoding: Encoding,
+    ) -> Result<Page> {
+        assert_eq!(timestamps.len(), values.len(), "column length mismatch");
+        assert!(!timestamps.is_empty(), "empty page");
+        assert!(val_encoding.is_float(), "value codec must be a float codec");
+        let (mut min_v, mut max_v) = (i64::MAX, i64::MIN);
+        for &v in values {
+            let m = etsqp_encoding::f64_to_ordered_i64(v);
+            min_v = min_v.min(m);
+            max_v = max_v.max(m);
+        }
+        Ok(Page {
+            header: PageHeader {
+                count: timestamps.len() as u32,
+                first_ts: timestamps[0],
+                last_ts: *timestamps.last().unwrap(),
+                min_value: min_v,
+                max_value: max_v,
+                ts_encoding,
+                val_encoding,
+            },
+            ts_bytes: Bytes::from(ts_encoding.encode_i64(timestamps)),
+            val_bytes: Bytes::from(val_encoding.encode_f64(values)),
+        })
+    }
+
+    /// Decodes a float page's columns.
+    ///
+    /// # Panics
+    /// If the value codec is not a float codec.
+    pub fn decode_f64(&self) -> Result<(Vec<i64>, Vec<f64>)> {
+        let ts = self.header.ts_encoding.decode_i64(&self.ts_bytes)?;
+        let vals = self.header.val_encoding.decode_f64(&self.val_bytes)?;
+        Ok((ts, vals))
+    }
+
+    /// Serial reference decode of both columns.
+    pub fn decode(&self) -> Result<(Vec<i64>, Vec<i64>)> {
+        let ts = self.header.ts_encoding.decode_i64(&self.ts_bytes)?;
+        let vals = self.header.val_encoding.decode_i64(&self.val_bytes)?;
+        Ok((ts, vals))
+    }
+
+    /// Total encoded size (header + both chunks).
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + self.ts_bytes.len() + self.val_bytes.len()
+    }
+
+    /// Serializes the full page (header, chunk lengths, chunks).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len() + 8);
+        out.extend_from_slice(&self.header.to_bytes());
+        out.extend_from_slice(&(self.ts_bytes.len() as u32).to_be_bytes());
+        out.extend_from_slice(&(self.val_bytes.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.ts_bytes);
+        out.extend_from_slice(&self.val_bytes);
+        out
+    }
+
+    /// Deserializes a page written by [`Page::to_bytes`], returning the
+    /// page and the number of bytes consumed.
+    pub fn from_bytes(bytes: &[u8]) -> Result<(Page, usize)> {
+        let header = PageHeader::from_bytes(bytes)?;
+        let mut off = HEADER_LEN;
+        if bytes.len() < off + 8 {
+            return Err(Error::Corrupt("page chunk lengths truncated"));
+        }
+        let ts_len = u32::from_be_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        let val_len = u32::from_be_bytes(bytes[off + 4..off + 8].try_into().unwrap()) as usize;
+        off += 8;
+        if bytes.len() < off + ts_len + val_len {
+            return Err(Error::Corrupt("page chunks truncated"));
+        }
+        let ts_bytes = Bytes::copy_from_slice(&bytes[off..off + ts_len]);
+        let val_bytes = Bytes::copy_from_slice(&bytes[off + ts_len..off + ts_len + val_len]);
+        off += ts_len + val_len;
+        Ok((
+            Page {
+                header,
+                ts_bytes,
+                val_bytes,
+            },
+            off,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_page() -> Page {
+        let ts: Vec<i64> = (0..100).map(|i| 1000 + i * 10).collect();
+        let vals: Vec<i64> = (0..100).map(|i| 50 + (i % 13)).collect();
+        Page::encode(&ts, &vals, Encoding::Ts2Diff, Encoding::Ts2Diff).unwrap()
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let page = sample_page();
+        let parsed = PageHeader::from_bytes(&page.header.to_bytes()).unwrap();
+        assert_eq!(parsed, page.header);
+    }
+
+    #[test]
+    fn header_stats_correct() {
+        let page = sample_page();
+        assert_eq!(page.header.count, 100);
+        assert_eq!(page.header.first_ts, 1000);
+        assert_eq!(page.header.last_ts, 1990);
+        assert_eq!(page.header.min_value, 50);
+        assert_eq!(page.header.max_value, 62);
+    }
+
+    #[test]
+    fn page_decode_roundtrip() {
+        let page = sample_page();
+        let (ts, vals) = page.decode().unwrap();
+        assert_eq!(ts.len(), 100);
+        assert_eq!(ts[0], 1000);
+        assert_eq!(vals[12], 62);
+    }
+
+    #[test]
+    fn page_serialization_roundtrip() {
+        let page = sample_page();
+        let bytes = page.to_bytes();
+        let (back, consumed) = Page::from_bytes(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(back.header, page.header);
+        assert_eq!(back.ts_bytes, page.ts_bytes);
+        assert_eq!(back.val_bytes, page.val_bytes);
+    }
+
+    #[test]
+    fn overlap_predicates() {
+        let page = sample_page();
+        assert!(page.header.overlaps_time(1990, 5000));
+        assert!(page.header.overlaps_time(0, 1000));
+        assert!(!page.header.overlaps_time(2000, 5000));
+        assert!(page.header.overlaps_value(60, 100));
+        assert!(!page.header.overlaps_value(63, 100));
+    }
+
+    #[test]
+    fn float_page_roundtrip_and_stats() {
+        let ts: Vec<i64> = (0..50).map(|i| i * 10).collect();
+        let vals: Vec<f64> = (0..50).map(|i| 20.0 + (i as f64) * 0.25 - 3.0).collect();
+        for enc in [Encoding::GorillaFloat, Encoding::Chimp, Encoding::Elf] {
+            let page = Page::encode_f64(&ts, &vals, Encoding::Ts2Diff, enc).unwrap();
+            let (t2, v2) = page.decode_f64().unwrap();
+            assert_eq!(t2, ts);
+            for (a, b) in v2.iter().zip(&vals) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{}", enc.name());
+            }
+            // Header stats map the float extremes order-preservingly.
+            let lo = etsqp_encoding::ordered_i64_to_f64(page.header.min_value);
+            let hi = etsqp_encoding::ordered_i64_to_f64(page.header.max_value);
+            assert_eq!(lo, 17.0);
+            assert_eq!(hi, 17.0 + 49.0 * 0.25);
+            // Range-pruning predicate works on the mapped domain.
+            let q_lo = etsqp_encoding::f64_to_ordered_i64(100.0);
+            assert!(!page.header.overlaps_value(q_lo, i64::MAX));
+        }
+    }
+
+    #[test]
+    fn truncated_page_rejected() {
+        let bytes = sample_page().to_bytes();
+        assert!(Page::from_bytes(&bytes[..HEADER_LEN + 4]).is_err());
+        assert!(Page::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

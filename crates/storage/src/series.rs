@@ -1,0 +1,251 @@
+//! The receive buffer: accumulates incoming points for one series and
+//! flushes bounded encoded pages — the incremental encode-and-flush
+//! behaviour of paper §I ("databases encode data incrementally to save
+//! the receiving buffers").
+
+use etsqp_encoding::Encoding;
+
+use crate::page::Page;
+use crate::{Error, Result};
+
+/// Default points per flushed page.
+pub const DEFAULT_PAGE_POINTS: usize = 1024;
+
+/// Buffers points for a single series and emits encoded [`Page`]s.
+#[derive(Debug)]
+pub struct SeriesWriter {
+    ts_encoding: Encoding,
+    val_encoding: Encoding,
+    page_points: usize,
+    ts_buf: Vec<i64>,
+    val_buf: Vec<i64>,
+    flushed: Vec<Page>,
+}
+
+impl SeriesWriter {
+    /// Creates a writer flushing pages of [`DEFAULT_PAGE_POINTS`] points.
+    pub fn new(ts_encoding: Encoding, val_encoding: Encoding) -> Self {
+        Self::with_page_points(ts_encoding, val_encoding, DEFAULT_PAGE_POINTS)
+    }
+
+    /// Creates a writer with an explicit page size in points.
+    ///
+    /// # Panics
+    /// If `page_points == 0`.
+    pub fn with_page_points(ts_encoding: Encoding, val_encoding: Encoding, page_points: usize) -> Self {
+        assert!(page_points > 0, "page size must be positive");
+        Self {
+            ts_encoding,
+            val_encoding,
+            page_points,
+            ts_buf: Vec::with_capacity(page_points),
+            val_buf: Vec::with_capacity(page_points),
+            flushed: Vec::new(),
+        }
+    }
+
+    /// Appends one point; timestamps must be strictly increasing.
+    pub fn push(&mut self, ts: i64, value: i64) -> Result<()> {
+        if let Some(&last) = self.ts_buf.last() {
+            if ts <= last {
+                return Err(Error::OutOfOrder { last, attempted: ts });
+            }
+        } else if let Some(page) = self.flushed.last() {
+            if ts <= page.header.last_ts {
+                return Err(Error::OutOfOrder {
+                    last: page.header.last_ts,
+                    attempted: ts,
+                });
+            }
+        }
+        self.ts_buf.push(ts);
+        self.val_buf.push(value);
+        if self.ts_buf.len() >= self.page_points {
+            self.flush_page()?;
+        }
+        Ok(())
+    }
+
+    /// Appends many points.
+    pub fn push_all(&mut self, ts: &[i64], values: &[i64]) -> Result<()> {
+        assert_eq!(ts.len(), values.len());
+        for (&t, &v) in ts.iter().zip(values) {
+            self.push(t, v)?;
+        }
+        Ok(())
+    }
+
+    /// Number of points currently buffered (not yet in a page).
+    pub fn buffered(&self) -> usize {
+        self.ts_buf.len()
+    }
+
+    /// Forces the current buffer out as a (possibly short) page.
+    pub fn flush_page(&mut self) -> Result<()> {
+        if self.ts_buf.is_empty() {
+            return Ok(());
+        }
+        let page = Page::encode(&self.ts_buf, &self.val_buf, self.ts_encoding, self.val_encoding)?;
+        self.flushed.push(page);
+        self.ts_buf.clear();
+        self.val_buf.clear();
+        Ok(())
+    }
+
+    /// Flushes any remainder and returns all pages.
+    pub fn finish(mut self) -> Result<Vec<Page>> {
+        self.flush_page()?;
+        Ok(self.flushed)
+    }
+}
+
+/// Float-column counterpart of [`SeriesWriter`].
+#[derive(Debug)]
+pub struct SeriesWriterF64 {
+    ts_encoding: Encoding,
+    val_encoding: Encoding,
+    page_points: usize,
+    ts_buf: Vec<i64>,
+    val_buf: Vec<f64>,
+    flushed: Vec<Page>,
+}
+
+impl SeriesWriterF64 {
+    /// Creates a float writer (`val_encoding` must be a float codec).
+    pub fn with_page_points(ts_encoding: Encoding, val_encoding: Encoding, page_points: usize) -> Self {
+        assert!(page_points > 0, "page size must be positive");
+        assert!(val_encoding.is_float(), "value codec must be a float codec");
+        Self {
+            ts_encoding,
+            val_encoding,
+            page_points,
+            ts_buf: Vec::with_capacity(page_points),
+            val_buf: Vec::with_capacity(page_points),
+            flushed: Vec::new(),
+        }
+    }
+
+    /// Appends one float point; timestamps must be strictly increasing.
+    pub fn push(&mut self, ts: i64, value: f64) -> Result<()> {
+        if let Some(&last) = self.ts_buf.last() {
+            if ts <= last {
+                return Err(Error::OutOfOrder { last, attempted: ts });
+            }
+        } else if let Some(page) = self.flushed.last() {
+            if ts <= page.header.last_ts {
+                return Err(Error::OutOfOrder {
+                    last: page.header.last_ts,
+                    attempted: ts,
+                });
+            }
+        }
+        self.ts_buf.push(ts);
+        self.val_buf.push(value);
+        if self.ts_buf.len() >= self.page_points {
+            self.flush_page()?;
+        }
+        Ok(())
+    }
+
+    /// Forces the current buffer out as a (possibly short) page.
+    pub fn flush_page(&mut self) -> Result<()> {
+        if self.ts_buf.is_empty() {
+            return Ok(());
+        }
+        let page = Page::encode_f64(&self.ts_buf, &self.val_buf, self.ts_encoding, self.val_encoding)?;
+        self.flushed.push(page);
+        self.ts_buf.clear();
+        self.val_buf.clear();
+        Ok(())
+    }
+
+    /// Flushes any remainder and returns all pages.
+    pub fn finish(mut self) -> Result<Vec<Page>> {
+        self.flush_page()?;
+        Ok(self.flushed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flushes_full_pages_and_remainder() {
+        let mut w = SeriesWriter::with_page_points(Encoding::Ts2Diff, Encoding::Ts2Diff, 100);
+        for i in 0..250i64 {
+            w.push(i * 5, i).unwrap();
+        }
+        let pages = w.finish().unwrap();
+        assert_eq!(pages.len(), 3);
+        assert_eq!(pages[0].header.count, 100);
+        assert_eq!(pages[2].header.count, 50);
+        assert_eq!(pages[1].header.first_ts, 500);
+    }
+
+    #[test]
+    fn rejects_out_of_order_within_buffer() {
+        let mut w = SeriesWriter::new(Encoding::Ts2Diff, Encoding::Ts2Diff);
+        w.push(10, 1).unwrap();
+        assert!(matches!(w.push(10, 2), Err(Error::OutOfOrder { .. })));
+        assert!(matches!(w.push(5, 2), Err(Error::OutOfOrder { .. })));
+    }
+
+    #[test]
+    fn rejects_out_of_order_across_page_boundary() {
+        let mut w = SeriesWriter::with_page_points(Encoding::Ts2Diff, Encoding::Ts2Diff, 2);
+        w.push(1, 0).unwrap();
+        w.push(2, 0).unwrap(); // flushes
+        assert_eq!(w.buffered(), 0);
+        assert!(w.push(2, 0).is_err());
+        w.push(3, 0).unwrap();
+    }
+
+    #[test]
+    fn float_writer_pages_roundtrip() {
+        let mut w = SeriesWriterF64::with_page_points(Encoding::Ts2Diff, Encoding::Chimp, 64);
+        let vals: Vec<f64> = (0..200).map(|i| 1.5 + i as f64 * 0.125).collect();
+        for (i, &v) in vals.iter().enumerate() {
+            w.push(i as i64 * 5, v).unwrap();
+        }
+        let pages = w.finish().unwrap();
+        assert_eq!(pages.len(), 4);
+        let mut all = Vec::new();
+        for p in &pages {
+            let (_, v) = p.decode_f64().unwrap();
+            all.extend(v);
+        }
+        assert_eq!(all, vals);
+    }
+
+    #[test]
+    fn float_writer_rejects_out_of_order() {
+        let mut w = SeriesWriterF64::with_page_points(Encoding::Ts2Diff, Encoding::Elf, 16);
+        w.push(5, 1.0).unwrap();
+        assert!(w.push(5, 2.0).is_err());
+    }
+
+    #[test]
+    fn empty_writer_finishes_empty() {
+        let w = SeriesWriter::new(Encoding::Ts2Diff, Encoding::Ts2Diff);
+        assert!(w.finish().unwrap().is_empty());
+    }
+
+    #[test]
+    fn pages_decode_back_to_input() {
+        let ts: Vec<i64> = (0..333).map(|i| i * 7).collect();
+        let vals: Vec<i64> = (0..333).map(|i| (i * i) % 97).collect();
+        let mut w = SeriesWriter::with_page_points(Encoding::Ts2Diff, Encoding::Sprintz, 128);
+        w.push_all(&ts, &vals).unwrap();
+        let pages = w.finish().unwrap();
+        let mut all_ts = Vec::new();
+        let mut all_vals = Vec::new();
+        for p in &pages {
+            let (t, v) = p.decode().unwrap();
+            all_ts.extend(t);
+            all_vals.extend(v);
+        }
+        assert_eq!(all_ts, ts);
+        assert_eq!(all_vals, vals);
+    }
+}

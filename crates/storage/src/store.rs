@@ -1,0 +1,335 @@
+//! In-memory multi-series store with I/O accounting.
+//!
+//! The query pipelines and benchmarks consume pages through this store so
+//! every experiment can report how many encoded bytes it actually touched
+//! — the quantity behind the paper's I/O-bound observations (Fig. 14(b))
+//! and the throughput definition of §VII-B ("tuples in loaded pages per
+//! second that counts tuples of pruned pages").
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use etsqp_encoding::Encoding;
+use parking_lot::RwLock;
+
+use crate::page::Page;
+use crate::series::{SeriesWriter, SeriesWriterF64};
+use crate::{Error, Result};
+
+/// Counters for encoded bytes and pages handed to readers.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    bytes_read: AtomicU64,
+    pages_read: AtomicU64,
+}
+
+impl IoStats {
+    /// Records one page read of `bytes` encoded bytes.
+    pub fn record_page(&self, bytes: usize) {
+        self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.pages_read.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Encoded bytes handed out so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Pages handed out so far.
+    pub fn pages_read(&self) -> u64 {
+        self.pages_read.load(Ordering::Relaxed)
+    }
+
+    /// Resets both counters (between benchmark runs).
+    pub fn reset(&self) {
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.pages_read.store(0, Ordering::Relaxed);
+    }
+}
+
+enum Writer {
+    Int(SeriesWriter),
+    Float(SeriesWriterF64),
+}
+
+struct SeriesData {
+    pages: Vec<Arc<Page>>,
+    writer: Option<Writer>,
+}
+
+/// A named collection of series, each a vector of encoded pages.
+///
+/// Cloneable handles share the same underlying store (`Arc` internally),
+/// so pipeline threads can read pages concurrently.
+pub struct SeriesStore {
+    inner: Arc<RwLock<BTreeMap<String, SeriesData>>>,
+    io: Arc<IoStats>,
+    page_points: usize,
+}
+
+impl Clone for SeriesStore {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+            io: Arc::clone(&self.io),
+            page_points: self.page_points,
+        }
+    }
+}
+
+impl Default for SeriesStore {
+    fn default() -> Self {
+        Self::new(crate::series::DEFAULT_PAGE_POINTS)
+    }
+}
+
+impl SeriesStore {
+    /// Creates a store flushing pages of `page_points` points.
+    pub fn new(page_points: usize) -> Self {
+        Self {
+            inner: Arc::new(RwLock::new(BTreeMap::new())),
+            io: Arc::new(IoStats::default()),
+            page_points,
+        }
+    }
+
+    /// Shared I/O counters.
+    pub fn io(&self) -> &IoStats {
+        &self.io
+    }
+
+    /// Registers a series with the given column codecs. Idempotent for an
+    /// existing series with the same name.
+    pub fn create_series(&self, name: &str, ts_encoding: Encoding, val_encoding: Encoding) {
+        let mut map = self.inner.write();
+        map.entry(name.to_string()).or_insert_with(|| SeriesData {
+            pages: Vec::new(),
+            writer: Some(Writer::Int(SeriesWriter::with_page_points(
+                ts_encoding,
+                val_encoding,
+                self.page_points,
+            ))),
+        });
+    }
+
+    /// Registers a float-valued series (`val_encoding` must be a float
+    /// codec: GorillaFloat, Chimp or Elf).
+    pub fn create_series_f64(&self, name: &str, ts_encoding: Encoding, val_encoding: Encoding) {
+        let mut map = self.inner.write();
+        map.entry(name.to_string()).or_insert_with(|| SeriesData {
+            pages: Vec::new(),
+            writer: Some(Writer::Float(SeriesWriterF64::with_page_points(
+                ts_encoding,
+                val_encoding,
+                self.page_points,
+            ))),
+        });
+    }
+
+    /// Appends one float point to a float series.
+    pub fn append_f64(&self, name: &str, ts: i64, value: f64) -> Result<()> {
+        let mut map = self.inner.write();
+        let data = map
+            .get_mut(name)
+            .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
+        match data.writer.as_mut() {
+            Some(Writer::Float(w)) => w.push(ts, value),
+            Some(Writer::Int(_)) => Err(Error::Corrupt("integer series; use append")),
+            None => Err(Error::Corrupt("series sealed")),
+        }
+    }
+
+    /// Appends one point to a series' receive buffer.
+    pub fn append(&self, name: &str, ts: i64, value: i64) -> Result<()> {
+        let mut map = self.inner.write();
+        let data = map
+            .get_mut(name)
+            .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
+        match data.writer.as_mut() {
+            Some(Writer::Int(w)) => w.push(ts, value),
+            Some(Writer::Float(_)) => Err(Error::Corrupt("float series; use append_f64")),
+            None => Err(Error::Corrupt("series sealed")),
+        }
+    }
+
+    /// Bulk-appends points and flushes all full pages.
+    pub fn append_all(&self, name: &str, ts: &[i64], values: &[i64]) -> Result<()> {
+        let mut map = self.inner.write();
+        let data = map
+            .get_mut(name)
+            .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
+        match data.writer.as_mut() {
+            Some(Writer::Int(w)) => w.push_all(ts, values)?,
+            Some(Writer::Float(_)) => return Err(Error::Corrupt("float series; use append_f64")),
+            None => return Err(Error::Corrupt("series sealed")),
+        }
+        drop(map);
+        self.sync(name)
+    }
+
+    /// Moves every completed page from the receive buffer into the store
+    /// and force-flushes the remainder.
+    pub fn flush(&self, name: &str) -> Result<()> {
+        let mut map = self.inner.write();
+        let data = map
+            .get_mut(name)
+            .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
+        match data.writer.as_mut() {
+            Some(Writer::Int(w)) => w.flush_page()?,
+            Some(Writer::Float(w)) => w.flush_page()?,
+            None => {}
+        }
+        Self::drain_writer(data)
+    }
+
+    /// Moves completed pages out of the buffer without forcing a short page.
+    fn sync(&self, name: &str) -> Result<()> {
+        let mut map = self.inner.write();
+        let data = map
+            .get_mut(name)
+            .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
+        Self::drain_writer(data)
+    }
+
+    fn drain_writer(data: &mut SeriesData) -> Result<()> {
+        let Some(writer) = data.writer.take() else {
+            return Ok(());
+        };
+        let is_float = matches!(writer, Writer::Float(_));
+        let pages = match writer {
+            Writer::Int(w) => w.finish()?,
+            Writer::Float(w) => w.finish()?,
+        };
+        let encs = pages
+            .first()
+            .map(|p| (p.header.ts_encoding, p.header.val_encoding))
+            .or_else(|| data.pages.first().map(|p| (p.header.ts_encoding, p.header.val_encoding)));
+        data.pages.extend(pages.into_iter().map(Arc::new));
+        if let Some((te, ve)) = encs {
+            data.writer = Some(if is_float {
+                Writer::Float(SeriesWriterF64::with_page_points(te, ve, crate::series::DEFAULT_PAGE_POINTS))
+            } else {
+                Writer::Int(SeriesWriter::new(te, ve))
+            });
+        }
+        Ok(())
+    }
+
+    /// Names of all series.
+    pub fn series_names(&self) -> Vec<String> {
+        self.inner.read().keys().cloned().collect()
+    }
+
+    /// Page count of a series.
+    pub fn page_count(&self, name: &str) -> Result<usize> {
+        let map = self.inner.read();
+        map.get(name)
+            .map(|d| d.pages.len())
+            .ok_or_else(|| Error::NoSuchSeries(name.to_string()))
+    }
+
+    /// Returns the pages of a series, recording their encoded bytes as I/O.
+    pub fn read_pages(&self, name: &str) -> Result<Vec<Arc<Page>>> {
+        let map = self.inner.read();
+        let data = map
+            .get(name)
+            .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
+        for p in &data.pages {
+            self.io.record_page(p.encoded_len());
+        }
+        Ok(data.pages.clone())
+    }
+
+    /// Returns page handles *without* charging I/O — used by planners that
+    /// inspect headers only; readers charge I/O when they touch payloads.
+    pub fn peek_pages(&self, name: &str) -> Result<Vec<Arc<Page>>> {
+        let map = self.inner.read();
+        let data = map
+            .get(name)
+            .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
+        Ok(data.pages.clone())
+    }
+
+    /// Inserts pre-encoded pages directly (used by TsFile loading and by
+    /// benchmarks that prepare data once).
+    pub fn insert_pages(&self, name: &str, pages: Vec<Page>) {
+        let mut map = self.inner.write();
+        let data = map.entry(name.to_string()).or_insert_with(|| SeriesData {
+            pages: Vec::new(),
+            writer: None,
+        });
+        data.pages.extend(pages.into_iter().map(Arc::new));
+    }
+
+    /// Total number of points across all pages of a series.
+    pub fn point_count(&self, name: &str) -> Result<u64> {
+        let map = self.inner.read();
+        let data = map
+            .get(name)
+            .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
+        Ok(data.pages.iter().map(|p| p.header.count as u64).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled_store() -> SeriesStore {
+        let store = SeriesStore::new(100);
+        store.create_series("s1", Encoding::Ts2Diff, Encoding::Ts2Diff);
+        let ts: Vec<i64> = (0..250).map(|i| i * 2).collect();
+        let vals: Vec<i64> = (0..250).collect();
+        store.append_all("s1", &ts, &vals).unwrap();
+        store.flush("s1").unwrap();
+        store
+    }
+
+    #[test]
+    fn create_append_flush_read() {
+        let store = filled_store();
+        assert_eq!(store.page_count("s1").unwrap(), 3);
+        assert_eq!(store.point_count("s1").unwrap(), 250);
+        let pages = store.read_pages("s1").unwrap();
+        let (ts, _) = pages[0].decode().unwrap();
+        assert_eq!(ts[0], 0);
+    }
+
+    #[test]
+    fn io_accounting() {
+        let store = filled_store();
+        assert_eq!(store.io().pages_read(), 0);
+        let pages = store.read_pages("s1").unwrap();
+        let expect: u64 = pages.iter().map(|p| p.encoded_len() as u64).sum();
+        assert_eq!(store.io().pages_read(), 3);
+        assert_eq!(store.io().bytes_read(), expect);
+        store.peek_pages("s1").unwrap();
+        assert_eq!(store.io().pages_read(), 3, "peek must not charge I/O");
+        store.io().reset();
+        assert_eq!(store.io().bytes_read(), 0);
+    }
+
+    #[test]
+    fn missing_series_errors() {
+        let store = SeriesStore::default();
+        assert!(matches!(store.read_pages("nope"), Err(Error::NoSuchSeries(_))));
+        assert!(store.append("nope", 1, 1).is_err());
+    }
+
+    #[test]
+    fn append_after_flush_continues() {
+        let store = filled_store();
+        store.append("s1", 10_000, 1).unwrap();
+        store.flush("s1").unwrap();
+        assert_eq!(store.point_count("s1").unwrap(), 251);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let store = filled_store();
+        let clone = store.clone();
+        clone.read_pages("s1").unwrap();
+        assert_eq!(store.io().pages_read(), 3);
+    }
+}

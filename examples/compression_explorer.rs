@@ -1,0 +1,63 @@
+//! Explore how the Table I encoder families compress the Table II
+//! datasets — the space-efficiency premise of the whole paper.
+//!
+//! ```sh
+//! cargo run --release --example compression_explorer
+//! ```
+
+use etsqp::datasets::Spec;
+use etsqp::Encoding;
+
+fn main() {
+    let rows = 100_000usize;
+    let codecs = [
+        Encoding::Plain,
+        Encoding::Ts2Diff,
+        Encoding::Ts2DiffOrder2,
+        Encoding::DeltaRle,
+        Encoding::Sprintz,
+        Encoding::Rlbe,
+        Encoding::Gorilla,
+        Encoding::Rle,
+    ];
+
+    println!("compression ratio (raw 8 B/value ÷ encoded), {rows} rows per column\n");
+    print!("{:<22}", "column");
+    for c in codecs {
+        print!("{:>10}", c.name());
+    }
+    println!();
+
+    for spec in Spec::ALL {
+        let d = spec.generate(rows);
+        // Time column plus the first two value columns of each dataset.
+        let mut columns: Vec<(String, &Vec<i64>)> = vec![(format!("{}.time", d.label), &d.timestamps)];
+        for (name, col) in d.columns.iter().take(2) {
+            columns.push((format!("{}.{name}", d.label), col));
+        }
+        for (name, col) in columns {
+            print!("{name:<22}");
+            let raw = col.len() * 8;
+            for codec in codecs {
+                let encoded = codec.encode_i64(col);
+                // Verify losslessness while we're here.
+                assert_eq!(&codec.decode_i64(&encoded).unwrap(), col, "{name} {}", codec.name());
+                print!("{:>9.1}x", raw as f64 / encoded.len() as f64);
+            }
+            println!();
+        }
+    }
+
+    println!("\nfloat codecs on 2-decimal sensor readings (Gorilla/Chimp/Elf):");
+    let readings: Vec<f64> = (0..rows)
+        .map(|i| ((20.0 + (i as f64 * 0.01).sin() * 5.0) * 100.0).round() / 100.0)
+        .collect();
+    let raw = readings.len() * 8;
+    for (name, bytes) in [
+        ("gorilla", etsqp::encoding::gorilla::encode_f64(&readings)),
+        ("chimp", etsqp::encoding::chimp::encode(&readings)),
+        ("elf", etsqp::encoding::elf::encode(&readings)),
+    ] {
+        println!("  {name:<8} {:>6.1}x", raw as f64 / bytes.len() as f64);
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: create an embedded ETSQP database, ingest IoT points,
+//! run SQL aggregations, and inspect execution statistics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use etsqp::{EngineOptions, IotDb};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A database with the full ETSQP pipeline (vectorized decoders,
+    // operator fusion, pruning) — the defaults.
+    let db = IotDb::new(EngineOptions::default());
+    println!("SIMD backend: {}", etsqp::simd::backend());
+
+    // One velocity sensor reporting every second.
+    db.create_series("velocity")?;
+    let n = 500_000i64;
+    for i in 0..n {
+        let t = 1_700_000_000_000 + i * 1000; // epoch millis
+        let v = 60 + ((i / 3600) % 40) + (i % 7) - 3; // km/h-ish, smooth
+        db.append("velocity", t, v)?;
+    }
+    db.flush()?;
+
+    // Point the paper's Example 2 query at it.
+    let r = db.query(
+        "SELECT AVG(velocity) FROM velocity \
+         WHERE time >= 1700000180000 AND time <= 1700000300000",
+    )?;
+    println!("\nAVG over 2 minutes: {:?}  ({:?})", r.rows[0][0], r.elapsed);
+    println!(
+        "  pages loaded {} / pruned {}, tuples scanned {}, pruned {}",
+        r.stats.pages_loaded, r.stats.pages_pruned, r.stats.tuples_scanned, r.stats.tuples_pruned
+    );
+
+    // A down-sampling query: hourly sums (sliding windows of 3.6e6 ms).
+    let r = db.query("SELECT SUM(velocity) FROM velocity SW(1700000000000, 3600000)")?;
+    println!("\nHourly down-sample: {} windows in {:?}", r.rows.len(), r.elapsed);
+    for row in r.rows.iter().take(3) {
+        println!("  window {:?} -> {:?}", row[0], row[1]);
+    }
+
+    // A selective value filter (Q3 shape).
+    let r = db.query("SELECT SUM(velocity) FROM (SELECT * FROM velocity WHERE velocity > 90)")?;
+    println!("\nSUM of readings > 90: {:?} in {:?}", r.rows[0][0], r.elapsed);
+
+    // Compression achieved by the IoT encoders.
+    let io = db.store().io();
+    println!(
+        "\nstore: {} pages, raw {} MB vs encoded pages on read path (bytes read so far: {})",
+        db.store().page_count("velocity")?,
+        n * 16 / 1_000_000,
+        io.bytes_read()
+    );
+    Ok(())
+}

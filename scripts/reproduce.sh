@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper into results/.
+#
+# Usage: scripts/reproduce.sh [rows]
+#   rows — rows per dataset (default 200000; the paper's billion-row
+#          datasets are scaled to this cap, recorded in each output).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ROWS="${1:-200000}"
+export ETSQP_BENCH_ROWS="$ROWS"
+mkdir -p results
+cargo build --release -p etsqp-bench --bins
+for b in table1 table2 table3 fig10 fig11 fig12 fig13 fig14; do
+  echo "=== $b (rows=$ROWS) ==="
+  ./target/release/$b | tee "results/$b.txt"
+done
+echo "=== criterion benches ==="
+cargo bench --workspace 2>&1 | tee results/criterion.txt
+echo "done — see results/ and EXPERIMENTS.md"

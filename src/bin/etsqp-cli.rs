@@ -1,0 +1,251 @@
+//! `etsqp-cli` — an interactive shell for ETSQP databases.
+//!
+//! ```sh
+//! cargo run --release --bin etsqp-cli -- [file.etsqp]
+//! ```
+//!
+//! Commands:
+//!
+//! * any SQL statement (Table III dialect) — executed and printed;
+//! * `.load <path>` / `.save <path>` — TsFile persistence;
+//! * `.gen <spec> <rows>` — ingest a synthetic Table II dataset
+//!   (atm | clim | gas | time | sine | tpch);
+//! * `.series` — list series with page/point counts;
+//! * `.config [threads N] [prune on|off] [fuse none|delta|repeat]
+//!   [vectorized on|off]` — inspect / adjust the pipeline;
+//! * `.stats` — I/O counters; `.help`; `.quit`.
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+use etsqp::core::plan::PipelineConfig;
+use etsqp::datasets::Spec;
+use etsqp::{EngineOptions, FuseLevel, IotDb, Value};
+
+fn main() {
+    let mut db = IotDb::new(EngineOptions::default());
+    let mut cfg = PipelineConfig::default();
+    println!("ETSQP shell — SIMD backend: {} — .help for commands", etsqp::simd::backend());
+
+    if let Some(path) = std::env::args().nth(1) {
+        match load(&path) {
+            Ok(loaded) => {
+                db = loaded;
+                println!("loaded {}", path);
+            }
+            Err(e) => eprintln!("cannot load {path}: {e}"),
+        }
+    }
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("etsqp> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".explain ") {
+            explain(&db, &cfg, rest);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            if !dot_command(rest, &mut db, &mut cfg) {
+                break;
+            }
+            continue;
+        }
+        run_sql(&db, &cfg, line);
+    }
+}
+
+fn load(path: &str) -> Result<IotDb, Box<dyn std::error::Error>> {
+    let store = etsqp::storage::tsfile::read(Path::new(path))?;
+    Ok(IotDb::with_store(store, EngineOptions::default()))
+}
+
+fn run_sql(db: &IotDb, cfg: &PipelineConfig, sql: &str) {
+    let plan = match etsqp::core::sql::parse(sql) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return;
+        }
+    };
+    match db.execute_with(&plan, cfg) {
+        Ok(r) => {
+            println!("{}", r.columns.join(" | "));
+            let shown = r.rows.len().min(20);
+            for row in &r.rows[..shown] {
+                let cells: Vec<String> = row.iter().map(fmt_value).collect();
+                println!("{}", cells.join(" | "));
+            }
+            if r.rows.len() > shown {
+                println!("… {} more rows", r.rows.len() - shown);
+            }
+            println!(
+                "({} rows in {:.3} ms; pages {}+{} pruned, tuples {}+{} pruned)",
+                r.rows.len(),
+                r.elapsed.as_secs_f64() * 1e3,
+                r.stats.pages_loaded,
+                r.stats.pages_pruned,
+                r.stats.tuples_scanned,
+                r.stats.tuples_pruned,
+            );
+        }
+        Err(e) => eprintln!("error: {e}"),
+    }
+}
+
+/// `.explain <sql>` — the logical plan plus the per-series pipeline
+/// strategy the engine will pick (fusion / pruning statistics from page
+/// headers).
+fn explain(db: &IotDb, cfg: &PipelineConfig, sql: &str) {
+    let plan = match etsqp::core::sql::parse(sql) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return;
+        }
+    };
+    println!("logical plan: {plan:#?}");
+    println!(
+        "pipeline: threads={} prune={} fuse={:?} vectorized={} slicing={}",
+        cfg.threads, cfg.prune, cfg.fuse, cfg.vectorized, cfg.allow_slicing
+    );
+    for name in db.store().series_names() {
+        if !format!("{plan:?}").contains(&format!("\"{name}\"")) {
+            continue;
+        }
+        let Ok(pages) = db.store().peek_pages(&name) else { continue };
+        if pages.is_empty() {
+            println!("  {name}: no pages");
+            continue;
+        }
+        let h = &pages[0].header;
+        let points: u64 = pages.iter().map(|p| p.header.count as u64).sum();
+        let bytes: usize = pages.iter().map(|p| p.encoded_len()).sum();
+        println!(
+            "  {name}: {points} points, {} pages, {:.1} KB encoded, ts={}, val={}",
+            pages.len(),
+            bytes as f64 / 1e3,
+            h.ts_encoding.name(),
+            h.val_encoding.name(),
+        );
+        println!(
+            "    time range [{}, {}], value range [{}, {}]",
+            h.first_ts,
+            pages.last().unwrap().header.last_ts,
+            pages.iter().map(|p| p.header.min_value).min().unwrap(),
+            pages.iter().map(|p| p.header.max_value).max().unwrap(),
+        );
+    }
+}
+
+fn fmt_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format!("{f:.4}"),
+        Value::Null => "NULL".to_string(),
+    }
+}
+
+/// Returns false to quit.
+fn dot_command(rest: &str, db: &mut IotDb, cfg: &mut PipelineConfig) -> bool {
+    let mut parts = rest.split_whitespace();
+    match parts.next().unwrap_or("") {
+        "quit" | "exit" | "q" => return false,
+        "help" => {
+            println!(".load <path> | .save <path> | .gen <spec> <rows> | .series");
+            println!(".explain <sql> — show the logical plan and storage strategy");
+            println!(".config [threads N] [prune on|off] [fuse none|delta|repeat] [vectorized on|off]");
+            println!(".stats | .quit — anything else is parsed as SQL");
+        }
+        "load" => match parts.next() {
+            Some(path) => match load(path) {
+                Ok(loaded) => {
+                    *db = loaded;
+                    println!("loaded {path}");
+                }
+                Err(e) => eprintln!("cannot load: {e}"),
+            },
+            None => eprintln!("usage: .load <path>"),
+        },
+        "save" => match parts.next() {
+            Some(path) => match etsqp::storage::tsfile::write(db.store(), Path::new(path)) {
+                Ok(()) => println!("saved {path}"),
+                Err(e) => eprintln!("cannot save: {e}"),
+            },
+            None => eprintln!("usage: .save <path>"),
+        },
+        "gen" => {
+            let spec = match parts.next().map(str::to_ascii_lowercase).as_deref() {
+                Some("atm") => Spec::Atmosphere,
+                Some("clim") => Spec::Climate,
+                Some("gas") => Spec::Gas,
+                Some("time") => Spec::Timestamp,
+                Some("sine") => Spec::Sine,
+                Some("tpch") => Spec::Tpch,
+                _ => {
+                    eprintln!("usage: .gen <atm|clim|gas|time|sine|tpch> <rows>");
+                    return true;
+                }
+            };
+            let rows: usize = parts.next().and_then(|r| r.parse().ok()).unwrap_or(100_000);
+            let d = spec.generate(rows);
+            for (i, (name, col)) in d.columns.iter().enumerate() {
+                let series = format!("{}_{name}", d.label.to_ascii_lowercase());
+                db.create_series(&series).ok();
+                if let Err(e) = db.append_all(&series, &d.timestamps, col) {
+                    eprintln!("ingest {series}: {e}");
+                }
+                let _ = i;
+            }
+            db.flush().ok();
+            println!("generated {} ({} rows × {} attrs)", d.name, d.rows(), d.attrs());
+        }
+        "series" => {
+            for name in db.store().series_names() {
+                let pages = db.store().page_count(&name).unwrap_or(0);
+                let points = db.store().point_count(&name).unwrap_or(0);
+                println!("{name}: {points} points in {pages} pages");
+            }
+        }
+        "config" => {
+            let mut args: Vec<&str> = parts.collect();
+            while args.len() >= 2 {
+                let (key, val) = (args[0], args[1]);
+                args.drain(..2);
+                match (key, val) {
+                    ("threads", n) => {
+                        if let Ok(n) = n.parse() {
+                            cfg.threads = n;
+                        }
+                    }
+                    ("prune", v) => cfg.prune = v == "on",
+                    ("vectorized", v) => cfg.vectorized = v == "on",
+                    ("fuse", "none") => cfg.fuse = FuseLevel::None,
+                    ("fuse", "delta") => cfg.fuse = FuseLevel::Delta,
+                    ("fuse", "repeat") => cfg.fuse = FuseLevel::DeltaRepeat,
+                    other => eprintln!("unknown option {other:?}"),
+                }
+            }
+            println!(
+                "threads={} prune={} fuse={:?} vectorized={} slicing={}",
+                cfg.threads, cfg.prune, cfg.fuse, cfg.vectorized, cfg.allow_slicing
+            );
+        }
+        "stats" => {
+            let io = db.store().io();
+            println!("pages read: {}, bytes read: {}", io.pages_read(), io.bytes_read());
+        }
+        other => eprintln!("unknown command .{other} (.help)"),
+    }
+    true
+}

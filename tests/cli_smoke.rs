@@ -1,0 +1,81 @@
+//! Drives the `etsqp-cli` binary end to end through a pipe: generate a
+//! dataset, query it, persist to a TsFile, reload, and re-query.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_cli(script: &str, args: &[&str]) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_etsqp-cli"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn etsqp-cli");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let out = child.wait_with_output().expect("cli exit");
+    assert!(out.status.success(), "cli failed: {:?}", out);
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn generate_query_save_reload() {
+    let dir = std::env::temp_dir().join("etsqp_cli_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("cli_smoke.etsqp");
+    let file_str = file.to_str().unwrap();
+
+    let script = format!(
+        ".gen atm 5000\n\
+         .series\n\
+         SELECT COUNT(atm_temperature) FROM atm_temperature\n\
+         .save {file_str}\n\
+         .quit\n"
+    );
+    let out = run_cli(&script, &[]);
+    assert!(out.contains("generated Atmosphere (5000 rows"), "{out}");
+    assert!(out.contains("atm_temperature: 5000 points"), "{out}");
+    assert!(out.contains("5000"), "count row missing: {out}");
+    assert!(out.contains("saved"), "{out}");
+
+    // Reload via the CLI argument and query again.
+    let out = run_cli("SELECT COUNT(atm_humidity) FROM atm_humidity\n.quit\n", &[file_str]);
+    assert!(out.contains("loaded"), "{out}");
+    assert!(out.contains("5000"), "{out}");
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn errors_do_not_kill_the_shell() {
+    let script = ".gen atm 1000\n\
+                  SELECT FROM nonsense(\n\
+                  SELECT SUM(missing) FROM missing\n\
+                  .bogus\n\
+                  SELECT COUNT(atm_pressure) FROM atm_pressure\n\
+                  .quit\n";
+    let out = run_cli(script, &[]);
+    // The final valid query must still have run.
+    assert!(out.contains("1000"), "{out}");
+}
+
+#[test]
+fn config_switches_apply() {
+    let script = ".gen sine 2000\n\
+                  .config threads 1 prune off fuse none vectorized off\n\
+                  SELECT SUM(sine_sine0) FROM sine_sine0\n\
+                  .config prune on vectorized on fuse repeat\n\
+                  SELECT SUM(sine_sine0) FROM sine_sine0\n\
+                  .quit\n";
+    let out = run_cli(script, &[]);
+    // Both engine configurations produce the same SUM line twice.
+    let sums: Vec<&str> = out
+        .lines()
+        .filter(|l| l.starts_with("SUM(") || l.chars().next().is_some_and(|c| c == '-' || c.is_ascii_digit()))
+        .collect();
+    assert!(sums.len() >= 2, "{out}");
+}
