@@ -10,7 +10,9 @@ use etsqp_encoding::{delta_rle, ts2diff};
 const N: usize = 65_536;
 
 fn decode_benches(c: &mut Criterion) {
-    let values: Vec<i64> = (0..N as i64).map(|i| 1_000_000 + i * 3 + (i % 29)).collect();
+    let values: Vec<i64> = (0..N as i64)
+        .map(|i| 1_000_000 + i * 3 + (i % 29))
+        .collect();
     let bytes = ts2diff::encode(&values, 1);
     let page = ts2diff::parse(&bytes).unwrap();
     let mut group = c.benchmark_group("fig12_decode");
@@ -22,18 +24,28 @@ fn decode_benches(c: &mut Criterion) {
     // Proposition 1 n_v sweep.
     let mut out = Vec::new();
     for nv in [1usize, 2, 4, 8] {
-        let opts = DecodeOptions { n_v: Some(nv), strategy: DeltaStrategy::ChainLayout, ..Default::default() };
+        let opts = DecodeOptions {
+            n_v: Some(nv),
+            strategy: DeltaStrategy::ChainLayout,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::new("chain_nv", nv), &opts, |b, opts| {
             b.iter(|| decode_ts2diff(&page, opts, &mut out).unwrap())
         });
     }
     // Straight-scan ablation (SBoost-style accumulation).
-    let opts = DecodeOptions { n_v: None, strategy: DeltaStrategy::StraightScan, ..Default::default() };
+    let opts = DecodeOptions {
+        n_v: None,
+        strategy: DeltaStrategy::StraightScan,
+        ..Default::default()
+    };
     group.bench_function("straight_scan", |b| {
         b.iter(|| decode_ts2diff(&page, &opts, &mut out).unwrap())
     });
     // Serial reference decoder.
-    group.bench_function("serial_reference", |b| b.iter(|| ts2diff::decode(&bytes).unwrap()));
+    group.bench_function("serial_reference", |b| {
+        b.iter(|| ts2diff::decode(&bytes).unwrap())
+    });
     group.finish();
 }
 
@@ -55,15 +67,21 @@ fn fusion_benches(c: &mut Criterion) {
         }
         let bytes = delta_rle::encode(&vals);
         let page = delta_rle::parse(&bytes).unwrap();
-        group.bench_with_input(BenchmarkId::new("fused_aggregate", run), &page, |b, page| {
-            b.iter(|| fused::aggregate_delta_rle(page).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("flatten_then_sum", run), &bytes, |b, bytes| {
-            b.iter(|| {
-                let decoded = delta_rle::decode(bytes).unwrap();
-                etsqp_simd::agg::sum_i64(&decoded)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fused_aggregate", run),
+            &page,
+            |b, page| b.iter(|| fused::aggregate_delta_rle(page).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("flatten_then_sum", run),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| {
+                    let decoded = delta_rle::decode(bytes).unwrap();
+                    etsqp_simd::agg::sum_i64(&decoded)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -14,7 +14,9 @@ fn bench(c: &mut Criterion) {
     let ts = &d.timestamps;
     let vals = &d.columns[0].1;
     let (lo, hi) = (ts[N / 4], ts[3 * N / 4]);
-    let plan = Plan::scan("s").filter(Predicate::time(lo, hi)).aggregate(AggFunc::Sum);
+    let plan = Plan::scan("s")
+        .filter(Predicate::time(lo, hi))
+        .aggregate(AggFunc::Sum);
 
     let serial = IotDb::new(EngineOptions::serial());
     serial.create_series("s").unwrap();
@@ -33,10 +35,18 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(600));
     group.warm_up_time(std::time::Duration::from_millis(150));
     group.throughput(Throughput::Elements(N as u64));
-    group.bench_function("iotdb_serial", |b| b.iter(|| serial.execute(&plan).unwrap().rows.len()));
-    group.bench_function("iotdb_simd", |b| b.iter(|| simd.execute(&plan).unwrap().rows.len()));
-    group.bench_function("monet_like", |b| b.iter(|| monet.sum_in_time_range(lo, hi).count));
-    group.bench_function("spark_like", |b| b.iter(|| spark.sum_in_time_range(lo, hi).count));
+    group.bench_function("iotdb_serial", |b| {
+        b.iter(|| serial.execute(&plan).unwrap().rows.len())
+    });
+    group.bench_function("iotdb_simd", |b| {
+        b.iter(|| simd.execute(&plan).unwrap().rows.len())
+    });
+    group.bench_function("monet_like", |b| {
+        b.iter(|| monet.sum_in_time_range(lo, hi).count)
+    });
+    group.bench_function("spark_like", |b| {
+        b.iter(|| spark.sum_in_time_range(lo, hi).count)
+    });
     group.finish();
 }
 

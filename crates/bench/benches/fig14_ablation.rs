@@ -31,8 +31,18 @@ fn bench(c: &mut Criterion) {
     // (a) Fusion levels on Delta-RLE values.
     let db = custom_store(&ts, &vals, Encoding::DeltaRle, 4096);
     let plan = Plan::scan("a").aggregate(AggFunc::Sum);
-    for (name, fuse) in [("none", FuseLevel::None), ("delta", FuseLevel::Delta), ("delta_repeat", FuseLevel::DeltaRepeat)] {
-        let cfg = PipelineConfig { threads: 1, fuse, prune: false, allow_slicing: false, ..Default::default() };
+    for (name, fuse) in [
+        ("none", FuseLevel::None),
+        ("delta", FuseLevel::Delta),
+        ("delta_repeat", FuseLevel::DeltaRepeat),
+    ] {
+        let cfg = PipelineConfig {
+            threads: 1,
+            fuse,
+            prune: false,
+            allow_slicing: false,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::new("fuse", name), &cfg, |b, cfg| {
             b.iter(|| db.execute_with(&plan, cfg).unwrap().rows.len())
         });
@@ -44,7 +54,12 @@ fn bench(c: &mut Criterion) {
         .filter(Predicate::time(ts[N / 2], ts[N / 2 + N / 50]))
         .aggregate(AggFunc::Sum);
     for (name, prune) in [("prune_on", true), ("prune_off", false)] {
-        let cfg = PipelineConfig { threads: 1, prune, allow_slicing: false, ..Default::default() };
+        let cfg = PipelineConfig {
+            threads: 1,
+            prune,
+            allow_slicing: false,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::new("pruning", name), &cfg, |b, cfg| {
             b.iter(|| db2.execute_with(&selective, cfg).unwrap().rows.len())
         });
@@ -53,8 +68,17 @@ fn bench(c: &mut Criterion) {
     // (c-d) Sliced vs paged full-scan aggregation (one big page).
     let db3 = custom_store(&ts, &vals, Encoding::Ts2Diff, N);
     let full = Plan::scan("a").aggregate(AggFunc::Sum);
-    for (name, slicing, threads) in [("paged_1t", false, 1usize), ("sliced_4t", true, 4), ("sliced_16t", true, 16)] {
-        let cfg = PipelineConfig { threads, prune: false, allow_slicing: slicing, ..Default::default() };
+    for (name, slicing, threads) in [
+        ("paged_1t", false, 1usize),
+        ("sliced_4t", true, 4),
+        ("sliced_16t", true, 16),
+    ] {
+        let cfg = PipelineConfig {
+            threads,
+            prune: false,
+            allow_slicing: slicing,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::new("slicing", name), &cfg, |b, cfg| {
             b.iter(|| db3.execute_with(&full, cfg).unwrap().rows.len())
         });

@@ -30,9 +30,11 @@ fn int_codecs(c: &mut Criterion) {
             b.iter(|| enc.encode_i64(col))
         });
         let bytes = enc.encode_i64(col);
-        group.bench_with_input(BenchmarkId::new("decode", enc.name()), &bytes, |b, bytes| {
-            b.iter(|| enc.decode_i64(bytes).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decode", enc.name()),
+            &bytes,
+            |b, bytes| b.iter(|| enc.decode_i64(bytes).unwrap()),
+        );
     }
     group.finish();
 }
@@ -51,9 +53,11 @@ fn float_codecs(c: &mut Criterion) {
             b.iter(|| enc.encode_f64(vals))
         });
         let bytes = enc.encode_f64(&vals);
-        group.bench_with_input(BenchmarkId::new("decode", enc.name()), &bytes, |b, bytes| {
-            b.iter(|| enc.decode_f64(bytes).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decode", enc.name()),
+            &bytes,
+            |b, bytes| b.iter(|| enc.decode_f64(bytes).unwrap()),
+        );
     }
     group.finish();
 }
@@ -67,8 +71,12 @@ fn fig7_varwidth(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(400));
     group.warm_up_time(std::time::Duration::from_millis(100));
     group.throughput(Throughput::Elements(N as u64));
-    group.bench_function("separator_scan", |b| b.iter(|| fibonacci::decode_all_fast(&bytes).unwrap()));
-    group.bench_function("bit_serial", |b| b.iter(|| fibonacci::decode_all(&bytes).unwrap()));
+    group.bench_function("separator_scan", |b| {
+        b.iter(|| fibonacci::decode_all_fast(&bytes).unwrap())
+    });
+    group.bench_function("bit_serial", |b| {
+        b.iter(|| fibonacci::decode_all(&bytes).unwrap())
+    });
     group.finish();
 }
 

@@ -7,7 +7,9 @@
 //! ETSQP_BENCH_ROWS=200000 cargo run --release -p etsqp-bench --bin fig10
 //! ```
 
-use etsqp_bench::{all_workloads, default_rows, fmt_mtps, run_query, throughput, time_median, Query, System};
+use etsqp_bench::{
+    all_workloads, default_rows, fmt_mtps, run_query, throughput, time_median, Query, System,
+};
 
 fn main() {
     let rows = default_rows();

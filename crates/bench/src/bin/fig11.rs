@@ -6,7 +6,9 @@
 //! cargo run --release -p etsqp-bench --bin fig11
 //! ```
 
-use etsqp_bench::{build_workload, default_rows, fmt_mtps, run_query, throughput, time_median, Query, System};
+use etsqp_bench::{
+    build_workload, default_rows, fmt_mtps, run_query, throughput, time_median, Query, System,
+};
 use etsqp_datasets::Spec;
 
 fn main() {
@@ -21,7 +23,12 @@ fn main() {
             print!("{t:>9}");
         }
         println!();
-        for system in [System::EtsqpPrune, System::Etsqp, System::SBoost, System::FastLanes] {
+        for system in [
+            System::EtsqpPrune,
+            System::Etsqp,
+            System::SBoost,
+            System::FastLanes,
+        ] {
             print!("{:<14}", system.name());
             for t in thread_counts {
                 let d = time_median(3, || run_query(system, Query::Q1, &w, t));

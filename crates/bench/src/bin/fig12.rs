@@ -37,7 +37,9 @@ fn part_ab(rows: usize) {
     let vals: Vec<i64> = (0..rows as i64).map(|i| 500 + (i % 97) - 48).collect();
     let db = custom_store(&ts, &vals, Encoding::Ts2Diff, 1024);
     let (lo, hi) = (ts[rows / 4], ts[3 * rows / 4]);
-    let plan = Plan::scan("a").filter(Predicate::time(lo, hi)).aggregate(AggFunc::Sum);
+    let plan = Plan::scan("a")
+        .filter(Predicate::time(lo, hi))
+        .aggregate(AggFunc::Sum);
     let sboost = etsqp_sboost::SboostEngine::from_store(db.store(), "a").unwrap();
     let fl = etsqp_fastlanes::FlSeries::encode(&ts, &vals);
 
@@ -52,10 +54,16 @@ fn part_ab(rows: usize) {
         for t in threads {
             let d = match name {
                 "ETSQP" => time_median(3, || {
-                    let cfg = PipelineConfig { threads: t, prune: false, ..Default::default() };
+                    let cfg = PipelineConfig {
+                        threads: t,
+                        prune: false,
+                        ..Default::default()
+                    };
                     db.execute_with(&plan, &cfg).unwrap().rows.len()
                 }),
-                "SBoost" => time_median(3, || sboost.sum_in_time_range(lo, hi, t).unwrap().1 as usize),
+                "SBoost" => time_median(3, || {
+                    sboost.sum_in_time_range(lo, hi, t).unwrap().1 as usize
+                }),
                 _ => time_median(3, || fl.sum_in_range(lo, hi, t).unwrap().1 as usize),
             };
             print!("{}", fmt_mtps(throughput(rows as u64, d)));
@@ -118,13 +126,17 @@ fn part_ef(rows: usize) {
     let mut v = 0i64;
     let mut state = 0x12345678u64;
     for _ in 0..rows {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         v -= (state >> 33) as i64 % 9; // delta ∈ [−8, 0]
         vals.push(v);
     }
     let ts: Vec<i64> = (0..rows as i64).collect();
     let c1 = vals[rows / 100]; // leave the band after ~1% of the scan
-    let plan = Plan::scan("a").filter(Predicate::value(c1, i64::MAX)).aggregate(AggFunc::Count);
+    let plan = Plan::scan("a")
+        .filter(Predicate::value(c1, i64::MAX))
+        .aggregate(AggFunc::Count);
 
     print!("{:<22}", "system\\width");
     let widths = [4u8, 6, 8, 10, 12];
@@ -154,9 +166,17 @@ fn part_ef(rows: usize) {
         };
         let store = etsqp_storage::store::SeriesStore::new(rows);
         store.insert_pages("a", vec![page]);
-        let db = etsqp_core::engine::IotDb::with_store(store, etsqp_core::engine::EngineOptions::default());
+        let db = etsqp_core::engine::IotDb::with_store(
+            store,
+            etsqp_core::engine::EngineOptions::default(),
+        );
         for (row, prune) in rows_out.iter_mut().zip([true, false]) {
-            let cfg = PipelineConfig { threads: 1, prune, allow_slicing: false, ..Default::default() };
+            let cfg = PipelineConfig {
+                threads: 1,
+                prune,
+                allow_slicing: false,
+                ..Default::default()
+            };
             let d = time_median(5, || {
                 let r = db.execute_with(&plan, &cfg).unwrap();
                 r.stats.tuples_total()

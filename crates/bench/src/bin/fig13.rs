@@ -16,7 +16,10 @@ use etsqp_datasets::Spec;
 fn main() {
     let rows = default_rows();
     println!("Figure 13: answering time [ms] of range aggregations, {rows} rows/dataset\n");
-    for (title, value_query) in [("time-range queries (selectivity 0.5)", false), ("value-range queries (selectivity 0.5)", true)] {
+    for (title, value_query) in [
+        ("time-range queries (selectivity 0.5)", false),
+        ("value-range queries (selectivity 0.5)", true),
+    ] {
         println!("--- {title} ---");
         print!("{:<12}", "dataset");
         for name in ["IoTDB", "IoTDB-SIMD", "MonetDB", "Spark/HDFS"] {

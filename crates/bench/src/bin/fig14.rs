@@ -45,17 +45,32 @@ fn part_a(rows: usize) {
     // Each fusion level on the substrate whose decoder it skips: Delta
     // fusion applies to TS2DIFF (skips accumulation); Delta+Repeat fusion
     // applies to Delta-RLE (skips flattening and accumulation).
-    for (substrate, enc) in [("TS2DIFF", Encoding::Ts2Diff), ("Delta-RLE", Encoding::DeltaRle)] {
+    for (substrate, enc) in [
+        ("TS2DIFF", Encoding::Ts2Diff),
+        ("Delta-RLE", Encoding::DeltaRle),
+    ] {
         let db = custom_store(&ts, &vals, enc, 4096);
         println!("value column encoded as {substrate}:");
         for (name, fuse) in [
             ("  fuse none (unpack+flatten+accumulate)", FuseLevel::None),
             ("  fuse Delta (skip accumulate)", FuseLevel::Delta),
-            ("  fuse Delta+Repeat (skip flatten too)", FuseLevel::DeltaRepeat),
+            (
+                "  fuse Delta+Repeat (skip flatten too)",
+                FuseLevel::DeltaRepeat,
+            ),
         ] {
-            let cfg = PipelineConfig { threads: 1, fuse, prune: false, allow_slicing: false, ..Default::default() };
+            let cfg = PipelineConfig {
+                threads: 1,
+                fuse,
+                prune: false,
+                allow_slicing: false,
+                ..Default::default()
+            };
             let d = time_median(5, || db.execute_with(&plan, &cfg).unwrap().rows.len());
-            println!("{name:<42} {} M tuples/s", fmt_mtps(throughput(rows as u64, d)));
+            println!(
+                "{name:<42} {} M tuples/s",
+                fmt_mtps(throughput(rows as u64, d))
+            );
         }
     }
     println!();
@@ -67,12 +82,17 @@ fn part_b(rows: usize) {
     let d = Spec::Climate.generate(rows);
     let db = IotDb::new(EngineOptions::default());
     db.create_series("temp").unwrap();
-    db.append_all("temp", &d.timestamps, &d.columns[0].1).unwrap();
+    db.append_all("temp", &d.timestamps, &d.columns[0].1)
+        .unwrap();
     db.flush().unwrap();
     let span = d.timestamps.last().unwrap() - d.timestamps[0];
     let dt = (span / (rows as i64 / 1000).max(1)).max(1);
     // Disable fusion so every stage actually runs.
-    let cfg = PipelineConfig { fuse: FuseLevel::None, threads: 2, ..Default::default() };
+    let cfg = PipelineConfig {
+        fuse: FuseLevel::None,
+        threads: 2,
+        ..Default::default()
+    };
     let plan = Plan::scan("temp").window(d.timestamps[0], dt, AggFunc::Sum);
     let r = db.execute_with(&plan, &cfg).unwrap();
     let s = r.stats;
@@ -87,7 +107,11 @@ fn part_b(rows: usize) {
     ];
     let total: u64 = stages.iter().map(|(_, ns)| *ns).sum();
     for (name, ns) in stages {
-        println!("{name:<18} {:>8.2} ms  {:>5.1}%", ns as f64 / 1e6, ns as f64 / total.max(1) as f64 * 100.0);
+        println!(
+            "{name:<18} {:>8.2} ms  {:>5.1}%",
+            ns as f64 / 1e6,
+            ns as f64 / total.max(1) as f64 * 100.0
+        );
     }
     println!("(windows: {}, wall time {:?})\n", r.rows.len(), r.elapsed);
 }
@@ -107,7 +131,12 @@ fn part_cd(rows: usize) {
         "slices", "etsqp[ms]", "idle[ms]", "mat[KB]", "sboost[ms]", "sync[ms]"
     );
     for threads in [1usize, 2, 4, 8, 16, 32] {
-        let cfg = PipelineConfig { threads, allow_slicing: true, prune: false, ..Default::default() };
+        let cfg = PipelineConfig {
+            threads,
+            allow_slicing: true,
+            prune: false,
+            ..Default::default()
+        };
         let mut idle_ns = 0u64;
         let mut mat = 0u64;
         let d_etsqp = time_median(3, || {
@@ -116,9 +145,21 @@ fn part_cd(rows: usize) {
             mat = r.stats.materialized_bytes;
             r.rows.len()
         });
-        let stats_before = sboost.stats().sync_wait_ns.load(std::sync::atomic::Ordering::Relaxed);
-        let d_sboost = time_median(3, || sboost.sum_in_time_range(i64::MIN, i64::MAX, threads).unwrap().1);
-        let sync_ns = sboost.stats().sync_wait_ns.load(std::sync::atomic::Ordering::Relaxed) - stats_before;
+        let stats_before = sboost
+            .stats()
+            .sync_wait_ns
+            .load(std::sync::atomic::Ordering::Relaxed);
+        let d_sboost = time_median(3, || {
+            sboost
+                .sum_in_time_range(i64::MIN, i64::MAX, threads)
+                .unwrap()
+                .1
+        });
+        let sync_ns = sboost
+            .stats()
+            .sync_wait_ns
+            .load(std::sync::atomic::Ordering::Relaxed)
+            - stats_before;
         println!(
             "{threads:<8} {:>14.2} {:>12.3} {:>14.1} {:>14.2} {:>14.3}",
             d_etsqp.as_secs_f64() * 1e3,

@@ -8,14 +8,19 @@
 //! ```
 
 use etsqp_bench::{default_rows, time_median};
-use etsqp_core::cost::{avg_time_per_value, choose_nv, optimal_nv_real, theorem2_speedup, CostConstants};
+use etsqp_core::cost::{
+    avg_time_per_value, choose_nv, optimal_nv_real, theorem2_speedup, CostConstants,
+};
 use etsqp_core::decode::{decode_ts2diff, DecodeOptions, DeltaStrategy};
 use etsqp_encoding::ts2diff;
 
 fn main() {
     let rows = default_rows();
     let c = CostConstants::default();
-    println!("Proposition 1: n_v cost model vs measurement ({rows} values, backend {})\n", etsqp_simd::backend());
+    println!(
+        "Proposition 1: n_v cost model vs measurement ({rows} values, backend {})\n",
+        etsqp_simd::backend()
+    );
 
     for width in [4u8, 10, 25] {
         // Small real deltas (so the 32-bit relative-offset fast path stays
@@ -34,11 +39,18 @@ fn main() {
             optimal_nv_real(width, 32, &c),
             choose_nv(width, 32, &c)
         );
-        println!("{:>8} {:>16} {:>18}", "n_v", "model[t_op/val]", "measured[Mval/s]");
+        println!(
+            "{:>8} {:>16} {:>18}",
+            "n_v", "model[t_op/val]", "measured[Mval/s]"
+        );
         let mut out = Vec::new();
         let vrange = Some((*values.iter().min().unwrap(), *values.iter().max().unwrap()));
         for nv in [1usize, 2, 4, 8] {
-            let opts = DecodeOptions { n_v: Some(nv), strategy: DeltaStrategy::ChainLayout, value_range: vrange };
+            let opts = DecodeOptions {
+                n_v: Some(nv),
+                strategy: DeltaStrategy::ChainLayout,
+                value_range: vrange,
+            };
             let d = time_median(5, || decode_ts2diff(&page, &opts, &mut out).unwrap());
             println!(
                 "{nv:>8} {:>16.3} {:>18.1}",
@@ -47,16 +59,33 @@ fn main() {
             );
         }
         // Straight-scan ablation and the serial reference.
-        let opts = DecodeOptions { n_v: None, strategy: DeltaStrategy::StraightScan, value_range: vrange };
+        let opts = DecodeOptions {
+            n_v: None,
+            strategy: DeltaStrategy::StraightScan,
+            value_range: vrange,
+        };
         let d = time_median(5, || decode_ts2diff(&page, &opts, &mut out).unwrap());
-        println!("{:>8} {:>16} {:>18.1}", "scan", "-", rows as f64 / d.as_secs_f64() / 1e6);
+        println!(
+            "{:>8} {:>16} {:>18.1}",
+            "scan",
+            "-",
+            rows as f64 / d.as_secs_f64() / 1e6
+        );
         let d = time_median(5, || ts2diff::decode(&bytes).unwrap());
-        println!("{:>8} {:>16} {:>18.1}\n", "serial", "-", rows as f64 / d.as_secs_f64() / 1e6);
+        println!(
+            "{:>8} {:>16} {:>18.1}\n",
+            "serial",
+            "-",
+            rows as f64 / d.as_secs_f64() / 1e6
+        );
     }
 
     println!("Theorem 2: estimated serial→parallel speedup (10-bit TS2DIFF):");
     for threads in [1usize, 4, 16] {
-        println!("  {threads:>2} threads: {:.1}x", theorem2_speedup(10, 32, threads, &c));
+        println!(
+            "  {threads:>2} threads: {:.1}x",
+            theorem2_speedup(10, 32, threads, &c)
+        );
     }
     println!("(paper reports ≈15.3x at 16 threads/AVX2)");
 }

@@ -24,10 +24,28 @@ fn main() {
 
     let rows: [(&str, &str, &str, &str, Option<Encoding>); 6] = [
         ("RLBE", "±", "Run-length", "Fibonacci", Some(Encoding::Rlbe)),
-        ("TS_2DIFF", "±²", "None", "Bitpack", Some(Encoding::Ts2DiffOrder2)),
-        ("Sprintz", "±", "None", "ZigZag,Bitpack", Some(Encoding::Sprintz)),
+        (
+            "TS_2DIFF",
+            "±²",
+            "None",
+            "Bitpack",
+            Some(Encoding::Ts2DiffOrder2),
+        ),
+        (
+            "Sprintz",
+            "±",
+            "None",
+            "ZigZag,Bitpack",
+            Some(Encoding::Sprintz),
+        ),
         ("Chimp", "XOR", "None", "Pattern", None),
-        ("Gorilla", "±, XOR", "Flag", "Pattern", Some(Encoding::Gorilla)),
+        (
+            "Gorilla",
+            "±, XOR",
+            "Flag",
+            "Pattern",
+            Some(Encoding::Gorilla),
+        ),
         ("Elf", "XOR", "None", "Pattern", None),
     ];
 
@@ -63,7 +81,11 @@ fn main() {
                 format!("{x:>10.1}x")
             }
         };
-        println!("{method:<12} {delta:<10} {repeat:<12} {packing:<18} {} {}", fmt(rt), fmt(rv));
+        println!(
+            "{method:<12} {delta:<10} {repeat:<12} {packing:<18} {} {}",
+            fmt(rt),
+            fmt(rv)
+        );
     }
 
     // Gorilla float side for completeness.

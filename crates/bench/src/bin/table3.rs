@@ -14,7 +14,10 @@ fn main() {
     let examples = [
         (Query::Q1, "SELECT SUM(A) FROM ts(T, A) SW(0, 1000);"),
         (Query::Q2, "SELECT AVG(A) FROM ts(T, A) SW(0, 1000);"),
-        (Query::Q3, "SELECT SUM(A) FROM (SELECT * FROM ts WHERE A > 50);"),
+        (
+            Query::Q3,
+            "SELECT SUM(A) FROM (SELECT * FROM ts WHERE A > 50);",
+        ),
         (Query::Q4, "SELECT ts1.A+ts2.A FROM ts1, ts2;"),
         (Query::Q5, "SELECT * FROM ts1 UNION ts2 ORDER BY TIME;"),
         (Query::Q6, "SELECT * FROM ts1, ts2;"),
@@ -23,7 +26,12 @@ fn main() {
     for (q, sql_text) in examples {
         let plan = sql::parse(sql_text).expect("Table III query must parse");
         let checksum = run_query(System::EtsqpPrune, q, &w, 2);
-        println!("{}  {:<55} -> parsed {:?}", q.name(), sql_text, plan_kind(&plan));
+        println!(
+            "{}  {:<55} -> parsed {:?}",
+            q.name(),
+            sql_text,
+            plan_kind(&plan)
+        );
         println!("      checksum on Atm workload: {checksum:.1}");
     }
     println!("\nDefault filter selectivity 0.5; each sliding window instance has ~10^3 points.");

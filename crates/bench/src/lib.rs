@@ -77,7 +77,14 @@ pub enum Query {
 
 impl Query {
     /// All six queries.
-    pub const ALL: [Query; 6] = [Query::Q1, Query::Q2, Query::Q3, Query::Q4, Query::Q5, Query::Q6];
+    pub const ALL: [Query; 6] = [
+        Query::Q1,
+        Query::Q2,
+        Query::Q3,
+        Query::Q4,
+        Query::Q5,
+        Query::Q6,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -237,7 +244,9 @@ fn run_core(w: &Workload, q: Query, cfg: PipelineConfig) -> f64 {
     };
     let r = w.db.execute_with(&plan, &cfg).expect("query");
     match q {
-        Query::Q1 | Query::Q2 | Query::Q3 => r.rows.iter().map(|row| row.last().unwrap().as_f64()).sum(),
+        Query::Q1 | Query::Q2 | Query::Q3 => {
+            r.rows.iter().map(|row| row.last().unwrap().as_f64()).sum()
+        }
         _ => r.rows.len() as f64,
     }
 }
@@ -355,7 +364,10 @@ fn merge_join_count(ta: &[i64], va: &[i64], tb: &[i64], vb: &[i64]) -> u64 {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                rows.push(vec![Value::Int(ta[i]), Value::Int(va[i].wrapping_add(vb[j]))]);
+                rows.push(vec![
+                    Value::Int(ta[i]),
+                    Value::Int(va[i].wrapping_add(vb[j])),
+                ]);
                 i += 1;
                 j += 1;
             }
@@ -427,7 +439,10 @@ pub fn custom_store(ts: &[i64], vals: &[i64], val_enc: Encoding, page_points: us
 
 /// Convenience: all six dataset workloads at the harness scale.
 pub fn all_workloads(rows: usize) -> Vec<Arc<Workload>> {
-    Spec::ALL.iter().map(|&s| Arc::new(build_workload(s, rows))).collect()
+    Spec::ALL
+        .iter()
+        .map(|&s| Arc::new(build_workload(s, rows)))
+        .collect()
 }
 
 #[cfg(test)]

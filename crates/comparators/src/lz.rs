@@ -163,7 +163,9 @@ mod tests {
 
     #[test]
     fn roundtrip_incompressible() {
-        let data: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let data: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
         let c = compress(&data);
         assert_eq!(decompress(&c).unwrap(), data);
     }

@@ -78,7 +78,8 @@ impl SparkLike {
             if g.first_ts > t_hi || g.last_ts < t_lo {
                 continue; // footer min/max skip (Parquet-style)
             }
-            self.bytes_read.fetch_add(g.compressed.len() as u64, Ordering::Relaxed);
+            self.bytes_read
+                .fetch_add(g.compressed.len() as u64, Ordering::Relaxed);
             let raw = lz::decompress(&g.compressed).expect("self-written group");
             for row in raw.chunks_exact(16) {
                 let t = i64::from_be_bytes(row[..8].try_into().unwrap());

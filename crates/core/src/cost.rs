@@ -74,7 +74,12 @@ pub fn choose_nv(packed_width: u8, unpacked_width: u8, c: &CostConstants) -> usi
 
 /// The `T_AVG` expression of Proposition 1: modelled decode time per value
 /// for a given `n_v`.
-pub fn avg_time_per_value(packed_width: u8, unpacked_width: u8, nv: usize, c: &CostConstants) -> f64 {
+pub fn avg_time_per_value(
+    packed_width: u8,
+    unpacked_width: u8,
+    nv: usize,
+    c: &CostConstants,
+) -> f64 {
     let w = packed_width.max(1) as f64;
     let wp = unpacked_width as f64;
     let nv = nv as f64;
@@ -96,7 +101,12 @@ pub fn avg_time_per_value(packed_width: u8, unpacked_width: u8, nv: usize, c: &C
 /// Serial decoding pays `2·t_visMem + shift + mask + save` per value;
 /// the parallel pipeline pays the Proposition 1 optimum per value divided
 /// across cores.
-pub fn theorem2_speedup(packed_width: u8, unpacked_width: u8, threads: usize, c: &CostConstants) -> f64 {
+pub fn theorem2_speedup(
+    packed_width: u8,
+    unpacked_width: u8,
+    threads: usize,
+    c: &CostConstants,
+) -> f64 {
     let serial_per_value = 2.0 * c.mem_ratio + 3.0;
     let nv = choose_nv(packed_width, unpacked_width, c);
     let compute = avg_time_per_value(packed_width, unpacked_width, nv, c) / threads as f64;
@@ -132,7 +142,10 @@ mod tests {
         let c = CostConstants::default();
         for w in 1..=32u8 {
             let nv = choose_nv(w, 32, &c);
-            assert!(etsqp_simd::transpose::SUPPORTED_NV.contains(&nv), "w={w} nv={nv}");
+            assert!(
+                etsqp_simd::transpose::SUPPORTED_NV.contains(&nv),
+                "w={w} nv={nv}"
+            );
         }
     }
 

@@ -82,14 +82,20 @@ pub fn fits_32bit_path(page: &Ts2DiffPage<'_>, opts: &DecodeOptions) -> bool {
         n.saturating_mul(max_abs)
     } else {
         let d1 = page.first[1].wrapping_sub(page.first[0]).unsigned_abs() as u128;
-        n.saturating_mul(n).saturating_mul(max_abs).saturating_add(n.saturating_mul(d1))
+        n.saturating_mul(n)
+            .saturating_mul(max_abs)
+            .saturating_add(n.saturating_mul(d1))
     };
     bound < (1 << 30)
 }
 
 /// Decodes a parsed TS2DIFF page into `out` using the vectorized pipeline
 /// when safe, the serial decoder otherwise. Returns the number of values.
-pub fn decode_ts2diff(page: &Ts2DiffPage<'_>, opts: &DecodeOptions, out: &mut Vec<i64>) -> Result<usize> {
+pub fn decode_ts2diff(
+    page: &Ts2DiffPage<'_>,
+    opts: &DecodeOptions,
+    out: &mut Vec<i64>,
+) -> Result<usize> {
     out.clear();
     if page.count == 0 {
         return Ok(0);
@@ -148,8 +154,14 @@ fn accumulate_rel(deltas: &[u32], seed: u32, opts: &DecodeOptions, rel: &mut [u3
     let mut carry = seed;
     match opts.strategy {
         DeltaStrategy::ChainLayout => {
-            let n_v = opts.n_v.unwrap_or_else(|| choose_nv(10, 32, &CostConstants::default()));
-            let n_v = if transpose::SUPPORTED_NV.contains(&n_v) { n_v } else { 8 };
+            let n_v = opts
+                .n_v
+                .unwrap_or_else(|| choose_nv(10, 32, &CostConstants::default()));
+            let n_v = if transpose::SUPPORTED_NV.contains(&n_v) {
+                n_v
+            } else {
+                8
+            };
             let round = n_v * LANES32;
             let mut vs = vec![[0u32; LANES32]; n_v];
             let mut pos = 0usize;
@@ -197,7 +209,9 @@ fn rebuild_decode_serial(page: &Ts2DiffPage<'_>) -> Result<Vec<i64>> {
         1 => {
             let mut prev = page.first[0];
             for _ in 0..page.num_deltas() {
-                let stored = r.read_bits(page.width).ok_or(Error::Decode("ts2diff payload"))?;
+                let stored = r
+                    .read_bits(page.width)
+                    .ok_or(Error::Decode("ts2diff payload"))?;
                 prev = prev.wrapping_add(page.min_delta.wrapping_add(stored as i64));
                 values.push(prev);
             }
@@ -206,7 +220,9 @@ fn rebuild_decode_serial(page: &Ts2DiffPage<'_>) -> Result<Vec<i64>> {
             let mut prev = page.first[1];
             let mut prev_d = page.first[1].wrapping_sub(page.first[0]);
             for _ in 0..page.num_deltas() {
-                let stored = r.read_bits(page.width).ok_or(Error::Decode("ts2diff payload"))?;
+                let stored = r
+                    .read_bits(page.width)
+                    .ok_or(Error::Decode("ts2diff payload"))?;
                 prev_d = prev_d.wrapping_add(page.min_delta.wrapping_add(stored as i64));
                 prev = prev.wrapping_add(prev_d);
                 values.push(prev);
@@ -219,7 +235,12 @@ fn rebuild_decode_serial(page: &Ts2DiffPage<'_>) -> Result<Vec<i64>> {
 /// Decodes any integer-encoded column into `out`, using the vectorized
 /// TS2DIFF pipeline where it applies and the serial reference decoders
 /// otherwise.
-pub fn decode_column(encoding: Encoding, bytes: &[u8], opts: &DecodeOptions, out: &mut Vec<i64>) -> Result<usize> {
+pub fn decode_column(
+    encoding: Encoding,
+    bytes: &[u8],
+    opts: &DecodeOptions,
+    out: &mut Vec<i64>,
+) -> Result<usize> {
     match encoding {
         Encoding::Ts2Diff | Encoding::Ts2DiffOrder2 => {
             let page = ts2diff::parse(bytes).map_err(Error::Encoding)?;
@@ -249,7 +270,11 @@ pub fn decode_column(encoding: Encoding, bytes: &[u8], opts: &DecodeOptions, out
 
 /// Vectorized Sprintz decode: unpack ZigZag deltas, un-ZigZag lane-wise,
 /// then the same accumulate pipeline as TS2DIFF.
-pub fn decode_sprintz(page: &sprintz::SprintzPage<'_>, opts: &DecodeOptions, out: &mut Vec<i64>) -> Result<usize> {
+pub fn decode_sprintz(
+    page: &sprintz::SprintzPage<'_>,
+    opts: &DecodeOptions,
+    out: &mut Vec<i64>,
+) -> Result<usize> {
     out.clear();
     if page.count == 0 {
         return Ok(0);
@@ -257,7 +282,8 @@ pub fn decode_sprintz(page: &sprintz::SprintzPage<'_>, opts: &DecodeOptions, out
     let n = page.count - 1;
     // Safety: |Δ| ≤ 2^(width−1); cumulative offset must fit i32.
     let safe = page.width <= 32
-        && (page.count as u128).saturating_mul(page.delta_magnitude_bound().unsigned_abs() as u128) < (1 << 30);
+        && (page.count as u128).saturating_mul(page.delta_magnitude_bound().unsigned_abs() as u128)
+            < (1 << 30);
     if !safe {
         let decoded = sprintz::decode_from_parts(page).map_err(Error::Encoding)?;
         *out = decoded;
@@ -298,16 +324,42 @@ mod tests {
     fn vectorized_matches_reference_order1() {
         let values: Vec<i64> = (0..1000).map(|i| 10_000 + i * 3 + (i % 11)).collect();
         for nv in [None, Some(1), Some(2), Some(4), Some(8)] {
-            roundtrip(&values, 1, &DecodeOptions { n_v: nv, strategy: DeltaStrategy::ChainLayout, ..Default::default() });
+            roundtrip(
+                &values,
+                1,
+                &DecodeOptions {
+                    n_v: nv,
+                    strategy: DeltaStrategy::ChainLayout,
+                    ..Default::default()
+                },
+            );
         }
-        roundtrip(&values, 1, &DecodeOptions { n_v: None, strategy: DeltaStrategy::StraightScan, ..Default::default() });
+        roundtrip(
+            &values,
+            1,
+            &DecodeOptions {
+                n_v: None,
+                strategy: DeltaStrategy::StraightScan,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     fn vectorized_matches_reference_order2() {
-        let values: Vec<i64> = (0..777i64).map(|i| 1_000_000 + i * 50 + (i * i) % 23).collect();
+        let values: Vec<i64> = (0..777i64)
+            .map(|i| 1_000_000 + i * 50 + (i * i) % 23)
+            .collect();
         for strategy in [DeltaStrategy::ChainLayout, DeltaStrategy::StraightScan] {
-            roundtrip(&values, 2, &DecodeOptions { n_v: None, strategy, ..Default::default() });
+            roundtrip(
+                &values,
+                2,
+                &DecodeOptions {
+                    n_v: None,
+                    strategy,
+                    ..Default::default()
+                },
+            );
         }
     }
 
@@ -352,10 +404,18 @@ mod tests {
 
     #[test]
     fn sprintz_vectorized_path() {
-        let values: Vec<i64> = (0..500).map(|i| 100 + if i % 2 == 0 { i } else { -i }).collect();
+        let values: Vec<i64> = (0..500)
+            .map(|i| 100 + if i % 2 == 0 { i } else { -i })
+            .collect();
         let bytes = Encoding::Sprintz.encode_i64(&values);
         let mut out = Vec::new();
-        decode_column(Encoding::Sprintz, &bytes, &DecodeOptions::default(), &mut out).unwrap();
+        decode_column(
+            Encoding::Sprintz,
+            &bytes,
+            &DecodeOptions::default(),
+            &mut out,
+        )
+        .unwrap();
         assert_eq!(out, values);
     }
 }

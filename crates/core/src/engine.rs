@@ -111,7 +111,8 @@ impl IotDb {
 
     /// Registers a series with the engine's default codecs.
     pub fn create_series(&self, name: &str) -> Result<()> {
-        self.store.create_series(name, self.opts.ts_encoding, self.opts.val_encoding);
+        self.store
+            .create_series(name, self.opts.ts_encoding, self.opts.val_encoding);
         Ok(())
     }
 
@@ -144,7 +145,8 @@ impl IotDb {
     /// Registers a float-valued series (GorillaFloat / Chimp / Elf value
     /// codec).
     pub fn create_series_f64(&self, name: &str, val: etsqp_encoding::Encoding) -> Result<()> {
-        self.store.create_series_f64(name, self.opts.ts_encoding, val);
+        self.store
+            .create_series_f64(name, self.opts.ts_encoding, val);
         Ok(())
     }
 
@@ -162,7 +164,8 @@ impl IotDb {
         vrange: Option<crate::float::FloatRange>,
         func: crate::expr::AggFunc,
     ) -> Result<Option<f64>> {
-        let (agg, _) = crate::float::aggregate_f64(&self.store, series, trange, vrange, &self.opts.pipeline)?;
+        let (agg, _) =
+            crate::float::aggregate_f64(&self.store, series, trange, vrange, &self.opts.pipeline)?;
         Ok(agg.finish(func))
     }
 
@@ -187,7 +190,11 @@ impl IotDb {
     }
 
     /// Executes a plan under a one-off pipeline configuration.
-    pub fn execute_with(&self, plan: &crate::expr::Plan, cfg: &PipelineConfig) -> Result<QueryResult> {
+    pub fn execute_with(
+        &self,
+        plan: &crate::expr::Plan,
+        cfg: &PipelineConfig,
+    ) -> Result<QueryResult> {
         execute(plan, &self.store, cfg)
     }
 }
@@ -214,7 +221,9 @@ mod tests {
             .query("SELECT AVG(velocity) FROM velocity WHERE time >= 0 AND time <= 9999000")
             .unwrap();
         assert_eq!(r.rows.len(), 1);
-        let Value::Float(avg) = r.rows[0][0] else { panic!("{:?}", r.rows) };
+        let Value::Float(avg) = r.rows[0][0] else {
+            panic!("{:?}", r.rows)
+        };
         let want = (0..10_000).map(|i| 60 + (i % 25)).sum::<i64>() as f64 / 10_000.0;
         assert!((avg - want).abs() < 1e-9);
     }
@@ -222,7 +231,9 @@ mod tests {
     #[test]
     fn sliding_window_sql() {
         let db = seeded_db(EngineOptions::default());
-        let r = db.query("SELECT SUM(velocity) FROM velocity SW(0, 1000000)").unwrap();
+        let r = db
+            .query("SELECT SUM(velocity) FROM velocity SW(0, 1000000)")
+            .unwrap();
         // 10_000 points over [0, 9_999_000] in 1e6-wide windows → 10 rows.
         assert_eq!(r.rows.len(), 10);
         let total: i64 = r
@@ -257,7 +268,9 @@ mod tests {
             db.append("ts2", i * 3, i * 10).unwrap();
         }
         db.flush().unwrap();
-        let union = db.query("SELECT * FROM ts1 UNION ts2 ORDER BY TIME").unwrap();
+        let union = db
+            .query("SELECT * FROM ts1 UNION ts2 ORDER BY TIME")
+            .unwrap();
         assert_eq!(union.rows.len(), 2000);
         let join = db.query("SELECT * FROM ts1, ts2").unwrap();
         assert!(!join.rows.is_empty());

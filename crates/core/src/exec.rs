@@ -7,8 +7,11 @@
 //! parallel phase — §III-C / Fig. 14(c-d)), so the only blocking is queue
 //! starvation, which is measured and reported as idle time.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+use crate::{Error, Result};
 
 /// Stage-level counters for one query execution (Figure 14(b)'s staged
 /// time breakdown and the idle/materialization accounting of 14(c-d)).
@@ -102,14 +105,35 @@ impl StatsSnapshot {
     }
 }
 
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// Runs one job, converting a panic into [`Error::Worker`] so a single
+/// bad page cannot abort the whole process.
+fn run_one<J, R>(worker: &(impl Fn(J) -> R + Sync), job: J) -> Result<R> {
+    catch_unwind(AssertUnwindSafe(|| worker(job))).map_err(|p| Error::Worker(panic_message(p)))
+}
+
 /// Runs `jobs` through `worker` on `threads` workers, returning outputs in
 /// job order. Worker starvation time is charged to `stats.idle_ns`.
+///
+/// A panicking worker does not abort the process: the panic payload is
+/// captured and surfaced to the caller as [`Error::Worker`] (the first
+/// panic in job order wins; remaining jobs still drain).
 pub fn run_jobs<J, R>(
     jobs: Vec<J>,
     threads: usize,
     stats: &ExecStats,
     worker: impl Fn(J) -> R + Sync,
-) -> Vec<R>
+) -> Result<Vec<R>>
 where
     J: Send,
     R: Send,
@@ -117,32 +141,30 @@ where
     let threads = threads.max(1);
     let n = jobs.len();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     if threads == 1 || n == 1 {
-        return jobs.into_iter().map(worker).collect();
+        return jobs.into_iter().map(|j| run_one(&worker, j)).collect();
     }
     let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, J)>();
     for pair in jobs.into_iter().enumerate() {
         job_tx.send(pair).expect("queue open");
     }
     drop(job_tx);
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, R)>();
+    let mut slots: Vec<Option<Result<R>>> = (0..n).map(|_| None).collect();
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, Result<R>)>();
     crossbeam::scope(|scope| {
         for _ in 0..threads.min(n) {
             let job_rx = job_rx.clone();
             let res_tx = res_tx.clone();
             let worker = &worker;
-            scope.spawn(move |_| {
-                loop {
-                    let wait_start = Instant::now();
-                    let Ok((idx, job)) = job_rx.recv() else { break };
-                    stats.add(&stats.idle_ns, wait_start.elapsed());
-                    let out = worker(job);
-                    if res_tx.send((idx, out)).is_err() {
-                        break;
-                    }
+            scope.spawn(move |_| loop {
+                let wait_start = Instant::now();
+                let Ok((idx, job)) = job_rx.recv() else { break };
+                stats.add(&stats.idle_ns, wait_start.elapsed());
+                let out = run_one(worker, job);
+                if res_tx.send((idx, out)).is_err() {
+                    break;
                 }
             });
         }
@@ -151,8 +173,11 @@ where
             slots[idx] = Some(out);
         }
     })
-    .expect("worker panicked");
-    slots.into_iter().map(|s| s.expect("job completed")).collect()
+    .expect("scheduler thread panicked");
+    slots
+        .into_iter()
+        .map(|s| s.expect("job completed"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -163,21 +188,21 @@ mod tests {
     fn outputs_preserve_job_order() {
         let jobs: Vec<u64> = (0..100).collect();
         let stats = ExecStats::default();
-        let out = run_jobs(jobs, 4, &stats, |j| j * 2);
+        let out = run_jobs(jobs, 4, &stats, |j| j * 2).unwrap();
         assert_eq!(out, (0..100).map(|j| j * 2).collect::<Vec<_>>());
     }
 
     #[test]
     fn single_thread_path() {
         let stats = ExecStats::default();
-        let out = run_jobs(vec![1, 2, 3], 1, &stats, |j| j + 1);
+        let out = run_jobs(vec![1, 2, 3], 1, &stats, |j| j + 1).unwrap();
         assert_eq!(out, vec![2, 3, 4]);
     }
 
     #[test]
     fn empty_jobs() {
         let stats = ExecStats::default();
-        let out: Vec<i32> = run_jobs(Vec::<i32>::new(), 8, &stats, |j| j);
+        let out: Vec<i32> = run_jobs(Vec::<i32>::new(), 8, &stats, |j| j).unwrap();
         assert!(out.is_empty());
     }
 
@@ -203,7 +228,38 @@ mod tests {
         run_jobs((0..64).collect(), 4, &stats, |_| {
             std::thread::sleep(Duration::from_millis(1));
             seen.lock().unwrap().insert(std::thread::current().id());
-        });
+        })
+        .unwrap();
         assert!(seen.lock().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn panicking_worker_surfaces_error_single_thread() {
+        let stats = ExecStats::default();
+        let out = run_jobs(vec![1, 2, 3], 1, &stats, |j| {
+            if j == 2 {
+                panic!("bad page {j}");
+            }
+            j
+        });
+        match out {
+            Err(Error::Worker(msg)) => assert!(msg.contains("bad page 2"), "msg={msg}"),
+            other => panic!("expected Error::Worker, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_worker_surfaces_error_multi_thread() {
+        let stats = ExecStats::default();
+        let out = run_jobs((0..32).collect::<Vec<i32>>(), 4, &stats, |j| {
+            if j == 17 {
+                panic!("poisoned job");
+            }
+            j * 10
+        });
+        match out {
+            Err(Error::Worker(msg)) => assert!(msg.contains("poisoned job"), "msg={msg}"),
+            other => panic!("expected Error::Worker, got {other:?}"),
+        }
     }
 }

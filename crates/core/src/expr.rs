@@ -51,7 +51,10 @@ pub struct TimeRange {
 impl TimeRange {
     /// The full time domain.
     pub fn all() -> Self {
-        TimeRange { lo: i64::MIN, hi: i64::MAX }
+        TimeRange {
+            lo: i64::MIN,
+            hi: i64::MAX,
+        }
     }
 
     /// Intersection of two ranges; empty ranges have `lo > hi`.
@@ -141,7 +144,10 @@ impl SlidingWindow {
     /// Inclusive time range of window `k` (`[start, start + dt − 1]`).
     pub fn range(&self, k: usize) -> TimeRange {
         let start = self.t_min + k as i64 * self.dt;
-        TimeRange { lo: start, hi: start + self.dt - 1 }
+        TimeRange {
+            lo: start,
+            hi: start + self.dt - 1,
+        }
     }
 }
 
@@ -295,17 +301,25 @@ pub enum Plan {
 impl Plan {
     /// Convenience: scan of a named series.
     pub fn scan(series: &str) -> Plan {
-        Plan::Scan { series: series.to_string() }
+        Plan::Scan {
+            series: series.to_string(),
+        }
     }
 
     /// Pushes `pred` onto this plan.
     pub fn filter(self, pred: Predicate) -> Plan {
-        Plan::Filter { input: Box::new(self), pred }
+        Plan::Filter {
+            input: Box::new(self),
+            pred,
+        }
     }
 
     /// Wraps this plan in a whole-input aggregate.
     pub fn aggregate(self, func: AggFunc) -> Plan {
-        Plan::Aggregate { input: Box::new(self), func }
+        Plan::Aggregate {
+            input: Box::new(self),
+            func,
+        }
     }
 
     /// Wraps this plan in a sliding-window aggregate.
@@ -361,7 +375,9 @@ mod tests {
 
     #[test]
     fn plan_builders_compose() {
-        let p = Plan::scan("velocity").filter(Predicate::time(0, 10)).aggregate(AggFunc::Avg);
+        let p = Plan::scan("velocity")
+            .filter(Predicate::time(0, 10))
+            .aggregate(AggFunc::Avg);
         match p {
             Plan::Aggregate { input, func } => {
                 assert_eq!(func, AggFunc::Avg);

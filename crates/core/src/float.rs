@@ -72,7 +72,9 @@ impl FloatAgg {
     pub fn variance(&self) -> Option<f64> {
         (self.count > 0).then(|| {
             let n = self.count as f64;
-            self.sum_sq / n - (self.sum / n).powi(2)
+            // Clamp: population variance is non-negative, but the
+            // E[x²]−mean² form can round below zero in f64.
+            (self.sum_sq / n - (self.sum / n).powi(2)).max(0.0)
         })
     }
 
@@ -126,24 +128,30 @@ pub fn aggregate_f64(
     let mut kept = Vec::with_capacity(pages.len());
     for page in pages {
         let keep = !cfg.prune
-            || (trange.map_or(true, |t| page.header.overlaps_time(t.lo, t.hi))
-                && mapped.map_or(true, |(lo, hi)| page.header.overlaps_value(lo, hi)));
+            || (trange.is_none_or(|t| page.header.overlaps_time(t.lo, t.hi))
+                && mapped.is_none_or(|(lo, hi)| page.header.overlaps_value(lo, hi)));
         if keep {
             kept.push(page);
         } else {
-            stats.pages_pruned.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             stats
-                .tuples_pruned
-                .fetch_add(page.header.count as u64, std::sync::atomic::Ordering::Relaxed);
+                .pages_pruned
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            stats.tuples_pruned.fetch_add(
+                page.header.count as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
         }
     }
     let outputs = run_jobs(kept, cfg.threads, &stats, |page| -> Result<FloatAgg> {
         let io_start = Instant::now();
         store.io().record_page(page.encoded_len());
-        stats.pages_loaded.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         stats
-            .tuples_scanned
-            .fetch_add(page.header.count as u64, std::sync::atomic::Ordering::Relaxed);
+            .pages_loaded
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        stats.tuples_scanned.fetch_add(
+            page.header.count as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
         stats.add(&stats.io_ns, io_start.elapsed());
         let t = Instant::now();
         let (ts, vals) = page.decode_f64().map_err(Error::Storage)?;
@@ -169,7 +177,7 @@ pub fn aggregate_f64(
         }
         stats.add(&stats.agg_ns, agg_start.elapsed());
         Ok(agg)
-    });
+    })?;
     let mut total = FloatAgg::default();
     for out in outputs {
         total.merge(&out?);
@@ -188,21 +196,26 @@ pub fn scan_f64(
     let pages = store.peek_pages(series)?;
     let kept: Vec<_> = pages
         .into_iter()
-        .filter(|p| !cfg.prune || trange.map_or(true, |t| p.header.overlaps_time(t.lo, t.hi)))
+        .filter(|p| !cfg.prune || trange.is_none_or(|t| p.header.overlaps_time(t.lo, t.hi)))
         .collect();
-    let outputs = run_jobs(kept, cfg.threads, &stats, |page| -> Result<(Vec<i64>, Vec<f64>)> {
-        store.io().record_page(page.encoded_len());
-        let (ts, vals) = page.decode_f64().map_err(Error::Storage)?;
-        let (a, b) = match trange {
-            Some(tr) => {
-                let a = ts.partition_point(|&t| t < tr.lo);
-                let b = ts.partition_point(|&t| t <= tr.hi);
-                (a, b.max(a))
-            }
-            None => (0, ts.len()),
-        };
-        Ok((ts[a..b].to_vec(), vals[a..b].to_vec()))
-    });
+    let outputs = run_jobs(
+        kept,
+        cfg.threads,
+        &stats,
+        |page| -> Result<(Vec<i64>, Vec<f64>)> {
+            store.io().record_page(page.encoded_len());
+            let (ts, vals) = page.decode_f64().map_err(Error::Storage)?;
+            let (a, b) = match trange {
+                Some(tr) => {
+                    let a = ts.partition_point(|&t| t < tr.lo);
+                    let b = ts.partition_point(|&t| t <= tr.hi);
+                    (a, b.max(a))
+                }
+                None => (0, ts.len()),
+            };
+            Ok((ts[a..b].to_vec(), vals[a..b].to_vec()))
+        },
+    )?;
     let mut all_ts = Vec::new();
     let mut all_vals = Vec::new();
     for out in outputs {
@@ -221,7 +234,9 @@ mod tests {
         let store = SeriesStore::new(256);
         store.create_series_f64("t", Encoding::Ts2Diff, enc);
         let ts: Vec<i64> = (0..3000).map(|i| i * 10).collect();
-        let vals: Vec<f64> = (0..3000).map(|i| 20.0 + (i as f64 * 0.01).sin() * 5.0).collect();
+        let vals: Vec<f64> = (0..3000)
+            .map(|i| 20.0 + (i as f64 * 0.01).sin() * 5.0)
+            .collect();
         for (&t, &v) in ts.iter().zip(&vals) {
             store.append_f64("t", t, v).unwrap();
         }
@@ -230,7 +245,10 @@ mod tests {
     }
 
     fn cfg() -> PipelineConfig {
-        PipelineConfig { threads: 2, ..Default::default() }
+        PipelineConfig {
+            threads: 2,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -250,7 +268,10 @@ mod tests {
     #[test]
     fn time_range_prunes_pages() {
         let (store, ts, vals) = float_store(Encoding::Chimp);
-        let tr = TimeRange { lo: ts[1000], hi: ts[1999] };
+        let tr = TimeRange {
+            lo: ts[1000],
+            hi: ts[1999],
+        };
         let (agg, stats) = aggregate_f64(&store, "t", Some(tr), None, &cfg()).unwrap();
         let want: f64 = vals[1000..2000].iter().sum();
         assert!((agg.sum - want).abs() < 1e-6);
@@ -266,8 +287,17 @@ mod tests {
         let want_count = vals.iter().filter(|&&v| (22.5..=24.0).contains(&v)).count() as u64;
         assert_eq!(agg.count, want_count);
         // Out-of-domain range prunes everything at the header level.
-        let (agg, stats) =
-            aggregate_f64(&store, "t", None, Some(FloatRange { lo: 100.0, hi: 200.0 }), &cfg()).unwrap();
+        let (agg, stats) = aggregate_f64(
+            &store,
+            "t",
+            None,
+            Some(FloatRange {
+                lo: 100.0,
+                hi: 200.0,
+            }),
+            &cfg(),
+        )
+        .unwrap();
         assert_eq!(agg.count, 0);
         assert_eq!(stats.pages_loaded, 0, "all pages header-pruned");
     }
@@ -292,8 +322,17 @@ mod tests {
             store.append_f64("n", i, v).unwrap();
         }
         store.flush("n").unwrap();
-        let (agg, _) =
-            aggregate_f64(&store, "n", None, Some(FloatRange { lo: f64::MIN, hi: f64::MAX }), &cfg()).unwrap();
+        let (agg, _) = aggregate_f64(
+            &store,
+            "n",
+            None,
+            Some(FloatRange {
+                lo: f64::MIN,
+                hi: f64::MAX,
+            }),
+            &cfg(),
+        )
+        .unwrap();
         assert_eq!(agg.count, 90);
         assert!(agg.sum.is_finite());
     }

@@ -62,9 +62,11 @@ pub fn sum_ts2diff(page: &Ts2DiffPage<'_>, opts: &DecodeOptions) -> Result<AggSt
     }
     let n = page.count as i128;
     let m = page.num_deltas();
-    // Unpack the stored deltas (SIMD) — the only decoder we keep.
-    let mut stored = vec![0u32; m];
-    unpack::unpack_u32(page.payload, 0, page.width, &mut stored);
+    // Unpack the stored deltas (SIMD) — the only decoder we keep. Widths
+    // up to 64 bits occur whenever the delta spread exceeds 2³², so the
+    // 64-bit unpacker is required (unpack_u32 asserts width ≤ 32).
+    let mut stored = vec![0u64; m];
+    unpack::unpack_u64(page.payload, 0, page.width, &mut stored);
     // Weighted sum Σ (m−j)·s_j with j zero-based over deltas: the delta at
     // index j contributes to values j+1..count, i.e. (m − j) values.
     let mut weighted: i128 = 0;
@@ -94,7 +96,12 @@ pub fn sum_ts2diff(page: &Ts2DiffPage<'_>, opts: &DecodeOptions) -> Result<AggSt
 /// `j+1`), the range sum expands to
 /// `(b−a+1)·v₀ + Σ_j w_j·δ_j` where delta `j` is counted once per covered
 /// value above it: `w_j = b − max(j+1, a) + 1` for `j < b`, else 0.
-pub fn sum_ts2diff_range(page: &Ts2DiffPage<'_>, a: usize, b: usize, opts: &DecodeOptions) -> Result<AggState> {
+pub fn sum_ts2diff_range(
+    page: &Ts2DiffPage<'_>,
+    a: usize,
+    b: usize,
+    opts: &DecodeOptions,
+) -> Result<AggState> {
     let mut state = AggState::new();
     if page.count == 0 || a > b || a >= page.count {
         return Ok(state);
@@ -108,8 +115,8 @@ pub fn sum_ts2diff_range(page: &Ts2DiffPage<'_>, a: usize, b: usize, opts: &Deco
     }
     let len = (b - a + 1) as i128;
     let m = b; // deltas 0..b participate
-    let mut stored = vec![0u32; m];
-    unpack::unpack_u32(page.payload, 0, page.width, &mut stored);
+    let mut stored = vec![0u64; m];
+    unpack::unpack_u64(page.payload, 0, page.width, &mut stored);
     let base = page.min_delta as i128;
     let mut weighted: i128 = 0;
     let mut weight_total: i128 = 0;
@@ -140,19 +147,33 @@ pub fn aggregate_delta_rle(page: &DeltaRlePage<'_>) -> Result<AggState> {
         let tri = r * (r + 1) / 2;
         state.sum += r * a + d * tri;
         // Σ (a + iΔ)² = r·a² + 2aΔ·tri + Δ²·Σi² ; Σi² = r(r+1)(2r+1)/6.
+        // Second-order terms saturate like AggState::sum_sq does.
         let sq = r * (r + 1) * (2 * r + 1) / 6;
-        state.sum_sq += r * a * a + 2 * a * d * tri + d * d * sq;
+        state.sum_sq = state.sum_sq.saturating_add(
+            r.saturating_mul(a.saturating_mul(a))
+                .saturating_add((2 * a).saturating_mul(d.saturating_mul(tri)))
+                .saturating_add(d.saturating_mul(d).saturating_mul(sq)),
+        );
         state.count += run;
         // The run is monotonic: extremes are its endpoints.
         let end = a + d * r;
         let first_of_run = a + d;
-        let (lo, hi) = if d >= 0 { (first_of_run, end) } else { (end, first_of_run) };
+        let (lo, hi) = if d >= 0 {
+            (first_of_run, end)
+        } else {
+            (end, first_of_run)
+        };
         let lo = i128_to_i64(lo)?;
         let hi = i128_to_i64(hi)?;
         state.min = Some(state.min.map_or(lo, |m| m.min(lo)));
         state.max = Some(state.max.map_or(hi, |m| m.max(hi)));
         a = end;
     }
+    // `state.push(page.first)` above left `last` at the page's *first*
+    // value; LAST must track the running carry through every run.
+    // Regression: differential oracle case
+    // `spec=Atm codec=DeltaRle fuse=DeltaRepeat query=LAST(all)`.
+    state.last = Some(i128_to_i64(a)?);
     Ok(state)
 }
 
@@ -200,7 +221,14 @@ pub fn dot_product_delta_rle(a: &DeltaRlePage<'_>, b: &DeltaRlePage<'_>) -> Resu
         let (dai, dbi) = (da as i128, db as i128);
         let tri = valid * (valid + 1) / 2;
         let sq = valid * (valid + 1) * (2 * valid + 1) / 6;
-        total += valid * va * vb + va * dbi * tri + vb * dai * tri + dai * dbi * sq;
+        total = total.saturating_add(
+            valid
+                .saturating_mul(va)
+                .saturating_mul(vb)
+                .saturating_add(va.saturating_mul(dbi).saturating_mul(tri))
+                .saturating_add(vb.saturating_mul(dai).saturating_mul(tri))
+                .saturating_add(dai.saturating_mul(dbi).saturating_mul(sq)),
+        );
         va += dai * valid;
         vb += dbi * valid;
         ra -= valid as u64;
@@ -315,7 +343,12 @@ mod tests {
 
     #[test]
     fn fused_sum_negative_slopes_and_short() {
-        for values in [vec![], vec![9], vec![9, 3], (0..100).map(|i| 1000 - i * 7).collect::<Vec<_>>()] {
+        for values in [
+            vec![],
+            vec![9],
+            vec![9, 3],
+            (0..100).map(|i| 1000 - i * 7).collect::<Vec<_>>(),
+        ] {
             let bytes = ts2diff::encode(&values, 1);
             let page = ts2diff::parse(&bytes).unwrap();
             let fused = sum_ts2diff(&page, &DecodeOptions::default()).unwrap();
@@ -328,7 +361,15 @@ mod tests {
         let values: Vec<i64> = (0..300).map(|i| 40 + i * 2 - (i % 5)).collect();
         let bytes = ts2diff::encode(&values, 1);
         let page = ts2diff::parse(&bytes).unwrap();
-        for (a, b) in [(0usize, 299usize), (0, 0), (10, 10), (5, 250), (250, 299), (299, 299), (100, 9999)] {
+        for (a, b) in [
+            (0usize, 299usize),
+            (0, 0),
+            (10, 10),
+            (5, 250),
+            (250, 299),
+            (299, 299),
+            (100, 9999),
+        ] {
             let got = sum_ts2diff_range(&page, a, b, &DecodeOptions::default()).unwrap();
             let hi = b.min(values.len() - 1);
             let want: i128 = values[a..=hi].iter().map(|&v| v as i128).sum();
@@ -373,7 +414,11 @@ mod tests {
         let pa = delta_rle::parse(&pa_bytes).unwrap();
         let pb = delta_rle::parse(&pb_bytes).unwrap();
         let got = dot_product_delta_rle(&pa, &pb).unwrap();
-        let want: i128 = a_vals.iter().zip(&b_vals).map(|(&a, &b)| a as i128 * b as i128).sum();
+        let want: i128 = a_vals
+            .iter()
+            .zip(&b_vals)
+            .map(|(&a, &b)| a as i128 * b as i128)
+            .sum();
         assert_eq!(got, want);
     }
 
@@ -382,7 +427,13 @@ mod tests {
         let ts: Vec<i64> = (0..500).map(|i| 1000 + i * 10 + (i / 100)).collect();
         let bytes = delta_rle::encode(&ts);
         let page = delta_rle::parse(&bytes).unwrap();
-        for (lo, hi) in [(0, 100), (1500, 3000), (1000, 1000), (5990, 6010), (9000, 1)] {
+        for (lo, hi) in [
+            (0, 100),
+            (1500, 3000),
+            (1000, 1000),
+            (5990, 6010),
+            (9000, 1),
+        ] {
             let got = count_in_range_delta_rle(&page, lo, hi);
             let want = ts.iter().filter(|&&t| t >= lo && t <= hi).count() as u64;
             assert_eq!(got, want, "range [{lo}, {hi}]");

@@ -42,6 +42,7 @@ pub mod exec;
 pub mod expr;
 pub mod float;
 pub mod fused;
+pub mod oracle;
 pub mod plan;
 pub mod prune;
 pub mod slice;
@@ -62,6 +63,9 @@ pub enum Error {
     Plan(String),
     /// An aggregate overflowed its checked accumulator (§VI-C).
     Overflow,
+    /// A scheduler worker panicked; the payload message is preserved so
+    /// one bad page aborts the query, not the process.
+    Worker(String),
 }
 
 impl std::fmt::Display for Error {
@@ -73,6 +77,7 @@ impl std::fmt::Display for Error {
             Error::Sql(msg) => write!(f, "sql: {msg}"),
             Error::Plan(msg) => write!(f, "plan: {msg}"),
             Error::Overflow => write!(f, "aggregate overflow"),
+            Error::Worker(msg) => write!(f, "worker panicked: {msg}"),
         }
     }
 }

@@ -1,0 +1,299 @@
+//! Differential-testing oracle: a deliberately naive reference executor.
+//!
+//! Every fast path in this crate — vectorized unpacking, operator fusion
+//! (§IV), pruning (§V), slicing and multi-threaded scheduling (§III-C) —
+//! is an *optimization* of one simple semantics: decode everything,
+//! filter tuple by tuple, aggregate with exact arithmetic. This module
+//! implements that semantics directly, with none of the optimizations:
+//!
+//! * every page is fully decoded with the serial reference decoders
+//!   ([`Page::decode`]); no page pruning, no suffix pruning, no fusion,
+//!   no slicing, no threads;
+//! * filters are evaluated per tuple, in time order;
+//! * aggregates accumulate in `i128` ([`AggState`] / [`PairMoments`]),
+//!   so no intermediate result ever wraps.
+//!
+//! The only code shared with the engine is the *output contract* —
+//! [`finalize`]'s `Null`/`Int`/`Float` widening rules and the column
+//! naming — because that is the surface being compared, not the
+//! computation behind it. `tests/differential.rs` (repo root) sweeps
+//! every [`PipelineConfig`](crate::plan::PipelineConfig) variant × codec
+//! × dataset × query against this oracle.
+
+use std::collections::BTreeMap;
+
+use etsqp_simd::agg::AggState;
+use etsqp_storage::store::SeriesStore;
+
+use crate::expr::{BinOp, CmpOp, Plan, Predicate, SlidingWindow};
+use crate::plan::{finalize, finalize_pair, flatten_scan, PairMoments, Value};
+use crate::Result;
+
+/// Evaluates `plan` naively. Returns `(columns, rows)` shaped exactly
+/// like [`crate::plan::execute`]'s `QueryResult` (same column names, same
+/// row order, same `Value` widening), so results compare cell-for-cell.
+pub fn execute(plan: &Plan, store: &SeriesStore) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
+    match plan {
+        Plan::Aggregate { input, func } => {
+            let (series, pred) = flatten_scan(input)?;
+            let (_, vals) = scan_tuples(store, &series, &pred)?;
+            let mut state = AggState::new();
+            for v in vals {
+                state.push(v);
+            }
+            let col = format!("{}({series})", func.name());
+            Ok((vec![col], vec![vec![finalize(*func, &state)]]))
+        }
+        Plan::WindowAggregate {
+            input,
+            window,
+            func,
+        } => {
+            let (series, pred) = flatten_scan(input)?;
+            let (ts, vals) = scan_tuples(store, &series, &pred)?;
+            let per_window = window_states(&ts, &vals, window);
+            let col = format!("{}({series})", func.name());
+            let rows = per_window
+                .into_iter()
+                .map(|(k, s)| {
+                    vec![
+                        Value::Int(window.t_min + k as i64 * window.dt),
+                        finalize(*func, &s),
+                    ]
+                })
+                .collect();
+            Ok((vec!["window_start".into(), col], rows))
+        }
+        Plan::Scan { .. } | Plan::Filter { .. } => {
+            let (series, pred) = flatten_scan(plan)?;
+            let (ts, vals) = scan_tuples(store, &series, &pred)?;
+            let rows = ts
+                .into_iter()
+                .zip(vals)
+                .map(|(t, v)| vec![Value::Int(t), Value::Int(v)])
+                .collect();
+            Ok((vec!["time".into(), series], rows))
+        }
+        Plan::Union { left, right } => {
+            let (lt, lv, _, rt, rv, _) = both_sides(store, left, right)?;
+            Ok((
+                vec!["time".into(), "value".into()],
+                union_rows(&lt, &lv, &rt, &rv),
+            ))
+        }
+        Plan::Join { left, right, on } => {
+            let (lt, lv, ls, rt, rv, rs) = both_sides(store, left, right)?;
+            let rows = join_rows(&lt, &lv, &rt, &rv, None, *on);
+            Ok((vec!["time".into(), ls, rs], rows))
+        }
+        Plan::JoinExpr { left, right, op } => {
+            let (lt, lv, ls, rt, rv, rs) = both_sides(store, left, right)?;
+            let rows = join_rows(&lt, &lv, &rt, &rv, Some(*op), None);
+            Ok((vec!["time".into(), format!("{ls}.A op {rs}.A")], rows))
+        }
+        Plan::JoinAggregate { left, right, func } => {
+            let (lt, lv, ls, rt, rv, rs) = both_sides(store, left, right)?;
+            let mut m = PairMoments::default();
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < lt.len() && j < rt.len() {
+                match lt[i].cmp(&rt[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        m.push(lv[i], rv[j]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            let col = format!("{}({ls}, {rs})", func.name());
+            Ok((vec![col], vec![vec![finalize_pair(*func, m)]]))
+        }
+    }
+}
+
+/// Decodes every page of `series` with the serial reference decoders and
+/// keeps the tuples passing `pred`, checked one tuple at a time.
+fn scan_tuples(
+    store: &SeriesStore,
+    series: &str,
+    pred: &Predicate,
+) -> Result<(Vec<i64>, Vec<i64>)> {
+    let mut out_ts = Vec::new();
+    let mut out_vals = Vec::new();
+    for page in store.peek_pages(series)? {
+        let (ts, vals) = page.decode()?;
+        for (&t, &v) in ts.iter().zip(&vals) {
+            if let Some(tr) = pred.time {
+                if !tr.contains(t) {
+                    continue;
+                }
+            }
+            if let Some((lo, hi)) = pred.value {
+                if v < lo || v > hi {
+                    continue;
+                }
+            }
+            out_ts.push(t);
+            out_vals.push(v);
+        }
+    }
+    Ok((out_ts, out_vals))
+}
+
+/// Buckets qualifying tuples into window states, ascending by window
+/// index; only non-empty windows appear (matching the engine contract).
+fn window_states(ts: &[i64], vals: &[i64], w: &SlidingWindow) -> Vec<(usize, AggState)> {
+    let mut windows: BTreeMap<usize, AggState> = BTreeMap::new();
+    for (&t, &v) in ts.iter().zip(vals) {
+        if let Some(k) = w.window_of(t) {
+            windows.entry(k).or_default().push(v);
+        }
+    }
+    windows.into_iter().collect()
+}
+
+/// Flattens + scans both inputs of a binary plan node.
+#[allow(clippy::type_complexity)]
+fn both_sides(
+    store: &SeriesStore,
+    left: &Plan,
+    right: &Plan,
+) -> Result<(Vec<i64>, Vec<i64>, String, Vec<i64>, Vec<i64>, String)> {
+    let (ls, lp) = flatten_scan(left)?;
+    let (rs, rp) = flatten_scan(right)?;
+    let (lt, lv) = scan_tuples(store, &ls, &lp)?;
+    let (rt, rv) = scan_tuples(store, &rs, &rp)?;
+    Ok((lt, lv, ls, rt, rv, rs))
+}
+
+/// Time-ordered two-way merge; ties emit the left tuple first.
+fn union_rows(lt: &[i64], lv: &[i64], rt: &[i64], rv: &[i64]) -> Vec<Vec<Value>> {
+    let mut rows = Vec::with_capacity(lt.len() + rt.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lt.len() || j < rt.len() {
+        let take_left = match (lt.get(i), rt.get(j)) {
+            (Some(&a), Some(&b)) => a <= b,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_left {
+            rows.push(vec![Value::Int(lt[i]), Value::Int(lv[i])]);
+            i += 1;
+        } else {
+            rows.push(vec![Value::Int(rt[j]), Value::Int(rv[j])]);
+            j += 1;
+        }
+    }
+    rows
+}
+
+/// Natural (equal-timestamp) merge join. With `op`, emits
+/// `(t, op(a, b))`; without, `(t, a, b)` filtered by the optional `on`.
+fn join_rows(
+    lt: &[i64],
+    lv: &[i64],
+    rt: &[i64],
+    rv: &[i64],
+    op: Option<BinOp>,
+    on: Option<CmpOp>,
+) -> Vec<Vec<Value>> {
+    let mut rows = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lt.len() && j < rt.len() {
+        match lt[i].cmp(&rt[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                if on.is_none_or(|c| c.eval(lv[i], rv[j])) {
+                    match op {
+                        Some(op) => {
+                            rows.push(vec![Value::Int(lt[i]), Value::Int(op.apply(lv[i], rv[j]))])
+                        }
+                        None => rows.push(vec![
+                            Value::Int(lt[i]),
+                            Value::Int(lv[i]),
+                            Value::Int(rv[j]),
+                        ]),
+                    }
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AggFunc, TimeRange};
+    use crate::plan::{execute as engine_execute, PipelineConfig};
+    use etsqp_encoding::Encoding;
+
+    fn store_with(series: &str, ts: &[i64], vals: &[i64]) -> SeriesStore {
+        let store = SeriesStore::new(128);
+        store.create_series(series, Encoding::Ts2Diff, Encoding::Ts2Diff);
+        store.append_all(series, ts, vals).unwrap();
+        store.flush(series).unwrap();
+        store
+    }
+
+    #[test]
+    fn oracle_matches_engine_on_simple_aggregate() {
+        let ts: Vec<i64> = (0..500).map(|i| i * 10).collect();
+        let vals: Vec<i64> = (0..500).map(|i| 40 + i % 13).collect();
+        let store = store_with("s", &ts, &vals);
+        let plan = Plan::scan("s")
+            .filter(Predicate {
+                time: Some(TimeRange { lo: 100, hi: 4200 }),
+                value: Some((41, 50)),
+            })
+            .aggregate(AggFunc::Sum);
+        let (ocols, orows) = execute(&plan, &store).unwrap();
+        let got = engine_execute(&plan, &store, &PipelineConfig::default()).unwrap();
+        assert_eq!(ocols, got.columns);
+        assert_eq!(orows, got.rows);
+    }
+
+    #[test]
+    fn oracle_aggregate_is_exact_in_i128() {
+        // Two values whose sum exceeds i64: the oracle must widen, not
+        // wrap (the engine's §VI-C contract).
+        let store = store_with("w", &[0, 10], &[i64::MAX - 1, i64::MAX - 1]);
+        let plan = Plan::scan("w").aggregate(AggFunc::Sum);
+        let (_, rows) = execute(&plan, &store).unwrap();
+        let want = (i64::MAX - 1) as f64 * 2.0;
+        match rows[0][0] {
+            Value::Float(f) => assert_eq!(f, want),
+            other => panic!("expected widened Float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oracle_rejects_non_scan_aggregate_input() {
+        let store = store_with("s", &[0], &[1]);
+        let bad = Plan::Aggregate {
+            input: Box::new(Plan::Union {
+                left: Box::new(Plan::scan("s")),
+                right: Box::new(Plan::scan("s")),
+            }),
+            func: AggFunc::Sum,
+        };
+        assert!(execute(&bad, &store).is_err());
+    }
+
+    #[test]
+    fn oracle_window_rows_only_for_nonempty_windows() {
+        // Gap between t=0..40 and t=1000..1040: middle windows are absent.
+        let ts = [0, 10, 20, 30, 40, 1000, 1010, 1020, 1030, 1040];
+        let vals = [1i64, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        let store = store_with("g", &ts, &vals);
+        let plan = Plan::scan("g").window(0, 100, AggFunc::Count);
+        let (_, rows) = execute(&plan, &store).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec![Value::Int(0), Value::Int(5)]);
+        assert_eq!(rows[1], vec![Value::Int(1000), Value::Int(5)]);
+    }
+}

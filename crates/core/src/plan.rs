@@ -32,7 +32,9 @@ use etsqp_storage::store::SeriesStore;
 use crate::decode::{decode_column, DecodeOptions};
 use crate::exec::{run_jobs, ExecStats, StatsSnapshot};
 use crate::expr::{AggFunc, BinOp, CmpOp, PairAggFunc, Plan, Predicate, SlidingWindow, TimeRange};
-use crate::fused::{aggregate_delta_rle, dot_product_delta_rle, sum_ts2diff, sum_ts2diff_range, FuseLevel};
+use crate::fused::{
+    aggregate_delta_rle, dot_product_delta_rle, sum_ts2diff, sum_ts2diff_range, FuseLevel,
+};
 use crate::prune::{constant_interval_positions, prune_rest, DeltaBounds, PruneDecision};
 use crate::slice::{distribute, slice_range, WorkItem};
 use crate::{Error, Result};
@@ -61,7 +63,9 @@ pub struct PipelineConfig {
 impl Default for PipelineConfig {
     fn default() -> Self {
         PipelineConfig {
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             prune: true,
             fuse: FuseLevel::DeltaRepeat,
             vectorized: true,
@@ -146,9 +150,14 @@ fn execute_inner(
             let col = format!("{}({series})", func.name());
             Ok((vec![col], vec![vec![finalize(*func, &state)]]))
         }
-        Plan::WindowAggregate { input, window, func } => {
+        Plan::WindowAggregate {
+            input,
+            window,
+            func,
+        } => {
             let (series, pred) = flatten_scan(input)?;
-            let per_window = aggregate_series(store, &series, &pred, Some(*window), *func, cfg, stats)?;
+            let per_window =
+                aggregate_series(store, &series, &pred, Some(*window), *func, cfg, stats)?;
             let col = format!("{}({series})", func.name());
             let rows = per_window
                 .into_iter()
@@ -174,7 +183,8 @@ fn execute_inner(
         Plan::Union { left, right } => {
             let (ls, lp) = flatten_scan(left)?;
             let (rs, rp) = flatten_scan(right)?;
-            let rows = binary_merge_partitioned(store, &ls, &lp, &rs, &rp, BinaryKind::Union, cfg, stats)?;
+            let rows =
+                binary_merge_partitioned(store, &ls, &lp, &rs, &rp, BinaryKind::Union, cfg, stats)?;
             Ok((vec!["time".into(), "value".into()], rows))
         }
         Plan::Join { left, right, on } => {
@@ -226,8 +236,19 @@ fn execute_inner(
         Plan::JoinExpr { left, right, op } => {
             let (ls, lp) = flatten_scan(left)?;
             let (rs, rp) = flatten_scan(right)?;
-            let rows =
-                binary_merge_partitioned(store, &ls, &lp, &rs, &rp, BinaryKind::Join { op: Some(*op), on: None }, cfg, stats)?;
+            let rows = binary_merge_partitioned(
+                store,
+                &ls,
+                &lp,
+                &rs,
+                &rp,
+                BinaryKind::Join {
+                    op: Some(*op),
+                    on: None,
+                },
+                cfg,
+                stats,
+            )?;
             Ok((vec!["time".into(), format!("{ls}.A op {rs}.A")], rows))
         }
     }
@@ -243,7 +264,8 @@ pub struct PairMoments {
     pub sum_a: i128,
     /// Σ b.
     pub sum_b: i128,
-    /// Σ a·b.
+    /// Σ a·b. Like [`AggState::sum_sq`], the second-order moments
+    /// saturate at the `i128` limits rather than wrapping.
     pub sum_ab: i128,
     /// Σ a².
     pub sum_aa: i128,
@@ -258,9 +280,9 @@ impl PairMoments {
         self.n += 1;
         self.sum_a += a;
         self.sum_b += b;
-        self.sum_ab += a * b;
-        self.sum_aa += a * a;
-        self.sum_bb += b * b;
+        self.sum_ab = self.sum_ab.saturating_add(a * b);
+        self.sum_aa = self.sum_aa.saturating_add(a * a);
+        self.sum_bb = self.sum_bb.saturating_add(b * b);
     }
 
     /// Population covariance.
@@ -278,19 +300,23 @@ impl PairMoments {
             return None;
         }
         let n = self.n as f64;
-        let var_a = self.sum_aa as f64 / n - (self.sum_a as f64 / n).powi(2);
-        let var_b = self.sum_bb as f64 / n - (self.sum_b as f64 / n).powi(2);
+        // Marginal variances are non-negative; clamp away f64 rounding
+        // (and Σx² saturation at extreme magnitudes) before the sqrt.
+        let var_a = (self.sum_aa as f64 / n - (self.sum_a as f64 / n).powi(2)).max(0.0);
+        let var_b = (self.sum_bb as f64 / n - (self.sum_b as f64 / n).powi(2)).max(0.0);
         let denom = (var_a * var_b).sqrt();
         (denom > 0.0).then(|| self.covariance().unwrap() / denom)
     }
 }
 
-fn finalize_pair(func: PairAggFunc, m: PairMoments) -> Value {
+pub(crate) fn finalize_pair(func: PairAggFunc, m: PairMoments) -> Value {
     if m.n == 0 {
         return Value::Null;
     }
     match func {
-        PairAggFunc::Dot => i64::try_from(m.sum_ab).map(Value::Int).unwrap_or(Value::Float(m.sum_ab as f64)),
+        PairAggFunc::Dot => i64::try_from(m.sum_ab)
+            .map(Value::Int)
+            .unwrap_or(Value::Float(m.sum_ab as f64)),
         PairAggFunc::Covariance => m.covariance().map(Value::Float).unwrap_or(Value::Null),
         PairAggFunc::Correlation => m.correlation().map(Value::Float).unwrap_or(Value::Null),
     }
@@ -323,6 +349,8 @@ fn fused_pair_aggregate(
             && ha.last_ts == hb.last_ts
             && ha.val_encoding == Encoding::DeltaRle
             && hb.val_encoding == Encoding::DeltaRle
+            && spread_fits_i64(a)
+            && spread_fits_i64(b)
             && a.ts_bytes == b.ts_bytes; // identical clocks, bit for bit
         if !aligned {
             return Ok(None);
@@ -335,14 +363,14 @@ fn fused_pair_aggregate(
         charge_page_io(b, stats, store);
         let pa = delta_rle::parse(&a.val_bytes)?;
         let pb = delta_rle::parse(&b.val_bytes)?;
-        m.sum_ab += dot_product_delta_rle(&pa, &pb)?;
+        m.sum_ab = m.sum_ab.saturating_add(dot_product_delta_rle(&pa, &pb)?);
         let sa = aggregate_delta_rle(&pa)?;
         let sb = aggregate_delta_rle(&pb)?;
         m.n += sa.count;
         m.sum_a += sa.sum;
         m.sum_b += sb.sum;
-        m.sum_aa += sa.sum_sq;
-        m.sum_bb += sb.sum_sq;
+        m.sum_aa = m.sum_aa.saturating_add(sa.sum_sq);
+        m.sum_bb = m.sum_bb.saturating_add(sb.sum_sq);
     }
     stats.add(&stats.agg_ns, agg_start.elapsed());
     Ok(Some(m))
@@ -350,23 +378,27 @@ fn fused_pair_aggregate(
 
 /// Walks Filter/Scan chains collecting the conjunctive predicate
 /// (Algorithm 2 lines 1–3: single-column filters are pushed to the scan).
-fn flatten_scan(plan: &Plan) -> Result<(String, Predicate)> {
+pub(crate) fn flatten_scan(plan: &Plan) -> Result<(String, Predicate)> {
     match plan {
         Plan::Scan { series } => Ok((series.clone(), Predicate::default())),
         Plan::Filter { input, pred } => {
             let (series, inner) = flatten_scan(input)?;
             Ok((series, inner.and(pred)))
         }
-        other => Err(Error::Plan(format!("expected a (filtered) series scan, got {other:?}"))),
+        other => Err(Error::Plan(format!(
+            "expected a (filtered) series scan, got {other:?}"
+        ))),
     }
 }
 
-fn finalize(func: AggFunc, state: &AggState) -> Value {
+pub(crate) fn finalize(func: AggFunc, state: &AggState) -> Value {
     if state.count == 0 {
         return Value::Null;
     }
     match func {
-        AggFunc::Sum => i64::try_from(state.sum).map(Value::Int).unwrap_or(Value::Float(state.sum as f64)),
+        AggFunc::Sum => i64::try_from(state.sum)
+            .map(Value::Int)
+            .unwrap_or(Value::Float(state.sum as f64)),
         AggFunc::Count => Value::Int(state.count as i64),
         AggFunc::Avg => state.avg().map(Value::Float).unwrap_or(Value::Null),
         AggFunc::Min => state.min.map(Value::Int).unwrap_or(Value::Null),
@@ -375,6 +407,24 @@ fn finalize(func: AggFunc, state: &AggState) -> Value {
         AggFunc::First => state.first.map(Value::Int).unwrap_or(Value::Null),
         AggFunc::Last => state.last.map(Value::Int).unwrap_or(Value::Null),
     }
+}
+
+/// True when the page's value spread `max − min` is representable in
+/// `i64`, which guarantees every pairwise difference — in particular
+/// every encoded delta — equals the true mathematical difference.
+///
+/// The fused closed forms (§IV) and the slice-coefficient chain (§III-C)
+/// sum *stored deltas* symbolically in `i128`; that widening is only
+/// exact when the deltas did not wrap at encode time. The decode paths
+/// are immune (their wrapping adds reproduce each value bit-exactly), so
+/// pages failing this check simply fall back to decode-then-aggregate.
+/// Regression: `overflow_audit.rs` (values spanning more than `i64::MAX`
+/// used to wrap SUM on the sliced and fused paths).
+fn spread_fits_i64(page: &Page) -> bool {
+    page.header
+        .max_value
+        .checked_sub(page.header.min_value)
+        .is_some()
 }
 
 /// Whether the fused path can produce what `func` needs without decode.
@@ -465,15 +515,22 @@ fn aggregate_series(
     let mut kept: Vec<Arc<Page>> = Vec::with_capacity(pages.len());
     for page in pages {
         let keep = !cfg.prune
-            || (pred.time.is_none_or(|t| page.header.overlaps_time(t.lo, t.hi))
-                && pred.value.is_none_or(|(lo, hi)| page.header.overlaps_value(lo, hi)));
+            || (pred
+                .time
+                .is_none_or(|t| page.header.overlaps_time(t.lo, t.hi))
+                && pred
+                    .value
+                    .is_none_or(|(lo, hi)| page.header.overlaps_value(lo, hi)));
         if keep {
             kept.push(page);
         } else {
-            stats.pages_pruned.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             stats
-                .tuples_pruned
-                .fetch_add(page.header.count as u64, std::sync::atomic::Ordering::Relaxed);
+                .pages_pruned
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            stats.tuples_pruned.fetch_add(
+                page.header.count as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
         }
     }
 
@@ -486,7 +543,7 @@ fn aggregate_series(
         && kept.len() < cfg.threads
         && kept
             .iter()
-            .all(|p| p.header.val_encoding == Encoding::Ts2Diff);
+            .all(|p| p.header.val_encoding == Encoding::Ts2Diff && spread_fits_i64(p));
     let items = if sliceable {
         distribute(&kept, cfg.threads)
     } else {
@@ -496,7 +553,11 @@ fn aggregate_series(
     #[derive(Debug)]
     enum JobOut {
         Whole(WindowStates),
-        Slice { page_seq: usize, part: usize, coeff: SliceCoeff },
+        Slice {
+            page_seq: usize,
+            part: usize,
+            coeff: SliceCoeff,
+        },
         Err(Error),
     }
 
@@ -520,15 +581,20 @@ fn aggregate_series(
         },
         WorkItem::Slice { page, part, parts } => {
             match slice_coeff_job(&page, part, parts, cfg, stats, store) {
-                Ok(coeff) => JobOut::Slice { page_seq, part, coeff },
+                Ok(coeff) => JobOut::Slice {
+                    page_seq,
+                    part,
+                    coeff,
+                },
                 Err(e) => JobOut::Err(e),
             }
         }
-    });
+    })?;
 
     // Merge node (sequential, timed).
     let merge_start = Instant::now();
-    let mut windows: std::collections::BTreeMap<usize, AggState> = std::collections::BTreeMap::new();
+    let mut windows: std::collections::BTreeMap<usize, AggState> =
+        std::collections::BTreeMap::new();
     let mut v_pre: i128 = 0;
     let mut cur_page = usize::MAX;
     for out in outputs {
@@ -539,7 +605,11 @@ fn aggregate_series(
                     windows.entry(k).or_default().merge(&s);
                 }
             }
-            JobOut::Slice { page_seq, part, coeff } => {
+            JobOut::Slice {
+                page_seq,
+                part,
+                coeff,
+            } => {
                 if page_seq != cur_page {
                     cur_page = page_seq;
                     debug_assert_eq!(part, 0, "slices arrive in order");
@@ -585,13 +655,19 @@ impl SliceCoeff {
         }
         let n = self.len as i128;
         state.sum += n * v_pre + self.rel_sum;
-        state.sum_sq += n * v_pre * v_pre + 2 * v_pre * self.rel_sum + self.rel_sq;
+        state.sum_sq = state.sum_sq.saturating_add(
+            n.saturating_mul(v_pre.saturating_mul(v_pre))
+                .saturating_add((2 * v_pre).saturating_mul(self.rel_sum))
+                .saturating_add(self.rel_sq),
+        );
         state.count += self.len;
         let lo = (v_pre + self.rel_min as i128) as i64;
         let hi = (v_pre + self.rel_max as i128) as i64;
         state.min = Some(state.min.map_or(lo, |m| m.min(lo)));
         state.max = Some(state.max.map_or(hi, |m| m.max(hi)));
-        state.first.get_or_insert((v_pre + self.rel_first as i128) as i64);
+        state
+            .first
+            .get_or_insert((v_pre + self.rel_first as i128) as i64);
         state.last = Some((v_pre + self.delta_total as i128) as i64);
     }
 }
@@ -599,10 +675,13 @@ impl SliceCoeff {
 fn charge_page_io(page: &Page, stats: &ExecStats, store: &SeriesStore) {
     let io_start = Instant::now();
     store.io().record_page(page.encoded_len());
-    stats.pages_loaded.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     stats
-        .tuples_scanned
-        .fetch_add(page.header.count as u64, std::sync::atomic::Ordering::Relaxed);
+        .pages_loaded
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    stats.tuples_scanned.fetch_add(
+        page.header.count as u64,
+        std::sync::atomic::Ordering::Relaxed,
+    );
     stats.add(&stats.io_ns, io_start.elapsed());
 }
 
@@ -650,7 +729,7 @@ fn slice_coeff_job(
     let push = |r: i64, c: &mut SliceCoeff| {
         c.len += 1;
         c.rel_sum += r as i128;
-        c.rel_sq += (r as i128) * (r as i128);
+        c.rel_sq = c.rel_sq.saturating_add((r as i128) * (r as i128));
         if c.len == 1 {
             c.rel_min = r;
             c.rel_max = r;
@@ -702,7 +781,11 @@ fn agg_page_job(
     } else {
         let wide = match window {
             // Windows only constrain below by t_min; combine with filter.
-            Some(w) => TimeRange { lo: w.t_min, hi: i64::MAX }.intersect(&trange),
+            Some(w) => TimeRange {
+                lo: w.t_min,
+                hi: i64::MAX,
+            }
+            .intersect(&trange),
             None => trange,
         };
         match constant_positions(page, wide.lo, wide.hi) {
@@ -744,8 +827,10 @@ fn agg_page_job(
     // or binary search over decoded timestamps), then aggregate every
     // subrange in closed form over the packed deltas — no value decode.
     if let Some(w) = window {
-        if !has_value_filter && fusion_covers(func, page.header.val_encoding, cfg.fuse)
+        if !has_value_filter
+            && fusion_covers(func, page.header.val_encoding, cfg.fuse)
             && page.header.val_encoding == Encoding::Ts2Diff
+            && spread_fits_i64(page)
         {
             let ranges = window_index_ranges(page, &w, &trange, a, b, ts_decoded.as_deref())?;
             let parsed = ts2diff::parse(&page.val_bytes)?;
@@ -895,7 +980,12 @@ fn window_index_ranges(
         Some(t) => t,
         None => {
             let mut buf = Vec::new();
-            decode_column(page.header.ts_encoding, &page.ts_bytes, &DecodeOptions::default(), &mut buf)?;
+            decode_column(
+                page.header.ts_encoding,
+                &page.ts_bytes,
+                &DecodeOptions::default(),
+                &mut buf,
+            )?;
             ts_owned = buf;
             &ts_owned
         }
@@ -929,7 +1019,7 @@ fn fused_range_agg(
     cfg: &PipelineConfig,
     stats: &ExecStats,
 ) -> Result<Option<AggState>> {
-    if !fusion_covers(func, page.header.val_encoding, cfg.fuse) {
+    if !fusion_covers(func, page.header.val_encoding, cfg.fuse) || !spread_fits_i64(page) {
         return Ok(None);
     }
     let agg_start = Instant::now();
@@ -943,11 +1033,10 @@ fn fused_range_agg(
                 sum_ts2diff_range(&parsed, a, b, &cfg.decode)?
             }
         }
-        Encoding::DeltaRle
-            if a == 0 && b + 1 == count => {
-                let parsed = delta_rle::parse(&page.val_bytes)?;
-                aggregate_delta_rle(&parsed)?
-            }
+        Encoding::DeltaRle if a == 0 && b + 1 == count => {
+            let parsed = delta_rle::parse(&page.val_bytes)?;
+            aggregate_delta_rle(&parsed)?
+        }
         _ => return Ok(None),
     };
     stats.add(&stats.agg_ns, agg_start.elapsed());
@@ -1004,7 +1093,9 @@ fn decode_val_column(
     let t = Instant::now();
     let mut out = Vec::new();
     // Suffix pruning applies to TS2DIFF value columns under value filters.
-    if let (true, Some((c1, c2)), Encoding::Ts2Diff) = (cfg.prune, pred.value, page.header.val_encoding) {
+    if let (true, Some((c1, c2)), Encoding::Ts2Diff) =
+        (cfg.prune, pred.value, page.header.val_encoding)
+    {
         let parsed = ts2diff::parse(&page.val_bytes)?;
         if parsed.order == 1 && parsed.count > 0 {
             let bounds = DeltaBounds::from_ts2diff(&parsed);
@@ -1047,7 +1138,12 @@ fn decode_val_column(
                     .fetch_add((n - out.len()) as u64, std::sync::atomic::Ordering::Relaxed);
             }
         } else {
-            decode_column(page.header.val_encoding, &page.val_bytes, &cfg.decode, &mut out)?;
+            decode_column(
+                page.header.val_encoding,
+                &page.val_bytes,
+                &cfg.decode,
+                &mut out,
+            )?;
         }
     } else {
         let opts = DecodeOptions {
@@ -1075,11 +1171,13 @@ fn serial_agg_page(
     let t = Instant::now();
     let (ts, vals) = page.decode().map_err(Error::Storage)?;
     stats.add(&stats.delta_ns, t.elapsed());
-    stats
-        .materialized_bytes
-        .fetch_add((ts.len() + vals.len()) as u64 * 8, std::sync::atomic::Ordering::Relaxed);
+    stats.materialized_bytes.fetch_add(
+        (ts.len() + vals.len()) as u64 * 8,
+        std::sync::atomic::Ordering::Relaxed,
+    );
     let agg_start = Instant::now();
-    let mut windows: std::collections::BTreeMap<usize, AggState> = std::collections::BTreeMap::new();
+    let mut windows: std::collections::BTreeMap<usize, AggState> =
+        std::collections::BTreeMap::new();
     for (&t, &v) in ts.iter().zip(&vals) {
         if let Some(tr) = pred.time {
             if !tr.contains(t) {
@@ -1116,71 +1214,83 @@ fn scan_rows(
     let mut kept = Vec::with_capacity(pages.len());
     for page in pages {
         let keep = !cfg.prune
-            || (pred.time.is_none_or(|t| page.header.overlaps_time(t.lo, t.hi))
-                && pred.value.is_none_or(|(lo, hi)| page.header.overlaps_value(lo, hi)));
+            || (pred
+                .time
+                .is_none_or(|t| page.header.overlaps_time(t.lo, t.hi))
+                && pred
+                    .value
+                    .is_none_or(|(lo, hi)| page.header.overlaps_value(lo, hi)));
         if keep {
             kept.push(page);
         } else {
-            stats.pages_pruned.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             stats
-                .tuples_pruned
-                .fetch_add(page.header.count as u64, std::sync::atomic::Ordering::Relaxed);
+                .pages_pruned
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            stats.tuples_pruned.fetch_add(
+                page.header.count as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
         }
     }
     let budget = budget_of(cfg);
-    let outputs = run_jobs(kept, cfg.threads, stats, |page| -> Result<(Vec<i64>, Vec<i64>)> {
-        charge_page_io(&page, stats, store);
-        // Gradual loading (§VI-C): reserve decode-buffer memory before
-        // materializing this page's vectors; released when the job's
-        // (filtered, smaller) output replaces them.
-        let _guard = budget.acquire(page.header.count as u64 * 16);
-        let (ts, vals) = if cfg.vectorized {
-            let ts = decode_ts_column(&page, cfg, stats)?;
-            let mut vals = Vec::new();
-            let t = Instant::now();
-            let opts = DecodeOptions {
-                value_range: Some((page.header.min_value, page.header.max_value)),
-                ..cfg.decode
+    let outputs = run_jobs(
+        kept,
+        cfg.threads,
+        stats,
+        |page| -> Result<(Vec<i64>, Vec<i64>)> {
+            charge_page_io(&page, stats, store);
+            // Gradual loading (§VI-C): reserve decode-buffer memory before
+            // materializing this page's vectors; released when the job's
+            // (filtered, smaller) output replaces them.
+            let _guard = budget.acquire(page.header.count as u64 * 16);
+            let (ts, vals) = if cfg.vectorized {
+                let ts = decode_ts_column(&page, cfg, stats)?;
+                let mut vals = Vec::new();
+                let t = Instant::now();
+                let opts = DecodeOptions {
+                    value_range: Some((page.header.min_value, page.header.max_value)),
+                    ..cfg.decode
+                };
+                decode_column(page.header.val_encoding, &page.val_bytes, &opts, &mut vals)?;
+                stats.add(&stats.delta_ns, t.elapsed());
+                (ts, vals)
+            } else {
+                page.decode().map_err(Error::Storage)?
             };
-            decode_column(page.header.val_encoding, &page.val_bytes, &opts, &mut vals)?;
-            stats.add(&stats.delta_ns, t.elapsed());
-            (ts, vals)
-        } else {
-            page.decode().map_err(Error::Storage)?
-        };
-        if ts.len() != vals.len() || ts.len() != page.header.count as usize {
-            // A corrupt payload can decode to a different length than the
-            // header declares — fail cleanly instead of misaligning rows.
-            return Err(Error::Decode("column length mismatch (corrupt page)"));
-        }
-        let filter_start = Instant::now();
-        let mut out_ts = Vec::with_capacity(ts.len());
-        let mut out_vals = Vec::with_capacity(ts.len());
-        let (a, b) = match pred.time {
-            Some(tr) => {
-                let a = ts.partition_point(|&t| t < tr.lo);
-                let b = ts.partition_point(|&t| t <= tr.hi);
-                (a, b.max(a)) // empty ranges (lo > hi) select nothing
+            if ts.len() != vals.len() || ts.len() != page.header.count as usize {
+                // A corrupt payload can decode to a different length than the
+                // header declares — fail cleanly instead of misaligning rows.
+                return Err(Error::Decode("column length mismatch (corrupt page)"));
             }
-            None => (0, ts.len()),
-        };
-        match pred.value {
-            None => {
-                out_ts.extend_from_slice(&ts[a..b]);
-                out_vals.extend_from_slice(&vals[a..b]);
-            }
-            Some((lo, hi)) => {
-                for i in a..b {
-                    if vals[i] >= lo && vals[i] <= hi {
-                        out_ts.push(ts[i]);
-                        out_vals.push(vals[i]);
+            let filter_start = Instant::now();
+            let mut out_ts = Vec::with_capacity(ts.len());
+            let mut out_vals = Vec::with_capacity(ts.len());
+            let (a, b) = match pred.time {
+                Some(tr) => {
+                    let a = ts.partition_point(|&t| t < tr.lo);
+                    let b = ts.partition_point(|&t| t <= tr.hi);
+                    (a, b.max(a)) // empty ranges (lo > hi) select nothing
+                }
+                None => (0, ts.len()),
+            };
+            match pred.value {
+                None => {
+                    out_ts.extend_from_slice(&ts[a..b]);
+                    out_vals.extend_from_slice(&vals[a..b]);
+                }
+                Some((lo, hi)) => {
+                    for i in a..b {
+                        if vals[i] >= lo && vals[i] <= hi {
+                            out_ts.push(ts[i]);
+                            out_vals.push(vals[i]);
+                        }
                     }
                 }
             }
-        }
-        stats.add(&stats.filter_ns, filter_start.elapsed());
-        Ok((out_ts, out_vals))
-    });
+            stats.add(&stats.filter_ns, filter_start.elapsed());
+            Ok((out_ts, out_vals))
+        },
+    )?;
     let merge_start = Instant::now();
     let mut all_ts = Vec::new();
     let mut all_vals = Vec::new();
@@ -1222,7 +1332,10 @@ fn merge_union(lt: &[i64], lv: &[i64], rt: &[i64], rv: &[i64]) -> Vec<Vec<Value>
 #[derive(Debug, Clone, Copy)]
 enum BinaryKind {
     Union,
-    Join { op: Option<BinOp>, on: Option<CmpOp> },
+    Join {
+        op: Option<BinOp>,
+        on: Option<CmpOp>,
+    },
 }
 
 /// Builds at most `2 * threads` disjoint time ranges covering both series,
@@ -1260,6 +1373,9 @@ fn merge_partitions(
 /// merge nodes: every partition decodes both sides restricted to its
 /// range (page pruning keeps out-of-range pages untouched) and merges
 /// independently; partials concatenate in time order.
+// Two (series, predicate) pairs plus execution context; bundling them
+// into a struct would add a type used exactly once.
+#[allow(clippy::too_many_arguments)]
 fn binary_merge_partitioned(
     store: &SeriesStore,
     left: &str,
@@ -1274,19 +1390,30 @@ fn binary_merge_partitioned(
     // One worker per partition; within a partition both sides scan with
     // a single thread (the partition level is the parallel axis).
     let inner_cfg = PipelineConfig { threads: 1, ..*cfg };
-    let outputs = run_jobs(ranges, cfg.threads, stats, |range| -> Result<Vec<Vec<Value>>> {
-        let lp = lpred.and(&Predicate { time: Some(range), value: None });
-        let rp = rpred.and(&Predicate { time: Some(range), value: None });
-        let (lt, lv) = scan_rows(store, left, &lp, &inner_cfg, stats)?;
-        let (rt, rv) = scan_rows(store, right, &rp, &inner_cfg, stats)?;
-        let merge_start = Instant::now();
-        let rows = match kind {
-            BinaryKind::Union => merge_union(&lt, &lv, &rt, &rv),
-            BinaryKind::Join { op, on } => merge_join(&lt, &lv, &rt, &rv, op, on),
-        };
-        stats.add(&stats.merge_ns, merge_start.elapsed());
-        Ok(rows)
-    });
+    let outputs = run_jobs(
+        ranges,
+        cfg.threads,
+        stats,
+        |range| -> Result<Vec<Vec<Value>>> {
+            let lp = lpred.and(&Predicate {
+                time: Some(range),
+                value: None,
+            });
+            let rp = rpred.and(&Predicate {
+                time: Some(range),
+                value: None,
+            });
+            let (lt, lv) = scan_rows(store, left, &lp, &inner_cfg, stats)?;
+            let (rt, rv) = scan_rows(store, right, &rp, &inner_cfg, stats)?;
+            let merge_start = Instant::now();
+            let rows = match kind {
+                BinaryKind::Union => merge_union(&lt, &lv, &rt, &rv),
+                BinaryKind::Join { op, on } => merge_join(&lt, &lv, &rt, &rv, op, on),
+            };
+            stats.add(&stats.merge_ns, merge_start.elapsed());
+            Ok(rows)
+        },
+    )?;
     let mut rows = Vec::new();
     for out in outputs {
         rows.extend(out?);
@@ -1312,10 +1439,16 @@ fn merge_join(
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
                 // Inter-column predicate on the decoded pair (Eq. 3).
-                if on.map_or(true, |c| c.eval(lv[i], rv[j])) {
+                if on.is_none_or(|c| c.eval(lv[i], rv[j])) {
                     match op {
-                        Some(op) => rows.push(vec![Value::Int(lt[i]), Value::Int(op.apply(lv[i], rv[j]))]),
-                        None => rows.push(vec![Value::Int(lt[i]), Value::Int(lv[i]), Value::Int(rv[j])]),
+                        Some(op) => {
+                            rows.push(vec![Value::Int(lt[i]), Value::Int(op.apply(lv[i], rv[j]))])
+                        }
+                        None => rows.push(vec![
+                            Value::Int(lt[i]),
+                            Value::Int(lv[i]),
+                            Value::Int(rv[j]),
+                        ]),
                     }
                 }
                 i += 1;
@@ -1362,7 +1495,14 @@ mod tests {
         let ts: Vec<i64> = (0..3000).map(|i| i * 5).collect();
         let vals: Vec<i64> = (0..3000).map(|i| (i * 7) % 113 - 50).collect();
         let store = store_with("s", &ts, &vals, 700);
-        for func in [AggFunc::Sum, AggFunc::Avg, AggFunc::Count, AggFunc::Min, AggFunc::Max, AggFunc::Variance] {
+        for func in [
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Count,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Variance,
+        ] {
             let plan = Plan::scan("s").aggregate(func);
             let r = execute(&plan, &store, &cfg()).unwrap();
             let got = r.rows[0][0];
@@ -1400,7 +1540,9 @@ mod tests {
         let ts: Vec<i64> = (0..3000).collect();
         let vals: Vec<i64> = (0..3000).map(|i| (i * 31) % 1000).collect();
         let store = store_with("s", &ts, &vals, 512);
-        let plan = Plan::scan("s").filter(Predicate::value(500, i64::MAX)).aggregate(AggFunc::Count);
+        let plan = Plan::scan("s")
+            .filter(Predicate::value(500, i64::MAX))
+            .aggregate(AggFunc::Count);
         let r = execute(&plan, &store, &cfg()).unwrap();
         let want = vals.iter().filter(|&&v| v >= 500).count() as i64;
         assert_eq!(r.rows[0][0], Value::Int(want));
@@ -1454,7 +1596,11 @@ mod tests {
         let plan = Plan::scan("s").aggregate(AggFunc::Sum);
         let mut results = Vec::new();
         for fuse in [FuseLevel::None, FuseLevel::Delta, FuseLevel::DeltaRepeat] {
-            let c = PipelineConfig { fuse, allow_slicing: false, ..cfg() };
+            let c = PipelineConfig {
+                fuse,
+                allow_slicing: false,
+                ..cfg()
+            };
             results.push(execute(&plan, &store, &c).unwrap().rows);
         }
         assert_eq!(results[0], results[1]);
@@ -1468,8 +1614,16 @@ mod tests {
         let vals: Vec<i64> = (0..2000).map(|i| (i % 97) - 48).collect();
         let store = store_with("s", &ts, &vals, 1000);
         let plan = Plan::scan("s").aggregate(AggFunc::Sum);
-        let sliced = PipelineConfig { threads: 8, allow_slicing: true, ..cfg() };
-        let paged = PipelineConfig { threads: 8, allow_slicing: false, ..cfg() };
+        let sliced = PipelineConfig {
+            threads: 8,
+            allow_slicing: true,
+            ..cfg()
+        };
+        let paged = PipelineConfig {
+            threads: 8,
+            allow_slicing: false,
+            ..cfg()
+        };
         let a = execute(&plan, &store, &sliced).unwrap();
         let b = execute(&plan, &store, &paged).unwrap();
         assert_eq!(a.rows, b.rows);
@@ -1506,10 +1660,14 @@ mod tests {
         let r = execute(&union, &store, &cfg()).unwrap();
         assert_eq!(r.rows.len(), 200);
         // Sorted by time.
-        let times: Vec<i64> = r.rows.iter().map(|row| match row[0] {
-            Value::Int(t) => t,
-            _ => panic!(),
-        }).collect();
+        let times: Vec<i64> = r
+            .rows
+            .iter()
+            .map(|row| match row[0] {
+                Value::Int(t) => t,
+                _ => panic!(),
+            })
+            .collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
 
         let join = Plan::Join {
@@ -1538,7 +1696,9 @@ mod tests {
         let ts: Vec<i64> = (0..100).collect();
         let vals = ts.clone();
         let store = store_with("s", &ts, &vals, 50);
-        let plan = Plan::scan("s").filter(Predicate::time(10_000, 20_000)).aggregate(AggFunc::Sum);
+        let plan = Plan::scan("s")
+            .filter(Predicate::time(10_000, 20_000))
+            .aggregate(AggFunc::Sum);
         let r = execute(&plan, &store, &cfg()).unwrap();
         assert_eq!(r.rows[0][0], Value::Null);
     }
@@ -1554,21 +1714,42 @@ mod tests {
             let first = execute(&Plan::scan("s").aggregate(AggFunc::First), &store, &c).unwrap();
             let last = execute(&Plan::scan("s").aggregate(AggFunc::Last), &store, &c).unwrap();
             assert_eq!(first.rows[0][0], Value::Int(vals[0]), "threads {threads}");
-            assert_eq!(last.rows[0][0], Value::Int(*vals.last().unwrap()), "threads {threads}");
+            assert_eq!(
+                last.rows[0][0],
+                Value::Int(*vals.last().unwrap()),
+                "threads {threads}"
+            );
         }
         // With a time filter.
         let pred = Predicate::time(ts[100], ts[2000]);
-        let r = execute(&Plan::scan("s").filter(pred).aggregate(AggFunc::First), &store, &cfg()).unwrap();
+        let r = execute(
+            &Plan::scan("s").filter(pred).aggregate(AggFunc::First),
+            &store,
+            &cfg(),
+        )
+        .unwrap();
         assert_eq!(r.rows[0][0], Value::Int(vals[100]));
         // With a value filter (first qualifying value).
         let pred = Predicate::value(500, i64::MAX);
         let want = *vals.iter().find(|&&v| v >= 500).unwrap();
-        let r = execute(&Plan::scan("s").filter(pred).aggregate(AggFunc::First), &store, &cfg()).unwrap();
+        let r = execute(
+            &Plan::scan("s").filter(pred).aggregate(AggFunc::First),
+            &store,
+            &cfg(),
+        )
+        .unwrap();
         assert_eq!(r.rows[0][0], Value::Int(want));
         // Windowed LAST: one row per window, each the window's last value.
-        let r = execute(&Plan::scan("s").window(0, 2500, AggFunc::Last), &store, &cfg()).unwrap();
+        let r = execute(
+            &Plan::scan("s").window(0, 2500, AggFunc::Last),
+            &store,
+            &cfg(),
+        )
+        .unwrap();
         for row in &r.rows {
-            let (Value::Int(start), Value::Int(got)) = (row[0], row[1]) else { panic!() };
+            let (Value::Int(start), Value::Int(got)) = (row[0], row[1]) else {
+                panic!()
+            };
             let want = ts
                 .iter()
                 .zip(&vals)
@@ -1579,7 +1760,12 @@ mod tests {
             assert_eq!(got, want, "window {start}");
         }
         // Serial engine agrees.
-        let serial = PipelineConfig { vectorized: false, threads: 1, prune: false, ..cfg() };
+        let serial = PipelineConfig {
+            vectorized: false,
+            threads: 1,
+            prune: false,
+            ..cfg()
+        };
         let a = execute(&Plan::scan("s").aggregate(AggFunc::Last), &store, &serial).unwrap();
         let b = execute(&Plan::scan("s").aggregate(AggFunc::Last), &store, &cfg()).unwrap();
         assert_eq!(a.rows, b.rows);
@@ -1645,10 +1831,22 @@ mod tests {
                 op: BinOp::Mul,
             },
         ] {
-            let sequential = execute(&plan, &store, &PipelineConfig { threads: 1, ..cfg() }).unwrap();
+            let sequential = execute(
+                &plan,
+                &store,
+                &PipelineConfig {
+                    threads: 1,
+                    ..cfg()
+                },
+            )
+            .unwrap();
             for threads in [2usize, 5, 16] {
-                let parallel = execute(&plan, &store, &PipelineConfig { threads, ..cfg() }).unwrap();
-                assert_eq!(parallel.rows, sequential.rows, "threads {threads} plan {plan:?}");
+                let parallel =
+                    execute(&plan, &store, &PipelineConfig { threads, ..cfg() }).unwrap();
+                assert_eq!(
+                    parallel.rows, sequential.rows,
+                    "threads {threads} plan {plan:?}"
+                );
             }
         }
     }
@@ -1684,7 +1882,15 @@ mod tests {
         store.flush("s").unwrap();
         for func in [AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Variance] {
             let plan = Plan::scan("s").aggregate(func);
-            let r = execute(&plan, &store, &PipelineConfig { allow_slicing: false, ..cfg() }).unwrap();
+            let r = execute(
+                &plan,
+                &store,
+                &PipelineConfig {
+                    allow_slicing: false,
+                    ..cfg()
+                },
+            )
+            .unwrap();
             let mut naive = AggState::new();
             vals.iter().for_each(|&v| naive.push(v));
             let want = finalize(func, &naive);

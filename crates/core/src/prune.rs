@@ -32,6 +32,17 @@ pub struct DeltaBounds {
     /// `D_M`: upper bound of any delta (`minBase + 2^ω − 1`).
     pub d_max: i64,
     /// `R_M`: upper bound of any run length (1 for non-Repeat formats).
+    ///
+    /// Kept for the §V statistics surface (and for future *run-count*
+    /// based rules), but [`prune_rest`] deliberately does not read it:
+    /// its `steps` are counted in **tuples**, not `(Δ, run)` pairs, and
+    /// in Delta-RLE each tuple applies exactly one delta. The per-tuple
+    /// reach bound `v_k + D_M·steps` (resp. `v_k + D_m·steps`) is
+    /// therefore already tight regardless of how tuples group into runs
+    /// — folding `R_M` in could only *loosen* a bound computed over
+    /// pairs (`D_M·R_M` per pair ≥ `D_M` per tuple), never tighten the
+    /// per-tuple one. Soundness is property-tested against real
+    /// Delta-RLE pages in `tests/prune_properties.rs`.
     pub r_max: u64,
 }
 
@@ -73,14 +84,22 @@ impl DeltaBounds {
 /// (`D_M` per step, `R_M` elements per delta) cannot reach `c1`, stop.
 /// Rule (2): if `v_k > c2` and even the fastest descent (`D_m`) cannot
 /// fall back to `c2`, stop.
-pub fn prune_rest(bounds: &DeltaBounds, v_k: i64, k: usize, n: usize, c1: i64, c2: i64) -> PruneDecision {
+pub fn prune_rest(
+    bounds: &DeltaBounds,
+    v_k: i64,
+    k: usize,
+    n: usize,
+    c1: i64,
+    c2: i64,
+) -> PruneDecision {
     if k + 1 >= n {
         return PruneDecision::Continue; // nothing left to prune
     }
     let steps = (n - k - 1) as i128;
-    // One decoded "step" advances at most R_M tuples, but in terms of
-    // value movement each remaining tuple moves by at most D_M upward /
-    // at least D_m downward. The maximum attainable value over the rest:
+    // `steps` counts remaining TUPLES (not `(Δ, run)` pairs): each tuple
+    // applies exactly one delta, so each moves by at most D_M upward / at
+    // least D_m downward — `R_M` cannot sharpen this per-tuple bound (see
+    // `DeltaBounds::r_max`). The maximum attainable value over the rest:
     let max_reach = v_k as i128 + (bounds.d_max.max(0) as i128) * steps;
     let min_reach = v_k as i128 + (bounds.d_min.min(0) as i128) * steps;
     if v_k < c1 && max_reach < c1 as i128 {
@@ -149,7 +168,11 @@ mod tests {
     use etsqp_encoding::ts2diff;
 
     fn bounds(d_min: i64, d_max: i64, r_max: u64) -> DeltaBounds {
-        DeltaBounds { d_min, d_max, r_max }
+        DeltaBounds {
+            d_min,
+            d_max,
+            r_max,
+        }
     }
 
     #[test]
@@ -157,9 +180,15 @@ mod tests {
         // v_k = 10, filter lower bound 1000, 5 elements left, D_M = 100:
         // max reach 510 < 1000 → stop.
         let b = bounds(0, 100, 1);
-        assert_eq!(prune_rest(&b, 10, 4, 10, 1000, 2000), PruneDecision::StopRest);
+        assert_eq!(
+            prune_rest(&b, 10, 4, 10, 1000, 2000),
+            PruneDecision::StopRest
+        );
         // 20 elements left: reach 10 + 19·100 = 1910 ≥ 1000 → continue.
-        assert_eq!(prune_rest(&b, 10, 0, 20, 1000, 2000), PruneDecision::Continue);
+        assert_eq!(
+            prune_rest(&b, 10, 0, 20, 1000, 2000),
+            PruneDecision::Continue
+        );
     }
 
     #[test]
@@ -174,8 +203,14 @@ mod tests {
     fn ordered_timestamps_stop_after_upper_bound() {
         // Non-negative deltas (timestamps): once past t_hi, stop.
         let b = bounds(0, 1000, 1);
-        assert_eq!(prune_rest(&b, 10_001, 3, 1000, 0, 10_000), PruneDecision::StopRest);
-        assert_eq!(prune_rest(&b, 9_999, 3, 1000, 0, 10_000), PruneDecision::Continue);
+        assert_eq!(
+            prune_rest(&b, 10_001, 3, 1000, 0, 10_000),
+            PruneDecision::StopRest
+        );
+        assert_eq!(
+            prune_rest(&b, 9_999, 3, 1000, 0, 10_000),
+            PruneDecision::Continue
+        );
     }
 
     #[test]
@@ -216,11 +251,20 @@ mod tests {
     #[test]
     fn constant_interval_direct_positions() {
         // t = 100, 110, ..., 190 (10 elements).
-        assert_eq!(constant_interval_positions(100, 10, 10, 125, 165), Some((3, 6)));
+        assert_eq!(
+            constant_interval_positions(100, 10, 10, 125, 165),
+            Some((3, 6))
+        );
         assert_eq!(constant_interval_positions(100, 10, 10, 0, 99), None);
         assert_eq!(constant_interval_positions(100, 10, 10, 200, 300), None);
-        assert_eq!(constant_interval_positions(100, 10, 10, 100, 190), Some((0, 9)));
-        assert_eq!(constant_interval_positions(100, 10, 10, 120, 120), Some((2, 2)));
+        assert_eq!(
+            constant_interval_positions(100, 10, 10, 100, 190),
+            Some((0, 9))
+        );
+        assert_eq!(
+            constant_interval_positions(100, 10, 10, 120, 120),
+            Some((2, 2))
+        );
         // Zero interval (all same timestamp — repeat-encoded).
         assert_eq!(constant_interval_positions(50, 0, 5, 40, 60), Some((0, 4)));
         assert_eq!(constant_interval_positions(50, 0, 5, 60, 70), None);

@@ -100,7 +100,9 @@ mod tests {
     fn make_pages(n: usize, points: usize) -> Vec<Arc<Page>> {
         (0..n)
             .map(|k| {
-                let ts: Vec<i64> = (0..points as i64).map(|i| (k * points) as i64 * 10 + i * 10).collect();
+                let ts: Vec<i64> = (0..points as i64)
+                    .map(|i| (k * points) as i64 * 10 + i * 10)
+                    .collect();
                 let vals: Vec<i64> = (0..points as i64).collect();
                 Arc::new(Page::encode(&ts, &vals, Encoding::Ts2Diff, Encoding::Ts2Diff).unwrap())
             })
@@ -120,7 +122,9 @@ mod tests {
         let pages = make_pages(2, 100);
         let items = distribute(&pages, 8);
         assert_eq!(items.len(), 8); // 2 pages × 4 slices
-        assert!(items.iter().all(|i| matches!(i, WorkItem::Slice { parts: 4, .. })));
+        assert!(items
+            .iter()
+            .all(|i| matches!(i, WorkItem::Slice { parts: 4, .. })));
         // Coverage: slice tuple counts per page sum to the page count.
         let total: usize = items.iter().map(|i| i.tuple_count()).sum();
         assert_eq!(total, 200);

@@ -123,7 +123,9 @@ fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
                     i += 1;
                 }
                 tokens.push(Token::Ident(input[start..i].to_string()));
@@ -220,7 +222,11 @@ enum SelectItem {
     Star,
     Agg(AggFunc, String),
     PairAgg(PairAggFunc, String, String),
-    ColumnExpr { left: String, right: String, op: BinOp },
+    ColumnExpr {
+        left: String,
+        right: String,
+        op: BinOp,
+    },
 }
 
 fn parse_query(p: &mut Parser) -> Result<Plan> {
@@ -284,12 +290,12 @@ fn parse_query(p: &mut Parser) -> Result<Plan> {
             // Sources: FROM a, b — or derive scans from the argument names.
             let (l, r) = match from {
                 FromClause::Cross(l, r) => (l, r),
-                FromClause::Single(_) | FromClause::Union(_, _) => {
-                    (Plan::scan(&a), Plan::scan(&b))
-                }
+                FromClause::Single(_) | FromClause::Union(_, _) => (Plan::scan(&a), Plan::scan(&b)),
             };
             if window.is_some() {
-                return Err(Error::Sql("SW is not supported for paired aggregates".into()));
+                return Err(Error::Sql(
+                    "SW is not supported for paired aggregates".into(),
+                ));
             }
             Ok(Plan::JoinAggregate {
                 left: Box::new(apply_pred(l)),
@@ -300,9 +306,13 @@ fn parse_query(p: &mut Parser) -> Result<Plan> {
         (SelectItem::ColumnExpr { left, right, op }, FromClause::Cross(l, r)) => {
             // Bind qualifiers to sources by name.
             let (lname, rname) = (source_name(&l), source_name(&r));
-            let (l, r) = if Some(left.as_str()) == lname.as_deref() || Some(right.as_str()) == rname.as_deref() {
+            let (l, r) = if Some(left.as_str()) == lname.as_deref()
+                || Some(right.as_str()) == rname.as_deref()
+            {
                 (l, r)
-            } else if Some(right.as_str()) == lname.as_deref() || Some(left.as_str()) == rname.as_deref() {
+            } else if Some(right.as_str()) == lname.as_deref()
+                || Some(left.as_str()) == rname.as_deref()
+            {
                 (r, l)
             } else {
                 (l, r)
@@ -313,7 +323,9 @@ fn parse_query(p: &mut Parser) -> Result<Plan> {
                 op,
             })
         }
-        (item, _) => Err(Error::Sql(format!("unsupported select/from combination: {item:?}"))),
+        (item, _) => Err(Error::Sql(format!(
+            "unsupported select/from combination: {item:?}"
+        ))),
     }
 }
 
@@ -382,7 +394,11 @@ fn parse_select_item(p: &mut Parser) -> Result<SelectItem> {
                 let right = p.ident()?;
                 p.expect(Token::Dot)?;
                 let _rcol = p.ident()?;
-                Ok(SelectItem::ColumnExpr { left: name, right, op })
+                Ok(SelectItem::ColumnExpr {
+                    left: name,
+                    right,
+                    op,
+                })
             }
         }
         other => Err(Error::Sql(format!("bad select list start: {other:?}"))),
@@ -437,7 +453,9 @@ fn parse_source(p: &mut Parser) -> Result<Plan> {
                     match p.next() {
                         Some(Token::RParen) => break,
                         Some(Token::Ident(_)) | Some(Token::Comma) => continue,
-                        other => return Err(Error::Sql(format!("bad schema annotation: {other:?}"))),
+                        other => {
+                            return Err(Error::Sql(format!("bad schema annotation: {other:?}")))
+                        }
                     }
                 }
             }
@@ -528,7 +546,11 @@ mod tests {
     fn q1_window_sum() {
         let plan = parse("SELECT SUM(A) FROM ts SW(0, 1000);").unwrap();
         match plan {
-            Plan::WindowAggregate { window, func, input } => {
+            Plan::WindowAggregate {
+                window,
+                func,
+                input,
+            } => {
                 assert_eq!(window, SlidingWindow { t_min: 0, dt: 1000 });
                 assert_eq!(func, AggFunc::Sum);
                 assert!(matches!(*input, Plan::Scan { .. }));
@@ -540,14 +562,23 @@ mod tests {
     #[test]
     fn q2_schema_annotation_ignored() {
         let plan = parse("SELECT AVG(A) FROM ts(T, A) SW(100, 50)").unwrap();
-        assert!(matches!(plan, Plan::WindowAggregate { func: AggFunc::Avg, .. }));
+        assert!(matches!(
+            plan,
+            Plan::WindowAggregate {
+                func: AggFunc::Avg,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn q3_subquery_value_filter() {
         let plan = parse("SELECT SUM(A) FROM (SELECT * FROM ts WHERE A > 10);").unwrap();
         match plan {
-            Plan::Aggregate { input, func: AggFunc::Sum } => match *input {
+            Plan::Aggregate {
+                input,
+                func: AggFunc::Sum,
+            } => match *input {
                 Plan::Filter { pred, .. } => assert_eq!(pred.value, Some((11, i64::MAX))),
                 other => panic!("{other:?}"),
             },
@@ -575,11 +606,22 @@ mod tests {
 
     #[test]
     fn example2_time_range_avg() {
-        let plan = parse("SELECT AVG(Velocity) FROM Velocity WHERE Time >= 180000 AND Time <= 300000").unwrap();
+        let plan =
+            parse("SELECT AVG(Velocity) FROM Velocity WHERE Time >= 180000 AND Time <= 300000")
+                .unwrap();
         match plan {
-            Plan::Aggregate { input, func: AggFunc::Avg } => match *input {
+            Plan::Aggregate {
+                input,
+                func: AggFunc::Avg,
+            } => match *input {
                 Plan::Filter { pred, .. } => {
-                    assert_eq!(pred.time, Some(TimeRange { lo: 180_000, hi: 300_000 }));
+                    assert_eq!(
+                        pred.time,
+                        Some(TimeRange {
+                            lo: 180_000,
+                            hi: 300_000
+                        })
+                    );
                 }
                 other => panic!("{other:?}"),
             },
@@ -627,7 +669,10 @@ mod tests {
         match plan {
             Plan::Join { on, left, .. } => {
                 assert_eq!(on, Some(CmpOp::Le));
-                assert!(matches!(*left, Plan::Filter { .. }), "time filter pushed to scans");
+                assert!(
+                    matches!(*left, Plan::Filter { .. }),
+                    "time filter pushed to scans"
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -649,6 +694,12 @@ mod tests {
     #[test]
     fn count_star() {
         let plan = parse("SELECT COUNT(*) FROM ts WHERE time >= 0 AND time <= 10").unwrap();
-        assert!(matches!(plan, Plan::Aggregate { func: AggFunc::Count, .. }));
+        assert!(matches!(
+            plan,
+            Plan::Aggregate {
+                func: AggFunc::Count,
+                ..
+            }
+        ));
     }
 }

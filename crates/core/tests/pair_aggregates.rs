@@ -10,7 +10,12 @@ fn naive_corr(a: &[i64], b: &[i64]) -> f64 {
     let n = a.len() as f64;
     let ma = a.iter().map(|&v| v as f64).sum::<f64>() / n;
     let mb = b.iter().map(|&v| v as f64).sum::<f64>() / n;
-    let cov = a.iter().zip(b).map(|(&x, &y)| (x as f64 - ma) * (y as f64 - mb)).sum::<f64>() / n;
+    let cov = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as f64 - ma) * (y as f64 - mb))
+        .sum::<f64>()
+        / n;
     let va = a.iter().map(|&x| (x as f64 - ma).powi(2)).sum::<f64>() / n;
     let vb = b.iter().map(|&y| (y as f64 - mb).powi(2)).sum::<f64>() / n;
     cov / (va * vb).sqrt()
@@ -22,7 +27,9 @@ fn aligned_db(val_enc: Encoding) -> (IotDb, Vec<i64>, Vec<i64>) {
     // Piecewise-linear signals (Delta-RLE friendly) with strong positive
     // dependence plus an anti-correlated remainder.
     let a: Vec<i64> = (0..n as i64).map(|i| 100 + (i / 50) * 3).collect();
-    let b: Vec<i64> = (0..n as i64).map(|i| 40 + (i / 50) * 7 - (i % 50) / 25).collect();
+    let b: Vec<i64> = (0..n as i64)
+        .map(|i| 40 + (i / 50) * 7 - (i % 50) / 25)
+        .collect();
     let db = IotDb::new(EngineOptions::default().with_encodings(Encoding::Ts2Diff, val_enc));
     db.create_series("a").unwrap();
     db.create_series("b").unwrap();
@@ -36,7 +43,9 @@ fn aligned_db(val_enc: Encoding) -> (IotDb, Vec<i64>, Vec<i64>) {
 fn corr_sql_matches_naive() {
     let (db, a, b) = aligned_db(Encoding::Ts2Diff);
     let r = db.query("SELECT CORR(a, b) FROM a, b").unwrap();
-    let Value::Float(got) = r.rows[0][0] else { panic!("{:?}", r.rows) };
+    let Value::Float(got) = r.rows[0][0] else {
+        panic!("{:?}", r.rows)
+    };
     let want = naive_corr(&a, &b);
     assert!((got - want).abs() < 1e-9, "{got} vs {want}");
 }
@@ -52,11 +61,18 @@ fn dot_and_cov_match_naive() {
         Value::Null => panic!("null dot"),
     }
     let r = db.query("SELECT COV(a, b) FROM a, b").unwrap();
-    let Value::Float(got) = r.rows[0][0] else { panic!() };
+    let Value::Float(got) = r.rows[0][0] else {
+        panic!()
+    };
     let n = a.len() as f64;
     let ma = a.iter().map(|&v| v as f64).sum::<f64>() / n;
     let mb = b.iter().map(|&v| v as f64).sum::<f64>() / n;
-    let want = a.iter().zip(&b).map(|(&x, &y)| (x as f64 - ma) * (y as f64 - mb)).sum::<f64>() / n;
+    let want = a
+        .iter()
+        .zip(&b)
+        .map(|(&x, &y)| (x as f64 - ma) * (y as f64 - mb))
+        .sum::<f64>()
+        / n;
     assert!((got - want).abs() < 1e-6, "{got} vs {want}");
 }
 
@@ -86,7 +102,8 @@ fn fused_delta_rle_path_agrees_with_decode_path() {
 
 #[test]
 fn misaligned_clocks_fall_back_and_join_correctly() {
-    let db = IotDb::new(EngineOptions::default().with_encodings(Encoding::Ts2Diff, Encoding::DeltaRle));
+    let db =
+        IotDb::new(EngineOptions::default().with_encodings(Encoding::Ts2Diff, Encoding::DeltaRle));
     db.create_series("a").unwrap();
     db.create_series("b").unwrap();
     for i in 0..2000i64 {
@@ -98,7 +115,8 @@ fn misaligned_clocks_fall_back_and_join_correctly() {
     // Matches at multiples of 6: t = 6k → a index 3k, b index 2k.
     let mut want = 0i128;
     let mut k = 0i64;
-    while 6 * k <= 2 * 1999 && 6 * k <= 3 * 1999 {
+    // a's clock (max t = 2*1999) is the binding bound; b reaches 3*1999.
+    while 6 * k <= 2 * 1999 {
         let ai = 3 * k;
         let bi = 2 * k;
         if ai < 2000 && bi < 2000 {
@@ -123,7 +141,9 @@ fn perfectly_correlated_series_give_one() {
     }
     db.flush().unwrap();
     let r = db.query("SELECT CORR(x, y) FROM x, y").unwrap();
-    let Value::Float(c) = r.rows[0][0] else { panic!() };
+    let Value::Float(c) = r.rows[0][0] else {
+        panic!()
+    };
     assert!((c - 1.0).abs() < 1e-9, "{c}");
 }
 

@@ -64,7 +64,10 @@ fn naive(s: &Series, pred: &Predicate) -> (i128, u64, Option<i64>, Option<i64>) 
 fn check_value(got: Value, want: Value, what: &str) -> Result<(), TestCaseError> {
     match (got, want) {
         (Value::Float(a), Value::Float(b)) => {
-            prop_assert!((a - b).abs() <= b.abs().max(1.0) * 1e-12, "{what}: {a} vs {b}")
+            prop_assert!(
+                (a - b).abs() <= b.abs().max(1.0) * 1e-12,
+                "{what}: {a} vs {b}"
+            )
         }
         (a, b) => prop_assert_eq!(a, b, "{}", what),
     }

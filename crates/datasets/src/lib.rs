@@ -127,7 +127,13 @@ impl Spec {
 
 /// Regular timestamps with occasional network jitter (the dominant IoT
 /// arrival pattern: TS2DIFF packs their deltas into a handful of bits).
-fn jittered_timestamps(rng: &mut StdRng, rows: usize, start: i64, interval: i64, jitter: i64) -> Vec<i64> {
+fn jittered_timestamps(
+    rng: &mut StdRng,
+    rows: usize,
+    start: i64,
+    interval: i64,
+    jitter: i64,
+) -> Vec<i64> {
     let mut out = Vec::with_capacity(rows);
     let mut t = start;
     for _ in 0..rows {
@@ -161,9 +167,18 @@ pub fn atmosphere(rows: usize) -> Dataset {
     let mut rng = StdRng::seed_from_u64(0xA7A0);
     let timestamps = jittered_timestamps(&mut rng, rows, 1_600_000_000_000, 10_000, 40);
     let columns = vec![
-        ("temperature".into(), smooth_signal(&mut rng, rows, 21.5, 6.0, 0.05)),
-        ("humidity".into(), smooth_signal(&mut rng, rows, 55.0, 20.0, 0.2)),
-        ("pressure".into(), smooth_signal(&mut rng, rows, 1013.2, 15.0, 0.1)),
+        (
+            "temperature".into(),
+            smooth_signal(&mut rng, rows, 21.5, 6.0, 0.05),
+        ),
+        (
+            "humidity".into(),
+            smooth_signal(&mut rng, rows, 55.0, 20.0, 0.2),
+        ),
+        (
+            "pressure".into(),
+            smooth_signal(&mut rng, rows, 1013.2, 15.0, 0.1),
+        ),
     ];
     Dataset {
         name: "Atmosphere",
@@ -185,8 +200,14 @@ pub fn climate(rows: usize) -> Dataset {
         wind.push((w * 10.0).round() as i64);
     }
     let columns = vec![
-        ("temp".into(), smooth_signal(&mut rng, rows, 12.0, 14.0, 0.03)),
-        ("dewpoint".into(), smooth_signal(&mut rng, rows, 6.0, 10.0, 0.03)),
+        (
+            "temp".into(),
+            smooth_signal(&mut rng, rows, 12.0, 14.0, 0.03),
+        ),
+        (
+            "dewpoint".into(),
+            smooth_signal(&mut rng, rows, 6.0, 10.0, 0.03),
+        ),
         ("wind".into(), wind),
         ("rain".into(), rain_column(&mut rng, rows)),
     ];
@@ -391,7 +412,13 @@ mod tests {
         // The generators must produce TS2DIFF-friendly data or the whole
         // evaluation premise breaks: expect ≥ 4× on the time column.
         use etsqp_encoding::Encoding;
-        for spec in [Spec::Atmosphere, Spec::Climate, Spec::Gas, Spec::Timestamp, Spec::Sine] {
+        for spec in [
+            Spec::Atmosphere,
+            Spec::Climate,
+            Spec::Gas,
+            Spec::Timestamp,
+            Spec::Sine,
+        ] {
             let d = spec.generate(4096);
             let plain = d.timestamps.len() * 8;
             let enc = Encoding::Ts2Diff.encode_i64(&d.timestamps);
@@ -410,6 +437,9 @@ mod tests {
         let d = climate(20_000);
         let rain = &d.columns[3].1;
         let runs = rain.windows(2).filter(|w| w[0] != w[1]).count();
-        assert!(runs * 10 < rain.len(), "rain should be run-heavy: {runs} changes");
+        assert!(
+            runs * 10 < rain.len(),
+            "rain should be run-heavy: {runs} changes"
+        );
     }
 }

@@ -122,7 +122,8 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<f64>> {
                 .read_bits((64 - stored_lead) as u8)
                 .ok_or(Error::Corrupt("chimp bits"))?,
             _ => {
-                stored_lead = leading_from_code(r.read_bits(3).ok_or(Error::Corrupt("chimp lead"))?);
+                stored_lead =
+                    leading_from_code(r.read_bits(3).ok_or(Error::Corrupt("chimp lead"))?);
                 r.read_bits((64 - stored_lead) as u8)
                     .ok_or(Error::Corrupt("chimp bits"))?
             }
@@ -161,7 +162,15 @@ mod tests {
 
     #[test]
     fn roundtrip_specials() {
-        let vals = vec![0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::MAX, 1e-300, -1e300];
+        let vals = vec![
+            0.0,
+            -0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MAX,
+            1e-300,
+            -1e300,
+        ];
         assert_bits_eq(&decode(&encode(&vals)).unwrap(), &vals);
     }
 

@@ -116,7 +116,11 @@ pub fn encode(values: &[i64]) -> Vec<u8> {
         .map(|&(d, _)| bits_needed_u64(d.wrapping_sub(min_delta) as u64))
         .max()
         .unwrap_or(0);
-    let run_width = pairs.iter().map(|&(_, r)| bits_needed_u64(r)).max().unwrap_or(0);
+    let run_width = pairs
+        .iter()
+        .map(|&(_, r)| bits_needed_u64(r))
+        .max()
+        .unwrap_or(0);
     let mut w = BitWriter::new();
     w.write_bits(values.len() as u64, 32);
     w.write_bits(values.first().copied().unwrap_or(0) as u64, 64);

@@ -27,7 +27,9 @@ fn sig_digits(v: f64) -> u32 {
 
 /// Rounds `x` to `alpha` significant decimal digits and reparses.
 fn round_sig(x: f64, alpha: u32) -> f64 {
-    format!("{x:.*e}", (alpha - 1) as usize).parse().unwrap_or(x)
+    format!("{x:.*e}", (alpha - 1) as usize)
+        .parse()
+        .unwrap_or(x)
 }
 
 /// Finds the largest erasure (in bits) of `v`'s mantissa that is provably
@@ -106,7 +108,11 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<f64>> {
         };
         prev_stored = stored;
         let v = f64::from_bits(stored);
-        out.push(if erased { round_sig(v, alpha.max(1)) } else { v });
+        out.push(if erased {
+            round_sig(v, alpha.max(1))
+        } else {
+            v
+        });
     }
     Ok(out)
 }
@@ -178,7 +184,9 @@ mod tests {
 
     #[test]
     fn roundtrip_full_precision() {
-        let vals: Vec<f64> = (0..200).map(|i| (i as f64).sqrt() * std::f64::consts::PI).collect();
+        let vals: Vec<f64> = (0..200)
+            .map(|i| (i as f64).sqrt() * std::f64::consts::PI)
+            .collect();
         assert_bits_eq(&decode(&encode(&vals)).unwrap(), &vals);
     }
 

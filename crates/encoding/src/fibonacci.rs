@@ -151,8 +151,8 @@ impl<'a> FibReader<'a> {
         let lead = pairs.leading_zeros() as usize;
         if pairs != 0 && lead + 1 < valid {
             let term = lead; // stream offset of the terminator's first bit
-            // Codeword body: stream bits 0..=term (the top term is at
-            // `term` itself), terminator bit at term+1.
+                             // Codeword body: stream bits 0..=term (the top term is at
+                             // `term` itself), terminator bit at term+1.
             let len = term + 1;
             let body = if len == 64 { w } else { w >> (64 - len) };
             // body bit j (LSB-indexed) ⇔ stream bit (len−1−j) ⇔ Fibonacci
@@ -245,7 +245,10 @@ mod tests {
     fn fast_decoder_matches_serial_on_ranges() {
         let vals: Vec<u64> = (1..=2000).collect();
         let bytes = encode_all(&vals);
-        assert_eq!(decode_all_fast(&bytes).unwrap(), decode_all(&bytes).unwrap());
+        assert_eq!(
+            decode_all_fast(&bytes).unwrap(),
+            decode_all(&bytes).unwrap()
+        );
     }
 
     #[test]

@@ -166,7 +166,10 @@ pub fn decode_f64(bytes: &[u8]) -> Result<Vec<f64>> {
             trail = 64 - lead - meaningful;
         }
         let meaningful = 64 - lead - trail;
-        let xor = r.read_bits(meaningful as u8).ok_or(Error::Corrupt("gorilla f bits"))? << trail;
+        let xor = r
+            .read_bits(meaningful as u8)
+            .ok_or(Error::Corrupt("gorilla f bits"))?
+            << trail;
         prev ^= xor;
         out.push(f64::from_bits(prev));
     }
@@ -212,7 +215,9 @@ mod tests {
 
     #[test]
     fn float_roundtrip_sensor_like() {
-        let vals: Vec<f64> = (0..800).map(|i| 20.0 + (i as f64 * 0.01).sin() * 2.0).collect();
+        let vals: Vec<f64> = (0..800)
+            .map(|i| 20.0 + (i as f64 * 0.01).sin() * 2.0)
+            .collect();
         let bytes = encode_f64(&vals);
         let back = decode_f64(&bytes).unwrap();
         assert_eq!(back.len(), vals.len());
@@ -223,7 +228,17 @@ mod tests {
 
     #[test]
     fn float_roundtrip_repeats_and_specials() {
-        let vals = vec![1.5, 1.5, 1.5, -0.0, 0.0, f64::MAX, f64::MIN_POSITIVE, 3.14159, 3.14159];
+        let vals = vec![
+            1.5,
+            1.5,
+            1.5,
+            -0.0,
+            0.0,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            std::f64::consts::PI,
+            std::f64::consts::PI,
+        ];
         let back = decode_f64(&encode_f64(&vals)).unwrap();
         for (a, b) in back.iter().zip(&vals) {
             assert_eq!(a.to_bits(), b.to_bits());

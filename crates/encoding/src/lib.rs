@@ -58,8 +58,14 @@ impl std::fmt::Display for Error {
         match self {
             Error::Corrupt(what) => write!(f, "corrupt encoded page: {what}"),
             Error::BadWidth(w) => write!(f, "illegal packing width {w}"),
-            Error::BadCount { declared, available } => {
-                write!(f, "declared {declared} elements but payload holds {available}")
+            Error::BadCount {
+                declared,
+                available,
+            } => {
+                write!(
+                    f,
+                    "declared {declared} elements but payload holds {available}"
+                )
             }
         }
     }
@@ -178,7 +184,10 @@ impl Encoding {
 
     /// Whether this codec stores `f64` columns.
     pub fn is_float(self) -> bool {
-        matches!(self, Encoding::Chimp | Encoding::Elf | Encoding::GorillaFloat)
+        matches!(
+            self,
+            Encoding::Chimp | Encoding::Elf | Encoding::GorillaFloat
+        )
     }
 
     /// Encodes a float column with this codec.
@@ -284,14 +293,19 @@ mod tests {
             Encoding::Gorilla,
         ] {
             let bytes = enc.encode_i64(&values);
-            let back = enc.decode_i64(&bytes).unwrap_or_else(|e| panic!("{}: {e}", enc.name()));
+            let back = enc
+                .decode_i64(&bytes)
+                .unwrap_or_else(|e| panic!("{}: {e}", enc.name()));
             assert_eq!(back, values, "codec {}", enc.name());
         }
     }
 
     #[test]
     fn error_display_is_informative() {
-        let e = Error::BadCount { declared: 10, available: 3 };
+        let e = Error::BadCount {
+            declared: 10,
+            available: 3,
+        };
         assert!(e.to_string().contains("10"));
     }
 
@@ -312,7 +326,10 @@ mod tests {
         // Monotone (−0.0 and 0.0 map adjacently but ordered).
         assert!(mapped.windows(2).all(|w| w[0] < w[1]), "{mapped:?}");
         for &v in &vals {
-            assert_eq!(ordered_i64_to_f64(f64_to_ordered_i64(v)).to_bits(), v.to_bits());
+            assert_eq!(
+                ordered_i64_to_f64(f64_to_ordered_i64(v)).to_bits(),
+                v.to_bits()
+            );
         }
     }
 

@@ -94,7 +94,11 @@ pub fn encode(values: &[i64]) -> Vec<u8> {
         .map(|&(_, v)| bits_needed_u64(v.wrapping_sub(min_value) as u64))
         .max()
         .unwrap_or(0);
-    let run_width = runs.iter().map(|&(r, _)| bits_needed_u64(r)).max().unwrap_or(0);
+    let run_width = runs
+        .iter()
+        .map(|&(r, _)| bits_needed_u64(r))
+        .max()
+        .unwrap_or(0);
     let mut w = BitWriter::new();
     w.write_bits(values.len() as u64, 32);
     w.write_bits(runs.len() as u64, 32);

@@ -47,7 +47,11 @@ pub fn encode(values: &[i64]) -> Vec<u8> {
         .windows(2)
         .map(|w| encode_zigzag(w[1].wrapping_sub(w[0])))
         .collect();
-    let width = deltas.iter().map(|&z| bits_needed_u64(z)).max().unwrap_or(0);
+    let width = deltas
+        .iter()
+        .map(|&z| bits_needed_u64(z))
+        .max()
+        .unwrap_or(0);
     let mut w = BitWriter::new();
     w.write_bits(values.len() as u64, 32);
     w.write_bits(values.first().copied().unwrap_or(0) as u64, 64);
@@ -98,7 +102,9 @@ pub fn decode_from_parts(page: &SprintzPage<'_>) -> Result<Vec<i64>> {
     let mut cur = page.first;
     let mut r = BitReader::new(page.payload);
     for _ in 1..page.count {
-        let z = r.read_bits(page.width).ok_or(Error::Corrupt("sprintz payload"))?;
+        let z = r
+            .read_bits(page.width)
+            .ok_or(Error::Corrupt("sprintz payload"))?;
         cur = cur.wrapping_add(decode_zigzag(z));
         out.push(cur);
     }
@@ -112,7 +118,9 @@ mod tests {
     #[test]
     fn roundtrip_oscillating_series() {
         // ZigZag shines on sign-alternating deltas.
-        let vals: Vec<i64> = (0..500).map(|i| 1000 + if i % 2 == 0 { 3 } else { -3 }).collect();
+        let vals: Vec<i64> = (0..500)
+            .map(|i| 1000 + if i % 2 == 0 { 3 } else { -3 })
+            .collect();
         let bytes = encode(&vals);
         let page = parse(&bytes).unwrap();
         assert!(page.width <= 4); // deltas ±6 → zigzag ≤ 12 → 4 bits

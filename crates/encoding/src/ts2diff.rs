@@ -164,7 +164,11 @@ pub fn parse(bytes: &[u8]) -> Result<Ts2DiffPage<'_>> {
     if payload.len() * 8 < need_bits {
         return Err(Error::BadCount {
             declared: count as u64,
-            available: if width == 0 { 0 } else { (payload.len() * 8 / width as usize) as u64 },
+            available: if width == 0 {
+                0
+            } else {
+                (payload.len() * 8 / width as usize) as u64
+            },
         });
     }
     Ok(Ts2DiffPage {
@@ -191,7 +195,9 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<i64>> {
         1 => {
             let mut prev = page.first[0];
             for _ in 0..page.num_deltas() {
-                let stored = r.read_bits(page.width).ok_or(Error::Corrupt("ts2diff payload"))?;
+                let stored = r
+                    .read_bits(page.width)
+                    .ok_or(Error::Corrupt("ts2diff payload"))?;
                 let delta = page.min_delta.wrapping_add(stored as i64);
                 prev = prev.wrapping_add(delta);
                 out.push(prev);
@@ -201,7 +207,9 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<i64>> {
             let mut prev = page.first[1];
             let mut prev_d = page.first[1].wrapping_sub(page.first[0]);
             for _ in 0..page.num_deltas() {
-                let stored = r.read_bits(page.width).ok_or(Error::Corrupt("ts2diff payload"))?;
+                let stored = r
+                    .read_bits(page.width)
+                    .ok_or(Error::Corrupt("ts2diff payload"))?;
                 let dd = page.min_delta.wrapping_add(stored as i64);
                 prev_d = prev_d.wrapping_add(dd);
                 prev = prev.wrapping_add(prev_d);

@@ -29,7 +29,17 @@ mod tests {
 
     #[test]
     fn roundtrip_extremes() {
-        for v in [0, 1, -1, 42, -42, i64::MAX, i64::MIN, i64::MAX - 1, i64::MIN + 1] {
+        for v in [
+            0,
+            1,
+            -1,
+            42,
+            -42,
+            i64::MAX,
+            i64::MIN,
+            i64::MAX - 1,
+            i64::MIN + 1,
+        ] {
             assert_eq!(decode_zigzag(encode_zigzag(v)), v);
         }
     }

@@ -8,16 +8,20 @@ use proptest::prelude::*;
 /// Sensor-like series: a random walk with bounded steps — the shape the
 /// Delta–Repeat–Packing encoders are designed for.
 fn sensor_series() -> impl Strategy<Value = Vec<i64>> {
-    (any::<i64>(), proptest::collection::vec(-1000i64..1000, 0..500)).prop_map(|(start, steps)| {
-        let mut v = start % 1_000_000_007;
-        let mut out = Vec::with_capacity(steps.len() + 1);
-        out.push(v);
-        for s in steps {
-            v = v.wrapping_add(s);
+    (
+        any::<i64>(),
+        proptest::collection::vec(-1000i64..1000, 0..500),
+    )
+        .prop_map(|(start, steps)| {
+            let mut v = start % 1_000_000_007;
+            let mut out = Vec::with_capacity(steps.len() + 1);
             out.push(v);
-        }
-        out
-    })
+            for s in steps {
+                v = v.wrapping_add(s);
+                out.push(v);
+            }
+            out
+        })
 }
 
 proptest! {

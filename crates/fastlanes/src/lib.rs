@@ -268,7 +268,9 @@ impl FlSeries {
     }
 
     fn charge(&self, b: &Block) {
-        self.io.bytes.fetch_add(b.bytes.len() as u64, Ordering::Relaxed);
+        self.io
+            .bytes
+            .fetch_add(b.bytes.len() as u64, Ordering::Relaxed);
         self.io.blocks.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -311,13 +313,20 @@ impl FlSeries {
 }
 
 /// Minimal block-parallel map (FastLanes block granularity).
-fn parallel_map<T: Sync, R: Send>(items: &[T], threads: usize, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
     if threads <= 1 || items.len() <= 1 {
         return items.iter().map(&f).collect();
     }
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     let next = AtomicU64::new(0);
-    let slots: Vec<_> = out.iter_mut().map(|s| s as *mut Option<R> as usize).collect();
+    let slots: Vec<_> = out
+        .iter_mut()
+        .map(|s| s as *mut Option<R> as usize)
+        .collect();
     crossbeam::scope(|scope| {
         for _ in 0..threads.min(items.len()) {
             let next = &next;

@@ -249,7 +249,10 @@ impl SboostEngine {
         if let Some(e) = error.into_inner().unwrap() {
             return Err(e);
         }
-        Ok((total_sum.into_inner().unwrap(), total_count.load(Ordering::Relaxed)))
+        Ok((
+            total_sum.into_inner().unwrap(),
+            total_count.load(Ordering::Relaxed),
+        ))
     }
 
     #[allow(clippy::too_many_arguments)] // slice identity + range + channel pair
@@ -295,8 +298,12 @@ impl SboostEngine {
         let base = match rx {
             Some(rx) => {
                 let wait = Instant::now();
-                let v = rx.recv().map_err(|_| Error::Unsupported("predecessor died"))?;
-                self.stats.sync_wait_ns.fetch_add(wait.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                let v = rx
+                    .recv()
+                    .map_err(|_| Error::Unsupported("predecessor died"))?;
+                self.stats
+                    .sync_wait_ns
+                    .fetch_add(wait.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 v
             }
             None => parsed.first[0],

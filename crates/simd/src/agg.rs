@@ -66,7 +66,10 @@ pub struct AggState {
     pub min: Option<i64>,
     /// Maximum seen, if any value was aggregated.
     pub max: Option<i64>,
-    /// Exact running sum of squares (for VAR / STDDEV).
+    /// Running sum of squares (for VAR / STDDEV). Saturates at the
+    /// `i128` limits: Σx² of a few dozen values near `i64::MAX` exceeds
+    /// 2¹²⁷, and VARIANCE is finalized in `f64` where magnitudes that
+    /// extreme have long lost integer precision anyway.
     pub sum_sq: i128,
     /// First aggregated value in time order (FIRST_VALUE).
     pub first: Option<i64>,
@@ -83,7 +86,7 @@ impl AggState {
     /// Folds one value into the state.
     pub fn push(&mut self, v: i64) {
         self.sum += v as i128;
-        self.sum_sq += (v as i128) * (v as i128);
+        self.sum_sq = self.sum_sq.saturating_add((v as i128) * (v as i128));
         self.count += 1;
         self.min = Some(self.min.map_or(v, |m| m.min(v)));
         self.max = Some(self.max.map_or(v, |m| m.max(v)));
@@ -94,7 +97,7 @@ impl AggState {
     /// Merges another partial state (associative, commutative).
     pub fn merge(&mut self, other: &AggState) {
         self.sum += other.sum;
-        self.sum_sq += other.sum_sq;
+        self.sum_sq = self.sum_sq.saturating_add(other.sum_sq);
         self.count += other.count;
         self.min = match (self.min, other.min) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -122,7 +125,10 @@ impl AggState {
         }
         let n = self.count as f64;
         let mean = self.sum as f64 / n;
-        Some(self.sum_sq as f64 / n - mean * mean)
+        // Population variance is non-negative by definition; the clamp
+        // absorbs f64 rounding and, at extreme magnitudes, the Σx²
+        // saturation which can otherwise push the estimate below zero.
+        Some((self.sum_sq as f64 / n - mean * mean).max(0.0))
     }
 
     /// Aggregates a dense slice of decoded values with SIMD kernels.
@@ -131,7 +137,9 @@ impl AggState {
             return;
         }
         self.sum += sum_i64(vals);
-        self.sum_sq += vals.iter().map(|&v| (v as i128) * (v as i128)).sum::<i128>();
+        self.sum_sq = vals.iter().fold(self.sum_sq, |acc, &v| {
+            acc.saturating_add((v as i128) * (v as i128))
+        });
         self.count += vals.len() as u64;
         if let Some((mn, mx)) = min_max_i64(vals) {
             self.min = Some(self.min.map_or(mn, |m| m.min(mn)));
@@ -148,7 +156,7 @@ impl AggState {
         self.count += c;
         for (i, &v) in vals.iter().enumerate() {
             if mask[i / 64] & (1u64 << (i % 64)) != 0 {
-                self.sum_sq += (v as i128) * (v as i128);
+                self.sum_sq = self.sum_sq.saturating_add((v as i128) * (v as i128));
             }
         }
         if let Some((mn, mx)) = masked_min_max_i64(vals, mask) {
@@ -178,7 +186,16 @@ mod tests {
     #[test]
     fn sum_survives_extreme_values() {
         // Values that overflow i64 lane accumulation immediately.
-        let vals = vec![i64::MAX, i64::MAX, i64::MIN, i64::MAX, 1, i64::MAX, i64::MAX, i64::MAX];
+        let vals = vec![
+            i64::MAX,
+            i64::MAX,
+            i64::MIN,
+            i64::MAX,
+            1,
+            i64::MAX,
+            i64::MAX,
+            i64::MAX,
+        ];
         let expect: i128 = vals.iter().map(|&v| v as i128).sum();
         assert_eq!(sum_i64(&vals), expect);
     }

@@ -14,7 +14,7 @@
 #![allow(unsafe_op_in_unsafe_fn)]
 
 use crate::tables::{Plan32, Plan64};
-use crate::{V32, LANES32};
+use crate::{LANES32, V32};
 use std::arch::x86_64::*;
 
 /// Unpacks `rounds * 8` values via a [`Plan32`] (widths 1..=25).
@@ -137,7 +137,10 @@ unsafe fn lane_shift_left<const N: i32>(v: __m256i) -> __m256i {
     let idx = _mm256_setr_epi32(0 - N, 1 - N, 2 - N, 3 - N, 4 - N, 5 - N, 6 - N, 7 - N);
     let permuted = _mm256_permutevar8x32_epi32(v, _mm256_and_si256(idx, _mm256_set1_epi32(7)));
     // Zero the first N lanes: lane i is kept when i >= N.
-    let keep = _mm256_cmpgt_epi32(_mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7), _mm256_set1_epi32(N - 1));
+    let keep = _mm256_cmpgt_epi32(
+        _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+        _mm256_set1_epi32(N - 1),
+    );
     _mm256_and_si256(permuted, keep)
 }
 

@@ -44,6 +44,9 @@ pub fn build_plan512(width: u8, align: u8) -> Plan512 {
     let win_off = [p(0) / 8, p(4) / 8, p(8) / 8, p(12) / 8];
     let mut shuffle = [0u8; 64];
     let mut shifts = [0u32; 16];
+    // Indexing three arrays by lane position; an iterator chain here
+    // would bury the p(i)/window math.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..16 {
         let lane128 = i / 4;
         let r = p(i) / 8 - win_off[lane128];

@@ -73,13 +73,12 @@ pub fn backend() -> Backend {
         let forced = std::env::var("ETSQP_FORCE_BACKEND").ok();
         match forced.as_deref() {
             Some("scalar") => return Backend::Scalar,
-            Some("avx512") => {
-                #[cfg(target_arch = "x86_64")]
+            #[cfg(target_arch = "x86_64")]
+            Some("avx512")
                 if std::arch::is_x86_feature_detected!("avx512f")
-                    && std::arch::is_x86_feature_detected!("avx512bw")
-                {
-                    return Backend::Avx512;
-                }
+                    && std::arch::is_x86_feature_detected!("avx512bw") =>
+            {
+                return Backend::Avx512;
             }
             _ => {}
         }

@@ -5,7 +5,7 @@
 //! differential property tests assert. They are also the fallback on
 //! non-AVX2 hardware and the tail path for partial rounds.
 
-use crate::{V32, LANES32};
+use crate::{LANES32, V32};
 
 /// Reads `w` bits (1..=64) at bit position `p` from a big-endian bit
 /// stream. Bit 0 of the stream is the MSB of `src[0]`.

@@ -96,7 +96,10 @@ fn build_plan32(width: u8, align: u8) -> Plan32 {
             (&mut shuffle_hi, win1_off)
         };
         let r = p(i) / 8 - base_byte;
-        debug_assert!(r + 3 < 16, "window overflow: w={width} align={align} lane={i}");
+        debug_assert!(
+            r + 3 < 16,
+            "window overflow: w={width} align={align} lane={i}"
+        );
         let lane = (i % 4) * 4;
         // Reverse bytes: little-endian lane := big-endian stream bytes.
         tbl[lane] = (r + 3) as u8;
@@ -133,7 +136,10 @@ fn build_plan64(width: u8, align: u8) -> Plan64 {
     for i in 0..8 {
         let win = i / 2;
         let r = p(i) / 8 - win_off[win];
-        debug_assert!(r + 7 < 16, "window overflow: w={width} align={align} lane={i}");
+        debug_assert!(
+            r + 7 < 16,
+            "window overflow: w={width} align={align} lane={i}"
+        );
         let tbl = if i < 4 {
             &mut shuffle_a[win][..]
         } else {
@@ -180,7 +186,10 @@ pub fn plan32(width: u8, align: u8) -> &'static Plan32 {
         }
         v
     });
-    assert!((1..=PLAN32_MAX_WIDTH).contains(&width), "plan32 width {width}");
+    assert!(
+        (1..=PLAN32_MAX_WIDTH).contains(&width),
+        "plan32 width {width}"
+    );
     assert!(align < 8);
     &plans[(width as usize - 1) * 8 + align as usize]
 }
@@ -200,7 +209,10 @@ pub fn plan64(width: u8, align: u8) -> &'static Plan64 {
         }
         v
     });
-    assert!((1..=PLAN64_MAX_WIDTH).contains(&width), "plan64 width {width}");
+    assert!(
+        (1..=PLAN64_MAX_WIDTH).contains(&width),
+        "plan64 width {width}"
+    );
     assert!(align < 8);
     &plans[(width as usize - 1) * 8 + align as usize]
 }

@@ -55,7 +55,9 @@ mod tests {
     #[test]
     fn transpose_roundtrips_for_all_nv() {
         for n_v in SUPPORTED_NV {
-            let scratch: Vec<u32> = (0..(n_v * 8) as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+            let scratch: Vec<u32> = (0..(n_v * 8) as u32)
+                .map(|i| i.wrapping_mul(2654435761))
+                .collect();
             let mut vs = vec![[0u32; 8]; n_v];
             layout_transpose(&scratch, &mut vs);
             for e in 0..n_v * 8 {

@@ -60,7 +60,13 @@ pub fn unpack_u64(src: &[u8], start_bit: usize, width: u8, out: &mut [u64]) {
             let plan = plan64(width, (start_bit % 8) as u8);
             let start_byte = start_bit / 8;
             let max_win = *plan.win_off.iter().max().unwrap();
-            let rounds = safe_rounds(src.len(), start_byte, plan.bytes_per_round, max_win, out.len());
+            let rounds = safe_rounds(
+                src.len(),
+                start_byte,
+                plan.bytes_per_round,
+                max_win,
+                out.len(),
+            );
             if rounds > 0 {
                 unsafe { crate::avx2::unpack_u64_plan64(src, start_byte, rounds, plan, out) };
             }
@@ -81,7 +87,13 @@ fn unpack_u32_avx2(src: &[u8], start_bit: usize, width: u8, out: &mut [u32]) {
     let align = (start_bit % 8) as u8;
     let (rounds, max_win, bpr) = if width <= PLAN32_MAX_WIDTH {
         let plan = plan32(width, align);
-        let r = safe_rounds(src.len(), start_byte, plan.bytes_per_round, plan.win1_off, out.len());
+        let r = safe_rounds(
+            src.len(),
+            start_byte,
+            plan.bytes_per_round,
+            plan.win1_off,
+            out.len(),
+        );
         if r > 0 {
             unsafe { crate::avx2::unpack_u32_plan32(src, start_byte, r, plan, out) };
         }
@@ -123,8 +135,8 @@ fn unpack_u32_avx512(src: &[u8], start_bit: usize, width: u8, out: &mut [u32]) {
     // 16 values per round.
     let full = out.len() / 16;
     let budget = src.len().saturating_sub(start_byte + max_win + 16);
-    let by_bytes = budget / plan.bytes_per_round
-        + usize::from(src.len() >= start_byte + max_win + 16);
+    let by_bytes =
+        budget / plan.bytes_per_round + usize::from(src.len() >= start_byte + max_win + 16);
     let rounds = full.min(by_bytes);
     if rounds > 0 {
         unsafe { crate::avx512::unpack_u32_plan512(src, start_byte, rounds, plan, out) };
@@ -144,14 +156,25 @@ fn unpack_u32_avx512(src: &[u8], start_bit: usize, width: u8, out: &mut [u32]) {
 /// Largest number of full rounds whose 16-byte window loads all stay
 /// within `len` bytes: round `r` loads from
 /// `start + r*bytes_per_round + max_win_off .. + 16`.
-fn safe_rounds(len: usize, start: usize, bytes_per_round: usize, max_win_off: usize, n_out: usize) -> usize {
+fn safe_rounds(
+    len: usize,
+    start: usize,
+    bytes_per_round: usize,
+    max_win_off: usize,
+    n_out: usize,
+) -> usize {
     let full = n_out / ROUND;
     if full == 0 {
         return 0;
     }
     // Need: start + (r-1)*bpr + max_win_off + 16 <= len  for the last round r-1.
     let budget = len.saturating_sub(start + max_win_off + 16);
-    let by_bytes = budget / bytes_per_round + if len >= start + max_win_off + 16 { 1 } else { 0 };
+    let by_bytes = budget / bytes_per_round
+        + if len >= start + max_win_off + 16 {
+            1
+        } else {
+            0
+        };
     full.min(by_bytes)
 }
 
@@ -181,7 +204,11 @@ mod tests {
     #[test]
     fn unpack_u32_all_widths_roundtrip() {
         for width in 1usize..=32 {
-            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
             let vals: Vec<u64> = (0..67).map(|i| (i as u64 * 0x9E3779B9) & mask).collect();
             for start_bit in [0usize, 3, 8, 13] {
                 let bytes = pack_be(&vals, width, start_bit);
@@ -197,8 +224,14 @@ mod tests {
     #[test]
     fn unpack_u64_wide_widths_roundtrip() {
         for width in [33usize, 40, 48, 57, 58, 64] {
-            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
-            let vals: Vec<u64> = (0..41).map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15) & mask).collect();
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            let vals: Vec<u64> = (0..41)
+                .map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15) & mask)
+                .collect();
             let bytes = pack_be(&vals, width, 0);
             let mut out = vec![0u64; vals.len()];
             unpack_u64(&bytes, 0, width as u8, &mut out);

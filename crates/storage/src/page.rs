@@ -94,7 +94,10 @@ impl Page {
     ) -> Result<Page> {
         assert_eq!(timestamps.len(), values.len(), "column length mismatch");
         assert!(!timestamps.is_empty(), "empty page");
-        debug_assert!(timestamps.windows(2).all(|w| w[0] < w[1]), "unsorted timestamps");
+        debug_assert!(
+            timestamps.windows(2).all(|w| w[0] < w[1]),
+            "unsorted timestamps"
+        );
         let (mut min_v, mut max_v) = (i64::MAX, i64::MIN);
         for &v in values {
             min_v = min_v.min(v);

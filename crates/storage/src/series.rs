@@ -32,7 +32,11 @@ impl SeriesWriter {
     ///
     /// # Panics
     /// If `page_points == 0`.
-    pub fn with_page_points(ts_encoding: Encoding, val_encoding: Encoding, page_points: usize) -> Self {
+    pub fn with_page_points(
+        ts_encoding: Encoding,
+        val_encoding: Encoding,
+        page_points: usize,
+    ) -> Self {
         assert!(page_points > 0, "page size must be positive");
         Self {
             ts_encoding,
@@ -48,7 +52,10 @@ impl SeriesWriter {
     pub fn push(&mut self, ts: i64, value: i64) -> Result<()> {
         if let Some(&last) = self.ts_buf.last() {
             if ts <= last {
-                return Err(Error::OutOfOrder { last, attempted: ts });
+                return Err(Error::OutOfOrder {
+                    last,
+                    attempted: ts,
+                });
             }
         } else if let Some(page) = self.flushed.last() {
             if ts <= page.header.last_ts {
@@ -85,7 +92,12 @@ impl SeriesWriter {
         if self.ts_buf.is_empty() {
             return Ok(());
         }
-        let page = Page::encode(&self.ts_buf, &self.val_buf, self.ts_encoding, self.val_encoding)?;
+        let page = Page::encode(
+            &self.ts_buf,
+            &self.val_buf,
+            self.ts_encoding,
+            self.val_encoding,
+        )?;
         self.flushed.push(page);
         self.ts_buf.clear();
         self.val_buf.clear();
@@ -112,7 +124,11 @@ pub struct SeriesWriterF64 {
 
 impl SeriesWriterF64 {
     /// Creates a float writer (`val_encoding` must be a float codec).
-    pub fn with_page_points(ts_encoding: Encoding, val_encoding: Encoding, page_points: usize) -> Self {
+    pub fn with_page_points(
+        ts_encoding: Encoding,
+        val_encoding: Encoding,
+        page_points: usize,
+    ) -> Self {
         assert!(page_points > 0, "page size must be positive");
         assert!(val_encoding.is_float(), "value codec must be a float codec");
         Self {
@@ -129,7 +145,10 @@ impl SeriesWriterF64 {
     pub fn push(&mut self, ts: i64, value: f64) -> Result<()> {
         if let Some(&last) = self.ts_buf.last() {
             if ts <= last {
-                return Err(Error::OutOfOrder { last, attempted: ts });
+                return Err(Error::OutOfOrder {
+                    last,
+                    attempted: ts,
+                });
             }
         } else if let Some(page) = self.flushed.last() {
             if ts <= page.header.last_ts {
@@ -152,7 +171,12 @@ impl SeriesWriterF64 {
         if self.ts_buf.is_empty() {
             return Ok(());
         }
-        let page = Page::encode_f64(&self.ts_buf, &self.val_buf, self.ts_encoding, self.val_encoding)?;
+        let page = Page::encode_f64(
+            &self.ts_buf,
+            &self.val_buf,
+            self.ts_encoding,
+            self.val_encoding,
+        )?;
         self.flushed.push(page);
         self.ts_buf.clear();
         self.val_buf.clear();

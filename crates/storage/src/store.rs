@@ -204,11 +204,19 @@ impl SeriesStore {
         let encs = pages
             .first()
             .map(|p| (p.header.ts_encoding, p.header.val_encoding))
-            .or_else(|| data.pages.first().map(|p| (p.header.ts_encoding, p.header.val_encoding)));
+            .or_else(|| {
+                data.pages
+                    .first()
+                    .map(|p| (p.header.ts_encoding, p.header.val_encoding))
+            });
         data.pages.extend(pages.into_iter().map(Arc::new));
         if let Some((te, ve)) = encs {
             data.writer = Some(if is_float {
-                Writer::Float(SeriesWriterF64::with_page_points(te, ve, crate::series::DEFAULT_PAGE_POINTS))
+                Writer::Float(SeriesWriterF64::with_page_points(
+                    te,
+                    ve,
+                    crate::series::DEFAULT_PAGE_POINTS,
+                ))
             } else {
                 Writer::Int(SeriesWriter::new(te, ve))
             });
@@ -313,7 +321,10 @@ mod tests {
     #[test]
     fn missing_series_errors() {
         let store = SeriesStore::default();
-        assert!(matches!(store.read_pages("nope"), Err(Error::NoSuchSeries(_))));
+        assert!(matches!(
+            store.read_pages("nope"),
+            Err(Error::NoSuchSeries(_))
+        ));
         assert!(store.append("nope", 1, 1).is_err());
     }
 

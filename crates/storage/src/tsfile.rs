@@ -56,7 +56,8 @@ pub fn read(path: &Path) -> Result<SeriesStore> {
         let name_len = read_u16(&mut input)? as usize;
         let mut name_bytes = vec![0u8; name_len];
         input.read_exact(&mut name_bytes)?;
-        let name = String::from_utf8(name_bytes).map_err(|_| Error::Corrupt("series name not utf-8"))?;
+        let name =
+            String::from_utf8(name_bytes).map_err(|_| Error::Corrupt("series name not utf-8"))?;
         let n_pages = read_u32(&mut input)?;
         let mut pages = Vec::with_capacity(n_pages as usize);
         for _ in 0..n_pages {
@@ -110,7 +111,10 @@ mod tests {
         write(&store, &path).unwrap();
 
         let back = read(&path).unwrap();
-        assert_eq!(back.series_names(), vec!["temp".to_string(), "velocity".to_string()]);
+        assert_eq!(
+            back.series_names(),
+            vec!["temp".to_string(), "velocity".to_string()]
+        );
         for name in ["temp", "velocity"] {
             assert_eq!(back.point_count(name).unwrap(), 200);
             let orig = store.peek_pages(name).unwrap();

@@ -31,7 +31,8 @@ fn main() {
     for spec in Spec::ALL {
         let d = spec.generate(rows);
         // Time column plus the first two value columns of each dataset.
-        let mut columns: Vec<(String, &Vec<i64>)> = vec![(format!("{}.time", d.label), &d.timestamps)];
+        let mut columns: Vec<(String, &Vec<i64>)> =
+            vec![(format!("{}.time", d.label), &d.timestamps)];
         for (name, col) in d.columns.iter().take(2) {
             columns.push((format!("{}.{name}", d.label), col));
         }
@@ -41,7 +42,12 @@ fn main() {
             for codec in codecs {
                 let encoded = codec.encode_i64(col);
                 // Verify losslessness while we're here.
-                assert_eq!(&codec.decode_i64(&encoded).unwrap(), col, "{name} {}", codec.name());
+                assert_eq!(
+                    &codec.decode_i64(&encoded).unwrap(),
+                    col,
+                    "{name} {}",
+                    codec.name()
+                );
                 print!("{:>9.1}x", raw as f64 / encoded.len() as f64);
             }
             println!();

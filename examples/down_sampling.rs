@@ -15,7 +15,12 @@ use etsqp::{EngineOptions, FuseLevel, IotDb, Plan};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rows = 2_000_000usize;
     let dataset = etsqp::datasets::Spec::Climate.generate(rows);
-    println!("dataset: {} ({} rows, {} attrs)", dataset.name, dataset.rows(), dataset.attrs());
+    println!(
+        "dataset: {} ({} rows, {} attrs)",
+        dataset.name,
+        dataset.rows(),
+        dataset.attrs()
+    );
 
     let db = IotDb::new(EngineOptions::default());
     db.create_series("temp")?;
@@ -60,14 +65,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.rows.len()
         );
         // All configurations must agree on the answer.
-        let got: Vec<(f64, f64)> = r.rows.iter().map(|row| (row[0].as_f64(), row[1].as_f64())).collect();
+        let got: Vec<(f64, f64)> = r
+            .rows
+            .iter()
+            .map(|row| (row[0].as_f64(), row[1].as_f64()))
+            .collect();
         match &reference {
             None => reference = Some(got),
             Some(want) => {
                 assert_eq!(want.len(), got.len(), "{name}: window count mismatch");
                 for ((wt, wv), (gt, gv)) in want.iter().zip(&got) {
                     assert_eq!(wt, gt, "{name}: window start mismatch");
-                    assert!((wv - gv).abs() < 1e-6, "{name}: value mismatch {wv} vs {gv}");
+                    assert!(
+                        (wv - gv).abs() < 1e-6,
+                        "{name}: value mismatch {wv} vs {gv}"
+                    );
                 }
             }
         }

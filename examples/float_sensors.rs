@@ -7,7 +7,7 @@
 //! ```
 
 use etsqp::core::float::FloatRange;
-use etsqp::{AggFunc, EngineOptions, Encoding, IotDb, TimeRange};
+use etsqp::{AggFunc, Encoding, EngineOptions, IotDb, TimeRange};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = IotDb::new(EngineOptions::default());
@@ -29,24 +29,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     db.flush()?;
 
-    println!("storage footprint for {n} two-decimal readings (raw = {} KB):", n * 8 / 1000);
+    println!(
+        "storage footprint for {n} two-decimal readings (raw = {} KB):",
+        n * 8 / 1000
+    );
     for name in ["temp_gorilla", "temp_chimp", "temp_elf"] {
         let pages = db.store().peek_pages(name)?;
         let bytes: usize = pages.iter().map(|p| p.encoded_len()).sum();
-        println!("  {name:<14} {:>8} KB  ({:.1}x)", bytes / 1000, (n * 8) as f64 / bytes as f64);
+        println!(
+            "  {name:<14} {:>8} KB  ({:.1}x)",
+            bytes / 1000,
+            (n * 8) as f64 / bytes as f64
+        );
     }
 
     // Range aggregations with header pruning (float min/max map into the
     // integer header domain order-preservingly).
     let avg = db.aggregate_f64("temp_elf", None, None, AggFunc::Avg)?;
     println!("\nAVG(temp_elf) over everything: {:?}", avg);
-    let recent = TimeRange { lo: 1_700_000_000_000 + (n as i64 / 2) * 1000, hi: i64::MAX };
+    let recent = TimeRange {
+        lo: 1_700_000_000_000 + (n as i64 / 2) * 1000,
+        hi: i64::MAX,
+    };
     let recent_avg = db.aggregate_f64("temp_elf", Some(recent), None, AggFunc::Avg)?;
     println!("AVG(temp_elf) over the second half: {:?}", recent_avg);
     let hot = db.aggregate_f64(
         "temp_elf",
         None,
-        Some(FloatRange { lo: 24.5, hi: f64::INFINITY }),
+        Some(FloatRange {
+            lo: 24.5,
+            hi: f64::INFINITY,
+        }),
         AggFunc::Count,
     )?;
     println!("COUNT(temp > 24.5): {:?}", hot);
@@ -56,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let a = db.aggregate_f64("temp_gorilla", None, None, func)?.unwrap();
         let b = db.aggregate_f64("temp_chimp", None, None, func)?.unwrap();
         let c = db.aggregate_f64("temp_elf", None, None, func)?.unwrap();
-        assert!((a - b).abs() < 1e-9 && (b - c).abs() < 1e-9, "{func:?}: {a} {b} {c}");
+        assert!(
+            (a - b).abs() < 1e-9 && (b - c).abs() < 1e-9,
+            "{func:?}: {a} {b} {c}"
+        );
     }
     println!("\nall float codecs agree on SUM/MIN/MAX/VARIANCE ✔");
     Ok(())

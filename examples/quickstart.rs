@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "SELECT AVG(velocity) FROM velocity \
          WHERE time >= 1700000180000 AND time <= 1700000300000",
     )?;
-    println!("\nAVG over 2 minutes: {:?}  ({:?})", r.rows[0][0], r.elapsed);
+    println!(
+        "\nAVG over 2 minutes: {:?}  ({:?})",
+        r.rows[0][0], r.elapsed
+    );
     println!(
         "  pages loaded {} / pruned {}, tuples scanned {}, pruned {}",
         r.stats.pages_loaded, r.stats.pages_pruned, r.stats.tuples_scanned, r.stats.tuples_pruned
@@ -36,14 +39,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A down-sampling query: hourly sums (sliding windows of 3.6e6 ms).
     let r = db.query("SELECT SUM(velocity) FROM velocity SW(1700000000000, 3600000)")?;
-    println!("\nHourly down-sample: {} windows in {:?}", r.rows.len(), r.elapsed);
+    println!(
+        "\nHourly down-sample: {} windows in {:?}",
+        r.rows.len(),
+        r.elapsed
+    );
     for row in r.rows.iter().take(3) {
         println!("  window {:?} -> {:?}", row[0], row[1]);
     }
 
     // A selective value filter (Q3 shape).
     let r = db.query("SELECT SUM(velocity) FROM (SELECT * FROM velocity WHERE velocity > 90)")?;
-    println!("\nSUM of readings > 90: {:?} in {:?}", r.rows[0][0], r.elapsed);
+    println!(
+        "\nSUM of readings > 90: {:?} in {:?}",
+        r.rows[0][0], r.elapsed
+    );
 
     // Compression achieved by the IoT encoders.
     let io = db.store().io();

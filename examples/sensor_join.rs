@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Q6: natural join — tuples where both devices reported at the same
     // millisecond (every 6 s here).
     let join = db.query("SELECT * FROM upstream, downstream")?;
-    println!("JOIN:  {} matched tuples in {:?}", join.rows.len(), join.elapsed);
+    println!(
+        "JOIN:  {} matched tuples in {:?}",
+        join.rows.len(),
+        join.elapsed
+    );
 
     // Q4: inter-column expression over the join — flow imbalance.
     let diff = db.query("SELECT upstream.A + downstream.A FROM upstream, downstream")?;

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite.
+#
+# Run from the repository root:
+#   bash scripts/ci.sh
+#
+# The differential oracle sweep (tests/differential.rs) runs as part of
+# `cargo test` and is the strongest check here — several thousand
+# engine-vs-oracle cases across every codec, dataset and pipeline
+# configuration.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "CI OK"

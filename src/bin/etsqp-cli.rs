@@ -25,7 +25,10 @@ use etsqp::{EngineOptions, FuseLevel, IotDb, Value};
 fn main() {
     let mut db = IotDb::new(EngineOptions::default());
     let mut cfg = PipelineConfig::default();
-    println!("ETSQP shell — SIMD backend: {} — .help for commands", etsqp::simd::backend());
+    println!(
+        "ETSQP shell — SIMD backend: {} — .help for commands",
+        etsqp::simd::backend()
+    );
 
     if let Some(path) = std::env::args().nth(1) {
         match load(&path) {
@@ -123,7 +126,9 @@ fn explain(db: &IotDb, cfg: &PipelineConfig, sql: &str) {
         if !format!("{plan:?}").contains(&format!("\"{name}\"")) {
             continue;
         }
-        let Ok(pages) = db.store().peek_pages(&name) else { continue };
+        let Ok(pages) = db.store().peek_pages(&name) else {
+            continue;
+        };
         if pages.is_empty() {
             println!("  {name}: no pages");
             continue;
@@ -164,7 +169,9 @@ fn dot_command(rest: &str, db: &mut IotDb, cfg: &mut PipelineConfig) -> bool {
         "help" => {
             println!(".load <path> | .save <path> | .gen <spec> <rows> | .series");
             println!(".explain <sql> — show the logical plan and storage strategy");
-            println!(".config [threads N] [prune on|off] [fuse none|delta|repeat] [vectorized on|off]");
+            println!(
+                ".config [threads N] [prune on|off] [fuse none|delta|repeat] [vectorized on|off]"
+            );
             println!(".stats | .quit — anything else is parsed as SQL");
         }
         "load" => match parts.next() {
@@ -208,7 +215,12 @@ fn dot_command(rest: &str, db: &mut IotDb, cfg: &mut PipelineConfig) -> bool {
                 let _ = i;
             }
             db.flush().ok();
-            println!("generated {} ({} rows × {} attrs)", d.name, d.rows(), d.attrs());
+            println!(
+                "generated {} ({} rows × {} attrs)",
+                d.name,
+                d.rows(),
+                d.attrs()
+            );
         }
         "series" => {
             for name in db.store().series_names() {
@@ -243,7 +255,11 @@ fn dot_command(rest: &str, db: &mut IotDb, cfg: &mut PipelineConfig) -> bool {
         }
         "stats" => {
             let io = db.store().io();
-            println!("pages read: {}, bytes read: {}", io.pages_read(), io.bytes_read());
+            println!(
+                "pages read: {}, bytes read: {}",
+                io.pages_read(),
+                io.bytes_read()
+            );
         }
         other => eprintln!("unknown command .{other} (.help)"),
     }

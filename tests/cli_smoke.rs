@@ -2,7 +2,37 @@
 //! dataset, query it, persist to a TsFile, reload, and re-query.
 
 use std::io::Write;
+use std::path::PathBuf;
 use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A per-test scratch directory, removed on drop. The path embeds the
+/// process id and a counter so concurrent `cargo test` invocations (and
+/// the tests within one run) never collide on a shared fixed path.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "etsqp_cli_smoke_{tag}_{}_{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn file(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
 
 fn run_cli(script: &str, args: &[&str]) -> String {
     let mut child = Command::new(env!("CARGO_BIN_EXE_etsqp-cli"))
@@ -25,9 +55,8 @@ fn run_cli(script: &str, args: &[&str]) -> String {
 
 #[test]
 fn generate_query_save_reload() {
-    let dir = std::env::temp_dir().join("etsqp_cli_smoke");
-    std::fs::create_dir_all(&dir).unwrap();
-    let file = dir.join("cli_smoke.etsqp");
+    let dir = TempDir::new("save_reload");
+    let file = dir.file("cli_smoke.etsqp");
     let file_str = file.to_str().unwrap();
 
     let script = format!(
@@ -44,10 +73,12 @@ fn generate_query_save_reload() {
     assert!(out.contains("saved"), "{out}");
 
     // Reload via the CLI argument and query again.
-    let out = run_cli("SELECT COUNT(atm_humidity) FROM atm_humidity\n.quit\n", &[file_str]);
+    let out = run_cli(
+        "SELECT COUNT(atm_humidity) FROM atm_humidity\n.quit\n",
+        &[file_str],
+    );
     assert!(out.contains("loaded"), "{out}");
     assert!(out.contains("5000"), "{out}");
-    std::fs::remove_file(&file).ok();
 }
 
 #[test]
@@ -75,7 +106,12 @@ fn config_switches_apply() {
     // Both engine configurations produce the same SUM line twice.
     let sums: Vec<&str> = out
         .lines()
-        .filter(|l| l.starts_with("SUM(") || l.chars().next().is_some_and(|c| c == '-' || c.is_ascii_digit()))
+        .filter(|l| {
+            l.starts_with("SUM(")
+                || l.chars()
+                    .next()
+                    .is_some_and(|c| c == '-' || c.is_ascii_digit())
+        })
         .collect();
     assert!(sums.len() >= 2, "{out}");
 }

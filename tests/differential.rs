@@ -1,0 +1,365 @@
+//! Differential correctness sweep: every engine configuration must agree
+//! with the naive oracle (`etsqp::core::oracle`) on every codec, dataset
+//! and query in the battery.
+//!
+//! On a mismatch the harness prints a single-line reproducer
+//! (`DIFF spec=… codec=… cfg=… query=… rows=…`) before panicking, so a
+//! failure in CI pins down the exact (codec × config × query) cell.
+
+use etsqp::core::decode::DecodeOptions;
+use etsqp::core::expr::{BinOp, CmpOp, PairAggFunc};
+use etsqp::core::oracle;
+use etsqp::core::plan::execute;
+use etsqp::datasets::Spec;
+use etsqp::storage::store::SeriesStore;
+use etsqp::{AggFunc, Encoding, FuseLevel, PipelineConfig, Plan, Predicate, TimeRange, Value};
+
+const ROWS: usize = 256;
+const PAGE_POINTS: usize = 64;
+
+/// Integer codecs usable for the value column.
+const VAL_CODECS: [Encoding; 8] = [
+    Encoding::Plain,
+    Encoding::Ts2Diff,
+    Encoding::Ts2DiffOrder2,
+    Encoding::Rle,
+    Encoding::DeltaRle,
+    Encoding::Sprintz,
+    Encoding::Rlbe,
+    Encoding::Gorilla,
+];
+
+/// Timestamp codecs exercised by the dedicated ts-codec block.
+const TS_CODECS: [Encoding; 5] = [
+    Encoding::Plain,
+    Encoding::Ts2Diff,
+    Encoding::Ts2DiffOrder2,
+    Encoding::DeltaRle,
+    Encoding::Gorilla,
+];
+
+/// The full config cross: vectorized/serial × fuse × prune × threads ×
+/// slicing (the ablation axes of Fig. 10/13/14).
+fn all_configs() -> Vec<PipelineConfig> {
+    let mut out = Vec::new();
+    for vectorized in [true, false] {
+        for fuse in [FuseLevel::None, FuseLevel::Delta, FuseLevel::DeltaRepeat] {
+            for prune in [true, false] {
+                for threads in [1usize, 4, 8] {
+                    for allow_slicing in [true, false] {
+                        out.push(PipelineConfig {
+                            threads,
+                            prune,
+                            fuse,
+                            vectorized,
+                            decode: DecodeOptions::default(),
+                            allow_slicing,
+                            decode_budget_bytes: None,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A handful of corner configs used when running the complete battery.
+fn canonical_configs() -> Vec<PipelineConfig> {
+    let base = PipelineConfig {
+        threads: 1,
+        prune: false,
+        fuse: FuseLevel::None,
+        vectorized: false,
+        decode: DecodeOptions::default(),
+        allow_slicing: false,
+        decode_budget_bytes: None,
+    };
+    vec![
+        base,
+        PipelineConfig {
+            vectorized: true,
+            fuse: FuseLevel::DeltaRepeat,
+            prune: true,
+            threads: 4,
+            allow_slicing: true,
+            ..base
+        },
+        PipelineConfig {
+            vectorized: true,
+            fuse: FuseLevel::Delta,
+            prune: true,
+            threads: 8,
+            allow_slicing: true,
+            ..base
+        },
+        PipelineConfig {
+            vectorized: false,
+            threads: 4,
+            prune: true,
+            ..base
+        },
+    ]
+}
+
+fn cfg_label(cfg: &PipelineConfig) -> String {
+    format!(
+        "vec={} fuse={:?} prune={} threads={} slice={}",
+        cfg.vectorized, cfg.fuse, cfg.prune, cfg.threads, cfg.allow_slicing
+    )
+}
+
+/// Engine/oracle result shape: column names plus rows of values.
+type Table = (Vec<String>, Vec<Vec<Value>>);
+
+struct Fixture {
+    spec: Spec,
+    codec: Encoding,
+    store: SeriesStore,
+    /// Registered series names (first two columns of the dataset).
+    a: String,
+    b: String,
+    queries: Vec<(String, Plan)>,
+    /// Oracle results, computed lazily per query index.
+    oracle: Vec<Option<Table>>,
+}
+
+/// Builds the store for one (spec, value codec, ts codec) cell and the
+/// deterministic query battery derived from the data's actual ranges.
+fn fixture(spec: Spec, val_codec: Encoding, ts_codec: Encoding) -> Fixture {
+    let data = spec.generate(ROWS);
+    let store = SeriesStore::new(PAGE_POINTS);
+    let a = format!("{}_a", spec.label());
+    let b = format!("{}_b", spec.label());
+    for (name, col_idx) in [(&a, 0usize), (&b, 1usize)] {
+        store.create_series(name, ts_codec, val_codec);
+        store
+            .append_all(name, &data.timestamps, &data.columns[col_idx].1)
+            .unwrap();
+        store.flush(name).unwrap();
+    }
+
+    let t0 = *data.timestamps.first().unwrap();
+    let tn = *data.timestamps.last().unwrap();
+    let span = (tn - t0).max(1);
+    let col = &data.columns[0].1;
+    let (vmin, vmax) = col
+        .iter()
+        .fold((i64::MAX, i64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let vspan = (vmax - vmin).max(1);
+    let t_mid = Predicate {
+        time: Some(TimeRange {
+            lo: t0 + span / 4,
+            hi: tn - span / 4,
+        }),
+        value: None,
+    };
+    let v_band = Predicate {
+        time: None,
+        value: Some((vmin + vspan / 5, vmax - vspan / 5)),
+    };
+    let both = t_mid.and(&v_band);
+    let w_min = t0 + span / 5;
+    let w_dt = (span / 9).max(1);
+
+    let scan_a = || Plan::scan(&a);
+    let scan_b = || Plan::scan(&b);
+    let queries: Vec<(String, Plan)> = vec![
+        ("SUM(all)".into(), scan_a().aggregate(AggFunc::Sum)),
+        (
+            "AVG(time)".into(),
+            scan_a().filter(t_mid).aggregate(AggFunc::Avg),
+        ),
+        (
+            "COUNT(value)".into(),
+            scan_a().filter(v_band).aggregate(AggFunc::Count),
+        ),
+        (
+            "MIN(both)".into(),
+            scan_a().filter(both).aggregate(AggFunc::Min),
+        ),
+        (
+            "MAX(time)".into(),
+            scan_a().filter(t_mid).aggregate(AggFunc::Max),
+        ),
+        (
+            "VARIANCE(all)".into(),
+            scan_a().aggregate(AggFunc::Variance),
+        ),
+        (
+            "FIRST(value)".into(),
+            scan_a().filter(v_band).aggregate(AggFunc::First),
+        ),
+        ("LAST(all)".into(), scan_a().aggregate(AggFunc::Last)),
+        ("WSUM".into(), scan_a().window(w_min, w_dt, AggFunc::Sum)),
+        (
+            "WCOUNT(value)".into(),
+            scan_a().filter(v_band).window(w_min, w_dt, AggFunc::Count),
+        ),
+        ("SCAN(both)".into(), scan_a().filter(both)),
+        (
+            "UNION".into(),
+            Plan::Union {
+                left: Box::new(scan_a().filter(t_mid)),
+                right: Box::new(scan_b()),
+            },
+        ),
+        (
+            "JOIN(on>)".into(),
+            Plan::Join {
+                left: Box::new(scan_a()),
+                right: Box::new(scan_b()),
+                on: Some(CmpOp::Gt),
+            },
+        ),
+        (
+            "JOINEXPR(+)".into(),
+            Plan::JoinExpr {
+                left: Box::new(scan_a()),
+                right: Box::new(scan_b()),
+                op: BinOp::Add,
+            },
+        ),
+        (
+            "JOINAGG(dot)".into(),
+            Plan::JoinAggregate {
+                left: Box::new(scan_a()),
+                right: Box::new(scan_b()),
+                func: PairAggFunc::Dot,
+            },
+        ),
+        (
+            "JOINAGG(corr)".into(),
+            Plan::JoinAggregate {
+                left: Box::new(scan_a().filter(t_mid)),
+                right: Box::new(scan_b()),
+                func: PairAggFunc::Correlation,
+            },
+        ),
+    ];
+    let n = queries.len();
+    Fixture {
+        spec,
+        codec: val_codec,
+        store,
+        a,
+        b,
+        queries,
+        oracle: vec![None; n],
+    }
+}
+
+fn value_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => x == y || (x.is_nan() && y.is_nan()),
+        _ => a == b,
+    }
+}
+
+fn rows_eq(a: &[Vec<Value>], b: &[Vec<Value>]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(ra, rb)| ra.len() == rb.len() && ra.iter().zip(rb).all(|(x, y)| value_eq(x, y)))
+}
+
+/// Runs query `qi` of `fx` under `cfg` and compares against the cached
+/// oracle answer. Returns 1 (a case) — panics with a one-line reproducer
+/// on mismatch.
+fn check(fx: &mut Fixture, qi: usize, cfg: &PipelineConfig) -> usize {
+    let (qname, plan) = &fx.queries[qi];
+    if fx.oracle[qi].is_none() {
+        fx.oracle[qi] = Some(oracle::execute(plan, &fx.store).unwrap());
+    }
+    let (ocols, orows) = fx.oracle[qi].as_ref().unwrap();
+    let got = execute(plan, &fx.store, cfg).unwrap_or_else(|e| {
+        panic!(
+            "DIFF spec={} codec={:?} cfg=[{}] query={} seed=rows{}: engine error {e}",
+            fx.spec.label(),
+            fx.codec,
+            cfg_label(cfg),
+            qname,
+            ROWS
+        )
+    });
+    if &got.columns != ocols || !rows_eq(&got.rows, orows) {
+        // Single-line reproducer first, then the diffing payloads.
+        eprintln!(
+            "DIFF spec={} codec={:?} cfg=[{}] query={} seed=rows{}",
+            fx.spec.label(),
+            fx.codec,
+            cfg_label(cfg),
+            qname,
+            ROWS
+        );
+        eprintln!("  series: {} / {}", fx.a, fx.b);
+        eprintln!("  oracle: {:?} {:?}", ocols, preview(orows));
+        eprintln!("  engine: {:?} {:?}", got.columns, preview(&got.rows));
+        panic!("engine diverged from oracle (see DIFF line above)");
+    }
+    1
+}
+
+fn preview(rows: &[Vec<Value>]) -> &[Vec<Value>] {
+    &rows[..rows.len().min(8)]
+}
+
+/// Block A: the full 72-config cross on every (spec × value codec) cell,
+/// rotating deterministically through the query battery.
+#[test]
+fn every_config_agrees_with_oracle() {
+    let configs = all_configs();
+    let mut cases = 0usize;
+    for spec in Spec::ALL {
+        for codec in VAL_CODECS {
+            let mut fx = fixture(spec, codec, Encoding::Ts2Diff);
+            let nq = fx.queries.len();
+            for (ci, cfg) in configs.iter().enumerate() {
+                let qi = (ci + cases) % nq;
+                cases += check(&mut fx, qi, cfg);
+            }
+        }
+    }
+    assert!(cases >= 200, "sweep too small: {cases} cases");
+    eprintln!("differential config sweep: {cases} cases, zero mismatches");
+}
+
+/// Block B: the complete query battery under the canonical corner
+/// configs, on every (spec × value codec) cell.
+#[test]
+fn full_battery_agrees_with_oracle() {
+    let configs = canonical_configs();
+    let mut cases = 0usize;
+    for spec in Spec::ALL {
+        for codec in VAL_CODECS {
+            let mut fx = fixture(spec, codec, Encoding::Ts2Diff);
+            for qi in 0..fx.queries.len() {
+                for cfg in &configs {
+                    cases += check(&mut fx, qi, cfg);
+                }
+            }
+        }
+    }
+    assert!(cases >= 200, "battery too small: {cases} cases");
+    eprintln!("differential battery: {cases} cases, zero mismatches");
+}
+
+/// Block C: timestamp-codec sweep (value codec fixed to Ts2Diff) — the
+/// time column drives filters, windows and joins.
+#[test]
+fn timestamp_codecs_agree_with_oracle() {
+    let configs = canonical_configs();
+    let mut cases = 0usize;
+    for spec in [Spec::Atmosphere, Spec::Timestamp, Spec::Tpch] {
+        for ts_codec in TS_CODECS {
+            let mut fx = fixture(spec, Encoding::Ts2Diff, ts_codec);
+            for qi in 0..fx.queries.len() {
+                for cfg in &configs {
+                    cases += check(&mut fx, qi, cfg);
+                }
+            }
+        }
+    }
+    assert!(cases >= 200, "ts sweep too small: {cases} cases");
+    eprintln!("differential ts-codec sweep: {cases} cases, zero mismatches");
+}

@@ -3,7 +3,7 @@
 
 use etsqp::core::plan::PipelineConfig;
 use etsqp::datasets::Spec;
-use etsqp::{AggFunc, EngineOptions, Encoding, FuseLevel, IotDb, Plan, Predicate, Value};
+use etsqp::{AggFunc, Encoding, EngineOptions, FuseLevel, IotDb, Plan, Predicate, Value};
 
 /// Loads one dataset column into a fresh database.
 fn load(spec: Spec, rows: usize, opts: EngineOptions) -> (IotDb, Vec<i64>, Vec<i64>) {
@@ -43,8 +43,12 @@ fn engine_configs_agree_on_selective_aggregations() {
     };
     let plans = [
         Plan::scan("s").aggregate(AggFunc::Sum),
-        Plan::scan("s").filter(Predicate::time(mid, hi)).aggregate(AggFunc::Sum),
-        Plan::scan("s").filter(Predicate::value(vlo, vhi)).aggregate(AggFunc::Count),
+        Plan::scan("s")
+            .filter(Predicate::time(mid, hi))
+            .aggregate(AggFunc::Sum),
+        Plan::scan("s")
+            .filter(Predicate::value(vlo, vhi))
+            .aggregate(AggFunc::Count),
         Plan::scan("s")
             .filter(Predicate::time(mid, hi).and(&Predicate::value(vlo, vhi)))
             .aggregate(AggFunc::Avg),
@@ -53,12 +57,35 @@ fn engine_configs_agree_on_selective_aggregations() {
     ];
     let configs = [
         PipelineConfig::default(),
-        PipelineConfig { prune: false, ..Default::default() },
-        PipelineConfig { fuse: FuseLevel::None, ..Default::default() },
-        PipelineConfig { fuse: FuseLevel::Delta, prune: false, ..Default::default() },
-        PipelineConfig { vectorized: false, threads: 1, prune: false, fuse: FuseLevel::None, ..Default::default() },
-        PipelineConfig { threads: 1, ..Default::default() },
-        PipelineConfig { threads: 8, allow_slicing: true, ..Default::default() },
+        PipelineConfig {
+            prune: false,
+            ..Default::default()
+        },
+        PipelineConfig {
+            fuse: FuseLevel::None,
+            ..Default::default()
+        },
+        PipelineConfig {
+            fuse: FuseLevel::Delta,
+            prune: false,
+            ..Default::default()
+        },
+        PipelineConfig {
+            vectorized: false,
+            threads: 1,
+            prune: false,
+            fuse: FuseLevel::None,
+            ..Default::default()
+        },
+        PipelineConfig {
+            threads: 1,
+            ..Default::default()
+        },
+        PipelineConfig {
+            threads: 8,
+            allow_slicing: true,
+            ..Default::default()
+        },
     ];
     for (pi, plan) in plans.iter().enumerate() {
         let reference = db.execute_with(plan, &configs[0]).unwrap();
@@ -92,7 +119,9 @@ fn baselines_agree_with_engine() {
         .sum();
 
     // ETSQP engine.
-    let plan = Plan::scan("s").filter(Predicate::time(t_lo, t_hi)).aggregate(AggFunc::Sum);
+    let plan = Plan::scan("s")
+        .filter(Predicate::time(t_lo, t_hi))
+        .aggregate(AggFunc::Sum);
     let r = db.execute(&plan).unwrap();
     assert_eq!(r.rows[0][0].as_f64(), want as f64);
 
@@ -139,12 +168,15 @@ fn multi_column_dataset_queries() {
     for i in 0..4 {
         let name = format!("r{i}");
         db.create_series(&name).unwrap();
-        db.append_all(&name, &d.timestamps, &d.columns[i].1).unwrap();
+        db.append_all(&name, &d.timestamps, &d.columns[i].1)
+            .unwrap();
     }
     db.flush().unwrap();
     let r = db.query("SELECT r0.A + r1.A FROM r0, r1").unwrap();
     assert_eq!(r.rows.len(), 5_000); // same clock → full join
-    let Value::Int(first) = r.rows[0][1] else { panic!() };
+    let Value::Int(first) = r.rows[0][1] else {
+        panic!()
+    };
     assert_eq!(first, d.columns[0].1[0] + d.columns[1].1[0]);
 }
 
@@ -165,12 +197,16 @@ fn sql_errors_are_clean() {
 fn delta_rle_encoded_store_full_pipeline() {
     // Value column stored Delta-RLE → DeltaRepeat fusion path end-to-end.
     let d = Spec::Climate.generate(20_000);
-    let db = IotDb::new(EngineOptions::default().with_encodings(Encoding::Ts2Diff, Encoding::DeltaRle));
+    let db =
+        IotDb::new(EngineOptions::default().with_encodings(Encoding::Ts2Diff, Encoding::DeltaRle));
     db.create_series("rain").unwrap();
-    db.append_all("rain", &d.timestamps, &d.columns[3].1).unwrap();
+    db.append_all("rain", &d.timestamps, &d.columns[3].1)
+        .unwrap();
     db.flush().unwrap();
     let r = db.query("SELECT VARIANCE(rain) FROM rain").unwrap();
-    let Value::Float(var) = r.rows[0][0] else { panic!("{:?}", r.rows) };
+    let Value::Float(var) = r.rows[0][0] else {
+        panic!("{:?}", r.rows)
+    };
     // Naive variance.
     let vals = &d.columns[3].1;
     let n = vals.len() as f64;
