@@ -1,0 +1,136 @@
+//! Short-query throughput: persistent work-stealing pool vs the
+//! spawn-per-query baseline (ISSUE 2 tentpole measurement).
+//!
+//! Runs a batch of short selective aggregations (the high-QPS regime of
+//! the ROADMAP north star) at 1/2/4/8 configured threads under both
+//! schedulers and reports queries/second as JSON on stdout (redirected
+//! to `BENCH_pool.json` by `scripts/bench.sh`).
+//!
+//! Scale control: `ETSQP_BENCH_QUERIES` (default 1000) sets the batch
+//! size per (threads, scheduler) cell.
+
+use std::time::Instant;
+
+use etsqp_core::engine::{EngineOptions, IotDb};
+use etsqp_core::exec::Scheduler;
+use etsqp_core::expr::{AggFunc, Plan, Predicate};
+use etsqp_core::plan::{execute, PipelineConfig, Value};
+
+const PAGE_POINTS: usize = 256;
+const PAGES: usize = 64;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn build_db() -> IotDb {
+    let opts = EngineOptions::default().with_page_points(PAGE_POINTS);
+    let db = IotDb::new(opts);
+    db.create_series("sensor").unwrap();
+    let rows = (PAGE_POINTS * PAGES) as i64;
+    for i in 0..rows {
+        db.append("sensor", i * 1000, 60 + (i % 25) - (i % 7))
+            .unwrap();
+    }
+    db.flush().unwrap();
+    db
+}
+
+/// One short selective query, rotated over `k` so page pruning and the
+/// aggregated window vary across the batch like independent clients.
+fn query_plan(k: usize, rows: i64) -> Plan {
+    let span = rows * 1000;
+    let lo = (k as i64 * 37_000) % (span / 2);
+    let hi = lo + span / 4;
+    let func = match k % 4 {
+        0 => AggFunc::Sum,
+        1 => AggFunc::Count,
+        2 => AggFunc::Min,
+        _ => AggFunc::Max,
+    };
+    Plan::scan("sensor")
+        .filter(Predicate::time(lo, hi))
+        .aggregate(func)
+}
+
+/// Folds a result table into a checksum so the two schedulers can be
+/// asserted to compute identical answers.
+fn checksum(rows: &[Vec<Value>]) -> i64 {
+    let mut acc = 0i64;
+    for row in rows {
+        for v in row {
+            let x = match v {
+                Value::Int(i) => *i,
+                Value::Float(f) => f.to_bits() as i64,
+                Value::Null => -1,
+            };
+            acc = acc.wrapping_mul(31).wrapping_add(x);
+        }
+    }
+    acc
+}
+
+/// Runs the batch under one (threads, scheduler) cell; returns
+/// (queries/sec, checksum over all results).
+fn run_cell(db: &IotDb, threads: usize, scheduler: Scheduler, queries: usize) -> (f64, i64) {
+    let cfg = PipelineConfig {
+        threads,
+        scheduler,
+        ..db.options().pipeline
+    };
+    let rows = (PAGE_POINTS * PAGES) as i64;
+    let mut acc = 0i64;
+    let start = Instant::now();
+    for k in 0..queries {
+        let result = execute(&query_plan(k, rows), db.store(), &cfg).unwrap();
+        acc = acc.wrapping_mul(7).wrapping_add(checksum(&result.rows));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (queries as f64 / secs, acc)
+}
+
+fn main() {
+    let queries: usize = std::env::var("ETSQP_BENCH_QUERIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    let db = build_db();
+
+    // Warm both paths (pool spawn, page cache) outside the timed region.
+    run_cell(&db, 8, Scheduler::Pool, 16.min(queries));
+    run_cell(&db, 8, Scheduler::SpawnPerQuery, 16.min(queries));
+
+    let mut cells = Vec::new();
+    let mut speedup_at_8 = 0.0;
+    for &threads in &THREAD_COUNTS {
+        let (spawn_qps, spawn_sum) = run_cell(&db, threads, Scheduler::SpawnPerQuery, queries);
+        let (pool_qps, pool_sum) = run_cell(&db, threads, Scheduler::Pool, queries);
+        assert_eq!(
+            spawn_sum, pool_sum,
+            "schedulers disagree at threads={threads}"
+        );
+        let speedup = pool_qps / spawn_qps;
+        if threads == 8 {
+            speedup_at_8 = speedup;
+        }
+        eprintln!(
+            "threads={threads}: spawn {spawn_qps:.0} q/s, pool {pool_qps:.0} q/s, speedup {speedup:.2}x"
+        );
+        cells.push(format!(
+            concat!(
+                "    {{\"threads\": {}, \"spawn_qps\": {:.1}, ",
+                "\"pool_qps\": {:.1}, \"speedup\": {:.3}}}"
+            ),
+            threads, spawn_qps, pool_qps, speedup
+        ));
+    }
+
+    println!("{{");
+    println!("  \"bench\": \"pool_vs_spawn_short_queries\",");
+    println!("  \"queries_per_cell\": {queries},");
+    println!("  \"pages\": {PAGES},");
+    println!("  \"page_points\": {PAGE_POINTS},");
+    println!("  \"pool_threads\": {},", etsqp_core::pool::pool_threads());
+    println!("  \"cells\": [");
+    println!("{}", cells.join(",\n"));
+    println!("  ],");
+    println!("  \"speedup_at_8_threads\": {speedup_at_8:.3}");
+    println!("}}");
+}

@@ -77,13 +77,30 @@ impl EngineOptions {
         self.val_encoding = val;
         self
     }
+
+    /// Selects the job executor (persistent pool vs spawn-per-query).
+    pub fn with_scheduler(mut self, scheduler: crate::exec::Scheduler) -> Self {
+        self.pipeline.scheduler = scheduler;
+        self
+    }
 }
 
 /// An embedded IoT time-series database with the ETSQP query engine.
+///
+/// `IotDb` is `Send + Sync`: wrap it in an `Arc` and query it from any
+/// number of OS threads concurrently. All queries share the process-wide
+/// persistent worker pool ([`crate::pool`]), so concurrent short queries
+/// interleave their page morsels instead of each spawning threads.
 pub struct IotDb {
     store: SeriesStore,
     opts: EngineOptions,
 }
+
+// Compile-time proof of the concurrent-use contract above.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<IotDb>()
+};
 
 impl IotDb {
     /// Creates an empty database.

@@ -1,9 +1,12 @@
 //! Job scheduler and execution statistics.
 //!
 //! Pipeline jobs (built by Algorithm 2 in [`crate::plan`]) are independent
-//! units of work over pages or slices. The scheduler runs them on a pool
-//! of worker threads fed from a shared queue; workers never wait on each
-//! other (slice dependencies are resolved by a sequential merge after the
+//! units of work over pages or slices. The default [`Scheduler::Pool`]
+//! runs them morsel-driven on the process-wide persistent worker pool
+//! ([`crate::pool`]); [`Scheduler::SpawnPerQuery`] keeps the original
+//! spawn-a-scope-per-query path as a baseline for benchmarking and
+//! differential testing. Under both, workers never wait on each other
+//! (slice dependencies are resolved by a sequential merge after the
 //! parallel phase — §III-C / Fig. 14(c-d)), so the only blocking is queue
 //! starvation, which is measured and reported as idle time.
 
@@ -41,6 +44,10 @@ pub struct ExecStats {
     pub idle_ns: AtomicU64,
     /// Bytes of decoded vectors materialized to memory (ablation 14(d)).
     pub materialized_bytes: AtomicU64,
+    /// Morsels claimed from a runner's own local deque (pool scheduler).
+    pub local_pops: AtomicU64,
+    /// Morsels stolen from the shared queue or a sibling runner's deque.
+    pub steals: AtomicU64,
 }
 
 /// A plain-value snapshot of [`ExecStats`].
@@ -70,6 +77,10 @@ pub struct StatsSnapshot {
     pub idle_ns: u64,
     /// See [`ExecStats::materialized_bytes`].
     pub materialized_bytes: u64,
+    /// See [`ExecStats::local_pops`].
+    pub local_pops: u64,
+    /// See [`ExecStats::steals`].
+    pub steals: u64,
 }
 
 impl ExecStats {
@@ -93,6 +104,8 @@ impl ExecStats {
             merge_ns: self.merge_ns.load(Ordering::Relaxed),
             idle_ns: self.idle_ns.load(Ordering::Relaxed),
             materialized_bytes: self.materialized_bytes.load(Ordering::Relaxed),
+            local_pops: self.local_pops.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
         }
     }
 }
@@ -118,17 +131,48 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// Runs one job, converting a panic into [`Error::Worker`] so a single
 /// bad page cannot abort the whole process.
-fn run_one<J, R>(worker: &(impl Fn(J) -> R + Sync), job: J) -> Result<R> {
+pub(crate) fn run_one<J, R>(worker: &(impl Fn(J) -> R + Sync), job: J) -> Result<R> {
     catch_unwind(AssertUnwindSafe(|| worker(job))).map_err(|p| Error::Worker(panic_message(p)))
 }
 
-/// Runs `jobs` through `worker` on `threads` workers, returning outputs in
-/// job order. Worker starvation time is charged to `stats.idle_ns`.
+/// Which executor dispatches a query's page/slice jobs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Scheduler {
+    /// Morsel-driven execution on the process-wide persistent worker pool
+    /// ([`crate::pool`]): no thread spawn/join per query, dynamic
+    /// rebalancing via work stealing. The default.
+    #[default]
+    Pool,
+    /// The original baseline: spawn a fresh `crossbeam::scope` thread set
+    /// per query with a shared FIFO job channel. Kept for benchmarking
+    /// (`scripts/bench.sh`) and differential testing against the pool.
+    SpawnPerQuery,
+}
+
+/// Runs `jobs` through `worker` with the default [`Scheduler::Pool`],
+/// returning outputs in job order. See [`run_jobs_with`].
+pub fn run_jobs<J, R>(
+    jobs: Vec<J>,
+    threads: usize,
+    stats: &ExecStats,
+    worker: impl Fn(J) -> R + Sync,
+) -> Result<Vec<R>>
+where
+    J: Send,
+    R: Send,
+{
+    run_jobs_with(Scheduler::Pool, jobs, threads, stats, worker)
+}
+
+/// Runs `jobs` through `worker` on up to `threads` workers under the
+/// chosen [`Scheduler`], returning outputs in job order. Worker
+/// starvation time is charged to `stats.idle_ns`.
 ///
 /// A panicking worker does not abort the process: the panic payload is
 /// captured and surfaced to the caller as [`Error::Worker`] (the first
 /// panic in job order wins; remaining jobs still drain).
-pub fn run_jobs<J, R>(
+pub fn run_jobs_with<J, R>(
+    scheduler: Scheduler,
     jobs: Vec<J>,
     threads: usize,
     stats: &ExecStats,
@@ -146,6 +190,24 @@ where
     if threads == 1 || n == 1 {
         return jobs.into_iter().map(|j| run_one(&worker, j)).collect();
     }
+    match scheduler {
+        Scheduler::Pool => crate::pool::run_jobs_pool(jobs, threads, stats, worker),
+        Scheduler::SpawnPerQuery => run_jobs_spawn(jobs, threads, stats, worker),
+    }
+}
+
+/// Spawn-per-query baseline executor (the pre-pool implementation).
+fn run_jobs_spawn<J, R>(
+    jobs: Vec<J>,
+    threads: usize,
+    stats: &ExecStats,
+    worker: impl Fn(J) -> R + Sync,
+) -> Result<Vec<R>>
+where
+    J: Send,
+    R: Send,
+{
+    let n = jobs.len();
     let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, J)>();
     for pair in jobs.into_iter().enumerate() {
         job_tx.send(pair).expect("queue open");
@@ -160,8 +222,12 @@ where
             let worker = &worker;
             scope.spawn(move |_| loop {
                 let wait_start = Instant::now();
-                let Ok((idx, job)) = job_rx.recv() else { break };
+                let recv = job_rx.recv();
+                // Charge the queue wait even for the final (failed) recv
+                // at channel disconnect, so per-worker shutdown waits are
+                // accounted like every other starvation interval.
                 stats.add(&stats.idle_ns, wait_start.elapsed());
+                let Ok((idx, job)) = recv else { break };
                 let out = run_one(worker, job);
                 if res_tx.send((idx, out)).is_err() {
                     break;
@@ -186,10 +252,12 @@ mod tests {
 
     #[test]
     fn outputs_preserve_job_order() {
-        let jobs: Vec<u64> = (0..100).collect();
-        let stats = ExecStats::default();
-        let out = run_jobs(jobs, 4, &stats, |j| j * 2).unwrap();
-        assert_eq!(out, (0..100).map(|j| j * 2).collect::<Vec<_>>());
+        for sched in [Scheduler::Pool, Scheduler::SpawnPerQuery] {
+            let jobs: Vec<u64> = (0..100).collect();
+            let stats = ExecStats::default();
+            let out = run_jobs_with(sched, jobs, 4, &stats, |j| j * 2).unwrap();
+            assert_eq!(out, (0..100).map(|j| j * 2).collect::<Vec<_>>());
+        }
     }
 
     #[test]
@@ -219,18 +287,42 @@ mod tests {
 
     #[test]
     fn parallel_execution_uses_multiple_workers() {
-        // All jobs record their thread id; with enough slow jobs and 4
-        // workers at least 2 distinct threads must participate.
+        // All jobs record their thread id; with enough slow jobs and at
+        // least one pool worker beyond the caller, 2+ distinct threads
+        // must participate.
         use std::collections::HashSet;
         use std::sync::Mutex;
-        let seen = Mutex::new(HashSet::new());
+        for sched in [Scheduler::Pool, Scheduler::SpawnPerQuery] {
+            let seen = Mutex::new(HashSet::new());
+            let stats = ExecStats::default();
+            run_jobs_with(sched, (0..64).collect(), 4, &stats, |_: i32| {
+                std::thread::sleep(Duration::from_millis(1));
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .unwrap();
+            assert!(seen.lock().unwrap().len() >= 2, "scheduler {sched:?}");
+        }
+    }
+
+    #[test]
+    fn spawn_scheduler_charges_shutdown_wait_per_worker() {
+        // With far more workers than jobs, most workers' only queue
+        // interaction is the final disconnect recv — previously
+        // unaccounted. Slow jobs force the surplus workers to measurably
+        // wait on the drained channel before it disconnects.
         let stats = ExecStats::default();
-        run_jobs((0..64).collect(), 4, &stats, |_| {
-            std::thread::sleep(Duration::from_millis(1));
-            seen.lock().unwrap().insert(std::thread::current().id());
-        })
+        run_jobs_with(
+            Scheduler::SpawnPerQuery,
+            (0..2).collect::<Vec<i32>>(),
+            8,
+            &stats,
+            |_| std::thread::sleep(Duration::from_millis(5)),
+        )
         .unwrap();
-        assert!(seen.lock().unwrap().len() >= 2);
+        assert!(
+            stats.snapshot().idle_ns > 0,
+            "shutdown queue-wait must be charged to idle_ns"
+        );
     }
 
     #[test]
@@ -250,16 +342,18 @@ mod tests {
 
     #[test]
     fn panicking_worker_surfaces_error_multi_thread() {
-        let stats = ExecStats::default();
-        let out = run_jobs((0..32).collect::<Vec<i32>>(), 4, &stats, |j| {
-            if j == 17 {
-                panic!("poisoned job");
+        for sched in [Scheduler::Pool, Scheduler::SpawnPerQuery] {
+            let stats = ExecStats::default();
+            let out = run_jobs_with(sched, (0..32).collect::<Vec<i32>>(), 4, &stats, |j| {
+                if j == 17 {
+                    panic!("poisoned job");
+                }
+                j * 10
+            });
+            match out {
+                Err(Error::Worker(msg)) => assert!(msg.contains("poisoned job"), "msg={msg}"),
+                other => panic!("expected Error::Worker, got {other:?} ({sched:?})"),
             }
-            j * 10
-        });
-        match out {
-            Err(Error::Worker(msg)) => assert!(msg.contains("poisoned job"), "msg={msg}"),
-            other => panic!("expected Error::Worker, got {other:?}"),
         }
     }
 }

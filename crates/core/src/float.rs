@@ -18,7 +18,7 @@ use etsqp_encoding::f64_to_ordered_i64;
 use etsqp_encoding::Encoding;
 use etsqp_storage::store::SeriesStore;
 
-use crate::exec::{run_jobs, ExecStats, StatsSnapshot};
+use crate::exec::{run_jobs_with, ExecStats, StatsSnapshot};
 use crate::expr::{AggFunc, TimeRange};
 use crate::plan::PipelineConfig;
 use crate::{Error, Result};
@@ -142,42 +142,48 @@ pub fn aggregate_f64(
             );
         }
     }
-    let outputs = run_jobs(kept, cfg.threads, &stats, |page| -> Result<FloatAgg> {
-        let io_start = Instant::now();
-        store.io().record_page(page.encoded_len());
-        stats
-            .pages_loaded
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        stats.tuples_scanned.fetch_add(
-            page.header.count as u64,
-            std::sync::atomic::Ordering::Relaxed,
-        );
-        stats.add(&stats.io_ns, io_start.elapsed());
-        let t = Instant::now();
-        let (ts, vals) = page.decode_f64().map_err(Error::Storage)?;
-        stats.add(&stats.delta_ns, t.elapsed());
-        let agg_start = Instant::now();
-        // Ordered timestamps: the time filter is an index range.
-        let (a, b) = match trange {
-            Some(tr) => {
-                let a = ts.partition_point(|&t| t < tr.lo);
-                let b = ts.partition_point(|&t| t <= tr.hi);
-                (a, b.max(a))
-            }
-            None => (0, ts.len()),
-        };
-        let mut agg = FloatAgg::default();
-        for &v in &vals[a..b] {
-            if let Some(r) = vrange {
-                if !(v >= r.lo && v <= r.hi) {
-                    continue; // also drops NaN
+    let outputs = run_jobs_with(
+        cfg.scheduler,
+        kept,
+        cfg.threads,
+        &stats,
+        |page| -> Result<FloatAgg> {
+            let io_start = Instant::now();
+            store.io().record_page(page.encoded_len());
+            stats
+                .pages_loaded
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            stats.tuples_scanned.fetch_add(
+                page.header.count as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+            stats.add(&stats.io_ns, io_start.elapsed());
+            let t = Instant::now();
+            let (ts, vals) = page.decode_f64().map_err(Error::Storage)?;
+            stats.add(&stats.delta_ns, t.elapsed());
+            let agg_start = Instant::now();
+            // Ordered timestamps: the time filter is an index range.
+            let (a, b) = match trange {
+                Some(tr) => {
+                    let a = ts.partition_point(|&t| t < tr.lo);
+                    let b = ts.partition_point(|&t| t <= tr.hi);
+                    (a, b.max(a))
                 }
+                None => (0, ts.len()),
+            };
+            let mut agg = FloatAgg::default();
+            for &v in &vals[a..b] {
+                if let Some(r) = vrange {
+                    if !(v >= r.lo && v <= r.hi) {
+                        continue; // also drops NaN
+                    }
+                }
+                agg.push(v);
             }
-            agg.push(v);
-        }
-        stats.add(&stats.agg_ns, agg_start.elapsed());
-        Ok(agg)
-    })?;
+            stats.add(&stats.agg_ns, agg_start.elapsed());
+            Ok(agg)
+        },
+    )?;
     let mut total = FloatAgg::default();
     for out in outputs {
         total.merge(&out?);
@@ -198,7 +204,8 @@ pub fn scan_f64(
         .into_iter()
         .filter(|p| !cfg.prune || trange.is_none_or(|t| p.header.overlaps_time(t.lo, t.hi)))
         .collect();
-    let outputs = run_jobs(
+    let outputs = run_jobs_with(
+        cfg.scheduler,
         kept,
         cfg.threads,
         &stats,

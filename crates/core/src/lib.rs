@@ -44,6 +44,7 @@ pub mod float;
 pub mod fused;
 pub mod oracle;
 pub mod plan;
+pub mod pool;
 pub mod prune;
 pub mod slice;
 pub mod sql;

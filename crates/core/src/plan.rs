@@ -30,7 +30,7 @@ use etsqp_storage::page::Page;
 use etsqp_storage::store::SeriesStore;
 
 use crate::decode::{decode_column, DecodeOptions};
-use crate::exec::{run_jobs, ExecStats, StatsSnapshot};
+use crate::exec::{run_jobs_with, ExecStats, Scheduler, StatsSnapshot};
 use crate::expr::{AggFunc, BinOp, CmpOp, PairAggFunc, Plan, Predicate, SlidingWindow, TimeRange};
 use crate::fused::{
     aggregate_delta_rle, dot_product_delta_rle, sum_ts2diff, sum_ts2diff_range, FuseLevel,
@@ -58,6 +58,9 @@ pub struct PipelineConfig {
     /// Byte budget for concurrently materialized decode buffers (paper
     /// §VI-C, gradual page loading); `None` = unlimited.
     pub decode_budget_bytes: Option<u64>,
+    /// Executor dispatching the page/slice jobs: the persistent
+    /// work-stealing pool (default) or the spawn-per-query baseline.
+    pub scheduler: Scheduler,
 }
 
 impl Default for PipelineConfig {
@@ -72,6 +75,7 @@ impl Default for PipelineConfig {
             decode: DecodeOptions::default(),
             allow_slicing: true,
             decode_budget_bytes: None,
+            scheduler: Scheduler::Pool,
         }
     }
 }
@@ -574,22 +578,30 @@ fn aggregate_series(
         tagged.push((seq, item));
     }
 
-    let outputs = run_jobs(tagged, cfg.threads, stats, |(page_seq, item)| match item {
-        WorkItem::Page(page) => match agg_page_job(&page, pred, window, func, cfg, stats, store) {
-            Ok(states) => JobOut::Whole(states),
-            Err(e) => JobOut::Err(e),
-        },
-        WorkItem::Slice { page, part, parts } => {
-            match slice_coeff_job(&page, part, parts, cfg, stats, store) {
-                Ok(coeff) => JobOut::Slice {
-                    page_seq,
-                    part,
-                    coeff,
-                },
-                Err(e) => JobOut::Err(e),
+    let outputs = run_jobs_with(
+        cfg.scheduler,
+        tagged,
+        cfg.threads,
+        stats,
+        |(page_seq, item)| match item {
+            WorkItem::Page(page) => {
+                match agg_page_job(&page, pred, window, func, cfg, stats, store) {
+                    Ok(states) => JobOut::Whole(states),
+                    Err(e) => JobOut::Err(e),
+                }
             }
-        }
-    })?;
+            WorkItem::Slice { page, part, parts } => {
+                match slice_coeff_job(&page, part, parts, cfg, stats, store) {
+                    Ok(coeff) => JobOut::Slice {
+                        page_seq,
+                        part,
+                        coeff,
+                    },
+                    Err(e) => JobOut::Err(e),
+                }
+            }
+        },
+    )?;
 
     // Merge node (sequential, timed).
     let merge_start = Instant::now();
@@ -1233,7 +1245,8 @@ fn scan_rows(
         }
     }
     let budget = budget_of(cfg);
-    let outputs = run_jobs(
+    let outputs = run_jobs_with(
+        cfg.scheduler,
         kept,
         cfg.threads,
         stats,
@@ -1390,7 +1403,8 @@ fn binary_merge_partitioned(
     // One worker per partition; within a partition both sides scan with
     // a single thread (the partition level is the parallel axis).
     let inner_cfg = PipelineConfig { threads: 1, ..*cfg };
-    let outputs = run_jobs(
+    let outputs = run_jobs_with(
+        cfg.scheduler,
         ranges,
         cfg.threads,
         stats,

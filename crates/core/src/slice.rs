@@ -1,13 +1,18 @@
 //! Page distribution and slicing (paper §III-C, Figure 8).
 //!
-//! The scheduler prefers whole pages — one pipeline instance per page —
-//! and splits pages into slices only when there are fewer pages than
-//! cores, because slices of a Delta-encoded page depend on each other
-//! through the prefix sum. Slice jobs therefore run in two phases: every
-//! slice independently unpacks its delta range and produces a *symbolic*
+//! [`distribute`] shapes a query's *morsels*: the stealable work units
+//! the persistent pool ([`crate::pool`]) schedules dynamically. It
+//! prefers whole pages — one pipeline instance per page — and splits
+//! pages into slices only when there are fewer pages than cores, because
+//! slices of a Delta-encoded page depend on each other through the
+//! prefix sum. Slice jobs therefore run in two phases: every slice
+//! independently unpacks its delta range and produces a *symbolic*
 //! partial (coefficients over its unknown start value), and a sequential
 //! merge resolves the start values — the "split the pipeline into two
 //! tasks so threads never wait for the prefix sum" design of Fig. 14(c-d).
+//! The merge consumes outputs in job order (the scheduler's contract),
+//! so slices combine correctly no matter which runner claimed which
+//! morsel or in what temporal order they executed.
 
 use std::sync::Arc;
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Short-query throughput benchmark: persistent work-stealing pool vs the
+# spawn-per-query baseline, at 1/2/4/8 configured threads.
+#
+# Run from the repository root:
+#   bash scripts/bench.sh
+#
+# Writes BENCH_pool.json at the repo root (per-thread-count q/s for both
+# schedulers plus the 8-thread pool-vs-spawn speedup) and echoes the
+# human-readable lines to stderr. Scale with ETSQP_BENCH_QUERIES
+# (queries per cell, default 1000).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release -p etsqp-bench --bin pool_bench"
+cargo build --release -p etsqp-bench --bin pool_bench
+
+echo "==> pool_bench (ETSQP_BENCH_QUERIES=${ETSQP_BENCH_QUERIES:-1000}) -> BENCH_pool.json"
+./target/release/pool_bench > BENCH_pool.json
+
+echo "==> BENCH_pool.json"
+cat BENCH_pool.json

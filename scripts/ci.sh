@@ -21,4 +21,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+# Non-gating perf smoke: pool-vs-spawn short-query throughput trajectory
+# (BENCH_pool.json). A perf regression here is a signal, not a failure.
+echo "==> scripts/bench.sh (non-gating smoke)"
+ETSQP_BENCH_QUERIES="${ETSQP_BENCH_QUERIES:-100}" bash scripts/bench.sh \
+    || echo "WARN: bench smoke failed (non-gating)"
+
 echo "CI OK"

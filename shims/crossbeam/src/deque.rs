@@ -1,0 +1,394 @@
+//! Work-stealing deques mirroring `crossbeam-deque`'s API surface:
+//! [`Worker`] (owner end), [`Stealer`] (thief end) and [`Injector`] (a
+//! shared FIFO task pool), with the three-valued [`Steal`] result.
+//!
+//! Like every shim in this workspace, the implementation favours small,
+//! auditable code over lock-freedom: each deque is a `Mutex<VecDeque>`.
+//! The *semantics* match upstream where the scheduler relies on them:
+//!
+//! * the owner pops its own end without contention checks;
+//! * thieves steal from the front (FIFO order for `new_fifo` workers and
+//!   the injector), and report [`Steal::Retry`] instead of blocking when
+//!   they lose a race for the lock — callers must loop on `Retry`;
+//! * `steal_batch_and_pop` migrates up to half of the source (capped) to
+//!   the destination worker and returns one task immediately.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Largest number of tasks a single `steal_batch_and_pop` migrates
+/// (matches upstream's `MAX_BATCH` spirit: bound latency of one steal).
+const MAX_BATCH: usize = 32;
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use]
+pub enum Steal<T> {
+    /// The source was observed empty.
+    Empty,
+    /// A task was stolen.
+    Success(T),
+    /// The thief lost a race (lock contention); try again.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// `true` when the source was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// `true` on a successful steal.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// `true` when the attempt must be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// The stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    /// Owner pops the front (same end thieves steal from).
+    Fifo,
+    /// Owner pops the back; thieves still steal the front.
+    Lifo,
+}
+
+/// The owner end of a work-stealing deque. Create one per worker thread;
+/// hand out [`Stealer`]s to the other workers.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+    flavor: Flavor,
+}
+
+impl<T> Worker<T> {
+    /// Creates a FIFO deque (owner pops oldest first — fair for morsels).
+    pub fn new_fifo() -> Worker<T> {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            flavor: Flavor::Fifo,
+        }
+    }
+
+    /// Creates a LIFO deque (owner pops newest first — cache-friendly
+    /// for recursive task spawning).
+    pub fn new_lifo() -> Worker<T> {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            flavor: Flavor::Lifo,
+        }
+    }
+
+    /// A thief handle onto this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Pushes a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        self.queue.lock().unwrap().push_back(task);
+    }
+
+    /// Pops a task from the owner's end (never `Retry`: the owner is
+    /// willing to wait out thieves).
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.queue.lock().unwrap();
+        match self.flavor {
+            Flavor::Fifo => q.pop_front(),
+            Flavor::Lifo => q.pop_back(),
+        }
+    }
+
+    /// `true` when the deque currently holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+
+    /// Number of tasks currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+}
+
+/// The thief end of a [`Worker`] deque. Cloneable and shareable.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Attempts to steal one task from the front of the deque.
+    pub fn steal(&self) -> Steal<T> {
+        let Ok(mut q) = self.queue.try_lock() else {
+            return Steal::Retry;
+        };
+        match q.pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// `true` when the deque was observed empty (racy, advisory only).
+    pub fn is_empty(&self) -> bool {
+        self.queue.try_lock().map(|q| q.is_empty()).unwrap_or(false)
+    }
+}
+
+/// A shared FIFO task pool all workers inject into and steal from
+/// (upstream `crossbeam_deque::Injector`).
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Injector<T> {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes a task onto the back of the queue.
+    pub fn push(&self, task: T) {
+        self.queue.lock().unwrap().push_back(task);
+    }
+
+    /// Attempts to steal the front task.
+    pub fn steal(&self) -> Steal<T> {
+        let Ok(mut q) = self.queue.try_lock() else {
+            return Steal::Retry;
+        };
+        match q.pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals a batch of tasks — up to half the queue, capped — moving
+    /// them into `dest` and returning the first immediately.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let Ok(mut q) = self.queue.try_lock() else {
+            return Steal::Retry;
+        };
+        let n = q.len();
+        if n == 0 {
+            return Steal::Empty;
+        }
+        let take = (n.div_ceil(2)).min(MAX_BATCH);
+        let first = q.pop_front().expect("non-empty");
+        if take > 1 {
+            let mut dq = dest.queue.lock().unwrap();
+            for _ in 1..take {
+                dq.push_back(q.pop_front().expect("non-empty"));
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// `true` when the queue currently holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+
+    /// Number of tasks currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_worker_pops_in_push_order() {
+        let w = Worker::new_fifo();
+        for i in 0..10 {
+            w.push(i);
+        }
+        let got: Vec<i32> = std::iter::from_fn(|| w.pop()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lifo_worker_pops_in_reverse_order() {
+        let w = Worker::new_lifo();
+        for i in 0..10 {
+            w.push(i);
+        }
+        let got: Vec<i32> = std::iter::from_fn(|| w.pop()).collect();
+        assert_eq!(got, (0..10).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn injector_drains_fifo() {
+        let inj = Injector::new();
+        for i in 0..100 {
+            inj.push(i);
+        }
+        let mut got = Vec::new();
+        loop {
+            match inj.steal() {
+                Steal::Success(v) => got.push(v),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn steal_batch_moves_at_most_half_and_pops_front() {
+        let inj = Injector::new();
+        for i in 0..8 {
+            inj.push(i);
+        }
+        let dest = Worker::new_fifo();
+        let first = inj.steal_batch_and_pop(&dest).success().unwrap();
+        assert_eq!(first, 0, "front of the FIFO comes back immediately");
+        // Half of 8 = 4 stolen total: one returned, three to the deque.
+        assert_eq!(dest.len(), 3);
+        assert_eq!(inj.len(), 4);
+        assert_eq!(dest.pop(), Some(1));
+        assert_eq!(dest.pop(), Some(2));
+        assert_eq!(dest.pop(), Some(3));
+        // Remaining items still drain in order from the injector.
+        assert_eq!(inj.steal().success(), Some(4));
+    }
+
+    #[test]
+    fn stealer_takes_from_front_of_lifo_owner() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        // Thief gets the oldest, owner the newest: opposite ends.
+        assert_eq!(s.steal().success(), Some(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal().success(), Some(2));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn steal_under_contention_conserves_every_task() {
+        // One producer keeps a worker deque loaded; four thieves race it.
+        // Every pushed task must be claimed exactly once across the owner
+        // and the thieves, with Retry handled by looping.
+        const N: u64 = 20_000;
+        let w = Worker::new_fifo();
+        let owner_sum = std::sync::atomic::AtomicU64::new(0);
+        let thief_sum = std::sync::atomic::AtomicU64::new(0);
+        let claimed = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = w.stealer();
+                let thief_sum = &thief_sum;
+                let claimed = &claimed;
+                scope.spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            thief_sum.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                            claimed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if claimed.load(std::sync::atomic::Ordering::Relaxed) >= N {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            for i in 0..N {
+                w.push(i + 1);
+                // The owner claims some of its own tasks, interleaved.
+                if i % 3 == 0 {
+                    if let Some(v) = w.pop() {
+                        owner_sum.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                        claimed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            }
+            // Drain the tail so thieves observe the terminal count.
+            while let Some(v) = w.pop() {
+                owner_sum.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                claimed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        });
+        let total = owner_sum.load(std::sync::atomic::Ordering::Relaxed)
+            + thief_sum.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(claimed.load(std::sync::atomic::Ordering::Relaxed), N);
+        assert_eq!(total, N * (N + 1) / 2, "no task lost or duplicated");
+    }
+
+    #[test]
+    fn injector_steals_race_without_loss() {
+        // Many thieves drain a pre-loaded injector through batch steals.
+        const N: usize = 10_000;
+        let inj = Injector::new();
+        for i in 0..N {
+            inj.push(i);
+        }
+        let seen = Mutex::new(vec![false; N]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let inj = &inj;
+                let seen = &seen;
+                scope.spawn(move || {
+                    let local = Worker::new_fifo();
+                    loop {
+                        let next = match local.pop() {
+                            Some(v) => Some(v),
+                            None => match inj.steal_batch_and_pop(&local) {
+                                Steal::Success(v) => Some(v),
+                                Steal::Retry => continue,
+                                Steal::Empty => None,
+                            },
+                        };
+                        match next {
+                            Some(v) => {
+                                let mut seen = seen.lock().unwrap();
+                                assert!(!seen[v], "task {v} claimed twice");
+                                seen[v] = true;
+                            }
+                            None => break,
+                        }
+                    }
+                });
+            }
+        });
+        assert!(
+            seen.lock().unwrap().iter().all(|&b| b),
+            "every task claimed"
+        );
+    }
+}

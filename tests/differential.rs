@@ -7,6 +7,7 @@
 //! failure in CI pins down the exact (codec × config × query) cell.
 
 use etsqp::core::decode::DecodeOptions;
+use etsqp::core::exec::Scheduler;
 use etsqp::core::expr::{BinOp, CmpOp, PairAggFunc};
 use etsqp::core::oracle;
 use etsqp::core::plan::execute;
@@ -55,6 +56,7 @@ fn all_configs() -> Vec<PipelineConfig> {
                             decode: DecodeOptions::default(),
                             allow_slicing,
                             decode_budget_bytes: None,
+                            scheduler: Scheduler::Pool,
                         });
                     }
                 }
@@ -74,6 +76,7 @@ fn canonical_configs() -> Vec<PipelineConfig> {
         decode: DecodeOptions::default(),
         allow_slicing: false,
         decode_budget_bytes: None,
+        scheduler: Scheduler::Pool,
     };
     vec![
         base,
@@ -83,6 +86,17 @@ fn canonical_configs() -> Vec<PipelineConfig> {
             prune: true,
             threads: 4,
             allow_slicing: true,
+            ..base
+        },
+        // The spawn-per-query baseline must agree with the pool on the
+        // full battery (scheduler differential).
+        PipelineConfig {
+            vectorized: true,
+            fuse: FuseLevel::DeltaRepeat,
+            prune: true,
+            threads: 4,
+            allow_slicing: true,
+            scheduler: Scheduler::SpawnPerQuery,
             ..base
         },
         PipelineConfig {
@@ -104,8 +118,8 @@ fn canonical_configs() -> Vec<PipelineConfig> {
 
 fn cfg_label(cfg: &PipelineConfig) -> String {
     format!(
-        "vec={} fuse={:?} prune={} threads={} slice={}",
-        cfg.vectorized, cfg.fuse, cfg.prune, cfg.threads, cfg.allow_slicing
+        "vec={} fuse={:?} prune={} threads={} slice={} sched={:?}",
+        cfg.vectorized, cfg.fuse, cfg.prune, cfg.threads, cfg.allow_slicing, cfg.scheduler
     )
 }
 
