@@ -10,6 +10,8 @@
 //! generated rows per dataset (default 200_000 for binaries; the
 //! Criterion benches use smaller fixed sizes).
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

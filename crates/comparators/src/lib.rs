@@ -19,6 +19,7 @@
 //! for why the substitution preserves the comparison's shape.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod lz;
 pub mod monet;

@@ -176,7 +176,11 @@ fn accumulate_rel(deltas: &[u32], seed: u32, opts: &DecodeOptions, rel: &mut [u3
         DeltaStrategy::StraightScan => {
             let mut pos = 0usize;
             while pos + LANES32 <= deltas.len() {
-                let mut v: [u32; LANES32] = deltas[pos..pos + LANES32].try_into().unwrap();
+                // Infallible: the loop condition guarantees LANES32
+                // elements remain, so build the lane array by copy
+                // instead of a panicking try_into conversion.
+                let mut v = [0u32; LANES32];
+                v.copy_from_slice(&deltas[pos..pos + LANES32]);
                 scan::inclusive_scan_v32(&mut v, &mut carry);
                 rel[pos..pos + LANES32].copy_from_slice(&v);
                 pos += LANES32;

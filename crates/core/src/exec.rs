@@ -210,7 +210,11 @@ where
     let n = jobs.len();
     let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, J)>();
     for pair in jobs.into_iter().enumerate() {
-        job_tx.send(pair).expect("queue open");
+        // Both channel ends are alive in this frame, but a send failure
+        // is reported instead of trusted away.
+        job_tx
+            .send(pair)
+            .map_err(|_| Error::Worker("job queue closed before dispatch".into()))?;
     }
     drop(job_tx);
     let mut slots: Vec<Option<Result<R>>> = (0..n).map(|_| None).collect();
@@ -239,10 +243,14 @@ where
             slots[idx] = Some(out);
         }
     })
-    .expect("scheduler thread panicked");
+    .map_err(|_| Error::Worker("scheduler thread panicked".into()))?;
     slots
         .into_iter()
-        .map(|s| s.expect("job completed"))
+        .map(|s| {
+            // Every worker either sends a result or the scope above
+            // already errored; an empty slot is reported, not panicked.
+            s.unwrap_or_else(|| Err(Error::Worker("result slot never written".into())))
+        })
         .collect()
 }
 

@@ -36,13 +36,14 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Once, OnceLock};
+use std::sync::{Arc, Once, OnceLock};
 use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
 
 use crate::exec::{run_one, ExecStats};
-use crate::Result;
+use crate::{Error, Result};
 
 /// A unit of pool work: a boxed runner entry for one query's batch.
 type Task = Box<dyn FnOnce() + Send + 'static>;
@@ -123,7 +124,7 @@ impl Pool {
 
     fn ensure_started(&'static self) {
         self.started.call_once(|| {
-            let locals = std::mem::take(&mut *self.pending.lock().unwrap());
+            let locals = std::mem::take(&mut *self.pending.lock());
             for (i, local) in locals.into_iter().enumerate() {
                 let ok = std::thread::Builder::new()
                     .name(format!("etsqp-pool-{i}"))
@@ -205,19 +206,19 @@ impl Pool {
     }
 
     fn park(&self) {
-        let guard = self.sleep.lock().unwrap();
+        let mut guard = self.sleep.lock();
         // Re-check under the lock: a submit between our failed steal and
         // the lock acquisition must not be slept through.
         if !self.injector.is_empty() {
             return;
         }
         // The timeout also covers work that arrives without a wakeup.
-        let _ = self.wake.wait_timeout(guard, PARK_TIMEOUT).unwrap();
+        let _ = self.wake.wait_for(&mut guard, PARK_TIMEOUT);
     }
 
     fn submit(&self, task: Task) {
         self.injector.push(task);
-        let _guard = self.sleep.lock().unwrap();
+        let _guard = self.sleep.lock();
         self.wake.notify_one();
     }
 }
@@ -252,24 +253,24 @@ impl Latch {
 
     fn job_done(&self) {
         if self.jobs_left.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let _guard = self.lock.lock().unwrap();
+            let _guard = self.lock.lock();
             self.cv.notify_all();
         }
     }
 
     fn task_exit(&self) {
         if self.tasks_live.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let _guard = self.lock.lock().unwrap();
+            let _guard = self.lock.lock();
             self.cv.notify_all();
         }
     }
 
     fn wait_timeout(&self, timeout: Duration) {
-        let guard = self.lock.lock().unwrap();
+        let mut guard = self.lock.lock();
         if self.is_open() {
             return;
         }
-        let _ = self.cv.wait_timeout(guard, timeout).unwrap();
+        let _ = self.cv.wait_for(&mut guard, timeout);
     }
 }
 
@@ -311,11 +312,16 @@ impl<J: Send, R: Send, F: Fn(J) -> R + Sync> Batch<'_, J, R, F> {
     /// Runs morsels until the batch has none left to claim.
     fn run_runner(&self) {
         let local = Worker::new_fifo();
-        self.runner_stealers.lock().unwrap().push(local.stealer());
+        self.runner_stealers.lock().push(local.stealer());
         while let Some(i) = self.next_morsel(&local) {
             // SAFETY: morsel index `i` is claimed by exactly one runner
             // (deques hand out each index once); the job was written
             // before the index was pushed.
+            // lint:allow(no-panic-paths) -- an empty slot here means the
+            // deques handed out an index twice, a scheduler logic bug
+            // that must fail loudly; the panic is contained by the
+            // pool's catch_unwind and surfaces as Error::Worker to this
+            // query alone.
             let job = unsafe { (*self.jobs[i].0.get()).take() }.expect("morsel claimed once");
             let out = run_one(self.worker, job);
             // SAFETY: same unique-claimant argument for the result slot;
@@ -355,7 +361,7 @@ impl<J: Send, R: Send, F: Fn(J) -> R + Sync> Batch<'_, J, R, F> {
         loop {
             let mut retry = false;
             {
-                let stealers = self.runner_stealers.lock().unwrap();
+                let stealers = self.runner_stealers.lock();
                 for s in stealers.iter() {
                     match s.steal() {
                         Steal::Success(i) => {
@@ -450,7 +456,14 @@ where
     batch
         .results
         .into_iter()
-        .map(|slot| slot.into_inner().expect("job completed"))
+        .map(|slot| {
+            // The latch protocol guarantees every result slot is written
+            // before `jobs_left` reaches zero; an empty slot would mean
+            // the accounting broke, which is reported as a worker error
+            // rather than a panic on the caller's thread.
+            slot.into_inner()
+                .unwrap_or_else(|| Err(Error::Worker("result slot never written".into())))
+        })
         .collect()
 }
 

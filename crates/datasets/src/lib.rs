@@ -18,6 +18,7 @@
 //! by [`Spec::rows`]; the scale factor is recorded in every report.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -23,6 +23,7 @@
 //! decoded arrays — the foundation of operator fusion (paper §IV).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod bitio;
 pub mod chimp;

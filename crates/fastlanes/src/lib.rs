@@ -21,6 +21,7 @@
 //! the benchmark harness can run the same queries against FastLanes.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

@@ -18,6 +18,7 @@
 //!   and micro-benchmarks §VII-C attribute to SBoost).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

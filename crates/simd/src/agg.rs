@@ -15,6 +15,9 @@ pub fn sum_i64(vals: &[i64]) -> i128 {
     match backend() {
         Backend::Scalar => scalar::sum_i64(vals),
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `backend()` returns Avx2/Avx512 only after runtime
+        // CPUID detection confirmed the AVX2 features the callee
+        // requires; that is its sole safety precondition.
         Backend::Avx2 | Backend::Avx512 => unsafe { crate::avx2::sum_i64(vals) },
         #[cfg(not(target_arch = "x86_64"))]
         Backend::Avx2 | Backend::Avx512 => scalar::sum_i64(vals),
@@ -27,6 +30,8 @@ pub fn masked_sum_i64(vals: &[i64], mask: &[u64]) -> (i128, u64) {
     match backend() {
         Backend::Scalar => scalar::masked_sum_i64(vals, mask),
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 availability established by `backend()` runtime
+        // detection; the mask-length precondition is asserted above.
         Backend::Avx2 | Backend::Avx512 => unsafe { crate::avx2::masked_sum_i64(vals, mask) },
         #[cfg(not(target_arch = "x86_64"))]
         Backend::Avx2 | Backend::Avx512 => scalar::masked_sum_i64(vals, mask),
@@ -38,6 +43,8 @@ pub fn min_max_i64(vals: &[i64]) -> Option<(i64, i64)> {
     match backend() {
         Backend::Scalar => scalar::min_max_i64(vals),
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 availability established by `backend()` runtime
+        // detection — the callee's only safety precondition.
         Backend::Avx2 | Backend::Avx512 => unsafe { crate::avx2::min_max_i64(vals) },
         #[cfg(not(target_arch = "x86_64"))]
         Backend::Avx2 | Backend::Avx512 => scalar::min_max_i64(vals),

@@ -6,12 +6,14 @@
 //! * value masking — `_mm256_and_si256`
 //! * prefix-sum permutations — `_mm256_permutevar8x32_epi32`
 //!
-//! Every function here is `unsafe` and requires the caller to have verified
-//! AVX2 support (done once by [`crate::backend`]) and, for the unpack
-//! kernels, that all window loads are in bounds (done by [`crate::unpack`]).
+//! Every public function here is `unsafe` and requires the caller to have
+//! verified AVX2 support (done once by [`crate::backend`]) and, for the
+//! unpack kernels, that all window loads are in bounds (done by
+//! [`crate::unpack`]). Register-only helpers are safe `#[target_feature]`
+//! functions; the remaining `unsafe` blocks are scoped to the pointer
+//! loads and stores they justify.
 
 #![cfg(target_arch = "x86_64")]
-#![allow(unsafe_op_in_unsafe_fn)]
 
 use crate::tables::{Plan32, Plan64};
 use crate::{LANES32, V32};
@@ -21,7 +23,8 @@ use std::arch::x86_64::*;
 ///
 /// # Safety
 /// AVX2 must be available. For every round `r < rounds`, the bytes
-/// `src[start_byte + r*w + plan.win1_off .. + 16]` must be in bounds.
+/// `src[start_byte + r*w + plan.win1_off .. + 16]` must be in bounds, and
+/// `out` must hold at least `rounds * 8` values.
 #[target_feature(enable = "avx2")]
 pub unsafe fn unpack_u32_plan32(
     src: &[u8],
@@ -31,24 +34,29 @@ pub unsafe fn unpack_u32_plan32(
     out: &mut [u32],
 ) {
     debug_assert!(out.len() >= rounds * LANES32);
-    let shuf_lo = _mm_loadu_si128(plan.shuffle_lo.as_ptr() as *const __m128i);
-    let shuf_hi = _mm_loadu_si128(plan.shuffle_hi.as_ptr() as *const __m128i);
-    let shuffle = _mm256_set_m128i(shuf_hi, shuf_lo);
-    let shifts = _mm256_loadu_si256(plan.shifts.as_ptr() as *const __m256i);
-    let mask = _mm256_set1_epi32(plan.mask as i32);
-    let w = plan.bytes_per_round;
-    let mut base = start_byte;
-    let mut optr = out.as_mut_ptr();
-    for _ in 0..rounds {
-        let lo = _mm_loadu_si128(src.as_ptr().add(base) as *const __m128i);
-        let hi = _mm_loadu_si128(src.as_ptr().add(base + plan.win1_off) as *const __m128i);
-        let v = _mm256_set_m128i(hi, lo);
-        let gathered = _mm256_shuffle_epi8(v, shuffle);
-        let shifted = _mm256_srlv_epi32(gathered, shifts);
-        let vals = _mm256_and_si256(shifted, mask);
-        _mm256_storeu_si256(optr as *mut __m256i, vals);
-        base += w;
-        optr = optr.add(LANES32);
+    // SAFETY: the fn-level contract keeps every 16-byte window load of
+    // every round inside `src` and sizes `out` for `rounds * 8` values;
+    // the plan tables are fixed-size arrays read in full.
+    unsafe {
+        let shuf_lo = _mm_loadu_si128(plan.shuffle_lo.as_ptr() as *const __m128i);
+        let shuf_hi = _mm_loadu_si128(plan.shuffle_hi.as_ptr() as *const __m128i);
+        let shuffle = _mm256_set_m128i(shuf_hi, shuf_lo);
+        let shifts = _mm256_loadu_si256(plan.shifts.as_ptr() as *const __m256i);
+        let mask = _mm256_set1_epi32(plan.mask as i32);
+        let w = plan.bytes_per_round;
+        let mut base = start_byte;
+        let mut optr = out.as_mut_ptr();
+        for _ in 0..rounds {
+            let lo = _mm_loadu_si128(src.as_ptr().add(base) as *const __m128i);
+            let hi = _mm_loadu_si128(src.as_ptr().add(base + plan.win1_off) as *const __m128i);
+            let v = _mm256_set_m128i(hi, lo);
+            let gathered = _mm256_shuffle_epi8(v, shuffle);
+            let shifted = _mm256_srlv_epi32(gathered, shifts);
+            let vals = _mm256_and_si256(shifted, mask);
+            _mm256_storeu_si256(optr as *mut __m256i, vals);
+            base += w;
+            optr = optr.add(LANES32);
+        }
     }
 }
 
@@ -57,7 +65,8 @@ pub unsafe fn unpack_u32_plan32(
 ///
 /// # Safety
 /// AVX2 must be available; all four 16-byte windows of every round must be
-/// in bounds (`src[start_byte + r*w + win_off[k] .. + 16]`).
+/// in bounds (`src[start_byte + r*w + win_off[k] .. + 16]`), and `out`
+/// must hold at least `rounds * 8` values.
 #[target_feature(enable = "avx2")]
 pub unsafe fn unpack_u32_plan64(
     src: &[u8],
@@ -70,9 +79,14 @@ pub unsafe fn unpack_u32_plan64(
     let mut buf = [0u64; 8];
     let mut base = start_byte;
     for r in 0..rounds {
-        unpack_round_plan64(src, base, plan, &mut buf);
-        for (i, &v) in buf.iter().enumerate() {
-            *out.get_unchecked_mut(r * LANES32 + i) = v as u32;
+        // SAFETY: the fn-level window contract covers this round's
+        // loads, and `r * LANES32 + i < rounds * LANES32 <= out.len()`
+        // keeps the unchecked store in bounds.
+        unsafe {
+            unpack_round_plan64(src, base, plan, &mut buf);
+            for (i, &v) in buf.iter().enumerate() {
+                *out.get_unchecked_mut(r * LANES32 + i) = v as u32;
+            }
         }
         base += plan.bytes_per_round;
     }
@@ -94,46 +108,61 @@ pub unsafe fn unpack_u64_plan64(
     debug_assert!(out.len() >= rounds * LANES32);
     let mut base = start_byte;
     for r in 0..rounds {
-        let dst: &mut [u64; 8] = (&mut out[r * 8..r * 8 + 8]).try_into().unwrap();
-        unpack_round_plan64(src, base, plan, dst);
+        let dst: &mut [u64; 8] = (&mut out[r * 8..r * 8 + 8])
+            .try_into()
+            .expect("slice is exactly 8 elements");
+        // SAFETY: the fn-level window contract covers this round's loads.
+        unsafe { unpack_round_plan64(src, base, plan, dst) };
         base += plan.bytes_per_round;
     }
 }
 
+/// One eight-value round of the Plan64 unpack: two 256-bit
+/// shuffle/shift/mask pipelines over four 16-byte source windows.
+///
+/// # Safety
+/// AVX2 must be available; all four windows
+/// `src[base + plan.win_off[k] .. + 16]` must be in bounds.
 #[target_feature(enable = "avx2")]
 #[inline]
 unsafe fn unpack_round_plan64(src: &[u8], base: usize, plan: &Plan64, out: &mut [u64; 8]) {
-    let mask = _mm256_set1_epi64x(plan.mask as i64);
-    // Vector A: values 0..4 from windows 0 and 1.
-    let a_lo = _mm_loadu_si128(src.as_ptr().add(base + plan.win_off[0]) as *const __m128i);
-    let a_hi = _mm_loadu_si128(src.as_ptr().add(base + plan.win_off[1]) as *const __m128i);
-    let sa_lo = _mm_loadu_si128(plan.shuffle_a[0].as_ptr() as *const __m128i);
-    let sa_hi = _mm_loadu_si128(plan.shuffle_a[1].as_ptr() as *const __m128i);
-    let va = _mm256_set_m128i(a_hi, a_lo);
-    let sa = _mm256_set_m128i(sa_hi, sa_lo);
-    let ga = _mm256_shuffle_epi8(va, sa);
-    let sha = _mm256_loadu_si256(plan.shifts_a.as_ptr() as *const __m256i);
-    let ra = _mm256_and_si256(_mm256_srlv_epi64(ga, sha), mask);
-    _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, ra);
-    // Vector B: values 4..8 from windows 2 and 3.
-    let b_lo = _mm_loadu_si128(src.as_ptr().add(base + plan.win_off[2]) as *const __m128i);
-    let b_hi = _mm_loadu_si128(src.as_ptr().add(base + plan.win_off[3]) as *const __m128i);
-    let sb_lo = _mm_loadu_si128(plan.shuffle_b[0].as_ptr() as *const __m128i);
-    let sb_hi = _mm_loadu_si128(plan.shuffle_b[1].as_ptr() as *const __m128i);
-    let vb = _mm256_set_m128i(b_hi, b_lo);
-    let sb = _mm256_set_m128i(sb_hi, sb_lo);
-    let gb = _mm256_shuffle_epi8(vb, sb);
-    let shb = _mm256_loadu_si256(plan.shifts_b.as_ptr() as *const __m256i);
-    let rb = _mm256_and_si256(_mm256_srlv_epi64(gb, shb), mask);
-    _mm256_storeu_si256(out.as_mut_ptr().add(4) as *mut __m256i, rb);
+    // SAFETY: the four window loads are in bounds per the fn contract;
+    // shuffle/shift tables are fixed-size arrays read in full; the two
+    // stores exactly cover the 8-element `out` array (lanes 0..4, 4..8).
+    unsafe {
+        let mask = _mm256_set1_epi64x(plan.mask as i64);
+        // Vector A: values 0..4 from windows 0 and 1.
+        let a_lo = _mm_loadu_si128(src.as_ptr().add(base + plan.win_off[0]) as *const __m128i);
+        let a_hi = _mm_loadu_si128(src.as_ptr().add(base + plan.win_off[1]) as *const __m128i);
+        let sa_lo = _mm_loadu_si128(plan.shuffle_a[0].as_ptr() as *const __m128i);
+        let sa_hi = _mm_loadu_si128(plan.shuffle_a[1].as_ptr() as *const __m128i);
+        let va = _mm256_set_m128i(a_hi, a_lo);
+        let sa = _mm256_set_m128i(sa_hi, sa_lo);
+        let ga = _mm256_shuffle_epi8(va, sa);
+        let sha = _mm256_loadu_si256(plan.shifts_a.as_ptr() as *const __m256i);
+        let ra = _mm256_and_si256(_mm256_srlv_epi64(ga, sha), mask);
+        _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, ra);
+        // Vector B: values 4..8 from windows 2 and 3.
+        let b_lo = _mm_loadu_si128(src.as_ptr().add(base + plan.win_off[2]) as *const __m128i);
+        let b_hi = _mm_loadu_si128(src.as_ptr().add(base + plan.win_off[3]) as *const __m128i);
+        let sb_lo = _mm_loadu_si128(plan.shuffle_b[0].as_ptr() as *const __m128i);
+        let sb_hi = _mm_loadu_si128(plan.shuffle_b[1].as_ptr() as *const __m128i);
+        let vb = _mm256_set_m128i(b_hi, b_lo);
+        let sb = _mm256_set_m128i(sb_hi, sb_lo);
+        let gb = _mm256_shuffle_epi8(vb, sb);
+        let shb = _mm256_loadu_si256(plan.shifts_b.as_ptr() as *const __m256i);
+        let rb = _mm256_and_si256(_mm256_srlv_epi64(gb, shb), mask);
+        _mm256_storeu_si256(out.as_mut_ptr().add(4) as *mut __m256i, rb);
+    }
 }
 
 /// Shifts the eight 32-bit lanes of `v` left by `N` lane positions,
 /// filling with zeros — built from `permutevar8x32` plus a zeroing blend,
 /// the building block of the prefix-sum step (Algorithm 1 line 13).
+/// Register-only, hence a safe `#[target_feature]` function.
 #[target_feature(enable = "avx2")]
 #[inline]
-unsafe fn lane_shift_left<const N: i32>(v: __m256i) -> __m256i {
+fn lane_shift_left<const N: i32>(v: __m256i) -> __m256i {
     let idx = _mm256_setr_epi32(0 - N, 1 - N, 2 - N, 3 - N, 4 - N, 5 - N, 6 - N, 7 - N);
     let permuted = _mm256_permutevar8x32_epi32(v, _mm256_and_si256(idx, _mm256_set1_epi32(7)));
     // Zero the first N lanes: lane i is kept when i >= N.
@@ -148,14 +177,16 @@ unsafe fn lane_shift_left<const N: i32>(v: __m256i) -> __m256i {
 /// seeded by `carry`; returns the scanned vector and the new carry.
 #[target_feature(enable = "avx2")]
 #[inline]
-unsafe fn scan_vector(v: __m256i, carry: u32) -> (__m256i, u32) {
+fn scan_vector(v: __m256i, carry: u32) -> (__m256i, u32) {
     let mut x = v;
     x = _mm256_add_epi32(x, lane_shift_left::<1>(x));
     x = _mm256_add_epi32(x, lane_shift_left::<2>(x));
     x = _mm256_add_epi32(x, lane_shift_left::<4>(x));
     let x = _mm256_add_epi32(x, _mm256_set1_epi32(carry as i32));
     let mut lanes = [0u32; 8];
-    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, x);
+    // SAFETY: `lanes` is a local array of exactly eight u32 lanes — a
+    // valid 256-bit store target.
+    unsafe { _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, x) };
     (x, lanes[7])
 }
 
@@ -165,9 +196,12 @@ unsafe fn scan_vector(v: __m256i, carry: u32) -> (__m256i, u32) {
 /// AVX2 must be available.
 #[target_feature(enable = "avx2")]
 pub unsafe fn inclusive_scan_v32(v: &mut V32, carry: &mut u32) {
-    let x = _mm256_loadu_si256(v.as_ptr() as *const __m256i);
+    // SAFETY: `v` is exactly eight u32 lanes — a valid 256-bit load and
+    // store target.
+    let x = unsafe { _mm256_loadu_si256(v.as_ptr() as *const __m256i) };
     let (scanned, c) = scan_vector(x, *carry);
-    _mm256_storeu_si256(v.as_mut_ptr() as *mut __m256i, scanned);
+    // SAFETY: same eight-lane target as the load above.
+    unsafe { _mm256_storeu_si256(v.as_mut_ptr() as *mut __m256i, scanned) };
     *carry = c;
 }
 
@@ -186,7 +220,8 @@ pub unsafe fn chain_delta_decode(vs: &mut [V32], carry: &mut u32) {
     let mut regs = [_mm256_setzero_si256(); 8];
     debug_assert!(n_v <= 8, "layout uses at most 8 vectors");
     for (j, v) in vs.iter().enumerate() {
-        regs[j] = _mm256_loadu_si256(v.as_ptr() as *const __m256i);
+        // SAFETY: each `v` is exactly eight u32 lanes.
+        regs[j] = unsafe { _mm256_loadu_si256(v.as_ptr() as *const __m256i) };
         if j > 0 {
             regs[j] = _mm256_add_epi32(regs[j], regs[j - 1]);
         }
@@ -201,7 +236,8 @@ pub unsafe fn chain_delta_decode(vs: &mut [V32], carry: &mut u32) {
     // Lines 14-15: broadcast-add the prefix vector.
     for (j, v) in vs.iter_mut().enumerate() {
         let r = _mm256_add_epi32(regs[j], seed);
-        _mm256_storeu_si256(v.as_mut_ptr() as *mut __m256i, r);
+        // SAFETY: each `v` is exactly eight u32 lanes.
+        unsafe { _mm256_storeu_si256(v.as_mut_ptr() as *mut __m256i, r) };
     }
 }
 
@@ -216,7 +252,9 @@ pub unsafe fn layout_transpose8(scratch: &[u32], vs: &mut [V32]) {
     debug_assert_eq!(vs.len(), 8);
     let mut r = [_mm256_setzero_si256(); 8];
     for (i, reg) in r.iter_mut().enumerate() {
-        *reg = _mm256_loadu_si256(scratch.as_ptr().add(i * 8) as *const __m256i);
+        // SAFETY: the fn contract fixes `scratch.len() == 64`, so each
+        // of the eight 8-lane loads is in bounds.
+        *reg = unsafe { _mm256_loadu_si256(scratch.as_ptr().add(i * 8) as *const __m256i) };
     }
     // Stage 1: 32-bit interleave.
     let t0 = _mm256_unpacklo_epi32(r[0], r[1]);
@@ -250,7 +288,8 @@ pub unsafe fn layout_transpose8(scratch: &[u32], vs: &mut [V32]) {
     // o[k] now holds column k of the 8x8 matrix, i.e. elements
     // [k, 8+k, 16+k, ... 56+k] — exactly layout vector k's lanes.
     for (j, v) in vs.iter_mut().enumerate() {
-        _mm256_storeu_si256(v.as_mut_ptr() as *mut __m256i, o[j]);
+        // SAFETY: each `v` is exactly eight u32 lanes.
+        unsafe { _mm256_storeu_si256(v.as_mut_ptr() as *mut __m256i, o[j]) };
     }
 }
 
@@ -265,10 +304,14 @@ pub unsafe fn widen_rel_i64(base: i64, rel: &[u32], out: &mut [i64]) {
     let b = _mm256_set1_epi64x(base);
     let chunks = rel.len() / 4;
     for c in 0..chunks {
-        let r = _mm_loadu_si128(rel.as_ptr().add(c * 4) as *const __m128i);
-        let wide = _mm256_cvtepi32_epi64(r); // sign-extends i32 -> i64
-        let v = _mm256_add_epi64(b, wide);
-        _mm256_storeu_si256(out.as_mut_ptr().add(c * 4) as *mut __m256i, v);
+        // SAFETY: `c * 4 + 4 <= rel.len()` bounds the 128-bit load, and
+        // `out.len() == rel.len()` (fn contract) bounds the store.
+        unsafe {
+            let r = _mm_loadu_si128(rel.as_ptr().add(c * 4) as *const __m128i);
+            let wide = _mm256_cvtepi32_epi64(r); // sign-extends i32 -> i64
+            let v = _mm256_add_epi64(b, wide);
+            _mm256_storeu_si256(out.as_mut_ptr().add(c * 4) as *mut __m256i, v);
+        }
     }
     for i in chunks * 4..rel.len() {
         out[i] = base.wrapping_add(rel[i] as i32 as i64);
@@ -286,7 +329,8 @@ pub unsafe fn range_mask_i64(vals: &[i64], lo: i64, hi: i64, out: &mut [u64]) {
     let hi_v = _mm256_set1_epi64x(hi);
     let chunks = vals.len() / 4;
     for c in 0..chunks {
-        let v = _mm256_loadu_si256(vals.as_ptr().add(c * 4) as *const __m256i);
+        // SAFETY: `c * 4 + 4 <= vals.len()` keeps the load in bounds.
+        let v = unsafe { _mm256_loadu_si256(vals.as_ptr().add(c * 4) as *const __m256i) };
         // in-range = !(lo > v) && !(v > hi)
         let below = _mm256_cmpgt_epi64(lo_v, v);
         let above = _mm256_cmpgt_epi64(v, hi_v);
@@ -336,7 +380,7 @@ pub unsafe fn masked_sum_i64(vals: &[i64], mask: &[u64]) -> (i128, u64) {
 
 #[target_feature(enable = "avx2")]
 #[inline]
-unsafe fn masked_sum_block(vals: &[i64], mask: &[u64], offset: usize) -> (i64, u64, bool) {
+fn masked_sum_block(vals: &[i64], mask: &[u64], offset: usize) -> (i64, u64, bool) {
     let mut acc = _mm256_setzero_si256();
     let mut ovf = _mm256_setzero_si256();
     let mut count = 0u64;
@@ -347,7 +391,8 @@ unsafe fn masked_sum_block(vals: &[i64], mask: &[u64], offset: usize) -> (i64, u
         if bits == 0 {
             continue;
         }
-        let v = _mm256_loadu_si256(vals.as_ptr().add(c * 4) as *const __m256i);
+        // SAFETY: `c * 4 + 4 <= vals.len()` keeps the load in bounds.
+        let v = unsafe { _mm256_loadu_si256(vals.as_ptr().add(c * 4) as *const __m256i) };
         // Expand 4 mask bits to 4 lane masks.
         let lane_mask = _mm256_setr_epi64x(
             -((bits & 1) as i64),
@@ -365,7 +410,9 @@ unsafe fn masked_sum_block(vals: &[i64], mask: &[u64], offset: usize) -> (i64, u
     }
     let overflow = _mm256_movemask_pd(_mm256_castsi256_pd(ovf)) != 0;
     let mut lanes = [0i64; 4];
-    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+    // SAFETY: `lanes` is a local array of exactly four i64 lanes — a
+    // valid 256-bit store target.
+    unsafe { _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc) };
     let mut total = 0i64;
     let mut scalar_ovf = false;
     for l in lanes {
@@ -417,7 +464,8 @@ pub unsafe fn sum_i64(vals: &[i64]) -> i128 {
         let mut ovf = _mm256_setzero_si256();
         let chunks = block.len() / 4;
         for c in 0..chunks {
-            let v = _mm256_loadu_si256(block.as_ptr().add(c * 4) as *const __m256i);
+            // SAFETY: `c * 4 + 4 <= block.len()` keeps the load in bounds.
+            let v = unsafe { _mm256_loadu_si256(block.as_ptr().add(c * 4) as *const __m256i) };
             let r = _mm256_add_epi64(acc, v);
             let o = _mm256_and_si256(_mm256_xor_si256(acc, r), _mm256_xor_si256(v, r));
             ovf = _mm256_or_si256(ovf, o);
@@ -427,7 +475,9 @@ pub unsafe fn sum_i64(vals: &[i64]) -> i128 {
             sum += block.iter().map(|&v| v as i128).sum::<i128>();
         } else {
             let mut lanes = [0i64; 4];
-            _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+            // SAFETY: `lanes` is a local array of exactly four i64
+            // lanes — a valid 256-bit store target.
+            unsafe { _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc) };
             let mut s: i128 = lanes.iter().map(|&l| l as i128).sum();
             for &v in &block[chunks * 4..] {
                 s += v as i128;
@@ -453,10 +503,12 @@ pub unsafe fn min_max_i64(vals: &[i64]) -> Option<(i64, i64)> {
     if chunks == 0 {
         return crate::scalar::min_max_i64(vals);
     }
-    let mut mn = _mm256_loadu_si256(vals.as_ptr() as *const __m256i);
+    // SAFETY: `chunks >= 1` means `vals` has at least four elements.
+    let mut mn = unsafe { _mm256_loadu_si256(vals.as_ptr() as *const __m256i) };
     let mut mx = mn;
     for c in 1..chunks {
-        let v = _mm256_loadu_si256(vals.as_ptr().add(c * 4) as *const __m256i);
+        // SAFETY: `c * 4 + 4 <= vals.len()` keeps the load in bounds.
+        let v = unsafe { _mm256_loadu_si256(vals.as_ptr().add(c * 4) as *const __m256i) };
         let gt_mn = _mm256_cmpgt_epi64(mn, v);
         mn = _mm256_blendv_epi8(mn, v, gt_mn);
         let gt_v = _mm256_cmpgt_epi64(v, mx);
@@ -464,10 +516,14 @@ pub unsafe fn min_max_i64(vals: &[i64]) -> Option<(i64, i64)> {
     }
     let mut mn_l = [0i64; 4];
     let mut mx_l = [0i64; 4];
-    _mm256_storeu_si256(mn_l.as_mut_ptr() as *mut __m256i, mn);
-    _mm256_storeu_si256(mx_l.as_mut_ptr() as *mut __m256i, mx);
-    let mut lo = *mn_l.iter().min().unwrap();
-    let mut hi = *mx_l.iter().max().unwrap();
+    // SAFETY: `mn_l` / `mx_l` are local arrays of exactly four i64
+    // lanes — valid 256-bit store targets.
+    unsafe {
+        _mm256_storeu_si256(mn_l.as_mut_ptr() as *mut __m256i, mn);
+        _mm256_storeu_si256(mx_l.as_mut_ptr() as *mut __m256i, mx);
+    }
+    let mut lo = *mn_l.iter().min().unwrap_or(&i64::MAX);
+    let mut hi = *mx_l.iter().max().unwrap_or(&i64::MIN);
     for &v in &vals[chunks * 4..] {
         lo = lo.min(v);
         hi = hi.max(v);

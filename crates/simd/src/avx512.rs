@@ -8,7 +8,6 @@
 //! same shuffle→srlv→and pattern as the AVX2 path at twice the width.
 
 #![cfg(target_arch = "x86_64")]
-#![allow(unsafe_op_in_unsafe_fn)]
 
 use std::arch::x86_64::*;
 
@@ -103,25 +102,30 @@ pub unsafe fn unpack_u32_plan512(
     out: &mut [u32],
 ) {
     debug_assert!(out.len() >= rounds * 16);
-    let shuffle = _mm512_loadu_si512(plan.shuffle.as_ptr() as *const _);
-    let shifts = _mm512_loadu_si512(plan.shifts.as_ptr() as *const _);
-    let mask = _mm512_set1_epi32(plan.mask as i32);
-    let mut base = start_byte;
-    let mut optr = out.as_mut_ptr();
-    for _ in 0..rounds {
-        let w0 = _mm_loadu_si128(src.as_ptr().add(base + plan.win_off[0]) as *const __m128i);
-        let w1 = _mm_loadu_si128(src.as_ptr().add(base + plan.win_off[1]) as *const __m128i);
-        let w2 = _mm_loadu_si128(src.as_ptr().add(base + plan.win_off[2]) as *const __m128i);
-        let w3 = _mm_loadu_si128(src.as_ptr().add(base + plan.win_off[3]) as *const __m128i);
-        let v = _mm512_inserti32x4::<1>(_mm512_castsi128_si512(w0), w1);
-        let v = _mm512_inserti32x4::<2>(v, w2);
-        let v = _mm512_inserti32x4::<3>(v, w3);
-        let gathered = _mm512_shuffle_epi8(v, shuffle);
-        let shifted = _mm512_srlv_epi32(gathered, shifts);
-        let vals = _mm512_and_si512(shifted, mask);
-        _mm512_storeu_si512(optr as *mut _, vals);
-        base += plan.bytes_per_round;
-        optr = optr.add(16);
+    // SAFETY: the fn-level contract keeps all four 16-byte window loads
+    // of every round inside `src` and sizes `out` for `rounds * 16`
+    // values; the plan tables are fixed-size arrays read in full.
+    unsafe {
+        let shuffle = _mm512_loadu_si512(plan.shuffle.as_ptr() as *const _);
+        let shifts = _mm512_loadu_si512(plan.shifts.as_ptr() as *const _);
+        let mask = _mm512_set1_epi32(plan.mask as i32);
+        let mut base = start_byte;
+        let mut optr = out.as_mut_ptr();
+        for _ in 0..rounds {
+            let w0 = _mm_loadu_si128(src.as_ptr().add(base + plan.win_off[0]) as *const __m128i);
+            let w1 = _mm_loadu_si128(src.as_ptr().add(base + plan.win_off[1]) as *const __m128i);
+            let w2 = _mm_loadu_si128(src.as_ptr().add(base + plan.win_off[2]) as *const __m128i);
+            let w3 = _mm_loadu_si128(src.as_ptr().add(base + plan.win_off[3]) as *const __m128i);
+            let v = _mm512_inserti32x4::<1>(_mm512_castsi128_si512(w0), w1);
+            let v = _mm512_inserti32x4::<2>(v, w2);
+            let v = _mm512_inserti32x4::<3>(v, w3);
+            let gathered = _mm512_shuffle_epi8(v, shuffle);
+            let shifted = _mm512_srlv_epi32(gathered, shifts);
+            let vals = _mm512_and_si512(shifted, mask);
+            _mm512_storeu_si512(optr as *mut _, vals);
+            base += plan.bytes_per_round;
+            optr = optr.add(16);
+        }
     }
 }
 
@@ -169,6 +173,10 @@ mod tests {
                 let plan = plan512(width, align as u8);
                 let rounds = vals.len() / 16;
                 let mut out = vec![0u32; rounds * 16];
+                // SAFETY: AVX-512F/BW presence checked above; `bytes`
+                // has 32 bytes of slack past the packed payload, so all
+                // window loads of every round stay in bounds, and `out`
+                // holds exactly `rounds * 16` values.
                 unsafe { unpack_u32_plan512(&bytes, align / 8, rounds, plan, &mut out) };
                 for (i, (&got, &want)) in out.iter().zip(&vals).enumerate() {
                     assert_eq!(got as u64, want, "w={width} align={align} i={i}");

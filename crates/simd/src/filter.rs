@@ -14,6 +14,8 @@ pub fn range_mask_i64(vals: &[i64], lo: i64, hi: i64, out: &mut [u64]) {
     match backend() {
         Backend::Scalar => scalar::range_mask_i64(vals, lo, hi, out),
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 availability established by `backend()` runtime
+        // detection; the mask-capacity precondition is asserted above.
         Backend::Avx2 | Backend::Avx512 => unsafe {
             crate::avx2::range_mask_i64(vals, lo, hi, out)
         },

@@ -26,6 +26,7 @@
 //! (paper Figure 1(b)).
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod agg;
 pub mod filter;

@@ -12,6 +12,8 @@ pub fn inclusive_scan_v32(v: &mut V32, carry: &mut u32) {
     match backend() {
         Backend::Scalar => scalar::inclusive_scan_v32(v, carry),
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 availability established by `backend()` runtime
+        // detection — the callee's only safety precondition.
         Backend::Avx2 | Backend::Avx512 => unsafe { crate::avx2::inclusive_scan_v32(v, carry) },
         #[cfg(not(target_arch = "x86_64"))]
         Backend::Avx2 | Backend::Avx512 => scalar::inclusive_scan_v32(v, carry),
@@ -33,6 +35,9 @@ pub fn chain_delta_decode(vs: &mut [V32], carry: &mut u32) {
         #[cfg(target_arch = "x86_64")]
         Backend::Avx2 | Backend::Avx512 => {
             if vs.len() <= 8 {
+                // SAFETY: AVX2 availability established by `backend()`
+                // runtime detection; the callee's `vs.len() <= 8` bound
+                // is checked by this branch.
                 unsafe { crate::avx2::chain_delta_decode(vs, carry) }
             } else {
                 scalar::chain_delta_decode(vs, carry)
@@ -50,6 +55,8 @@ pub fn widen_rel_i64(base: i64, rel: &[u32], out: &mut [i64]) {
     match backend() {
         Backend::Scalar => scalar::widen_rel_i64(base, rel, out),
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 availability established by `backend()` runtime
+        // detection; equal slice lengths are asserted above.
         Backend::Avx2 | Backend::Avx512 => unsafe { crate::avx2::widen_rel_i64(base, rel, out) },
         #[cfg(not(target_arch = "x86_64"))]
         Backend::Avx2 | Backend::Avx512 => scalar::widen_rel_i64(base, rel, out),

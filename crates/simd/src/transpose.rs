@@ -28,6 +28,9 @@ pub fn layout_transpose(scratch: &[u32], vs: &mut [V32]) {
     if n_v == 8 && backend() != Backend::Scalar {
         #[cfg(target_arch = "x86_64")]
         {
+            // SAFETY: AVX2 availability established by `backend()`
+            // runtime detection; `n_v == 8` and the matching scratch
+            // length are checked/asserted above.
             unsafe { crate::avx2::layout_transpose8(scratch, vs) };
             return;
         }

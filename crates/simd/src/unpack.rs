@@ -68,6 +68,10 @@ pub fn unpack_u64(src: &[u8], start_bit: usize, width: u8, out: &mut [u64]) {
                 out.len(),
             );
             if rounds > 0 {
+                // SAFETY: AVX2 availability established by `backend()`
+                // runtime detection; `safe_rounds` bounds `rounds` so
+                // every 16-byte window load stays inside `src` and every
+                // store inside `out`.
                 unsafe { crate::avx2::unpack_u64_plan64(src, start_byte, rounds, plan, out) };
             }
             let done = rounds * ROUND;
@@ -95,6 +99,10 @@ fn unpack_u32_avx2(src: &[u8], start_bit: usize, width: u8, out: &mut [u32]) {
             out.len(),
         );
         if r > 0 {
+            // SAFETY: AVX2 availability established by `backend()`
+            // runtime detection (this fn is only reached on those
+            // backends); `safe_rounds` keeps all window loads in `src`
+            // and all stores in `out`.
             unsafe { crate::avx2::unpack_u32_plan32(src, start_byte, r, plan, out) };
         }
         (r, plan.win1_off, plan.bytes_per_round)
@@ -103,6 +111,8 @@ fn unpack_u32_avx2(src: &[u8], start_bit: usize, width: u8, out: &mut [u32]) {
         let mw = *plan.win_off.iter().max().unwrap();
         let r = safe_rounds(src.len(), start_byte, plan.bytes_per_round, mw, out.len());
         if r > 0 {
+            // SAFETY: same argument as the plan32 arm — AVX2 detected at
+            // runtime, `safe_rounds` bounds every load and store.
             unsafe { crate::avx2::unpack_u32_plan64(src, start_byte, r, plan, out) };
         }
         (r, mw, plan.bytes_per_round)
@@ -139,6 +149,10 @@ fn unpack_u32_avx512(src: &[u8], start_bit: usize, width: u8, out: &mut [u32]) {
         budget / plan.bytes_per_round + usize::from(src.len() >= start_byte + max_win + 16);
     let rounds = full.min(by_bytes);
     if rounds > 0 {
+        // SAFETY: this fn is only dispatched on the Avx512 backend,
+        // which runtime detection guarantees; the `rounds` computation
+        // above keeps every window load within `src` and `out` holds
+        // `rounds * 16` values by construction.
         unsafe { crate::avx512::unpack_u32_plan512(src, start_byte, rounds, plan, out) };
     }
     let done = rounds * 16;

@@ -17,6 +17,7 @@
 //!   index, length-prefixed pages) for persistence round-trips.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod budget;
 pub mod page;

@@ -1,0 +1,878 @@
+//! The `etsqp-lint` engine: token/line-level static analysis over the
+//! workspace's `.rs` files. No external dependencies — a small lexer
+//! classifies each line into code/comment/string regions, tracks
+//! `#[cfg(test)]` modules by brace depth, and rule passes run over the
+//! classified lines.
+//!
+//! Rules (see DESIGN.md §"Static analysis & model checking"):
+//!
+//! * `safety-comment` — every `unsafe` keyword needs a `// SAFETY:`
+//!   justification (or a `# Safety` doc section) in the contiguous
+//!   comment/attribute block above it or on the same line.
+//! * `no-panic-paths` — no `unwrap()` / `expect(` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` in engine hot paths
+//!   ([`HOT_FILES`]); error paths must surface `Error` variants.
+//! * `no-lossy-cast` — no narrowing `as` casts in accumulator/fused
+//!   kernels ([`CAST_FILES`]); use the checked/widening helpers.
+//! * `forbid-unsafe` — crates with zero `unsafe` must declare
+//!   `#![forbid(unsafe_code)]` at their lib root.
+//! * `unsafe-op-in-unsafe-fn` — crates containing `unsafe` must declare
+//!   `#![deny(unsafe_op_in_unsafe_fn)]` at their lib root.
+//!
+//! Escape hatch: `// lint:allow(<rule>) -- <reason>` on the offending
+//! line or in the comment block directly above suppresses that rule
+//! there. A directive without a reason (or naming an unknown rule) is
+//! itself a violation (`lint-allow`), and every use is counted and
+//! reported in the summary.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Engine hot-path files: panics are forbidden, errors must be `Error`s.
+pub const HOT_FILES: [&str; 5] = [
+    "crates/core/src/exec.rs",
+    "crates/core/src/pool.rs",
+    "crates/core/src/fused.rs",
+    "crates/core/src/decode.rs",
+    "crates/core/src/slice.rs",
+];
+
+/// Accumulator/fused-kernel files: narrowing `as` casts are forbidden.
+pub const CAST_FILES: [&str; 2] = ["crates/core/src/fused.rs", "crates/simd/src/agg.rs"];
+
+/// Narrowing cast targets flagged by `no-lossy-cast`.
+const NARROW_TYPES: [&str; 7] = ["u8", "i8", "u16", "i16", "u32", "i32", "f32"];
+
+/// Rule names accepted by the escape hatch.
+pub const RULE_NAMES: [&str; 5] = [
+    "safety-comment",
+    "no-panic-paths",
+    "no-lossy-cast",
+    "forbid-unsafe",
+    "unsafe-op-in-unsafe-fn",
+];
+
+/// One rule violation at a specific location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (one of [`RULE_NAMES`] or `lint-allow`).
+    pub rule: String,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+/// One use of the `lint:allow` escape hatch.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule being suppressed.
+    pub rule: String,
+}
+
+/// Result of analysing one file or a whole workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All violations found, in file/line order.
+    pub violations: Vec<Violation>,
+    /// All escape-hatch uses (valid directives), in file/line order.
+    pub allows: Vec<Allow>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of crates checked for the crate-level rules.
+    pub crates_checked: usize,
+}
+
+impl Report {
+    /// violations grouped by rule, for the one-line CI summary.
+    pub fn counts_by_rule(&self) -> BTreeMap<String, usize> {
+        let mut m = BTreeMap::new();
+        for v in &self.violations {
+            *m.entry(v.rule.clone()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// allows grouped by rule.
+    pub fn allows_by_rule(&self) -> BTreeMap<String, usize> {
+        let mut m = BTreeMap::new();
+        for a in &self.allows {
+            *m.entry(a.rule.clone()).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+// ---------------------------------------------------------------------
+// Line classification
+// ---------------------------------------------------------------------
+
+/// One source line, split into masked code and comment text.
+#[derive(Debug, Default)]
+struct Line {
+    /// Code with string contents blanked and comments removed.
+    code: String,
+    /// Comment text on this line (including the `//` / `/*` markers).
+    comment: String,
+    /// Inside a `#[cfg(test)]` module.
+    in_test: bool,
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum LexState {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(usize),
+}
+
+/// Splits source into lines of (masked code, comment text), tolerant of
+/// nested block comments, raw strings, and char-vs-lifetime quotes.
+fn classify(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut st = LexState::Code;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(std::mem::take(&mut cur));
+            if st == LexState::LineComment {
+                st = LexState::Code;
+            }
+            i += 1;
+            continue;
+        }
+        let next = chars.get(i + 1).copied();
+        match st {
+            LexState::Code => {
+                if c == '/' && next == Some('/') {
+                    st = LexState::LineComment;
+                    cur.comment.push_str("//");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = LexState::BlockComment(1);
+                    cur.code.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    st = LexState::Str;
+                    cur.code.push('"');
+                    i += 1;
+                } else if is_raw_str_start(&chars, i) {
+                    let skip = usize::from(chars[i] == 'b');
+                    let hashes = count_hashes(&chars, i + skip + 1);
+                    st = LexState::RawStr(hashes);
+                    cur.code.push('"');
+                    i += skip + 1 + hashes + 1; // [b] r ### "
+                } else if c == '\'' {
+                    // Char literal vs lifetime heuristic.
+                    if next == Some('\\') {
+                        // Escaped char literal: scan to the closing quote.
+                        let mut j = i + 2;
+                        while j < chars.len() && chars[j] != '\'' {
+                            j += 1;
+                        }
+                        cur.code.push(' ');
+                        i = j + 1;
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        cur.code.push(' ');
+                        i += 3;
+                    } else {
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            LexState::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            LexState::BlockComment(d) => {
+                if c == '*' && next == Some('/') {
+                    st = if d == 1 {
+                        LexState::Code
+                    } else {
+                        LexState::BlockComment(d - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = LexState::BlockComment(d + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            LexState::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    st = LexState::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            LexState::RawStr(h) => {
+                if c == '"' && (0..h).all(|k| chars.get(i + 1 + k) == Some(&'#')) {
+                    cur.code.push('"');
+                    st = LexState::Code;
+                    i += 1 + h;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+fn is_raw_str_start(chars: &[char], i: usize) -> bool {
+    let start = if chars[i] == 'b' {
+        if chars.get(i + 1) != Some(&'r') {
+            return chars.get(i + 1) == Some(&'"') && !prev_is_ident(chars, i);
+        }
+        i + 1
+    } else if chars[i] == 'r' {
+        i
+    } else {
+        return false;
+    };
+    if prev_is_ident(chars, i) {
+        return false;
+    }
+    let hashes = count_hashes(chars, start + 1);
+    chars.get(start + 1 + hashes) == Some(&'"')
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+fn count_hashes(chars: &[char], from: usize) -> usize {
+    chars[from..].iter().take_while(|&&c| c == '#').count()
+}
+
+/// Marks lines inside `#[cfg(test)]` items by tracking brace depth.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth = 0usize;
+    let mut pending: Option<usize> = None; // saw #[cfg(test)] at this depth
+    let mut region: Option<usize> = None; // inside test item opened at depth
+    for line in lines.iter_mut() {
+        if region.is_some() {
+            line.in_test = true;
+        }
+        if line.code.contains("#[cfg(test)]") && region.is_none() {
+            pending = Some(depth);
+            line.in_test = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if region.is_none() && pending == Some(depth) {
+                        region = Some(depth);
+                        pending = None;
+                        line.in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if region == Some(depth) {
+                        region = None;
+                        line.in_test = true; // closing brace still test code
+                    }
+                }
+                // `#[cfg(test)] use foo;` — attribute on a braceless item.
+                ';' if pending == Some(depth) => pending = None,
+                _ => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// `true` if `code` contains `token` delimited by non-identifier chars.
+fn has_token(code: &str, token: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(p) = code[start..].find(token) {
+        let abs = start + p;
+        let end = abs + token.len();
+        let before_ok = abs == 0 || !is_ident_byte(bytes[abs - 1]);
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = end;
+    }
+    false
+}
+
+/// First narrowing `as <ty>` cast on the line, if any.
+fn narrowing_cast(code: &str) -> Option<&'static str> {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(p) = code[start..].find("as") {
+        let abs = start + p;
+        let end = abs + 2;
+        let boundary = (abs == 0 || !is_ident_byte(bytes[abs - 1]))
+            && (end >= bytes.len() || !is_ident_byte(bytes[end]));
+        start = end;
+        if !boundary {
+            continue;
+        }
+        let rest = code[end..].trim_start();
+        let ty: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if let Some(t) = NARROW_TYPES.iter().find(|t| **t == ty) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Comment-only or attribute-only lines continue the lookback block
+/// above an `unsafe` site / allow target.
+fn continues_block(line: &Line) -> bool {
+    let code = line.code.trim();
+    if code.is_empty() {
+        return !line.comment.is_empty();
+    }
+    code.starts_with("#[") || code.starts_with("#![")
+}
+
+const LOOKBACK: usize = 40;
+
+/// Does line `i` (or its contiguous comment/attribute block above)
+/// satisfy predicate `p` over comment text?
+fn block_above_matches(lines: &[Line], i: usize, p: impl Fn(&str) -> bool) -> bool {
+    if p(&lines[i].comment) {
+        return true;
+    }
+    let mut j = i;
+    let floor = i.saturating_sub(LOOKBACK);
+    while j > floor {
+        j -= 1;
+        if !continues_block(&lines[j]) {
+            return false;
+        }
+        if p(&lines[j].comment) {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// Escape hatch
+// ---------------------------------------------------------------------
+
+enum Directive {
+    /// Well-formed: rules + reason present.
+    Allow(Vec<String>),
+    /// Malformed: error message.
+    Bad(String),
+}
+
+/// Parses `lint:allow(rule-a, rule-b) -- reason` out of comment text.
+///
+/// Directives are only recognised in plain `//` comments: doc comments
+/// (`///`, `//!`) are prose — text *describing* the directive syntax
+/// must not activate (or half-activate) it.
+fn parse_directive(comment: &str) -> Option<Directive> {
+    let t = comment.trim_start();
+    if t.starts_with("///") || t.starts_with("//!") {
+        return None;
+    }
+    let at = comment.find("lint:allow")?;
+    let rest = &comment[at + "lint:allow".len()..];
+    let Some(open) = rest.find('(') else {
+        return Some(Directive::Bad("missing '(' after lint:allow".into()));
+    };
+    let Some(close) = rest.find(')') else {
+        return Some(Directive::Bad("missing ')' in lint:allow".into()));
+    };
+    if open > close {
+        return Some(Directive::Bad("malformed lint:allow parentheses".into()));
+    }
+    let rules: Vec<String> = rest[open + 1..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Some(Directive::Bad("lint:allow names no rule".into()));
+    }
+    for r in &rules {
+        if !RULE_NAMES.contains(&r.as_str()) {
+            return Some(Directive::Bad(format!("unknown rule '{r}' in lint:allow")));
+        }
+    }
+    let tail = &rest[close + 1..];
+    let Some(dash) = tail.find("--") else {
+        return Some(Directive::Bad(
+            "lint:allow requires a reason: `-- <why this is sound>`".into(),
+        ));
+    };
+    if tail[dash + 2..].trim().is_empty() {
+        return Some(Directive::Bad("lint:allow reason is empty".into()));
+    }
+    Some(Directive::Allow(rules))
+}
+
+// ---------------------------------------------------------------------
+// Per-file analysis
+// ---------------------------------------------------------------------
+
+/// Panic-y constructs forbidden in hot paths.
+const PANIC_TOKENS: [(&str, &str); 6] = [
+    (".unwrap()", "unwrap() panics"),
+    (".expect(", "expect() panics"),
+    ("panic!", "explicit panic!"),
+    ("unreachable!", "unreachable! panics"),
+    ("todo!", "todo! panics"),
+    ("unimplemented!", "unimplemented! panics"),
+];
+
+/// Runs the line-level rules over one file's source. `rel_path` selects
+/// which path-scoped rules apply (hot paths, cast files).
+pub fn analyze_source(rel_path: &str, source: &str) -> Report {
+    let lines = classify(source);
+    let mut report = Report {
+        files_scanned: 1,
+        ..Report::default()
+    };
+
+    // Collect escape-hatch directives (and flag malformed ones).
+    let mut allows_at: Vec<Vec<String>> = vec![Vec::new(); lines.len()];
+    for (i, line) in lines.iter().enumerate() {
+        match parse_directive(&line.comment) {
+            Some(Directive::Allow(rules)) => {
+                for r in &rules {
+                    report.allows.push(Allow {
+                        file: rel_path.to_string(),
+                        line: i + 1,
+                        rule: r.clone(),
+                    });
+                }
+                allows_at[i] = rules;
+            }
+            Some(Directive::Bad(msg)) => report.violations.push(Violation {
+                file: rel_path.to_string(),
+                line: i + 1,
+                rule: "lint-allow".into(),
+                msg,
+            }),
+            None => {}
+        }
+    }
+    // A directive suppresses a rule on its own line or anywhere in the
+    // contiguous comment/attribute block directly above the violation.
+    let allowed = |i: usize, rule: &str| -> bool {
+        if allows_at[i].iter().any(|r| r == rule) {
+            return true;
+        }
+        let mut j = i;
+        let floor = i.saturating_sub(LOOKBACK);
+        while j > floor {
+            j -= 1;
+            if !continues_block(&lines[j]) {
+                return false;
+            }
+            if allows_at[j].iter().any(|r| r == rule) {
+                return true;
+            }
+        }
+        false
+    };
+
+    // Rule: safety-comment (all files, tests included).
+    for (i, line) in lines.iter().enumerate() {
+        if !has_token(&line.code, "unsafe") {
+            continue;
+        }
+        let justified = block_above_matches(&lines, i, |c| {
+            c.contains("SAFETY:") || c.contains("# Safety")
+        });
+        if !justified && !allowed(i, "safety-comment") {
+            report.violations.push(Violation {
+                file: rel_path.to_string(),
+                line: i + 1,
+                rule: "safety-comment".into(),
+                msg: "`unsafe` without a `// SAFETY:` justification (or `# Safety` doc section)"
+                    .into(),
+            });
+        }
+    }
+
+    // Rule: no-panic-paths (hot files, non-test code only).
+    if HOT_FILES.iter().any(|f| rel_path.ends_with(f)) {
+        for (i, line) in lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            for (tok, why) in PANIC_TOKENS {
+                if line.code.contains(tok) && !allowed(i, "no-panic-paths") {
+                    report.violations.push(Violation {
+                        file: rel_path.to_string(),
+                        line: i + 1,
+                        rule: "no-panic-paths".into(),
+                        msg: format!("{why} in an engine hot path; return an Error variant"),
+                    });
+                }
+            }
+        }
+    }
+
+    // Rule: no-lossy-cast (accumulator/fused kernels, non-test code).
+    if CAST_FILES.iter().any(|f| rel_path.ends_with(f)) {
+        for (i, line) in lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            if let Some(ty) = narrowing_cast(&line.code) {
+                if !allowed(i, "no-lossy-cast") {
+                    report.violations.push(Violation {
+                        file: rel_path.to_string(),
+                        line: i + 1,
+                        rule: "no-lossy-cast".into(),
+                        msg: format!(
+                            "narrowing `as {ty}` cast in a kernel; use a checked/widening helper"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    report.violations.sort_by_key(|v| v.line);
+    report
+}
+
+// ---------------------------------------------------------------------
+// Crate-level rules + workspace walk
+// ---------------------------------------------------------------------
+
+fn walk_rs_files(dir: &Path, out: &mut Vec<PathBuf>, manifests: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            walk_rs_files(&path, out, manifests);
+        } else if name == "Cargo.toml" {
+            manifests.push(path);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// `true` when any line of `source` uses the `unsafe` keyword.
+fn source_has_unsafe(source: &str) -> bool {
+    classify(source)
+        .iter()
+        .any(|l| has_token(&l.code, "unsafe"))
+}
+
+fn crate_rule_violation(
+    lib_root_rel: &str,
+    lib_src: &str,
+    has_unsafe: bool,
+) -> Option<(String, String)> {
+    let lines = classify(lib_src);
+    let attr_present = |attr: &str| lines.iter().any(|l| l.code.contains(attr));
+    let allow_present = |rule: &str| {
+        lines.iter().any(|l| {
+            matches!(parse_directive(&l.comment),
+                     Some(Directive::Allow(rules)) if rules.iter().any(|r| r == rule))
+        })
+    };
+    if !has_unsafe {
+        if !attr_present("#![forbid(unsafe_code)]") && !allow_present("forbid-unsafe") {
+            return Some((
+                "forbid-unsafe".into(),
+                format!(
+                    "crate has no unsafe code but {lib_root_rel} lacks #![forbid(unsafe_code)]"
+                ),
+            ));
+        }
+    } else if !attr_present("#![deny(unsafe_op_in_unsafe_fn)]")
+        && !allow_present("unsafe-op-in-unsafe-fn")
+    {
+        return Some((
+            "unsafe-op-in-unsafe-fn".into(),
+            format!("crate uses unsafe but {lib_root_rel} lacks #![deny(unsafe_op_in_unsafe_fn)]"),
+        ));
+    }
+    None
+}
+
+fn rel(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Lints every `.rs` file under `root` plus the crate-level rules for
+/// every `Cargo.toml` package found.
+pub fn lint_workspace(root: &Path) -> Report {
+    let mut files = Vec::new();
+    let mut manifests = Vec::new();
+    walk_rs_files(root, &mut files, &mut manifests);
+    files.sort();
+    manifests.sort();
+
+    let mut report = Report::default();
+    for path in &files {
+        let Ok(src) = fs::read_to_string(path) else {
+            continue;
+        };
+        let r = analyze_source(&rel(root, path), &src);
+        report.files_scanned += 1;
+        report.violations.extend(r.violations);
+        report.allows.extend(r.allows);
+    }
+
+    for manifest in &manifests {
+        let dir = manifest.parent().unwrap_or(root);
+        let lib_root = ["src/lib.rs", "src/main.rs"]
+            .iter()
+            .map(|p| dir.join(p))
+            .find(|p| p.is_file());
+        let Some(lib_root) = lib_root else {
+            continue; // virtual manifest (workspace root without lib/main)
+        };
+        let src_dir = dir.join("src");
+        let has_unsafe = files
+            .iter()
+            .filter(|f| f.starts_with(&src_dir))
+            .filter_map(|f| fs::read_to_string(f).ok())
+            .any(|s| source_has_unsafe(&s));
+        report.crates_checked += 1;
+        let lib_rel = rel(root, &lib_root);
+        if let Ok(lib_src) = fs::read_to_string(&lib_root) {
+            if let Some((rule, msg)) = crate_rule_violation(&lib_rel, &lib_src, has_unsafe) {
+                report.violations.push(Violation {
+                    file: lib_rel,
+                    line: 1,
+                    rule,
+                    msg,
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOT: &str = "crates/core/src/exec.rs";
+    const KERNEL: &str = "crates/core/src/fused.rs";
+
+    fn rules_fired(report: &Report) -> Vec<String> {
+        report.violations.iter().map(|v| v.rule.clone()).collect()
+    }
+
+    // -- fixtures: each rule must fire on the bad snippet and stay
+    //    silent on the good one. Fixture sources live outside `.rs`
+    //    files so the linter does not flag its own test data.
+
+    #[test]
+    fn safety_comment_fires_on_bad_and_passes_good() {
+        let bad = include_str!("../fixtures/safety_bad.rs.txt");
+        let good = include_str!("../fixtures/safety_good.rs.txt");
+        let r = analyze_source("crates/demo/src/lib.rs", bad);
+        assert!(
+            rules_fired(&r).contains(&"safety-comment".to_string()),
+            "expected safety-comment violation: {r:?}"
+        );
+        let r = analyze_source("crates/demo/src/lib.rs", good);
+        assert!(r.violations.is_empty(), "good fixture flagged: {r:?}");
+    }
+
+    #[test]
+    fn no_panic_paths_fires_on_bad_and_passes_good() {
+        let bad = include_str!("../fixtures/panic_bad.rs.txt");
+        let good = include_str!("../fixtures/panic_good.rs.txt");
+        let r = analyze_source(HOT, bad);
+        let fired = rules_fired(&r);
+        // One violation per panic-y construct in the fixture.
+        assert!(
+            fired.iter().filter(|r| *r == "no-panic-paths").count() >= 4,
+            "expected several no-panic-paths violations: {r:?}"
+        );
+        let r = analyze_source(HOT, good);
+        assert!(r.violations.is_empty(), "good fixture flagged: {r:?}");
+        // The same bad source in a non-hot file is fine.
+        let r = analyze_source("crates/bench/src/lib.rs", bad);
+        assert!(!rules_fired(&r).contains(&"no-panic-paths".to_string()));
+    }
+
+    #[test]
+    fn no_lossy_cast_fires_on_bad_and_passes_good() {
+        let bad = include_str!("../fixtures/cast_bad.rs.txt");
+        let good = include_str!("../fixtures/cast_good.rs.txt");
+        let r = analyze_source(KERNEL, bad);
+        assert!(
+            rules_fired(&r).contains(&"no-lossy-cast".to_string()),
+            "expected no-lossy-cast violation: {r:?}"
+        );
+        let r = analyze_source(KERNEL, good);
+        assert!(r.violations.is_empty(), "good fixture flagged: {r:?}");
+        let r = analyze_source("crates/core/src/sql.rs", bad);
+        assert!(!rules_fired(&r).contains(&"no-lossy-cast".to_string()));
+    }
+
+    #[test]
+    fn escape_hatch_suppresses_counts_and_requires_reason() {
+        let ok = include_str!("../fixtures/allow_ok.rs.txt");
+        let bad = include_str!("../fixtures/allow_missing_reason.rs.txt");
+        let r = analyze_source(HOT, ok);
+        assert!(r.violations.is_empty(), "allowed line still flagged: {r:?}");
+        assert_eq!(r.allows.len(), 2, "both uses counted: {r:?}");
+        let r = analyze_source(HOT, bad);
+        let fired = rules_fired(&r);
+        assert!(
+            fired.contains(&"lint-allow".to_string()),
+            "reason-less allow must be flagged: {r:?}"
+        );
+        assert!(
+            fired.contains(&"no-panic-paths".to_string()),
+            "malformed allow must not suppress: {r:?}"
+        );
+    }
+
+    #[test]
+    fn doc_comments_describing_the_directive_are_inert() {
+        // Prose documentation of the escape-hatch syntax (as in this
+        // module's own docs) is neither a directive nor a malformed one.
+        let src = "\
+//! Escape hatch: `// lint:allow(<rule>) -- <reason>` suppresses a rule.
+
+/// One use of the `lint:allow` escape hatch.
+pub fn f(v: &[i64]) -> i64 {
+    v[0].wrapping_add(1)
+}
+";
+        let r = analyze_source(HOT, src);
+        assert!(r.violations.is_empty(), "{r:?}");
+        assert!(r.allows.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt_from_hot_path_rules() {
+        let src = include_str!("../fixtures/cfg_test_ok.rs.txt");
+        let r = analyze_source(HOT, src);
+        assert!(r.violations.is_empty(), "test-module unwrap flagged: {r:?}");
+    }
+
+    #[test]
+    fn forbid_unsafe_rule_fires_and_passes() {
+        let clean_missing = "pub fn f() {}\n";
+        let v = crate_rule_violation("crates/demo/src/lib.rs", clean_missing, false);
+        assert_eq!(v.expect("must fire").0, "forbid-unsafe");
+        let clean_present = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+        assert!(crate_rule_violation("x/src/lib.rs", clean_present, false).is_none());
+        // Escape hatch at crate level.
+        let allowed = "// lint:allow(forbid-unsafe) -- proc-macro target pending\npub fn f() {}\n";
+        assert!(crate_rule_violation("x/src/lib.rs", allowed, false).is_none());
+    }
+
+    #[test]
+    fn unsafe_op_in_unsafe_fn_rule_fires_and_passes() {
+        let missing = "pub fn f() {}\n";
+        let v = crate_rule_violation("crates/demo/src/lib.rs", missing, true);
+        assert_eq!(v.expect("must fire").0, "unsafe-op-in-unsafe-fn");
+        let present = "#![deny(unsafe_op_in_unsafe_fn)]\npub fn f() {}\n";
+        assert!(crate_rule_violation("x/src/lib.rs", present, true).is_none());
+    }
+
+    // -- classifier unit coverage --
+
+    #[test]
+    fn strings_and_comments_are_masked() {
+        let src = "let s = \"unsafe .unwrap() panic!\"; // unsafe in comment\n";
+        let lines = classify(src);
+        assert!(!has_token(&lines[0].code, "unsafe"));
+        assert!(!lines[0].code.contains(".unwrap()"));
+        assert!(lines[0].comment.contains("unsafe"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_are_handled() {
+        let src =
+            "fn f<'a>(x: &'a str) { let q = r#\"unsafe \"quoted\" panic!\"#; let c = 'u'; }\n";
+        let lines = classify(src);
+        assert!(!has_token(&lines[0].code, "unsafe"));
+        assert!(!lines[0].code.contains("panic!"));
+        assert!(lines[0].code.contains("<'a>"));
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let src = "let x = a.unwrap_or(0);\nlet y = b.unwrap_or_else(|| 1);\nlet z = c.unwrap_or_default();\n";
+        let r = analyze_source(HOT, src);
+        assert!(r.violations.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn unsafe_code_attr_is_not_an_unsafe_keyword() {
+        let src = "#![forbid(unsafe_code)]\n#![deny(unsafe_op_in_unsafe_fn)]\n";
+        let r = analyze_source("shims/bytes/src/lib.rs", src);
+        assert!(r.violations.is_empty(), "{r:?}");
+        assert!(!source_has_unsafe(src));
+    }
+
+    #[test]
+    fn doc_safety_section_satisfies_safety_comment() {
+        let src = "\
+/// Does spooky things.
+///
+/// # Safety
+///
+/// Caller must uphold X.
+#[inline]
+pub unsafe fn spooky() {}
+";
+        let r = analyze_source("crates/demo/src/lib.rs", src);
+        assert!(r.violations.is_empty(), "{r:?}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Repo automation tasks. Currently one subcommand:
+//!
+//! ```text
+//! cargo run -p xtask -- lint [--root <dir>]
+//! ```
+//!
+//! Runs the repo-specific static-analysis pass over every workspace
+//! `.rs` file (see [`lint`] module docs for the rules) and exits
+//! non-zero on violations, printing a `rule -> count` summary line that
+//! `scripts/ci.sh` surfaces on failure.
+#![forbid(unsafe_code)]
+
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // Under `cargo run` the manifest dir is crates/xtask; the workspace
+    // root is two levels up. Fall back to the current directory when
+    // invoked standalone.
+    std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("..").join(".."))
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo run -p xtask -- lint [--root <dir>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("lint") {
+        return usage();
+    }
+    let mut root = workspace_root();
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let root = root.canonicalize().unwrap_or(root);
+
+    let report = lint::lint_workspace(&root);
+    for v in &report.violations {
+        eprintln!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.msg);
+    }
+    // Every escape-hatch use is reported with its location, so a
+    // creeping allow-count is visible in CI logs, not just the total.
+    for a in &report.allows {
+        println!(
+            "note: {}:{}: escape hatch in effect for `{}`",
+            a.file, a.line, a.rule
+        );
+    }
+    let allows = report.allows_by_rule();
+    let allow_note = if allows.is_empty() {
+        String::from("no escape hatches in use")
+    } else {
+        let parts: Vec<String> = allows.iter().map(|(r, n)| format!("{r}: {n}")).collect();
+        format!("escape hatches in use: {}", parts.join(", "))
+    };
+    if report.violations.is_empty() {
+        println!(
+            "lint OK: {} files, {} crates clean; {}",
+            report.files_scanned, report.crates_checked, allow_note
+        );
+        ExitCode::SUCCESS
+    } else {
+        // One-line rule -> violation-count summary (grep-able from CI).
+        let parts: Vec<String> = report
+            .counts_by_rule()
+            .iter()
+            .map(|(r, n)| format!("{r}: {n}"))
+            .collect();
+        eprintln!(
+            "lint FAILED: {} violations ({}); {}",
+            report.violations.len(),
+            parts.join(", "),
+            allow_note
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -18,8 +18,20 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Repo-specific static analysis (crates/xtask): SAFETY comments on every
+# unsafe, no panics in engine hot paths, no lossy kernel casts, crate
+# hygiene attributes. Prints one `rule: count` summary line on failure.
+echo "==> cargo run -p xtask -- lint"
+cargo run -q -p xtask -- lint
+
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+# Deterministic interleaving model checks (shims/loom): deque
+# push/steal/pop triangle and the pool latch shutdown/panic protocol,
+# explored over bounded schedule permutations.
+echo "==> cargo test -q -p crossbeam --features model"
+cargo test -q -p crossbeam --features model
 
 # Non-gating perf smoke: pool-vs-spawn short-query throughput trajectory
 # (BENCH_pool.json). A perf regression here is a signal, not a failure.

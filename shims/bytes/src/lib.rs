@@ -2,6 +2,8 @@
 //! [`Bytes`], a cheaply cloneable, sliceable, immutable byte buffer
 //! backed by `Arc<[u8]>`. See `shims/README.md`.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};

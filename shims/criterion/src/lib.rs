@@ -5,6 +5,8 @@
 //! throughput) to stdout; no statistics, plots or comparisons.
 //! See `shims/README.md`.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

@@ -14,6 +14,15 @@
 //!   the destination worker and returns one task immediately.
 
 use std::collections::VecDeque;
+
+// Under `--features model` the deque runs on loom-instrumented locks so
+// the interleaving checker can explore push/steal/pop schedules; the
+// std-shaped wrappers keep every call site below identical. Outside a
+// model run the instrumented types degrade to plain std locking, so the
+// regular unit tests behave the same under either feature set.
+#[cfg(feature = "model")]
+use loom::stdsync::{Arc, Mutex};
+#[cfg(not(feature = "model"))]
 use std::sync::{Arc, Mutex};
 
 /// Largest number of tasks a single `steal_batch_and_pop` migrates

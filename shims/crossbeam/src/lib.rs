@@ -5,6 +5,8 @@
 //! `Worker`/`Stealer`/`Injector` primitives mirroring `crossbeam-deque`,
 //! used by the persistent query scheduler). See `shims/README.md`.
 
+#![forbid(unsafe_code)]
+
 pub mod deque;
 
 /// Result of [`scope`]: `Err` carries a panic payload if any spawned

@@ -1,0 +1,300 @@
+//! Model-checked interleavings of the lock-based deques and of the
+//! pool's latch/shutdown protocol (a miniature replica of
+//! `crates/core/src/pool.rs`; the pool crate sits above this shim, so
+//! the protocol is replicated here rather than imported).
+//!
+//! Run with: `cargo test -p crossbeam --features model`
+//!
+//! Every test drives the deque through `loom`'s cooperative scheduler,
+//! exploring thread interleavings depth-first (exhaustively when the
+//! space is small, bounded + seeded-random otherwise). An invariant
+//! violation panics with the failing schedule.
+#![cfg(feature = "model")]
+
+use crossbeam::deque::{Injector, Steal, Worker};
+use loom::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+
+/// Steal from `inj` until `Empty`, yielding on `Retry` (the fairness
+/// contract every real caller follows — see pool.rs's steal loops).
+fn drain_steal(inj: &Injector<usize>, mut claim: impl FnMut(usize)) {
+    loop {
+        match inj.steal() {
+            Steal::Success(v) => claim(v),
+            Steal::Empty => break,
+            Steal::Retry => loom::thread::yield_now(),
+        }
+    }
+}
+
+#[test]
+fn model_worker_steal_vs_pop_claims_each_task_once() {
+    let report = loom::Builder::new().check(|| {
+        let w = Worker::new_fifo();
+        for i in 0..3 {
+            w.push(i);
+        }
+        let s = w.stealer();
+        let thief = loom::thread::spawn(move || {
+            let mut got = Vec::new();
+            loop {
+                match s.steal() {
+                    Steal::Success(v) => got.push(v),
+                    Steal::Empty => break,
+                    Steal::Retry => loom::thread::yield_now(),
+                }
+            }
+            got
+        });
+        let mut mine = Vec::new();
+        while let Some(v) = w.pop() {
+            mine.push(v);
+        }
+        let stolen = thief.join();
+        // Conservation: every task claimed exactly once, by someone.
+        let mut all = mine;
+        all.extend(stolen);
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2], "task lost or claimed twice");
+    });
+    assert!(report.schedules > 10, "explored too little: {report:?}");
+}
+
+#[test]
+fn model_push_steal_pop_triangle() {
+    // The deque triangle from the pool: the owner keeps pushing and
+    // popping while a thief steals — no interleaving may lose or
+    // duplicate a task between the three operations.
+    let report = loom::Builder::new().check(|| {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        let thief = loom::thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..4 {
+                match s.steal() {
+                    Steal::Success(v) => got.push(v),
+                    Steal::Empty | Steal::Retry => loom::thread::yield_now(),
+                }
+            }
+            got
+        });
+        let mut mine = Vec::new();
+        w.push(1);
+        w.push(2);
+        if let Some(v) = w.pop() {
+            mine.push(v);
+        }
+        w.push(3);
+        while let Some(v) = w.pop() {
+            mine.push(v);
+        }
+        let stolen = thief.join();
+        let mut all = mine;
+        all.extend(stolen);
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3], "task lost or claimed twice");
+    });
+    assert!(report.schedules > 10, "explored too little: {report:?}");
+}
+
+#[test]
+fn model_injector_fifo_drain() {
+    // Two consumers drain a pre-loaded injector through batch steals.
+    // FIFO contract: each consumer's claim sequence is increasing, and
+    // the union covers every task exactly once.
+    let report = loom::Builder::new().check(|| {
+        let inj = Arc::new(Injector::new());
+        for i in 0..4 {
+            inj.push(i);
+        }
+        let inj2 = Arc::clone(&inj);
+        let consumer = |inj: Arc<Injector<usize>>| {
+            let local = Worker::new_fifo();
+            let mut got = Vec::new();
+            loop {
+                let task = match local.pop() {
+                    Some(v) => Some(v),
+                    None => loop {
+                        match inj.steal_batch_and_pop(&local) {
+                            Steal::Success(v) => break Some(v),
+                            Steal::Empty => break None,
+                            Steal::Retry => loom::thread::yield_now(),
+                        }
+                    },
+                };
+                match task {
+                    Some(v) => got.push(v),
+                    None => break,
+                }
+            }
+            got
+        };
+        let other = loom::thread::spawn(move || consumer(inj2));
+        let mine = consumer(inj);
+        let theirs = other.join();
+        for seq in [&mine, &theirs] {
+            assert!(
+                seq.windows(2).all(|w| w[0] < w[1]),
+                "FIFO order violated within a consumer: {seq:?}"
+            );
+        }
+        let mut all = mine;
+        all.extend(theirs);
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3], "task lost or claimed twice");
+    });
+    assert!(report.schedules > 10, "explored too little: {report:?}");
+}
+
+/// Replica of pool.rs's `Latch`: counts outstanding jobs and live
+/// runner tasks; `wait_open` returns only when both reach zero. The
+/// real latch also has a timeout so the caller can help; the model
+/// drops the timeout on purpose — it proves the notify discipline
+/// alone is deadlock-free (the timeout is an optimisation, not a
+/// liveness crutch).
+struct Latch {
+    jobs_left: AtomicUsize,
+    tasks_live: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(jobs: usize, tasks: usize) -> Latch {
+        Latch {
+            jobs_left: AtomicUsize::new(jobs),
+            tasks_live: AtomicUsize::new(tasks),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn is_open(&self) -> bool {
+        self.jobs_left.load(Ordering::SeqCst) == 0 && self.tasks_live.load(Ordering::SeqCst) == 0
+    }
+
+    fn job_done(&self) {
+        if self.jobs_left.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Notify under the lock: pairs with the load in wait_open so
+            // the transition to zero cannot slip between its check and
+            // its wait (the lost-wakeup race the model would catch).
+            let _g = self.lock.lock();
+            self.cv.notify_all();
+        }
+    }
+
+    fn task_exit(&self) {
+        if self.tasks_live.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _g = self.lock.lock();
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait_open(&self) {
+        let mut g = self.lock.lock();
+        while !self.is_open() {
+            self.cv.wait(&mut g);
+        }
+    }
+}
+
+struct Batch {
+    queue: Injector<usize>,
+    results: Vec<AtomicI64>,
+    claims: Vec<AtomicUsize>,
+    latch: Latch,
+}
+
+impl Batch {
+    fn new(jobs: usize, tasks: usize) -> Batch {
+        let queue = Injector::new();
+        for i in 0..jobs {
+            queue.push(i);
+        }
+        Batch {
+            queue,
+            results: (0..jobs).map(|_| AtomicI64::new(0)).collect(),
+            claims: (0..jobs).map(|_| AtomicUsize::new(0)).collect(),
+            latch: Latch::new(jobs, tasks),
+        }
+    }
+
+    /// What pool.rs's `run_runner` does per morsel: claim, execute,
+    /// publish the result, count the job done. `poison` marks a job
+    /// whose closure panics; like `run_one`, the panic is caught and
+    /// published as an error value (-1), never leaked into the latch.
+    fn run_runner(&self, poison: Option<usize>) {
+        drain_steal(&self.queue, |i| {
+            self.claims[i].fetch_add(1, Ordering::SeqCst);
+            let result = if poison == Some(i) {
+                -1 // catch_unwind'ed panic -> Err published to the slot
+            } else {
+                i as i64 + 1
+            };
+            self.results[i].store(result, Ordering::SeqCst);
+            self.latch.job_done();
+        });
+    }
+}
+
+#[test]
+fn model_pool_shutdown_with_query_in_flight() {
+    // One worker task plus the caller (who helps, as in pool.rs) drain
+    // a 3-morsel batch. Invariants across every interleaving:
+    //   * each morsel is claimed exactly once;
+    //   * the caller's wait_open returns only after the worker task has
+    //     fully exited (the use-after-free guard: the batch's memory is
+    //     released when wait_open returns);
+    //   * every result slot is written before the caller reads it.
+    let report = loom::Builder::new().check(|| {
+        let batch = Arc::new(Batch::new(3, 1));
+        let exited = Arc::new(AtomicUsize::new(0));
+        let (b2, e2) = (Arc::clone(&batch), Arc::clone(&exited));
+        loom::thread::spawn(move || {
+            b2.run_runner(None);
+            e2.store(1, Ordering::SeqCst);
+            b2.latch.task_exit();
+        });
+        batch.run_runner(None); // caller helps while waiting
+        batch.latch.wait_open();
+        assert_eq!(
+            exited.load(Ordering::SeqCst),
+            1,
+            "caller proceeded to teardown while the runner task was alive"
+        );
+        for (i, (claims, result)) in batch.claims.iter().zip(&batch.results).enumerate() {
+            assert_eq!(claims.load(Ordering::SeqCst), 1, "morsel {i} claim count");
+            assert_eq!(
+                result.load(Ordering::SeqCst),
+                i as i64 + 1,
+                "morsel {i} result missing or wrong"
+            );
+        }
+    });
+    assert!(report.schedules > 10, "explored too little: {report:?}");
+}
+
+#[test]
+fn model_pool_panic_recovery_still_opens_latch() {
+    // A panicking job must not wedge the batch: the panic is caught at
+    // the job boundary (pool.rs `run_one`), an error result is
+    // published, and the latch still opens — in every interleaving.
+    let report = loom::Builder::new().check(|| {
+        let batch = Arc::new(Batch::new(2, 1));
+        let b2 = Arc::clone(&batch);
+        loom::thread::spawn(move || {
+            b2.run_runner(Some(1)); // job 1 "panics" inside its closure
+            b2.latch.task_exit();
+        });
+        batch.run_runner(Some(1));
+        batch.latch.wait_open(); // deadlock here = failed recovery
+        assert_eq!(batch.claims[1].load(Ordering::SeqCst), 1);
+        assert_eq!(
+            batch.results[1].load(Ordering::SeqCst),
+            -1,
+            "panicked job must publish an error result"
+        );
+        assert_eq!(batch.results[0].load(Ordering::SeqCst), 1);
+    });
+    assert!(report.schedules > 10, "explored too little: {report:?}");
+}

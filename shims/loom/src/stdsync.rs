@@ -1,0 +1,54 @@
+//! `std::sync`-shaped wrappers over the instrumented primitives.
+//!
+//! Code written against `std::sync::{Arc, Mutex}` (e.g. the lock-based
+//! deques in `shims/crossbeam`) can switch to the model-checked versions
+//! with a single cfg'd `use`, keeping `.lock().unwrap()` / `try_lock()`
+//! call sites unchanged:
+//!
+//! ```ignore
+//! #[cfg(not(feature = "model"))]
+//! use std::sync::{Arc, Mutex};
+//! #[cfg(feature = "model")]
+//! use loom::stdsync::{Arc, Mutex};
+//! ```
+
+pub use std::sync::Arc;
+
+pub use crate::sync::MutexGuard;
+
+/// Error mirroring `std::sync::TryLockError::WouldBlock`; the shim
+/// mutexes are poison-free, so this is the only `try_lock` error.
+#[derive(Debug)]
+pub struct WouldBlock;
+
+/// Placeholder for `std::sync::PoisonError`; never actually produced
+/// (the shim is poison-free) but keeps `lock().unwrap()` compiling.
+#[derive(Debug)]
+pub struct PoisonError;
+
+/// `std::sync::Mutex`-shaped wrapper over [`crate::sync::Mutex`].
+pub struct Mutex<T>(crate::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(crate::sync::Mutex::new(value))
+    }
+
+    /// Acquires the mutex. Always `Ok`: the shim is poison-free.
+    #[allow(clippy::result_large_err)]
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, PoisonError> {
+        Ok(self.0.lock())
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Result<MutexGuard<'_, T>, WouldBlock> {
+        self.0.try_lock().ok_or(WouldBlock)
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    #[allow(clippy::result_large_err)]
+    pub fn into_inner(self) -> Result<T, PoisonError> {
+        Ok(self.0.into_inner())
+    }
+}

@@ -1,0 +1,83 @@
+//! Model-controlled threads.
+//!
+//! [`spawn`] creates a real OS thread, but the scheduler parks it until
+//! chosen; at most one model thread ever runs at a time, so the spawned
+//! closure executes deterministically under the explored schedule.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use crate::sched::{self, Abort};
+
+/// Handle to a model thread; [`JoinHandle::join`] is a scheduling point.
+pub struct JoinHandle<T> {
+    id: usize,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (in model time) until the thread finishes and returns its
+    /// value. If the thread panicked, the execution has already been
+    /// recorded as failed and this call unwinds the caller.
+    pub fn join(self) -> T {
+        let me = sched::tid().expect("loom::thread::JoinHandle::join outside a model");
+        sched::global().join_wait(self.id, me);
+        self.slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("finished model thread left a result")
+    }
+}
+
+/// Spawns a model thread. Unlike `std::thread::spawn` this may only be
+/// called from inside [`crate::model`] / [`crate::Builder::check`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let me = sched::tid().expect("loom::thread::spawn outside a model");
+    let sch = sched::global();
+    let id = sch.register_thread();
+    let slot = Arc::new(Mutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let os = std::thread::Builder::new()
+        .name(format!("loom-{id}"))
+        .spawn(move || {
+            sched::set_tid(Some(id));
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                sched::global().wait_first(id);
+                f()
+            }));
+            match r {
+                Ok(v) => {
+                    *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                    sched::global().thread_finished(id);
+                }
+                Err(p) => {
+                    if p.downcast_ref::<Abort>().is_some() {
+                        sched::global().thread_finished_quiet(id);
+                    } else {
+                        sched::global().record_panic(id, p);
+                    }
+                }
+            }
+        })
+        .expect("spawn OS thread for model");
+    sch.push_handle(os);
+    // Spawning is itself a scheduling point: the child may run first.
+    sch.yield_branch(me);
+    JoinHandle { id, slot }
+}
+
+/// Cooperative yield: deprioritises the caller for one scheduler round.
+/// Use this in `Steal::Retry`-style loops so bounded exploration is not
+/// swamped by spin schedules.
+pub fn yield_now() {
+    if let Some(me) = sched::tid() {
+        sched::global().thread_yield(me);
+    } else {
+        std::thread::yield_now();
+    }
+}

@@ -2,8 +2,11 @@
 //! poison-free [`Mutex`], [`RwLock`] and [`Condvar`] wrappers over their
 //! `std::sync` counterparts. See `shims/README.md`.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::time::Duration;
 
 /// Mutual exclusion primitive; `lock` never returns a poison error.
 pub struct Mutex<T: ?Sized> {
@@ -93,6 +96,23 @@ impl Condvar {
         guard.guard = Some(inner);
     }
 
+    /// Like [`Condvar::wait`] but gives up after `timeout`, reacquiring
+    /// the lock either way. The result reports whether the wait timed
+    /// out (parking_lot's `wait_for` signature).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.guard.take().expect("guard already taken");
+        let (inner, res) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.guard = Some(inner);
+        WaitTimeoutResult(res.timed_out())
+    }
+
     /// Wakes one blocked waiter; returns whether a thread was woken
     /// (always `false` here: std does not report it).
     pub fn notify_one(&self) -> bool {
@@ -105,6 +125,18 @@ impl Condvar {
     pub fn notify_all(&self) -> usize {
         self.inner.notify_all();
         0
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed
+/// (as opposed to a notification).
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
@@ -177,6 +209,17 @@ mod tests {
         }
         h.join().unwrap();
         assert!(*ready);
+    }
+
+    #[test]
+    fn wait_for_times_out_and_reports_it() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(1));
+        assert!(res.timed_out());
+        drop(g);
+        let _reusable = m.lock(); // lock was reacquired and is usable
     }
 
     #[test]

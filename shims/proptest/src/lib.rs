@@ -10,6 +10,8 @@
 //! failing case's inputs and seed are printed instead so the case is
 //! reproducible. See `shims/README.md`.
 
+#![forbid(unsafe_code)]
+
 pub mod test_runner {
     //! Config, RNG and failure plumbing used by the generated tests.
 

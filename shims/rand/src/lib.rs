@@ -4,6 +4,8 @@
 //! seed (splitmix64 seeding + xoshiro256** core), but the streams are
 //! NOT identical to upstream rand's. See `shims/README.md`.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level source of randomness.

@@ -143,12 +143,23 @@ fn explain(db: &IotDb, cfg: &PipelineConfig, sql: &str) {
             h.ts_encoding.name(),
             h.val_encoding.name(),
         );
+        // `pages` is non-empty here (checked above), but a shell must
+        // never panic on a display path — fall back to the first page's
+        // header instead of unwrapping.
         println!(
             "    time range [{}, {}], value range [{}, {}]",
             h.first_ts,
-            pages.last().unwrap().header.last_ts,
-            pages.iter().map(|p| p.header.min_value).min().unwrap(),
-            pages.iter().map(|p| p.header.max_value).max().unwrap(),
+            pages.last().map_or(h.last_ts, |p| p.header.last_ts),
+            pages
+                .iter()
+                .map(|p| p.header.min_value)
+                .min()
+                .unwrap_or(h.min_value),
+            pages
+                .iter()
+                .map(|p| p.header.max_value)
+                .max()
+                .unwrap_or(h.max_value),
         );
     }
 }

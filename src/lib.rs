@@ -36,6 +36,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub use etsqp_comparators as comparators;
 pub use etsqp_core as core;
