@@ -195,10 +195,33 @@ impl IotDb {
         crate::float::scan_f64(&self.store, series, trange, &self.opts.pipeline)
     }
 
-    /// Parses and executes one SQL statement.
+    /// Parses and executes one SQL statement. An `EXPLAIN <query>`
+    /// statement compiles the query's physical pipeline and returns its
+    /// rendering in [`QueryResult::explain`] instead of rows.
     pub fn query(&self, sql_text: &str) -> Result<QueryResult> {
-        let plan = sql::parse(sql_text)?;
-        execute(&plan, &self.store, &self.opts.pipeline)
+        match sql::parse_statement(sql_text)? {
+            sql::Statement::Query(plan) => execute(&plan, &self.store, &self.opts.pipeline),
+            sql::Statement::Explain(plan) => {
+                let start = std::time::Instant::now();
+                let text = crate::physical::pipe::explain(&plan, &self.store, &self.opts.pipeline)?;
+                Ok(QueryResult {
+                    columns: vec!["plan".into()],
+                    rows: Vec::new(),
+                    stats: crate::exec::ExecStats::default().snapshot(),
+                    elapsed: start.elapsed(),
+                    explain: Some(text),
+                })
+            }
+        }
+    }
+
+    /// Compiles `sql_text`'s query under the engine configuration and
+    /// returns the rendered physical pipeline (the `EXPLAIN` text).
+    pub fn explain(&self, sql_text: &str) -> Result<String> {
+        let plan = match sql::parse_statement(sql_text)? {
+            sql::Statement::Query(plan) | sql::Statement::Explain(plan) => plan,
+        };
+        crate::physical::pipe::explain(&plan, &self.store, &self.opts.pipeline)
     }
 
     /// Executes a pre-built logical plan.

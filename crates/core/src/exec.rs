@@ -89,6 +89,12 @@ impl ExecStats {
         counter.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Starts a drop-guard timer charging a stage counter — see
+    /// [`ScopedTimer`].
+    pub fn scoped<'a>(&self, counter: &'a AtomicU64) -> ScopedTimer<'a> {
+        ScopedTimer::new(counter)
+    }
+
     /// Snapshot of every counter.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -115,6 +121,39 @@ impl StatsSnapshot {
     /// paper's throughput definition in §VII-B).
     pub fn tuples_total(&self) -> u64 {
         self.tuples_scanned + self.tuples_pruned
+    }
+}
+
+/// Drop-guard stage timer: charges the elapsed time since construction to
+/// an [`ExecStats`] counter when it goes out of scope.
+///
+/// Operator code used to bracket every stage with a manual
+/// `let t = Instant::now(); … stats.add(&stats.x_ns, t.elapsed())` pair,
+/// which silently lost the charge whenever a `?` returned early between
+/// the two lines. The guard form cannot skip the charge: the `Drop` impl
+/// runs on every exit path, including errors and panics unwinding through
+/// the scope.
+#[derive(Debug)]
+pub struct ScopedTimer<'a> {
+    counter: &'a AtomicU64,
+    start: Instant,
+}
+
+impl<'a> ScopedTimer<'a> {
+    /// Starts timing against `counter` (one of the `*_ns` stage counters
+    /// of [`ExecStats`]).
+    pub fn new(counter: &'a AtomicU64) -> Self {
+        ScopedTimer {
+            counter,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for ScopedTimer<'_> {
+    fn drop(&mut self) {
+        self.counter
+            .fetch_add(self.start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 }
 
@@ -280,6 +319,24 @@ mod tests {
         let stats = ExecStats::default();
         let out: Vec<i32> = run_jobs(Vec::<i32>::new(), 8, &stats, |j| j).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scoped_timer_charges_on_early_return() {
+        let stats = ExecStats::default();
+        let attempt = |fail: bool| -> Result<()> {
+            let _t = stats.scoped(&stats.agg_ns);
+            std::thread::sleep(Duration::from_millis(2));
+            if fail {
+                return Err(Error::Decode("early exit"));
+            }
+            Ok(())
+        };
+        assert!(attempt(true).is_err());
+        let after_err = stats.snapshot().agg_ns;
+        assert!(after_err > 0, "error path must still charge the stage");
+        attempt(false).unwrap();
+        assert!(stats.snapshot().agg_ns > after_err);
     }
 
     #[test]

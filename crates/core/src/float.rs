@@ -11,8 +11,6 @@
 //! * **core-level parallelism** — pages decode as independent jobs on the
 //!   scheduler; partials combine in a merge fold.
 
-use std::time::Instant;
-
 use etsqp_encoding::f64_to_ordered_i64;
 #[cfg(test)]
 use etsqp_encoding::Encoding;
@@ -20,6 +18,7 @@ use etsqp_storage::store::SeriesStore;
 
 use crate::exec::{run_jobs_with, ExecStats, StatsSnapshot};
 use crate::expr::{AggFunc, TimeRange};
+use crate::physical::node::Stage;
 use crate::plan::PipelineConfig;
 use crate::{Error, Result};
 
@@ -148,20 +147,23 @@ pub fn aggregate_f64(
         cfg.threads,
         &stats,
         |page| -> Result<FloatAgg> {
-            let io_start = Instant::now();
-            store.io().record_page(page.encoded_len());
-            stats
-                .pages_loaded
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            stats.tuples_scanned.fetch_add(
-                page.header.count as u64,
-                std::sync::atomic::Ordering::Relaxed,
-            );
-            stats.add(&stats.io_ns, io_start.elapsed());
-            let t = Instant::now();
-            let (ts, vals) = page.decode_f64().map_err(Error::Storage)?;
-            stats.add(&stats.delta_ns, t.elapsed());
-            let agg_start = Instant::now();
+            {
+                let _io = Stage::Io.timer(&stats);
+                store.io().record_page(page.encoded_len());
+                stats
+                    .pages_loaded
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                stats.tuples_scanned.fetch_add(
+                    page.header.count as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+            }
+            let decoded = {
+                let _delta = Stage::Delta.timer(&stats);
+                page.decode_f64().map_err(Error::Storage)?
+            };
+            let (ts, vals) = decoded;
+            let _agg = Stage::Agg.timer(&stats);
             // Ordered timestamps: the time filter is an index range.
             let (a, b) = match trange {
                 Some(tr) => {
@@ -180,7 +182,6 @@ pub fn aggregate_f64(
                 }
                 agg.push(v);
             }
-            stats.add(&stats.agg_ns, agg_start.elapsed());
             Ok(agg)
         },
     )?;

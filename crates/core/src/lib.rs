@@ -44,6 +44,7 @@ pub mod expr;
 pub mod float;
 pub mod fused;
 pub mod oracle;
+pub mod physical;
 pub mod plan;
 pub mod pool;
 pub mod prune;

@@ -1,0 +1,255 @@
+//! The pipeline driver: maps a compiled [`PhysicalPlan`]'s morsels onto
+//! the work-stealing pool and stitches the partials back together —
+//! per-page partial states through `MergeConcat`, §III-C slice
+//! coefficients through the sequential prefix-sum chain, and binary
+//! operators through their partitioned merge nodes.
+
+use std::sync::Arc;
+
+use etsqp_simd::agg::AggState;
+use etsqp_storage::store::SeriesStore;
+
+use crate::exec::{run_jobs_with, ExecStats};
+use crate::expr::{AggFunc, SlidingWindow};
+use crate::physical::agg::{agg_page_job, slice_coeff_job, SliceCoeff, WindowStates};
+use crate::physical::merge::{
+    binary_merge_partitioned, fused_pair_aggregate, merge_join_moments, BinaryKind,
+};
+use crate::physical::node::{Parallelism, RootNode, SeriesPipeline, Strategy};
+use crate::physical::pipe::PhysicalPlan;
+use crate::physical::scan::{charge_pruned_page, scan_rows};
+use crate::plan::{finalize, finalize_pair, PipelineConfig, Value};
+use crate::slice::{distribute, WorkItem};
+use crate::{Error, Result};
+
+/// Executes a compiled plan, returning column names and rows.
+pub(crate) fn run(
+    phys: &PhysicalPlan,
+    store: &SeriesStore,
+    cfg: &PipelineConfig,
+    stats: &ExecStats,
+) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
+    match &phys.root {
+        RootNode::Aggregate { func, window: None } => {
+            let p = &phys.pipelines[0];
+            let state = aggregate_pipeline(store, p, None, *func, cfg, stats)?
+                .into_iter()
+                .fold(AggState::new(), |mut acc, (_, s)| {
+                    acc.merge(&s);
+                    acc
+                });
+            let col = format!("{}({})", func.name(), p.series);
+            Ok((vec![col], vec![vec![finalize(*func, &state)]]))
+        }
+        RootNode::Aggregate {
+            func,
+            window: Some(window),
+        } => {
+            let p = &phys.pipelines[0];
+            let per_window = aggregate_pipeline(store, p, Some(*window), *func, cfg, stats)?;
+            let col = format!("{}({})", func.name(), p.series);
+            let rows = per_window
+                .into_iter()
+                .map(|(k, s)| {
+                    vec![
+                        Value::Int(window.t_min + k as i64 * window.dt),
+                        finalize(*func, &s),
+                    ]
+                })
+                .collect();
+            Ok((vec!["window_start".into(), col], rows))
+        }
+        RootNode::Rows => {
+            let p = &phys.pipelines[0];
+            let (ts, vals) = scan_rows(store, kept_of(p, stats), &p.pred, cfg, stats)?;
+            let rows = ts
+                .into_iter()
+                .zip(vals)
+                .map(|(t, v)| vec![Value::Int(t), Value::Int(v)])
+                .collect();
+            Ok((vec!["time".into(), p.series.clone()], rows))
+        }
+        RootNode::Union { partitions } => {
+            let (l, r) = (&phys.pipelines[0], &phys.pipelines[1]);
+            let rows = binary_merge_partitioned(
+                store,
+                &l.pages,
+                &l.pred,
+                &r.pages,
+                &r.pred,
+                partitions,
+                BinaryKind::Union,
+                cfg,
+                stats,
+            )?;
+            Ok((vec!["time".into(), "value".into()], rows))
+        }
+        RootNode::Join { partitions, op, on } => {
+            let (l, r) = (&phys.pipelines[0], &phys.pipelines[1]);
+            let rows = binary_merge_partitioned(
+                store,
+                &l.pages,
+                &l.pred,
+                &r.pages,
+                &r.pred,
+                partitions,
+                BinaryKind::Join { op: *op, on: *on },
+                cfg,
+                stats,
+            )?;
+            let columns = match op {
+                Some(_) => vec!["time".into(), format!("{}.A op {}.A", l.series, r.series)],
+                None => vec!["time".into(), l.series.clone(), r.series.clone()],
+            };
+            Ok((columns, rows))
+        }
+        RootNode::PairAgg { func, fused } => {
+            let (l, r) = (&phys.pipelines[0], &phys.pipelines[1]);
+            let col = format!("{}({}, {})", func.name(), l.series, r.series);
+            let moments = if *fused {
+                // §IV fused fast path: page-aligned Delta-RLE value
+                // columns with identical clocks aggregate straight from
+                // (Δ, run) pairs — no flattening, no join materialization.
+                fused_pair_aggregate(store, &l.pages, &r.pages, stats)?
+            } else {
+                let (lt, lv) = scan_rows(store, kept_of(l, stats), &l.pred, cfg, stats)?;
+                let (rt, rv) = scan_rows(store, kept_of(r, stats), &r.pred, cfg, stats)?;
+                merge_join_moments(&lt, &lv, &rt, &rv, stats)
+            };
+            Ok((vec![col], vec![vec![finalize_pair(*func, moments)]]))
+        }
+    }
+}
+
+/// Materializes a pipeline's kept pages, charging its pruned pages to
+/// the §VII-B throughput counters.
+fn kept_of(p: &SeriesPipeline, stats: &ExecStats) -> Vec<Arc<etsqp_storage::page::Page>> {
+    for (page, d) in p.pages.iter().zip(&p.decisions) {
+        if !d.verdict.kept() {
+            charge_pruned_page(page, stats);
+        }
+    }
+    p.kept().map(|(page, _)| Arc::clone(page)).collect()
+}
+
+/// Runs one aggregation pipeline: job generation per the planner's
+/// [`Parallelism`], scheduler dispatch, and the sequential merge node
+/// (including the §III-C prefix-sum stitch across slices).
+fn aggregate_pipeline(
+    store: &SeriesStore,
+    pipeline: &SeriesPipeline,
+    window: Option<SlidingWindow>,
+    func: AggFunc,
+    cfg: &PipelineConfig,
+    stats: &ExecStats,
+) -> Result<WindowStates> {
+    let pred = &pipeline.pred;
+    let mut kept: Vec<Arc<etsqp_storage::page::Page>> = Vec::new();
+    let mut strategies: Vec<Strategy> = Vec::new();
+    for (page, d) in pipeline.pages.iter().zip(&pipeline.decisions) {
+        match d.strategy {
+            Some(s) => {
+                kept.push(Arc::clone(page));
+                strategies.push(s);
+            }
+            None => charge_pruned_page(page, stats),
+        }
+    }
+
+    let items = match pipeline.parallelism {
+        Parallelism::Sliced { .. } => distribute(&kept, cfg.threads),
+        Parallelism::PerPage { .. } => kept.iter().cloned().map(WorkItem::Page).collect(),
+    };
+
+    #[derive(Debug)]
+    enum JobOut {
+        Whole(WindowStates),
+        Slice {
+            page_seq: usize,
+            part: usize,
+            coeff: SliceCoeff,
+        },
+        Err(Error),
+    }
+
+    // Tag items with a page sequence: it orders the slice prefix chain
+    // and indexes the planner's per-page strategy (items preserve kept
+    // order, so the seq equals the kept-page index).
+    let mut tagged = Vec::with_capacity(items.len());
+    let mut seq = usize::MAX;
+    let mut last_ptr: *const etsqp_storage::page::Page = std::ptr::null();
+    for item in items {
+        let ptr = Arc::as_ptr(item.page());
+        if ptr != last_ptr {
+            seq = seq.wrapping_add(1);
+            last_ptr = ptr;
+        }
+        tagged.push((seq, item));
+    }
+
+    let outputs = run_jobs_with(
+        cfg.scheduler,
+        tagged,
+        cfg.threads,
+        stats,
+        |(page_seq, item)| match item {
+            WorkItem::Page(page) => {
+                match agg_page_job(
+                    &page,
+                    pred,
+                    window,
+                    func,
+                    strategies[page_seq],
+                    cfg,
+                    stats,
+                    store,
+                ) {
+                    Ok(states) => JobOut::Whole(states),
+                    Err(e) => JobOut::Err(e),
+                }
+            }
+            WorkItem::Slice { page, part, parts } => {
+                match slice_coeff_job(&page, part, parts, cfg, stats, store) {
+                    Ok(coeff) => JobOut::Slice {
+                        page_seq,
+                        part,
+                        coeff,
+                    },
+                    Err(e) => JobOut::Err(e),
+                }
+            }
+        },
+    )?;
+
+    // Merge node (sequential, timed).
+    let _m = crate::physical::node::Stage::Merge.timer(stats);
+    let mut windows: std::collections::BTreeMap<usize, AggState> =
+        std::collections::BTreeMap::new();
+    let mut v_pre: i128 = 0;
+    let mut cur_page = usize::MAX;
+    for out in outputs {
+        match out {
+            JobOut::Err(e) => return Err(e),
+            JobOut::Whole(states) => {
+                for (k, s) in states {
+                    windows.entry(k).or_default().merge(&s);
+                }
+            }
+            JobOut::Slice {
+                page_seq,
+                part,
+                coeff,
+            } => {
+                if page_seq != cur_page {
+                    cur_page = page_seq;
+                    debug_assert_eq!(part, 0, "slices arrive in order");
+                    v_pre = coeff.first_value as i128;
+                }
+                let state = windows.entry(0).or_default();
+                coeff.fold_into(state, v_pre);
+                v_pre += coeff.delta_total as i128;
+            }
+        }
+    }
+    Ok(windows.into_iter().collect())
+}

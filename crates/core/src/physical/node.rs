@@ -1,0 +1,313 @@
+//! Typed physical-pipeline nodes (the vertices of the Algorithm 2 DAG).
+//!
+//! Every planner decision the executor acts on is a value of one of these
+//! types: a [`PruneVerdict`] per page (§V), a [`Strategy`] per kept page
+//! (§IV fusion vs. Algorithm 1 decode), a [`Parallelism`] per series
+//! (§III-C pages vs. slices), and a [`RootNode`] naming the merge that
+//! stitches the partials (Figure 9). [`Node`] renders the operator chain
+//! a page group runs through, and [`Node::stage`] names the [`Stage`]
+//! timer that chain charges — the link between the pipeline IR and the
+//! Fig. 14(b) stage breakdown in [`ExecStats`].
+
+use std::fmt;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use etsqp_storage::page::Page;
+
+use crate::exec::{ExecStats, ScopedTimer};
+use crate::expr::{AggFunc, BinOp, CmpOp, PairAggFunc, Predicate, SlidingWindow, TimeRange};
+
+/// Execution stage a pipeline node charges its time to — one per stage
+/// counter of [`ExecStats`] (the Fig. 14(b) breakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Page distribution / touching encoded bytes (`io_ns`).
+    Io,
+    /// Bit-unpacking (`unpack_ns`).
+    Unpack,
+    /// Delta accumulation / RLE flattening (`delta_ns`).
+    Delta,
+    /// Mask generation and position resolution (`filter_ns`).
+    Filter,
+    /// Aggregation — fused or over decoded vectors (`agg_ns`).
+    Agg,
+    /// Sequential merge nodes (`merge_ns`).
+    Merge,
+}
+
+impl Stage {
+    /// The [`ExecStats`] counter this stage feeds.
+    pub fn counter(self, stats: &ExecStats) -> &AtomicU64 {
+        match self {
+            Stage::Io => &stats.io_ns,
+            Stage::Unpack => &stats.unpack_ns,
+            Stage::Delta => &stats.delta_ns,
+            Stage::Filter => &stats.filter_ns,
+            Stage::Agg => &stats.agg_ns,
+            Stage::Merge => &stats.merge_ns,
+        }
+    }
+
+    /// Starts a drop-guard timer charging this stage's counter.
+    pub fn timer(self, stats: &ExecStats) -> ScopedTimer<'_> {
+        ScopedTimer::new(self.counter(stats))
+    }
+}
+
+/// §V header-pruning verdict for one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneVerdict {
+    /// The page may contain qualifying tuples and enters the pipeline.
+    Kept,
+    /// Pruned: the header time range cannot overlap the time filter.
+    PrunedTime,
+    /// Pruned: the header value bounds cannot overlap the value filter.
+    PrunedValue,
+}
+
+impl PruneVerdict {
+    /// Whether the page survives pruning.
+    pub fn kept(self) -> bool {
+        matches!(self, PruneVerdict::Kept)
+    }
+}
+
+impl fmt::Display for PruneVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PruneVerdict::Kept => write!(f, "kept"),
+            PruneVerdict::PrunedTime => write!(f, "pruned(time)"),
+            PruneVerdict::PrunedValue => write!(f, "pruned(value)"),
+        }
+    }
+}
+
+/// The aggregation strategy the planner picked for one kept page —
+/// previously an implicit branch inside the executor, now explicit data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// §IV fused aggregation straight from packed TS2DIFF deltas
+    /// (closed-form, works on any index subrange).
+    FusedTs2Diff,
+    /// §IV fused aggregation from Delta-RLE `(Δ, run)` pairs (whole page
+    /// only — the time filter must cover the page).
+    FusedDeltaRle,
+    /// MIN/MAX of a fully covered, value-unfiltered page come straight
+    /// from the exact header statistics.
+    HeaderMinMax,
+    /// The general path: Algorithm 1 vectorized decode (with §V suffix
+    /// pruning under value filters) + masked SIMD aggregation.
+    Decode,
+    /// Byte-serial per-tuple baseline (the non-vectorized engine).
+    Serial,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::FusedTs2Diff => write!(f, "fused(ts2diff)"),
+            Strategy::FusedDeltaRle => write!(f, "fused(delta_rle)"),
+            Strategy::HeaderMinMax => write!(f, "header(min/max)"),
+            Strategy::Decode => write!(f, "decode"),
+            Strategy::Serial => write!(f, "serial"),
+        }
+    }
+}
+
+/// The planner's verdict and strategy for one page of a series.
+#[derive(Debug, Clone, Copy)]
+pub struct PageDecision {
+    /// Page index within the series (storage order).
+    pub index: usize,
+    /// Tuples the page covers (header count).
+    pub tuples: u64,
+    /// §V pruning verdict.
+    pub verdict: PruneVerdict,
+    /// Strategy for kept pages; `None` when pruned.
+    pub strategy: Option<Strategy>,
+}
+
+/// How a series' work is cut into scheduler morsels (§III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One pipeline instance per kept page.
+    PerPage {
+        /// Number of page jobs.
+        jobs: usize,
+    },
+    /// Pages split into slices with symbolic prefix-sum stitching
+    /// (fewer pages than threads, Fig. 14(c)).
+    Sliced {
+        /// Kept pages being sliced.
+        pages: usize,
+        /// Total slice jobs across those pages.
+        jobs: usize,
+    },
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Parallelism::PerPage { jobs } => write!(f, "per-page ({jobs} jobs)"),
+            Parallelism::Sliced { pages, jobs } => {
+                write!(
+                    f,
+                    "sliced ({pages} pages -> {jobs} slice jobs, prefix-stitched)"
+                )
+            }
+        }
+    }
+}
+
+/// One per-series pipeline: the pages it reads plus every planner
+/// decision over them. This is the unit [`crate::physical::driver`] maps
+/// onto the work-stealing pool.
+#[derive(Debug, Clone)]
+pub struct SeriesPipeline {
+    /// Series name.
+    pub series: String,
+    /// The conjunctive predicate pushed down to this scan.
+    pub pred: Predicate,
+    /// All pages of the series, storage order (aligned with `decisions`).
+    pub pages: Vec<Arc<Page>>,
+    /// Per-page verdict + strategy, aligned with `pages`.
+    pub decisions: Vec<PageDecision>,
+    /// Morsel shape for the kept pages.
+    pub parallelism: Parallelism,
+}
+
+impl SeriesPipeline {
+    /// The kept pages with their strategies, in storage order.
+    pub fn kept(&self) -> impl Iterator<Item = (&Arc<Page>, Strategy)> {
+        self.pages
+            .iter()
+            .zip(&self.decisions)
+            .filter_map(|(p, d)| d.strategy.map(|s| (p, s)))
+    }
+}
+
+/// The merge node at the root of the DAG — what combines the per-series
+/// partials into the result relation (Figure 9).
+#[derive(Debug, Clone)]
+pub enum RootNode {
+    /// Whole-input or windowed aggregation over one series; partial
+    /// states concatenate in a `MergeConcat` keyed by window.
+    Aggregate {
+        /// Aggregation function.
+        func: AggFunc,
+        /// Sliding window, if any.
+        window: Option<SlidingWindow>,
+    },
+    /// Row-producing scan of one series (`MergeConcat` of page outputs).
+    Rows,
+    /// Time-ordered union of two series over `MergeUnion` partitions.
+    Union {
+        /// Disjoint time-range partitions (one merge job each).
+        partitions: Vec<TimeRange>,
+    },
+    /// Natural join of two series over `MergeJoin` partitions.
+    Join {
+        /// Disjoint time-range partitions (one merge job each).
+        partitions: Vec<TimeRange>,
+        /// Element-wise expression over the joined values, if any.
+        op: Option<BinOp>,
+        /// Inter-column predicate on the joined values, if any.
+        on: Option<CmpOp>,
+    },
+    /// Paired aggregation over the natural join (§IV).
+    PairAgg {
+        /// The paired aggregate.
+        func: PairAggFunc,
+        /// Whether the fused `(Δ, run)` fast path applies (page-aligned
+        /// Delta-RLE value columns with bit-identical clocks).
+        fused: bool,
+    },
+}
+
+/// A pipeline operator, used to render the per-page-group chain in
+/// `EXPLAIN` output. [`Node::stage`] names the stage counter the
+/// operator's execution charges.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// Source: hands encoded pages to the pipeline.
+    SourcePages,
+    /// §V header pruning.
+    Prune,
+    /// §III-C page slicing (symbolic partials).
+    Slice,
+    /// Algorithm 1 decode of the value (and, when filtered, timestamp)
+    /// columns.
+    DecodeScan {
+        /// True on the byte-serial baseline.
+        serial: bool,
+    },
+    /// §IV fused aggregation (no decode).
+    FusedAgg {
+        /// The fused strategy.
+        strategy: Strategy,
+        /// Aggregation function.
+        func: AggFunc,
+    },
+    /// Predicate evaluation over decoded vectors.
+    Filter {
+        /// A time conjunct is present.
+        time: bool,
+        /// A value conjunct is present.
+        value: bool,
+    },
+    /// Partial aggregation of decoded (masked) vectors.
+    PartialAgg {
+        /// Aggregation function.
+        func: AggFunc,
+    },
+    /// Ordered concatenation of partials.
+    MergeConcat,
+    /// Time-ordered union merge.
+    MergeUnion,
+    /// Natural-join merge on timestamps.
+    MergeJoin,
+}
+
+impl Node {
+    /// The stage counter this operator's execution charges.
+    pub fn stage(&self) -> Stage {
+        match self {
+            Node::SourcePages | Node::Prune => Stage::Io,
+            Node::Slice => Stage::Delta,
+            Node::DecodeScan { .. } => Stage::Delta,
+            Node::FusedAgg { .. } | Node::PartialAgg { .. } => Stage::Agg,
+            Node::Filter { .. } => Stage::Filter,
+            Node::MergeConcat | Node::MergeUnion | Node::MergeJoin => Stage::Merge,
+        }
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::SourcePages => write!(f, "SourcePages"),
+            Node::Prune => write!(f, "Prune"),
+            Node::Slice => write!(f, "Slice"),
+            Node::DecodeScan { serial: false } => write!(f, "DecodeScan"),
+            Node::DecodeScan { serial: true } => write!(f, "DecodeScan[serial]"),
+            Node::FusedAgg { strategy, func } => {
+                write!(f, "FusedAgg[{strategy}, {}]", func.name())
+            }
+            Node::Filter { time, value } => {
+                write!(f, "Filter[")?;
+                match (time, value) {
+                    (true, true) => write!(f, "time,value")?,
+                    (true, false) => write!(f, "time")?,
+                    (false, true) => write!(f, "value")?,
+                    (false, false) => write!(f, "none")?,
+                }
+                write!(f, "]")
+            }
+            Node::PartialAgg { func } => write!(f, "PartialAgg[{}]", func.name()),
+            Node::MergeConcat => write!(f, "MergeConcat"),
+            Node::MergeUnion => write!(f, "MergeUnion"),
+            Node::MergeJoin => write!(f, "MergeJoin"),
+        }
+    }
+}

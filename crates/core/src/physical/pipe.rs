@@ -1,0 +1,555 @@
+//! The Algorithm 2 `Pipe` generator: compiles a logical [`Plan`] plus
+//! per-page encoding statistics into an explicit pipeline DAG
+//! ([`PhysicalPlan`]), making every fused/decoded/sliced and prune
+//! decision *data* instead of control flow buried in the executor.
+//!
+//! The same compiled plan drives both execution
+//! ([`crate::physical::driver::run`]) and `EXPLAIN`
+//! ([`PhysicalPlan::render`]) — what the snapshot tests pin is by
+//! construction what the executor does.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use etsqp_encoding::Encoding;
+use etsqp_storage::page::Page;
+use etsqp_storage::store::SeriesStore;
+
+use crate::expr::{AggFunc, BinOp, CmpOp, Plan, Predicate, SlidingWindow, TimeRange};
+use crate::fused::FuseLevel;
+use crate::physical::agg::{fusion_covers, spread_fits_i64};
+use crate::physical::merge::merge_partitions;
+use crate::physical::node::{Node, PageDecision, Parallelism, RootNode, SeriesPipeline, Strategy};
+use crate::physical::scan::page_verdict;
+use crate::plan::{flatten_scan, PipelineConfig};
+use crate::slice::distribute;
+use crate::Result;
+
+/// A compiled physical pipeline DAG: per-series pipelines feeding the
+/// root merge node (Figure 9).
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    /// The root merge node combining the per-series partials.
+    pub root: RootNode,
+    /// One pipeline per scanned series (left before right for binary
+    /// operators).
+    pub pipelines: Vec<SeriesPipeline>,
+}
+
+/// What the pages of a pipeline feed — decides the per-page strategy.
+enum Role {
+    /// Partial aggregation (`FusedAgg` / `PartialAgg` pipelines).
+    Agg {
+        func: AggFunc,
+        window: Option<SlidingWindow>,
+    },
+    /// Row production (scans and binary-operator sides).
+    Rows,
+}
+
+/// Algorithm 2 `Pipe`: compiles the logical plan against the store's
+/// page headers under `cfg` into an explicit [`PhysicalPlan`].
+pub fn compile(plan: &Plan, store: &SeriesStore, cfg: &PipelineConfig) -> Result<PhysicalPlan> {
+    match plan {
+        Plan::Aggregate { input, func } => {
+            let (series, pred) = flatten_scan(input)?;
+            let pages = store.peek_pages(&series)?;
+            let pipeline = build_pipeline(
+                series,
+                pred,
+                pages,
+                Role::Agg {
+                    func: *func,
+                    window: None,
+                },
+                cfg,
+            );
+            Ok(PhysicalPlan {
+                root: RootNode::Aggregate {
+                    func: *func,
+                    window: None,
+                },
+                pipelines: vec![pipeline],
+            })
+        }
+        Plan::WindowAggregate {
+            input,
+            window,
+            func,
+        } => {
+            let (series, pred) = flatten_scan(input)?;
+            let pages = store.peek_pages(&series)?;
+            let pipeline = build_pipeline(
+                series,
+                pred,
+                pages,
+                Role::Agg {
+                    func: *func,
+                    window: Some(*window),
+                },
+                cfg,
+            );
+            Ok(PhysicalPlan {
+                root: RootNode::Aggregate {
+                    func: *func,
+                    window: Some(*window),
+                },
+                pipelines: vec![pipeline],
+            })
+        }
+        Plan::Scan { .. } | Plan::Filter { .. } => {
+            let (series, pred) = flatten_scan(plan)?;
+            let pages = store.peek_pages(&series)?;
+            let pipeline = build_pipeline(series, pred, pages, Role::Rows, cfg);
+            Ok(PhysicalPlan {
+                root: RootNode::Rows,
+                pipelines: vec![pipeline],
+            })
+        }
+        Plan::Union { left, right } => {
+            let (lpipe, rpipe, partitions) = binary_sides(left, right, store, cfg)?;
+            Ok(PhysicalPlan {
+                root: RootNode::Union { partitions },
+                pipelines: vec![lpipe, rpipe],
+            })
+        }
+        Plan::Join { left, right, on } => {
+            let (lpipe, rpipe, partitions) = binary_sides(left, right, store, cfg)?;
+            Ok(PhysicalPlan {
+                root: RootNode::Join {
+                    partitions,
+                    op: None,
+                    on: *on,
+                },
+                pipelines: vec![lpipe, rpipe],
+            })
+        }
+        Plan::JoinExpr { left, right, op } => {
+            let (lpipe, rpipe, partitions) = binary_sides(left, right, store, cfg)?;
+            Ok(PhysicalPlan {
+                root: RootNode::Join {
+                    partitions,
+                    op: Some(*op),
+                    on: None,
+                },
+                pipelines: vec![lpipe, rpipe],
+            })
+        }
+        Plan::JoinAggregate { left, right, func } => {
+            let (ls, lp) = flatten_scan(left)?;
+            let (rs, rp) = flatten_scan(right)?;
+            let lpages = store.peek_pages(&ls)?;
+            let rpages = store.peek_pages(&rs)?;
+            let fused = lp.is_trivial() && rp.is_trivial() && pair_fusible(&lpages, &rpages, cfg);
+            let lpipe = build_pipeline(ls, lp, lpages, Role::Rows, cfg);
+            let rpipe = build_pipeline(rs, rp, rpages, Role::Rows, cfg);
+            Ok(PhysicalPlan {
+                root: RootNode::PairAgg { func: *func, fused },
+                pipelines: vec![lpipe, rpipe],
+            })
+        }
+    }
+}
+
+/// Compiles both sides of a binary operator and the time-range
+/// partitions its merge node runs over.
+fn binary_sides(
+    left: &Plan,
+    right: &Plan,
+    store: &SeriesStore,
+    cfg: &PipelineConfig,
+) -> Result<(SeriesPipeline, SeriesPipeline, Vec<TimeRange>)> {
+    let (ls, lp) = flatten_scan(left)?;
+    let (rs, rp) = flatten_scan(right)?;
+    let lpages = store.peek_pages(&ls)?;
+    let rpages = store.peek_pages(&rs)?;
+    let partitions = merge_partitions(&lpages, &rpages, cfg.threads);
+    let lpipe = build_pipeline(ls, lp, lpages, Role::Rows, cfg);
+    let rpipe = build_pipeline(rs, rp, rpages, Role::Rows, cfg);
+    Ok((lpipe, rpipe, partitions))
+}
+
+/// Builds one per-series pipeline: §V verdict per page, strategy per
+/// kept page, and the §III-C morsel shape.
+fn build_pipeline(
+    series: String,
+    pred: Predicate,
+    pages: Vec<Arc<Page>>,
+    role: Role,
+    cfg: &PipelineConfig,
+) -> SeriesPipeline {
+    let mut decisions = Vec::with_capacity(pages.len());
+    let mut kept: Vec<Arc<Page>> = Vec::new();
+    for (index, page) in pages.iter().enumerate() {
+        let verdict = page_verdict(page, &pred, cfg.prune);
+        let strategy = verdict.kept().then(|| match &role {
+            Role::Agg { func, window } => {
+                choose_page_strategy(page, &pred, window.as_ref(), *func, cfg)
+            }
+            Role::Rows => {
+                if cfg.vectorized {
+                    Strategy::Decode
+                } else {
+                    Strategy::Serial
+                }
+            }
+        });
+        if verdict.kept() {
+            kept.push(Arc::clone(page));
+        }
+        decisions.push(PageDecision {
+            index,
+            tuples: page.header.count as u64,
+            verdict,
+            strategy,
+        });
+    }
+    let parallelism = match &role {
+        Role::Agg { window, .. } if sliceable(&kept, &pred, window.is_some(), cfg) => {
+            Parallelism::Sliced {
+                pages: kept.len(),
+                jobs: distribute(&kept, cfg.threads).len(),
+            }
+        }
+        _ => Parallelism::PerPage { jobs: kept.len() },
+    };
+    SeriesPipeline {
+        series,
+        pred,
+        pages,
+        decisions,
+        parallelism,
+    }
+}
+
+/// Whether the §III-C slicing morsel shape applies: unfiltered,
+/// unwindowed TS2DIFF scans with fewer kept pages than threads, where
+/// the slice partials combine symbolically.
+fn sliceable(kept: &[Arc<Page>], pred: &Predicate, windowed: bool, cfg: &PipelineConfig) -> bool {
+    cfg.allow_slicing
+        && cfg.vectorized
+        && !windowed
+        && pred.is_trivial()
+        && kept.len() < cfg.threads
+        && kept
+            .iter()
+            .all(|p| p.header.val_encoding == Encoding::Ts2Diff && spread_fits_i64(p))
+}
+
+/// Whether the time conjunct (if any) covers the whole page — header
+/// first/last timestamps are exact, so this equals "the qualifying index
+/// range is the full page".
+fn time_covers_page(page: &Page, pred: &Predicate) -> bool {
+    pred.time
+        .is_none_or(|t| t.lo <= page.header.first_ts && t.hi >= page.header.last_ts)
+}
+
+/// The per-page strategy choice — previously an implicit branch chain in
+/// the executor, now a planner decision from header statistics alone.
+fn choose_page_strategy(
+    page: &Page,
+    pred: &Predicate,
+    window: Option<&SlidingWindow>,
+    func: AggFunc,
+    cfg: &PipelineConfig,
+) -> Strategy {
+    if !cfg.vectorized {
+        return Strategy::Serial;
+    }
+    if pred.value.is_some() {
+        return Strategy::Decode;
+    }
+    let covers = fusion_covers(func, page.header.val_encoding, cfg.fuse) && spread_fits_i64(page);
+    match window {
+        None => {
+            if covers && page.header.val_encoding == Encoding::Ts2Diff {
+                Strategy::FusedTs2Diff
+            } else if covers
+                && page.header.val_encoding == Encoding::DeltaRle
+                && time_covers_page(page, pred)
+            {
+                Strategy::FusedDeltaRle
+            } else if matches!(func, AggFunc::Min | AggFunc::Max) && time_covers_page(page, pred) {
+                Strategy::HeaderMinMax
+            } else {
+                Strategy::Decode
+            }
+        }
+        Some(_) => {
+            if covers && page.header.val_encoding == Encoding::Ts2Diff {
+                Strategy::FusedTs2Diff
+            } else {
+                Strategy::Decode
+            }
+        }
+    }
+}
+
+/// The §IV pair-fusion alignment check: pairwise-aligned pages (identical
+/// clocks, bit for bit) with Delta-RLE value columns on both sides.
+fn pair_fusible(left: &[Arc<Page>], right: &[Arc<Page>], cfg: &PipelineConfig) -> bool {
+    if cfg.fuse < FuseLevel::DeltaRepeat || !cfg.vectorized || left.len() != right.len() {
+        return false;
+    }
+    left.iter().zip(right).all(|(a, b)| {
+        let ha = &a.header;
+        let hb = &b.header;
+        ha.count == hb.count
+            && ha.first_ts == hb.first_ts
+            && ha.last_ts == hb.last_ts
+            && ha.val_encoding == Encoding::DeltaRle
+            && hb.val_encoding == Encoding::DeltaRle
+            && spread_fits_i64(a)
+            && spread_fits_i64(b)
+            && a.ts_bytes == b.ts_bytes // identical clocks, bit for bit
+    })
+}
+
+/// Compiles and renders in one step — the engine's `EXPLAIN` entry point.
+pub fn explain(plan: &Plan, store: &SeriesStore, cfg: &PipelineConfig) -> Result<String> {
+    Ok(compile(plan, store, cfg)?.render(cfg))
+}
+
+fn fuse_name(level: FuseLevel) -> &'static str {
+    match level {
+        FuseLevel::None => "none",
+        FuseLevel::Delta => "delta",
+        FuseLevel::DeltaRepeat => "delta-repeat",
+    }
+}
+
+fn on_off(flag: bool) -> &'static str {
+    if flag {
+        "on"
+    } else {
+        "off"
+    }
+}
+
+fn fmt_bound(t: i64) -> String {
+    match t {
+        i64::MIN => "-inf".into(),
+        i64::MAX => "+inf".into(),
+        other => other.to_string(),
+    }
+}
+
+fn fmt_range(r: &TimeRange) -> String {
+    format!("[{}, {}]", fmt_bound(r.lo), fmt_bound(r.hi))
+}
+
+fn fmt_pred(pred: &Predicate) -> String {
+    let mut parts = Vec::new();
+    if let Some(t) = pred.time {
+        parts.push(format!("time in {}", fmt_range(&t)));
+    }
+    if let Some((lo, hi)) = pred.value {
+        parts.push(format!("value in [{lo}, {hi}]"));
+    }
+    if parts.is_empty() {
+        "none".into()
+    } else {
+        parts.join(" and ")
+    }
+}
+
+fn cmp_name(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+        CmpOp::Eq => "=",
+    }
+}
+
+fn binop_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+    }
+}
+
+/// The operator chain a page group runs through, built from [`Node`]
+/// renderings so `EXPLAIN` and the node catalogue cannot drift apart.
+fn chain(strategy: Strategy, pred: &Predicate, role_func: Option<AggFunc>, sliced: bool) -> String {
+    let filter = Node::Filter {
+        time: pred.time.is_some(),
+        value: pred.value.is_some(),
+    };
+    let mut nodes: Vec<Node> = vec![Node::SourcePages];
+    match (strategy, role_func) {
+        _ if sliced => {
+            nodes.push(Node::Slice);
+            if let Some(func) = role_func {
+                nodes.push(Node::PartialAgg { func });
+            }
+        }
+        (Strategy::FusedTs2Diff | Strategy::FusedDeltaRle | Strategy::HeaderMinMax, Some(func)) => {
+            nodes.push(Node::FusedAgg { strategy, func });
+        }
+        (s, Some(func)) => {
+            nodes.push(Node::DecodeScan {
+                serial: s == Strategy::Serial,
+            });
+            nodes.push(filter);
+            nodes.push(Node::PartialAgg { func });
+        }
+        (s, None) => {
+            nodes.push(Node::DecodeScan {
+                serial: s == Strategy::Serial,
+            });
+            nodes.push(filter);
+        }
+    }
+    nodes
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+impl PhysicalPlan {
+    /// Renders the pipeline DAG as stable ASCII text (the `EXPLAIN`
+    /// output): config header, root merge node, and per-series pipelines
+    /// with page-group strategies and prune verdicts.
+    pub fn render(&self, cfg: &PipelineConfig) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "physical plan (threads={}, prune={}, fuse={}, vectorized={}, slicing={})",
+            cfg.threads,
+            on_off(cfg.prune),
+            fuse_name(cfg.fuse),
+            on_off(cfg.vectorized),
+            on_off(cfg.allow_slicing),
+        );
+        let role_func = match &self.root {
+            RootNode::Aggregate { func, window } => {
+                match window {
+                    Some(w) => {
+                        let _ = writeln!(
+                            out,
+                            "WindowAggregate[{}, t_min={}, dt={}] <- {}",
+                            func.name(),
+                            w.t_min,
+                            w.dt,
+                            Node::MergeConcat
+                        );
+                    }
+                    None => {
+                        let _ =
+                            writeln!(out, "Aggregate[{}] <- {}", func.name(), Node::MergeConcat);
+                    }
+                }
+                Some(*func)
+            }
+            RootNode::Rows => {
+                let _ = writeln!(out, "Rows <- {}", Node::MergeConcat);
+                None
+            }
+            RootNode::Union { partitions } => {
+                let _ = writeln!(
+                    out,
+                    "Union <- {} ({} partitions)",
+                    Node::MergeUnion,
+                    partitions.len()
+                );
+                render_partitions(&mut out, partitions);
+                None
+            }
+            RootNode::Join { partitions, op, on } => {
+                let mut extras = String::new();
+                if let Some(op) = op {
+                    let _ = write!(extras, ", expr: a {} b", binop_name(*op));
+                }
+                if let Some(on) = on {
+                    let _ = write!(extras, ", on: a {} b", cmp_name(*on));
+                }
+                let _ = writeln!(
+                    out,
+                    "Join <- {} ({} partitions{extras})",
+                    Node::MergeJoin,
+                    partitions.len()
+                );
+                render_partitions(&mut out, partitions);
+                None
+            }
+            RootNode::PairAgg { func, fused } => {
+                let how = if *fused {
+                    "FusedPairAgg (delta-rle, page-aligned)".to_string()
+                } else {
+                    format!("{}[moments]", Node::MergeJoin)
+                };
+                let _ = writeln!(out, "PairAgg[{}] <- {how}", func.name());
+                None
+            }
+        };
+        for p in &self.pipelines {
+            let kept_pages = p.decisions.iter().filter(|d| d.verdict.kept()).count();
+            let total_tuples: u64 = p.decisions.iter().map(|d| d.tuples).sum();
+            let encs = p
+                .pages
+                .first()
+                .map(|pg| {
+                    format!(
+                        " [ts={}, val={}]",
+                        pg.header.ts_encoding.name(),
+                        pg.header.val_encoding.name()
+                    )
+                })
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "  pipeline {}: {} pages ({} kept), {} tuples{}",
+                p.series,
+                p.pages.len(),
+                kept_pages,
+                total_tuples,
+                encs
+            );
+            let _ = writeln!(out, "    pred: {}", fmt_pred(&p.pred));
+            let _ = writeln!(out, "    parallelism: {}", p.parallelism);
+            let sliced = matches!(p.parallelism, Parallelism::Sliced { .. });
+            // Group consecutive pages with the same verdict + strategy.
+            let mut i = 0;
+            while i < p.decisions.len() {
+                let d = &p.decisions[i];
+                let mut j = i;
+                while j + 1 < p.decisions.len()
+                    && p.decisions[j + 1].verdict == d.verdict
+                    && p.decisions[j + 1].strategy == d.strategy
+                {
+                    j += 1;
+                }
+                let span = if i == j {
+                    format!("page {i}")
+                } else {
+                    format!("pages {i}-{j}")
+                };
+                match d.strategy {
+                    Some(s) => {
+                        let _ = writeln!(
+                            out,
+                            "    {span}: {} -> {}",
+                            d.verdict,
+                            chain(s, &p.pred, role_func, sliced)
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "    {span}: {}", d.verdict);
+                    }
+                }
+                i = j + 1;
+            }
+        }
+        out
+    }
+}
+
+fn render_partitions(out: &mut String, partitions: &[TimeRange]) {
+    for (i, r) in partitions.iter().enumerate() {
+        let _ = writeln!(out, "  partition {i}: {}", fmt_range(r));
+    }
+}

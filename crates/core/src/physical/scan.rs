@@ -1,0 +1,267 @@
+//! Scan-side operator bodies: §V header pruning, Algorithm 1 column
+//! decode (with suffix pruning under value filters), and the
+//! row-producing page scan.
+//!
+//! Both the `Pipe` planner ([`crate::physical::pipe`]) and the runtime
+//! partition scans of binary operators ([`crate::physical::merge`]) go
+//! through [`page_verdict`], so the pruning decision rendered by
+//! `EXPLAIN` is by construction the one the executor acts on.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use etsqp_encoding::{ts2diff, Encoding};
+use etsqp_storage::page::Page;
+use etsqp_storage::store::SeriesStore;
+
+use crate::decode::{decode_column, DecodeOptions};
+use crate::exec::{run_jobs_with, ExecStats};
+use crate::expr::Predicate;
+use crate::physical::node::{PruneVerdict, Stage};
+use crate::plan::PipelineConfig;
+use crate::prune::{prune_rest, DeltaBounds, PruneDecision};
+use crate::{Error, Result};
+
+/// The §VI-C decode-buffer memory budget configured by `cfg`.
+pub(crate) fn budget_of(cfg: &PipelineConfig) -> etsqp_storage::budget::MemoryBudget {
+    match cfg.decode_budget_bytes {
+        Some(b) => etsqp_storage::budget::MemoryBudget::new(b),
+        None => etsqp_storage::budget::MemoryBudget::unlimited(),
+    }
+}
+
+/// §V header pruning for one page: the single pruning rule shared by the
+/// planner and every runtime scan.
+pub(crate) fn page_verdict(page: &Page, pred: &Predicate, prune: bool) -> PruneVerdict {
+    if !prune {
+        return PruneVerdict::Kept;
+    }
+    if let Some(t) = pred.time {
+        if !page.header.overlaps_time(t.lo, t.hi) {
+            return PruneVerdict::PrunedTime;
+        }
+    }
+    if let Some((lo, hi)) = pred.value {
+        if !page.header.overlaps_value(lo, hi) {
+            return PruneVerdict::PrunedValue;
+        }
+    }
+    PruneVerdict::Kept
+}
+
+/// Applies [`page_verdict`] to a page list, charging pruned pages/tuples
+/// to `stats` and returning the survivors.
+pub(crate) fn prune_pages(
+    pages: Vec<Arc<Page>>,
+    pred: &Predicate,
+    cfg: &PipelineConfig,
+    stats: &ExecStats,
+) -> Vec<Arc<Page>> {
+    let mut kept = Vec::with_capacity(pages.len());
+    for page in pages {
+        if page_verdict(&page, pred, cfg.prune).kept() {
+            kept.push(page);
+        } else {
+            charge_pruned_page(&page, stats);
+        }
+    }
+    kept
+}
+
+/// Charges one pruned page to the §VII-B throughput counters.
+pub(crate) fn charge_pruned_page(page: &Page, stats: &ExecStats) {
+    stats.pages_pruned.fetch_add(1, Ordering::Relaxed);
+    stats
+        .tuples_pruned
+        .fetch_add(page.header.count as u64, Ordering::Relaxed);
+}
+
+/// Charges one loaded page: I/O accounting for the `SourcePages` node.
+pub(crate) fn charge_page_io(page: &Page, stats: &ExecStats, store: &SeriesStore) {
+    let _io = Stage::Io.timer(stats);
+    store.io().record_page(page.encoded_len());
+    stats.pages_loaded.fetch_add(1, Ordering::Relaxed);
+    stats
+        .tuples_scanned
+        .fetch_add(page.header.count as u64, Ordering::Relaxed);
+}
+
+/// Decodes a page's timestamp column (vectorized).
+pub(crate) fn decode_ts_column(
+    page: &Page,
+    cfg: &PipelineConfig,
+    stats: &ExecStats,
+) -> Result<Vec<i64>> {
+    let _t = Stage::Unpack.timer(stats);
+    let mut out = Vec::new();
+    let opts = DecodeOptions {
+        value_range: Some((page.header.first_ts, page.header.last_ts)),
+        ..cfg.decode
+    };
+    decode_column(page.header.ts_encoding, &page.ts_bytes, &opts, &mut out)?;
+    stats
+        .materialized_bytes
+        .fetch_add(out.len() as u64 * 8, Ordering::Relaxed);
+    Ok(out)
+}
+
+/// Decodes the value column, applying suffix pruning (Propositions 4–5)
+/// when a value filter is present: the scan decodes in chunks and stops
+/// once the remaining suffix provably cannot match. Returns `None` when
+/// pruning eliminated everything before any chunk qualified.
+pub(crate) fn decode_val_column(
+    page: &Page,
+    pred: &Predicate,
+    cfg: &PipelineConfig,
+    stats: &ExecStats,
+) -> Result<Option<Vec<i64>>> {
+    let _t = Stage::Delta.timer(stats);
+    let mut out = Vec::new();
+    // Suffix pruning applies to TS2DIFF value columns under value filters.
+    if let (true, Some((c1, c2)), Encoding::Ts2Diff) =
+        (cfg.prune, pred.value, page.header.val_encoding)
+    {
+        let parsed = ts2diff::parse(&page.val_bytes)?;
+        if parsed.order == 1 && parsed.count > 0 {
+            let bounds = DeltaBounds::from_ts2diff(&parsed);
+            // Genuinely incremental scan: unpack and accumulate one chunk
+            // of deltas at a time; the Proposition 5 rule check after each
+            // chunk stops the scan — and the remaining unpack/accumulate
+            // work — as soon as the suffix provably cannot match.
+            const CHUNK: usize = 256;
+            let n = parsed.count;
+            out.reserve(n.min(4 * CHUNK));
+            out.push(parsed.first[0]);
+            let mut cur = parsed.first[0];
+            let mut chunk = vec![0u64; CHUNK];
+            let mut pos = 0usize; // delta index
+            let total = parsed.num_deltas();
+            let mut pruned = false;
+            while pos < total {
+                let len = CHUNK.min(total - pos);
+                {
+                    let _u = Stage::Unpack.timer(stats);
+                    etsqp_simd::unpack::unpack_u64(
+                        parsed.payload,
+                        pos * parsed.width as usize,
+                        parsed.width,
+                        &mut chunk[..len],
+                    );
+                }
+                for &s in &chunk[..len] {
+                    cur = cur.wrapping_add(parsed.min_delta.wrapping_add(s as i64));
+                    out.push(cur);
+                }
+                pos += len;
+                if prune_rest(&bounds, cur, pos, n, c1, c2) == PruneDecision::StopRest {
+                    pruned = true;
+                    break;
+                }
+            }
+            if pruned {
+                stats
+                    .tuples_pruned
+                    .fetch_add((n - out.len()) as u64, Ordering::Relaxed);
+            }
+        } else {
+            decode_column(
+                page.header.val_encoding,
+                &page.val_bytes,
+                &cfg.decode,
+                &mut out,
+            )?;
+        }
+    } else {
+        let opts = DecodeOptions {
+            value_range: Some((page.header.min_value, page.header.max_value)),
+            ..cfg.decode
+        };
+        decode_column(page.header.val_encoding, &page.val_bytes, &opts, &mut out)?;
+    }
+    stats
+        .materialized_bytes
+        .fetch_add(out.len() as u64 * 8, Ordering::Relaxed);
+    Ok(Some(out))
+}
+
+/// Decodes the qualifying rows of a pre-pruned page set — the
+/// `SourcePages → DecodeScan → Filter → MergeConcat` pipeline of
+/// row-producing plans. The caller picks the kept pages (planner
+/// decisions for unary scans, per-partition pruning for merge nodes).
+pub(crate) fn scan_rows(
+    store: &SeriesStore,
+    kept: Vec<Arc<Page>>,
+    pred: &Predicate,
+    cfg: &PipelineConfig,
+    stats: &ExecStats,
+) -> Result<(Vec<i64>, Vec<i64>)> {
+    let budget = budget_of(cfg);
+    let outputs = run_jobs_with(
+        cfg.scheduler,
+        kept,
+        cfg.threads,
+        stats,
+        |page| -> Result<(Vec<i64>, Vec<i64>)> {
+            charge_page_io(&page, stats, store);
+            // Gradual loading (§VI-C): reserve decode-buffer memory before
+            // materializing this page's vectors; released when the job's
+            // (filtered, smaller) output replaces them.
+            let _guard = budget.acquire(page.header.count as u64 * 16);
+            let (ts, vals) = if cfg.vectorized {
+                let ts = decode_ts_column(&page, cfg, stats)?;
+                let mut vals = Vec::new();
+                {
+                    let _d = Stage::Delta.timer(stats);
+                    let opts = DecodeOptions {
+                        value_range: Some((page.header.min_value, page.header.max_value)),
+                        ..cfg.decode
+                    };
+                    decode_column(page.header.val_encoding, &page.val_bytes, &opts, &mut vals)?;
+                }
+                (ts, vals)
+            } else {
+                page.decode().map_err(Error::Storage)?
+            };
+            if ts.len() != vals.len() || ts.len() != page.header.count as usize {
+                // A corrupt payload can decode to a different length than the
+                // header declares — fail cleanly instead of misaligning rows.
+                return Err(Error::Decode("column length mismatch (corrupt page)"));
+            }
+            let _f = Stage::Filter.timer(stats);
+            let mut out_ts = Vec::with_capacity(ts.len());
+            let mut out_vals = Vec::with_capacity(ts.len());
+            let (a, b) = match pred.time {
+                Some(tr) => {
+                    let a = ts.partition_point(|&t| t < tr.lo);
+                    let b = ts.partition_point(|&t| t <= tr.hi);
+                    (a, b.max(a)) // empty ranges (lo > hi) select nothing
+                }
+                None => (0, ts.len()),
+            };
+            match pred.value {
+                None => {
+                    out_ts.extend_from_slice(&ts[a..b]);
+                    out_vals.extend_from_slice(&vals[a..b]);
+                }
+                Some((lo, hi)) => {
+                    for i in a..b {
+                        if vals[i] >= lo && vals[i] <= hi {
+                            out_ts.push(ts[i]);
+                            out_vals.push(vals[i]);
+                        }
+                    }
+                }
+            }
+            Ok((out_ts, out_vals))
+        },
+    )?;
+    let _m = Stage::Merge.timer(stats);
+    let mut all_ts = Vec::new();
+    let mut all_vals = Vec::new();
+    for out in outputs {
+        let (t, v) = out?;
+        all_ts.extend(t);
+        all_vals.extend(v);
+    }
+    Ok((all_ts, all_vals))
+}

@@ -1,42 +1,24 @@
-//! `Pipe`: the pipeline generator and executor (paper Algorithm 2, §VI).
+//! The logical plan layer: engine configuration, result types, and the
+//! scalar finalizers shared by the engine and the oracle.
 //!
-//! [`execute`] walks a logical [`Plan`] top-down, turns the storage pages
-//! of every scanned series into parallel pipeline jobs (pages, or slices
-//! when there are fewer pages than threads — §III-C), runs them on the
-//! scheduler, and combines partial results in sequential **merge nodes**
-//! grouped by time order (Figure 9).
-//!
-//! Per-job pipelines pick the cheapest sound strategy, in order:
-//!
-//! 1. **Header pruning** (§V): pages whose time/value statistics cannot
-//!    match are skipped (their tuples still count toward throughput).
-//! 2. **Fusion** (§IV): SUM/AVG/COUNT over TS2DIFF aggregate from
-//!    unpacked deltas; everything over Delta-RLE aggregates from
-//!    `(Δ, run)` pairs; MIN/MAX of unfiltered pages come from the header.
-//! 3. **Position ranges**: ordered timestamps turn time filters into
-//!    index ranges — constant-interval pages (width 0) solve positions
-//!    directly (§V-A), otherwise the decoded timestamps are binary
-//!    searched instead of masked.
-//! 4. **Vectorized decode** (Algorithm 1) with masked SIMD aggregation as
-//!    the general path, with suffix pruning (Propositions 4–5) stopping
-//!    value scans early when the remaining suffix provably cannot match.
+//! Execution itself lives in [`crate::physical`]: [`execute`] compiles
+//! the logical [`Plan`] with the Algorithm 2 generator
+//! ([`crate::physical::pipe::compile`]) into an explicit pipeline DAG —
+//! per-page §V prune verdicts, §IV fusion strategies, §III-C morsel
+//! shapes and Figure 9 merge partitions, all as inspectable data — and
+//! hands that DAG to the pipeline driver. `EXPLAIN` renders the same
+//! compiled artifact, so the textual plan is the executed plan.
 
-use std::sync::Arc;
 use std::time::Instant;
 
-use etsqp_encoding::{delta_rle, ts2diff, Encoding};
 use etsqp_simd::agg::AggState;
-use etsqp_storage::page::Page;
 use etsqp_storage::store::SeriesStore;
 
-use crate::decode::{decode_column, DecodeOptions};
-use crate::exec::{run_jobs_with, ExecStats, Scheduler, StatsSnapshot};
-use crate::expr::{AggFunc, BinOp, CmpOp, PairAggFunc, Plan, Predicate, SlidingWindow, TimeRange};
-use crate::fused::{
-    aggregate_delta_rle, dot_product_delta_rle, sum_ts2diff, sum_ts2diff_range, FuseLevel,
-};
-use crate::prune::{constant_interval_positions, prune_rest, DeltaBounds, PruneDecision};
-use crate::slice::{distribute, slice_range, WorkItem};
+use crate::decode::DecodeOptions;
+use crate::exec::{ExecStats, Scheduler, StatsSnapshot};
+use crate::expr::{AggFunc, PairAggFunc, Plan, Predicate};
+use crate::fused::FuseLevel;
+use crate::physical::{driver, pipe};
 use crate::{Error, Result};
 
 /// Configuration of the pipeline engine — the knobs the evaluation varies.
@@ -80,13 +62,6 @@ impl Default for PipelineConfig {
     }
 }
 
-fn budget_of(cfg: &PipelineConfig) -> etsqp_storage::budget::MemoryBudget {
-    match cfg.decode_budget_bytes {
-        Some(b) => etsqp_storage::budget::MemoryBudget::new(b),
-        None => etsqp_storage::budget::MemoryBudget::unlimited(),
-    }
-}
-
 /// One result cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Value {
@@ -121,141 +96,25 @@ pub struct QueryResult {
     pub stats: StatsSnapshot,
     /// Wall-clock execution time.
     pub elapsed: std::time::Duration,
+    /// For `EXPLAIN` statements: the rendered physical pipeline instead
+    /// of result rows.
+    pub explain: Option<String>,
 }
 
-/// Executes a logical plan against a store.
+/// Executes a logical plan against a store: Algorithm 2 compilation
+/// ([`pipe::compile`]) followed by the pipeline driver.
 pub fn execute(plan: &Plan, store: &SeriesStore, cfg: &PipelineConfig) -> Result<QueryResult> {
     let stats = ExecStats::default();
     let start = Instant::now();
-    let (columns, rows) = execute_inner(plan, store, cfg, &stats)?;
+    let phys = pipe::compile(plan, store, cfg)?;
+    let (columns, rows) = driver::run(&phys, store, cfg, &stats)?;
     Ok(QueryResult {
         columns,
         rows,
         stats: stats.snapshot(),
         elapsed: start.elapsed(),
+        explain: None,
     })
-}
-
-fn execute_inner(
-    plan: &Plan,
-    store: &SeriesStore,
-    cfg: &PipelineConfig,
-    stats: &ExecStats,
-) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
-    match plan {
-        Plan::Aggregate { input, func } => {
-            let (series, pred) = flatten_scan(input)?;
-            let state = aggregate_series(store, &series, &pred, None, *func, cfg, stats)?
-                .into_iter()
-                .fold(AggState::new(), |mut acc, (_, s)| {
-                    acc.merge(&s);
-                    acc
-                });
-            let col = format!("{}({series})", func.name());
-            Ok((vec![col], vec![vec![finalize(*func, &state)]]))
-        }
-        Plan::WindowAggregate {
-            input,
-            window,
-            func,
-        } => {
-            let (series, pred) = flatten_scan(input)?;
-            let per_window =
-                aggregate_series(store, &series, &pred, Some(*window), *func, cfg, stats)?;
-            let col = format!("{}({series})", func.name());
-            let rows = per_window
-                .into_iter()
-                .map(|(k, s)| {
-                    vec![
-                        Value::Int(window.t_min + k as i64 * window.dt),
-                        finalize(*func, &s),
-                    ]
-                })
-                .collect();
-            Ok((vec!["window_start".into(), col], rows))
-        }
-        Plan::Scan { .. } | Plan::Filter { .. } => {
-            let (series, pred) = flatten_scan(plan)?;
-            let (ts, vals) = scan_rows(store, &series, &pred, cfg, stats)?;
-            let rows = ts
-                .into_iter()
-                .zip(vals)
-                .map(|(t, v)| vec![Value::Int(t), Value::Int(v)])
-                .collect();
-            Ok((vec!["time".into(), series], rows))
-        }
-        Plan::Union { left, right } => {
-            let (ls, lp) = flatten_scan(left)?;
-            let (rs, rp) = flatten_scan(right)?;
-            let rows =
-                binary_merge_partitioned(store, &ls, &lp, &rs, &rp, BinaryKind::Union, cfg, stats)?;
-            Ok((vec!["time".into(), "value".into()], rows))
-        }
-        Plan::Join { left, right, on } => {
-            let (ls, lp) = flatten_scan(left)?;
-            let (rs, rp) = flatten_scan(right)?;
-            let rows = binary_merge_partitioned(
-                store,
-                &ls,
-                &lp,
-                &rs,
-                &rp,
-                BinaryKind::Join { op: None, on: *on },
-                cfg,
-                stats,
-            )?;
-            Ok((vec!["time".into(), ls, rs], rows))
-        }
-        Plan::JoinAggregate { left, right, func } => {
-            let (ls, lp) = flatten_scan(left)?;
-            let (rs, rp) = flatten_scan(right)?;
-            let col = format!("{}({ls}, {rs})", func.name());
-            // §IV fused fast path: page-aligned Delta-RLE value columns
-            // with identical clocks aggregate straight from (Δ, run)
-            // pairs — no flattening, no join materialization.
-            if lp.is_trivial() && rp.is_trivial() {
-                if let Some(stats5) = fused_pair_aggregate(store, &ls, &rs, cfg, stats)? {
-                    return Ok((vec![col], vec![vec![finalize_pair(*func, stats5)]]));
-                }
-            }
-            let (lt, lv) = scan_rows(store, &ls, &lp, cfg, stats)?;
-            let (rt, rv) = scan_rows(store, &rs, &rp, cfg, stats)?;
-            let merge_start = Instant::now();
-            let mut acc = PairMoments::default();
-            let (mut i, mut j) = (0usize, 0usize);
-            while i < lt.len() && j < rt.len() {
-                match lt[i].cmp(&rt[j]) {
-                    std::cmp::Ordering::Less => i += 1,
-                    std::cmp::Ordering::Greater => j += 1,
-                    std::cmp::Ordering::Equal => {
-                        acc.push(lv[i], rv[j]);
-                        i += 1;
-                        j += 1;
-                    }
-                }
-            }
-            stats.add(&stats.merge_ns, merge_start.elapsed());
-            Ok((vec![col], vec![vec![finalize_pair(*func, acc)]]))
-        }
-        Plan::JoinExpr { left, right, op } => {
-            let (ls, lp) = flatten_scan(left)?;
-            let (rs, rp) = flatten_scan(right)?;
-            let rows = binary_merge_partitioned(
-                store,
-                &ls,
-                &lp,
-                &rs,
-                &rp,
-                BinaryKind::Join {
-                    op: Some(*op),
-                    on: None,
-                },
-                cfg,
-                stats,
-            )?;
-            Ok((vec!["time".into(), format!("{ls}.A op {rs}.A")], rows))
-        }
-    }
 }
 
 /// Running second-order moments of naturally joined pairs (§IV: the
@@ -313,7 +172,8 @@ impl PairMoments {
     }
 }
 
-pub(crate) fn finalize_pair(func: PairAggFunc, m: PairMoments) -> Value {
+/// Converts final pair moments into the paired aggregate's result cell.
+pub fn finalize_pair(func: PairAggFunc, m: PairMoments) -> Value {
     if m.n == 0 {
         return Value::Null;
     }
@@ -324,60 +184,6 @@ pub(crate) fn finalize_pair(func: PairAggFunc, m: PairMoments) -> Value {
         PairAggFunc::Covariance => m.covariance().map(Value::Float).unwrap_or(Value::Null),
         PairAggFunc::Correlation => m.correlation().map(Value::Float).unwrap_or(Value::Null),
     }
-}
-
-/// The §IV fused pair aggregation: when both series have pairwise-aligned
-/// pages (identical clocks per page) with Delta-RLE value columns, every
-/// moment comes straight from `(Δ, run)` pairs. Returns `None` when the
-/// shape doesn't allow fusion (caller falls back to decode + merge-join).
-fn fused_pair_aggregate(
-    store: &SeriesStore,
-    left: &str,
-    right: &str,
-    cfg: &PipelineConfig,
-    stats: &ExecStats,
-) -> Result<Option<PairMoments>> {
-    if cfg.fuse < FuseLevel::DeltaRepeat || !cfg.vectorized {
-        return Ok(None);
-    }
-    let lp = store.peek_pages(left)?;
-    let rp = store.peek_pages(right)?;
-    if lp.len() != rp.len() {
-        return Ok(None);
-    }
-    for (a, b) in lp.iter().zip(&rp) {
-        let ha = &a.header;
-        let hb = &b.header;
-        let aligned = ha.count == hb.count
-            && ha.first_ts == hb.first_ts
-            && ha.last_ts == hb.last_ts
-            && ha.val_encoding == Encoding::DeltaRle
-            && hb.val_encoding == Encoding::DeltaRle
-            && spread_fits_i64(a)
-            && spread_fits_i64(b)
-            && a.ts_bytes == b.ts_bytes; // identical clocks, bit for bit
-        if !aligned {
-            return Ok(None);
-        }
-    }
-    let agg_start = Instant::now();
-    let mut m = PairMoments::default();
-    for (a, b) in lp.iter().zip(&rp) {
-        charge_page_io(a, stats, store);
-        charge_page_io(b, stats, store);
-        let pa = delta_rle::parse(&a.val_bytes)?;
-        let pb = delta_rle::parse(&b.val_bytes)?;
-        m.sum_ab = m.sum_ab.saturating_add(dot_product_delta_rle(&pa, &pb)?);
-        let sa = aggregate_delta_rle(&pa)?;
-        let sb = aggregate_delta_rle(&pb)?;
-        m.n += sa.count;
-        m.sum_a += sa.sum;
-        m.sum_b += sb.sum;
-        m.sum_aa = m.sum_aa.saturating_add(sa.sum_sq);
-        m.sum_bb = m.sum_bb.saturating_add(sb.sum_sq);
-    }
-    stats.add(&stats.agg_ns, agg_start.elapsed());
-    Ok(Some(m))
 }
 
 /// Walks Filter/Scan chains collecting the conjunctive predicate
@@ -395,7 +201,8 @@ pub(crate) fn flatten_scan(plan: &Plan) -> Result<(String, Predicate)> {
     }
 }
 
-pub(crate) fn finalize(func: AggFunc, state: &AggState) -> Value {
+/// Converts a final aggregate state into the result cell for `func`.
+pub fn finalize(func: AggFunc, state: &AggState) -> Value {
     if state.count == 0 {
         return Value::Null;
     }
@@ -410,1508 +217,5 @@ pub(crate) fn finalize(func: AggFunc, state: &AggState) -> Value {
         AggFunc::Variance => state.variance().map(Value::Float).unwrap_or(Value::Null),
         AggFunc::First => state.first.map(Value::Int).unwrap_or(Value::Null),
         AggFunc::Last => state.last.map(Value::Int).unwrap_or(Value::Null),
-    }
-}
-
-/// True when the page's value spread `max − min` is representable in
-/// `i64`, which guarantees every pairwise difference — in particular
-/// every encoded delta — equals the true mathematical difference.
-///
-/// The fused closed forms (§IV) and the slice-coefficient chain (§III-C)
-/// sum *stored deltas* symbolically in `i128`; that widening is only
-/// exact when the deltas did not wrap at encode time. The decode paths
-/// are immune (their wrapping adds reproduce each value bit-exactly), so
-/// pages failing this check simply fall back to decode-then-aggregate.
-/// Regression: `overflow_audit.rs` (values spanning more than `i64::MAX`
-/// used to wrap SUM on the sliced and fused paths).
-fn spread_fits_i64(page: &Page) -> bool {
-    page.header
-        .max_value
-        .checked_sub(page.header.min_value)
-        .is_some()
-}
-
-/// Whether the fused path can produce what `func` needs without decode.
-fn fusion_covers(func: AggFunc, val_enc: Encoding, fuse: FuseLevel) -> bool {
-    match val_enc {
-        Encoding::Ts2Diff => {
-            fuse >= FuseLevel::Delta && matches!(func, AggFunc::Sum | AggFunc::Avg | AggFunc::Count)
-        }
-        Encoding::DeltaRle => fuse >= FuseLevel::DeltaRepeat,
-        _ => false,
-    }
-}
-
-type WindowStates = Vec<(usize, AggState)>;
-
-/// Folds a dense slice into the state, computing only what `func` needs
-/// (Σx² is expensive and only VARIANCE reads it; MIN/MAX skip sums).
-fn agg_slice(state: &mut AggState, slice: &[i64], func: AggFunc) {
-    if slice.is_empty() {
-        return;
-    }
-    match func {
-        AggFunc::Sum | AggFunc::Avg | AggFunc::Count => {
-            state.sum += etsqp_simd::agg::sum_i64(slice);
-            state.count += slice.len() as u64;
-        }
-        AggFunc::Min | AggFunc::Max => {
-            if let Some((mn, mx)) = etsqp_simd::agg::min_max_i64(slice) {
-                state.min = Some(state.min.map_or(mn, |m| m.min(mn)));
-                state.max = Some(state.max.map_or(mx, |m| m.max(mx)));
-            }
-            state.count += slice.len() as u64;
-        }
-        AggFunc::Variance => state.push_slice(slice),
-        AggFunc::First | AggFunc::Last => {
-            state.first.get_or_insert(slice[0]);
-            state.last = slice.last().copied().or(state.last);
-            state.count += slice.len() as u64;
-        }
-    }
-}
-
-/// Mask-filtered variant of [`agg_slice`].
-fn agg_masked(state: &mut AggState, slice: &[i64], mask: &[u64], func: AggFunc) {
-    match func {
-        AggFunc::Sum | AggFunc::Avg | AggFunc::Count => {
-            let (s, c) = etsqp_simd::agg::masked_sum_i64(slice, mask);
-            state.sum += s;
-            state.count += c;
-        }
-        AggFunc::Min | AggFunc::Max => {
-            if let Some((mn, mx)) = etsqp_simd::agg::masked_min_max_i64(slice, mask) {
-                state.min = Some(state.min.map_or(mn, |m| m.min(mn)));
-                state.max = Some(state.max.map_or(mx, |m| m.max(mx)));
-            }
-            state.count += etsqp_simd::filter::count_mask(mask, slice.len());
-        }
-        AggFunc::Variance => state.push_masked(slice, mask),
-        AggFunc::First | AggFunc::Last => {
-            for (i, &v) in slice.iter().enumerate() {
-                if mask[i / 64] & (1u64 << (i % 64)) != 0 {
-                    state.first.get_or_insert(v);
-                    state.last = Some(v);
-                    state.count += 1;
-                }
-            }
-        }
-    }
-}
-
-/// Aggregates one series (whole-input or per window), Algorithm 2's
-/// aggregation branch: page pruning → job generation → scheduler →
-/// merge node.
-fn aggregate_series(
-    store: &SeriesStore,
-    series: &str,
-    pred: &Predicate,
-    window: Option<SlidingWindow>,
-    func: AggFunc,
-    cfg: &PipelineConfig,
-    stats: &ExecStats,
-) -> Result<WindowStates> {
-    let io_start = Instant::now();
-    let pages = store.peek_pages(series)?;
-    stats.add(&stats.io_ns, io_start.elapsed());
-
-    // Page-level pruning (§V): header statistics only.
-    let mut kept: Vec<Arc<Page>> = Vec::with_capacity(pages.len());
-    for page in pages {
-        let keep = !cfg.prune
-            || (pred
-                .time
-                .is_none_or(|t| page.header.overlaps_time(t.lo, t.hi))
-                && pred
-                    .value
-                    .is_none_or(|(lo, hi)| page.header.overlaps_value(lo, hi)));
-        if keep {
-            kept.push(page);
-        } else {
-            stats
-                .pages_pruned
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            stats.tuples_pruned.fetch_add(
-                page.header.count as u64,
-                std::sync::atomic::Ordering::Relaxed,
-            );
-        }
-    }
-
-    // Slicing applies to unfiltered single-aggregate TS2DIFF scans where
-    // the slice partials can be combined symbolically (§III-C).
-    let sliceable = cfg.allow_slicing
-        && cfg.vectorized
-        && window.is_none()
-        && pred.is_trivial()
-        && kept.len() < cfg.threads
-        && kept
-            .iter()
-            .all(|p| p.header.val_encoding == Encoding::Ts2Diff && spread_fits_i64(p));
-    let items = if sliceable {
-        distribute(&kept, cfg.threads)
-    } else {
-        kept.iter().cloned().map(WorkItem::Page).collect()
-    };
-
-    #[derive(Debug)]
-    enum JobOut {
-        Whole(WindowStates),
-        Slice {
-            page_seq: usize,
-            part: usize,
-            coeff: SliceCoeff,
-        },
-        Err(Error),
-    }
-
-    // Tag items with a page sequence for the slice merge.
-    let mut tagged = Vec::with_capacity(items.len());
-    let mut seq = usize::MAX;
-    let mut last_ptr: *const Page = std::ptr::null();
-    for item in items {
-        let ptr = Arc::as_ptr(item.page());
-        if ptr != last_ptr {
-            seq = seq.wrapping_add(1);
-            last_ptr = ptr;
-        }
-        tagged.push((seq, item));
-    }
-
-    let outputs = run_jobs_with(
-        cfg.scheduler,
-        tagged,
-        cfg.threads,
-        stats,
-        |(page_seq, item)| match item {
-            WorkItem::Page(page) => {
-                match agg_page_job(&page, pred, window, func, cfg, stats, store) {
-                    Ok(states) => JobOut::Whole(states),
-                    Err(e) => JobOut::Err(e),
-                }
-            }
-            WorkItem::Slice { page, part, parts } => {
-                match slice_coeff_job(&page, part, parts, cfg, stats, store) {
-                    Ok(coeff) => JobOut::Slice {
-                        page_seq,
-                        part,
-                        coeff,
-                    },
-                    Err(e) => JobOut::Err(e),
-                }
-            }
-        },
-    )?;
-
-    // Merge node (sequential, timed).
-    let merge_start = Instant::now();
-    let mut windows: std::collections::BTreeMap<usize, AggState> =
-        std::collections::BTreeMap::new();
-    let mut v_pre: i128 = 0;
-    let mut cur_page = usize::MAX;
-    for out in outputs {
-        match out {
-            JobOut::Err(e) => return Err(e),
-            JobOut::Whole(states) => {
-                for (k, s) in states {
-                    windows.entry(k).or_default().merge(&s);
-                }
-            }
-            JobOut::Slice {
-                page_seq,
-                part,
-                coeff,
-            } => {
-                if page_seq != cur_page {
-                    cur_page = page_seq;
-                    debug_assert_eq!(part, 0, "slices arrive in order");
-                    v_pre = coeff.first_value as i128;
-                }
-                let state = windows.entry(0).or_default();
-                coeff.fold_into(state, v_pre);
-                v_pre += coeff.delta_total as i128;
-            }
-        }
-    }
-    stats.add(&stats.merge_ns, merge_start.elapsed());
-    Ok(windows.into_iter().collect())
-}
-
-/// Symbolic partial of a slice over a TS2DIFF value column: every term is
-/// expressed relative to the unknown slice-start value `v_pre`, so slice
-/// jobs never wait on each other's prefix sums (§III-C / Fig. 14(c)).
-#[derive(Debug, Clone, Copy, Default)]
-struct SliceCoeff {
-    /// Values covered by the slice.
-    len: u64,
-    /// Σ rel_k where `rel_k = v_k − v_pre`.
-    rel_sum: i128,
-    /// Σ rel_k².
-    rel_sq: i128,
-    /// min rel_k.
-    rel_min: i64,
-    /// max rel_k.
-    rel_max: i64,
-    /// `v_first − v_pre` (the slice's first covered value, relative).
-    rel_first: i64,
-    /// `v_last − v_pre`: carried into the next slice's `v_pre`.
-    delta_total: i64,
-    /// The page's first value (meaningful on part 0; seeds the chain).
-    first_value: i64,
-}
-
-impl SliceCoeff {
-    fn fold_into(&self, state: &mut AggState, v_pre: i128) {
-        if self.len == 0 {
-            return;
-        }
-        let n = self.len as i128;
-        state.sum += n * v_pre + self.rel_sum;
-        state.sum_sq = state.sum_sq.saturating_add(
-            n.saturating_mul(v_pre.saturating_mul(v_pre))
-                .saturating_add((2 * v_pre).saturating_mul(self.rel_sum))
-                .saturating_add(self.rel_sq),
-        );
-        state.count += self.len;
-        let lo = (v_pre + self.rel_min as i128) as i64;
-        let hi = (v_pre + self.rel_max as i128) as i64;
-        state.min = Some(state.min.map_or(lo, |m| m.min(lo)));
-        state.max = Some(state.max.map_or(hi, |m| m.max(hi)));
-        state
-            .first
-            .get_or_insert((v_pre + self.rel_first as i128) as i64);
-        state.last = Some((v_pre + self.delta_total as i128) as i64);
-    }
-}
-
-fn charge_page_io(page: &Page, stats: &ExecStats, store: &SeriesStore) {
-    let io_start = Instant::now();
-    store.io().record_page(page.encoded_len());
-    stats
-        .pages_loaded
-        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    stats.tuples_scanned.fetch_add(
-        page.header.count as u64,
-        std::sync::atomic::Ordering::Relaxed,
-    );
-    stats.add(&stats.io_ns, io_start.elapsed());
-}
-
-/// Slice phase-1 job: unpack the slice's delta range and summarize it
-/// relative to the unknown start value.
-fn slice_coeff_job(
-    page: &Page,
-    part: usize,
-    parts: usize,
-    cfg: &PipelineConfig,
-    stats: &ExecStats,
-    store: &SeriesStore,
-) -> Result<SliceCoeff> {
-    if part == 0 {
-        charge_page_io(page, stats, store);
-    }
-    let parsed = ts2diff::parse(&page.val_bytes)?;
-    let count = parsed.count;
-    let (lo, hi) = slice_range(count, part, parts);
-    if lo >= hi {
-        return Ok(SliceCoeff {
-            first_value: parsed.first[0],
-            ..Default::default()
-        });
-    }
-    // Deltas connecting the slice's values: indices (max(lo,1)−1)..(hi−1).
-    let d_lo = lo.saturating_sub(1).max(if lo == 0 { 0 } else { lo - 1 });
-    let d_hi = hi.saturating_sub(1);
-    let n_deltas = d_hi - d_lo;
-    let unpack_start = Instant::now();
-    let mut stored = vec![0u64; n_deltas];
-    etsqp_simd::unpack::unpack_u64(
-        parsed.payload,
-        d_lo * parsed.width as usize,
-        parsed.width,
-        &mut stored,
-    );
-    stats.add(&stats.unpack_ns, unpack_start.elapsed());
-    let delta_start = Instant::now();
-    let mut coeff = SliceCoeff {
-        first_value: parsed.first[0],
-        ..Default::default()
-    };
-    let mut rel: i64 = 0;
-    let push = |r: i64, c: &mut SliceCoeff| {
-        c.len += 1;
-        c.rel_sum += r as i128;
-        c.rel_sq = c.rel_sq.saturating_add((r as i128) * (r as i128));
-        if c.len == 1 {
-            c.rel_min = r;
-            c.rel_max = r;
-            c.rel_first = r;
-        } else {
-            c.rel_min = c.rel_min.min(r);
-            c.rel_max = c.rel_max.max(r);
-        }
-    };
-    if lo == 0 {
-        // Value 0 itself has rel 0.
-        push(0, &mut coeff);
-    }
-    for &s in &stored {
-        rel = rel.wrapping_add(parsed.min_delta.wrapping_add(s as i64));
-        push(rel, &mut coeff);
-    }
-    coeff.delta_total = rel;
-    stats.add(&stats.delta_ns, delta_start.elapsed());
-    let _ = cfg;
-    Ok(coeff)
-}
-
-/// The per-page aggregation pipeline — strategy selection per the module
-/// docs. Returns partial states keyed by window index (0 when unwindowed).
-fn agg_page_job(
-    page: &Page,
-    pred: &Predicate,
-    window: Option<SlidingWindow>,
-    func: AggFunc,
-    cfg: &PipelineConfig,
-    stats: &ExecStats,
-    store: &SeriesStore,
-) -> Result<WindowStates> {
-    charge_page_io(page, stats, store);
-    let count = page.header.count as usize;
-    let trange = pred.time.unwrap_or_else(TimeRange::all);
-    let has_value_filter = pred.value.is_some();
-
-    if !cfg.vectorized {
-        return serial_agg_page(page, pred, window, cfg, stats);
-    }
-
-    // ---- Resolve the qualifying positions from the timestamp column ----
-    // Ordered timestamps make every time filter an index range [a, b].
-    let mut ts_decoded: Option<Vec<i64>> = None;
-    let (a, b) = if pred.time.is_none() && window.is_none() {
-        (0usize, count.saturating_sub(1))
-    } else {
-        let wide = match window {
-            // Windows only constrain below by t_min; combine with filter.
-            Some(w) => TimeRange {
-                lo: w.t_min,
-                hi: i64::MAX,
-            }
-            .intersect(&trange),
-            None => trange,
-        };
-        match constant_positions(page, wide.lo, wide.hi) {
-            Some(Some(range)) => range,
-            Some(None) => return Ok(Vec::new()), // constant interval, no overlap
-            None => {
-                let filter_start = Instant::now();
-                let ts = decode_ts_column(page, cfg, stats)?;
-                let a = ts.partition_point(|&t| t < wide.lo);
-                let b = ts.partition_point(|&t| t <= wide.hi);
-                stats.add(&stats.filter_ns, filter_start.elapsed());
-                if a >= b {
-                    return Ok(Vec::new());
-                }
-                let range = (a, b - 1);
-                ts_decoded = Some(ts);
-                range
-            }
-        }
-    };
-
-    // ---- Windowless fast paths --------------------------------------
-    if window.is_none() && !has_value_filter {
-        if let Some(states) = fused_range_agg(page, a, b, func, cfg, stats)? {
-            return Ok(vec![(0, states)]);
-        }
-        // MIN/MAX over the whole page: header statistics are exact.
-        if a == 0 && b + 1 == count && matches!(func, AggFunc::Min | AggFunc::Max) {
-            let mut s = AggState::new();
-            s.count = count as u64;
-            s.min = Some(page.header.min_value);
-            s.max = Some(page.header.max_value);
-            return Ok(vec![(0, s)]);
-        }
-    }
-
-    // ---- Windowed fast path: fused range sums per window ------------
-    // Resolve each window's index subrange (constant-interval arithmetic
-    // or binary search over decoded timestamps), then aggregate every
-    // subrange in closed form over the packed deltas — no value decode.
-    if let Some(w) = window {
-        if !has_value_filter
-            && fusion_covers(func, page.header.val_encoding, cfg.fuse)
-            && page.header.val_encoding == Encoding::Ts2Diff
-            && spread_fits_i64(page)
-        {
-            let ranges = window_index_ranges(page, &w, &trange, a, b, ts_decoded.as_deref())?;
-            let parsed = ts2diff::parse(&page.val_bytes)?;
-            let agg_start = Instant::now();
-            let mut out: WindowStates = Vec::with_capacity(ranges.len());
-            for (k, i, j) in ranges {
-                let state = if i == 0 && j + 1 == count {
-                    sum_ts2diff(&parsed, &cfg.decode)?
-                } else {
-                    sum_ts2diff_range(&parsed, i, j, &cfg.decode)?
-                };
-                if state.count > 0 {
-                    out.push((k, state));
-                }
-            }
-            stats.add(&stats.agg_ns, agg_start.elapsed());
-            return Ok(out);
-        }
-    }
-
-    // ---- General path: decode values --------------------------------
-    let vals = decode_val_column(page, pred, cfg, stats)?;
-    let vals = match vals {
-        Some(v) => v,
-        None => return Ok(Vec::new()), // fully pruned during scan
-    };
-    if a >= vals.len() {
-        // The qualifying index range lies entirely in the pruned suffix —
-        // sound because pruned elements provably fail the value filter.
-        return Ok(Vec::new());
-    }
-
-    let agg_start = Instant::now();
-    let mut out: WindowStates = Vec::new();
-    match window {
-        None => {
-            let mut state = AggState::new();
-            match pred.value {
-                None => agg_slice(&mut state, &vals[a..=b.min(vals.len() - 1)], func),
-                Some((vlo, vhi)) => {
-                    let hi = b.min(vals.len() - 1);
-                    let slice = &vals[a..=hi];
-                    let mut mask = etsqp_simd::filter::new_mask(slice.len());
-                    etsqp_simd::filter::range_mask_i64(slice, vlo, vhi, &mut mask);
-                    agg_masked(&mut state, slice, &mask, func);
-                }
-            }
-            if state.count > 0 {
-                out.push((0, state));
-            }
-        }
-        Some(w) => {
-            // Split [a, b] into per-window index subranges via the
-            // timestamp column (decoded or constant-interval).
-            let ts_owned;
-            let ts: &[i64] = match &ts_decoded {
-                Some(t) => t,
-                None => {
-                    ts_owned = decode_ts_column(page, cfg, stats)?;
-                    &ts_owned
-                }
-            };
-            let mut i = a;
-            let hi = b.min(vals.len() - 1);
-            while i <= hi {
-                let Some(k) = w.window_of(ts[i]) else {
-                    i += 1;
-                    continue;
-                };
-                let wrange = w.range(k).intersect(&trange);
-                // End of this window's run of indices.
-                let mut j = i;
-                while j <= hi && wrange.contains(ts[j]) {
-                    j += 1;
-                }
-                if j > i {
-                    let slice = &vals[i..j];
-                    let mut state = AggState::new();
-                    match pred.value {
-                        None => agg_slice(&mut state, slice, func),
-                        Some((vlo, vhi)) => {
-                            let mut mask = etsqp_simd::filter::new_mask(slice.len());
-                            etsqp_simd::filter::range_mask_i64(slice, vlo, vhi, &mut mask);
-                            agg_masked(&mut state, slice, &mask, func);
-                        }
-                    }
-                    if state.count > 0 {
-                        out.push((k, state));
-                    }
-                    i = j;
-                } else {
-                    i += 1;
-                }
-            }
-        }
-    }
-    stats.add(&stats.agg_ns, agg_start.elapsed());
-    Ok(out)
-}
-
-/// Splits the qualifying index range `[a, b]` of a page into per-window
-/// inclusive subranges `(window, i, j)`. Uses constant-interval position
-/// arithmetic when the timestamp page allows (§V-A), decoded timestamps
-/// otherwise.
-fn window_index_ranges(
-    page: &Page,
-    w: &SlidingWindow,
-    trange: &TimeRange,
-    a: usize,
-    b: usize,
-    ts_decoded: Option<&[i64]>,
-) -> Result<Vec<(usize, usize, usize)>> {
-    let mut out = Vec::new();
-    // Constant-interval shortcut: no timestamp decode at all.
-    if ts_decoded.is_none() {
-        if let Ok(parsed) = ts2diff::parse(&page.ts_bytes) {
-            if parsed.order == 1 && parsed.width == 0 && parsed.min_delta > 0 && parsed.count > 0 {
-                let first = parsed.first[0];
-                let interval = parsed.min_delta;
-                let last = first + (parsed.count as i64 - 1) * interval;
-                let mut k = w.window_of(first.max(w.t_min)).unwrap_or(0);
-                loop {
-                    let wr = w.range(k).intersect(trange);
-                    if wr.lo > last {
-                        break;
-                    }
-                    if !wr.is_empty() {
-                        if let Some((i, j)) =
-                            constant_interval_positions(first, interval, parsed.count, wr.lo, wr.hi)
-                        {
-                            let i = i.max(a);
-                            let j = j.min(b);
-                            if i <= j {
-                                out.push((k, i, j));
-                            }
-                        }
-                    }
-                    k += 1;
-                }
-                return Ok(out);
-            }
-        }
-    }
-    // General: binary-search window boundaries over decoded timestamps.
-    let ts_owned;
-    let ts: &[i64] = match ts_decoded {
-        Some(t) => t,
-        None => {
-            let mut buf = Vec::new();
-            decode_column(
-                page.header.ts_encoding,
-                &page.ts_bytes,
-                &DecodeOptions::default(),
-                &mut buf,
-            )?;
-            ts_owned = buf;
-            &ts_owned
-        }
-    };
-    let mut i = a;
-    let hi = b.min(ts.len().saturating_sub(1));
-    while i <= hi {
-        let Some(k) = w.window_of(ts[i]) else {
-            i += 1;
-            continue;
-        };
-        let wr = w.range(k).intersect(trange);
-        let j = i + ts[i..=hi].partition_point(|&t| t <= wr.hi);
-        if j > i {
-            out.push((k, i, j - 1));
-            i = j;
-        } else {
-            i += 1;
-        }
-    }
-    Ok(out)
-}
-
-/// Fused aggregation over an index range, when the codec and function
-/// allow it. `Ok(None)` means fusion does not apply.
-fn fused_range_agg(
-    page: &Page,
-    a: usize,
-    b: usize,
-    func: AggFunc,
-    cfg: &PipelineConfig,
-    stats: &ExecStats,
-) -> Result<Option<AggState>> {
-    if !fusion_covers(func, page.header.val_encoding, cfg.fuse) || !spread_fits_i64(page) {
-        return Ok(None);
-    }
-    let agg_start = Instant::now();
-    let count = page.header.count as usize;
-    let state = match page.header.val_encoding {
-        Encoding::Ts2Diff => {
-            let parsed = ts2diff::parse(&page.val_bytes)?;
-            if a == 0 && b + 1 == count {
-                sum_ts2diff(&parsed, &cfg.decode)?
-            } else {
-                sum_ts2diff_range(&parsed, a, b, &cfg.decode)?
-            }
-        }
-        Encoding::DeltaRle if a == 0 && b + 1 == count => {
-            let parsed = delta_rle::parse(&page.val_bytes)?;
-            aggregate_delta_rle(&parsed)?
-        }
-        _ => return Ok(None),
-    };
-    stats.add(&stats.agg_ns, agg_start.elapsed());
-    Ok(Some(state))
-}
-
-/// Constant-interval shortcut (§V-A): for width-0 order-1 TS2DIFF
-/// timestamps the qualifying index range is solved arithmetically.
-/// Returns `None` when the shortcut does not apply, `Some(None)` when it
-/// applies and proves emptiness.
-#[allow(clippy::option_option)]
-fn constant_positions(page: &Page, t_lo: i64, t_hi: i64) -> Option<Option<(usize, usize)>> {
-    if page.header.ts_encoding != Encoding::Ts2Diff {
-        return None;
-    }
-    let parsed = ts2diff::parse(&page.ts_bytes).ok()?;
-    if parsed.order != 1 || parsed.width != 0 {
-        return None;
-    }
-    Some(constant_interval_positions(
-        parsed.first[0],
-        parsed.min_delta,
-        parsed.count,
-        t_lo,
-        t_hi,
-    ))
-}
-
-fn decode_ts_column(page: &Page, cfg: &PipelineConfig, stats: &ExecStats) -> Result<Vec<i64>> {
-    let t = Instant::now();
-    let mut out = Vec::new();
-    let opts = DecodeOptions {
-        value_range: Some((page.header.first_ts, page.header.last_ts)),
-        ..cfg.decode
-    };
-    decode_column(page.header.ts_encoding, &page.ts_bytes, &opts, &mut out)?;
-    stats.add(&stats.unpack_ns, t.elapsed());
-    stats
-        .materialized_bytes
-        .fetch_add(out.len() as u64 * 8, std::sync::atomic::Ordering::Relaxed);
-    Ok(out)
-}
-
-/// Decodes the value column, applying suffix pruning (Propositions 4–5)
-/// when a value filter is present: the scan decodes in chunks and stops
-/// once the remaining suffix provably cannot match. Returns `None` when
-/// pruning eliminated everything before any chunk qualified.
-fn decode_val_column(
-    page: &Page,
-    pred: &Predicate,
-    cfg: &PipelineConfig,
-    stats: &ExecStats,
-) -> Result<Option<Vec<i64>>> {
-    let t = Instant::now();
-    let mut out = Vec::new();
-    // Suffix pruning applies to TS2DIFF value columns under value filters.
-    if let (true, Some((c1, c2)), Encoding::Ts2Diff) =
-        (cfg.prune, pred.value, page.header.val_encoding)
-    {
-        let parsed = ts2diff::parse(&page.val_bytes)?;
-        if parsed.order == 1 && parsed.count > 0 {
-            let bounds = DeltaBounds::from_ts2diff(&parsed);
-            // Genuinely incremental scan: unpack and accumulate one chunk
-            // of deltas at a time; the Proposition 5 rule check after each
-            // chunk stops the scan — and the remaining unpack/accumulate
-            // work — as soon as the suffix provably cannot match.
-            const CHUNK: usize = 256;
-            let n = parsed.count;
-            out.reserve(n.min(4 * CHUNK));
-            out.push(parsed.first[0]);
-            let mut cur = parsed.first[0];
-            let mut chunk = vec![0u64; CHUNK];
-            let mut pos = 0usize; // delta index
-            let total = parsed.num_deltas();
-            let mut pruned = false;
-            while pos < total {
-                let len = CHUNK.min(total - pos);
-                let t = Instant::now();
-                etsqp_simd::unpack::unpack_u64(
-                    parsed.payload,
-                    pos * parsed.width as usize,
-                    parsed.width,
-                    &mut chunk[..len],
-                );
-                stats.add(&stats.unpack_ns, t.elapsed());
-                for &s in &chunk[..len] {
-                    cur = cur.wrapping_add(parsed.min_delta.wrapping_add(s as i64));
-                    out.push(cur);
-                }
-                pos += len;
-                if prune_rest(&bounds, cur, pos, n, c1, c2) == PruneDecision::StopRest {
-                    pruned = true;
-                    break;
-                }
-            }
-            if pruned {
-                stats
-                    .tuples_pruned
-                    .fetch_add((n - out.len()) as u64, std::sync::atomic::Ordering::Relaxed);
-            }
-        } else {
-            decode_column(
-                page.header.val_encoding,
-                &page.val_bytes,
-                &cfg.decode,
-                &mut out,
-            )?;
-        }
-    } else {
-        let opts = DecodeOptions {
-            value_range: Some((page.header.min_value, page.header.max_value)),
-            ..cfg.decode
-        };
-        decode_column(page.header.val_encoding, &page.val_bytes, &opts, &mut out)?;
-    }
-    stats.add(&stats.delta_ns, t.elapsed());
-    stats
-        .materialized_bytes
-        .fetch_add(out.len() as u64 * 8, std::sync::atomic::Ordering::Relaxed);
-    Ok(Some(out))
-}
-
-/// Byte-serial per-value pipeline — the "Serial"/"IoTDB" baseline: decode
-/// value-at-a-time with the reference decoders, branch per tuple.
-fn serial_agg_page(
-    page: &Page,
-    pred: &Predicate,
-    window: Option<SlidingWindow>,
-    _cfg: &PipelineConfig,
-    stats: &ExecStats,
-) -> Result<WindowStates> {
-    let t = Instant::now();
-    let (ts, vals) = page.decode().map_err(Error::Storage)?;
-    stats.add(&stats.delta_ns, t.elapsed());
-    stats.materialized_bytes.fetch_add(
-        (ts.len() + vals.len()) as u64 * 8,
-        std::sync::atomic::Ordering::Relaxed,
-    );
-    let agg_start = Instant::now();
-    let mut windows: std::collections::BTreeMap<usize, AggState> =
-        std::collections::BTreeMap::new();
-    for (&t, &v) in ts.iter().zip(&vals) {
-        if let Some(tr) = pred.time {
-            if !tr.contains(t) {
-                continue;
-            }
-        }
-        if let Some((lo, hi)) = pred.value {
-            if v < lo || v > hi {
-                continue;
-            }
-        }
-        let k = match window {
-            Some(w) => match w.window_of(t) {
-                Some(k) => k,
-                None => continue,
-            },
-            None => 0,
-        };
-        windows.entry(k).or_default().push(v);
-    }
-    stats.add(&stats.agg_ns, agg_start.elapsed());
-    Ok(windows.into_iter().collect())
-}
-
-/// Decodes the qualifying rows of one series (row-producing plans).
-fn scan_rows(
-    store: &SeriesStore,
-    series: &str,
-    pred: &Predicate,
-    cfg: &PipelineConfig,
-    stats: &ExecStats,
-) -> Result<(Vec<i64>, Vec<i64>)> {
-    let pages = store.peek_pages(series)?;
-    let mut kept = Vec::with_capacity(pages.len());
-    for page in pages {
-        let keep = !cfg.prune
-            || (pred
-                .time
-                .is_none_or(|t| page.header.overlaps_time(t.lo, t.hi))
-                && pred
-                    .value
-                    .is_none_or(|(lo, hi)| page.header.overlaps_value(lo, hi)));
-        if keep {
-            kept.push(page);
-        } else {
-            stats
-                .pages_pruned
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            stats.tuples_pruned.fetch_add(
-                page.header.count as u64,
-                std::sync::atomic::Ordering::Relaxed,
-            );
-        }
-    }
-    let budget = budget_of(cfg);
-    let outputs = run_jobs_with(
-        cfg.scheduler,
-        kept,
-        cfg.threads,
-        stats,
-        |page| -> Result<(Vec<i64>, Vec<i64>)> {
-            charge_page_io(&page, stats, store);
-            // Gradual loading (§VI-C): reserve decode-buffer memory before
-            // materializing this page's vectors; released when the job's
-            // (filtered, smaller) output replaces them.
-            let _guard = budget.acquire(page.header.count as u64 * 16);
-            let (ts, vals) = if cfg.vectorized {
-                let ts = decode_ts_column(&page, cfg, stats)?;
-                let mut vals = Vec::new();
-                let t = Instant::now();
-                let opts = DecodeOptions {
-                    value_range: Some((page.header.min_value, page.header.max_value)),
-                    ..cfg.decode
-                };
-                decode_column(page.header.val_encoding, &page.val_bytes, &opts, &mut vals)?;
-                stats.add(&stats.delta_ns, t.elapsed());
-                (ts, vals)
-            } else {
-                page.decode().map_err(Error::Storage)?
-            };
-            if ts.len() != vals.len() || ts.len() != page.header.count as usize {
-                // A corrupt payload can decode to a different length than the
-                // header declares — fail cleanly instead of misaligning rows.
-                return Err(Error::Decode("column length mismatch (corrupt page)"));
-            }
-            let filter_start = Instant::now();
-            let mut out_ts = Vec::with_capacity(ts.len());
-            let mut out_vals = Vec::with_capacity(ts.len());
-            let (a, b) = match pred.time {
-                Some(tr) => {
-                    let a = ts.partition_point(|&t| t < tr.lo);
-                    let b = ts.partition_point(|&t| t <= tr.hi);
-                    (a, b.max(a)) // empty ranges (lo > hi) select nothing
-                }
-                None => (0, ts.len()),
-            };
-            match pred.value {
-                None => {
-                    out_ts.extend_from_slice(&ts[a..b]);
-                    out_vals.extend_from_slice(&vals[a..b]);
-                }
-                Some((lo, hi)) => {
-                    for i in a..b {
-                        if vals[i] >= lo && vals[i] <= hi {
-                            out_ts.push(ts[i]);
-                            out_vals.push(vals[i]);
-                        }
-                    }
-                }
-            }
-            stats.add(&stats.filter_ns, filter_start.elapsed());
-            Ok((out_ts, out_vals))
-        },
-    )?;
-    let merge_start = Instant::now();
-    let mut all_ts = Vec::new();
-    let mut all_vals = Vec::new();
-    for out in outputs {
-        let (t, v) = out?;
-        all_ts.extend(t);
-        all_vals.extend(v);
-    }
-    stats.add(&stats.merge_ns, merge_start.elapsed());
-    Ok((all_ts, all_vals))
-}
-
-/// Time-ordered merge of two sorted series (Q5). Ties emit left first.
-fn merge_union(lt: &[i64], lv: &[i64], rt: &[i64], rv: &[i64]) -> Vec<Vec<Value>> {
-    let mut rows = Vec::with_capacity(lt.len() + rt.len());
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < lt.len() || j < rt.len() {
-        let take_left = match (lt.get(i), rt.get(j)) {
-            (Some(&a), Some(&b)) => a <= b,
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
-            (None, None) => break,
-        };
-        if take_left {
-            rows.push(vec![Value::Int(lt[i]), Value::Int(lv[i])]);
-            i += 1;
-        } else {
-            rows.push(vec![Value::Int(rt[j]), Value::Int(rv[j])]);
-            j += 1;
-        }
-    }
-    rows
-}
-
-/// One binary operator evaluated per time-range partition — the merge
-/// nodes of Figure 9: the time domain is split at page boundaries, each
-/// range's decode+merge runs as an independent job, and the ordered
-/// concatenation of the partials is the result.
-#[derive(Debug, Clone, Copy)]
-enum BinaryKind {
-    Union,
-    Join {
-        op: Option<BinOp>,
-        on: Option<CmpOp>,
-    },
-}
-
-/// Builds at most `2 * threads` disjoint time ranges covering both series,
-/// cut at page first-timestamps so most pages fall wholly in one range.
-fn merge_partitions(
-    store: &SeriesStore,
-    left: &str,
-    right: &str,
-    threads: usize,
-) -> Result<Vec<TimeRange>> {
-    let mut cuts: Vec<i64> = Vec::new();
-    for series in [left, right] {
-        for page in store.peek_pages(series)? {
-            cuts.push(page.header.first_ts);
-        }
-    }
-    cuts.sort_unstable();
-    cuts.dedup();
-    if cuts.is_empty() {
-        return Ok(vec![TimeRange::all()]);
-    }
-    let want = (threads * 2).max(1);
-    let step = cuts.len().div_ceil(want).max(1);
-    let mut bounds: Vec<i64> = cuts.iter().copied().step_by(step).collect();
-    bounds[0] = i64::MIN;
-    let mut ranges = Vec::with_capacity(bounds.len());
-    for (i, &lo) in bounds.iter().enumerate() {
-        let hi = bounds.get(i + 1).map(|&b| b - 1).unwrap_or(i64::MAX);
-        ranges.push(TimeRange { lo, hi });
-    }
-    Ok(ranges)
-}
-
-/// Executes `Union` / `Join` / `JoinExpr` with Figure 9's per-time-range
-/// merge nodes: every partition decodes both sides restricted to its
-/// range (page pruning keeps out-of-range pages untouched) and merges
-/// independently; partials concatenate in time order.
-// Two (series, predicate) pairs plus execution context; bundling them
-// into a struct would add a type used exactly once.
-#[allow(clippy::too_many_arguments)]
-fn binary_merge_partitioned(
-    store: &SeriesStore,
-    left: &str,
-    lpred: &Predicate,
-    right: &str,
-    rpred: &Predicate,
-    kind: BinaryKind,
-    cfg: &PipelineConfig,
-    stats: &ExecStats,
-) -> Result<Vec<Vec<Value>>> {
-    let ranges = merge_partitions(store, left, right, cfg.threads)?;
-    // One worker per partition; within a partition both sides scan with
-    // a single thread (the partition level is the parallel axis).
-    let inner_cfg = PipelineConfig { threads: 1, ..*cfg };
-    let outputs = run_jobs_with(
-        cfg.scheduler,
-        ranges,
-        cfg.threads,
-        stats,
-        |range| -> Result<Vec<Vec<Value>>> {
-            let lp = lpred.and(&Predicate {
-                time: Some(range),
-                value: None,
-            });
-            let rp = rpred.and(&Predicate {
-                time: Some(range),
-                value: None,
-            });
-            let (lt, lv) = scan_rows(store, left, &lp, &inner_cfg, stats)?;
-            let (rt, rv) = scan_rows(store, right, &rp, &inner_cfg, stats)?;
-            let merge_start = Instant::now();
-            let rows = match kind {
-                BinaryKind::Union => merge_union(&lt, &lv, &rt, &rv),
-                BinaryKind::Join { op, on } => merge_join(&lt, &lv, &rt, &rv, op, on),
-            };
-            stats.add(&stats.merge_ns, merge_start.elapsed());
-            Ok(rows)
-        },
-    )?;
-    let mut rows = Vec::new();
-    for out in outputs {
-        rows.extend(out?);
-    }
-    Ok(rows)
-}
-
-/// Merge join on equal timestamps (Q4/Q6). With `op`, emits
-/// `(t, op(a, b))`; without, emits `(t, a, b)`.
-fn merge_join(
-    lt: &[i64],
-    lv: &[i64],
-    rt: &[i64],
-    rv: &[i64],
-    op: Option<BinOp>,
-    on: Option<CmpOp>,
-) -> Vec<Vec<Value>> {
-    let mut rows = Vec::new();
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < lt.len() && j < rt.len() {
-        match lt[i].cmp(&rt[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                // Inter-column predicate on the decoded pair (Eq. 3).
-                if on.is_none_or(|c| c.eval(lv[i], rv[j])) {
-                    match op {
-                        Some(op) => {
-                            rows.push(vec![Value::Int(lt[i]), Value::Int(op.apply(lv[i], rv[j]))])
-                        }
-                        None => rows.push(vec![
-                            Value::Int(lt[i]),
-                            Value::Int(lv[i]),
-                            Value::Int(rv[j]),
-                        ]),
-                    }
-                }
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    rows
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use etsqp_encoding::Encoding;
-
-    fn store_with(series: &str, ts: &[i64], vals: &[i64], page_points: usize) -> SeriesStore {
-        let store = SeriesStore::new(page_points);
-        store.create_series(series, Encoding::Ts2Diff, Encoding::Ts2Diff);
-        store.append_all(series, ts, vals).unwrap();
-        store.flush(series).unwrap();
-        store
-    }
-
-    fn cfg() -> PipelineConfig {
-        PipelineConfig {
-            threads: 2,
-            ..Default::default()
-        }
-    }
-
-    #[test]
-    fn whole_series_sum_matches_naive() {
-        let ts: Vec<i64> = (0..5000).map(|i| i * 10).collect();
-        let vals: Vec<i64> = (0..5000).map(|i| 100 + (i % 37)).collect();
-        let store = store_with("s", &ts, &vals, 512);
-        let plan = Plan::scan("s").aggregate(AggFunc::Sum);
-        let r = execute(&plan, &store, &cfg()).unwrap();
-        let want: i64 = vals.iter().sum();
-        assert_eq!(r.rows, vec![vec![Value::Int(want)]]);
-    }
-
-    #[test]
-    fn all_agg_functions_match_naive() {
-        let ts: Vec<i64> = (0..3000).map(|i| i * 5).collect();
-        let vals: Vec<i64> = (0..3000).map(|i| (i * 7) % 113 - 50).collect();
-        let store = store_with("s", &ts, &vals, 700);
-        for func in [
-            AggFunc::Sum,
-            AggFunc::Avg,
-            AggFunc::Count,
-            AggFunc::Min,
-            AggFunc::Max,
-            AggFunc::Variance,
-        ] {
-            let plan = Plan::scan("s").aggregate(func);
-            let r = execute(&plan, &store, &cfg()).unwrap();
-            let got = r.rows[0][0];
-            let mut naive = AggState::new();
-            vals.iter().for_each(|&v| naive.push(v));
-            let want = finalize(func, &naive);
-            match (got, want) {
-                (Value::Float(a), Value::Float(b)) => assert!((a - b).abs() < 1e-9, "{func:?}"),
-                (a, b) => assert_eq!(a, b, "{func:?}"),
-            }
-        }
-    }
-
-    #[test]
-    fn time_filter_matches_naive() {
-        let ts: Vec<i64> = (0..4000).map(|i| 1_000_000 + i * 100).collect();
-        let vals: Vec<i64> = (0..4000).map(|i| i % 500).collect();
-        let store = store_with("s", &ts, &vals, 512);
-        let pred = Predicate::time(1_050_000, 1_250_000);
-        let plan = Plan::scan("s").filter(pred).aggregate(AggFunc::Sum);
-        let r = execute(&plan, &store, &cfg()).unwrap();
-        let want: i64 = ts
-            .iter()
-            .zip(&vals)
-            .filter(|(&t, _)| (1_050_000..=1_250_000).contains(&t))
-            .map(|(_, &v)| v)
-            .sum();
-        assert_eq!(r.rows[0][0], Value::Int(want));
-        // Pruning must have skipped out-of-range pages.
-        assert!(r.stats.pages_pruned > 0);
-    }
-
-    #[test]
-    fn value_filter_matches_naive() {
-        let ts: Vec<i64> = (0..3000).collect();
-        let vals: Vec<i64> = (0..3000).map(|i| (i * 31) % 1000).collect();
-        let store = store_with("s", &ts, &vals, 512);
-        let plan = Plan::scan("s")
-            .filter(Predicate::value(500, i64::MAX))
-            .aggregate(AggFunc::Count);
-        let r = execute(&plan, &store, &cfg()).unwrap();
-        let want = vals.iter().filter(|&&v| v >= 500).count() as i64;
-        assert_eq!(r.rows[0][0], Value::Int(want));
-    }
-
-    #[test]
-    fn window_aggregate_matches_naive() {
-        let ts: Vec<i64> = (0..2000).map(|i| i * 10).collect();
-        let vals: Vec<i64> = (0..2000).map(|i| i % 91).collect();
-        let store = store_with("s", &ts, &vals, 333);
-        let plan = Plan::scan("s").window(0, 2500, AggFunc::Sum);
-        let r = execute(&plan, &store, &cfg()).unwrap();
-        // Naive windows.
-        let mut naive: std::collections::BTreeMap<i64, i64> = std::collections::BTreeMap::new();
-        for (&t, &v) in ts.iter().zip(&vals) {
-            *naive.entry((t / 2500) * 2500).or_default() += v;
-        }
-        assert_eq!(r.rows.len(), naive.len());
-        for row in &r.rows {
-            let (Value::Int(start), Value::Int(sum)) = (row[0], row[1]) else {
-                panic!("bad row {row:?}")
-            };
-            assert_eq!(naive[&start], sum, "window {start}");
-        }
-    }
-
-    #[test]
-    fn serial_and_vectorized_agree() {
-        let ts: Vec<i64> = (0..2500).map(|i| i * 7).collect();
-        let vals: Vec<i64> = (0..2500).map(|i| (i % 301) - 150).collect();
-        let store = store_with("s", &ts, &vals, 400);
-        let plan = Plan::scan("s")
-            .filter(Predicate::time(1000, 12_000).and(&Predicate::value(-100, 100)))
-            .aggregate(AggFunc::Sum);
-        let fast = execute(&plan, &store, &cfg()).unwrap();
-        let serial_cfg = PipelineConfig {
-            vectorized: false,
-            threads: 1,
-            prune: false,
-            ..Default::default()
-        };
-        let slow = execute(&plan, &store, &serial_cfg).unwrap();
-        assert_eq!(fast.rows, slow.rows);
-    }
-
-    #[test]
-    fn fusion_levels_agree() {
-        let ts: Vec<i64> = (0..3000).map(|i| i * 3).collect();
-        let vals: Vec<i64> = (0..3000).map(|i| 10 + (i % 7)).collect();
-        let store = store_with("s", &ts, &vals, 500);
-        let plan = Plan::scan("s").aggregate(AggFunc::Sum);
-        let mut results = Vec::new();
-        for fuse in [FuseLevel::None, FuseLevel::Delta, FuseLevel::DeltaRepeat] {
-            let c = PipelineConfig {
-                fuse,
-                allow_slicing: false,
-                ..cfg()
-            };
-            results.push(execute(&plan, &store, &c).unwrap().rows);
-        }
-        assert_eq!(results[0], results[1]);
-        assert_eq!(results[1], results[2]);
-    }
-
-    #[test]
-    fn sliced_execution_agrees_with_paged() {
-        // 2 pages, 8 threads → slices; result must match unsliced.
-        let ts: Vec<i64> = (0..2000).collect();
-        let vals: Vec<i64> = (0..2000).map(|i| (i % 97) - 48).collect();
-        let store = store_with("s", &ts, &vals, 1000);
-        let plan = Plan::scan("s").aggregate(AggFunc::Sum);
-        let sliced = PipelineConfig {
-            threads: 8,
-            allow_slicing: true,
-            ..cfg()
-        };
-        let paged = PipelineConfig {
-            threads: 8,
-            allow_slicing: false,
-            ..cfg()
-        };
-        let a = execute(&plan, &store, &sliced).unwrap();
-        let b = execute(&plan, &store, &paged).unwrap();
-        assert_eq!(a.rows, b.rows);
-        // Min/max/variance also survive the symbolic slice merge.
-        for func in [AggFunc::Min, AggFunc::Max, AggFunc::Variance, AggFunc::Avg] {
-            let plan = Plan::scan("s").aggregate(func);
-            let a = execute(&plan, &store, &sliced).unwrap();
-            let b = execute(&plan, &store, &paged).unwrap();
-            match (a.rows[0][0], b.rows[0][0]) {
-                (Value::Float(x), Value::Float(y)) => assert!((x - y).abs() < 1e-6, "{func:?}"),
-                (x, y) => assert_eq!(x, y, "{func:?}"),
-            }
-        }
-    }
-
-    #[test]
-    fn union_and_join_match_naive() {
-        let t1: Vec<i64> = (0..100).map(|i| i * 2).collect(); // evens
-        let v1: Vec<i64> = (0..100).collect();
-        let t2: Vec<i64> = (0..100).map(|i| i * 3).collect(); // multiples of 3
-        let v2: Vec<i64> = (0..100).map(|i| 1000 + i).collect();
-        let store = SeriesStore::new(64);
-        store.create_series("a", Encoding::Ts2Diff, Encoding::Ts2Diff);
-        store.create_series("b", Encoding::Ts2Diff, Encoding::Ts2Diff);
-        store.append_all("a", &t1, &v1).unwrap();
-        store.append_all("b", &t2, &v2).unwrap();
-        store.flush("a").unwrap();
-        store.flush("b").unwrap();
-
-        let union = Plan::Union {
-            left: Box::new(Plan::scan("a")),
-            right: Box::new(Plan::scan("b")),
-        };
-        let r = execute(&union, &store, &cfg()).unwrap();
-        assert_eq!(r.rows.len(), 200);
-        // Sorted by time.
-        let times: Vec<i64> = r
-            .rows
-            .iter()
-            .map(|row| match row[0] {
-                Value::Int(t) => t,
-                _ => panic!(),
-            })
-            .collect();
-        assert!(times.windows(2).all(|w| w[0] <= w[1]));
-
-        let join = Plan::Join {
-            left: Box::new(Plan::scan("a")),
-            right: Box::new(Plan::scan("b")),
-            on: None,
-        };
-        let r = execute(&join, &store, &cfg()).unwrap();
-        // Equal timestamps: multiples of 6 below 198 and below 297 → 0,6,...,198.
-        let want = t1.iter().filter(|t| t2.contains(t)).count();
-        assert_eq!(r.rows.len(), want);
-
-        let jexpr = Plan::JoinExpr {
-            left: Box::new(Plan::scan("a")),
-            right: Box::new(Plan::scan("b")),
-            op: BinOp::Add,
-        };
-        let r = execute(&jexpr, &store, &cfg()).unwrap();
-        assert_eq!(r.rows.len(), want);
-        // Row 0: t=0, a=0, b=1000 → 1000.
-        assert_eq!(r.rows[0], vec![Value::Int(0), Value::Int(1000)]);
-    }
-
-    #[test]
-    fn empty_result_yields_null() {
-        let ts: Vec<i64> = (0..100).collect();
-        let vals = ts.clone();
-        let store = store_with("s", &ts, &vals, 50);
-        let plan = Plan::scan("s")
-            .filter(Predicate::time(10_000, 20_000))
-            .aggregate(AggFunc::Sum);
-        let r = execute(&plan, &store, &cfg()).unwrap();
-        assert_eq!(r.rows[0][0], Value::Null);
-    }
-
-    #[test]
-    fn first_last_aggregates_match_naive() {
-        let ts: Vec<i64> = (0..3000).map(|i| i * 5).collect();
-        let vals: Vec<i64> = (0..3000).map(|i| (i * 37) % 1009 - 200).collect();
-        let store = store_with("s", &ts, &vals, 256);
-        // Whole series, sliced and unsliced.
-        for threads in [1usize, 8] {
-            let c = PipelineConfig { threads, ..cfg() };
-            let first = execute(&Plan::scan("s").aggregate(AggFunc::First), &store, &c).unwrap();
-            let last = execute(&Plan::scan("s").aggregate(AggFunc::Last), &store, &c).unwrap();
-            assert_eq!(first.rows[0][0], Value::Int(vals[0]), "threads {threads}");
-            assert_eq!(
-                last.rows[0][0],
-                Value::Int(*vals.last().unwrap()),
-                "threads {threads}"
-            );
-        }
-        // With a time filter.
-        let pred = Predicate::time(ts[100], ts[2000]);
-        let r = execute(
-            &Plan::scan("s").filter(pred).aggregate(AggFunc::First),
-            &store,
-            &cfg(),
-        )
-        .unwrap();
-        assert_eq!(r.rows[0][0], Value::Int(vals[100]));
-        // With a value filter (first qualifying value).
-        let pred = Predicate::value(500, i64::MAX);
-        let want = *vals.iter().find(|&&v| v >= 500).unwrap();
-        let r = execute(
-            &Plan::scan("s").filter(pred).aggregate(AggFunc::First),
-            &store,
-            &cfg(),
-        )
-        .unwrap();
-        assert_eq!(r.rows[0][0], Value::Int(want));
-        // Windowed LAST: one row per window, each the window's last value.
-        let r = execute(
-            &Plan::scan("s").window(0, 2500, AggFunc::Last),
-            &store,
-            &cfg(),
-        )
-        .unwrap();
-        for row in &r.rows {
-            let (Value::Int(start), Value::Int(got)) = (row[0], row[1]) else {
-                panic!()
-            };
-            let want = ts
-                .iter()
-                .zip(&vals)
-                .filter(|(&t, _)| t >= start && t < start + 2500)
-                .map(|(_, &v)| v)
-                .next_back()
-                .unwrap();
-            assert_eq!(got, want, "window {start}");
-        }
-        // Serial engine agrees.
-        let serial = PipelineConfig {
-            vectorized: false,
-            threads: 1,
-            prune: false,
-            ..cfg()
-        };
-        let a = execute(&Plan::scan("s").aggregate(AggFunc::Last), &store, &serial).unwrap();
-        let b = execute(&Plan::scan("s").aggregate(AggFunc::Last), &store, &cfg()).unwrap();
-        assert_eq!(a.rows, b.rows);
-    }
-
-    #[test]
-    fn inter_column_join_predicate_filters_rows() {
-        let t: Vec<i64> = (0..500).collect();
-        let a: Vec<i64> = (0..500).map(|i| i % 100).collect();
-        let b: Vec<i64> = (0..500).map(|_| 50).collect();
-        let store = SeriesStore::new(128);
-        store.create_series("a", Encoding::Ts2Diff, Encoding::Ts2Diff);
-        store.create_series("b", Encoding::Ts2Diff, Encoding::Ts2Diff);
-        store.append_all("a", &t, &a).unwrap();
-        store.append_all("b", &t, &b).unwrap();
-        store.flush("a").unwrap();
-        store.flush("b").unwrap();
-        for (op, want) in [
-            (CmpOp::Gt, a.iter().filter(|&&v| v > 50).count()),
-            (CmpOp::Le, a.iter().filter(|&&v| v <= 50).count()),
-            (CmpOp::Eq, a.iter().filter(|&&v| v == 50).count()),
-        ] {
-            let plan = Plan::Join {
-                left: Box::new(Plan::scan("a")),
-                right: Box::new(Plan::scan("b")),
-                on: Some(op),
-            };
-            let r = execute(&plan, &store, &cfg()).unwrap();
-            assert_eq!(r.rows.len(), want, "{op:?}");
-        }
-    }
-
-    #[test]
-    fn partitioned_merge_agrees_with_single_thread() {
-        // Figure 9 merge nodes: many partitions must produce exactly the
-        // sequential result for every binary operator, including on
-        // misaligned clocks with filters.
-        let t1: Vec<i64> = (0..3000).map(|i| i * 2).collect();
-        let v1: Vec<i64> = (0..3000).map(|i| i % 251).collect();
-        let t2: Vec<i64> = (0..3000).map(|i| i * 3 + 1).collect();
-        let v2: Vec<i64> = (0..3000).map(|i| 500 - i % 100).collect();
-        let store = SeriesStore::new(200);
-        store.create_series("a", Encoding::Ts2Diff, Encoding::Ts2Diff);
-        store.create_series("b", Encoding::Ts2Diff, Encoding::Ts2Diff);
-        store.append_all("a", &t1, &v1).unwrap();
-        store.append_all("b", &t2, &v2).unwrap();
-        store.flush("a").unwrap();
-        store.flush("b").unwrap();
-        let pred = Predicate::time(1000, 8000);
-        for plan in [
-            Plan::Union {
-                left: Box::new(Plan::scan("a").filter(pred)),
-                right: Box::new(Plan::scan("b")),
-            },
-            Plan::Join {
-                left: Box::new(Plan::scan("a")),
-                right: Box::new(Plan::scan("b")),
-                on: None,
-            },
-            Plan::JoinExpr {
-                left: Box::new(Plan::scan("a")),
-                right: Box::new(Plan::scan("b").filter(pred)),
-                op: BinOp::Mul,
-            },
-        ] {
-            let sequential = execute(
-                &plan,
-                &store,
-                &PipelineConfig {
-                    threads: 1,
-                    ..cfg()
-                },
-            )
-            .unwrap();
-            for threads in [2usize, 5, 16] {
-                let parallel =
-                    execute(&plan, &store, &PipelineConfig { threads, ..cfg() }).unwrap();
-                assert_eq!(
-                    parallel.rows, sequential.rows,
-                    "threads {threads} plan {plan:?}"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn tight_decode_budget_still_answers_correctly() {
-        // §VI-C gradual loading: a budget smaller than one page's decode
-        // buffers must not deadlock (oversized grants) and a budget that
-        // serializes page decodes must still produce the right rows.
-        let ts: Vec<i64> = (0..5000).collect();
-        let vals: Vec<i64> = (0..5000).map(|i| i % 77).collect();
-        let store = store_with("s", &ts, &vals, 512);
-        let plan = Plan::scan("s").filter(Predicate::value(10, 50));
-        let unlimited = execute(&plan, &store, &cfg()).unwrap();
-        for budget in [1u64, 512 * 16, 10_000_000] {
-            let c = PipelineConfig {
-                threads: 4,
-                decode_budget_bytes: Some(budget),
-                ..cfg()
-            };
-            let r = execute(&plan, &store, &c).unwrap();
-            assert_eq!(r.rows, unlimited.rows, "budget {budget}");
-        }
-    }
-
-    #[test]
-    fn delta_rle_values_use_full_fusion() {
-        let ts: Vec<i64> = (0..2048).collect();
-        let vals: Vec<i64> = (0..2048).map(|i| 5 + (i / 100)).collect(); // long runs
-        let store = SeriesStore::new(1024);
-        store.create_series("s", Encoding::Ts2Diff, Encoding::DeltaRle);
-        store.append_all("s", &ts, &vals).unwrap();
-        store.flush("s").unwrap();
-        for func in [AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Variance] {
-            let plan = Plan::scan("s").aggregate(func);
-            let r = execute(
-                &plan,
-                &store,
-                &PipelineConfig {
-                    allow_slicing: false,
-                    ..cfg()
-                },
-            )
-            .unwrap();
-            let mut naive = AggState::new();
-            vals.iter().for_each(|&v| naive.push(v));
-            let want = finalize(func, &naive);
-            match (r.rows[0][0], want) {
-                (Value::Float(a), Value::Float(b)) => assert!((a - b).abs() < 1e-9, "{func:?}"),
-                (a, b) => assert_eq!(a, b, "{func:?}"),
-            }
-        }
     }
 }

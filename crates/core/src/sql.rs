@@ -217,6 +217,35 @@ pub fn parse(input: &str) -> Result<Plan> {
     Ok(plan)
 }
 
+/// A parsed SQL statement: a query, or an `EXPLAIN` wrapping one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// Execute the plan and return rows.
+    Query(Plan),
+    /// Compile the plan and return its rendered physical pipeline.
+    Explain(Plan),
+}
+
+/// Parses one statement, recognizing an optional leading `EXPLAIN`
+/// keyword (case-insensitive) before the query.
+pub fn parse_statement(input: &str) -> Result<Statement> {
+    let trimmed = input.trim_start();
+    let explained = trimmed
+        .split_whitespace()
+        .next()
+        .is_some_and(|w| w.eq_ignore_ascii_case("EXPLAIN"));
+    if explained {
+        let rest = &trimmed[trimmed
+            .char_indices()
+            .find(|(_, c)| c.is_whitespace())
+            .map(|(i, _)| i)
+            .unwrap_or(trimmed.len())..];
+        Ok(Statement::Explain(parse(rest)?))
+    } else {
+        Ok(Statement::Query(parse(input)?))
+    }
+}
+
 #[derive(Debug)]
 enum SelectItem {
     Star,

@@ -1,0 +1,446 @@
+//! End-to-end tests of the physical pipeline executor (formerly the
+//! `plan.rs` unit-test battery, now driving the public API through the
+//! Algorithm 2 compiler + driver).
+
+use etsqp_core::expr::{AggFunc, BinOp, CmpOp, Plan, Predicate};
+use etsqp_core::fused::FuseLevel;
+use etsqp_core::plan::{execute, finalize, PipelineConfig, Value};
+use etsqp_encoding::Encoding;
+use etsqp_simd::agg::AggState;
+use etsqp_storage::store::SeriesStore;
+
+fn store_with(series: &str, ts: &[i64], vals: &[i64], page_points: usize) -> SeriesStore {
+    let store = SeriesStore::new(page_points);
+    store.create_series(series, Encoding::Ts2Diff, Encoding::Ts2Diff);
+    store.append_all(series, ts, vals).unwrap();
+    store.flush(series).unwrap();
+    store
+}
+
+fn cfg() -> PipelineConfig {
+    PipelineConfig {
+        threads: 2,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn whole_series_sum_matches_naive() {
+    let ts: Vec<i64> = (0..5000).map(|i| i * 10).collect();
+    let vals: Vec<i64> = (0..5000).map(|i| 100 + (i % 37)).collect();
+    let store = store_with("s", &ts, &vals, 512);
+    let plan = Plan::scan("s").aggregate(AggFunc::Sum);
+    let r = execute(&plan, &store, &cfg()).unwrap();
+    let want: i64 = vals.iter().sum();
+    assert_eq!(r.rows, vec![vec![Value::Int(want)]]);
+}
+
+#[test]
+fn all_agg_functions_match_naive() {
+    let ts: Vec<i64> = (0..3000).map(|i| i * 5).collect();
+    let vals: Vec<i64> = (0..3000).map(|i| (i * 7) % 113 - 50).collect();
+    let store = store_with("s", &ts, &vals, 700);
+    for func in [
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Count,
+        AggFunc::Min,
+        AggFunc::Max,
+        AggFunc::Variance,
+    ] {
+        let plan = Plan::scan("s").aggregate(func);
+        let r = execute(&plan, &store, &cfg()).unwrap();
+        let got = r.rows[0][0];
+        let mut naive = AggState::new();
+        vals.iter().for_each(|&v| naive.push(v));
+        let want = finalize(func, &naive);
+        match (got, want) {
+            (Value::Float(a), Value::Float(b)) => assert!((a - b).abs() < 1e-9, "{func:?}"),
+            (a, b) => assert_eq!(a, b, "{func:?}"),
+        }
+    }
+}
+
+#[test]
+fn time_filter_matches_naive() {
+    let ts: Vec<i64> = (0..4000).map(|i| 1_000_000 + i * 100).collect();
+    let vals: Vec<i64> = (0..4000).map(|i| i % 500).collect();
+    let store = store_with("s", &ts, &vals, 512);
+    let pred = Predicate::time(1_050_000, 1_250_000);
+    let plan = Plan::scan("s").filter(pred).aggregate(AggFunc::Sum);
+    let r = execute(&plan, &store, &cfg()).unwrap();
+    let want: i64 = ts
+        .iter()
+        .zip(&vals)
+        .filter(|(&t, _)| (1_050_000..=1_250_000).contains(&t))
+        .map(|(_, &v)| v)
+        .sum();
+    assert_eq!(r.rows[0][0], Value::Int(want));
+    // Pruning must have skipped out-of-range pages.
+    assert!(r.stats.pages_pruned > 0);
+}
+
+#[test]
+fn value_filter_matches_naive() {
+    let ts: Vec<i64> = (0..3000).collect();
+    let vals: Vec<i64> = (0..3000).map(|i| (i * 31) % 1000).collect();
+    let store = store_with("s", &ts, &vals, 512);
+    let plan = Plan::scan("s")
+        .filter(Predicate::value(500, i64::MAX))
+        .aggregate(AggFunc::Count);
+    let r = execute(&plan, &store, &cfg()).unwrap();
+    let want = vals.iter().filter(|&&v| v >= 500).count() as i64;
+    assert_eq!(r.rows[0][0], Value::Int(want));
+}
+
+#[test]
+fn window_aggregate_matches_naive() {
+    let ts: Vec<i64> = (0..2000).map(|i| i * 10).collect();
+    let vals: Vec<i64> = (0..2000).map(|i| i % 91).collect();
+    let store = store_with("s", &ts, &vals, 333);
+    let plan = Plan::scan("s").window(0, 2500, AggFunc::Sum);
+    let r = execute(&plan, &store, &cfg()).unwrap();
+    // Naive windows.
+    let mut naive: std::collections::BTreeMap<i64, i64> = std::collections::BTreeMap::new();
+    for (&t, &v) in ts.iter().zip(&vals) {
+        *naive.entry((t / 2500) * 2500).or_default() += v;
+    }
+    assert_eq!(r.rows.len(), naive.len());
+    for row in &r.rows {
+        let (Value::Int(start), Value::Int(sum)) = (row[0], row[1]) else {
+            panic!("bad row {row:?}")
+        };
+        assert_eq!(naive[&start], sum, "window {start}");
+    }
+}
+
+#[test]
+fn serial_and_vectorized_agree() {
+    let ts: Vec<i64> = (0..2500).map(|i| i * 7).collect();
+    let vals: Vec<i64> = (0..2500).map(|i| (i % 301) - 150).collect();
+    let store = store_with("s", &ts, &vals, 400);
+    let plan = Plan::scan("s")
+        .filter(Predicate::time(1000, 12_000).and(&Predicate::value(-100, 100)))
+        .aggregate(AggFunc::Sum);
+    let fast = execute(&plan, &store, &cfg()).unwrap();
+    let serial_cfg = PipelineConfig {
+        vectorized: false,
+        threads: 1,
+        prune: false,
+        ..Default::default()
+    };
+    let slow = execute(&plan, &store, &serial_cfg).unwrap();
+    assert_eq!(fast.rows, slow.rows);
+}
+
+#[test]
+fn fusion_levels_agree() {
+    let ts: Vec<i64> = (0..3000).map(|i| i * 3).collect();
+    let vals: Vec<i64> = (0..3000).map(|i| 10 + (i % 7)).collect();
+    let store = store_with("s", &ts, &vals, 500);
+    let plan = Plan::scan("s").aggregate(AggFunc::Sum);
+    let mut results = Vec::new();
+    for fuse in [FuseLevel::None, FuseLevel::Delta, FuseLevel::DeltaRepeat] {
+        let c = PipelineConfig {
+            fuse,
+            allow_slicing: false,
+            ..cfg()
+        };
+        results.push(execute(&plan, &store, &c).unwrap().rows);
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
+}
+
+#[test]
+fn sliced_execution_agrees_with_paged() {
+    // 2 pages, 8 threads → slices; result must match unsliced.
+    let ts: Vec<i64> = (0..2000).collect();
+    let vals: Vec<i64> = (0..2000).map(|i| (i % 97) - 48).collect();
+    let store = store_with("s", &ts, &vals, 1000);
+    let plan = Plan::scan("s").aggregate(AggFunc::Sum);
+    let sliced = PipelineConfig {
+        threads: 8,
+        allow_slicing: true,
+        ..cfg()
+    };
+    let paged = PipelineConfig {
+        threads: 8,
+        allow_slicing: false,
+        ..cfg()
+    };
+    let a = execute(&plan, &store, &sliced).unwrap();
+    let b = execute(&plan, &store, &paged).unwrap();
+    assert_eq!(a.rows, b.rows);
+    // Min/max/variance also survive the symbolic slice merge.
+    for func in [AggFunc::Min, AggFunc::Max, AggFunc::Variance, AggFunc::Avg] {
+        let plan = Plan::scan("s").aggregate(func);
+        let a = execute(&plan, &store, &sliced).unwrap();
+        let b = execute(&plan, &store, &paged).unwrap();
+        match (a.rows[0][0], b.rows[0][0]) {
+            (Value::Float(x), Value::Float(y)) => assert!((x - y).abs() < 1e-6, "{func:?}"),
+            (x, y) => assert_eq!(x, y, "{func:?}"),
+        }
+    }
+}
+
+#[test]
+fn union_and_join_match_naive() {
+    let t1: Vec<i64> = (0..100).map(|i| i * 2).collect(); // evens
+    let v1: Vec<i64> = (0..100).collect();
+    let t2: Vec<i64> = (0..100).map(|i| i * 3).collect(); // multiples of 3
+    let v2: Vec<i64> = (0..100).map(|i| 1000 + i).collect();
+    let store = SeriesStore::new(64);
+    store.create_series("a", Encoding::Ts2Diff, Encoding::Ts2Diff);
+    store.create_series("b", Encoding::Ts2Diff, Encoding::Ts2Diff);
+    store.append_all("a", &t1, &v1).unwrap();
+    store.append_all("b", &t2, &v2).unwrap();
+    store.flush("a").unwrap();
+    store.flush("b").unwrap();
+
+    let union = Plan::Union {
+        left: Box::new(Plan::scan("a")),
+        right: Box::new(Plan::scan("b")),
+    };
+    let r = execute(&union, &store, &cfg()).unwrap();
+    assert_eq!(r.rows.len(), 200);
+    // Sorted by time.
+    let times: Vec<i64> = r
+        .rows
+        .iter()
+        .map(|row| match row[0] {
+            Value::Int(t) => t,
+            _ => panic!(),
+        })
+        .collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+
+    let join = Plan::Join {
+        left: Box::new(Plan::scan("a")),
+        right: Box::new(Plan::scan("b")),
+        on: None,
+    };
+    let r = execute(&join, &store, &cfg()).unwrap();
+    // Equal timestamps: multiples of 6 below 198 and below 297 → 0,6,...,198.
+    let want = t1.iter().filter(|t| t2.contains(t)).count();
+    assert_eq!(r.rows.len(), want);
+
+    let jexpr = Plan::JoinExpr {
+        left: Box::new(Plan::scan("a")),
+        right: Box::new(Plan::scan("b")),
+        op: BinOp::Add,
+    };
+    let r = execute(&jexpr, &store, &cfg()).unwrap();
+    assert_eq!(r.rows.len(), want);
+    // Row 0: t=0, a=0, b=1000 → 1000.
+    assert_eq!(r.rows[0], vec![Value::Int(0), Value::Int(1000)]);
+}
+
+#[test]
+fn empty_result_yields_null() {
+    let ts: Vec<i64> = (0..100).collect();
+    let vals = ts.clone();
+    let store = store_with("s", &ts, &vals, 50);
+    let plan = Plan::scan("s")
+        .filter(Predicate::time(10_000, 20_000))
+        .aggregate(AggFunc::Sum);
+    let r = execute(&plan, &store, &cfg()).unwrap();
+    assert_eq!(r.rows[0][0], Value::Null);
+}
+
+#[test]
+fn first_last_aggregates_match_naive() {
+    let ts: Vec<i64> = (0..3000).map(|i| i * 5).collect();
+    let vals: Vec<i64> = (0..3000).map(|i| (i * 37) % 1009 - 200).collect();
+    let store = store_with("s", &ts, &vals, 256);
+    // Whole series, sliced and unsliced.
+    for threads in [1usize, 8] {
+        let c = PipelineConfig { threads, ..cfg() };
+        let first = execute(&Plan::scan("s").aggregate(AggFunc::First), &store, &c).unwrap();
+        let last = execute(&Plan::scan("s").aggregate(AggFunc::Last), &store, &c).unwrap();
+        assert_eq!(first.rows[0][0], Value::Int(vals[0]), "threads {threads}");
+        assert_eq!(
+            last.rows[0][0],
+            Value::Int(*vals.last().unwrap()),
+            "threads {threads}"
+        );
+    }
+    // With a time filter.
+    let pred = Predicate::time(ts[100], ts[2000]);
+    let r = execute(
+        &Plan::scan("s").filter(pred).aggregate(AggFunc::First),
+        &store,
+        &cfg(),
+    )
+    .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(vals[100]));
+    // With a value filter (first qualifying value).
+    let pred = Predicate::value(500, i64::MAX);
+    let want = *vals.iter().find(|&&v| v >= 500).unwrap();
+    let r = execute(
+        &Plan::scan("s").filter(pred).aggregate(AggFunc::First),
+        &store,
+        &cfg(),
+    )
+    .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(want));
+    // Windowed LAST: one row per window, each the window's last value.
+    let r = execute(
+        &Plan::scan("s").window(0, 2500, AggFunc::Last),
+        &store,
+        &cfg(),
+    )
+    .unwrap();
+    for row in &r.rows {
+        let (Value::Int(start), Value::Int(got)) = (row[0], row[1]) else {
+            panic!()
+        };
+        let want = ts
+            .iter()
+            .zip(&vals)
+            .filter(|(&t, _)| t >= start && t < start + 2500)
+            .map(|(_, &v)| v)
+            .next_back()
+            .unwrap();
+        assert_eq!(got, want, "window {start}");
+    }
+    // Serial engine agrees.
+    let serial = PipelineConfig {
+        vectorized: false,
+        threads: 1,
+        prune: false,
+        ..cfg()
+    };
+    let a = execute(&Plan::scan("s").aggregate(AggFunc::Last), &store, &serial).unwrap();
+    let b = execute(&Plan::scan("s").aggregate(AggFunc::Last), &store, &cfg()).unwrap();
+    assert_eq!(a.rows, b.rows);
+}
+
+#[test]
+fn inter_column_join_predicate_filters_rows() {
+    let t: Vec<i64> = (0..500).collect();
+    let a: Vec<i64> = (0..500).map(|i| i % 100).collect();
+    let b: Vec<i64> = (0..500).map(|_| 50).collect();
+    let store = SeriesStore::new(128);
+    store.create_series("a", Encoding::Ts2Diff, Encoding::Ts2Diff);
+    store.create_series("b", Encoding::Ts2Diff, Encoding::Ts2Diff);
+    store.append_all("a", &t, &a).unwrap();
+    store.append_all("b", &t, &b).unwrap();
+    store.flush("a").unwrap();
+    store.flush("b").unwrap();
+    for (op, want) in [
+        (CmpOp::Gt, a.iter().filter(|&&v| v > 50).count()),
+        (CmpOp::Le, a.iter().filter(|&&v| v <= 50).count()),
+        (CmpOp::Eq, a.iter().filter(|&&v| v == 50).count()),
+    ] {
+        let plan = Plan::Join {
+            left: Box::new(Plan::scan("a")),
+            right: Box::new(Plan::scan("b")),
+            on: Some(op),
+        };
+        let r = execute(&plan, &store, &cfg()).unwrap();
+        assert_eq!(r.rows.len(), want, "{op:?}");
+    }
+}
+
+#[test]
+fn partitioned_merge_agrees_with_single_thread() {
+    // Figure 9 merge nodes: many partitions must produce exactly the
+    // sequential result for every binary operator, including on
+    // misaligned clocks with filters.
+    let t1: Vec<i64> = (0..3000).map(|i| i * 2).collect();
+    let v1: Vec<i64> = (0..3000).map(|i| i % 251).collect();
+    let t2: Vec<i64> = (0..3000).map(|i| i * 3 + 1).collect();
+    let v2: Vec<i64> = (0..3000).map(|i| 500 - i % 100).collect();
+    let store = SeriesStore::new(200);
+    store.create_series("a", Encoding::Ts2Diff, Encoding::Ts2Diff);
+    store.create_series("b", Encoding::Ts2Diff, Encoding::Ts2Diff);
+    store.append_all("a", &t1, &v1).unwrap();
+    store.append_all("b", &t2, &v2).unwrap();
+    store.flush("a").unwrap();
+    store.flush("b").unwrap();
+    let pred = Predicate::time(1000, 8000);
+    for plan in [
+        Plan::Union {
+            left: Box::new(Plan::scan("a").filter(pred)),
+            right: Box::new(Plan::scan("b")),
+        },
+        Plan::Join {
+            left: Box::new(Plan::scan("a")),
+            right: Box::new(Plan::scan("b")),
+            on: None,
+        },
+        Plan::JoinExpr {
+            left: Box::new(Plan::scan("a")),
+            right: Box::new(Plan::scan("b").filter(pred)),
+            op: BinOp::Mul,
+        },
+    ] {
+        let sequential = execute(
+            &plan,
+            &store,
+            &PipelineConfig {
+                threads: 1,
+                ..cfg()
+            },
+        )
+        .unwrap();
+        for threads in [2usize, 5, 16] {
+            let parallel = execute(&plan, &store, &PipelineConfig { threads, ..cfg() }).unwrap();
+            assert_eq!(
+                parallel.rows, sequential.rows,
+                "threads {threads} plan {plan:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tight_decode_budget_still_answers_correctly() {
+    // §VI-C gradual loading: a budget smaller than one page's decode
+    // buffers must not deadlock (oversized grants) and a budget that
+    // serializes page decodes must still produce the right rows.
+    let ts: Vec<i64> = (0..5000).collect();
+    let vals: Vec<i64> = (0..5000).map(|i| i % 77).collect();
+    let store = store_with("s", &ts, &vals, 512);
+    let plan = Plan::scan("s").filter(Predicate::value(10, 50));
+    let unlimited = execute(&plan, &store, &cfg()).unwrap();
+    for budget in [1u64, 512 * 16, 10_000_000] {
+        let c = PipelineConfig {
+            threads: 4,
+            decode_budget_bytes: Some(budget),
+            ..cfg()
+        };
+        let r = execute(&plan, &store, &c).unwrap();
+        assert_eq!(r.rows, unlimited.rows, "budget {budget}");
+    }
+}
+
+#[test]
+fn delta_rle_values_use_full_fusion() {
+    let ts: Vec<i64> = (0..2048).collect();
+    let vals: Vec<i64> = (0..2048).map(|i| 5 + (i / 100)).collect(); // long runs
+    let store = SeriesStore::new(1024);
+    store.create_series("s", Encoding::Ts2Diff, Encoding::DeltaRle);
+    store.append_all("s", &ts, &vals).unwrap();
+    store.flush("s").unwrap();
+    for func in [AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Variance] {
+        let plan = Plan::scan("s").aggregate(func);
+        let r = execute(
+            &plan,
+            &store,
+            &PipelineConfig {
+                allow_slicing: false,
+                ..cfg()
+            },
+        )
+        .unwrap();
+        let mut naive = AggState::new();
+        vals.iter().for_each(|&v| naive.push(v));
+        let want = finalize(func, &naive);
+        match (r.rows[0][0], want) {
+            (Value::Float(a), Value::Float(b)) => assert!((a - b).abs() < 1e-9, "{func:?}"),
+            (a, b) => assert_eq!(a, b, "{func:?}"),
+        }
+    }
+}

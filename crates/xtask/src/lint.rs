@@ -18,6 +18,9 @@
 //!   `#![forbid(unsafe_code)]` at their lib root.
 //! * `unsafe-op-in-unsafe-fn` — crates containing `unsafe` must declare
 //!   `#![deny(unsafe_op_in_unsafe_fn)]` at their lib root.
+//! * `file-size` — no file under `crates/core/src/` may exceed
+//!   [`MAX_CORE_FILE_LINES`] lines; oversized modules must be split
+//!   (the decomposition that produced `crates/core/src/physical/`).
 //!
 //! Escape hatch: `// lint:allow(<rule>) -- <reason>` on the offending
 //! line or in the comment block directly above suppresses that rule
@@ -44,13 +47,20 @@ pub const CAST_FILES: [&str; 2] = ["crates/core/src/fused.rs", "crates/simd/src/
 /// Narrowing cast targets flagged by `no-lossy-cast`.
 const NARROW_TYPES: [&str; 7] = ["u8", "i8", "u16", "i16", "u32", "i32", "f32"];
 
+/// Files under this path are subject to the `file-size` ceiling.
+pub const SIZE_SCOPE: &str = "crates/core/src/";
+
+/// Line ceiling for engine source files (`file-size` rule).
+pub const MAX_CORE_FILE_LINES: usize = 800;
+
 /// Rule names accepted by the escape hatch.
-pub const RULE_NAMES: [&str; 5] = [
+pub const RULE_NAMES: [&str; 6] = [
     "safety-comment",
     "no-panic-paths",
     "no-lossy-cast",
     "forbid-unsafe",
     "unsafe-op-in-unsafe-fn",
+    "file-size",
 ];
 
 /// One rule violation at a specific location.
@@ -514,6 +524,28 @@ pub fn analyze_source(rel_path: &str, source: &str) -> Report {
         false
     };
 
+    // Rule: file-size (engine modules must stay decomposed). The count
+    // is physical source lines, tests included — test bulk is still
+    // bulk the next reader scrolls past. The escape hatch is accepted
+    // anywhere in the file (it is a file-level property).
+    if rel_path.contains(SIZE_SCOPE) {
+        let n = source.lines().count();
+        let allowed_anywhere = allows_at
+            .iter()
+            .any(|rs| rs.iter().any(|r| r == "file-size"));
+        if n > MAX_CORE_FILE_LINES && !allowed_anywhere {
+            report.violations.push(Violation {
+                file: rel_path.to_string(),
+                line: n,
+                rule: "file-size".into(),
+                msg: format!(
+                    "{n} lines exceeds the {MAX_CORE_FILE_LINES}-line ceiling for {SIZE_SCOPE} \
+                     files; split the module"
+                ),
+            });
+        }
+    }
+
     // Rule: safety-comment (all files, tests included).
     for (i, line) in lines.iter().enumerate() {
         if !has_token(&line.code, "unsafe") {
@@ -823,6 +855,35 @@ pub fn f(v: &[i64]) -> i64 {
         assert_eq!(v.expect("must fire").0, "unsafe-op-in-unsafe-fn");
         let present = "#![deny(unsafe_op_in_unsafe_fn)]\npub fn f() {}\n";
         assert!(crate_rule_violation("x/src/lib.rs", present, true).is_none());
+    }
+
+    #[test]
+    fn file_size_fires_over_ceiling_in_core_only() {
+        let over: String = "fn f() {}\n".repeat(MAX_CORE_FILE_LINES + 1);
+        let r = analyze_source("crates/core/src/big.rs", &over);
+        let fired = rules_fired(&r);
+        assert!(
+            fired.contains(&"file-size".to_string()),
+            "oversized core file must be flagged: {r:?}"
+        );
+        // Exactly at the ceiling is fine.
+        let at: String = "fn f() {}\n".repeat(MAX_CORE_FILE_LINES);
+        let r = analyze_source("crates/core/src/big.rs", &at);
+        assert!(r.violations.is_empty(), "{r:?}");
+        // The same bulk outside the scope is fine.
+        let r = analyze_source("crates/simd/src/big.rs", &over);
+        assert!(!rules_fired(&r).contains(&"file-size".to_string()));
+    }
+
+    #[test]
+    fn file_size_escape_hatch_suppresses_and_is_counted() {
+        let mut src =
+            String::from("// lint:allow(file-size) -- generated lookup tables, split is churn\n");
+        src.push_str(&"fn f() {}\n".repeat(MAX_CORE_FILE_LINES + 10));
+        let r = analyze_source("crates/core/src/big.rs", &src);
+        assert!(r.violations.is_empty(), "allowed file still flagged: {r:?}");
+        assert_eq!(r.allows.len(), 1, "escape hatch must be counted: {r:?}");
+        assert_eq!(r.allows[0].rule, "file-size");
     }
 
     // -- classifier unit coverage --

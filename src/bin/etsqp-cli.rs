@@ -7,6 +7,8 @@
 //! Commands:
 //!
 //! * any SQL statement (Table III dialect) — executed and printed;
+//! * `EXPLAIN <sql>` — the compiled physical pipeline (per-page-group
+//!   strategy, prune verdicts, merge partitions);
 //! * `.load <path>` / `.save <path>` — TsFile persistence;
 //! * `.gen <spec> <rows>` — ingest a synthetic Table II dataset
 //!   (atm | clim | gas | time | sine | tpch);
@@ -74,8 +76,15 @@ fn load(path: &str) -> Result<IotDb, Box<dyn std::error::Error>> {
 }
 
 fn run_sql(db: &IotDb, cfg: &PipelineConfig, sql: &str) {
-    let plan = match etsqp::core::sql::parse(sql) {
-        Ok(p) => p,
+    let plan = match etsqp::core::sql::parse_statement(sql) {
+        Ok(etsqp::core::sql::Statement::Query(p)) => p,
+        Ok(etsqp::core::sql::Statement::Explain(p)) => {
+            match etsqp::core::physical::pipe::explain(&p, db.store(), cfg) {
+                Ok(text) => print!("{text}"),
+                Err(e) => eprintln!("error: {e}"),
+            }
+            return;
+        }
         Err(e) => {
             eprintln!("parse error: {e}");
             return;
@@ -106,22 +115,26 @@ fn run_sql(db: &IotDb, cfg: &PipelineConfig, sql: &str) {
     }
 }
 
-/// `.explain <sql>` — the logical plan plus the per-series pipeline
-/// strategy the engine will pick (fusion / pruning statistics from page
-/// headers).
+/// `.explain <sql>` — the compiled physical pipeline (the same rendering
+/// as the SQL `EXPLAIN <query>` verb), followed by per-series storage
+/// statistics from the page headers.
 fn explain(db: &IotDb, cfg: &PipelineConfig, sql: &str) {
-    let plan = match etsqp::core::sql::parse(sql) {
-        Ok(p) => p,
+    let plan = match etsqp::core::sql::parse_statement(sql) {
+        Ok(etsqp::core::sql::Statement::Query(p)) | Ok(etsqp::core::sql::Statement::Explain(p)) => {
+            p
+        }
         Err(e) => {
             eprintln!("parse error: {e}");
             return;
         }
     };
-    println!("logical plan: {plan:#?}");
-    println!(
-        "pipeline: threads={} prune={} fuse={:?} vectorized={} slicing={}",
-        cfg.threads, cfg.prune, cfg.fuse, cfg.vectorized, cfg.allow_slicing
-    );
+    match etsqp::core::physical::pipe::explain(&plan, db.store(), cfg) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return;
+        }
+    }
     for name in db.store().series_names() {
         if !format!("{plan:?}").contains(&format!("\"{name}\"")) {
             continue;
@@ -179,7 +192,8 @@ fn dot_command(rest: &str, db: &mut IotDb, cfg: &mut PipelineConfig) -> bool {
         "quit" | "exit" | "q" => return false,
         "help" => {
             println!(".load <path> | .save <path> | .gen <spec> <rows> | .series");
-            println!(".explain <sql> — show the logical plan and storage strategy");
+            println!("EXPLAIN <sql> — render the compiled physical pipeline");
+            println!(".explain <sql> — same, plus per-series storage statistics");
             println!(
                 ".config [threads N] [prune on|off] [fuse none|delta|repeat] [vectorized on|off]"
             );

@@ -10,6 +10,7 @@ use etsqp::core::decode::DecodeOptions;
 use etsqp::core::exec::Scheduler;
 use etsqp::core::expr::{BinOp, CmpOp, PairAggFunc};
 use etsqp::core::oracle;
+use etsqp::core::physical::pipe;
 use etsqp::core::plan::execute;
 use etsqp::datasets::Spec;
 use etsqp::storage::store::SeriesStore;
@@ -286,6 +287,28 @@ fn check(fx: &mut Fixture, qi: usize, cfg: &PipelineConfig) -> usize {
         fx.oracle[qi] = Some(oracle::execute(plan, &fx.store).unwrap());
     }
     let (ocols, orows) = fx.oracle[qi].as_ref().unwrap();
+    // Every oracle case also goes through the physical planner: the plan
+    // must compile, and its EXPLAIN rendering must be deterministic (the
+    // driver below executes this same compiled shape).
+    let phys = pipe::compile(plan, &fx.store, cfg).unwrap_or_else(|e| {
+        panic!(
+            "DIFF spec={} codec={:?} cfg=[{}] query={}: physical compile error {e}",
+            fx.spec.label(),
+            fx.codec,
+            cfg_label(cfg),
+            qname,
+        )
+    });
+    let rendered = phys.render(cfg);
+    assert!(
+        rendered.starts_with("physical plan ("),
+        "query={qname}: malformed EXPLAIN header:\n{rendered}"
+    );
+    assert_eq!(
+        rendered,
+        pipe::explain(plan, &fx.store, cfg).unwrap(),
+        "query={qname}: EXPLAIN not deterministic across compiles"
+    );
     let got = execute(plan, &fx.store, cfg).unwrap_or_else(|e| {
         panic!(
             "DIFF spec={} codec={:?} cfg=[{}] query={} seed=rows{}: engine error {e}",
