@@ -151,8 +151,8 @@ fn part_ef(rows: usize) {
         let parsed = ts2diff::parse(&val_bytes).unwrap();
         assert_eq!(parsed.width, w, "forced width");
         let ts_bytes = Encoding::Ts2Diff.encode_i64(&ts);
-        let page = etsqp_storage::page::Page {
-            header: etsqp_storage::page::PageHeader {
+        let page = etsqp_storage::page::Page::new(
+            etsqp_storage::page::PageHeader {
                 count: rows as u32,
                 first_ts: ts[0],
                 last_ts: *ts.last().unwrap(),
@@ -161,9 +161,9 @@ fn part_ef(rows: usize) {
                 ts_encoding: Encoding::Ts2Diff,
                 val_encoding: Encoding::Ts2Diff,
             },
-            ts_bytes: ts_bytes.into(),
-            val_bytes: val_bytes.into(),
-        };
+            ts_bytes.into(),
+            val_bytes.into(),
+        );
         let store = etsqp_storage::store::SeriesStore::new(rows);
         store.insert_pages("a", vec![page]);
         let db = etsqp_core::engine::IotDb::with_store(

@@ -199,8 +199,38 @@ impl IotDb {
     /// statement compiles the query's physical pipeline and returns its
     /// rendering in [`QueryResult::explain`] instead of rows.
     pub fn query(&self, sql_text: &str) -> Result<QueryResult> {
+        self.query_ctl(sql_text, &crate::cancel::CancellationToken::none())
+    }
+
+    /// [`IotDb::query`] with a per-query deadline: past `timeout` the
+    /// query stops at the next morsel boundary and returns
+    /// [`crate::Error::Timeout`]. The worker pool stays fully usable.
+    pub fn query_with_timeout(
+        &self,
+        sql_text: &str,
+        timeout: std::time::Duration,
+    ) -> Result<QueryResult> {
+        self.query_ctl(
+            sql_text,
+            &crate::cancel::CancellationToken::with_timeout(timeout),
+        )
+    }
+
+    /// [`IotDb::query`] under a caller-held [`CancellationToken`]:
+    /// calling [`CancellationToken::cancel`] from another thread stops
+    /// the query within one morsel with [`crate::Error::Cancelled`].
+    ///
+    /// [`CancellationToken`]: crate::cancel::CancellationToken
+    /// [`CancellationToken::cancel`]: crate::cancel::CancellationToken::cancel
+    pub fn query_ctl(
+        &self,
+        sql_text: &str,
+        ctl: &crate::cancel::CancellationToken,
+    ) -> Result<QueryResult> {
         match sql::parse_statement(sql_text)? {
-            sql::Statement::Query(plan) => execute(&plan, &self.store, &self.opts.pipeline),
+            sql::Statement::Query(plan) => {
+                crate::plan::execute_ctl(&plan, &self.store, &self.opts.pipeline, ctl)
+            }
             sql::Statement::Explain(plan) => {
                 let start = std::time::Instant::now();
                 let text = crate::physical::pipe::explain(&plan, &self.store, &self.opts.pipeline)?;
@@ -236,6 +266,17 @@ impl IotDb {
         cfg: &PipelineConfig,
     ) -> Result<QueryResult> {
         execute(plan, &self.store, cfg)
+    }
+
+    /// Executes a plan under a one-off configuration and a cancellation
+    /// token.
+    pub fn execute_ctl(
+        &self,
+        plan: &crate::expr::Plan,
+        cfg: &PipelineConfig,
+        ctl: &crate::cancel::CancellationToken,
+    ) -> Result<QueryResult> {
+        crate::plan::execute_ctl(plan, &self.store, cfg, ctl)
     }
 }
 

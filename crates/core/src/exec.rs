@@ -14,6 +14,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use crate::cancel::CancellationToken;
 use crate::{Error, Result};
 
 /// Stage-level counters for one query execution (Figure 14(b)'s staged
@@ -221,17 +222,50 @@ where
     J: Send,
     R: Send,
 {
+    run_jobs_ctl(
+        scheduler,
+        jobs,
+        threads,
+        stats,
+        &CancellationToken::none(),
+        worker,
+    )
+}
+
+/// [`run_jobs_with`] under a [`CancellationToken`]: the token is checked
+/// at every morsel boundary, so a cancelled or deadlined query stops
+/// within one morsel — queued jobs drain as [`Error::Cancelled`] /
+/// [`Error::Timeout`] without executing, and the pool stays healthy for
+/// every other query.
+pub fn run_jobs_ctl<J, R>(
+    scheduler: Scheduler,
+    jobs: Vec<J>,
+    threads: usize,
+    stats: &ExecStats,
+    ctl: &CancellationToken,
+    worker: impl Fn(J) -> R + Sync,
+) -> Result<Vec<R>>
+where
+    J: Send,
+    R: Send,
+{
     let threads = threads.max(1);
     let n = jobs.len();
     if n == 0 {
         return Ok(Vec::new());
     }
     if threads == 1 || n == 1 {
-        return jobs.into_iter().map(|j| run_one(&worker, j)).collect();
+        return jobs
+            .into_iter()
+            .map(|j| {
+                ctl.check()?;
+                run_one(&worker, j)
+            })
+            .collect();
     }
     match scheduler {
-        Scheduler::Pool => crate::pool::run_jobs_pool(jobs, threads, stats, worker),
-        Scheduler::SpawnPerQuery => run_jobs_spawn(jobs, threads, stats, worker),
+        Scheduler::Pool => crate::pool::run_jobs_pool(jobs, threads, stats, ctl, worker),
+        Scheduler::SpawnPerQuery => run_jobs_spawn(jobs, threads, stats, ctl, worker),
     }
 }
 
@@ -240,6 +274,7 @@ fn run_jobs_spawn<J, R>(
     jobs: Vec<J>,
     threads: usize,
     stats: &ExecStats,
+    ctl: &CancellationToken,
     worker: impl Fn(J) -> R + Sync,
 ) -> Result<Vec<R>>
 where
@@ -271,7 +306,12 @@ where
                 // accounted like every other starvation interval.
                 stats.add(&stats.idle_ns, wait_start.elapsed());
                 let Ok((idx, job)) = recv else { break };
-                let out = run_one(worker, job);
+                // Morsel-boundary cancellation: queued jobs of a fired
+                // query drain as typed errors instead of executing.
+                let out = match ctl.check() {
+                    Ok(()) => run_one(worker, job),
+                    Err(e) => Err(e),
+                };
                 if res_tx.send((idx, out)).is_err() {
                     break;
                 }

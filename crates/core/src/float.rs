@@ -16,7 +16,8 @@ use etsqp_encoding::f64_to_ordered_i64;
 use etsqp_encoding::Encoding;
 use etsqp_storage::store::SeriesStore;
 
-use crate::exec::{run_jobs_with, ExecStats, StatsSnapshot};
+use crate::cancel::CancellationToken;
+use crate::exec::{run_jobs_ctl, ExecStats, StatsSnapshot};
 use crate::expr::{AggFunc, TimeRange};
 use crate::physical::node::Stage;
 use crate::plan::PipelineConfig;
@@ -116,6 +117,25 @@ pub fn aggregate_f64(
     vrange: Option<FloatRange>,
     cfg: &PipelineConfig,
 ) -> Result<(FloatAgg, StatsSnapshot)> {
+    aggregate_f64_ctl(
+        store,
+        series,
+        trange,
+        vrange,
+        cfg,
+        &CancellationToken::none(),
+    )
+}
+
+/// [`aggregate_f64`] under a cancellation token (checked per page job).
+pub fn aggregate_f64_ctl(
+    store: &SeriesStore,
+    series: &str,
+    trange: Option<TimeRange>,
+    vrange: Option<FloatRange>,
+    cfg: &PipelineConfig,
+    ctl: &CancellationToken,
+) -> Result<(FloatAgg, StatsSnapshot)> {
     let stats = ExecStats::default();
     let pages = store.peek_pages(series)?;
     if let Some(p) = pages.first() {
@@ -141,11 +161,12 @@ pub fn aggregate_f64(
             );
         }
     }
-    let outputs = run_jobs_with(
+    let outputs = run_jobs_ctl(
         cfg.scheduler,
         kept,
         cfg.threads,
         &stats,
+        ctl,
         |page| -> Result<FloatAgg> {
             {
                 let _io = Stage::Io.timer(&stats);
@@ -199,17 +220,29 @@ pub fn scan_f64(
     trange: Option<TimeRange>,
     cfg: &PipelineConfig,
 ) -> Result<(Vec<i64>, Vec<f64>)> {
+    scan_f64_ctl(store, series, trange, cfg, &CancellationToken::none())
+}
+
+/// [`scan_f64`] under a cancellation token (checked per page job).
+pub fn scan_f64_ctl(
+    store: &SeriesStore,
+    series: &str,
+    trange: Option<TimeRange>,
+    cfg: &PipelineConfig,
+    ctl: &CancellationToken,
+) -> Result<(Vec<i64>, Vec<f64>)> {
     let stats = ExecStats::default();
     let pages = store.peek_pages(series)?;
     let kept: Vec<_> = pages
         .into_iter()
         .filter(|p| !cfg.prune || trange.is_none_or(|t| p.header.overlaps_time(t.lo, t.hi)))
         .collect();
-    let outputs = run_jobs_with(
+    let outputs = run_jobs_ctl(
         cfg.scheduler,
         kept,
         cfg.threads,
         &stats,
+        ctl,
         |page| -> Result<(Vec<i64>, Vec<f64>)> {
             store.io().record_page(page.encoded_len());
             let (ts, vals) = page.decode_f64().map_err(Error::Storage)?;

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod cancel;
 pub mod cost;
 pub mod decode;
 pub mod engine;
@@ -66,6 +67,11 @@ pub enum Error {
     Plan(String),
     /// An aggregate overflowed its checked accumulator (§VI-C).
     Overflow,
+    /// The query was cancelled via its [`cancel::CancellationToken`].
+    Cancelled,
+    /// The query ran past its deadline (`--timeout-ms` /
+    /// [`cancel::CancellationToken::with_timeout`]).
+    Timeout,
     /// A scheduler worker panicked; the payload message is preserved so
     /// one bad page aborts the query, not the process.
     Worker(String),
@@ -80,6 +86,8 @@ impl std::fmt::Display for Error {
             Error::Sql(msg) => write!(f, "sql: {msg}"),
             Error::Plan(msg) => write!(f, "plan: {msg}"),
             Error::Overflow => write!(f, "aggregate overflow"),
+            Error::Cancelled => write!(f, "query cancelled"),
+            Error::Timeout => write!(f, "query deadline exceeded"),
             Error::Worker(msg) => write!(f, "worker panicked: {msg}"),
         }
     }

@@ -174,6 +174,13 @@ pub(crate) fn slice_coeff_job(
     if part == 0 {
         charge_page_io(page, stats, store);
     }
+    // Slice jobs unpack chunk bytes directly; reject corrupt payloads
+    // before the symbolic coefficients are built from them. Part 0 is
+    // enough: every part of a page runs, and one failure aborts the
+    // query.
+    if part == 0 {
+        page.verify().map_err(Error::Storage)?;
+    }
     let parsed = ts2diff::parse(&page.val_bytes)?;
     let count = parsed.count;
     let (lo, hi) = slice_range(count, part, parts);
@@ -244,6 +251,11 @@ pub(crate) fn agg_page_job(
     store: &SeriesStore,
 ) -> Result<WindowStates> {
     charge_page_io(page, stats, store);
+    // Every non-serial strategy below reads chunk bytes without going
+    // through the checksum-verified Page::decode — the fused closed
+    // forms would otherwise turn corruption into a silently wrong
+    // aggregate rather than an error.
+    page.verify().map_err(Error::Storage)?;
 
     if strategy == Strategy::Serial {
         return serial_agg_page(page, pred, window, cfg, stats);

@@ -9,7 +9,8 @@ use std::sync::Arc;
 use etsqp_simd::agg::AggState;
 use etsqp_storage::store::SeriesStore;
 
-use crate::exec::{run_jobs_with, ExecStats};
+use crate::cancel::CancellationToken;
+use crate::exec::{run_jobs_ctl, ExecStats};
 use crate::expr::{AggFunc, SlidingWindow};
 use crate::physical::agg::{agg_page_job, slice_coeff_job, SliceCoeff, WindowStates};
 use crate::physical::merge::{
@@ -17,7 +18,7 @@ use crate::physical::merge::{
 };
 use crate::physical::node::{Parallelism, RootNode, SeriesPipeline, Strategy};
 use crate::physical::pipe::PhysicalPlan;
-use crate::physical::scan::{charge_pruned_page, scan_rows};
+use crate::physical::scan::{charge_pruned_page, scan_rows, verify_pruned};
 use crate::plan::{finalize, finalize_pair, PipelineConfig, Value};
 use crate::slice::{distribute, WorkItem};
 use crate::{Error, Result};
@@ -28,11 +29,14 @@ pub(crate) fn run(
     store: &SeriesStore,
     cfg: &PipelineConfig,
     stats: &ExecStats,
+    ctl: &CancellationToken,
 ) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
+    // A query whose deadline already passed never starts a morsel.
+    ctl.check()?;
     match &phys.root {
         RootNode::Aggregate { func, window: None } => {
             let p = &phys.pipelines[0];
-            let state = aggregate_pipeline(store, p, None, *func, cfg, stats)?
+            let state = aggregate_pipeline(store, p, None, *func, cfg, stats, ctl)?
                 .into_iter()
                 .fold(AggState::new(), |mut acc, (_, s)| {
                     acc.merge(&s);
@@ -46,7 +50,7 @@ pub(crate) fn run(
             window: Some(window),
         } => {
             let p = &phys.pipelines[0];
-            let per_window = aggregate_pipeline(store, p, Some(*window), *func, cfg, stats)?;
+            let per_window = aggregate_pipeline(store, p, Some(*window), *func, cfg, stats, ctl)?;
             let col = format!("{}({})", func.name(), p.series);
             let rows = per_window
                 .into_iter()
@@ -61,7 +65,7 @@ pub(crate) fn run(
         }
         RootNode::Rows => {
             let p = &phys.pipelines[0];
-            let (ts, vals) = scan_rows(store, kept_of(p, stats), &p.pred, cfg, stats)?;
+            let (ts, vals) = scan_rows(store, kept_of(p, stats)?, &p.pred, cfg, stats, ctl)?;
             let rows = ts
                 .into_iter()
                 .zip(vals)
@@ -81,6 +85,7 @@ pub(crate) fn run(
                 BinaryKind::Union,
                 cfg,
                 stats,
+                ctl,
             )?;
             Ok((vec!["time".into(), "value".into()], rows))
         }
@@ -96,6 +101,7 @@ pub(crate) fn run(
                 BinaryKind::Join { op: *op, on: *on },
                 cfg,
                 stats,
+                ctl,
             )?;
             let columns = match op {
                 Some(_) => vec!["time".into(), format!("{}.A op {}.A", l.series, r.series)],
@@ -110,10 +116,10 @@ pub(crate) fn run(
                 // §IV fused fast path: page-aligned Delta-RLE value
                 // columns with identical clocks aggregate straight from
                 // (Δ, run) pairs — no flattening, no join materialization.
-                fused_pair_aggregate(store, &l.pages, &r.pages, stats)?
+                fused_pair_aggregate(store, &l.pages, &r.pages, stats, ctl)?
             } else {
-                let (lt, lv) = scan_rows(store, kept_of(l, stats), &l.pred, cfg, stats)?;
-                let (rt, rv) = scan_rows(store, kept_of(r, stats), &r.pred, cfg, stats)?;
+                let (lt, lv) = scan_rows(store, kept_of(l, stats)?, &l.pred, cfg, stats, ctl)?;
+                let (rt, rv) = scan_rows(store, kept_of(r, stats)?, &r.pred, cfg, stats, ctl)?;
                 merge_join_moments(&lt, &lv, &rt, &rv, stats)
             };
             Ok((vec![col], vec![vec![finalize_pair(*func, moments)]]))
@@ -122,14 +128,17 @@ pub(crate) fn run(
 }
 
 /// Materializes a pipeline's kept pages, charging its pruned pages to
-/// the §VII-B throughput counters.
-fn kept_of(p: &SeriesPipeline, stats: &ExecStats) -> Vec<Arc<etsqp_storage::page::Page>> {
+/// the §VII-B throughput counters. Pruned pages are checksum-verified
+/// before being dropped — a corrupted header must abort the query, not
+/// skew which pages the §V verdicts exclude.
+fn kept_of(p: &SeriesPipeline, stats: &ExecStats) -> Result<Vec<Arc<etsqp_storage::page::Page>>> {
     for (page, d) in p.pages.iter().zip(&p.decisions) {
         if !d.verdict.kept() {
+            verify_pruned(page)?;
             charge_pruned_page(page, stats);
         }
     }
-    p.kept().map(|(page, _)| Arc::clone(page)).collect()
+    Ok(p.kept().map(|(page, _)| Arc::clone(page)).collect())
 }
 
 /// Runs one aggregation pipeline: job generation per the planner's
@@ -142,6 +151,7 @@ fn aggregate_pipeline(
     func: AggFunc,
     cfg: &PipelineConfig,
     stats: &ExecStats,
+    ctl: &CancellationToken,
 ) -> Result<WindowStates> {
     let pred = &pipeline.pred;
     let mut kept: Vec<Arc<etsqp_storage::page::Page>> = Vec::new();
@@ -152,7 +162,10 @@ fn aggregate_pipeline(
                 kept.push(Arc::clone(page));
                 strategies.push(s);
             }
-            None => charge_pruned_page(page, stats),
+            None => {
+                verify_pruned(page)?;
+                charge_pruned_page(page, stats);
+            }
         }
     }
 
@@ -187,11 +200,12 @@ fn aggregate_pipeline(
         tagged.push((seq, item));
     }
 
-    let outputs = run_jobs_with(
+    let outputs = run_jobs_ctl(
         cfg.scheduler,
         tagged,
         cfg.threads,
         stats,
+        ctl,
         |(page_seq, item)| match item {
             WorkItem::Page(page) => {
                 match agg_page_job(

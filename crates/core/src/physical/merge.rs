@@ -14,13 +14,14 @@ use etsqp_encoding::delta_rle;
 use etsqp_storage::page::Page;
 use etsqp_storage::store::SeriesStore;
 
-use crate::exec::{run_jobs_with, ExecStats};
+use crate::cancel::CancellationToken;
+use crate::exec::{run_jobs_ctl, ExecStats};
 use crate::expr::{BinOp, CmpOp, Predicate, TimeRange};
 use crate::fused::{aggregate_delta_rle, dot_product_delta_rle};
 use crate::physical::node::Stage;
 use crate::physical::scan::{charge_page_io, prune_pages, scan_rows};
 use crate::plan::{PairMoments, PipelineConfig, Value};
-use crate::Result;
+use crate::{Error, Result};
 
 /// Which binary merge a partition job runs.
 #[derive(Debug, Clone, Copy)]
@@ -83,15 +84,17 @@ pub(crate) fn binary_merge_partitioned(
     kind: BinaryKind,
     cfg: &PipelineConfig,
     stats: &ExecStats,
+    ctl: &CancellationToken,
 ) -> Result<Vec<Vec<Value>>> {
     // One worker per partition; within a partition both sides scan with
     // a single thread (the partition level is the parallel axis).
     let inner_cfg = PipelineConfig { threads: 1, ..*cfg };
-    let outputs = run_jobs_with(
+    let outputs = run_jobs_ctl(
         cfg.scheduler,
         ranges.to_vec(),
         cfg.threads,
         stats,
+        ctl,
         |range| -> Result<Vec<Vec<Value>>> {
             let lp = lpred.and(&Predicate {
                 time: Some(range),
@@ -101,10 +104,10 @@ pub(crate) fn binary_merge_partitioned(
                 time: Some(range),
                 value: None,
             });
-            let lkept = prune_pages(left.to_vec(), &lp, &inner_cfg, stats);
-            let rkept = prune_pages(right.to_vec(), &rp, &inner_cfg, stats);
-            let (lt, lv) = scan_rows(store, lkept, &lp, &inner_cfg, stats)?;
-            let (rt, rv) = scan_rows(store, rkept, &rp, &inner_cfg, stats)?;
+            let lkept = prune_pages(left.to_vec(), &lp, &inner_cfg, stats)?;
+            let rkept = prune_pages(right.to_vec(), &rp, &inner_cfg, stats)?;
+            let (lt, lv) = scan_rows(store, lkept, &lp, &inner_cfg, stats, ctl)?;
+            let (rt, rv) = scan_rows(store, rkept, &rp, &inner_cfg, stats, ctl)?;
             let _m = Stage::Merge.timer(stats);
             let rows = match kind {
                 BinaryKind::Union => merge_union(&lt, &lv, &rt, &rv),
@@ -215,12 +218,20 @@ pub(crate) fn fused_pair_aggregate(
     left: &[Arc<Page>],
     right: &[Arc<Page>],
     stats: &ExecStats,
+    ctl: &CancellationToken,
 ) -> Result<PairMoments> {
     let _a = Stage::Agg.timer(stats);
     let mut m = PairMoments::default();
     for (a, b) in left.iter().zip(right) {
+        // Serial fused loop: each page pair is the morsel boundary.
+        ctl.check()?;
         charge_page_io(a, stats, store);
         charge_page_io(b, stats, store);
+        // The fused kernels consume (Δ, run) pairs straight from the
+        // chunk bytes, so checksum verification is the only thing
+        // standing between a flipped bit and a silently wrong moment.
+        a.verify().map_err(Error::Storage)?;
+        b.verify().map_err(Error::Storage)?;
         let pa = delta_rle::parse(&a.val_bytes)?;
         let pb = delta_rle::parse(&b.val_bytes)?;
         m.sum_ab = m.sum_ab.saturating_add(dot_product_delta_rle(&pa, &pb)?);

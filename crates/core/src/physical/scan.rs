@@ -14,8 +14,9 @@ use etsqp_encoding::{ts2diff, Encoding};
 use etsqp_storage::page::Page;
 use etsqp_storage::store::SeriesStore;
 
+use crate::cancel::CancellationToken;
 use crate::decode::{decode_column, DecodeOptions};
-use crate::exec::{run_jobs_with, ExecStats};
+use crate::exec::{run_jobs_ctl, ExecStats};
 use crate::expr::Predicate;
 use crate::physical::node::{PruneVerdict, Stage};
 use crate::plan::PipelineConfig;
@@ -49,23 +50,34 @@ pub(crate) fn page_verdict(page: &Page, pred: &Predicate, prune: bool) -> PruneV
     PruneVerdict::Kept
 }
 
+/// Validates a page that a §V verdict is about to exclude. Pruning
+/// trusts header min/max without decoding, so the checksum is the only
+/// thing standing between a corrupted header and a silently wrong
+/// pruned answer — a kept page is re-verified at decode anyway, but an
+/// excluded one would otherwise never be looked at again.
+pub(crate) fn verify_pruned(page: &Page) -> Result<()> {
+    page.verify().map_err(Error::Storage)
+}
+
 /// Applies [`page_verdict`] to a page list, charging pruned pages/tuples
-/// to `stats` and returning the survivors.
+/// to `stats` and returning the survivors. Excluded pages are
+/// checksum-verified first (see [`verify_pruned`]).
 pub(crate) fn prune_pages(
     pages: Vec<Arc<Page>>,
     pred: &Predicate,
     cfg: &PipelineConfig,
     stats: &ExecStats,
-) -> Vec<Arc<Page>> {
+) -> Result<Vec<Arc<Page>>> {
     let mut kept = Vec::with_capacity(pages.len());
     for page in pages {
         if page_verdict(&page, pred, cfg.prune).kept() {
             kept.push(page);
         } else {
+            verify_pruned(&page)?;
             charge_pruned_page(&page, stats);
         }
     }
-    kept
+    Ok(kept)
 }
 
 /// Charges one pruned page to the §VII-B throughput counters.
@@ -194,15 +206,21 @@ pub(crate) fn scan_rows(
     pred: &Predicate,
     cfg: &PipelineConfig,
     stats: &ExecStats,
+    ctl: &CancellationToken,
 ) -> Result<(Vec<i64>, Vec<i64>)> {
     let budget = budget_of(cfg);
-    let outputs = run_jobs_with(
+    let outputs = run_jobs_ctl(
         cfg.scheduler,
         kept,
         cfg.threads,
         stats,
+        ctl,
         |page| -> Result<(Vec<i64>, Vec<i64>)> {
             charge_page_io(&page, stats, store);
+            // The vectorized branch parses chunk bytes directly (no
+            // Page::decode), so corruption must be caught here, before
+            // any fast path trusts the payload.
+            page.verify().map_err(Error::Storage)?;
             // Gradual loading (§VI-C): reserve decode-buffer memory before
             // materializing this page's vectors; released when the job's
             // (filtered, smaller) output replaces them.

@@ -104,10 +104,22 @@ pub struct QueryResult {
 /// Executes a logical plan against a store: Algorithm 2 compilation
 /// ([`pipe::compile`]) followed by the pipeline driver.
 pub fn execute(plan: &Plan, store: &SeriesStore, cfg: &PipelineConfig) -> Result<QueryResult> {
+    execute_ctl(plan, store, cfg, &crate::cancel::CancellationToken::none())
+}
+
+/// [`execute`] under a [`crate::cancel::CancellationToken`]: the token is
+/// checked at every morsel boundary, so cancellation or a deadline stops
+/// the query within one page/slice of work.
+pub fn execute_ctl(
+    plan: &Plan,
+    store: &SeriesStore,
+    cfg: &PipelineConfig,
+    ctl: &crate::cancel::CancellationToken,
+) -> Result<QueryResult> {
     let stats = ExecStats::default();
     let start = Instant::now();
     let phys = pipe::compile(plan, store, cfg)?;
-    let (columns, rows) = driver::run(&phys, store, cfg, &stats)?;
+    let (columns, rows) = driver::run(&phys, store, cfg, &stats, ctl)?;
     Ok(QueryResult {
         columns,
         rows,

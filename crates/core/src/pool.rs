@@ -42,6 +42,7 @@ use std::time::{Duration, Instant};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
 
+use crate::cancel::CancellationToken;
 use crate::exec::{run_one, ExecStats};
 use crate::{Error, Result};
 
@@ -306,6 +307,8 @@ struct Batch<'a, J, R, F> {
     latch: Arc<Latch>,
     worker: &'a F,
     stats: &'a ExecStats,
+    /// The owning query's cancellation token, checked per morsel.
+    ctl: &'a CancellationToken,
 }
 
 impl<J: Send, R: Send, F: Fn(J) -> R + Sync> Batch<'_, J, R, F> {
@@ -314,6 +317,17 @@ impl<J: Send, R: Send, F: Fn(J) -> R + Sync> Batch<'_, J, R, F> {
         let local = Worker::new_fifo();
         self.runner_stealers.lock().push(local.stealer());
         while let Some(i) = self.next_morsel(&local) {
+            // Cancellation / deadline check at the morsel boundary: once
+            // the token fires, the batch's remaining morsels drain as
+            // typed errors without running the worker, so the query
+            // returns within one morsel and the pool moves on.
+            if let Err(e) = self.ctl.check() {
+                // SAFETY: morsel index `i` is claimed by exactly one
+                // runner, so this result slot is written exactly once.
+                unsafe { *self.results[i].0.get() = Some(Err(e)) };
+                self.latch.job_done();
+                continue;
+            }
             // SAFETY: morsel index `i` is claimed by exactly one runner
             // (deques hand out each index once); the job was written
             // before the index was pushed.
@@ -391,6 +405,7 @@ pub(crate) fn run_jobs_pool<J, R>(
     jobs: Vec<J>,
     threads: usize,
     stats: &ExecStats,
+    ctl: &CancellationToken,
     worker: impl Fn(J) -> R + Sync,
 ) -> Result<Vec<R>>
 where
@@ -412,6 +427,7 @@ where
         latch: Arc::clone(&latch),
         worker: &worker,
         stats,
+        ctl,
     };
     for i in 0..n {
         batch.queue.push(i);

@@ -159,3 +159,98 @@ fn hot_path_spawns_no_threads_after_warmup() {
         "200 short queries must reuse the persistent pool"
     );
 }
+
+#[test]
+fn cancelled_query_returns_typed_error_and_pool_survives() {
+    use etsqp_core::cancel::CancellationToken;
+
+    let db = Arc::new(build_db());
+    let queries = battery();
+    let expected: Vec<_> = queries
+        .iter()
+        .map(|q| db.query(q).expect("serial query"))
+        .collect();
+    db.query(&queries[0]).unwrap();
+    let spawned_before = pool::spawned_threads();
+
+    // A pre-cancelled token: the query must not run a single morsel.
+    let ctl = CancellationToken::new();
+    ctl.cancel();
+    let got = db.query_ctl("SELECT SUM(temp) FROM temp", &ctl);
+    assert!(
+        matches!(got, Err(Error::Cancelled)),
+        "pre-cancelled query must return Error::Cancelled, got {got:?}"
+    );
+
+    // Cancel mid-flight from another thread, repeatedly: whichever
+    // morsel observes the token first stops the batch; the result is
+    // either Error::Cancelled or (if the query won the race) Ok equal
+    // to the serial answer — never anything else.
+    std::thread::scope(|s| {
+        for round in 0..16 {
+            let ctl = CancellationToken::new();
+            let canceller = {
+                let ctl = ctl.clone();
+                s.spawn(move || {
+                    if round % 4 != 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(50 * round as u64));
+                    }
+                    ctl.cancel();
+                })
+            };
+            let got = db.query_ctl(&queries[0], &ctl);
+            canceller.join().unwrap();
+            match got {
+                Err(Error::Cancelled) => {}
+                Ok(r) => assert_eq!(r.rows, expected[0].rows, "raced query must stay correct"),
+                Err(e) => panic!("cancelled query must not fail with {e}"),
+            }
+        }
+    });
+
+    // The shared pool is unharmed: no respawn, healthy queries agree.
+    assert_eq!(
+        pool::spawned_threads(),
+        spawned_before,
+        "cancellation must drain batches, not kill pool workers"
+    );
+    for (q, exp) in queries.iter().zip(&expected) {
+        let got = db.query(q).unwrap();
+        assert_eq!(got.rows, exp.rows, "post-cancel query {q}");
+    }
+}
+
+#[test]
+fn deadlined_query_returns_timeout_and_pool_survives() {
+    let db = Arc::new(build_db());
+    let queries = battery();
+    let expected: Vec<_> = queries
+        .iter()
+        .map(|q| db.query(q).expect("serial query"))
+        .collect();
+    db.query(&queries[0]).unwrap();
+    let spawned_before = pool::spawned_threads();
+
+    // An already-expired deadline: checked before the first morsel.
+    let got = db.query_with_timeout("SELECT SUM(temp) FROM temp", std::time::Duration::ZERO);
+    assert!(
+        matches!(got, Err(Error::Timeout)),
+        "expired deadline must return Error::Timeout, got {got:?}"
+    );
+
+    // A generous deadline never fires.
+    let got = db
+        .query_with_timeout(&queries[0], std::time::Duration::from_secs(3600))
+        .expect("generous deadline");
+    assert_eq!(got.rows, expected[0].rows);
+
+    assert_eq!(
+        pool::spawned_threads(),
+        spawned_before,
+        "deadlines must drain batches, not kill pool workers"
+    );
+    for (q, exp) in queries.iter().zip(&expected) {
+        let got = db.query(q).unwrap();
+        assert_eq!(got.rows, exp.rows, "post-timeout query {q}");
+    }
+}

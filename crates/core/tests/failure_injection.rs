@@ -17,10 +17,12 @@ fn db_with_corrupt_value_page() -> IotDb {
     let good = Page::encode(&ts, &vals, Encoding::Ts2Diff, Encoding::Ts2Diff).unwrap();
     // Corrupt: truncate the value payload but keep the header claiming
     // 100 tuples.
+    // The stale checksum models real corruption: nothing reseals it.
     let bad = Page {
         header: good.header,
         ts_bytes: good.ts_bytes.clone(),
         val_bytes: good.val_bytes.slice(0..good.val_bytes.len() / 2),
+        checksum: good.checksum,
     };
     store.insert_pages("s", vec![bad]);
     IotDb::with_store(store, EngineOptions::default())
@@ -138,6 +140,7 @@ proptest! {
             header: good.header,
             ts_bytes: good.ts_bytes.clone(),
             val_bytes: val_bytes.into(),
+            checksum: good.checksum,
         }]);
         let db = IotDb::with_store(store, EngineOptions::default());
         let _ = db.query("SELECT SUM(s) FROM s"); // must not panic

@@ -129,3 +129,110 @@ proptest! {
         assert_sound(&bounds, &values, c1, c2)?;
     }
 }
+
+// ---------------------------------------------------------------------
+// Prune-verdict validation: corrupted headers must never change answers
+// ---------------------------------------------------------------------
+
+mod verdict_validation {
+    use super::run_length_series;
+    use etsqp_core::decode::DecodeOptions;
+    use etsqp_core::exec::Scheduler;
+    use etsqp_core::expr::{AggFunc, Plan, Predicate};
+    use etsqp_core::fused::FuseLevel;
+    use etsqp_core::oracle;
+    use etsqp_core::plan::{execute, PipelineConfig};
+    use etsqp_encoding::Encoding;
+    use etsqp_storage::page::Page;
+    use etsqp_storage::store::SeriesStore;
+    use proptest::prelude::*;
+
+    fn pruning_cfg() -> PipelineConfig {
+        PipelineConfig {
+            threads: 1,
+            prune: true,
+            fuse: FuseLevel::DeltaRepeat,
+            vectorized: true,
+            decode: DecodeOptions::default(),
+            allow_slicing: false,
+            decode_budget_bytes: None,
+            scheduler: Scheduler::Pool,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Propositions 4–5 are *validated*, not trusted: whatever lie a
+        /// corrupted header tells (min/max steering the §V verdict,
+        /// count/first/last steering layout), the engine must either
+        /// reject the page or answer exactly as a full decode would —
+        /// never a silently wrong pruned aggregate.
+        #[test]
+        fn corrupted_header_never_changes_answers(
+            values in run_length_series(),
+            page_points in 8usize..32,
+            field in 0usize..5,
+            lie in 1i64..1_000_000,
+        ) {
+            let store = SeriesStore::new(page_points);
+            store.create_series("s", Encoding::Ts2Diff, Encoding::DeltaRle);
+            for (i, &v) in values.iter().enumerate() {
+                store.append("s", 1000 + i as i64 * 10, v).unwrap();
+            }
+            store.flush("s").unwrap();
+
+            // A filter band inside the data's spread, so §V verdicts on
+            // honest pages land on both sides.
+            let (c1, c2) = super::filter_for(&values, 7, 5000);
+            let plan = Plan::scan("s")
+                .filter(Predicate { time: None, value: Some((c1, c2)) })
+                .aggregate(AggFunc::Sum);
+            let honest = oracle::execute(&plan, &store).unwrap();
+
+            let n_pages = store.page_count("s").unwrap();
+            let target = values.len() % n_pages;
+            store
+                .corrupt_page("s", target, |p| match field {
+                    0 => p.header.min_value = p.header.min_value.wrapping_sub(lie),
+                    1 => p.header.max_value = p.header.max_value.wrapping_add(lie),
+                    2 => p.header.count = p.header.count.wrapping_add(lie as u32),
+                    3 => p.header.first_ts = p.header.first_ts.wrapping_sub(lie),
+                    _ => p.header.last_ts = p.header.last_ts.wrapping_add(lie),
+                })
+                .unwrap();
+
+            match execute(&plan, &store, &pruning_cfg()) {
+                Err(_) => {} // rejected: the acceptable outcome
+                Ok(got) => prop_assert_eq!(
+                    (got.columns, got.rows),
+                    honest,
+                    "corrupted header changed a pruned answer (field={}, lie={})",
+                    field,
+                    lie
+                ),
+            }
+        }
+
+        /// A serialized page image with any single bit flipped must be
+        /// rejected by `Page::from_bytes` — the checksum trailer covers
+        /// header bytes, both payload chunks, and itself.
+        #[test]
+        fn flipped_image_bit_is_rejected(
+            values in run_length_series(),
+            flip_pos in 0usize..1_000_000,
+            bit in 0u8..8,
+        ) {
+            let ts: Vec<i64> = (0..values.len() as i64).map(|i| 500 + i * 5).collect();
+            let page = Page::encode(&ts, &values, Encoding::Ts2Diff, Encoding::DeltaRle).unwrap();
+            let mut image = page.to_bytes();
+            let pos = flip_pos % image.len();
+            image[pos] ^= 1 << bit;
+            prop_assert!(
+                Page::from_bytes(&image).is_err(),
+                "bit {} of byte {}/{} flipped yet the image was accepted",
+                bit, pos, image.len()
+            );
+        }
+    }
+}

@@ -53,8 +53,11 @@ impl BitWriter {
                 v & ((1u64 << left) - 1)
             };
             let shifted = (chunk >> (left - take)) as u8 & ((1u16 << take) - 1) as u8;
-            let last = self.buf.last_mut().expect("buffer non-empty");
-            *last |= shifted << (free - take);
+            // The buffer is never empty here: `used == 0` pushed a byte
+            // above, and `used > 0` implies a partially filled last byte.
+            if let Some(last) = self.buf.last_mut() {
+                *last |= shifted << (free - take);
+            }
             self.used = (self.used + take) % 8;
             left -= take;
         }

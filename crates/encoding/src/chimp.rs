@@ -94,38 +94,77 @@ pub fn encode(values: &[f64]) -> Vec<u8> {
 /// Decodes a stream produced by [`encode`].
 pub fn decode(bytes: &[u8]) -> Result<Vec<f64>> {
     let mut r = BitReader::new(bytes);
-    let count = r.read_bits(32).ok_or(Error::Corrupt("chimp count"))? as usize;
+    let count =
+        r.read_bits(32)
+            .ok_or_else(|| Error::corrupt_at_bit("chimp", r.bit_pos(), "count"))? as usize;
     if count > crate::MAX_PAGE_COUNT {
-        return Err(Error::Corrupt("chimp count exceeds page cap"));
+        return Err(Error::corrupt_at_bit(
+            "chimp",
+            r.bit_pos(),
+            "count exceeds page cap",
+        ));
+    }
+    if count > r.remaining_bits().max(1) {
+        return Err(Error::BadCount {
+            declared: count as u64,
+            available: r.remaining_bits() as u64,
+        });
     }
     let mut out = Vec::with_capacity(count);
     if count == 0 {
         return Ok(out);
     }
-    let mut prev = r.read_bits(64).ok_or(Error::Corrupt("chimp first"))?;
+    let mut prev = r
+        .read_bits(64)
+        .ok_or_else(|| Error::corrupt_at_bit("chimp", r.bit_pos(), "first"))?;
     out.push(f64::from_bits(prev));
     let mut stored_lead = 0u32;
     for _ in 1..count {
-        let flag = r.read_bits(2).ok_or(Error::Corrupt("chimp flag"))?;
+        let flag = r
+            .read_bits(2)
+            .ok_or_else(|| Error::corrupt_at_bit("chimp", r.bit_pos(), "flag"))?;
         let xor = match flag {
             0b00 => 0,
             0b01 => {
-                let lead = leading_from_code(r.read_bits(3).ok_or(Error::Corrupt("chimp lead"))?);
-                let sig = r.read_bits(6).ok_or(Error::Corrupt("chimp sig"))? as u32;
+                let lead = leading_from_code(
+                    r.read_bits(3)
+                        .ok_or_else(|| Error::corrupt_at_bit("chimp", r.bit_pos(), "lead"))?,
+                );
+                let sig = r
+                    .read_bits(6)
+                    .ok_or_else(|| Error::corrupt_at_bit("chimp", r.bit_pos(), "sig"))?
+                    as u32;
                 if lead + sig > 64 {
-                    return Err(Error::Corrupt("chimp lead+sig exceeds 64"));
+                    return Err(Error::corrupt_at_bit(
+                        "chimp",
+                        r.bit_pos(),
+                        "lead+sig exceeds 64",
+                    ));
+                }
+                // A real encoder emits sig >= 1 (flag 01 implies xor != 0);
+                // sig == 0 would make `trail` 64 and the shift below UB.
+                if sig == 0 {
+                    return Err(Error::corrupt_at_bit(
+                        "chimp",
+                        r.bit_pos(),
+                        "zero significant bits",
+                    ));
                 }
                 let trail = 64 - lead - sig;
-                r.read_bits(sig as u8).ok_or(Error::Corrupt("chimp bits"))? << trail
+                r.read_bits(sig as u8)
+                    .ok_or_else(|| Error::corrupt_at_bit("chimp", r.bit_pos(), "bits"))?
+                    << trail
             }
             0b10 => r
                 .read_bits((64 - stored_lead) as u8)
-                .ok_or(Error::Corrupt("chimp bits"))?,
+                .ok_or_else(|| Error::corrupt_at_bit("chimp", r.bit_pos(), "bits"))?,
             _ => {
-                stored_lead =
-                    leading_from_code(r.read_bits(3).ok_or(Error::Corrupt("chimp lead"))?);
+                stored_lead = leading_from_code(
+                    r.read_bits(3)
+                        .ok_or_else(|| Error::corrupt_at_bit("chimp", r.bit_pos(), "lead"))?,
+                );
                 r.read_bits((64 - stored_lead) as u8)
-                    .ok_or(Error::Corrupt("chimp bits"))?
+                    .ok_or_else(|| Error::corrupt_at_bit("chimp", r.bit_pos(), "bits"))?
             }
         };
         prev ^= xor;

@@ -138,22 +138,45 @@ pub fn encode(values: &[i64]) -> Vec<u8> {
 /// Parses the page header.
 pub fn parse(bytes: &[u8]) -> Result<DeltaRlePage<'_>> {
     let mut r = BitReader::new(bytes);
-    let count = r.read_bits(32).ok_or(Error::Corrupt("delta_rle count"))? as usize;
-    let first = r.read_bits(64).ok_or(Error::Corrupt("delta_rle first"))? as i64;
-    let n_pairs = r.read_bits(32).ok_or(Error::Corrupt("delta_rle pairs"))? as usize;
+    let count = r
+        .read_bits(32)
+        .ok_or_else(|| Error::corrupt_at_bit("delta_rle", r.bit_pos(), "count"))?
+        as usize;
+    let first = r
+        .read_bits(64)
+        .ok_or_else(|| Error::corrupt_at_bit("delta_rle", r.bit_pos(), "first"))?
+        as i64;
+    let n_pairs = r
+        .read_bits(32)
+        .ok_or_else(|| Error::corrupt_at_bit("delta_rle", r.bit_pos(), "pairs"))?
+        as usize;
     if count > crate::MAX_PAGE_COUNT || n_pairs > count.max(1) {
-        return Err(Error::Corrupt("delta_rle counts exceed page cap"));
+        return Err(Error::corrupt_at_bit(
+            "delta_rle",
+            r.bit_pos(),
+            "counts exceed page cap",
+        ));
     }
-    let min_delta = r.read_bits(64).ok_or(Error::Corrupt("delta_rle base"))? as i64;
-    let delta_width = r.read_bits(8).ok_or(Error::Corrupt("delta_rle dw"))? as u8;
-    let run_width = r.read_bits(8).ok_or(Error::Corrupt("delta_rle rw"))? as u8;
+    let min_delta =
+        r.read_bits(64)
+            .ok_or_else(|| Error::corrupt_at_bit("delta_rle", r.bit_pos(), "base"))? as i64;
+    let delta_width =
+        r.read_bits(8)
+            .ok_or_else(|| Error::corrupt_at_bit("delta_rle", r.bit_pos(), "dw"))? as u8;
+    let run_width =
+        r.read_bits(8)
+            .ok_or_else(|| Error::corrupt_at_bit("delta_rle", r.bit_pos(), "rw"))? as u8;
     if delta_width > 64 || run_width > 64 {
         return Err(Error::BadWidth(delta_width.max(run_width)));
     }
     let payload = &bytes[r.bit_pos() / 8..];
     let need_bits = n_pairs * (delta_width as usize + run_width as usize);
     if payload.len() * 8 < need_bits {
-        return Err(Error::Corrupt("delta_rle payload truncated"));
+        return Err(Error::corrupt_at_bit(
+            "delta_rle",
+            r.bit_pos(),
+            "payload truncated",
+        ));
     }
     Ok(DeltaRlePage {
         count,
@@ -172,12 +195,17 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<i64>> {
     if page.count == 0 {
         return Ok(Vec::new());
     }
-    let mut out = Vec::with_capacity(page.count);
+    // Cap the prealloc: runs expand, so `count` is not payload-bounded.
+    let mut out = Vec::with_capacity(page.count.min(1 << 16));
     out.push(page.first);
     let mut cur = page.first;
     for (delta, run) in page.pairs() {
         if run as usize > page.count - out.len() {
-            return Err(Error::Corrupt("delta_rle run overflows declared count"));
+            return Err(Error::Corrupt {
+                codec: "delta_rle",
+                offset: bytes.len(),
+                reason: "run overflows declared count",
+            });
         }
         for _ in 0..run {
             cur = cur.wrapping_add(delta);

@@ -88,23 +88,42 @@ pub fn encode(values: &[f64]) -> Vec<u8> {
 /// Decodes a stream produced by [`encode`].
 pub fn decode(bytes: &[u8]) -> Result<Vec<f64>> {
     let mut r = BitReader::new(bytes);
-    let count = r.read_bits(32).ok_or(Error::Corrupt("elf count"))? as usize;
+    let count =
+        r.read_bits(32)
+            .ok_or_else(|| Error::corrupt_at_bit("elf", r.bit_pos(), "count"))? as usize;
     if count > crate::MAX_PAGE_COUNT {
-        return Err(Error::Corrupt("elf count exceeds page cap"));
+        return Err(Error::corrupt_at_bit(
+            "elf",
+            r.bit_pos(),
+            "count exceeds page cap",
+        ));
+    }
+    if count > r.remaining_bits().max(1) {
+        return Err(Error::BadCount {
+            declared: count as u64,
+            available: r.remaining_bits() as u64,
+        });
     }
     let mut out = Vec::with_capacity(count);
     let mut prev_stored = 0u64;
     for i in 0..count {
-        let erased = r.read_bit().ok_or(Error::Corrupt("elf flag"))?;
+        let erased = r
+            .read_bit()
+            .ok_or_else(|| Error::corrupt_at_bit("elf", r.bit_pos(), "flag"))?;
         let alpha = if erased {
-            r.read_bits(5).ok_or(Error::Corrupt("elf alpha"))? as u32
+            r.read_bits(5)
+                .ok_or_else(|| Error::corrupt_at_bit("elf", r.bit_pos(), "alpha"))?
+                as u32
         } else {
             0
         };
         let stored = if i == 0 {
-            r.read_bits(64).ok_or(Error::Corrupt("elf first"))?
+            r.read_bits(64)
+                .ok_or_else(|| Error::corrupt_at_bit("elf", r.bit_pos(), "first"))?
         } else {
-            prev_stored ^ read_xor(&mut r).ok_or(Error::Corrupt("elf xor"))?
+            prev_stored
+                ^ read_xor(&mut r)
+                    .ok_or_else(|| Error::corrupt_at_bit("elf", r.bit_pos(), "xor"))?
         };
         prev_stored = stored;
         let v = f64::from_bits(stored);

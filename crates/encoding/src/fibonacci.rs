@@ -14,6 +14,9 @@ fn fib_table() -> &'static [u64] {
         let mut v = vec![1u64, 2];
         loop {
             let n = v[v.len() - 1].saturating_add(v[v.len() - 2]);
+            // lint:allow(no-panic-paths) -- static table construction:
+            // `v` starts with two elements and only grows, so last()
+            // is always Some; no untrusted bytes are involved.
             if n < *v.last().unwrap() || n > (1u64 << 63) {
                 break;
             }
@@ -90,10 +93,31 @@ pub fn encode_all(values: &[u64]) -> Vec<u8> {
 /// Decodes a stream produced by [`encode_all`].
 pub fn decode_all(bytes: &[u8]) -> Result<Vec<u64>> {
     let mut r = BitReader::new(bytes);
-    let count = r.read_bits(32).ok_or(Error::Corrupt("fib count"))? as usize;
+    let count = r
+        .read_bits(32)
+        .ok_or_else(|| Error::corrupt_at_bit("fibonacci", r.bit_pos(), "fib count"))?
+        as usize;
+    if count > crate::MAX_PAGE_COUNT {
+        return Err(Error::corrupt_at_bit(
+            "fibonacci",
+            r.bit_pos(),
+            "fib count exceeds page cap",
+        ));
+    }
+    // Each codeword is at least two bits ("11"), so the count is bounded
+    // by the remaining bit budget — checked before allocating.
+    if count > r.remaining_bits().max(1) {
+        return Err(Error::BadCount {
+            declared: count as u64,
+            available: r.remaining_bits() as u64,
+        });
+    }
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
-        out.push(read_fib(&mut r).ok_or(Error::Corrupt("fib codeword"))?);
+        out.push(
+            read_fib(&mut r)
+                .ok_or_else(|| Error::corrupt_at_bit("fibonacci", r.bit_pos(), "fib codeword"))?,
+        );
     }
     Ok(out)
 }
@@ -180,14 +204,31 @@ impl<'a> FibReader<'a> {
 /// Fast counterpart of [`decode_all`] using the Figure 7 separator scan.
 pub fn decode_all_fast(bytes: &[u8]) -> Result<Vec<u64>> {
     let mut r = BitReader::new(bytes);
-    let count = r.read_bits(32).ok_or(Error::Corrupt("fib count"))? as usize;
+    let count = r
+        .read_bits(32)
+        .ok_or_else(|| Error::corrupt_at_bit("fibonacci", r.bit_pos(), "fib count"))?
+        as usize;
     if count > crate::MAX_PAGE_COUNT {
-        return Err(Error::Corrupt("fib count exceeds page cap"));
+        return Err(Error::corrupt_at_bit(
+            "fibonacci",
+            r.bit_pos(),
+            "fib count exceeds page cap",
+        ));
+    }
+    if count > r.remaining_bits().max(1) {
+        return Err(Error::BadCount {
+            declared: count as u64,
+            available: r.remaining_bits() as u64,
+        });
     }
     let mut reader = FibReader::at(bytes, 32);
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
-        out.push(reader.next().ok_or(Error::Corrupt("fib codeword"))?);
+        out.push(
+            reader
+                .next()
+                .ok_or_else(|| Error::corrupt_at_bit("fibonacci", reader.pos, "fib codeword"))?,
+        );
     }
     Ok(out)
 }

@@ -56,33 +56,76 @@ pub fn encode_i64(values: &[i64]) -> Vec<u8> {
 /// Decodes a stream produced by [`encode_i64`].
 pub fn decode_i64(bytes: &[u8]) -> Result<Vec<i64>> {
     let mut r = BitReader::new(bytes);
-    let count = r.read_bits(32).ok_or(Error::Corrupt("gorilla count"))? as usize;
+    let count = r
+        .read_bits(32)
+        .ok_or_else(|| Error::corrupt_at_bit("gorilla", r.bit_pos(), "count"))?
+        as usize;
     if count > crate::MAX_PAGE_COUNT {
-        return Err(Error::Corrupt("gorilla count exceeds page cap"));
+        return Err(Error::corrupt_at_bit(
+            "gorilla",
+            r.bit_pos(),
+            "count exceeds page cap",
+        ));
+    }
+    // Every decoded element consumes at least one payload bit, so a count
+    // beyond the remaining bit budget is unsatisfiable — reject before
+    // allocating `count` slots (hostile headers must not drive OOM).
+    if count > r.remaining_bits().max(1) {
+        return Err(Error::BadCount {
+            declared: count as u64,
+            available: r.remaining_bits() as u64,
+        });
     }
     let mut out = Vec::with_capacity(count);
     if count == 0 {
         return Ok(out);
     }
-    let first = r.read_bits(64).ok_or(Error::Corrupt("gorilla first"))? as i64;
+    let first =
+        r.read_bits(64)
+            .ok_or_else(|| Error::corrupt_at_bit("gorilla", r.bit_pos(), "first"))? as i64;
     out.push(first);
     if count == 1 {
         return Ok(out);
     }
-    let mut delta = r.read_bits(64).ok_or(Error::Corrupt("gorilla delta0"))? as i64;
+    let mut delta =
+        r.read_bits(64)
+            .ok_or_else(|| Error::corrupt_at_bit("gorilla", r.bit_pos(), "delta0"))? as i64;
     let mut cur = first.wrapping_add(delta);
     out.push(cur);
     for _ in 2..count {
-        let dod = if !r.read_bit().ok_or(Error::Corrupt("gorilla dod"))? {
+        let dod = if !r
+            .read_bit()
+            .ok_or_else(|| Error::corrupt_at_bit("gorilla", r.bit_pos(), "dod"))?
+        {
             0
-        } else if !r.read_bit().ok_or(Error::Corrupt("gorilla dod"))? {
-            r.read_bits(7).ok_or(Error::Corrupt("gorilla dod7"))? as i64 - 63
-        } else if !r.read_bit().ok_or(Error::Corrupt("gorilla dod"))? {
-            r.read_bits(9).ok_or(Error::Corrupt("gorilla dod9"))? as i64 - 255
-        } else if !r.read_bit().ok_or(Error::Corrupt("gorilla dod"))? {
-            r.read_bits(12).ok_or(Error::Corrupt("gorilla dod12"))? as i64 - 2047
+        } else if !r
+            .read_bit()
+            .ok_or_else(|| Error::corrupt_at_bit("gorilla", r.bit_pos(), "dod"))?
+        {
+            r.read_bits(7)
+                .ok_or_else(|| Error::corrupt_at_bit("gorilla", r.bit_pos(), "dod7"))?
+                as i64
+                - 63
+        } else if !r
+            .read_bit()
+            .ok_or_else(|| Error::corrupt_at_bit("gorilla", r.bit_pos(), "dod"))?
+        {
+            r.read_bits(9)
+                .ok_or_else(|| Error::corrupt_at_bit("gorilla", r.bit_pos(), "dod9"))?
+                as i64
+                - 255
+        } else if !r
+            .read_bit()
+            .ok_or_else(|| Error::corrupt_at_bit("gorilla", r.bit_pos(), "dod"))?
+        {
+            r.read_bits(12)
+                .ok_or_else(|| Error::corrupt_at_bit("gorilla", r.bit_pos(), "dod12"))?
+                as i64
+                - 2047
         } else {
-            r.read_bits(64).ok_or(Error::Corrupt("gorilla dod64"))? as i64
+            r.read_bits(64)
+                .ok_or_else(|| Error::corrupt_at_bit("gorilla", r.bit_pos(), "dod64"))?
+                as i64
         };
         delta = delta.wrapping_add(dod);
         cur = cur.wrapping_add(delta);
@@ -143,32 +186,68 @@ pub fn encode_f64(values: &[f64]) -> Vec<u8> {
 /// Decodes a stream produced by [`encode_f64`].
 pub fn decode_f64(bytes: &[u8]) -> Result<Vec<f64>> {
     let mut r = BitReader::new(bytes);
-    let count = r.read_bits(32).ok_or(Error::Corrupt("gorilla f count"))? as usize;
+    let count = r
+        .read_bits(32)
+        .ok_or_else(|| Error::corrupt_at_bit("gorilla", r.bit_pos(), "f count"))?
+        as usize;
     if count > crate::MAX_PAGE_COUNT {
-        return Err(Error::Corrupt("gorilla count exceeds page cap"));
+        return Err(Error::corrupt_at_bit(
+            "gorilla",
+            r.bit_pos(),
+            "count exceeds page cap",
+        ));
+    }
+    if count > r.remaining_bits().max(1) {
+        return Err(Error::BadCount {
+            declared: count as u64,
+            available: r.remaining_bits() as u64,
+        });
     }
     let mut out = Vec::with_capacity(count);
     if count == 0 {
         return Ok(out);
     }
-    let mut prev = r.read_bits(64).ok_or(Error::Corrupt("gorilla f first"))?;
+    let mut prev = r
+        .read_bits(64)
+        .ok_or_else(|| Error::corrupt_at_bit("gorilla", r.bit_pos(), "f first"))?;
     out.push(f64::from_bits(prev));
     let mut lead = 0u32;
     let mut trail = 0u32;
     for _ in 1..count {
-        if !r.read_bit().ok_or(Error::Corrupt("gorilla f flag"))? {
+        if !r
+            .read_bit()
+            .ok_or_else(|| Error::corrupt_at_bit("gorilla", r.bit_pos(), "f flag"))?
+        {
             out.push(f64::from_bits(prev));
             continue;
         }
-        if r.read_bit().ok_or(Error::Corrupt("gorilla f flag2"))? {
-            lead = r.read_bits(5).ok_or(Error::Corrupt("gorilla f lead"))? as u32;
-            let meaningful = r.read_bits(6).ok_or(Error::Corrupt("gorilla f len"))? as u32 + 1;
+        if r.read_bit()
+            .ok_or_else(|| Error::corrupt_at_bit("gorilla", r.bit_pos(), "f flag2"))?
+        {
+            lead = r
+                .read_bits(5)
+                .ok_or_else(|| Error::corrupt_at_bit("gorilla", r.bit_pos(), "f lead"))?
+                as u32;
+            let meaningful = r
+                .read_bits(6)
+                .ok_or_else(|| Error::corrupt_at_bit("gorilla", r.bit_pos(), "f len"))?
+                as u32
+                + 1;
+            // A valid window has lead + meaningful ≤ 64; a hostile stream
+            // can declare up to 31 + 64 and underflow the trail count.
+            if lead + meaningful > 64 {
+                return Err(Error::corrupt_at_bit(
+                    "gorilla",
+                    r.bit_pos(),
+                    "f window exceeds 64 bits",
+                ));
+            }
             trail = 64 - lead - meaningful;
         }
         let meaningful = 64 - lead - trail;
         let xor = r
             .read_bits(meaningful as u8)
-            .ok_or(Error::Corrupt("gorilla f bits"))?
+            .ok_or_else(|| Error::corrupt_at_bit("gorilla", r.bit_pos(), "f bits"))?
             << trail;
         prev ^= xor;
         out.push(f64::from_bits(prev));

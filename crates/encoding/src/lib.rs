@@ -42,7 +42,14 @@ pub mod zigzag;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
     /// The byte stream is truncated or structurally invalid.
-    Corrupt(&'static str),
+    Corrupt {
+        /// Codec that detected the corruption (e.g. `"gorilla"`).
+        codec: &'static str,
+        /// Byte offset into the encoded stream at the point of detection.
+        offset: usize,
+        /// What was wrong at that offset.
+        reason: &'static str,
+    },
     /// A declared bit width is outside the codec's legal range.
     BadWidth(u8),
     /// The declared element count disagrees with the payload.
@@ -54,10 +61,26 @@ pub enum Error {
     },
 }
 
+impl Error {
+    /// Builds a [`Error::Corrupt`] from a codec name, a *bit* position in
+    /// the stream (as tracked by [`bitio::BitReader`]), and a reason.
+    pub fn corrupt_at_bit(codec: &'static str, bit_pos: usize, reason: &'static str) -> Self {
+        Error::Corrupt {
+            codec,
+            offset: bit_pos / 8,
+            reason,
+        }
+    }
+}
+
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Error::Corrupt(what) => write!(f, "corrupt encoded page: {what}"),
+            Error::Corrupt {
+                codec,
+                offset,
+                reason,
+            } => write!(f, "corrupt {codec} page at byte {offset}: {reason}"),
             Error::BadWidth(w) => write!(f, "illegal packing width {w}"),
             Error::BadCount {
                 declared,
@@ -159,7 +182,13 @@ impl Encoding {
             8 => Encoding::Chimp,
             9 => Encoding::Elf,
             10 => Encoding::GorillaFloat,
-            _ => return Err(Error::Corrupt("unknown encoding tag")),
+            _ => {
+                return Err(Error::Corrupt {
+                    codec: "header",
+                    offset: 0,
+                    reason: "unknown encoding tag",
+                })
+            }
         })
     }
 
@@ -178,6 +207,9 @@ impl Encoding {
             Encoding::Rlbe => rlbe::encode(values),
             Encoding::Gorilla => gorilla::encode_i64(values),
             Encoding::Chimp | Encoding::Elf | Encoding::GorillaFloat => {
+                // lint:allow(no-panic-paths) -- encode-side programmer
+                // error (documented `# Panics` contract), not a decode
+                // path: encoders only ever see trusted in-memory values.
                 panic!("{} is a float codec; use encode_f64", self.name())
             }
         }
@@ -200,27 +232,34 @@ impl Encoding {
             Encoding::GorillaFloat => gorilla::encode_f64(values),
             Encoding::Chimp => chimp::encode(values),
             Encoding::Elf => elf::encode(values),
+            // lint:allow(no-panic-paths) -- encode-side programmer
+            // error (documented `# Panics` contract), not a decode path.
             other => panic!("{} is an integer codec; use encode_i64", other.name()),
         }
     }
 
     /// Decodes a float column encoded with this codec.
     ///
-    /// # Panics
-    /// For integer codecs.
+    /// Dispatching an integer codec here returns [`Error::Corrupt`] rather
+    /// than panicking: the codec tag comes from an on-disk page header, so
+    /// a class mismatch is corrupt input, not a programming error.
     pub fn decode_f64(self, bytes: &[u8]) -> Result<Vec<f64>> {
         match self {
             Encoding::GorillaFloat => gorilla::decode_f64(bytes),
             Encoding::Chimp => chimp::decode(bytes),
             Encoding::Elf => elf::decode(bytes),
-            other => panic!("{} is an integer codec; use decode_i64", other.name()),
+            other => Err(Error::Corrupt {
+                codec: other.name(),
+                offset: 0,
+                reason: "integer codec dispatched as float column",
+            }),
         }
     }
 
     /// Decodes an integer column encoded with this codec.
     ///
-    /// # Panics
-    /// For the float-only codecs.
+    /// Dispatching a float codec here returns [`Error::Corrupt`] rather
+    /// than panicking, for the same reason as [`Encoding::decode_f64`].
     pub fn decode_i64(self, bytes: &[u8]) -> Result<Vec<i64>> {
         match self {
             Encoding::Plain => plain::decode(bytes),
@@ -230,9 +269,11 @@ impl Encoding {
             Encoding::Sprintz => sprintz::decode(bytes),
             Encoding::Rlbe => rlbe::decode(bytes),
             Encoding::Gorilla => gorilla::decode_i64(bytes),
-            Encoding::Chimp | Encoding::Elf | Encoding::GorillaFloat => {
-                panic!("{} is a float codec; use decode_f64", self.name())
-            }
+            Encoding::Chimp | Encoding::Elf | Encoding::GorillaFloat => Err(Error::Corrupt {
+                codec: self.name(),
+                offset: 0,
+                reason: "float codec dispatched as integer column",
+            }),
         }
     }
 }

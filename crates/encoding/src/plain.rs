@@ -16,9 +16,15 @@ pub fn encode(values: &[i64]) -> Vec<u8> {
 /// Decodes a [`encode`]-produced stream.
 pub fn decode(bytes: &[u8]) -> Result<Vec<i64>> {
     if bytes.len() < 4 {
-        return Err(Error::Corrupt("plain header truncated"));
+        return Err(Error::Corrupt {
+            codec: "plain",
+            offset: 0,
+            reason: "header truncated",
+        });
     }
-    let count = u32::from_be_bytes(bytes[..4].try_into().unwrap()) as usize;
+    let mut hdr = [0u8; 4];
+    hdr.copy_from_slice(&bytes[..4]);
+    let count = u32::from_be_bytes(hdr) as usize;
     let need = 4 + count * 8;
     if bytes.len() < need {
         return Err(Error::BadCount {
@@ -29,7 +35,9 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<i64>> {
     let mut out = Vec::with_capacity(count);
     for i in 0..count {
         let off = 4 + i * 8;
-        out.push(i64::from_be_bytes(bytes[off..off + 8].try_into().unwrap()));
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&bytes[off..off + 8]);
+        out.push(i64::from_be_bytes(word));
     }
     Ok(out)
 }

@@ -52,27 +52,45 @@ pub fn encode(values: &[i64]) -> Vec<u8> {
 /// Serial reference decoder.
 pub fn decode(bytes: &[u8]) -> Result<Vec<i64>> {
     let mut r = BitReader::new(bytes);
-    let count = r.read_bits(32).ok_or(Error::Corrupt("rlbe count"))? as usize;
-    let first = r.read_bits(64).ok_or(Error::Corrupt("rlbe first"))? as i64;
-    let n_pairs = r.read_bits(32).ok_or(Error::Corrupt("rlbe pairs"))? as usize;
+    let count =
+        r.read_bits(32)
+            .ok_or_else(|| Error::corrupt_at_bit("rlbe", r.bit_pos(), "count"))? as usize;
+    let first = r
+        .read_bits(64)
+        .ok_or_else(|| Error::corrupt_at_bit("rlbe", r.bit_pos(), "first"))? as i64;
+    let n_pairs =
+        r.read_bits(32)
+            .ok_or_else(|| Error::corrupt_at_bit("rlbe", r.bit_pos(), "pairs"))? as usize;
     if count > crate::MAX_PAGE_COUNT || n_pairs > count.max(1) {
-        return Err(Error::Corrupt("rlbe counts exceed page cap"));
+        return Err(Error::corrupt_at_bit(
+            "rlbe",
+            r.bit_pos(),
+            "counts exceed page cap",
+        ));
     }
     if count == 0 {
         return Ok(Vec::new());
     }
-    let mut out = Vec::with_capacity(count);
+    // Runs legitimately expand past the bit budget; cap the prealloc so a
+    // hostile count cannot reserve MAX_PAGE_COUNT slots up front.
+    let mut out = Vec::with_capacity(count.min(1 << 16));
     out.push(first);
     let mut cur = first;
     // Variable-width unpacking via the Figure 7 separator scan: the
     // word-level FibReader replaces the bit-serial codeword walk.
     let mut fib = crate::fibonacci::FibReader::at(bytes, r.bit_pos());
     for _ in 0..n_pairs {
-        let run = fib.next().ok_or(Error::Corrupt("rlbe run"))?;
-        let code = fib.next().ok_or(Error::Corrupt("rlbe delta"))?;
+        let run = fib
+            .next()
+            .ok_or_else(|| Error::corrupt_at_bit("rlbe", fib.pos, "run"))?;
+        let code = fib
+            .next()
+            .ok_or_else(|| Error::corrupt_at_bit("rlbe", fib.pos, "delta"))?;
         let z = if code == 1 {
             let mut esc = BitReader::at(bytes, fib.pos);
-            let v = esc.read_bits(64).ok_or(Error::Corrupt("rlbe escape"))?;
+            let v = esc
+                .read_bits(64)
+                .ok_or_else(|| Error::corrupt_at_bit("rlbe", esc.bit_pos(), "escape"))?;
             fib.pos = esc.bit_pos();
             v
         } else {
@@ -80,7 +98,11 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<i64>> {
         };
         let d = decode_zigzag(z);
         if run as usize > count - out.len() {
-            return Err(Error::Corrupt("rlbe run overflows declared count"));
+            return Err(Error::corrupt_at_bit(
+                "rlbe",
+                r.bit_pos(),
+                "run overflows declared count",
+            ));
         }
         for _ in 0..run {
             cur = cur.wrapping_add(d);

@@ -115,21 +115,39 @@ pub fn encode(values: &[i64]) -> Vec<u8> {
 /// Parses the page header.
 pub fn parse(bytes: &[u8]) -> Result<RlePage<'_>> {
     let mut r = BitReader::new(bytes);
-    let count = r.read_bits(32).ok_or(Error::Corrupt("rle count"))? as usize;
-    let n_runs = r.read_bits(32).ok_or(Error::Corrupt("rle n_runs"))? as usize;
+    let count =
+        r.read_bits(32)
+            .ok_or_else(|| Error::corrupt_at_bit("rle", r.bit_pos(), "count"))? as usize;
+    let n_runs =
+        r.read_bits(32)
+            .ok_or_else(|| Error::corrupt_at_bit("rle", r.bit_pos(), "n_runs"))? as usize;
     if count > crate::MAX_PAGE_COUNT || n_runs > count.max(1) {
-        return Err(Error::Corrupt("rle counts exceed page cap"));
+        return Err(Error::corrupt_at_bit(
+            "rle",
+            r.bit_pos(),
+            "counts exceed page cap",
+        ));
     }
-    let min_value = r.read_bits(64).ok_or(Error::Corrupt("rle min"))? as i64;
-    let value_width = r.read_bits(8).ok_or(Error::Corrupt("rle vw"))? as u8;
-    let run_width = r.read_bits(8).ok_or(Error::Corrupt("rle rw"))? as u8;
+    let min_value =
+        r.read_bits(64)
+            .ok_or_else(|| Error::corrupt_at_bit("rle", r.bit_pos(), "min"))? as i64;
+    let value_width =
+        r.read_bits(8)
+            .ok_or_else(|| Error::corrupt_at_bit("rle", r.bit_pos(), "vw"))? as u8;
+    let run_width = r
+        .read_bits(8)
+        .ok_or_else(|| Error::corrupt_at_bit("rle", r.bit_pos(), "rw"))? as u8;
     if value_width > 64 || run_width > 64 {
         return Err(Error::BadWidth(value_width.max(run_width)));
     }
     let payload = &bytes[r.bit_pos() / 8..];
     let need_bits = n_runs * (value_width as usize + run_width as usize);
     if payload.len() * 8 < need_bits {
-        return Err(Error::Corrupt("rle payload truncated"));
+        return Err(Error::corrupt_at_bit(
+            "rle",
+            r.bit_pos(),
+            "payload truncated",
+        ));
     }
     Ok(RlePage {
         count,
@@ -144,10 +162,15 @@ pub fn parse(bytes: &[u8]) -> Result<RlePage<'_>> {
 /// Serial reference decoder.
 pub fn decode(bytes: &[u8]) -> Result<Vec<i64>> {
     let page = parse(bytes)?;
-    let mut out = Vec::with_capacity(page.count);
+    // Cap the prealloc: runs expand, so `count` is not payload-bounded.
+    let mut out = Vec::with_capacity(page.count.min(1 << 16));
     for (run, v) in page.runs() {
         if run as usize > page.count - out.len() {
-            return Err(Error::Corrupt("rle run overflows declared count"));
+            return Err(Error::Corrupt {
+                codec: "rle",
+                offset: bytes.len(),
+                reason: "run overflows declared count",
+            });
         }
         for _ in 0..run {
             out.push(v);

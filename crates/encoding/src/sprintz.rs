@@ -65,18 +65,33 @@ pub fn encode(values: &[i64]) -> Vec<u8> {
 /// Parses the page header.
 pub fn parse(bytes: &[u8]) -> Result<SprintzPage<'_>> {
     let mut r = BitReader::new(bytes);
-    let count = r.read_bits(32).ok_or(Error::Corrupt("sprintz count"))? as usize;
+    let count = r
+        .read_bits(32)
+        .ok_or_else(|| Error::corrupt_at_bit("sprintz", r.bit_pos(), "count"))?
+        as usize;
     if count > crate::MAX_PAGE_COUNT {
-        return Err(Error::Corrupt("sprintz count exceeds page cap"));
+        return Err(Error::corrupt_at_bit(
+            "sprintz",
+            r.bit_pos(),
+            "count exceeds page cap",
+        ));
     }
-    let first = r.read_bits(64).ok_or(Error::Corrupt("sprintz first"))? as i64;
-    let width = r.read_bits(8).ok_or(Error::Corrupt("sprintz width"))? as u8;
+    let first =
+        r.read_bits(64)
+            .ok_or_else(|| Error::corrupt_at_bit("sprintz", r.bit_pos(), "first"))? as i64;
+    let width =
+        r.read_bits(8)
+            .ok_or_else(|| Error::corrupt_at_bit("sprintz", r.bit_pos(), "width"))? as u8;
     if width > 64 {
         return Err(Error::BadWidth(width));
     }
     let payload = &bytes[r.bit_pos() / 8..];
     if payload.len() * 8 < count.saturating_sub(1) * width as usize {
-        return Err(Error::Corrupt("sprintz payload truncated"));
+        return Err(Error::corrupt_at_bit(
+            "sprintz",
+            r.bit_pos(),
+            "payload truncated",
+        ));
     }
     Ok(SprintzPage {
         count,
@@ -104,7 +119,7 @@ pub fn decode_from_parts(page: &SprintzPage<'_>) -> Result<Vec<i64>> {
     for _ in 1..page.count {
         let z = r
             .read_bits(page.width)
-            .ok_or(Error::Corrupt("sprintz payload"))?;
+            .ok_or_else(|| Error::corrupt_at_bit("sprintz", r.bit_pos(), "payload"))?;
         cur = cur.wrapping_add(decode_zigzag(z));
         out.push(cur);
     }

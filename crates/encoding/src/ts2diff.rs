@@ -140,20 +140,36 @@ pub fn encode_with_width(values: &[i64], order: u8, min_width: u8) -> Vec<u8> {
 /// Parses the page header, returning borrowed metadata and payload.
 pub fn parse(bytes: &[u8]) -> Result<Ts2DiffPage<'_>> {
     let mut r = BitReader::new(bytes);
-    let order = r.read_bits(8).ok_or(Error::Corrupt("ts2diff header"))? as u8;
+    let order =
+        r.read_bits(8)
+            .ok_or_else(|| Error::corrupt_at_bit("ts2diff", r.bit_pos(), "header"))? as u8;
     if order != 1 && order != 2 {
-        return Err(Error::Corrupt("ts2diff order"));
+        return Err(Error::corrupt_at_bit("ts2diff", r.bit_pos(), "order"));
     }
-    let count = r.read_bits(32).ok_or(Error::Corrupt("ts2diff count"))? as usize;
+    let count = r
+        .read_bits(32)
+        .ok_or_else(|| Error::corrupt_at_bit("ts2diff", r.bit_pos(), "count"))?
+        as usize;
     if count > crate::MAX_PAGE_COUNT {
-        return Err(Error::Corrupt("ts2diff count exceeds page cap"));
+        return Err(Error::corrupt_at_bit(
+            "ts2diff",
+            r.bit_pos(),
+            "count exceeds page cap",
+        ));
     }
     let mut first = [0i64; 2];
     for f in first.iter_mut().take(order as usize) {
-        *f = r.read_bits(64).ok_or(Error::Corrupt("ts2diff first"))? as i64;
+        *f = r
+            .read_bits(64)
+            .ok_or_else(|| Error::corrupt_at_bit("ts2diff", r.bit_pos(), "first"))?
+            as i64;
     }
-    let min_delta = r.read_bits(64).ok_or(Error::Corrupt("ts2diff base"))? as i64;
-    let width = r.read_bits(8).ok_or(Error::Corrupt("ts2diff width"))? as u8;
+    let min_delta =
+        r.read_bits(64)
+            .ok_or_else(|| Error::corrupt_at_bit("ts2diff", r.bit_pos(), "base"))? as i64;
+    let width =
+        r.read_bits(8)
+            .ok_or_else(|| Error::corrupt_at_bit("ts2diff", r.bit_pos(), "width"))? as u8;
     if width > 64 {
         return Err(Error::BadWidth(width));
     }
@@ -197,7 +213,7 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<i64>> {
             for _ in 0..page.num_deltas() {
                 let stored = r
                     .read_bits(page.width)
-                    .ok_or(Error::Corrupt("ts2diff payload"))?;
+                    .ok_or_else(|| Error::corrupt_at_bit("ts2diff", r.bit_pos(), "payload"))?;
                 let delta = page.min_delta.wrapping_add(stored as i64);
                 prev = prev.wrapping_add(delta);
                 out.push(prev);
@@ -209,7 +225,7 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<i64>> {
             for _ in 0..page.num_deltas() {
                 let stored = r
                     .read_bits(page.width)
-                    .ok_or(Error::Corrupt("ts2diff payload"))?;
+                    .ok_or_else(|| Error::corrupt_at_bit("ts2diff", r.bit_pos(), "payload"))?;
                 let dd = page.min_delta.wrapping_add(stored as i64);
                 prev_d = prev_d.wrapping_add(dd);
                 prev = prev.wrapping_add(prev_d);

@@ -110,20 +110,37 @@ pub fn encode_block(values: &[i64]) -> Block {
 /// Parses a block header.
 pub fn parse_block(bytes: &[u8]) -> EncResult<BlockMeta> {
     let mut r = BitReader::new(bytes);
-    let count = r.read_bits(32).ok_or(EncError::Corrupt("flmm count"))? as usize;
+    let count = r
+        .read_bits(32)
+        .ok_or_else(|| EncError::corrupt_at_bit("fastlanes", r.bit_pos(), "count"))?
+        as usize;
     if count == 0 || count > BLOCK {
-        return Err(EncError::Corrupt("flmm count out of range"));
+        return Err(EncError::corrupt_at_bit(
+            "fastlanes",
+            r.bit_pos(),
+            "count out of range",
+        ));
     }
     r.skip_bits(LANES * 64);
-    let min_delta = r.read_bits(64).ok_or(EncError::Corrupt("flmm base"))? as i64;
-    let width = r.read_bits(8).ok_or(EncError::Corrupt("flmm width"))? as u8;
+    let min_delta = r
+        .read_bits(64)
+        .ok_or_else(|| EncError::corrupt_at_bit("fastlanes", r.bit_pos(), "base"))?
+        as i64;
+    let width = r
+        .read_bits(8)
+        .ok_or_else(|| EncError::corrupt_at_bit("fastlanes", r.bit_pos(), "width"))?
+        as u8;
     if width > 64 {
         return Err(EncError::BadWidth(width));
     }
     let payload_off = r.bit_pos() / 8;
     let need = (LANE_LEN - 1) * LANES * width as usize;
     if (bytes.len() - payload_off) * 8 < need {
-        return Err(EncError::Corrupt("flmm payload truncated"));
+        return Err(EncError::corrupt_at_bit(
+            "fastlanes",
+            r.bit_pos(),
+            "payload truncated",
+        ));
     }
     Ok(BlockMeta {
         count,
@@ -143,7 +160,10 @@ pub fn decode_block(bytes: &[u8], out: &mut Vec<i64>) -> EncResult<()> {
     let mut r = BitReader::at(bytes, 32);
     let mut running = [0i64; LANES];
     for lane in running.iter_mut() {
-        *lane = r.read_bits(64).ok_or(EncError::Corrupt("flmm head"))? as i64;
+        *lane = r
+            .read_bits(64)
+            .ok_or_else(|| EncError::corrupt_at_bit("fastlanes", r.bit_pos(), "head"))?
+            as i64;
     }
     let start = out.len();
     out.resize(start + BLOCK, 0);

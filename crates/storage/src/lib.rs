@@ -25,13 +25,26 @@ pub mod series;
 pub mod store;
 pub mod tsfile;
 
+// Re-exported so downstream fault-injection tests can rebuild page
+// payloads (`Page::{ts_bytes, val_bytes}`) without a direct `bytes` dep.
+pub use bytes::Bytes;
+
 /// Errors raised by storage operations.
 #[derive(Debug)]
 pub enum Error {
     /// Underlying codec failure.
     Encoding(etsqp_encoding::Error),
     /// Structural problem in a file or page image.
-    Corrupt(&'static str),
+    Corrupt {
+        /// Byte offset into the file or image where the problem was found.
+        offset: u64,
+        /// What was wrong at that offset.
+        reason: &'static str,
+    },
+    /// A series handle was used against its declared type or lifecycle
+    /// (e.g. integer append on a float series) — caller error, not
+    /// corrupt data.
+    Misuse(&'static str),
     /// Timestamps must be strictly increasing within a series.
     OutOfOrder {
         /// Latest timestamp already in the series.
@@ -45,11 +58,21 @@ pub enum Error {
     Io(std::io::Error),
 }
 
+impl Error {
+    /// Builds a [`Error::Corrupt`] at a byte offset.
+    pub fn corrupt(offset: u64, reason: &'static str) -> Self {
+        Error::Corrupt { offset, reason }
+    }
+}
+
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Error::Encoding(e) => write!(f, "encoding error: {e}"),
-            Error::Corrupt(what) => write!(f, "corrupt storage image: {what}"),
+            Error::Corrupt { offset, reason } => {
+                write!(f, "corrupt storage image at byte {offset}: {reason}")
+            }
+            Error::Misuse(what) => write!(f, "series misuse: {what}"),
             Error::OutOfOrder { last, attempted } => {
                 write!(f, "timestamp {attempted} not after {last}")
             }

@@ -28,6 +28,35 @@ pub struct PageHeader {
 /// Serialized header size in bytes.
 pub const HEADER_LEN: usize = 4 + 8 * 4 + 2;
 
+/// Fast 64-bit-chunked FNV-style checksum over a page's header bytes and
+/// payload chunks.
+///
+/// Not cryptographic — it exists to turn random on-disk or in-memory
+/// corruption into a deterministic typed error instead of a silently
+/// wrong aggregate. Processing eight bytes per round keeps the check
+/// cheap next to the SIMD decode it guards.
+pub fn page_checksum(parts: &[&[u8]]) -> u32 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in parts {
+        // Length is mixed in so chunk-boundary shifts change the digest.
+        h ^= chunk.len() as u64;
+        h = h.wrapping_mul(PRIME);
+        let mut it = chunk.chunks_exact(8);
+        for w in &mut it {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(w);
+            h ^= u64::from_le_bytes(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        let mut tail = [0u8; 8];
+        tail[..it.remainder().len()].copy_from_slice(it.remainder());
+        h ^= u64::from_le_bytes(tail);
+        h = h.wrapping_mul(PRIME);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
 impl PageHeader {
     /// Serializes the header (big-endian, fixed width).
     pub fn to_bytes(&self) -> [u8; HEADER_LEN] {
@@ -42,20 +71,42 @@ impl PageHeader {
         out
     }
 
-    /// Deserializes a header written by [`PageHeader::to_bytes`].
+    /// Deserializes a header written by [`PageHeader::to_bytes`],
+    /// rejecting structurally impossible statistics (count of zero or
+    /// beyond the page cap, inverted time or value ranges) so a hostile
+    /// header cannot reach the pruning rules or the decoders.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         if bytes.len() < HEADER_LEN {
-            return Err(Error::Corrupt("page header truncated"));
+            return Err(Error::corrupt(bytes.len() as u64, "page header truncated"));
         }
-        Ok(PageHeader {
-            count: u32::from_be_bytes(bytes[0..4].try_into().unwrap()),
-            first_ts: i64::from_be_bytes(bytes[4..12].try_into().unwrap()),
-            last_ts: i64::from_be_bytes(bytes[12..20].try_into().unwrap()),
-            min_value: i64::from_be_bytes(bytes[20..28].try_into().unwrap()),
-            max_value: i64::from_be_bytes(bytes[28..36].try_into().unwrap()),
-            ts_encoding: Encoding::from_tag(bytes[36])?,
-            val_encoding: Encoding::from_tag(bytes[37])?,
-        })
+        let header = PageHeader {
+            count: {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(&bytes[0..4]);
+                u32::from_be_bytes(b)
+            },
+            first_ts: i64::from_be_bytes(read8(bytes, 4)),
+            last_ts: i64::from_be_bytes(read8(bytes, 12)),
+            min_value: i64::from_be_bytes(read8(bytes, 20)),
+            max_value: i64::from_be_bytes(read8(bytes, 28)),
+            ts_encoding: Encoding::from_tag(bytes[36])
+                .map_err(|_| Error::corrupt(36, "unknown timestamp encoding tag"))?,
+            val_encoding: Encoding::from_tag(bytes[37])
+                .map_err(|_| Error::corrupt(37, "unknown value encoding tag"))?,
+        };
+        if header.count == 0 {
+            return Err(Error::corrupt(0, "page declares zero tuples"));
+        }
+        if header.count as usize > etsqp_encoding::MAX_PAGE_COUNT {
+            return Err(Error::corrupt(0, "page count exceeds page cap"));
+        }
+        if header.first_ts > header.last_ts {
+            return Err(Error::corrupt(4, "page time range inverted"));
+        }
+        if header.min_value > header.max_value {
+            return Err(Error::corrupt(20, "page value range inverted"));
+        }
+        Ok(header)
     }
 
     /// Whether the page's time range intersects `[t_lo, t_hi]` (inclusive).
@@ -67,6 +118,14 @@ impl PageHeader {
     pub fn overlaps_value(&self, v_lo: i64, v_hi: i64) -> bool {
         self.min_value <= v_hi && self.max_value >= v_lo
     }
+}
+
+/// Copies eight header bytes starting at `off` (caller checked bounds).
+fn read8(bytes: &[u8], off: usize) -> [u8; 8] {
+    let mut out = [0u8; 8];
+    let end = (off + 8).min(bytes.len());
+    out[..end - off].copy_from_slice(&bytes[off..end]);
+    out
 }
 
 /// One encoded page: header + timestamp chunk + value chunk.
@@ -81,9 +140,35 @@ pub struct Page {
     pub ts_bytes: Bytes,
     /// Encoded value column.
     pub val_bytes: Bytes,
+    /// Checksum over the header bytes and both chunks, fixed at encode or
+    /// load time. [`Page::verify`] recomputes it before payloads are
+    /// trusted; [`Page::to_bytes`] persists it as the image trailer.
+    pub checksum: u32,
 }
 
 impl Page {
+    /// Assembles a page from parts, sealing it with a fresh checksum.
+    pub fn new(header: PageHeader, ts_bytes: Bytes, val_bytes: Bytes) -> Page {
+        let checksum = page_checksum(&[&header.to_bytes(), &ts_bytes, &val_bytes]);
+        Page {
+            header,
+            ts_bytes,
+            val_bytes,
+            checksum,
+        }
+    }
+
+    /// Recomputes the checksum and compares it against the sealed one,
+    /// catching payload corruption before a decoder or a fused kernel
+    /// consumes the chunk bytes.
+    pub fn verify(&self) -> Result<()> {
+        let now = page_checksum(&[&self.header.to_bytes(), &self.ts_bytes, &self.val_bytes]);
+        if now != self.checksum {
+            return Err(Error::corrupt(0, "page checksum mismatch"));
+        }
+        Ok(())
+    }
+
     /// Builds a page by encoding `(timestamps, values)` with the given
     /// codecs. Timestamps must be strictly increasing and non-empty.
     pub fn encode(
@@ -103,19 +188,21 @@ impl Page {
             min_v = min_v.min(v);
             max_v = max_v.max(v);
         }
-        Ok(Page {
-            header: PageHeader {
+        Ok(Page::new(
+            PageHeader {
                 count: timestamps.len() as u32,
                 first_ts: timestamps[0],
+                // lint:allow(no-panic-paths) -- encode side: non-empty
+                // is asserted above; no untrusted bytes reach here.
                 last_ts: *timestamps.last().unwrap(),
                 min_value: min_v,
                 max_value: max_v,
                 ts_encoding,
                 val_encoding,
             },
-            ts_bytes: Bytes::from(ts_encoding.encode_i64(timestamps)),
-            val_bytes: Bytes::from(val_encoding.encode_i64(values)),
-        })
+            Bytes::from(ts_encoding.encode_i64(timestamps)),
+            Bytes::from(val_encoding.encode_i64(values)),
+        ))
     }
 
     /// Builds a page from a float value column: the value chunk uses a
@@ -137,36 +224,67 @@ impl Page {
             min_v = min_v.min(m);
             max_v = max_v.max(m);
         }
-        Ok(Page {
-            header: PageHeader {
+        Ok(Page::new(
+            PageHeader {
                 count: timestamps.len() as u32,
                 first_ts: timestamps[0],
+                // lint:allow(no-panic-paths) -- encode side: non-empty
+                // is asserted above; no untrusted bytes reach here.
                 last_ts: *timestamps.last().unwrap(),
                 min_value: min_v,
                 max_value: max_v,
                 ts_encoding,
                 val_encoding,
             },
-            ts_bytes: Bytes::from(ts_encoding.encode_i64(timestamps)),
-            val_bytes: Bytes::from(val_encoding.encode_f64(values)),
-        })
+            Bytes::from(ts_encoding.encode_i64(timestamps)),
+            Bytes::from(val_encoding.encode_f64(values)),
+        ))
     }
 
-    /// Decodes a float page's columns.
-    ///
-    /// # Panics
-    /// If the value codec is not a float codec.
+    /// Decodes a float page's columns (checksum-verified).
     pub fn decode_f64(&self) -> Result<(Vec<i64>, Vec<f64>)> {
+        self.verify()?;
         let ts = self.header.ts_encoding.decode_i64(&self.ts_bytes)?;
         let vals = self.header.val_encoding.decode_f64(&self.val_bytes)?;
+        if vals.len() != ts.len() {
+            return Err(Error::corrupt(0, "column lengths disagree"));
+        }
+        self.check_timestamps(&ts)?;
         Ok((ts, vals))
     }
 
-    /// Serial reference decode of both columns.
+    /// Serial reference decode of both columns (checksum-verified).
     pub fn decode(&self) -> Result<(Vec<i64>, Vec<i64>)> {
+        self.verify()?;
         let ts = self.header.ts_encoding.decode_i64(&self.ts_bytes)?;
         let vals = self.header.val_encoding.decode_i64(&self.val_bytes)?;
+        if vals.len() != ts.len() {
+            return Err(Error::corrupt(0, "column lengths disagree"));
+        }
+        self.check_timestamps(&ts)?;
         Ok((ts, vals))
+    }
+
+    /// O(1) consistency check of a decoded timestamp column against the
+    /// header statistics the §V pruning rules trusted: element count and
+    /// the first/last timestamps must agree, so a header that lied about
+    /// its time range cannot survive a full decode undetected.
+    pub fn check_timestamps(&self, ts: &[i64]) -> Result<()> {
+        if ts.len() != self.header.count as usize {
+            return Err(Error::corrupt(0, "decoded count disagrees with header"));
+        }
+        match (ts.first(), ts.last()) {
+            (Some(&first), Some(&last))
+                if first == self.header.first_ts && last == self.header.last_ts =>
+            {
+                Ok(())
+            }
+            (None, _) => Ok(()),
+            _ => Err(Error::corrupt(
+                4,
+                "decoded time range disagrees with header",
+            )),
+        }
     }
 
     /// Total encoded size (header + both chunks).
@@ -174,41 +292,62 @@ impl Page {
         HEADER_LEN + self.ts_bytes.len() + self.val_bytes.len()
     }
 
-    /// Serializes the full page (header, chunk lengths, chunks).
+    /// Serializes the full page (header, chunk lengths, chunks, checksum
+    /// trailer).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.encoded_len() + 8);
+        let mut out = Vec::with_capacity(self.encoded_len() + 12);
         out.extend_from_slice(&self.header.to_bytes());
         out.extend_from_slice(&(self.ts_bytes.len() as u32).to_be_bytes());
         out.extend_from_slice(&(self.val_bytes.len() as u32).to_be_bytes());
         out.extend_from_slice(&self.ts_bytes);
         out.extend_from_slice(&self.val_bytes);
+        out.extend_from_slice(&self.checksum.to_be_bytes());
         out
     }
 
     /// Deserializes a page written by [`Page::to_bytes`], returning the
-    /// page and the number of bytes consumed.
+    /// page and the number of bytes consumed. The checksum trailer must
+    /// match a digest recomputed over the image, so any flipped bit in
+    /// the header or either chunk is rejected here — before the header
+    /// statistics can reach the pruning rules.
     pub fn from_bytes(bytes: &[u8]) -> Result<(Page, usize)> {
         let header = PageHeader::from_bytes(bytes)?;
         let mut off = HEADER_LEN;
         if bytes.len() < off + 8 {
-            return Err(Error::Corrupt("page chunk lengths truncated"));
+            return Err(Error::corrupt(off as u64, "page chunk lengths truncated"));
         }
-        let ts_len = u32::from_be_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
-        let val_len = u32::from_be_bytes(bytes[off + 4..off + 8].try_into().unwrap()) as usize;
+        let ts_len =
+            u32::from_be_bytes(read8(bytes, off)[..4].try_into().unwrap_or([0; 4])) as usize;
+        let val_len =
+            u32::from_be_bytes(read8(bytes, off + 4)[..4].try_into().unwrap_or([0; 4])) as usize;
         off += 8;
-        if bytes.len() < off + ts_len + val_len {
-            return Err(Error::Corrupt("page chunks truncated"));
+        let chunks_end = off
+            .checked_add(ts_len)
+            .and_then(|n| n.checked_add(val_len))
+            .ok_or(Error::Corrupt {
+                offset: HEADER_LEN as u64,
+                reason: "page chunk lengths overflow",
+            })?;
+        if bytes.len() < chunks_end + 4 {
+            return Err(Error::corrupt(off as u64, "page chunks truncated"));
         }
         let ts_bytes = Bytes::copy_from_slice(&bytes[off..off + ts_len]);
-        let val_bytes = Bytes::copy_from_slice(&bytes[off + ts_len..off + ts_len + val_len]);
-        off += ts_len + val_len;
+        let val_bytes = Bytes::copy_from_slice(&bytes[off + ts_len..chunks_end]);
+        let mut crc = [0u8; 4];
+        crc.copy_from_slice(&bytes[chunks_end..chunks_end + 4]);
+        let stored = u32::from_be_bytes(crc);
+        let computed = page_checksum(&[&bytes[..HEADER_LEN], &ts_bytes, &val_bytes]);
+        if stored != computed {
+            return Err(Error::corrupt(chunks_end as u64, "page checksum mismatch"));
+        }
         Ok((
             Page {
                 header,
                 ts_bytes,
                 val_bytes,
+                checksum: stored,
             },
-            off,
+            chunks_end + 4,
         ))
     }
 }

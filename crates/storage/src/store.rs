@@ -135,8 +135,8 @@ impl SeriesStore {
             .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
         match data.writer.as_mut() {
             Some(Writer::Float(w)) => w.push(ts, value),
-            Some(Writer::Int(_)) => Err(Error::Corrupt("integer series; use append")),
-            None => Err(Error::Corrupt("series sealed")),
+            Some(Writer::Int(_)) => Err(Error::Misuse("integer series; use append")),
+            None => Err(Error::Misuse("series sealed")),
         }
     }
 
@@ -148,8 +148,8 @@ impl SeriesStore {
             .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
         match data.writer.as_mut() {
             Some(Writer::Int(w)) => w.push(ts, value),
-            Some(Writer::Float(_)) => Err(Error::Corrupt("float series; use append_f64")),
-            None => Err(Error::Corrupt("series sealed")),
+            Some(Writer::Float(_)) => Err(Error::Misuse("float series; use append_f64")),
+            None => Err(Error::Misuse("series sealed")),
         }
     }
 
@@ -161,8 +161,8 @@ impl SeriesStore {
             .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
         match data.writer.as_mut() {
             Some(Writer::Int(w)) => w.push_all(ts, values)?,
-            Some(Writer::Float(_)) => return Err(Error::Corrupt("float series; use append_f64")),
-            None => return Err(Error::Corrupt("series sealed")),
+            Some(Writer::Float(_)) => return Err(Error::Misuse("float series; use append_f64")),
+            None => return Err(Error::Misuse("series sealed")),
         }
         drop(map);
         self.sync(name)
@@ -268,6 +268,32 @@ impl SeriesStore {
             writer: None,
         });
         data.pages.extend(pages.into_iter().map(Arc::new));
+    }
+
+    /// Fault-injection hook: replaces the `index`-th stored page of a
+    /// series with a mutated copy. Tests use this to prove that queries
+    /// over corrupted pages abort with a typed error instead of returning
+    /// silently wrong aggregates — the mutation deliberately does *not*
+    /// reseal the page checksum, exactly like real memory or disk
+    /// corruption would not.
+    pub fn corrupt_page(
+        &self,
+        name: &str,
+        index: usize,
+        mutate: impl FnOnce(&mut Page),
+    ) -> Result<()> {
+        let mut map = self.inner.write();
+        let data = map
+            .get_mut(name)
+            .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
+        let slot = data
+            .pages
+            .get_mut(index)
+            .ok_or(Error::Misuse("page index out of range"))?;
+        let mut page = (**slot).clone();
+        mutate(&mut page);
+        *slot = Arc::new(page);
+        Ok(())
     }
 
     /// Total number of points across all pages of a series.

@@ -42,34 +42,73 @@ pub fn write(store: &SeriesStore, path: &Path) -> Result<()> {
     Ok(())
 }
 
-/// Reads a TsFile back into a fresh [`SeriesStore`].
+/// Reads a TsFile back into a fresh [`SeriesStore`] with an unlimited
+/// transient-allocation budget.
 pub fn read(path: &Path) -> Result<SeriesStore> {
-    let mut input = BufReader::new(File::open(path)?);
+    read_with_budget(path, &crate::budget::MemoryBudget::unlimited())
+}
+
+/// Reads a TsFile, bounding transient page-image allocations by `budget`.
+///
+/// The reader treats the file as hostile input: every length field is
+/// validated against the real file size *before* any allocation sized by
+/// it, so a flipped length byte yields [`Error::Corrupt`] (with the byte
+/// offset of the bad field) instead of an OOM, and truncation surfaces as
+/// a typed error rather than a bare I/O failure.
+pub fn read_with_budget(path: &Path, budget: &crate::budget::MemoryBudget) -> Result<SeriesStore> {
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut input = Tracked {
+        inner: BufReader::new(file),
+        offset: 0,
+    };
     let mut magic = [0u8; 6];
-    input.read_exact(&mut magic)?;
+    input.read_exact(&mut magic, "truncated magic")?;
     if &magic != MAGIC {
-        return Err(Error::Corrupt("bad TsFile magic"));
+        return Err(Error::corrupt(0, "bad TsFile magic"));
     }
     let store = SeriesStore::default();
-    let n_series = read_u32(&mut input)?;
+    let n_series = input.read_u32("truncated series count")?;
+    // Each series record needs at least a name length and a page count.
+    if n_series as u64 > (file_len - input.offset) / 6 {
+        return Err(Error::corrupt(6, "series count exceeds file size"));
+    }
     for _ in 0..n_series {
-        let name_len = read_u16(&mut input)? as usize;
+        let name_len = input.read_u16("truncated name length")? as usize;
         let mut name_bytes = vec![0u8; name_len];
-        input.read_exact(&mut name_bytes)?;
-        let name =
-            String::from_utf8(name_bytes).map_err(|_| Error::Corrupt("series name not utf-8"))?;
-        let n_pages = read_u32(&mut input)?;
-        let mut pages = Vec::with_capacity(n_pages as usize);
+        let name_at = input.offset;
+        input.read_exact(&mut name_bytes, "truncated series name")?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| Error::corrupt(name_at, "series name not utf-8"))?;
+        let n_pages_at = input.offset;
+        let n_pages = input.read_u32("truncated page count")?;
+        // Each page record needs at least its length prefix.
+        if n_pages as u64 > (file_len.saturating_sub(input.offset)) / 4 {
+            return Err(Error::corrupt(n_pages_at, "page count exceeds file size"));
+        }
+        let mut pages = Vec::with_capacity((n_pages as usize).min(4096));
         for _ in 0..n_pages {
-            let page_len = read_u32(&mut input)? as usize;
-            if page_len > (1 << 30) {
-                return Err(Error::Corrupt("page image too large"));
+            let len_at = input.offset;
+            let page_len = input.read_u32("truncated page length")? as u64;
+            if page_len > file_len.saturating_sub(input.offset) {
+                return Err(Error::corrupt(len_at, "page image exceeds file size"));
             }
-            let mut image = vec![0u8; page_len];
-            input.read_exact(&mut image)?;
-            let (page, consumed) = Page::from_bytes(&image)?;
-            if consumed != page_len {
-                return Err(Error::Corrupt("page image length mismatch"));
+            // Bound the transient image allocation: hostile files cannot
+            // reserve more than the budget allows at once.
+            let _guard = budget.acquire(page_len);
+            let page_at = input.offset;
+            let mut image = vec![0u8; page_len as usize];
+            input.read_exact(&mut image, "truncated page image")?;
+            let (page, consumed) = Page::from_bytes(&image).map_err(|e| match e {
+                // Rebase in-image offsets onto the file.
+                Error::Corrupt { offset, reason } => Error::Corrupt {
+                    offset: page_at + offset,
+                    reason,
+                },
+                other => other,
+            })?;
+            if consumed as u64 != page_len {
+                return Err(Error::corrupt(len_at, "page image length mismatch"));
             }
             pages.push(page);
         }
@@ -78,16 +117,39 @@ pub fn read(path: &Path) -> Result<SeriesStore> {
     Ok(store)
 }
 
-fn read_u32(r: &mut impl Read) -> Result<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_be_bytes(b))
+/// A reader that tracks its byte offset and converts short reads into
+/// [`Error::Corrupt`] carrying the offset of the failed field.
+struct Tracked<R> {
+    inner: R,
+    offset: u64,
 }
 
-fn read_u16(r: &mut impl Read) -> Result<u16> {
-    let mut b = [0u8; 2];
-    r.read_exact(&mut b)?;
-    Ok(u16::from_be_bytes(b))
+impl<R: Read> Tracked<R> {
+    fn read_exact(&mut self, buf: &mut [u8], what: &'static str) -> Result<()> {
+        let at = self.offset;
+        match self.inner.read_exact(buf) {
+            Ok(()) => {
+                self.offset += buf.len() as u64;
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                Err(Error::corrupt(at, what))
+            }
+            Err(e) => Err(Error::Io(e)),
+        }
+    }
+
+    fn read_u32(&mut self, what: &'static str) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.read_exact(&mut b, what)?;
+        Ok(u32::from_be_bytes(b))
+    }
+
+    fn read_u16(&mut self, what: &'static str) -> Result<u16> {
+        let mut b = [0u8; 2];
+        self.read_exact(&mut b, what)?;
+        Ok(u16::from_be_bytes(b))
+    }
 }
 
 #[cfg(test)]
@@ -135,7 +197,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad_magic.etsqp");
         std::fs::write(&path, b"NOTFIL\x00\x00\x00\x00").unwrap();
-        assert!(matches!(read(&path), Err(Error::Corrupt(_))));
+        assert!(matches!(read(&path), Err(Error::Corrupt { .. })));
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,527 @@
+//! Deterministic mutational fuzzer for the untrusted-input surfaces:
+//! every codec decoder, `Page::from_bytes`, and `tsfile::read`.
+//!
+//! ```text
+//! cargo run -p xtask -- fuzz [--iters N] [--seed S] [--corpus <dir>]
+//! ```
+//!
+//! The harness seeds a corpus from *valid* encodings of varied value
+//! shapes, then mutates them (bit flips, byte overwrites, truncation,
+//! extension, header splices, fully random buffers) and asserts the
+//! tri-state invariant on every decode:
+//!
+//! 1. **panic-free** — a decoder must never panic on any byte string;
+//! 2. `Ok(v)` ⇒ **round-trip**: `decode(encode(v)) == v` (the decoder
+//!    accepted the stream, so the values it produced must be
+//!    re-encodable losslessly — anything else is silent corruption);
+//! 3. otherwise a typed `Err` — fine, that is the contract.
+//!
+//! Violations are greedily minimized and written to the corpus
+//! directory (default `tests/corpus/`) so `tests/corruption.rs` replays
+//! them forever after. The run is fully deterministic in `--seed`.
+//!
+//! Exit status: 0 when every iteration upheld the invariant, 1
+//! otherwise. The final line is machine-readable
+//! (`fuzz OK: <iters> iters, <targets> targets, <secs>s, <execs/sec>
+//! execs/sec`) for `scripts/bench.sh`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use etsqp_encoding::Encoding;
+use etsqp_storage::page::Page;
+use etsqp_storage::store::SeriesStore;
+use etsqp_storage::tsfile;
+
+/// splitmix64 — tiny, deterministic, no external dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// The integer codecs under test.
+const INT_CODECS: [Encoding; 8] = [
+    Encoding::Plain,
+    Encoding::Ts2Diff,
+    Encoding::Ts2DiffOrder2,
+    Encoding::Rle,
+    Encoding::DeltaRle,
+    Encoding::Sprintz,
+    Encoding::Rlbe,
+    Encoding::Gorilla,
+];
+
+/// The float codecs under test.
+const FLOAT_CODECS: [Encoding; 3] = [Encoding::Chimp, Encoding::Elf, Encoding::GorillaFloat];
+
+/// One fuzz target: a name, a seed corpus, and the decode invariant.
+enum Target {
+    Int(Encoding),
+    Float(Encoding),
+    PageImage,
+    TsFileImage,
+}
+
+impl Target {
+    fn name(&self) -> String {
+        match self {
+            Target::Int(e) | Target::Float(e) => e.name().to_string(),
+            Target::PageImage => "page".to_string(),
+            Target::TsFileImage => "tsfile".to_string(),
+        }
+    }
+}
+
+/// Integer value shapes that exercise different codec branches.
+fn int_seed_values(rng: &mut Rng) -> Vec<Vec<i64>> {
+    let jitter: Vec<i64> = (0..700)
+        .scan(0i64, |acc, _| {
+            *acc += 100 + (rng.next() % 41) as i64 - 20;
+            Some(*acc)
+        })
+        .collect();
+    let random: Vec<i64> = (0..300).map(|_| rng.next() as i64).collect();
+    vec![
+        (0..1000i64).map(|i| i * 50).collect(), // regular cadence
+        vec![42i64; 500],                       // constant (RLE-friendly)
+        jitter,
+        random,
+        vec![i64::MIN, -1, 0, 1, i64::MAX],
+        vec![7],
+        vec![],
+    ]
+}
+
+/// Float value shapes.
+fn float_seed_values(rng: &mut Rng) -> Vec<Vec<f64>> {
+    let noisy: Vec<f64> = (0..400)
+        .map(|i| 20.0 + (i as f64 * 0.01).sin() + (rng.next() % 100) as f64 * 1e-4)
+        .collect();
+    vec![
+        noisy,
+        vec![1.5; 300],
+        vec![0.0, -0.0, f64::MAX, f64::MIN_POSITIVE, std::f64::consts::PI],
+        vec![2.25],
+        vec![],
+    ]
+}
+
+/// Builds the per-target seed corpora (all *valid* encodings).
+fn build_seeds(target: &Target, rng: &mut Rng, scratch: &Path) -> Vec<Vec<u8>> {
+    match target {
+        Target::Int(enc) => int_seed_values(rng)
+            .iter()
+            .map(|v| enc.encode_i64(v))
+            .collect(),
+        Target::Float(enc) => float_seed_values(rng)
+            .iter()
+            .map(|v| enc.encode_f64(v))
+            .collect(),
+        Target::PageImage => {
+            let mut seeds = Vec::new();
+            for (ts_enc, val_enc) in [
+                (Encoding::Ts2Diff, Encoding::Ts2Diff),
+                (Encoding::Ts2Diff, Encoding::DeltaRle),
+                (Encoding::Gorilla, Encoding::Rle),
+            ] {
+                let ts: Vec<i64> = (0..256i64).map(|i| 1000 + i * 20).collect();
+                let vals: Vec<i64> = (0..256i64).map(|i| 60 + (i % 13)).collect();
+                if let Ok(p) = Page::encode(&ts, &vals, ts_enc, val_enc) {
+                    seeds.push(p.to_bytes());
+                }
+            }
+            let ts: Vec<i64> = (0..128i64).map(|i| i * 5).collect();
+            let vals: Vec<f64> = (0..128).map(|i| 20.0 + i as f64 * 0.25).collect();
+            if let Ok(p) = Page::encode_f64(&ts, &vals, Encoding::Ts2Diff, Encoding::Chimp) {
+                seeds.push(p.to_bytes());
+            }
+            seeds
+        }
+        Target::TsFileImage => {
+            let store = SeriesStore::new(128);
+            store.create_series("a", Encoding::Ts2Diff, Encoding::Ts2Diff);
+            store.create_series("b", Encoding::Gorilla, Encoding::DeltaRle);
+            store.create_series_f64("f", Encoding::Ts2Diff, Encoding::Elf);
+            for i in 0..500i64 {
+                let _ = store.append("a", i * 10, 50 + (i % 7));
+                let _ = store.append("b", i * 10, i);
+                let _ = store.append_f64("f", i * 10, 20.0 + i as f64 * 0.01);
+            }
+            for name in ["a", "b", "f"] {
+                let _ = store.flush(name);
+            }
+            let path = scratch.join("seed.etsqp");
+            match tsfile::write(&store, &path).and_then(|_| Ok(std::fs::read(&path)?)) {
+                Ok(bytes) => vec![bytes],
+                Err(_) => Vec::new(),
+            }
+        }
+    }
+}
+
+/// Applies one random mutation to `data` in place (may change length).
+fn mutate(data: &mut Vec<u8>, rng: &mut Rng) {
+    match rng.below(7) {
+        // Flip 1..=8 random bits.
+        0 => {
+            if !data.is_empty() {
+                for _ in 0..=rng.below(8) {
+                    let i = rng.below(data.len());
+                    data[i] ^= 1 << rng.below(8);
+                }
+            }
+        }
+        // Overwrite a random byte with a random value.
+        1 => {
+            if !data.is_empty() {
+                let i = rng.below(data.len());
+                data[i] = rng.next() as u8;
+            }
+        }
+        // Truncate to a random prefix.
+        2 => data.truncate(rng.below(data.len() + 1)),
+        // Extend with random garbage.
+        3 => {
+            for _ in 0..rng.below(32) + 1 {
+                data.push(rng.next() as u8);
+            }
+        }
+        // Header splice: blast a hostile 32-bit field into the first
+        // 16 bytes (targets count/length fields of every layout).
+        4 => {
+            if data.len() >= 4 {
+                let off = rng.below(data.len().min(16).saturating_sub(3));
+                let hostile: u32 = match rng.below(4) {
+                    0 => u32::MAX,
+                    1 => (1 << 26) + 1, // just past MAX_PAGE_COUNT
+                    2 => 1 << 31,
+                    _ => rng.next() as u32,
+                };
+                data[off..off + 4].copy_from_slice(&hostile.to_be_bytes());
+            }
+        }
+        // Copy one region over another (self-splice).
+        5 => {
+            if data.len() >= 8 {
+                let src = rng.below(data.len() - 4);
+                let dst = rng.below(data.len() - 4);
+                let len = rng.below(4) + 1;
+                let tmp: Vec<u8> = data[src..src + len].to_vec();
+                data[dst..dst + len].copy_from_slice(&tmp);
+            }
+        }
+        // Replace everything with a fully random short buffer.
+        _ => {
+            let len = rng.below(64);
+            data.clear();
+            for _ in 0..len {
+                data.push(rng.next() as u8);
+            }
+        }
+    }
+}
+
+/// Outcome of driving one input through a target's decode invariant.
+enum Verdict {
+    /// Invariant upheld (clean decode or typed error).
+    Ok,
+    /// The invariant broke; the message explains how.
+    Violation(String),
+}
+
+/// Runs one input through the target, asserting the tri-state invariant.
+fn check(target: &Target, input: &[u8], scratch: &Path) -> Verdict {
+    let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), String> {
+        match target {
+            Target::Int(enc) => {
+                if let Ok(values) = enc.decode_i64(input) {
+                    let back = enc
+                        .decode_i64(&enc.encode_i64(&values))
+                        .map_err(|e| format!("accepted stream fails re-decode: {e}"))?;
+                    if back != values {
+                        return Err("accepted stream breaks round-trip".into());
+                    }
+                }
+                Ok(())
+            }
+            Target::Float(enc) => {
+                if let Ok(values) = enc.decode_f64(input) {
+                    let back = enc
+                        .decode_f64(&enc.encode_f64(&values))
+                        .map_err(|e| format!("accepted stream fails re-decode: {e}"))?;
+                    let same = back.len() == values.len()
+                        && back
+                            .iter()
+                            .zip(&values)
+                            .all(|(a, b)| a.to_bits() == b.to_bits());
+                    if !same {
+                        return Err("accepted stream breaks round-trip".into());
+                    }
+                }
+                Ok(())
+            }
+            Target::PageImage => {
+                if let Ok((page, _consumed)) = Page::from_bytes(input) {
+                    // The checksum trailer accepted the image, so both
+                    // column decodes must finish without panicking
+                    // (either cleanly or as typed errors).
+                    if page.header.val_encoding.is_float() {
+                        let _ = page.decode_f64();
+                    } else {
+                        let _ = page.decode();
+                    }
+                }
+                Ok(())
+            }
+            Target::TsFileImage => {
+                let path = scratch.join("fuzz.etsqp");
+                if std::fs::write(&path, input).is_err() {
+                    return Ok(()); // scratch unavailable — skip, not a decoder bug
+                }
+                if let Ok(store) = tsfile::read(&path) {
+                    for name in store.series_names() {
+                        if let Ok(pages) = store.peek_pages(&name) {
+                            for page in pages {
+                                if page.header.val_encoding.is_float() {
+                                    let _ = page.decode_f64();
+                                } else {
+                                    let _ = page.decode();
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }));
+    match outcome {
+        Ok(Ok(())) => Verdict::Ok,
+        Ok(Err(msg)) => Verdict::Violation(msg),
+        Err(_) => Verdict::Violation("decoder panicked".into()),
+    }
+}
+
+/// Greedily minimizes a violating input: repeatedly try shorter
+/// prefixes/suffixes that still violate. Bounded, deterministic.
+fn minimize(target: &Target, input: &[u8], scratch: &Path) -> Vec<u8> {
+    let mut best = input.to_vec();
+    let mut attempts = 0;
+    loop {
+        let mut improved = false;
+        let mut candidates: Vec<Vec<u8>> = Vec::new();
+        if best.len() > 1 {
+            candidates.push(best[..best.len() / 2].to_vec());
+            candidates.push(best[..best.len() - 1].to_vec());
+            candidates.push(best[best.len() / 2..].to_vec());
+        }
+        for cand in candidates {
+            attempts += 1;
+            if attempts > 256 {
+                return best;
+            }
+            if matches!(check(target, &cand, scratch), Verdict::Violation(_)) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// FNV-1a over the crasher bytes — a stable corpus file name.
+fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Writes one deterministic hostile input per target into `dir`, so the
+/// committed corpus regression-tests every decoder even on a machine
+/// that never runs the fuzzer. Returns the number of files written.
+///
+/// Patterns, per target:
+/// - `__truncated`: a valid encoding cut in half — exercises every
+///   "stream ends mid-value" path;
+/// - `__hostile_count`: the leading 32-bit count spliced to `u32::MAX`
+///   — exercises the header-preflight OOM guards;
+/// - `chimp__zero_sig`: the minimized crasher the fuzzer found in the
+///   chimp decoder (flag `01` with a zero significant-bit count made
+///   `trail` 64 and overflowed the shift) — kept as a regression;
+/// - `page__payload_bitflip`: a valid page image with one payload bit
+///   flipped — must be rejected by the checksum trailer;
+/// - `tsfile__bad_magic` / `tsfile__truncated`: file-level corruption.
+pub fn emit_corpus(dir: &Path) -> std::io::Result<usize> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = 0usize;
+    let mut emit = |name: String, bytes: &[u8]| -> std::io::Result<()> {
+        std::fs::write(dir.join(format!("{name}.bin")), bytes)?;
+        written += 1;
+        Ok(())
+    };
+
+    let ints: Vec<i64> = (0..200i64).map(|i| 1000 + i * 7).collect();
+    for enc in INT_CODECS {
+        let valid = enc.encode_i64(&ints);
+        emit(
+            format!("{}__truncated", enc.name()),
+            &valid[..valid.len() / 2],
+        )?;
+        let mut hostile = valid.clone();
+        hostile[..4].copy_from_slice(&u32::MAX.to_be_bytes());
+        emit(format!("{}__hostile_count", enc.name()), &hostile)?;
+    }
+
+    let floats: Vec<f64> = (0..200).map(|i| 20.0 + i as f64 * 0.125).collect();
+    for enc in FLOAT_CODECS {
+        let valid = enc.encode_f64(&floats);
+        emit(
+            format!("{}__truncated", enc.name()),
+            &valid[..valid.len() / 2],
+        )?;
+        let mut hostile = valid.clone();
+        hostile[..4].copy_from_slice(&u32::MAX.to_be_bytes());
+        emit(format!("{}__hostile_count", enc.name()), &hostile)?;
+    }
+
+    // Fuzzer-found chimp crasher, reconstructed bit-exactly: count=2,
+    // first value 0.0, then flag 0b01 + lead code 000 + sig 000000.
+    // MSB-first: [count:4][first:8][0b01000000, 0b00000000].
+    let mut chimp_zero_sig = vec![0u8, 0, 0, 2];
+    chimp_zero_sig.extend_from_slice(&[0u8; 8]);
+    chimp_zero_sig.extend_from_slice(&[0b0100_0000, 0]);
+    emit("chimp__zero_sig".to_string(), &chimp_zero_sig)?;
+
+    let ts: Vec<i64> = (0..256i64).map(|i| 1000 + i * 20).collect();
+    let vals: Vec<i64> = (0..256i64).map(|i| 60 + (i % 13)).collect();
+    if let Ok(page) = Page::encode(&ts, &vals, Encoding::Ts2Diff, Encoding::DeltaRle) {
+        let image = page.to_bytes();
+        let mut flipped = image.clone();
+        let mid = flipped.len() / 2; // inside a payload chunk
+        flipped[mid] ^= 0x10;
+        emit("page__payload_bitflip".to_string(), &flipped)?;
+        emit("page__truncated".to_string(), &image[..image.len() / 2])?;
+    }
+
+    let scratch = std::env::temp_dir().join(format!("etsqp-corpus-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch)?;
+    let mut rng = Rng::new(1);
+    let tsfile_seeds = build_seeds(&Target::TsFileImage, &mut rng, &scratch);
+    if let Some(image) = tsfile_seeds.first() {
+        emit("tsfile__truncated".to_string(), &image[..image.len() / 2])?;
+        let mut bad_magic = image.clone();
+        for b in bad_magic.iter_mut().take(4) {
+            *b = !*b;
+        }
+        emit("tsfile__bad_magic".to_string(), &bad_magic)?;
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    Ok(written)
+}
+
+/// Fuzzer configuration parsed by `main.rs`.
+pub struct FuzzConfig {
+    /// Total mutation iterations across all targets.
+    pub iters: u64,
+    /// RNG seed; identical seeds reproduce identical runs.
+    pub seed: u64,
+    /// Where minimized crashers are written.
+    pub corpus_dir: PathBuf,
+}
+
+/// Runs the fuzzer; returns the number of invariant violations.
+pub fn run(cfg: &FuzzConfig) -> u64 {
+    let start = Instant::now();
+    let scratch = std::env::temp_dir().join(format!("etsqp-fuzz-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&scratch);
+
+    let mut rng = Rng::new(cfg.seed);
+    let targets: Vec<Target> = INT_CODECS
+        .iter()
+        .map(|&e| Target::Int(e))
+        .chain(FLOAT_CODECS.iter().map(|&e| Target::Float(e)))
+        .chain([Target::PageImage, Target::TsFileImage])
+        .collect();
+    let seeds: Vec<Vec<Vec<u8>>> = targets
+        .iter()
+        .map(|t| build_seeds(t, &mut rng, &scratch))
+        .collect();
+
+    // Panics are expected to be *absent*; keep the default hook silent
+    // during the run so an actual violation prints once, not 20k times.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut violations = 0u64;
+    let mut executed = 0u64;
+    for i in 0..cfg.iters {
+        // Round-robin over targets so every decoder gets equal coverage
+        // regardless of --iters.
+        let t = (i % targets.len() as u64) as usize;
+        let target = &targets[t];
+        let mut input = if seeds[t].is_empty() || rng.below(16) == 0 {
+            Vec::new() // occasionally start from scratch
+        } else {
+            seeds[t][rng.below(seeds[t].len())].clone()
+        };
+        // Stack 1..=4 mutations.
+        for _ in 0..rng.below(4) + 1 {
+            mutate(&mut input, &mut rng);
+        }
+        executed += 1;
+        if let Verdict::Violation(msg) = check(target, &input, &scratch) {
+            violations += 1;
+            let min = minimize(target, &input, &scratch);
+            let name = format!("{}__{:016x}.bin", target.name(), content_hash(&min));
+            let dest = cfg.corpus_dir.join(&name);
+            let _ = std::fs::create_dir_all(&cfg.corpus_dir);
+            let _ = std::fs::write(&dest, &min);
+            eprintln!(
+                "fuzz VIOLATION [{}] iter {i}: {msg} ({} bytes, minimized to {}; saved {})",
+                target.name(),
+                input.len(),
+                min.len(),
+                dest.display()
+            );
+        }
+    }
+    std::panic::set_hook(prev_hook);
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let secs = start.elapsed().as_secs_f64();
+    let rate = executed as f64 / secs.max(1e-9);
+    if violations == 0 {
+        println!(
+            "fuzz OK: {executed} iters, {} targets, {secs:.2}s, {rate:.0} execs/sec",
+            targets.len()
+        );
+    } else {
+        println!(
+            "fuzz FAILED: {violations} violations in {executed} iters ({} targets, {secs:.2}s)",
+            targets.len()
+        );
+    }
+    violations
+}

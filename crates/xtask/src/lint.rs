@@ -11,7 +11,8 @@
 //!   comment/attribute block above it or on the same line.
 //! * `no-panic-paths` — no `unwrap()` / `expect(` / `panic!` /
 //!   `unreachable!` / `todo!` / `unimplemented!` in engine hot paths
-//!   ([`HOT_FILES`]); error paths must surface `Error` variants.
+//!   ([`HOT_FILES`]) or the untrusted-input decode crates
+//!   ([`HOT_DIRS`]); error paths must surface `Error` variants.
 //! * `no-lossy-cast` — no narrowing `as` casts in accumulator/fused
 //!   kernels ([`CAST_FILES`]); use the checked/widening helpers.
 //! * `forbid-unsafe` — crates with zero `unsafe` must declare
@@ -40,6 +41,11 @@ pub const HOT_FILES: [&str; 5] = [
     "crates/core/src/decode.rs",
     "crates/core/src/slice.rs",
 ];
+
+/// Untrusted-input directories: every decode path in these crates faces
+/// hostile bytes, so the `no-panic-paths` rule covers them wholesale
+/// (the fuzzer enforces the same contract dynamically).
+pub const HOT_DIRS: [&str; 2] = ["crates/encoding/src/", "crates/storage/src/"];
 
 /// Accumulator/fused-kernel files: narrowing `as` casts are forbidden.
 pub const CAST_FILES: [&str; 2] = ["crates/core/src/fused.rs", "crates/simd/src/agg.rs"];
@@ -565,8 +571,11 @@ pub fn analyze_source(rel_path: &str, source: &str) -> Report {
         }
     }
 
-    // Rule: no-panic-paths (hot files, non-test code only).
-    if HOT_FILES.iter().any(|f| rel_path.ends_with(f)) {
+    // Rule: no-panic-paths (hot files + untrusted-input decode crates,
+    // non-test code only).
+    if HOT_FILES.iter().any(|f| rel_path.ends_with(f))
+        || HOT_DIRS.iter().any(|d| rel_path.contains(d))
+    {
         for (i, line) in lines.iter().enumerate() {
             if line.in_test {
                 continue;
@@ -776,6 +785,21 @@ mod tests {
         // The same bad source in a non-hot file is fine.
         let r = analyze_source("crates/bench/src/lib.rs", bad);
         assert!(!rules_fired(&r).contains(&"no-panic-paths".to_string()));
+    }
+
+    #[test]
+    fn no_panic_paths_covers_untrusted_decode_dirs() {
+        let bad = include_str!("../fixtures/panic_bad.rs.txt");
+        for path in [
+            "crates/encoding/src/gorilla.rs",
+            "crates/storage/src/page.rs",
+        ] {
+            let r = analyze_source(path, bad);
+            assert!(
+                rules_fired(&r).contains(&"no-panic-paths".to_string()),
+                "decode dir {path} must be covered: {r:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,15 +1,23 @@
-//! Repo automation tasks. Currently one subcommand:
+//! Repo automation tasks. Two subcommands:
 //!
 //! ```text
 //! cargo run -p xtask -- lint [--root <dir>]
+//! cargo run -p xtask -- fuzz [--iters N] [--seed S] [--corpus <dir>] [--emit-corpus]
 //! ```
 //!
-//! Runs the repo-specific static-analysis pass over every workspace
-//! `.rs` file (see [`lint`] module docs for the rules) and exits
-//! non-zero on violations, printing a `rule -> count` summary line that
-//! `scripts/ci.sh` surfaces on failure.
+//! `lint` runs the repo-specific static-analysis pass over every
+//! workspace `.rs` file (see [`lint`] module docs for the rules) and
+//! exits non-zero on violations, printing a `rule -> count` summary
+//! line that `scripts/ci.sh` surfaces on failure.
+//!
+//! `fuzz` runs the deterministic mutational fuzzer over every codec
+//! decoder, the page image parser, and the tsfile reader (see [`fuzz`]
+//! module docs for the invariant), exiting non-zero if any input
+//! panics a decoder or breaks round-trip consistency. Minimized
+//! crashers land in `tests/corpus/` for `tests/corruption.rs` replay.
 #![forbid(unsafe_code)]
 
+mod fuzz;
 mod lint;
 
 use std::path::PathBuf;
@@ -26,16 +34,69 @@ fn workspace_root() -> PathBuf {
 
 fn usage() -> ExitCode {
     eprintln!("usage: cargo run -p xtask -- lint [--root <dir>]");
+    eprintln!(
+        "       cargo run -p xtask -- fuzz [--iters N] [--seed S] [--corpus <dir>] [--emit-corpus]"
+    );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) != Some("lint") {
-        return usage();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("fuzz") => run_fuzz(&args[1..]),
+        _ => usage(),
     }
+}
+
+fn run_fuzz(args: &[String]) -> ExitCode {
+    let mut cfg = fuzz::FuzzConfig {
+        iters: 20_000,
+        seed: 5,
+        corpus_dir: workspace_root().join("tests").join("corpus"),
+    };
+    let mut emit_corpus = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--emit-corpus" => emit_corpus = true,
+            "--iters" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.iters = n,
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => cfg.seed = s,
+                None => return usage(),
+            },
+            "--corpus" => match it.next() {
+                Some(dir) => cfg.corpus_dir = PathBuf::from(dir),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if emit_corpus {
+        return match fuzz::emit_corpus(&cfg.corpus_dir) {
+            Ok(n) => {
+                println!("corpus: wrote {n} files to {}", cfg.corpus_dir.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("corpus: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if fuzz::run(&cfg) == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
     let mut root = workspace_root();
-    let mut it = args.iter().skip(1);
+    let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--root" => match it.next() {

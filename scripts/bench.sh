@@ -21,3 +21,25 @@ echo "==> pool_bench (ETSQP_BENCH_QUERIES=${ETSQP_BENCH_QUERIES:-1000}) -> BENCH
 
 echo "==> BENCH_pool.json"
 cat BENCH_pool.json
+
+# Nightly fuzz throughput profile: a longer deterministic fuzz run in
+# release mode, reported as execs/sec (BENCH_fuzz.json). The gating
+# 20k-iteration debug run lives in scripts/ci.sh; this one tracks the
+# harness's throughput trajectory. Scale with ETSQP_FUZZ_BENCH_ITERS.
+FUZZ_ITERS="${ETSQP_FUZZ_BENCH_ITERS:-100000}"
+echo "==> cargo build --release -p xtask"
+cargo build --release -p xtask
+
+echo "==> xtask fuzz --iters ${FUZZ_ITERS} (release) -> BENCH_fuzz.json"
+FUZZ_CORPUS="$(mktemp -d)"
+FUZZ_LINE="$(./target/release/xtask fuzz --iters "${FUZZ_ITERS}" --seed 7 --corpus "${FUZZ_CORPUS}" | tail -1)"
+rm -rf "${FUZZ_CORPUS}"
+# "fuzz OK: <iters> iters, <targets> targets, <secs>s, <rate> execs/sec"
+echo "${FUZZ_LINE}" | awk '{
+    if ($2 != "OK:") { print "{\"error\": \"fuzz run failed\"}"; exit 1 }
+    gsub(/,/, "", $3); gsub(/,/, "", $5); gsub(/s,?/, "", $7);
+    printf "{\"iters\": %s, \"targets\": %s, \"seconds\": %s, \"execs_per_sec\": %s, \"seed\": 7}\n", $3, $5, $7, $8
+}' > BENCH_fuzz.json
+
+echo "==> BENCH_fuzz.json"
+cat BENCH_fuzz.json

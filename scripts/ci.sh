@@ -24,6 +24,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo run -p xtask -- lint"
 cargo run -q -p xtask -- lint
 
+# Deterministic decoder fuzzing (crates/xtask): mutated codec streams,
+# page images and tsfile images must never panic a decoder or break
+# round-trip consistency — Err(Corrupt) is the only acceptable failure.
+# Runs in debug mode on purpose: overflow/shift panics are live there.
+# Scale with ETSQP_FUZZ_ITERS (default 20000, the gating profile).
+echo "==> cargo run -p xtask -- fuzz --iters ${ETSQP_FUZZ_ITERS:-20000} --seed 5"
+cargo run -q -p xtask -- fuzz --iters "${ETSQP_FUZZ_ITERS:-20000}" --seed 5
+
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 

@@ -1,8 +1,14 @@
 //! `etsqp-cli` — an interactive shell for ETSQP databases.
 //!
 //! ```sh
-//! cargo run --release --bin etsqp-cli -- [file.etsqp]
+//! cargo run --release --bin etsqp-cli -- [--timeout-ms N] [file.etsqp]
 //! ```
+//!
+//! `--timeout-ms N` applies a per-statement deadline: a query running
+//! past it aborts at the next morsel boundary with a timeout error
+//! instead of holding the shell. A database file that fails validation
+//! (truncated, bit-flipped, hostile header) exits with status 3 so
+//! scripts can tell corrupt input from usage errors.
 //!
 //! Commands:
 //!
@@ -20,25 +26,53 @@
 use std::io::{BufRead, Write};
 use std::path::Path;
 
+use std::time::Duration;
+
+use etsqp::core::cancel::CancellationToken;
 use etsqp::core::plan::PipelineConfig;
 use etsqp::datasets::Spec;
 use etsqp::{EngineOptions, FuseLevel, IotDb, Value};
 
+/// Exit status for a database file rejected as corrupt — distinct from
+/// the generic failure(1) so scripts can react to hostile input.
+const EXIT_CORRUPT: i32 = 3;
+
 fn main() {
     let mut db = IotDb::new(EngineOptions::default());
     let mut cfg = PipelineConfig::default();
+    let mut timeout: Option<Duration> = None;
     println!(
         "ETSQP shell — SIMD backend: {} — .help for commands",
         etsqp::simd::backend()
     );
 
-    if let Some(path) = std::env::args().nth(1) {
+    let mut file: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--timeout-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => timeout = Some(Duration::from_millis(ms)),
+                None => {
+                    eprintln!("usage: etsqp-cli [--timeout-ms N] [file.etsqp]");
+                    std::process::exit(2);
+                }
+            },
+            _ => file = Some(arg),
+        }
+    }
+    if let Some(path) = file {
         match load(&path) {
             Ok(loaded) => {
                 db = loaded;
                 println!("loaded {}", path);
             }
-            Err(e) => eprintln!("cannot load {path}: {e}"),
+            Err(e) => {
+                eprintln!("cannot load {path}: {e}");
+                if is_corrupt(e.as_ref()) {
+                    std::process::exit(EXIT_CORRUPT);
+                }
+                std::process::exit(1);
+            }
         }
     }
 
@@ -66,7 +100,7 @@ fn main() {
             }
             continue;
         }
-        run_sql(&db, &cfg, line);
+        run_sql(&db, &cfg, timeout, line);
     }
 }
 
@@ -75,7 +109,27 @@ fn load(path: &str) -> Result<IotDb, Box<dyn std::error::Error>> {
     Ok(IotDb::with_store(store, EngineOptions::default()))
 }
 
-fn run_sql(db: &IotDb, cfg: &PipelineConfig, sql: &str) {
+/// Whether a load failure traces back to rejected (corrupt) input rather
+/// than I/O or usage problems.
+fn is_corrupt(mut e: &(dyn std::error::Error + 'static)) -> bool {
+    loop {
+        if let Some(s) = e.downcast_ref::<etsqp::storage::Error>() {
+            return matches!(
+                s,
+                etsqp::storage::Error::Corrupt { .. } | etsqp::storage::Error::Encoding(_)
+            );
+        }
+        if e.downcast_ref::<etsqp::encoding::Error>().is_some() {
+            return true;
+        }
+        match e.source() {
+            Some(src) => e = src,
+            None => return false,
+        }
+    }
+}
+
+fn run_sql(db: &IotDb, cfg: &PipelineConfig, timeout: Option<Duration>, sql: &str) {
     let plan = match etsqp::core::sql::parse_statement(sql) {
         Ok(etsqp::core::sql::Statement::Query(p)) => p,
         Ok(etsqp::core::sql::Statement::Explain(p)) => {
@@ -90,7 +144,11 @@ fn run_sql(db: &IotDb, cfg: &PipelineConfig, sql: &str) {
             return;
         }
     };
-    match db.execute_with(&plan, cfg) {
+    let ctl = match timeout {
+        Some(t) => CancellationToken::with_timeout(t),
+        None => CancellationToken::none(),
+    };
+    match db.execute_ctl(&plan, cfg, &ctl) {
         Ok(r) => {
             println!("{}", r.columns.join(" | "));
             let shown = r.rows.len().min(20);

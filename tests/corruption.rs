@@ -1,0 +1,190 @@
+//! Replays the minimized corruption corpus (`tests/corpus/*.bin`)
+//! against every untrusted-input surface, asserting the same tri-state
+//! invariant the fuzzer (`cargo run -p xtask -- fuzz`) enforces:
+//!
+//! 1. no decoder panics on any byte string;
+//! 2. `Ok(values)` implies `decode(encode(values)) == values`
+//!    (bitwise for floats) — an accepted stream must round-trip;
+//! 3. otherwise a typed `Err` — the expected outcome for a crasher.
+//!
+//! The corpus is committed: one deterministic hostile input per codec
+//! (truncations, hostile count fields) plus fuzzer-found crashers such
+//! as `chimp__zero_sig.bin` (a flag-`01` code with zero significant
+//! bits used to overflow a shift by 64). File names are
+//! `<target>__<description>.bin`, where `<target>` is a codec name from
+//! `Encoding::name()`, `page` (a `Page::to_bytes` image), or `tsfile`
+//! (an on-disk file image). Regenerate with
+//! `cargo run -p xtask -- fuzz --emit-corpus`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use etsqp::encoding::Encoding;
+use etsqp::storage::page::Page;
+use etsqp::storage::tsfile;
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+}
+
+fn codec_by_name(name: &str) -> Option<Encoding> {
+    const ALL: [Encoding; 11] = [
+        Encoding::Plain,
+        Encoding::Ts2Diff,
+        Encoding::Ts2DiffOrder2,
+        Encoding::Rle,
+        Encoding::DeltaRle,
+        Encoding::Sprintz,
+        Encoding::Rlbe,
+        Encoding::Gorilla,
+        Encoding::Chimp,
+        Encoding::Elf,
+        Encoding::GorillaFloat,
+    ];
+    ALL.into_iter().find(|e| e.name() == name)
+}
+
+/// Applies the tri-state invariant; returns a violation message or None.
+fn check(target: &str, bytes: &[u8]) -> Option<String> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), String> {
+        match target {
+            "page" => {
+                if let Ok((page, _)) = Page::from_bytes(bytes) {
+                    if page.header.val_encoding.is_float() {
+                        let _ = page.decode_f64();
+                    } else {
+                        let _ = page.decode();
+                    }
+                }
+                Ok(())
+            }
+            "tsfile" => {
+                let dir =
+                    std::env::temp_dir().join(format!("etsqp-corruption-{}", std::process::id()));
+                std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+                let path = dir.join("replay.etsqp");
+                std::fs::write(&path, bytes).map_err(|e| e.to_string())?;
+                if let Ok(store) = tsfile::read(&path) {
+                    for name in store.series_names() {
+                        if let Ok(pages) = store.peek_pages(&name) {
+                            for page in pages {
+                                if page.header.val_encoding.is_float() {
+                                    let _ = page.decode_f64();
+                                } else {
+                                    let _ = page.decode();
+                                }
+                            }
+                        }
+                    }
+                }
+                let _ = std::fs::remove_dir_all(&dir);
+                Ok(())
+            }
+            codec => {
+                let enc = codec_by_name(codec)
+                    .ok_or_else(|| format!("unknown corpus target `{codec}`"))?;
+                if enc.is_float() {
+                    if let Ok(values) = enc.decode_f64(bytes) {
+                        let back = enc
+                            .decode_f64(&enc.encode_f64(&values))
+                            .map_err(|e| format!("accepted stream fails re-decode: {e}"))?;
+                        let same = back.len() == values.len()
+                            && back
+                                .iter()
+                                .zip(&values)
+                                .all(|(a, b)| a.to_bits() == b.to_bits());
+                        if !same {
+                            return Err("accepted stream breaks round-trip".into());
+                        }
+                    }
+                } else if let Ok(values) = enc.decode_i64(bytes) {
+                    let back = enc
+                        .decode_i64(&enc.encode_i64(&values))
+                        .map_err(|e| format!("accepted stream fails re-decode: {e}"))?;
+                    if back != values {
+                        return Err("accepted stream breaks round-trip".into());
+                    }
+                }
+                Ok(())
+            }
+        }
+    }));
+    match outcome {
+        Ok(Ok(())) => None,
+        Ok(Err(msg)) => Some(msg),
+        Err(_) => Some("decoder panicked".into()),
+    }
+}
+
+#[test]
+fn corpus_replays_clean() {
+    let dir = corpus_dir();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("tests/corpus/ must exist — run `cargo run -p xtask -- fuzz --emit-corpus`")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "bin"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 20,
+        "corpus unexpectedly small ({} files) — regenerate with \
+         `cargo run -p xtask -- fuzz --emit-corpus`",
+        entries.len()
+    );
+
+    let mut failures = Vec::new();
+    for path in &entries {
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+        let target = stem.split("__").next().unwrap_or("");
+        let bytes = std::fs::read(path).expect("corpus file readable");
+        if let Some(msg) = check(target, &bytes) {
+            failures.push(format!("{stem}: {msg}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "corpus violations:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
+/// The fuzzer-found chimp crasher must stay a *typed error*: a flag-01
+/// code declaring zero significant bits once drove a shift by 64.
+#[test]
+fn chimp_zero_sig_is_rejected() {
+    let bytes = std::fs::read(corpus_dir().join("chimp__zero_sig.bin"))
+        .expect("regression corpus file present");
+    let result = Encoding::Chimp.decode_f64(&bytes);
+    assert!(
+        result.is_err(),
+        "hostile chimp stream must be rejected, got {result:?}"
+    );
+}
+
+/// Hostile count fields must be rejected up front (header preflight),
+/// not trusted into a huge allocation.
+#[test]
+fn hostile_counts_are_rejected() {
+    for path in std::fs::read_dir(corpus_dir())
+        .unwrap()
+        .filter_map(|e| e.ok())
+    {
+        let name = path.file_name().to_string_lossy().into_owned();
+        let Some(codec_name) = name.strip_suffix("__hostile_count.bin") else {
+            continue;
+        };
+        let Some(enc) = codec_by_name(codec_name) else {
+            continue;
+        };
+        let bytes = std::fs::read(path.path()).unwrap();
+        let rejected = if enc.is_float() {
+            enc.decode_f64(&bytes).is_err()
+        } else {
+            enc.decode_i64(&bytes).is_err()
+        };
+        assert!(rejected, "{codec_name}: u32::MAX count must be rejected");
+    }
+}

@@ -400,3 +400,82 @@ fn timestamp_codecs_agree_with_oracle() {
     assert!(cases >= 200, "ts sweep too small: {cases} cases");
     eprintln!("differential ts-codec sweep: {cases} cases, zero mismatches");
 }
+
+/// Block D: fault injection. Every page mutation breaks the sealed
+/// checksum (`SeriesStore::corrupt_page` deliberately does not reseal),
+/// so any query whose pipeline contains the page — decoded, fast-path
+/// aggregated, or pruned away — must abort with a typed error. The
+/// invariant under test: corruption is *never* absorbed into a silently
+/// wrong aggregate, and an untouched series keeps answering correctly.
+#[test]
+fn corrupted_pages_abort_never_lie() {
+    use etsqp::storage::page::Page;
+    use etsqp::storage::Bytes;
+
+    type Mutation = (&'static str, fn(&mut Page));
+    let mutations: [Mutation; 4] = [
+        ("val_payload_bitflip", |p| {
+            let mut v = p.val_bytes.to_vec();
+            let mid = v.len() / 2;
+            v[mid] ^= 0x20;
+            p.val_bytes = Bytes::from(v);
+        }),
+        ("ts_payload_bitflip", |p| {
+            let mut v = p.ts_bytes.to_vec();
+            let mid = v.len() / 2;
+            v[mid] ^= 0x01;
+            p.ts_bytes = Bytes::from(v);
+        }),
+        // Header lies: caught because the checksum covers header bytes.
+        ("count_lie", |p| {
+            p.header.count = p.header.count.wrapping_add(1)
+        }),
+        // A min/max lie tries to steer the §V verdicts into wrongly
+        // excluding the page; verify-on-prune must catch it instead.
+        ("minmax_lie", |p| {
+            p.header.min_value = i64::MAX - 1;
+            p.header.max_value = i64::MAX;
+        }),
+    ];
+
+    let configs = canonical_configs();
+    let mut cases = 0usize;
+    for (mname, mutate) in mutations {
+        // DeltaRle values + identical clocks on both series keep the
+        // fused §IV pair path eligible, so JOINAGG(dot) exercises it.
+        let mut fx = fixture(Spec::Atmosphere, Encoding::DeltaRle, Encoding::Ts2Diff);
+        // Clean engine baselines must exist before injection.
+        for qi in [0usize, 3] {
+            check(&mut fx, qi, &configs[0]);
+        }
+        fx.store.corrupt_page(&fx.a, 1, mutate).unwrap();
+        for cfg in &configs {
+            // SUM(all), MIN(both) [time+value filter under prune],
+            // JOINAGG(dot) [fused pair path].
+            for (qname, plan) in [&fx.queries[0], &fx.queries[3], &fx.queries[14]] {
+                let got = execute(plan, &fx.store, cfg);
+                assert!(
+                    got.is_err(),
+                    "FAULT spec=atmosphere mutation={mname} cfg=[{}] query={qname}: \
+                     corrupted page produced Ok({:?})",
+                    cfg_label(cfg),
+                    got.as_ref().map(|r| preview(&r.rows)),
+                );
+                cases += 1;
+            }
+            // The untouched series keeps answering — corruption in `a`
+            // must not poison queries that never read it.
+            let healthy = Plan::scan(&fx.b).aggregate(AggFunc::Sum);
+            let got = execute(&healthy, &fx.store, cfg).expect("healthy series must still answer");
+            let (ocols, orows) = oracle::execute(&healthy, &fx.store).unwrap();
+            assert!(
+                got.columns == ocols && rows_eq(&got.rows, &orows),
+                "FAULT mutation={mname} cfg=[{}]: healthy series diverged",
+                cfg_label(cfg),
+            );
+            cases += 1;
+        }
+    }
+    assert!(cases >= 60, "fault sweep too small: {cases} cases");
+    eprintln!("differential fault injection: {cases} cases, all aborted with typed errors");
+}
