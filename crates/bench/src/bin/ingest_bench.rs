@@ -1,0 +1,140 @@
+//! Live-ingestion throughput: sharded hot-chunk store under concurrent
+//! writers AND queriers (ISSUE 6 tentpole measurement).
+//!
+//! Eight writer threads append into eight series while eight query
+//! threads run aggregates over the same series the whole time, so every
+//! query spans sealed pages plus the hot chunk. Reported as appended
+//! points/second (and queries/second on the side) per shard count, plus
+//! the sharded-vs-single-lock speedup — the contended regime the old
+//! global `BTreeMap` lock serialized.
+//!
+//! JSON on stdout (redirected to `BENCH_ingest.json` by
+//! `scripts/bench.sh`); human-readable lines on stderr. Scale control:
+//! `ETSQP_BENCH_INGEST_POINTS` (default 200000) sets points per writer.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use etsqp_core::expr::{AggFunc, Plan};
+use etsqp_core::plan::{execute, PipelineConfig};
+use etsqp_encoding::Encoding;
+use etsqp_storage::store::{SeriesStore, StoreOptions};
+
+const WRITERS: usize = 8;
+const QUERY_THREADS: usize = 8;
+const PAGE_POINTS: usize = 256;
+const SHARD_COUNTS: [usize; 3] = [1, 8, 64];
+/// Writers and queriers oversubscribe the cores, so single runs are
+/// noisy; each cell reports its best-of-N repetitions.
+const REPS: usize = 3;
+
+/// One contended cell: writers race queriers on the same series set.
+/// Returns (points/sec over the write phase, queries completed).
+fn run_cell(shards: usize, points: i64) -> (f64, u64) {
+    let store = SeriesStore::with_options(StoreOptions {
+        page_points: PAGE_POINTS,
+        shards,
+        seal_interval: None,
+    });
+    for w in 0..WRITERS {
+        store.create_series(&format!("s{w}"), Encoding::Ts2Diff, Encoding::Ts2Diff);
+    }
+    let done = Arc::new(AtomicBool::new(false));
+    let queries = Arc::new(AtomicU64::new(0));
+    let queriers: Vec<_> = (0..QUERY_THREADS)
+        .map(|q| {
+            let store = store.clone();
+            let done = Arc::clone(&done);
+            let queries = Arc::clone(&queries);
+            std::thread::spawn(move || {
+                let cfg = PipelineConfig {
+                    threads: 1,
+                    ..Default::default()
+                };
+                let mut k = q;
+                while !done.load(Ordering::Relaxed) {
+                    let series = format!("s{}", k % WRITERS);
+                    let func = match k % 3 {
+                        0 => AggFunc::Sum,
+                        1 => AggFunc::Count,
+                        _ => AggFunc::Max,
+                    };
+                    execute(&Plan::scan(&series).aggregate(func), &store, &cfg).unwrap();
+                    queries.fetch_add(1, Ordering::Relaxed);
+                    k += 1;
+                }
+            })
+        })
+        .collect();
+
+    let start = Instant::now();
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                let name = format!("s{w}");
+                for i in 0..points {
+                    store.append(&name, i, (i * 7 + w as i64) % 1000).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in writers {
+        t.join().unwrap();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    done.store(true, Ordering::Relaxed);
+    for t in queriers {
+        t.join().unwrap();
+    }
+    let total_points = (WRITERS as i64 * points) as f64;
+    (total_points / secs, queries.load(Ordering::Relaxed))
+}
+
+fn main() {
+    let points: i64 = std::env::var("ETSQP_BENCH_INGEST_POINTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+
+    // Warm-up outside the timed cells (thread spawn paths, allocator).
+    run_cell(8, (points / 20).max(1_000));
+
+    let mut cells = Vec::new();
+    let mut qps_at = [0.0f64; SHARD_COUNTS.len()];
+    for (i, &shards) in SHARD_COUNTS.iter().enumerate() {
+        let (mut pps, mut queries) = (0.0f64, 0u64);
+        for _ in 0..REPS {
+            let (p, q) = run_cell(shards, points);
+            if p > pps {
+                (pps, queries) = (p, q);
+            }
+        }
+        qps_at[i] = pps;
+        eprintln!(
+            "shards={shards}: {:.0} points/s ingested, {queries} live queries served (best of {REPS})",
+            pps
+        );
+        cells.push(format!(
+            concat!(
+                "    {{\"shards\": {}, \"points_per_sec\": {:.0}, ",
+                "\"live_queries\": {}}}"
+            ),
+            shards, pps, queries
+        ));
+    }
+    let speedup = qps_at[SHARD_COUNTS.len() - 1] / qps_at[0];
+
+    println!("{{");
+    println!("  \"bench\": \"live_ingest_sharded_store\",");
+    println!("  \"writers\": {WRITERS},");
+    println!("  \"query_threads\": {QUERY_THREADS},");
+    println!("  \"points_per_writer\": {points},");
+    println!("  \"page_points\": {PAGE_POINTS},");
+    println!("  \"cells\": [");
+    println!("{}", cells.join(",\n"));
+    println!("  ],");
+    println!("  \"sharded_vs_single_lock_speedup\": {speedup:.3}");
+    println!("}}");
+}

@@ -20,6 +20,13 @@ pub struct EngineOptions {
     pub ts_encoding: Encoding,
     /// Default value codec for new series.
     pub val_encoding: Encoding,
+    /// Shard count of the live-ingestion series map (rounded up to a
+    /// power of two). More shards = less append contention across series.
+    pub ingest_shards: usize,
+    /// Optional time-span seal threshold for hot chunks: a series whose
+    /// buffered range covers this many time units seals a page even
+    /// before reaching `page_points` (bounded staleness for pruning).
+    pub seal_interval: Option<i64>,
 }
 
 impl Default for EngineOptions {
@@ -29,6 +36,8 @@ impl Default for EngineOptions {
             page_points: etsqp_storage::series::DEFAULT_PAGE_POINTS,
             ts_encoding: Encoding::Ts2Diff,
             val_encoding: Encoding::Ts2Diff,
+            ingest_shards: etsqp_storage::ingest::DEFAULT_SHARDS,
+            seal_interval: None,
         }
     }
 }
@@ -83,6 +92,18 @@ impl EngineOptions {
         self.pipeline.scheduler = scheduler;
         self
     }
+
+    /// Sets the ingest-map shard count (rounded up to a power of two).
+    pub fn with_ingest_shards(mut self, shards: usize) -> Self {
+        self.ingest_shards = shards;
+        self
+    }
+
+    /// Sets the hot-chunk time-span seal threshold.
+    pub fn with_seal_interval(mut self, interval: i64) -> Self {
+        self.seal_interval = Some(interval);
+        self
+    }
 }
 
 /// An embedded IoT time-series database with the ETSQP query engine.
@@ -106,7 +127,11 @@ impl IotDb {
     /// Creates an empty database.
     pub fn new(opts: EngineOptions) -> Self {
         IotDb {
-            store: SeriesStore::new(opts.page_points),
+            store: SeriesStore::with_options(etsqp_storage::store::StoreOptions {
+                page_points: opts.page_points,
+                shards: opts.ingest_shards,
+                seal_interval: opts.seal_interval,
+            }),
             opts,
         }
     }

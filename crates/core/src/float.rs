@@ -14,6 +14,7 @@
 use etsqp_encoding::f64_to_ordered_i64;
 #[cfg(test)]
 use etsqp_encoding::Encoding;
+use etsqp_storage::ingest::{HotFloatSnapshot, HotSnapshot};
 use etsqp_storage::store::SeriesStore;
 
 use crate::cancel::CancellationToken;
@@ -137,12 +138,20 @@ pub fn aggregate_f64_ctl(
     ctl: &CancellationToken,
 ) -> Result<(FloatAgg, StatsSnapshot)> {
     let stats = ExecStats::default();
-    let pages = store.peek_pages(series)?;
+    let snap = store.snapshot(series)?;
+    let pages = snap.pages;
     if let Some(p) = pages.first() {
         if !p.header.val_encoding.is_float() {
             return Err(Error::Plan(format!("{series} is not a float series")));
         }
     }
+    let hot = match snap.hot {
+        Some(HotSnapshot::Float(h)) => Some(h),
+        Some(HotSnapshot::Int(_)) => {
+            return Err(Error::Plan(format!("{series} is not a float series")))
+        }
+        None => None,
+    };
     let mapped = vrange.map(|r| (f64_to_ordered_i64(r.lo), f64_to_ordered_i64(r.hi)));
     let mut kept = Vec::with_capacity(pages.len());
     for page in pages {
@@ -210,7 +219,40 @@ pub fn aggregate_f64_ctl(
     for out in outputs {
         total.merge(&out?);
     }
+    // Fold the hot chunk's buffered points (same filters, no page I/O):
+    // queries see a float point the moment `append_f64` returns.
+    if let Some(h) = &hot {
+        stats
+            .tuples_scanned
+            .fetch_add(h.ts.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        let _agg = Stage::Agg.timer(&stats);
+        for (_, v) in hot_range(h, trange) {
+            if let Some(r) = vrange {
+                if !(v >= r.lo && v <= r.hi) {
+                    continue; // also drops NaN
+                }
+            }
+            total.push(v);
+        }
+    }
     Ok((total, stats.snapshot()))
+}
+
+/// The hot snapshot's `(ts, value)` pairs inside the optional time range
+/// (an index range — buffered timestamps are strictly increasing).
+fn hot_range(
+    h: &HotFloatSnapshot,
+    trange: Option<TimeRange>,
+) -> impl Iterator<Item = (i64, f64)> + '_ {
+    let (a, b) = match trange {
+        Some(tr) => {
+            let a = h.ts.partition_point(|&t| t < tr.lo);
+            let b = h.ts.partition_point(|&t| t <= tr.hi);
+            (a, b.max(a))
+        }
+        None => (0, h.ts.len()),
+    };
+    h.ts[a..b].iter().copied().zip(h.vals[a..b].iter().copied())
 }
 
 /// Scans a float series' qualifying rows.
@@ -232,8 +274,13 @@ pub fn scan_f64_ctl(
     ctl: &CancellationToken,
 ) -> Result<(Vec<i64>, Vec<f64>)> {
     let stats = ExecStats::default();
-    let pages = store.peek_pages(series)?;
-    let kept: Vec<_> = pages
+    let snap = store.snapshot(series)?;
+    let hot = match snap.hot {
+        Some(HotSnapshot::Float(h)) => Some(h),
+        _ => None,
+    };
+    let kept: Vec<_> = snap
+        .pages
         .into_iter()
         .filter(|p| !cfg.prune || trange.is_none_or(|t| p.header.overlaps_time(t.lo, t.hi)))
         .collect();
@@ -263,6 +310,14 @@ pub fn scan_f64_ctl(
         let (t, v) = out?;
         all_ts.extend(t);
         all_vals.extend(v);
+    }
+    // Hot rows follow every sealed row (their timestamps are strictly
+    // greater), so the scan stays time-ordered.
+    if let Some(h) = &hot {
+        for (t, v) in hot_range(h, trange) {
+            all_ts.push(t);
+            all_vals.push(v);
+        }
     }
     Ok((all_ts, all_vals))
 }

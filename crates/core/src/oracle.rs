@@ -112,8 +112,26 @@ pub fn execute(plan: &Plan, store: &SeriesStore) -> Result<(Vec<String>, Vec<Vec
     }
 }
 
-/// Decodes every page of `series` with the serial reference decoders and
-/// keeps the tuples passing `pred`, checked one tuple at a time.
+/// Whether one tuple passes the conjunctive predicate.
+fn tuple_qualifies(pred: &Predicate, t: i64, v: i64) -> bool {
+    if let Some(tr) = pred.time {
+        if !tr.contains(t) {
+            return false;
+        }
+    }
+    if let Some((lo, hi)) = pred.value {
+        if v < lo || v > hi {
+            return false;
+        }
+    }
+    true
+}
+
+/// Decodes every sealed page of `series` with the serial reference
+/// decoders, then walks the hot chunk's buffered columns — both halves
+/// of one atomic [`SeriesStore::snapshot`], so the oracle sees exactly
+/// the prefix of the append stream a concurrently planned engine query
+/// would. Tuples pass `pred` one at a time.
 fn scan_tuples(
     store: &SeriesStore,
     series: &str,
@@ -121,21 +139,22 @@ fn scan_tuples(
 ) -> Result<(Vec<i64>, Vec<i64>)> {
     let mut out_ts = Vec::new();
     let mut out_vals = Vec::new();
-    for page in store.peek_pages(series)? {
+    let snap = store.snapshot(series)?;
+    for page in snap.pages {
         let (ts, vals) = page.decode()?;
         for (&t, &v) in ts.iter().zip(&vals) {
-            if let Some(tr) = pred.time {
-                if !tr.contains(t) {
-                    continue;
-                }
+            if tuple_qualifies(pred, t, v) {
+                out_ts.push(t);
+                out_vals.push(v);
             }
-            if let Some((lo, hi)) = pred.value {
-                if v < lo || v > hi {
-                    continue;
-                }
+        }
+    }
+    if let Some(etsqp_storage::ingest::HotSnapshot::Int(hot)) = snap.hot {
+        for (&t, &v) in hot.ts.iter().zip(hot.vals.iter()) {
+            if tuple_qualifies(pred, t, v) {
+                out_ts.push(t);
+                out_vals.push(v);
             }
-            out_ts.push(t);
-            out_vals.push(v);
         }
     }
     Ok((out_ts, out_vals))

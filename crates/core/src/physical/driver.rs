@@ -18,7 +18,9 @@ use crate::physical::merge::{
 };
 use crate::physical::node::{Parallelism, RootNode, SeriesPipeline, Strategy};
 use crate::physical::pipe::PhysicalPlan;
-use crate::physical::scan::{charge_pruned_page, scan_rows, verify_pruned};
+use crate::physical::scan::{
+    charge_pruned_hot, charge_pruned_page, hot_rows, scan_rows, verify_pruned,
+};
 use crate::plan::{finalize, finalize_pair, PipelineConfig, Value};
 use crate::slice::{distribute, WorkItem};
 use crate::{Error, Result};
@@ -65,7 +67,19 @@ pub(crate) fn run(
         }
         RootNode::Rows => {
             let p = &phys.pipelines[0];
-            let (ts, vals) = scan_rows(store, kept_of(p, stats)?, &p.pred, cfg, stats, ctl)?;
+            let (mut ts, mut vals) =
+                scan_rows(store, kept_of(p, stats)?, &p.pred, cfg, stats, ctl)?;
+            // Hot rows append after all sealed rows: their timestamps are
+            // strictly greater than every sealed one, so time order holds.
+            if let Some(hot) = &p.hot {
+                if hot.verdict.kept() {
+                    let (ht, hv) = hot_rows(hot, &p.pred, stats);
+                    ts.extend(ht);
+                    vals.extend(hv);
+                } else {
+                    charge_pruned_hot(hot, stats);
+                }
+            }
             let rows = ts
                 .into_iter()
                 .zip(vals)
@@ -235,34 +249,62 @@ fn aggregate_pipeline(
         },
     )?;
 
-    // Merge node (sequential, timed).
-    let _m = crate::physical::node::Stage::Merge.timer(stats);
     let mut windows: std::collections::BTreeMap<usize, AggState> =
         std::collections::BTreeMap::new();
-    let mut v_pre: i128 = 0;
-    let mut cur_page = usize::MAX;
-    for out in outputs {
-        match out {
-            JobOut::Err(e) => return Err(e),
-            JobOut::Whole(states) => {
-                for (k, s) in states {
-                    windows.entry(k).or_default().merge(&s);
+    {
+        // Merge node (sequential, timed).
+        let _m = crate::physical::node::Stage::Merge.timer(stats);
+        let mut v_pre: i128 = 0;
+        let mut cur_page = usize::MAX;
+        for out in outputs {
+            match out {
+                JobOut::Err(e) => return Err(e),
+                JobOut::Whole(states) => {
+                    for (k, s) in states {
+                        windows.entry(k).or_default().merge(&s);
+                    }
+                }
+                JobOut::Slice {
+                    page_seq,
+                    part,
+                    coeff,
+                } => {
+                    if page_seq != cur_page {
+                        cur_page = page_seq;
+                        debug_assert_eq!(part, 0, "slices arrive in order");
+                        v_pre = coeff.first_value as i128;
+                    }
+                    let state = windows.entry(0).or_default();
+                    coeff.fold_into(state, v_pre);
+                    v_pre += coeff.delta_total as i128;
                 }
             }
-            JobOut::Slice {
-                page_seq,
-                part,
-                coeff,
-            } => {
-                if page_seq != cur_page {
-                    cur_page = page_seq;
-                    debug_assert_eq!(part, 0, "slices arrive in order");
-                    v_pre = coeff.first_value as i128;
+        }
+    }
+    // The hot-chunk source folds last: its timestamps are strictly
+    // greater than every sealed timestamp, so pushing after all page
+    // partials keeps order-sensitive aggregates (FIRST/LAST) correct.
+    if let Some(hot) = &pipeline.hot {
+        if hot.verdict.kept() {
+            let (hts, hvals) = hot_rows(hot, pred, stats);
+            let _a = crate::physical::node::Stage::Agg.timer(stats);
+            match window {
+                None => {
+                    let state = windows.entry(0).or_default();
+                    for v in hvals {
+                        state.push(v);
+                    }
                 }
-                let state = windows.entry(0).or_default();
-                coeff.fold_into(state, v_pre);
-                v_pre += coeff.delta_total as i128;
+                Some(w) => {
+                    for (t, v) in hts.into_iter().zip(hvals) {
+                        if let Some(k) = w.window_of(t) {
+                            windows.entry(k).or_default().push(v);
+                        }
+                    }
+                }
             }
+        } else {
+            charge_pruned_hot(hot, stats);
         }
     }
     Ok(windows.into_iter().collect())

@@ -160,6 +160,23 @@ impl fmt::Display for Parallelism {
     }
 }
 
+/// The hot-chunk scan source of a pipeline: a point-in-time copy of the
+/// series' unsealed append buffer, captured atomically with the sealed
+/// page list at plan-compile time via `SeriesStore::snapshot`. The
+/// columns are already decoded — the executor filters and folds them
+/// directly, after every sealed-page partial (hot timestamps are
+/// strictly greater than all sealed ones, so first/last-sensitive
+/// merges stay ordered).
+#[derive(Debug, Clone)]
+pub struct HotScan {
+    /// Buffered timestamps (strictly increasing).
+    pub ts: Arc<Vec<i64>>,
+    /// Buffered values, aligned with `ts`.
+    pub vals: Arc<Vec<i64>>,
+    /// §V pruning verdict over the snapshot's exact min/max statistics.
+    pub verdict: PruneVerdict,
+}
+
 /// One per-series pipeline: the pages it reads plus every planner
 /// decision over them. This is the unit [`crate::physical::driver`] maps
 /// onto the work-stealing pool.
@@ -175,6 +192,11 @@ pub struct SeriesPipeline {
     pub decisions: Vec<PageDecision>,
     /// Morsel shape for the kept pages.
     pub parallelism: Parallelism,
+    /// The live hot-chunk snapshot, when the series had unsealed points
+    /// at compile time (unary pipelines only — binary operators
+    /// materialize the snapshot as a transient page instead, so their
+    /// partitioned merges see one uniform page list).
+    pub hot: Option<HotScan>,
 }
 
 impl SeriesPipeline {
@@ -232,6 +254,9 @@ pub enum RootNode {
 pub enum Node {
     /// Source: hands encoded pages to the pipeline.
     SourcePages,
+    /// Source: hands the hot-chunk snapshot's decoded columns to the
+    /// pipeline (no unpack/delta work — the buffer was never encoded).
+    SourceHot,
     /// §V header pruning.
     Prune,
     /// §III-C page slicing (symbolic partials).
@@ -273,7 +298,7 @@ impl Node {
     /// The stage counter this operator's execution charges.
     pub fn stage(&self) -> Stage {
         match self {
-            Node::SourcePages | Node::Prune => Stage::Io,
+            Node::SourcePages | Node::SourceHot | Node::Prune => Stage::Io,
             Node::Slice => Stage::Delta,
             Node::DecodeScan { .. } => Stage::Delta,
             Node::FusedAgg { .. } | Node::PartialAgg { .. } => Stage::Agg,
@@ -287,6 +312,7 @@ impl fmt::Display for Node {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Node::SourcePages => write!(f, "SourcePages"),
+            Node::SourceHot => write!(f, "SourceHot"),
             Node::Prune => write!(f, "Prune"),
             Node::Slice => write!(f, "Slice"),
             Node::DecodeScan { serial: false } => write!(f, "DecodeScan"),

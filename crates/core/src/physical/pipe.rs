@@ -12,6 +12,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use etsqp_encoding::Encoding;
+use etsqp_storage::ingest::HotSnapshot;
 use etsqp_storage::page::Page;
 use etsqp_storage::store::SeriesStore;
 
@@ -19,11 +20,13 @@ use crate::expr::{AggFunc, BinOp, CmpOp, Plan, Predicate, SlidingWindow, TimeRan
 use crate::fused::FuseLevel;
 use crate::physical::agg::{fusion_covers, spread_fits_i64};
 use crate::physical::merge::merge_partitions;
-use crate::physical::node::{Node, PageDecision, Parallelism, RootNode, SeriesPipeline, Strategy};
-use crate::physical::scan::page_verdict;
+use crate::physical::node::{
+    HotScan, Node, PageDecision, Parallelism, RootNode, SeriesPipeline, Strategy,
+};
+use crate::physical::scan::{hot_verdict, page_verdict};
 use crate::plan::{flatten_scan, PipelineConfig};
 use crate::slice::distribute;
-use crate::Result;
+use crate::{Error, Result};
 
 /// A compiled physical pipeline DAG: per-series pipelines feeding the
 /// root merge node (Figure 9).
@@ -47,17 +50,55 @@ enum Role {
     Rows,
 }
 
+/// Captures a series' atomic `(sealed pages, hot snapshot)` pair and
+/// compiles the hot half into the [`HotScan`] source of a unary
+/// pipeline, including its §V verdict over the snapshot's exact
+/// statistics. Float hot chunks are not compiled here — float queries go
+/// through [`crate::float`], which snapshots on its own.
+fn snapshot_unary(
+    store: &SeriesStore,
+    series: &str,
+    pred: &Predicate,
+    cfg: &PipelineConfig,
+) -> Result<(Vec<Arc<Page>>, Option<HotScan>)> {
+    let snap = store.snapshot(series).map_err(Error::Storage)?;
+    let hot = match snap.hot {
+        Some(HotSnapshot::Int(h)) => Some(HotScan {
+            verdict: hot_verdict(&h.ts, h.min_value, h.max_value, pred, cfg.prune),
+            ts: h.ts,
+            vals: h.vals,
+        }),
+        _ => None,
+    };
+    Ok((snap.pages, hot))
+}
+
+/// Captures a series' snapshot for a binary-operator side, materializing
+/// any hot points as one transient checksummed page (encoded with the
+/// series' own codecs) appended after the sealed pages. Partitioned
+/// merge nodes then see a single uniform page list — partitioning,
+/// pruning and pair-fusion checks all apply to live data unchanged.
+fn pages_with_hot(store: &SeriesStore, series: &str) -> Result<Vec<Arc<Page>>> {
+    let snap = store.snapshot(series).map_err(Error::Storage)?;
+    let mut pages = snap.pages;
+    if let Some(HotSnapshot::Int(h)) = snap.hot {
+        pages.push(Arc::new(h.to_page().map_err(Error::Storage)?));
+    }
+    Ok(pages)
+}
+
 /// Algorithm 2 `Pipe`: compiles the logical plan against the store's
 /// page headers under `cfg` into an explicit [`PhysicalPlan`].
 pub fn compile(plan: &Plan, store: &SeriesStore, cfg: &PipelineConfig) -> Result<PhysicalPlan> {
     match plan {
         Plan::Aggregate { input, func } => {
             let (series, pred) = flatten_scan(input)?;
-            let pages = store.peek_pages(&series)?;
+            let (pages, hot) = snapshot_unary(store, &series, &pred, cfg)?;
             let pipeline = build_pipeline(
                 series,
                 pred,
                 pages,
+                hot,
                 Role::Agg {
                     func: *func,
                     window: None,
@@ -78,11 +119,12 @@ pub fn compile(plan: &Plan, store: &SeriesStore, cfg: &PipelineConfig) -> Result
             func,
         } => {
             let (series, pred) = flatten_scan(input)?;
-            let pages = store.peek_pages(&series)?;
+            let (pages, hot) = snapshot_unary(store, &series, &pred, cfg)?;
             let pipeline = build_pipeline(
                 series,
                 pred,
                 pages,
+                hot,
                 Role::Agg {
                     func: *func,
                     window: Some(*window),
@@ -99,8 +141,8 @@ pub fn compile(plan: &Plan, store: &SeriesStore, cfg: &PipelineConfig) -> Result
         }
         Plan::Scan { .. } | Plan::Filter { .. } => {
             let (series, pred) = flatten_scan(plan)?;
-            let pages = store.peek_pages(&series)?;
-            let pipeline = build_pipeline(series, pred, pages, Role::Rows, cfg);
+            let (pages, hot) = snapshot_unary(store, &series, &pred, cfg)?;
+            let pipeline = build_pipeline(series, pred, pages, hot, Role::Rows, cfg);
             Ok(PhysicalPlan {
                 root: RootNode::Rows,
                 pipelines: vec![pipeline],
@@ -138,11 +180,11 @@ pub fn compile(plan: &Plan, store: &SeriesStore, cfg: &PipelineConfig) -> Result
         Plan::JoinAggregate { left, right, func } => {
             let (ls, lp) = flatten_scan(left)?;
             let (rs, rp) = flatten_scan(right)?;
-            let lpages = store.peek_pages(&ls)?;
-            let rpages = store.peek_pages(&rs)?;
+            let lpages = pages_with_hot(store, &ls)?;
+            let rpages = pages_with_hot(store, &rs)?;
             let fused = lp.is_trivial() && rp.is_trivial() && pair_fusible(&lpages, &rpages, cfg);
-            let lpipe = build_pipeline(ls, lp, lpages, Role::Rows, cfg);
-            let rpipe = build_pipeline(rs, rp, rpages, Role::Rows, cfg);
+            let lpipe = build_pipeline(ls, lp, lpages, None, Role::Rows, cfg);
+            let rpipe = build_pipeline(rs, rp, rpages, None, Role::Rows, cfg);
             Ok(PhysicalPlan {
                 root: RootNode::PairAgg { func: *func, fused },
                 pipelines: vec![lpipe, rpipe],
@@ -161,11 +203,11 @@ fn binary_sides(
 ) -> Result<(SeriesPipeline, SeriesPipeline, Vec<TimeRange>)> {
     let (ls, lp) = flatten_scan(left)?;
     let (rs, rp) = flatten_scan(right)?;
-    let lpages = store.peek_pages(&ls)?;
-    let rpages = store.peek_pages(&rs)?;
+    let lpages = pages_with_hot(store, &ls)?;
+    let rpages = pages_with_hot(store, &rs)?;
     let partitions = merge_partitions(&lpages, &rpages, cfg.threads);
-    let lpipe = build_pipeline(ls, lp, lpages, Role::Rows, cfg);
-    let rpipe = build_pipeline(rs, rp, rpages, Role::Rows, cfg);
+    let lpipe = build_pipeline(ls, lp, lpages, None, Role::Rows, cfg);
+    let rpipe = build_pipeline(rs, rp, rpages, None, Role::Rows, cfg);
     Ok((lpipe, rpipe, partitions))
 }
 
@@ -175,6 +217,7 @@ fn build_pipeline(
     series: String,
     pred: Predicate,
     pages: Vec<Arc<Page>>,
+    hot: Option<HotScan>,
     role: Role,
     cfg: &PipelineConfig,
 ) -> SeriesPipeline {
@@ -219,6 +262,7 @@ fn build_pipeline(
         pages,
         decisions,
         parallelism,
+        hot,
     }
 }
 
@@ -543,9 +587,46 @@ impl PhysicalPlan {
                 }
                 i = j + 1;
             }
+            // The hot-chunk source renders last: the executor folds it
+            // after every sealed-page partial (its timestamps follow all
+            // sealed ones). Absent when nothing is buffered, so plans
+            // over flushed stores render exactly as before.
+            if let Some(hot) = &p.hot {
+                if hot.verdict.kept() {
+                    let _ = writeln!(
+                        out,
+                        "    hot ({} tuples): {} -> {}",
+                        hot.ts.len(),
+                        hot.verdict,
+                        hot_chain(&p.pred, role_func)
+                    );
+                } else {
+                    let _ = writeln!(out, "    hot ({} tuples): {}", hot.ts.len(), hot.verdict);
+                }
+            }
         }
         out
     }
+}
+
+/// The operator chain a kept hot snapshot runs through: its columns are
+/// already decoded, so the chain is source → filter (→ partial agg).
+fn hot_chain(pred: &Predicate, role_func: Option<AggFunc>) -> String {
+    let mut nodes: Vec<Node> = vec![
+        Node::SourceHot,
+        Node::Filter {
+            time: pred.time.is_some(),
+            value: pred.value.is_some(),
+        },
+    ];
+    if let Some(func) = role_func {
+        nodes.push(Node::PartialAgg { func });
+    }
+    nodes
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(" -> ")
 }
 
 fn render_partitions(out: &mut String, partitions: &[TimeRange]) {

@@ -18,7 +18,7 @@ use crate::cancel::CancellationToken;
 use crate::decode::{decode_column, DecodeOptions};
 use crate::exec::{run_jobs_ctl, ExecStats};
 use crate::expr::Predicate;
-use crate::physical::node::{PruneVerdict, Stage};
+use crate::physical::node::{HotScan, PruneVerdict, Stage};
 use crate::plan::PipelineConfig;
 use crate::prune::{prune_rest, DeltaBounds, PruneDecision};
 use crate::{Error, Result};
@@ -48,6 +48,78 @@ pub(crate) fn page_verdict(page: &Page, pred: &Predicate, prune: bool) -> PruneV
         }
     }
     PruneVerdict::Kept
+}
+
+/// §V pruning verdict for a hot-chunk snapshot — the same rule as
+/// [`page_verdict`], applied to the snapshot's exact statistics: the
+/// sorted timestamp column bounds the time range, and min/max were
+/// computed over the buffered values at snapshot time. No checksum
+/// enters the decision — the columns were never encoded.
+pub(crate) fn hot_verdict(
+    ts: &[i64],
+    min_value: i64,
+    max_value: i64,
+    pred: &Predicate,
+    prune: bool,
+) -> PruneVerdict {
+    if !prune {
+        return PruneVerdict::Kept;
+    }
+    if let (Some(t), Some(&first), Some(&last)) = (pred.time, ts.first(), ts.last()) {
+        if last < t.lo || first > t.hi {
+            return PruneVerdict::PrunedTime;
+        }
+    }
+    if let Some((lo, hi)) = pred.value {
+        if max_value < lo || min_value > hi {
+            return PruneVerdict::PrunedValue;
+        }
+    }
+    PruneVerdict::Kept
+}
+
+/// Filters a hot-chunk snapshot's rows through the pushed-down predicate
+/// — the `SourceHot → Filter` chain. Charges the snapshot's tuples to
+/// the §VII-B scan counters (no page/byte I/O: the buffer is decoded
+/// memory, not encoded storage).
+pub(crate) fn hot_rows(hot: &HotScan, pred: &Predicate, stats: &ExecStats) -> (Vec<i64>, Vec<i64>) {
+    stats
+        .tuples_scanned
+        .fetch_add(hot.ts.len() as u64, Ordering::Relaxed);
+    let _f = Stage::Filter.timer(stats);
+    let ts = &hot.ts[..];
+    let vals = &hot.vals[..];
+    let (a, b) = match pred.time {
+        Some(tr) => {
+            let a = ts.partition_point(|&t| t < tr.lo);
+            let b = ts.partition_point(|&t| t <= tr.hi);
+            (a, b.max(a))
+        }
+        None => (0, ts.len()),
+    };
+    match pred.value {
+        None => (ts[a..b].to_vec(), vals[a..b].to_vec()),
+        Some((lo, hi)) => {
+            let mut out_ts = Vec::new();
+            let mut out_vals = Vec::new();
+            for i in a..b {
+                if vals[i] >= lo && vals[i] <= hi {
+                    out_ts.push(ts[i]);
+                    out_vals.push(vals[i]);
+                }
+            }
+            (out_ts, out_vals)
+        }
+    }
+}
+
+/// Charges a pruned hot snapshot's tuples to the throughput counters
+/// (tuples only — a hot chunk is not a page and touches no encoded
+/// bytes).
+pub(crate) fn charge_pruned_hot(hot: &HotScan, stats: &ExecStats) {
+    stats
+        .tuples_pruned
+        .fetch_add(hot.ts.len() as u64, Ordering::Relaxed);
 }
 
 /// Validates a page that a §V verdict is about to exclude. Pruning

@@ -7,12 +7,15 @@
 //! element count) plus the codec tags of the timestamp and value columns.
 //!
 //! * [`page::Page`] — one encoded page (timestamp chunk + value chunk).
-//! * [`series::SeriesWriter`] — the receive buffer: accumulates points and
-//!   flushes bounded pages, mirroring the incremental encode-and-flush
-//!   behaviour of §I.
+//! * [`ingest`] — the live write path: a sharded series map where each
+//!   series owns a hot append chunk that seals into pages at a point or
+//!   time threshold (Gorilla-style hot/sealed split).
 //! * [`store::SeriesStore`] — an in-memory multi-series store with I/O
 //!   accounting (pages and bytes touched), the substrate the query
-//!   pipelines and benchmarks run against.
+//!   pipelines and benchmarks run against. Queries snapshot sealed pages
+//!   plus the hot chunk atomically via [`store::SeriesStore::snapshot`].
+//! * [`series::SeriesWriter`] — the legacy standalone receive buffer,
+//!   kept for encode-and-flush experiments outside a store.
 //! * [`tsfile::TsFile`] — a minimal on-disk container (magic, series
 //!   index, length-prefixed pages) for persistence round-trips.
 
@@ -20,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod budget;
+pub mod ingest;
 pub mod page;
 pub mod series;
 pub mod store;

@@ -1,20 +1,29 @@
-//! In-memory multi-series store with I/O accounting.
+//! In-memory multi-series store with I/O accounting, built on the
+//! sharded live-ingestion engine.
 //!
 //! The query pipelines and benchmarks consume pages through this store so
 //! every experiment can report how many encoded bytes it actually touched
 //! — the quantity behind the paper's I/O-bound observations (Fig. 14(b))
 //! and the throughput definition of §VII-B ("tuples in loaded pages per
 //! second that counts tuples of pruned pages").
+//!
+//! Writes go through [`crate::ingest`]: series names hash into N shards
+//! (append = shard read lock + per-series mutex, no store-wide lock),
+//! and each series buffers points in a hot chunk that seals into a
+//! checksummed page at the configured point-count or time threshold.
+//! Readers call [`SeriesStore::snapshot`] to get sealed pages plus a
+//! point-in-time copy of the hot chunk as one atomic pair, so `SELECT`
+//! sees a point the moment `append` returns — no `flush` required.
 
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use etsqp_encoding::Encoding;
-use parking_lot::RwLock;
 
+use crate::ingest::{
+    Hot, HotChunk, HotChunkF64, HotSnapshot, SeriesState, ShardMap, DEFAULT_SHARDS,
+};
 use crate::page::Page;
-use crate::series::{SeriesWriter, SeriesWriterF64};
 use crate::{Error, Result};
 
 /// Counters for encoded bytes and pages handed to readers.
@@ -48,49 +57,90 @@ impl IoStats {
     }
 }
 
-enum Writer {
-    Int(SeriesWriter),
-    Float(SeriesWriterF64),
+/// Construction knobs for a [`SeriesStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// Points per sealed page (the §VI page size the pipelines are tuned
+    /// for). Every series created on the store seals at this count — and
+    /// keeps sealing at it for the life of the series.
+    pub page_points: usize,
+    /// Shard count for the series map (rounded up to a power of two).
+    pub shards: usize,
+    /// Optional time-span seal threshold: a hot chunk whose buffered
+    /// range reaches this many time units seals even when short of
+    /// `page_points` (Gorilla's "2-hour block" discipline). `None`
+    /// disables time-based sealing.
+    pub seal_interval: Option<i64>,
 }
 
-struct SeriesData {
-    pages: Vec<Arc<Page>>,
-    writer: Option<Writer>,
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            page_points: crate::series::DEFAULT_PAGE_POINTS,
+            shards: DEFAULT_SHARDS,
+            seal_interval: None,
+        }
+    }
 }
 
-/// A named collection of series, each a vector of encoded pages.
+/// An atomic view of one series: every sealed page plus a point-in-time
+/// copy of the hot chunk, captured under a single series-lock hold.
+///
+/// Any query planned from one snapshot is consistent: it sees a prefix
+/// of the series' append stream, with no torn pages and no point counted
+/// twice (a point is either in `pages` or in `hot`, never both).
+#[derive(Debug, Clone)]
+pub struct SeriesSnapshot {
+    /// Sealed, immutable, checksummed pages in time order.
+    pub pages: Vec<Arc<Page>>,
+    /// The hot chunk's buffered columns; `None` when nothing is buffered.
+    pub hot: Option<HotSnapshot>,
+}
+
+/// A named collection of series, each a vector of sealed pages plus a
+/// live hot chunk.
 ///
 /// Cloneable handles share the same underlying store (`Arc` internally),
-/// so pipeline threads can read pages concurrently.
+/// so pipeline threads can read pages concurrently while ingest threads
+/// append.
 pub struct SeriesStore {
-    inner: Arc<RwLock<BTreeMap<String, SeriesData>>>,
+    map: Arc<ShardMap>,
     io: Arc<IoStats>,
-    page_points: usize,
+    opts: StoreOptions,
 }
 
 impl Clone for SeriesStore {
     fn clone(&self) -> Self {
         Self {
-            inner: Arc::clone(&self.inner),
+            map: Arc::clone(&self.map),
             io: Arc::clone(&self.io),
-            page_points: self.page_points,
+            opts: self.opts,
         }
     }
 }
 
 impl Default for SeriesStore {
     fn default() -> Self {
-        Self::new(crate::series::DEFAULT_PAGE_POINTS)
+        Self::with_options(StoreOptions::default())
     }
 }
 
 impl SeriesStore {
-    /// Creates a store flushing pages of `page_points` points.
+    /// Creates a store sealing pages of `page_points` points (default
+    /// shard count, no time-based sealing).
     pub fn new(page_points: usize) -> Self {
-        Self {
-            inner: Arc::new(RwLock::new(BTreeMap::new())),
-            io: Arc::new(IoStats::default()),
+        Self::with_options(StoreOptions {
             page_points,
+            ..StoreOptions::default()
+        })
+    }
+
+    /// Creates a store with explicit sharding and sealing options.
+    pub fn with_options(opts: StoreOptions) -> Self {
+        Self {
+            map: Arc::new(ShardMap::new(opts.shards)),
+            io: Arc::new(IoStats::default()),
+            opts,
         }
     }
 
@@ -99,16 +149,21 @@ impl SeriesStore {
         &self.io
     }
 
+    /// Shard count of the underlying series map.
+    pub fn shard_count(&self) -> usize {
+        self.map.shard_count()
+    }
+
     /// Registers a series with the given column codecs. Idempotent for an
     /// existing series with the same name.
     pub fn create_series(&self, name: &str, ts_encoding: Encoding, val_encoding: Encoding) {
-        let mut map = self.inner.write();
-        map.entry(name.to_string()).or_insert_with(|| SeriesData {
+        self.map.get_or_insert(name, || SeriesState {
             pages: Vec::new(),
-            writer: Some(Writer::Int(SeriesWriter::with_page_points(
+            hot: Some(Hot::Int(HotChunk::new(
                 ts_encoding,
                 val_encoding,
-                self.page_points,
+                self.opts.page_points,
+                self.opts.seal_interval,
             ))),
         });
     }
@@ -116,158 +171,143 @@ impl SeriesStore {
     /// Registers a float-valued series (`val_encoding` must be a float
     /// codec: GorillaFloat, Chimp or Elf).
     pub fn create_series_f64(&self, name: &str, ts_encoding: Encoding, val_encoding: Encoding) {
-        let mut map = self.inner.write();
-        map.entry(name.to_string()).or_insert_with(|| SeriesData {
+        self.map.get_or_insert(name, || SeriesState {
             pages: Vec::new(),
-            writer: Some(Writer::Float(SeriesWriterF64::with_page_points(
+            hot: Some(Hot::Float(HotChunkF64::new(
                 ts_encoding,
                 val_encoding,
-                self.page_points,
+                self.opts.page_points,
+                self.opts.seal_interval,
             ))),
         });
     }
 
+    fn with_series<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut SeriesState) -> Result<R>,
+    ) -> Result<R> {
+        let cell = self
+            .map
+            .get(name)
+            .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
+        let mut state = cell.state.lock();
+        f(&mut state)
+    }
+
+    /// Appends one point to a series' hot chunk. A page sealed by this
+    /// append becomes visible to readers before the call returns.
+    pub fn append(&self, name: &str, ts: i64, value: i64) -> Result<()> {
+        self.with_series(name, |state| match state.hot.as_mut() {
+            Some(Hot::Int(h)) => {
+                if let Some(page) = h.push(ts, value)? {
+                    state.pages.push(Arc::new(page));
+                }
+                Ok(())
+            }
+            Some(Hot::Float(_)) => Err(Error::Misuse("float series; use append_f64")),
+            None => Err(Error::Misuse("page-only series has no live writer")),
+        })
+    }
+
     /// Appends one float point to a float series.
     pub fn append_f64(&self, name: &str, ts: i64, value: f64) -> Result<()> {
-        let mut map = self.inner.write();
-        let data = map
-            .get_mut(name)
-            .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
-        match data.writer.as_mut() {
-            Some(Writer::Float(w)) => w.push(ts, value),
-            Some(Writer::Int(_)) => Err(Error::Misuse("integer series; use append")),
-            None => Err(Error::Misuse("series sealed")),
-        }
+        self.with_series(name, |state| match state.hot.as_mut() {
+            Some(Hot::Float(h)) => {
+                if let Some(page) = h.push(ts, value)? {
+                    state.pages.push(Arc::new(page));
+                }
+                Ok(())
+            }
+            Some(Hot::Int(_)) => Err(Error::Misuse("integer series; use append")),
+            None => Err(Error::Misuse("page-only series has no live writer")),
+        })
     }
 
-    /// Appends one point to a series' receive buffer.
-    pub fn append(&self, name: &str, ts: i64, value: i64) -> Result<()> {
-        let mut map = self.inner.write();
-        let data = map
-            .get_mut(name)
-            .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
-        match data.writer.as_mut() {
-            Some(Writer::Int(w)) => w.push(ts, value),
-            Some(Writer::Float(_)) => Err(Error::Misuse("float series; use append_f64")),
-            None => Err(Error::Misuse("series sealed")),
-        }
-    }
-
-    /// Bulk-appends points and flushes all full pages.
+    /// Bulk-appends points; pages seal as thresholds are crossed. The
+    /// whole batch runs under one series-lock hold, so a concurrent
+    /// `flush` can never slice a short page out of the middle of it.
     pub fn append_all(&self, name: &str, ts: &[i64], values: &[i64]) -> Result<()> {
-        let mut map = self.inner.write();
-        let data = map
-            .get_mut(name)
-            .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
-        match data.writer.as_mut() {
-            Some(Writer::Int(w)) => w.push_all(ts, values)?,
-            Some(Writer::Float(_)) => return Err(Error::Misuse("float series; use append_f64")),
-            None => return Err(Error::Misuse("series sealed")),
-        }
-        drop(map);
-        self.sync(name)
+        self.with_series(name, |state| match state.hot.as_mut() {
+            Some(Hot::Int(h)) => {
+                for (&t, &v) in ts.iter().zip(values) {
+                    if let Some(page) = h.push(t, v)? {
+                        state.pages.push(Arc::new(page));
+                    }
+                }
+                Ok(())
+            }
+            Some(Hot::Float(_)) => Err(Error::Misuse("float series; use append_f64")),
+            None => Err(Error::Misuse("page-only series has no live writer")),
+        })
     }
 
-    /// Moves every completed page from the receive buffer into the store
-    /// and force-flushes the remainder.
+    /// Force-seals the hot chunk into a (possibly short) page. Empty hot
+    /// chunks are a no-op and the series stays writable either way; on a
+    /// seal error the buffered points are preserved for retry.
     pub fn flush(&self, name: &str) -> Result<()> {
-        let mut map = self.inner.write();
-        let data = map
-            .get_mut(name)
-            .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
-        match data.writer.as_mut() {
-            Some(Writer::Int(w)) => w.flush_page()?,
-            Some(Writer::Float(w)) => w.flush_page()?,
-            None => {}
-        }
-        Self::drain_writer(data)
+        self.with_series(name, |state| {
+            if let Some(hot) = state.hot.as_mut() {
+                if let Some(page) = hot.seal()? {
+                    state.pages.push(Arc::new(page));
+                }
+            }
+            Ok(())
+        })
     }
 
-    /// Moves completed pages out of the buffer without forcing a short page.
-    fn sync(&self, name: &str) -> Result<()> {
-        let mut map = self.inner.write();
-        let data = map
-            .get_mut(name)
-            .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
-        Self::drain_writer(data)
-    }
-
-    fn drain_writer(data: &mut SeriesData) -> Result<()> {
-        let Some(writer) = data.writer.take() else {
-            return Ok(());
-        };
-        let is_float = matches!(writer, Writer::Float(_));
-        let pages = match writer {
-            Writer::Int(w) => w.finish()?,
-            Writer::Float(w) => w.finish()?,
-        };
-        let encs = pages
-            .first()
-            .map(|p| (p.header.ts_encoding, p.header.val_encoding))
-            .or_else(|| {
-                data.pages
-                    .first()
-                    .map(|p| (p.header.ts_encoding, p.header.val_encoding))
-            });
-        data.pages.extend(pages.into_iter().map(Arc::new));
-        if let Some((te, ve)) = encs {
-            data.writer = Some(if is_float {
-                Writer::Float(SeriesWriterF64::with_page_points(
-                    te,
-                    ve,
-                    crate::series::DEFAULT_PAGE_POINTS,
-                ))
-            } else {
-                Writer::Int(SeriesWriter::new(te, ve))
-            });
-        }
-        Ok(())
-    }
-
-    /// Names of all series.
+    /// Names of all series, sorted.
     pub fn series_names(&self) -> Vec<String> {
-        self.inner.read().keys().cloned().collect()
+        self.map.names()
     }
 
-    /// Page count of a series.
+    /// Sealed page count of a series.
     pub fn page_count(&self, name: &str) -> Result<usize> {
-        let map = self.inner.read();
-        map.get(name)
-            .map(|d| d.pages.len())
-            .ok_or_else(|| Error::NoSuchSeries(name.to_string()))
+        self.with_series(name, |state| Ok(state.pages.len()))
     }
 
-    /// Returns the pages of a series, recording their encoded bytes as I/O.
+    /// Points currently buffered in the hot chunk (not yet sealed).
+    pub fn buffered_points(&self, name: &str) -> Result<usize> {
+        self.with_series(name, |state| Ok(state.hot.as_ref().map_or(0, |h| h.len())))
+    }
+
+    /// Returns the sealed pages of a series, recording their encoded
+    /// bytes as I/O.
     pub fn read_pages(&self, name: &str) -> Result<Vec<Arc<Page>>> {
-        let map = self.inner.read();
-        let data = map
-            .get(name)
-            .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
-        for p in &data.pages {
+        let pages = self.peek_pages(name)?;
+        for p in &pages {
             self.io.record_page(p.encoded_len());
         }
-        Ok(data.pages.clone())
+        Ok(pages)
     }
 
-    /// Returns page handles *without* charging I/O — used by planners that
-    /// inspect headers only; readers charge I/O when they touch payloads.
+    /// Returns sealed page handles *without* charging I/O — used by
+    /// planners that inspect headers only; readers charge I/O when they
+    /// touch payloads.
     pub fn peek_pages(&self, name: &str) -> Result<Vec<Arc<Page>>> {
-        let map = self.inner.read();
-        let data = map
-            .get(name)
-            .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
-        Ok(data.pages.clone())
+        self.with_series(name, |state| Ok(state.pages.clone()))
+    }
+
+    /// Atomically captures sealed pages plus the hot chunk's buffered
+    /// columns under one series-lock hold. This is the read path queries
+    /// plan from: the pair is a consistent prefix of the append stream.
+    /// No I/O is charged; executors charge pages when they decode them.
+    pub fn snapshot(&self, name: &str) -> Result<SeriesSnapshot> {
+        self.with_series(name, |state| {
+            Ok(SeriesSnapshot {
+                pages: state.pages.clone(),
+                hot: state.hot.as_ref().and_then(|h| h.snapshot()),
+            })
+        })
     }
 
     /// Inserts pre-encoded pages directly (used by TsFile loading and by
-    /// benchmarks that prepare data once).
+    /// benchmarks that prepare data once). Creates a page-only series —
+    /// no hot chunk — when the name is new.
     pub fn insert_pages(&self, name: &str, pages: Vec<Page>) {
-        let mut map = self.inner.write();
-        let data = map.entry(name.to_string()).or_insert_with(|| SeriesData {
-            pages: Vec::new(),
-            writer: None,
-        });
-        data.pages.extend(pages.into_iter().map(Arc::new));
+        let cell = self.map.get_or_insert(name, SeriesState::default);
+        let mut state = cell.state.lock();
+        state.pages.extend(pages.into_iter().map(Arc::new));
     }
 
     /// Fault-injection hook: replaces the `index`-th stored page of a
@@ -282,27 +322,24 @@ impl SeriesStore {
         index: usize,
         mutate: impl FnOnce(&mut Page),
     ) -> Result<()> {
-        let mut map = self.inner.write();
-        let data = map
-            .get_mut(name)
-            .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
-        let slot = data
-            .pages
-            .get_mut(index)
-            .ok_or(Error::Misuse("page index out of range"))?;
-        let mut page = (**slot).clone();
-        mutate(&mut page);
-        *slot = Arc::new(page);
-        Ok(())
+        self.with_series(name, |state| {
+            let slot = state
+                .pages
+                .get_mut(index)
+                .ok_or(Error::Misuse("page index out of range"))?;
+            let mut page = (**slot).clone();
+            mutate(&mut page);
+            *slot = Arc::new(page);
+            Ok(())
+        })
     }
 
-    /// Total number of points across all pages of a series.
+    /// Total number of points across all sealed pages of a series
+    /// (buffered hot points are reported by [`Self::buffered_points`]).
     pub fn point_count(&self, name: &str) -> Result<u64> {
-        let map = self.inner.read();
-        let data = map
-            .get(name)
-            .ok_or_else(|| Error::NoSuchSeries(name.to_string()))?;
-        Ok(data.pages.iter().map(|p| p.header.count as u64).sum())
+        self.with_series(name, |state| {
+            Ok(state.pages.iter().map(|p| p.header.count as u64).sum())
+        })
     }
 }
 
@@ -368,5 +405,48 @@ mod tests {
         let clone = store.clone();
         clone.read_pages("s1").unwrap();
         assert_eq!(store.io().pages_read(), 3);
+    }
+
+    #[test]
+    fn snapshot_sees_unflushed_points() {
+        let store = SeriesStore::new(100);
+        store.create_series("live", Encoding::Ts2Diff, Encoding::Ts2Diff);
+        store.append("live", 1, 10).unwrap();
+        store.append("live", 2, 20).unwrap();
+        let snap = store.snapshot("live").unwrap();
+        assert!(snap.pages.is_empty());
+        let hot = snap.hot.expect("buffered points visible without flush");
+        assert_eq!(hot.len(), 2);
+        assert_eq!(store.buffered_points("live").unwrap(), 2);
+        // peek_pages still reports sealed pages only.
+        assert!(store.peek_pages("live").unwrap().is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_atomic_pair() {
+        let store = SeriesStore::new(4);
+        store.create_series("s", Encoding::Ts2Diff, Encoding::Ts2Diff);
+        for i in 0..10i64 {
+            store.append("s", i, i).unwrap();
+        }
+        // 10 points at page_points=4: two sealed pages + 2 hot.
+        let snap = store.snapshot("s").unwrap();
+        let sealed: u64 = snap.pages.iter().map(|p| p.header.count as u64).sum();
+        let hot = snap.hot.as_ref().map_or(0, |h| h.len() as u64);
+        assert_eq!(sealed, 8);
+        assert_eq!(hot, 2);
+    }
+
+    #[test]
+    fn page_only_series_rejects_appends() {
+        let store = SeriesStore::new(100);
+        let page = Page::encode(&[1, 2], &[3, 4], Encoding::Ts2Diff, Encoding::Ts2Diff).unwrap();
+        store.insert_pages("cold", vec![page]);
+        assert!(matches!(store.append("cold", 5, 5), Err(Error::Misuse(_))));
+        // But flush and snapshot still work on it.
+        store.flush("cold").unwrap();
+        let snap = store.snapshot("cold").unwrap();
+        assert_eq!(snap.pages.len(), 1);
+        assert!(snap.hot.is_none());
     }
 }

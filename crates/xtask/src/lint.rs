@@ -44,8 +44,15 @@ pub const HOT_FILES: [&str; 5] = [
 
 /// Untrusted-input directories: every decode path in these crates faces
 /// hostile bytes, so the `no-panic-paths` rule covers them wholesale
-/// (the fuzzer enforces the same contract dynamically).
-pub const HOT_DIRS: [&str; 2] = ["crates/encoding/src/", "crates/storage/src/"];
+/// (the fuzzer enforces the same contract dynamically). The physical IR
+/// (including the hot-scan source and plan compiler) rides along: it
+/// sits between untrusted pages and the executor, so the same
+/// no-panic contract applies.
+pub const HOT_DIRS: [&str; 3] = [
+    "crates/encoding/src/",
+    "crates/storage/src/",
+    "crates/core/src/physical/",
+];
 
 /// Accumulator/fused-kernel files: narrowing `as` casts are forbidden.
 pub const CAST_FILES: [&str; 2] = ["crates/core/src/fused.rs", "crates/simd/src/agg.rs"];

@@ -43,3 +43,16 @@ echo "${FUZZ_LINE}" | awk '{
 
 echo "==> BENCH_fuzz.json"
 cat BENCH_fuzz.json
+
+# Live-ingestion throughput: sharded hot-chunk store, 8 writers racing
+# 8 query threads (BENCH_ingest.json: points/sec per shard count plus
+# the sharded-vs-single-lock speedup). Non-gating; scale with
+# ETSQP_BENCH_INGEST_POINTS (points per writer, default 200000).
+echo "==> cargo build --release -p etsqp-bench --bin ingest_bench"
+cargo build --release -p etsqp-bench --bin ingest_bench
+
+echo "==> ingest_bench (ETSQP_BENCH_INGEST_POINTS=${ETSQP_BENCH_INGEST_POINTS:-200000}) -> BENCH_ingest.json"
+./target/release/ingest_bench > BENCH_ingest.json
+
+echo "==> BENCH_ingest.json"
+cat BENCH_ingest.json
