@@ -17,8 +17,8 @@
 //! the serial decoder otherwise — the overflow discipline of §VI-C.
 
 use etsqp_encoding::ts2diff::Ts2DiffPage;
-use etsqp_encoding::{delta_rle, rle, sprintz, ts2diff, Encoding};
-use etsqp_simd::{scan, transpose, unpack, LANES32};
+use etsqp_encoding::{delta_rle, rle, sprintz, stream_vbyte, ts2diff, Encoding};
+use etsqp_simd::{scan, svb, transpose, unpack, LANES32};
 
 use crate::cost::{choose_nv, CostConstants};
 use crate::{Error, Result};
@@ -264,6 +264,10 @@ pub fn decode_column(
             let page = sprintz::parse(bytes).map_err(Error::Encoding)?;
             decode_sprintz(&page, opts, out)
         }
+        Encoding::StreamVByte => {
+            let page = stream_vbyte::parse(bytes).map_err(Error::Encoding)?;
+            decode_svb(&page, opts, out)
+        }
         other => {
             let decoded = other.decode_i64(bytes).map_err(Error::Encoding)?;
             *out = decoded;
@@ -300,6 +304,52 @@ pub fn decode_sprintz(
     }
     let mut zz = vec![0u32; n];
     unpack::unpack_u32(page.payload, 0, page.width, &mut zz);
+    // Un-ZigZag in 32-bit lanes: (z >> 1) ^ −(z & 1).
+    for z in zz.iter_mut() {
+        *z = (*z >> 1) ^ (*z & 1).wrapping_neg();
+    }
+    let mut rel = vec![0u32; n];
+    accumulate_rel(&zz, 0, opts, &mut rel);
+    out.resize(1 + n, 0);
+    scan::widen_rel_i64(page.first, &rel, &mut out[1..]);
+    Ok(out.len())
+}
+
+/// Vectorized Stream VByte decode: shuffle-table quad decode of the
+/// ZigZag'd deltas (4 values per `pshufb`), un-ZigZag lane-wise, then the
+/// same accumulate pipeline as TS2DIFF/Sprintz.
+///
+/// The 32-bit path is gated on the control-stream-derived
+/// [`stream_vbyte::SvbPage::rel_bound`]: it bounds every prefix sum's
+/// magnitude without trusting the data stream, so hostile pages cannot
+/// push the wrapping 32-bit arithmetic into silent corruption — they fall
+/// back to the serial reference decoder instead.
+pub fn decode_svb(
+    page: &stream_vbyte::SvbPage<'_>,
+    opts: &DecodeOptions,
+    out: &mut Vec<i64>,
+) -> Result<usize> {
+    out.clear();
+    if page.count == 0 {
+        return Ok(0);
+    }
+    let safe = page.mode == 0 && page.rel_bound < (1 << 30);
+    if !safe {
+        let decoded = stream_vbyte::decode_from_parts(page).map_err(Error::Encoding)?;
+        *out = decoded;
+        return Ok(out.len());
+    }
+    out.reserve(page.count);
+    out.push(page.first);
+    let n = page.num_deltas();
+    if n == 0 {
+        return Ok(1);
+    }
+    let mut zz = vec![0u32; n];
+    // The parser validated that `data` holds every declared byte, so the
+    // quad kernel may use the full remaining slice as its load window.
+    let used = svb::decode_quads(page.controls, page.data, n, &mut zz);
+    debug_assert_eq!(used, page.data_len);
     // Un-ZigZag in 32-bit lanes: (z >> 1) ^ −(z & 1).
     for z in zz.iter_mut() {
         *z = (*z >> 1) ^ (*z & 1).wrapping_neg();
@@ -398,12 +448,59 @@ mod tests {
             Encoding::Sprintz,
             Encoding::Rlbe,
             Encoding::Gorilla,
+            Encoding::StreamVByte,
         ] {
             let bytes = enc.encode_i64(&values);
             let mut out = Vec::new();
             decode_column(enc, &bytes, &DecodeOptions::default(), &mut out).unwrap();
             assert_eq!(out, values, "{}", enc.name());
         }
+    }
+
+    #[test]
+    fn svb_vectorized_path_mixed_magnitudes() {
+        // Deltas spanning all four control-byte length classes.
+        let mut values = vec![5_000_000i64];
+        for (i, step) in [3i64, -90, 40_000, -7_000_000, 0, 250]
+            .iter()
+            .cycle()
+            .take(900)
+            .enumerate()
+        {
+            values.push(values[i] + step);
+        }
+        let bytes = Encoding::StreamVByte.encode_i64(&values);
+        let page = stream_vbyte::parse(&bytes).unwrap();
+        assert_eq!(page.mode, 0);
+        let mut out = Vec::new();
+        decode_svb(&page, &DecodeOptions::default(), &mut out).unwrap();
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn svb_wide_mode_falls_back_to_serial() {
+        let values = vec![0i64, i64::MAX, i64::MIN, 17, -17];
+        let bytes = Encoding::StreamVByte.encode_i64(&values);
+        let page = stream_vbyte::parse(&bytes).unwrap();
+        assert_eq!(page.mode, 1);
+        let mut out = Vec::new();
+        decode_svb(&page, &DecodeOptions::default(), &mut out).unwrap();
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn svb_large_rel_bound_falls_back_to_serial() {
+        // Mode 0 (every zigzag delta fits u32) but cumulative magnitudes
+        // exceed the 32-bit gate: rel_bound must reject the SIMD path and
+        // the serial twin must still decode exactly.
+        let values: Vec<i64> = (0..2000i64).map(|i| i * 2_000_000_000).collect();
+        let bytes = Encoding::StreamVByte.encode_i64(&values);
+        let page = stream_vbyte::parse(&bytes).unwrap();
+        assert_eq!(page.mode, 0);
+        assert!(page.rel_bound >= (1 << 30));
+        let mut out = Vec::new();
+        decode_svb(&page, &DecodeOptions::default(), &mut out).unwrap();
+        assert_eq!(out, values);
     }
 
     #[test]

@@ -16,11 +16,12 @@
 //! Figure 14(a).
 
 use etsqp_encoding::delta_rle::DeltaRlePage;
+use etsqp_encoding::stream_vbyte::SvbPage;
 use etsqp_encoding::ts2diff::Ts2DiffPage;
 use etsqp_simd::agg::AggState;
-use etsqp_simd::unpack;
+use etsqp_simd::{svb, unpack};
 
-use crate::decode::{decode_ts2diff, DecodeOptions};
+use crate::decode::{decode_svb, decode_ts2diff, DecodeOptions};
 use crate::{Error, Result};
 
 /// How many decoders the aggregation is fused across (Figure 14(a)).
@@ -86,6 +87,54 @@ pub fn sum_ts2diff(page: &Ts2DiffPage<'_>, opts: &DecodeOptions) -> Result<AggSt
     state.min = None;
     state.max = None;
     state.sum_sq = 0;
+    Ok(state)
+}
+
+/// SUM over all values of a Stream VByte page without prefix summing:
+/// the quad-shuffle decode yields the zigzag'd deltas `δ_j` directly, and
+/// `Σ v = n·v₀ + Σ_j (n−1−j)·δ_j` (delta `j` connects value `j` to `j+1`,
+/// so it is counted once per value above it).
+///
+/// ```
+/// use etsqp_core::{decode::DecodeOptions, fused::sum_svb};
+/// let bytes = etsqp_encoding::stream_vbyte::encode(&[10, 20, 30, 40]);
+/// let page = etsqp_encoding::stream_vbyte::parse(&bytes).unwrap();
+/// let state = sum_svb(&page, &DecodeOptions::default()).unwrap();
+/// assert_eq!(state.sum, 100);
+/// ```
+///
+/// Wide-mode pages (mode 1: some delta's zigzag exceeded 32 bits) fall
+/// back to decode-then-sum — the closed form needs every stored delta to
+/// be the exact difference, which only mode 0 pages written under the
+/// planner's `spread_fits_i64` gate guarantee.
+pub fn sum_svb(page: &SvbPage<'_>, opts: &DecodeOptions) -> Result<AggState> {
+    let mut state = AggState::new();
+    if page.count == 0 {
+        return Ok(state);
+    }
+    if page.mode != 0 {
+        let mut out = Vec::new();
+        decode_svb(page, opts, &mut out)?;
+        state.push_slice(&out);
+        return Ok(state);
+    }
+    let n = page.count as i128;
+    let m = page.num_deltas();
+    let mut zz = vec![0u32; m];
+    let used = svb::decode_quads(page.controls, page.data, m, &mut zz);
+    debug_assert_eq!(used, page.data_len);
+    // Weighted sum Σ (m−j)·δ_j with j zero-based: delta j contributes to
+    // values j+1..count, i.e. (m − j) of them. δ_j un-zigzags in the
+    // 64-bit domain exactly (mode 0 means every zigzag fit 32 bits).
+    let mut weighted: i128 = 0;
+    for (j, &z) in zz.iter().enumerate() {
+        let d = etsqp_encoding::zigzag::decode_zigzag(z as u64) as i128;
+        weighted += (m - j) as i128 * d;
+    }
+    state.sum = n * page.first as i128 + weighted;
+    state.count = page.count as u64;
+    // MIN/MAX/Σx² still require values; fused SUM/AVG/COUNT leave them
+    // unset, exactly like [`sum_ts2diff`].
     Ok(state)
 }
 
@@ -310,7 +359,7 @@ fn i128_to_i64(v: i128) -> Result<i64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use etsqp_encoding::{delta_rle, ts2diff};
+    use etsqp_encoding::{delta_rle, stream_vbyte, ts2diff};
 
     fn naive_state(values: &[i64]) -> AggState {
         let mut s = AggState::new();
@@ -354,6 +403,50 @@ mod tests {
             let fused = sum_ts2diff(&page, &DecodeOptions::default()).unwrap();
             assert_eq!(fused.sum, values.iter().map(|&v| v as i128).sum::<i128>());
         }
+    }
+
+    #[test]
+    fn fused_svb_sum_matches_decode_sum() {
+        let values: Vec<i64> = (0..1000)
+            .map(|i| 500 + i * 3 + (i % 17) - (i % 5) * 1000)
+            .collect();
+        let bytes = stream_vbyte::encode(&values);
+        let page = stream_vbyte::parse(&bytes).unwrap();
+        assert_eq!(page.mode, 0);
+        let fused = sum_svb(&page, &DecodeOptions::default()).unwrap();
+        let naive = naive_state(&values);
+        assert_eq!(fused.sum, naive.sum);
+        assert_eq!(fused.count, naive.count);
+        assert_eq!(fused.avg(), naive.avg());
+    }
+
+    #[test]
+    fn fused_svb_sum_short_and_empty() {
+        for values in [
+            vec![],
+            vec![9],
+            vec![9, 3],
+            vec![-1, -2, -3],
+            (0..100).map(|i| 1000 - i * 7).collect::<Vec<_>>(),
+        ] {
+            let bytes = stream_vbyte::encode(&values);
+            let page = stream_vbyte::parse(&bytes).unwrap();
+            let fused = sum_svb(&page, &DecodeOptions::default()).unwrap();
+            assert_eq!(fused.sum, values.iter().map(|&v| v as i128).sum::<i128>());
+            assert_eq!(fused.count, values.len() as u64);
+        }
+    }
+
+    #[test]
+    fn fused_svb_wide_mode_falls_back() {
+        // A delta beyond ±2³¹ forces wide mode; the fallback decodes.
+        let values = vec![0i64, 1 << 40, 3, -(1 << 50), 7];
+        let bytes = stream_vbyte::encode(&values);
+        let page = stream_vbyte::parse(&bytes).unwrap();
+        assert_eq!(page.mode, 1);
+        let fused = sum_svb(&page, &DecodeOptions::default()).unwrap();
+        assert_eq!(fused.sum, values.iter().map(|&v| v as i128).sum::<i128>());
+        assert_eq!(fused.count, values.len() as u64);
     }
 
     #[test]

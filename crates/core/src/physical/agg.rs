@@ -9,7 +9,7 @@
 //! e.g. the resolved index range — falls outside what a fused form
 //! handles).
 
-use etsqp_encoding::{delta_rle, ts2diff, Encoding};
+use etsqp_encoding::{delta_rle, stream_vbyte, ts2diff, Encoding};
 use etsqp_simd::agg::AggState;
 use etsqp_storage::page::Page;
 use etsqp_storage::store::SeriesStore;
@@ -17,7 +17,7 @@ use etsqp_storage::store::SeriesStore;
 use crate::decode::{decode_column, DecodeOptions};
 use crate::exec::ExecStats;
 use crate::expr::{AggFunc, Predicate, SlidingWindow, TimeRange};
-use crate::fused::{aggregate_delta_rle, sum_ts2diff, sum_ts2diff_range, FuseLevel};
+use crate::fused::{aggregate_delta_rle, sum_svb, sum_ts2diff, sum_ts2diff_range, FuseLevel};
 use crate::physical::node::{Stage, Strategy};
 use crate::physical::scan::{charge_page_io, decode_ts_column, decode_val_column};
 use crate::plan::PipelineConfig;
@@ -53,6 +53,11 @@ pub(crate) fn fusion_covers(func: AggFunc, val_enc: Encoding, fuse: FuseLevel) -
             fuse >= FuseLevel::Delta && matches!(func, AggFunc::Sum | AggFunc::Avg | AggFunc::Count)
         }
         Encoding::DeltaRle => fuse >= FuseLevel::DeltaRepeat,
+        // Stream VByte stores length-coded deltas: fusing skips the
+        // prefix sum (the Delta decoder), same family as TS2DIFF.
+        Encoding::StreamVByte => {
+            fuse >= FuseLevel::Delta && matches!(func, AggFunc::Sum | AggFunc::Avg | AggFunc::Count)
+        }
         _ => false,
     }
 }
@@ -322,6 +327,11 @@ pub(crate) fn agg_page_job(
             let parsed = delta_rle::parse(&page.val_bytes)?;
             let _a = Stage::Agg.timer(stats);
             return Ok(vec![(0, aggregate_delta_rle(&parsed)?)]);
+        }
+        Strategy::FusedSvb if window.is_none() && a == 0 && b + 1 == count => {
+            let parsed = stream_vbyte::parse(&page.val_bytes)?;
+            let _a = Stage::Agg.timer(stats);
+            return Ok(vec![(0, sum_svb(&parsed, &cfg.decode)?)]);
         }
         Strategy::HeaderMinMax if window.is_none() && a == 0 && b + 1 == count => {
             let mut s = AggState::new();

@@ -93,6 +93,11 @@ pub enum Strategy {
     /// §IV fused aggregation from Delta-RLE `(Δ, run)` pairs (whole page
     /// only — the time filter must cover the page).
     FusedDeltaRle,
+    /// Fused SUM/AVG/COUNT straight from Stream VByte length-coded
+    /// deltas: the quad-shuffle decode yields the zigzag'd deltas and the
+    /// closed form `n·v₀ + Σ_j (n−1−j)·δ_j` skips the prefix sum and the
+    /// widening entirely (whole page only, like Delta-RLE fusion).
+    FusedSvb,
     /// MIN/MAX of a fully covered, value-unfiltered page come straight
     /// from the exact header statistics.
     HeaderMinMax,
@@ -108,6 +113,7 @@ impl fmt::Display for Strategy {
         match self {
             Strategy::FusedTs2Diff => write!(f, "fused(ts2diff)"),
             Strategy::FusedDeltaRle => write!(f, "fused(delta_rle)"),
+            Strategy::FusedSvb => write!(f, "fused(svb)"),
             Strategy::HeaderMinMax => write!(f, "header(min/max)"),
             Strategy::Decode => write!(f, "decode"),
             Strategy::Serial => write!(f, "serial"),

@@ -313,6 +313,11 @@ fn choose_page_strategy(
                 && time_covers_page(page, pred)
             {
                 Strategy::FusedDeltaRle
+            } else if covers
+                && page.header.val_encoding == Encoding::StreamVByte
+                && time_covers_page(page, pred)
+            {
+                Strategy::FusedSvb
             } else if matches!(func, AggFunc::Min | AggFunc::Max) && time_covers_page(page, pred) {
                 Strategy::HeaderMinMax
             } else {
@@ -430,7 +435,13 @@ fn chain(strategy: Strategy, pred: &Predicate, role_func: Option<AggFunc>, slice
                 nodes.push(Node::PartialAgg { func });
             }
         }
-        (Strategy::FusedTs2Diff | Strategy::FusedDeltaRle | Strategy::HeaderMinMax, Some(func)) => {
+        (
+            Strategy::FusedTs2Diff
+            | Strategy::FusedDeltaRle
+            | Strategy::FusedSvb
+            | Strategy::HeaderMinMax,
+            Some(func),
+        ) => {
             nodes.push(Node::FusedAgg { strategy, func });
         }
         (s, Some(func)) => {

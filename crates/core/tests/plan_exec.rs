@@ -417,6 +417,77 @@ fn tight_decode_budget_still_answers_correctly() {
 }
 
 #[test]
+fn stream_vbyte_values_use_svb_fusion() {
+    let ts: Vec<i64> = (0..2048).collect();
+    let vals: Vec<i64> = (0..2048)
+        .map(|i| 900 + (i * 13) % 512 - (i % 7) * 40)
+        .collect();
+    let store = SeriesStore::new(512);
+    store.create_series("s", Encoding::Ts2Diff, Encoding::StreamVByte);
+    store.append_all("s", &ts, &vals).unwrap();
+    store.flush("s").unwrap();
+    let config = PipelineConfig {
+        allow_slicing: false,
+        ..cfg()
+    };
+    // SUM/AVG/COUNT take the fused(svb) closed form; the plan must say so.
+    let plan = Plan::scan("s").aggregate(AggFunc::Sum);
+    let rendered = etsqp_core::physical::pipe::compile(&plan, &store, &config)
+        .unwrap()
+        .render(&config);
+    assert!(rendered.contains("fused(svb)"), "plan was:\n{rendered}");
+    for func in [AggFunc::Sum, AggFunc::Avg, AggFunc::Count] {
+        let plan = Plan::scan("s").aggregate(func);
+        let r = execute(&plan, &store, &config).unwrap();
+        let mut naive = AggState::new();
+        vals.iter().for_each(|&v| naive.push(v));
+        let want = finalize(func, &naive);
+        match (r.rows[0][0], want) {
+            (Value::Float(a), Value::Float(b)) => assert!((a - b).abs() < 1e-9, "{func:?}"),
+            (a, b) => assert_eq!(a, b, "{func:?}"),
+        }
+    }
+    // A partial time range re-checks at run time and falls back to decode
+    // on the straddled page — results must agree with the naive oracle.
+    let pred = Predicate::time(100, 1500);
+    let plan = Plan::scan("s").filter(pred).aggregate(AggFunc::Sum);
+    let r = execute(&plan, &store, &config).unwrap();
+    let want: i64 = ts
+        .iter()
+        .zip(&vals)
+        .filter(|(&t, _)| (100..=1500).contains(&t))
+        .map(|(_, &v)| v)
+        .sum();
+    assert_eq!(r.rows[0][0], Value::Int(want));
+}
+
+#[test]
+fn stream_vbyte_fusion_disabled_matches_decode() {
+    // With fusion off the same query runs the DecodeScan path; both
+    // levels must produce identical sums.
+    let ts: Vec<i64> = (0..3000).collect();
+    let vals: Vec<i64> = (0..3000).map(|i| (i * 31) % 997 - 400).collect();
+    let store = SeriesStore::new(600);
+    store.create_series("s", Encoding::Ts2Diff, Encoding::StreamVByte);
+    store.append_all("s", &ts, &vals).unwrap();
+    store.flush("s").unwrap();
+    let plan = Plan::scan("s").aggregate(AggFunc::Sum);
+    let fused = execute(&plan, &store, &cfg()).unwrap();
+    let unfused = execute(
+        &plan,
+        &store,
+        &PipelineConfig {
+            fuse: FuseLevel::None,
+            ..cfg()
+        },
+    )
+    .unwrap();
+    assert_eq!(fused.rows, unfused.rows);
+    let want: i64 = vals.iter().sum();
+    assert_eq!(fused.rows[0][0], Value::Int(want));
+}
+
+#[test]
 fn delta_rle_values_use_full_fusion() {
     let ts: Vec<i64> = (0..2048).collect();
     let vals: Vec<i64> = (0..2048).map(|i| 5 + (i / 100)).collect(); // long runs

@@ -11,6 +11,7 @@
 //! | [`rle`]      | —     | Run-length | Bitpack          |
 //! | [`delta_rle`]| ±     | Run-length | Bitpack          |
 //! | [`sprintz`]  | ±     | none       | ZigZag + Bitpack |
+//! | [`stream_vbyte`] | ± | none       | ZigZag + StreamVByte |
 //! | [`rlbe`]     | ±     | Run-length | Fibonacci        |
 //! | [`gorilla`]  | ±, XOR| flag       | pattern          |
 //! | [`chimp`]    | XOR   | none       | pattern          |
@@ -35,6 +36,7 @@ pub mod plain;
 pub mod rlbe;
 pub mod rle;
 pub mod sprintz;
+pub mod stream_vbyte;
 pub mod ts2diff;
 pub mod zigzag;
 
@@ -121,6 +123,9 @@ pub enum Encoding {
     DeltaRle,
     /// Delta + ZigZag + bitpacking (Sprintz).
     Sprintz,
+    /// Delta + ZigZag + byte-aligned Stream VByte (separated control
+    /// stream, shuffle-table SIMD decode).
+    StreamVByte,
     /// Delta + run-length + Fibonacci packing (RLBE).
     Rlbe,
     /// Gorilla delta-of-delta (timestamps) / XOR (values).
@@ -148,6 +153,7 @@ impl Encoding {
             Encoding::Chimp => "chimp",
             Encoding::Elf => "elf",
             Encoding::GorillaFloat => "gorilla_f",
+            Encoding::StreamVByte => "stream_vbyte",
         }
     }
 
@@ -165,6 +171,7 @@ impl Encoding {
             Encoding::Chimp => 8,
             Encoding::Elf => 9,
             Encoding::GorillaFloat => 10,
+            Encoding::StreamVByte => 11,
         }
     }
 
@@ -182,6 +189,7 @@ impl Encoding {
             8 => Encoding::Chimp,
             9 => Encoding::Elf,
             10 => Encoding::GorillaFloat,
+            11 => Encoding::StreamVByte,
             _ => {
                 return Err(Error::Corrupt {
                     codec: "header",
@@ -204,6 +212,7 @@ impl Encoding {
             Encoding::Rle => rle::encode(values),
             Encoding::DeltaRle => delta_rle::encode(values),
             Encoding::Sprintz => sprintz::encode(values),
+            Encoding::StreamVByte => stream_vbyte::encode(values),
             Encoding::Rlbe => rlbe::encode(values),
             Encoding::Gorilla => gorilla::encode_i64(values),
             Encoding::Chimp | Encoding::Elf | Encoding::GorillaFloat => {
@@ -267,6 +276,7 @@ impl Encoding {
             Encoding::Rle => rle::decode(bytes),
             Encoding::DeltaRle => delta_rle::decode(bytes),
             Encoding::Sprintz => sprintz::decode(bytes),
+            Encoding::StreamVByte => stream_vbyte::decode(bytes),
             Encoding::Rlbe => rlbe::decode(bytes),
             Encoding::Gorilla => gorilla::decode_i64(bytes),
             Encoding::Chimp | Encoding::Elf | Encoding::GorillaFloat => Err(Error::Corrupt {
@@ -312,6 +322,7 @@ mod tests {
             Encoding::Sprintz,
             Encoding::Rlbe,
             Encoding::Gorilla,
+            Encoding::StreamVByte,
             Encoding::Chimp,
             Encoding::Elf,
             Encoding::GorillaFloat,
@@ -333,6 +344,7 @@ mod tests {
             Encoding::Sprintz,
             Encoding::Rlbe,
             Encoding::Gorilla,
+            Encoding::StreamVByte,
         ] {
             let bytes = enc.encode_i64(&values);
             let back = enc

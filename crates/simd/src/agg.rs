@@ -3,7 +3,7 @@
 //! with sign-rule overflow detection, and overflowing blocks are
 //! recomputed with a wider (`i128`) quantity, so every result is exact.
 
-use crate::{backend, scalar, Backend};
+use crate::backend::dispatch;
 
 /// Exact sum over all values. Never overflows (accumulates into `i128`).
 ///
@@ -12,53 +12,25 @@ use crate::{backend, scalar, Backend};
 ///            2 * i64::MAX as i128);
 /// ```
 pub fn sum_i64(vals: &[i64]) -> i128 {
-    match backend() {
-        Backend::Scalar => scalar::sum_i64(vals),
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: `backend()` returns Avx2/Avx512 only after runtime
-        // CPUID detection confirmed the AVX2 features the callee
-        // requires; that is its sole safety precondition.
-        Backend::Avx2 | Backend::Avx512 => unsafe { crate::avx2::sum_i64(vals) },
-        #[cfg(not(target_arch = "x86_64"))]
-        Backend::Avx2 | Backend::Avx512 => scalar::sum_i64(vals),
-    }
+    dispatch!(sum_i64(vals))
 }
 
 /// Exact sum and count over mask-selected values.
 pub fn masked_sum_i64(vals: &[i64], mask: &[u64]) -> (i128, u64) {
     assert!(mask.len() * 64 >= vals.len(), "mask too small");
-    match backend() {
-        Backend::Scalar => scalar::masked_sum_i64(vals, mask),
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: AVX2 availability established by `backend()` runtime
-        // detection; the mask-length precondition is asserted above.
-        Backend::Avx2 | Backend::Avx512 => unsafe { crate::avx2::masked_sum_i64(vals, mask) },
-        #[cfg(not(target_arch = "x86_64"))]
-        Backend::Avx2 | Backend::Avx512 => scalar::masked_sum_i64(vals, mask),
-    }
+    dispatch!(masked_sum_i64(vals, mask))
 }
 
 /// Minimum and maximum over all values; `None` when empty.
 pub fn min_max_i64(vals: &[i64]) -> Option<(i64, i64)> {
-    match backend() {
-        Backend::Scalar => scalar::min_max_i64(vals),
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: AVX2 availability established by `backend()` runtime
-        // detection — the callee's only safety precondition.
-        Backend::Avx2 | Backend::Avx512 => unsafe { crate::avx2::min_max_i64(vals) },
-        #[cfg(not(target_arch = "x86_64"))]
-        Backend::Avx2 | Backend::Avx512 => scalar::min_max_i64(vals),
-    }
+    dispatch!(min_max_i64(vals))
 }
 
 /// Minimum and maximum over mask-selected values; `None` when the mask
 /// selects nothing.
 pub fn masked_min_max_i64(vals: &[i64], mask: &[u64]) -> Option<(i64, i64)> {
     assert!(mask.len() * 64 >= vals.len(), "mask too small");
-    // Min/max has no overflow concern; the scalar twin is branch-light and
-    // the AVX2 64-bit min/max needs compare+blend anyway — reuse scalar for
-    // the masked variant (hot paths use the unmasked kernel on dense runs).
-    scalar::masked_min_max_i64(vals, mask)
+    dispatch!(masked_min_max_i64(vals, mask))
 }
 
 /// Running aggregate state combining partial results from pipeline jobs

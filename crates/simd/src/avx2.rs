@@ -107,12 +107,10 @@ pub unsafe fn unpack_u64_plan64(
 ) {
     debug_assert!(out.len() >= rounds * LANES32);
     let mut base = start_byte;
-    for r in 0..rounds {
-        let dst: &mut [u64; 8] = (&mut out[r * 8..r * 8 + 8])
-            .try_into()
-            .expect("slice is exactly 8 elements");
-        // SAFETY: the fn-level window contract covers this round's loads.
-        unsafe { unpack_round_plan64(src, base, plan, dst) };
+    for chunk in out.chunks_exact_mut(8).take(rounds) {
+        // SAFETY: the fn-level window contract covers this round's loads,
+        // and `chunks_exact_mut(8)` yields exactly eight-element slices.
+        unsafe { unpack_round_plan64(src, base, plan, chunk) };
         base += plan.bytes_per_round;
     }
 }
@@ -122,10 +120,12 @@ pub unsafe fn unpack_u64_plan64(
 ///
 /// # Safety
 /// AVX2 must be available; all four windows
-/// `src[base + plan.win_off[k] .. + 16]` must be in bounds.
+/// `src[base + plan.win_off[k] .. + 16]` must be in bounds, and `out`
+/// must hold exactly eight elements.
 #[target_feature(enable = "avx2")]
 #[inline]
-unsafe fn unpack_round_plan64(src: &[u8], base: usize, plan: &Plan64, out: &mut [u64; 8]) {
+unsafe fn unpack_round_plan64(src: &[u8], base: usize, plan: &Plan64, out: &mut [u64]) {
+    debug_assert_eq!(out.len(), 8);
     // SAFETY: the four window loads are in bounds per the fn contract;
     // shuffle/shift tables are fixed-size arrays read in full; the two
     // stores exactly cover the 8-element `out` array (lanes 0..4, 4..8).
@@ -487,6 +487,44 @@ pub unsafe fn sum_i64(vals: &[i64]) -> i128 {
         start = end;
     }
     sum
+}
+
+/// Stream VByte quad decode via the 256-entry `pshufb` table
+/// ([`crate::tables::SVB_SHUFFLE`]): each control byte turns one 16-byte
+/// data load into four little-endian 32-bit lanes with a single byte
+/// shuffle. Quads whose 16-byte window would overhang the data stream —
+/// and the sub-quad tail — finish on the scalar twin.
+///
+/// Returns the data bytes consumed.
+///
+/// # Safety
+/// AVX2 must be available (the shuffle itself only needs SSSE3);
+/// `out.len() >= n`, `controls.len() * 4 >= n`, and `data` must hold
+/// every byte the control stream declares.
+#[target_feature(enable = "avx2")]
+pub unsafe fn svb_decode_quads(controls: &[u8], data: &[u8], n: usize, out: &mut [u32]) -> usize {
+    use crate::tables::{SVB_LEN, SVB_SHUFFLE};
+    debug_assert!(out.len() >= n);
+    debug_assert!(controls.len() * 4 >= n);
+    let mut pos = 0usize;
+    let mut k = 0usize;
+    while k + 4 <= n && pos + 16 <= data.len() {
+        let c = controls[k / 4] as usize;
+        // SAFETY: `pos + 16 <= data.len()` bounds the source load; the
+        // shuffle-table row is a fixed 16-byte array read in full; and
+        // `k + 4 <= n <= out.len()` bounds the 128-bit store.
+        unsafe {
+            let src = _mm_loadu_si128(data.as_ptr().add(pos) as *const __m128i);
+            let shuf = _mm_loadu_si128(SVB_SHUFFLE[c].as_ptr() as *const __m128i);
+            let quad = _mm_shuffle_epi8(src, shuf);
+            _mm_storeu_si128(out.as_mut_ptr().add(k) as *mut __m128i, quad);
+        }
+        pos += SVB_LEN[c] as usize;
+        k += 4;
+    }
+    // `k` is a multiple of 4, so the tail starts on a control-byte
+    // boundary with code index 0.
+    pos + crate::scalar::svb_decode_quads(&controls[k / 4..], &data[pos..], n - k, &mut out[k..])
 }
 
 /// AVX2 min/max over all values (64-bit lanes via compare + blend, since

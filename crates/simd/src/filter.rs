@@ -1,7 +1,7 @@
 //! Vectorized range filters producing bitmasks (paper Definition 2,
 //! "Filter"; masks feed the valid-value aggregations of `agg`).
 
-use crate::{backend, scalar, Backend};
+use crate::backend::dispatch;
 
 /// Builds an inclusive range bitmask: bit `i` of `out[i / 64]` is set when
 /// `lo <= vals[i] <= hi`. Callers express strict bounds by pre-adjusting
@@ -11,17 +11,7 @@ use crate::{backend, scalar, Backend};
 /// If `out` has fewer than `vals.len().div_ceil(64)` words.
 pub fn range_mask_i64(vals: &[i64], lo: i64, hi: i64, out: &mut [u64]) {
     assert!(out.len() * 64 >= vals.len(), "mask buffer too small");
-    match backend() {
-        Backend::Scalar => scalar::range_mask_i64(vals, lo, hi, out),
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: AVX2 availability established by `backend()` runtime
-        // detection; the mask-capacity precondition is asserted above.
-        Backend::Avx2 | Backend::Avx512 => unsafe {
-            crate::avx2::range_mask_i64(vals, lo, hi, out)
-        },
-        #[cfg(not(target_arch = "x86_64"))]
-        Backend::Avx2 | Backend::Avx512 => scalar::range_mask_i64(vals, lo, hi, out),
-    }
+    dispatch!(range_mask_i64(vals, lo, hi, out))
 }
 
 /// Intersects two bitmasks in place (`a &= b`), used when conjoining time

@@ -13,13 +13,17 @@
 //! * **Filtering** (range compares producing bitmasks) and **masked
 //!   aggregation** (sum / count / min / max) over decoded lanes.
 //!
-//! Every kernel has two implementations: an `unsafe` AVX2 version using the
+//! Every kernel exists once per backend as an associated function of the
+//! lane-count-generic [`SimdBackend`] trait: a safe scalar reference
+//! ([`ScalarBackend`]), an AVX2 instantiation ([`Avx2Backend`]) using the
 //! instruction families the paper names (`_mm256_shuffle_epi8`,
 //! `_mm256_srlv_epi32`, `_mm256_and_si256`, `_mm256_permutevar8x32_epi32`),
-//! and a semantically identical safe scalar version. The active backend is
-//! chosen once at startup (`backend()`); setting the environment variable
-//! `ETSQP_FORCE_SCALAR=1` forces the scalar twin, which the test-suite uses
-//! for differential testing.
+//! and an AVX-512 instantiation ([`Avx512Backend`]) widening the unpack
+//! rounds to sixteen values. The public module functions dispatch to the
+//! backend chosen once at startup (`backend()`); setting the environment
+//! variable `ETSQP_FORCE_SCALAR=1` forces the scalar twin, which the
+//! test-suite uses for differential testing, and
+//! `ETSQP_FORCE_BACKEND={scalar,avx512}` overrides the default.
 //!
 //! All unpacking kernels consume **big-endian bit streams** (MSB-first
 //! within each byte), matching how IoT databases flush encoded pages
@@ -29,8 +33,10 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod agg;
+pub mod backend;
 pub mod filter;
 pub mod scan;
+pub mod svb;
 pub mod tables;
 pub mod transpose;
 pub mod unpack;
@@ -39,6 +45,8 @@ mod avx2;
 mod avx512;
 #[doc(hidden)]
 pub mod scalar;
+
+pub use backend::{Avx2Backend, Avx512Backend, ScalarBackend, SimdBackend};
 
 /// The SIMD backend selected at process start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -175,6 +175,28 @@ pub fn min_max_i64(vals: &[i64]) -> Option<(i64, i64)> {
     Some((mn, mx))
 }
 
+/// Stream VByte quad decode, one value at a time: reads `n` length-coded
+/// `u32` values from the separated control/data streams into `out` and
+/// returns the data bytes consumed. Value `k`'s 2-bit length code sits at
+/// bits `2·(k mod 4)` of `controls[k / 4]`; its `code + 1` data bytes are
+/// little-endian.
+///
+/// Callers guarantee `out.len() >= n`, `controls.len() * 4 >= n` and that
+/// `data` holds every declared byte (validated by the page parser).
+pub fn svb_decode_quads(controls: &[u8], data: &[u8], n: usize, out: &mut [u32]) -> usize {
+    debug_assert!(out.len() >= n);
+    debug_assert!(controls.len() * 4 >= n);
+    let mut pos = 0usize;
+    for (k, o) in out.iter_mut().take(n).enumerate() {
+        let len = ((controls[k / 4] >> (2 * (k % 4))) & 3) as usize + 1;
+        let mut b = [0u8; 4];
+        b[..len].copy_from_slice(&data[pos..pos + len]);
+        *o = u32::from_le_bytes(b);
+        pos += len;
+    }
+    pos
+}
+
 /// Min/max over masked elements only; `None` when the mask selects nothing.
 pub fn masked_min_max_i64(vals: &[i64], mask: &[u64]) -> Option<(i64, i64)> {
     let mut mn = i64::MAX;

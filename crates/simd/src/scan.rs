@@ -1,7 +1,8 @@
 //! Delta-recovery kernels: lane prefix scans and the Algorithm 1
 //! chain-layout decode (paper §III-A.1, Figures 4–5).
 
-use crate::{backend, scalar, Backend, V32};
+use crate::backend::dispatch;
+use crate::V32;
 
 /// Wrapping inclusive prefix scan over the eight lanes of `v`, seeded with
 /// `*carry`; `*carry` becomes the scan total.
@@ -9,15 +10,7 @@ use crate::{backend, scalar, Backend, V32};
 /// This is the *straight-order* Delta strategy (one scan per vector), used
 /// by the SBoost baseline and as an ablation against the chain layout.
 pub fn inclusive_scan_v32(v: &mut V32, carry: &mut u32) {
-    match backend() {
-        Backend::Scalar => scalar::inclusive_scan_v32(v, carry),
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: AVX2 availability established by `backend()` runtime
-        // detection — the callee's only safety precondition.
-        Backend::Avx2 | Backend::Avx512 => unsafe { crate::avx2::inclusive_scan_v32(v, carry) },
-        #[cfg(not(target_arch = "x86_64"))]
-        Backend::Avx2 | Backend::Avx512 => scalar::inclusive_scan_v32(v, carry),
-    }
+    dispatch!(inclusive_scan_v32(v, carry))
 }
 
 /// Algorithm 1 lines 10–15: Delta recovery over the unpacked chain layout.
@@ -26,41 +19,15 @@ pub fn inclusive_scan_v32(v: &mut V32, carry: &mut u32) {
 /// its inclusive prefix sum (seeded by `*carry`) on output. Arithmetic
 /// wraps in 32 bits; callers use page statistics to guarantee relative
 /// offsets fit (two's-complement) before choosing this path.
-///
-/// # Panics
-/// If `vs.len() > 8` on the AVX2 path (the layout never exceeds 8 vectors).
 pub fn chain_delta_decode(vs: &mut [V32], carry: &mut u32) {
-    match backend() {
-        Backend::Scalar => scalar::chain_delta_decode(vs, carry),
-        #[cfg(target_arch = "x86_64")]
-        Backend::Avx2 | Backend::Avx512 => {
-            if vs.len() <= 8 {
-                // SAFETY: AVX2 availability established by `backend()`
-                // runtime detection; the callee's `vs.len() <= 8` bound
-                // is checked by this branch.
-                unsafe { crate::avx2::chain_delta_decode(vs, carry) }
-            } else {
-                scalar::chain_delta_decode(vs, carry)
-            }
-        }
-        #[cfg(not(target_arch = "x86_64"))]
-        Backend::Avx2 | Backend::Avx512 => scalar::chain_delta_decode(vs, carry),
-    }
+    dispatch!(chain_delta_decode(vs, carry))
 }
 
 /// Widens 32-bit two's-complement relative offsets to absolute `i64`:
 /// `out[i] = base + (rel[i] as i32 as i64)`.
 pub fn widen_rel_i64(base: i64, rel: &[u32], out: &mut [i64]) {
     assert_eq!(rel.len(), out.len());
-    match backend() {
-        Backend::Scalar => scalar::widen_rel_i64(base, rel, out),
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: AVX2 availability established by `backend()` runtime
-        // detection; equal slice lengths are asserted above.
-        Backend::Avx2 | Backend::Avx512 => unsafe { crate::avx2::widen_rel_i64(base, rel, out) },
-        #[cfg(not(target_arch = "x86_64"))]
-        Backend::Avx2 | Backend::Avx512 => scalar::widen_rel_i64(base, rel, out),
-    }
+    dispatch!(widen_rel_i64(base, rel, out))
 }
 
 #[cfg(test)]

@@ -1,0 +1,91 @@
+//! Stream VByte quad-decode kernel (Lemire, Kurz & Rupp).
+//!
+//! The codec's page format lives in `etsqp-encoding::stream_vbyte`; this
+//! module is the width-decode step: turning the separated control/data
+//! byte streams into dense 32-bit lanes. On AVX2 each control byte
+//! resolves one `pshufb` through the 256-entry table of
+//! [`crate::tables::SVB_SHUFFLE`], decoding four values per shuffle —
+//! the byte-oriented analog of the bit-unpacking plans.
+
+use crate::backend::dispatch;
+
+/// Decodes `n` length-coded `u32` values from the separated
+/// `controls`/`data` streams into `out`, returning the data bytes
+/// consumed. Value `k`'s 2-bit length code sits at bits `2·(k mod 4)` of
+/// `controls[k / 4]`; its `code + 1` data bytes are little-endian.
+///
+/// The values are raw coded words — for the delta variant the caller
+/// un-zigzags and prefix-sums afterwards (see `etsqp-core::decode`).
+///
+/// # Panics
+/// If `out.len() < n`, `controls.len() * 4 < n`, or `data` does not hold
+/// every byte the control stream declares (the page parser validates the
+/// exact data length up front).
+pub fn decode_quads(controls: &[u8], data: &[u8], n: usize, out: &mut [u32]) -> usize {
+    assert!(out.len() >= n, "svb output buffer too small");
+    assert!(controls.len() * 4 >= n, "svb control stream too short");
+    dispatch!(svb_decode_quads(controls, data, n, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::SVB_LEN;
+
+    /// Encodes `vals` into separated control/data streams (test helper —
+    /// the real encoder lives in etsqp-encoding).
+    fn encode(vals: &[u32]) -> (Vec<u8>, Vec<u8>) {
+        let mut controls = vec![0u8; vals.len().div_ceil(4)];
+        let mut data = Vec::new();
+        for (k, &v) in vals.iter().enumerate() {
+            let len = if v < 1 << 8 {
+                1
+            } else if v < 1 << 16 {
+                2
+            } else if v < 1 << 24 {
+                3
+            } else {
+                4
+            };
+            data.extend_from_slice(&v.to_le_bytes()[..len]);
+            controls[k / 4] |= ((len - 1) as u8) << (2 * (k % 4));
+        }
+        (controls, data)
+    }
+
+    #[test]
+    fn decodes_all_length_classes() {
+        let vals: Vec<u32> = (0..997u32)
+            .map(|i| i.wrapping_mul(0x9E3779B9) >> (i % 29))
+            .collect();
+        let (controls, data) = encode(&vals);
+        let mut out = vec![0u32; vals.len()];
+        let used = decode_quads(&controls, &data, vals.len(), &mut out);
+        assert_eq!(out, vals);
+        assert_eq!(used, data.len());
+    }
+
+    #[test]
+    fn empty_and_sub_quad_tails() {
+        for n in 0..9usize {
+            let vals: Vec<u32> = (0..n as u32).map(|i| 1 << (i * 3)).collect();
+            let (controls, data) = encode(&vals);
+            let mut out = vec![0u32; n];
+            let used = decode_quads(&controls, &data, n, &mut out);
+            assert_eq!(out, vals, "n={n}");
+            assert_eq!(used, data.len(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn consumed_bytes_match_len_table() {
+        let vals = [1u32, 0x100, 0x10000, 0x1000000, 2, 3, 4, 5];
+        let (controls, data) = encode(&vals);
+        let mut out = vec![0u32; 8];
+        let used = decode_quads(&controls, &data, 8, &mut out);
+        assert_eq!(
+            used,
+            SVB_LEN[controls[0] as usize] as usize + SVB_LEN[controls[1] as usize] as usize
+        );
+    }
+}

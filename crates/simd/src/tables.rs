@@ -22,6 +22,60 @@
 
 use std::sync::OnceLock;
 
+/// Per-control-byte `pshufb` masks for the Stream VByte quad decode
+/// (Lemire/Kurz/Rupp): entry `c` scatters the `SVB_LEN[c]` little-endian
+/// data bytes of a four-value group into four 32-bit lanes; `0xFF`
+/// positions (high bit set) zero-fill the lane's upper bytes.
+///
+/// Built in a `const` context so the table is baked into the binary —
+/// the byte-oriented analog of the bit-unpacking plans below.
+pub static SVB_SHUFFLE: [[u8; 16]; 256] = build_svb_shuffle();
+
+/// Total data bytes consumed by the quad of each control byte
+/// (`Σ len_k`, where `len_k = ((c >> 2k) & 3) + 1`).
+pub static SVB_LEN: [u8; 256] = build_svb_len();
+
+const fn svb_quad_len(c: u8) -> u8 {
+    let mut total = 0u8;
+    let mut k = 0;
+    while k < 4 {
+        total += ((c >> (2 * k)) & 3) + 1;
+        k += 1;
+    }
+    total
+}
+
+const fn build_svb_len() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        t[c] = svb_quad_len(c as u8);
+        c += 1;
+    }
+    t
+}
+
+const fn build_svb_shuffle() -> [[u8; 16]; 256] {
+    let mut t = [[0u8; 16]; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        let mut off = 0u8;
+        let mut k = 0usize;
+        while k < 4 {
+            let len = (((c as u8) >> (2 * k)) & 3) + 1;
+            let mut j = 0u8;
+            while j < 4 {
+                t[c][k * 4 + j as usize] = if j < len { off + j } else { 0xFF };
+                j += 1;
+            }
+            off += len;
+            k += 1;
+        }
+        c += 1;
+    }
+    t
+}
+
 /// Unpacking plan for widths 1..=25 (four source bytes per 32-bit lane).
 #[derive(Debug, Clone)]
 pub struct Plan32 {
@@ -279,6 +333,35 @@ mod tests {
         for w in 1u64..=25 {
             assert_eq!((8 * w) % 8, 0);
         }
+    }
+
+    #[test]
+    fn svb_tables_agree_with_control_semantics() {
+        for c in 0..256usize {
+            let mut off = 0u8;
+            for k in 0..4 {
+                let len = ((c >> (2 * k)) & 3) as u8 + 1;
+                for j in 0..4u8 {
+                    let e = SVB_SHUFFLE[c][k * 4 + j as usize];
+                    if j < len {
+                        assert_eq!(e, off + j, "c={c:#04x} k={k} j={j}");
+                    } else {
+                        assert_eq!(e, 0xFF, "c={c:#04x} k={k} j={j}");
+                    }
+                }
+                off += len;
+            }
+            assert_eq!(SVB_LEN[c], off, "c={c:#04x}");
+            assert!((4..=16).contains(&SVB_LEN[c]));
+        }
+        // Spot checks: all-ones control = 4×1 byte; all-fours = 16 bytes.
+        assert_eq!(SVB_LEN[0x00], 4);
+        assert_eq!(SVB_LEN[0xFF], 16);
+        assert_eq!(
+            &SVB_SHUFFLE[0x00][..8],
+            &[0, 0xFF, 0xFF, 0xFF, 1, 0xFF, 0xFF, 0xFF]
+        );
+        assert_eq!(&SVB_SHUFFLE[0xFF][..8], &[0, 1, 2, 3, 4, 5, 6, 7]);
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! itself a register-only shuffle stage whose cost the `n_v` cost model
 //! absorbs (see `etsqp_core::cost`).
 
-use crate::{backend, scalar, Backend, V32};
+use crate::backend::dispatch;
+use crate::V32;
 
 /// `n_v` values supported by the layout (powers of two up to the lane
 /// count, so the transpose stays a register permutation network).
@@ -25,17 +26,7 @@ pub fn layout_transpose(scratch: &[u32], vs: &mut [V32]) {
     let n_v = vs.len();
     assert!(SUPPORTED_NV.contains(&n_v), "unsupported n_v {n_v}");
     assert_eq!(scratch.len(), n_v * 8);
-    if n_v == 8 && backend() != Backend::Scalar {
-        #[cfg(target_arch = "x86_64")]
-        {
-            // SAFETY: AVX2 availability established by `backend()`
-            // runtime detection; `n_v == 8` and the matching scratch
-            // length are checked/asserted above.
-            unsafe { crate::avx2::layout_transpose8(scratch, vs) };
-            return;
-        }
-    }
-    scalar::layout_transpose(scratch, vs);
+    dispatch!(layout_transpose(scratch, vs))
 }
 
 /// Gathers the chain layout back to straight order:

@@ -1,12 +1,14 @@
 //! Bulk bit-unpacking of big-endian packed arrays (paper Figure 3).
 //!
-//! The vectorized main loop processes rounds of eight values using the
-//! cached layout plans of [`crate::tables`]; partial rounds and
-//! out-of-window tails fall back to the scalar twin, so no kernel ever
-//! reads past the end of the source slice.
+//! The public functions validate bounds once and dispatch to the
+//! runtime-selected [`crate::backend::SimdBackend`] impl; the vectorized
+//! drivers (in `backend.rs`) process rounds of eight or sixteen values
+//! using the cached layout plans of [`crate::tables`], with partial
+//! rounds and out-of-window tails finishing on the scalar twin, so no
+//! kernel ever reads past the end of the source slice.
 
-use crate::tables::{plan32, plan64, PLAN32_MAX_WIDTH, PLAN64_MAX_WIDTH};
-use crate::{backend, scalar, Backend, LANES32};
+use crate::backend::dispatch;
+use crate::LANES32;
 
 /// Number of values per vectorized unpack round.
 pub const ROUND: usize = LANES32;
@@ -33,11 +35,7 @@ pub fn unpack_u32(src: &[u8], start_bit: usize, width: u8, out: &mut [u32]) {
     }
     let need_bits = start_bit + width as usize * out.len();
     assert!(need_bits <= src.len() * 8, "unpack_u32 out of bounds");
-    match backend() {
-        Backend::Scalar => scalar::unpack_u32(src, start_bit, width, out),
-        Backend::Avx2 => unpack_u32_avx2(src, start_bit, width, out),
-        Backend::Avx512 => unpack_u32_avx512(src, start_bit, width, out),
-    }
+    dispatch!(unpack_u32(src, start_bit, width, out))
 }
 
 /// Unpacks `out.len()` unsigned values of `width` bits (0..=64) into
@@ -54,142 +52,7 @@ pub fn unpack_u64(src: &[u8], start_bit: usize, width: u8, out: &mut [u64]) {
     }
     let need_bits = start_bit + width as usize * out.len();
     assert!(need_bits <= src.len() * 8, "unpack_u64 out of bounds");
-    if backend() != Backend::Scalar && width <= PLAN64_MAX_WIDTH {
-        #[cfg(target_arch = "x86_64")]
-        {
-            let plan = plan64(width, (start_bit % 8) as u8);
-            let start_byte = start_bit / 8;
-            let max_win = *plan.win_off.iter().max().unwrap();
-            let rounds = safe_rounds(
-                src.len(),
-                start_byte,
-                plan.bytes_per_round,
-                max_win,
-                out.len(),
-            );
-            if rounds > 0 {
-                // SAFETY: AVX2 availability established by `backend()`
-                // runtime detection; `safe_rounds` bounds `rounds` so
-                // every 16-byte window load stays inside `src` and every
-                // store inside `out`.
-                unsafe { crate::avx2::unpack_u64_plan64(src, start_byte, rounds, plan, out) };
-            }
-            let done = rounds * ROUND;
-            if done < out.len() {
-                let bit = start_bit + done * width as usize;
-                scalar::unpack_u64(src, bit, width, &mut out[done..]);
-            }
-            return;
-        }
-    }
-    scalar::unpack_u64(src, start_bit, width, out);
-}
-
-#[cfg(target_arch = "x86_64")]
-fn unpack_u32_avx2(src: &[u8], start_bit: usize, width: u8, out: &mut [u32]) {
-    let start_byte = start_bit / 8;
-    let align = (start_bit % 8) as u8;
-    let (rounds, max_win, bpr) = if width <= PLAN32_MAX_WIDTH {
-        let plan = plan32(width, align);
-        let r = safe_rounds(
-            src.len(),
-            start_byte,
-            plan.bytes_per_round,
-            plan.win1_off,
-            out.len(),
-        );
-        if r > 0 {
-            // SAFETY: AVX2 availability established by `backend()`
-            // runtime detection (this fn is only reached on those
-            // backends); `safe_rounds` keeps all window loads in `src`
-            // and all stores in `out`.
-            unsafe { crate::avx2::unpack_u32_plan32(src, start_byte, r, plan, out) };
-        }
-        (r, plan.win1_off, plan.bytes_per_round)
-    } else {
-        let plan = plan64(width, align);
-        let mw = *plan.win_off.iter().max().unwrap();
-        let r = safe_rounds(src.len(), start_byte, plan.bytes_per_round, mw, out.len());
-        if r > 0 {
-            // SAFETY: same argument as the plan32 arm — AVX2 detected at
-            // runtime, `safe_rounds` bounds every load and store.
-            unsafe { crate::avx2::unpack_u32_plan64(src, start_byte, r, plan, out) };
-        }
-        (r, mw, plan.bytes_per_round)
-    };
-    let _ = (max_win, bpr);
-    let done = rounds * ROUND;
-    if done < out.len() {
-        let bit = start_bit + done * width as usize;
-        scalar::unpack_u32(src, bit, width, &mut out[done..]);
-    }
-}
-
-#[cfg(not(target_arch = "x86_64"))]
-fn unpack_u32_avx2(src: &[u8], start_bit: usize, width: u8, out: &mut [u32]) {
-    scalar::unpack_u32(src, start_bit, width, out)
-}
-
-/// 512-bit unpack rounds (sixteen values each) for widths ≤ 25; wider
-/// widths and tails reuse the AVX2 / scalar paths.
-#[cfg(target_arch = "x86_64")]
-fn unpack_u32_avx512(src: &[u8], start_bit: usize, width: u8, out: &mut [u32]) {
-    use crate::avx512::plan512;
-    if width > 25 {
-        return unpack_u32_avx2(src, start_bit, width, out);
-    }
-    let start_byte = start_bit / 8;
-    let align = (start_bit % 8) as u8;
-    let plan = plan512(width, align);
-    let max_win = *plan.win_off.iter().max().unwrap();
-    // 16 values per round.
-    let full = out.len() / 16;
-    let budget = src.len().saturating_sub(start_byte + max_win + 16);
-    let by_bytes =
-        budget / plan.bytes_per_round + usize::from(src.len() >= start_byte + max_win + 16);
-    let rounds = full.min(by_bytes);
-    if rounds > 0 {
-        // SAFETY: this fn is only dispatched on the Avx512 backend,
-        // which runtime detection guarantees; the `rounds` computation
-        // above keeps every window load within `src` and `out` holds
-        // `rounds * 16` values by construction.
-        unsafe { crate::avx512::unpack_u32_plan512(src, start_byte, rounds, plan, out) };
-    }
-    let done = rounds * 16;
-    if done < out.len() {
-        let bit = start_bit + done * width as usize;
-        unpack_u32_avx2(src, bit, width, &mut out[done..]);
-    }
-}
-
-#[cfg(not(target_arch = "x86_64"))]
-fn unpack_u32_avx512(src: &[u8], start_bit: usize, width: u8, out: &mut [u32]) {
-    scalar::unpack_u32(src, start_bit, width, out)
-}
-
-/// Largest number of full rounds whose 16-byte window loads all stay
-/// within `len` bytes: round `r` loads from
-/// `start + r*bytes_per_round + max_win_off .. + 16`.
-fn safe_rounds(
-    len: usize,
-    start: usize,
-    bytes_per_round: usize,
-    max_win_off: usize,
-    n_out: usize,
-) -> usize {
-    let full = n_out / ROUND;
-    if full == 0 {
-        return 0;
-    }
-    // Need: start + (r-1)*bpr + max_win_off + 16 <= len  for the last round r-1.
-    let budget = len.saturating_sub(start + max_win_off + 16);
-    let by_bytes = budget / bytes_per_round
-        + if len >= start + max_win_off + 16 {
-            1
-        } else {
-            0
-        };
-    full.min(by_bytes)
+    dispatch!(unpack_u64(src, start_bit, width, out))
 }
 
 #[cfg(test)]

@@ -56,7 +56,7 @@ impl Rng {
 }
 
 /// The integer codecs under test.
-const INT_CODECS: [Encoding; 8] = [
+const INT_CODECS: [Encoding; 9] = [
     Encoding::Plain,
     Encoding::Ts2Diff,
     Encoding::Ts2DiffOrder2,
@@ -65,6 +65,7 @@ const INT_CODECS: [Encoding; 8] = [
     Encoding::Sprintz,
     Encoding::Rlbe,
     Encoding::Gorilla,
+    Encoding::StreamVByte,
 ];
 
 /// The float codecs under test.
@@ -404,6 +405,22 @@ pub fn emit_corpus(dir: &Path) -> std::io::Result<usize> {
         let mut hostile = valid.clone();
         hostile[..4].copy_from_slice(&u32::MAX.to_be_bytes());
         emit(format!("{}__hostile_count", enc.name()), &hostile)?;
+    }
+
+    // Stream VByte hostile control stream: a valid page whose control
+    // bytes are all spliced to 0xFF (every delta claims 4 data bytes),
+    // so the controls declare far more data than the stream holds — the
+    // parser's exact-data-length preflight must reject it, never read
+    // past the buffer.
+    {
+        let valid = Encoding::StreamVByte.encode_i64(&ints);
+        let mut hostile = valid.clone();
+        let head = etsqp_encoding::stream_vbyte::HEADER_BYTES;
+        let n_controls = (ints.len() - 1).div_ceil(4);
+        for b in hostile[head..head + n_controls].iter_mut() {
+            *b = 0xFF;
+        }
+        emit("stream_vbyte__hostile_controls".to_string(), &hostile)?;
     }
 
     // Fuzzer-found chimp crasher, reconstructed bit-exactly: count=2,

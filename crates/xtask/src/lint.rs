@@ -47,11 +47,15 @@ pub const HOT_FILES: [&str; 5] = [
 /// (the fuzzer enforces the same contract dynamically). The physical IR
 /// (including the hot-scan source and plan compiler) rides along: it
 /// sits between untrusted pages and the executor, so the same
-/// no-panic contract applies.
-pub const HOT_DIRS: [&str; 3] = [
+/// no-panic contract applies. The SIMD kernel layer is included too:
+/// every backend consumes byte streams handed up from untrusted pages,
+/// so its safe wrappers must reject bad shapes as errors upstream, not
+/// panic mid-kernel.
+pub const HOT_DIRS: [&str; 4] = [
     "crates/encoding/src/",
     "crates/storage/src/",
     "crates/core/src/physical/",
+    "crates/simd/src/",
 ];
 
 /// Accumulator/fused-kernel files: narrowing `as` casts are forbidden.
@@ -800,6 +804,7 @@ mod tests {
         for path in [
             "crates/encoding/src/gorilla.rs",
             "crates/storage/src/page.rs",
+            "crates/simd/src/backend.rs",
         ] {
             let r = analyze_source(path, bad);
             assert!(

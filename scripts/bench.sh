@@ -56,3 +56,18 @@ echo "==> ingest_bench (ETSQP_BENCH_INGEST_POINTS=${ETSQP_BENCH_INGEST_POINTS:-2
 
 echo "==> BENCH_ingest.json"
 cat BENCH_ingest.json
+
+# Decode throughput per codec × SIMD backend (BENCH_decode.json): every
+# integer codec through decode_column, the float codecs, the raw Stream
+# VByte quad kernel, and the FastLanes/SBoost baselines, measured once
+# per backend (scalar / avx2 / avx512 as the CPU allows) via child
+# re-exec. Non-gating; scale with ETSQP_BENCH_DECODE_INTS (column
+# length, default 262144).
+echo "==> cargo build --release -p etsqp-bench --bin decode_bench"
+cargo build --release -p etsqp-bench --bin decode_bench
+
+echo "==> decode_bench (ETSQP_BENCH_DECODE_INTS=${ETSQP_BENCH_DECODE_INTS:-262144}) -> BENCH_decode.json"
+./target/release/decode_bench > BENCH_decode.json
+
+echo "==> BENCH_decode.json"
+cat BENCH_decode.json

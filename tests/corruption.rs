@@ -30,7 +30,7 @@ fn corpus_dir() -> PathBuf {
 }
 
 fn codec_by_name(name: &str) -> Option<Encoding> {
-    const ALL: [Encoding; 11] = [
+    const ALL: [Encoding; 12] = [
         Encoding::Plain,
         Encoding::Ts2Diff,
         Encoding::Ts2DiffOrder2,
@@ -39,6 +39,7 @@ fn codec_by_name(name: &str) -> Option<Encoding> {
         Encoding::Sprintz,
         Encoding::Rlbe,
         Encoding::Gorilla,
+        Encoding::StreamVByte,
         Encoding::Chimp,
         Encoding::Elf,
         Encoding::GorillaFloat,

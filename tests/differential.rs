@@ -20,7 +20,7 @@ const ROWS: usize = 256;
 const PAGE_POINTS: usize = 64;
 
 /// Integer codecs usable for the value column.
-const VAL_CODECS: [Encoding; 8] = [
+const VAL_CODECS: [Encoding; 9] = [
     Encoding::Plain,
     Encoding::Ts2Diff,
     Encoding::Ts2DiffOrder2,
@@ -29,15 +29,17 @@ const VAL_CODECS: [Encoding; 8] = [
     Encoding::Sprintz,
     Encoding::Rlbe,
     Encoding::Gorilla,
+    Encoding::StreamVByte,
 ];
 
 /// Timestamp codecs exercised by the dedicated ts-codec block.
-const TS_CODECS: [Encoding; 5] = [
+const TS_CODECS: [Encoding; 6] = [
     Encoding::Plain,
     Encoding::Ts2Diff,
     Encoding::Ts2DiffOrder2,
     Encoding::DeltaRle,
     Encoding::Gorilla,
+    Encoding::StreamVByte,
 ];
 
 /// The full config cross: vectorized/serial × fuse × prune × threads ×
@@ -399,6 +401,37 @@ fn timestamp_codecs_agree_with_oracle() {
     }
     assert!(cases >= 200, "ts sweep too small: {cases} cases");
     eprintln!("differential ts-codec sweep: {cases} cases, zero mismatches");
+}
+
+/// Block E: Stream VByte under live ingestion. The fixture flushes, then
+/// appends an unsealed hot tail to both series, so every query in the
+/// battery runs against a mix of sealed SVB pages and the hot-chunk
+/// snapshot (the `SourceHot` pipeline source) — the planner's fused(svb)
+/// partials must merge correctly with the decoded hot partial.
+#[test]
+fn stream_vbyte_hot_and_sealed_agree_with_oracle() {
+    let configs = canonical_configs();
+    let mut cases = 0usize;
+    for spec in [Spec::Atmosphere, Spec::Timestamp] {
+        let mut fx = fixture(spec, Encoding::StreamVByte, Encoding::StreamVByte);
+        // Hot tail: strictly-increasing timestamps past the sealed range,
+        // values alternating sign and magnitude (1..3-byte deltas).
+        let data = spec.generate(ROWS);
+        let tn = *data.timestamps.last().unwrap();
+        for name in [fx.a.clone(), fx.b.clone()] {
+            for i in 0..40i64 {
+                let v = (i * 1003) % 757 - 378 + ((i % 3) << 16);
+                fx.store.append(&name, tn + (i + 1) * 7, v).unwrap();
+            }
+        }
+        for qi in 0..fx.queries.len() {
+            for cfg in &configs {
+                cases += check(&mut fx, qi, cfg);
+            }
+        }
+    }
+    assert!(cases >= 100, "hot+sealed sweep too small: {cases} cases");
+    eprintln!("differential hot+sealed svb sweep: {cases} cases, zero mismatches");
 }
 
 /// Block D: fault injection. Every page mutation breaks the sealed
