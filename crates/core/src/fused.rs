@@ -173,7 +173,7 @@ pub fn sum_ts2diff_range(
         // Delta j contributes to values max(j+1, a)..=b.
         let w = (b - (j + 1).max(a) + 1) as i128;
         weighted += w * s as i128;
-        weight_total += w;
+        weight_total = weight_total.saturating_add(w);
     }
     state.sum = len * page.first[0] as i128 + base * weight_total + weighted;
     state.count = len as u64;
@@ -192,9 +192,13 @@ pub fn aggregate_delta_rle(page: &DeltaRlePage<'_>) -> Result<AggState> {
     for (delta, run) in page.pairs() {
         let r = run as i128;
         let d = delta as i128;
-        // Σ_{i=1..r} (a + iΔ) = r·a + Δ·r(r+1)/2.
+        // Σ_{i=1..r} (a + iΔ) = r·a + Δ·r(r+1)/2. Hostile headers can
+        // push the carry far outside i64; saturate like sum_sq below
+        // instead of tripping debug overflow checks.
         let tri = r * (r + 1) / 2;
-        state.sum += r * a + d * tri;
+        state.sum = state
+            .sum
+            .saturating_add(r.saturating_mul(a).saturating_add(d.saturating_mul(tri)));
         // Σ (a + iΔ)² = r·a² + 2aΔ·tri + Δ²·Σi² ; Σi² = r(r+1)(2r+1)/6.
         // Second-order terms saturate like AggState::sum_sq does.
         let sq = r * (r + 1) * (2 * r + 1) / 6;
@@ -203,7 +207,7 @@ pub fn aggregate_delta_rle(page: &DeltaRlePage<'_>) -> Result<AggState> {
                 .saturating_add((2 * a).saturating_mul(d.saturating_mul(tri)))
                 .saturating_add(d.saturating_mul(d).saturating_mul(sq)),
         );
-        state.count += run;
+        state.count = state.count.saturating_add(run);
         // The run is monotonic: extremes are its endpoints.
         let end = a + d * r;
         let first_of_run = a + d;
@@ -278,8 +282,8 @@ pub fn dot_product_delta_rle(a: &DeltaRlePage<'_>, b: &DeltaRlePage<'_>) -> Resu
                 .saturating_add(vb.saturating_mul(dai).saturating_mul(tri))
                 .saturating_add(dai.saturating_mul(dbi).saturating_mul(sq)),
         );
-        va += dai * valid;
-        vb += dbi * valid;
+        va = va.saturating_add(dai.saturating_mul(valid));
+        vb = vb.saturating_add(dbi.saturating_mul(valid));
         ra -= valid as u64;
         rb -= valid as u64;
     }
@@ -298,15 +302,15 @@ pub fn count_in_range_delta_rle(page: &DeltaRlePage<'_>, t_lo: i64, t_hi: i64) -
     let mut count = 0u64;
     let mut t = page.first as i128;
     if t >= t_lo as i128 && t <= t_hi as i128 {
-        count += 1;
+        count = count.saturating_add(1);
     }
     for (delta, run) in page.pairs() {
         let d = delta as i128;
         let r = run as i128;
         // Values t + i·d for i in 1..=r.
         let (lo, hi) = (t_lo as i128, t_hi as i128);
-        count += count_progression_in_range(t, d, r, lo, hi);
-        t += d * r;
+        count = count.saturating_add(count_progression_in_range(t, d, r, lo, hi));
+        t = t.saturating_add(d.saturating_mul(r));
     }
     count
 }

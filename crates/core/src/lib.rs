@@ -75,6 +75,10 @@ pub enum Error {
     /// A scheduler worker panicked; the payload message is preserved so
     /// one bad page aborts the query, not the process.
     Worker(String),
+    /// The compiled physical plan violated the `etsqp-verify` invariant
+    /// catalog ([`physical::verify`]) — a planner bug caught before the
+    /// executor could act on the broken plan.
+    Verify(physical::verify::VerifyError),
 }
 
 impl std::fmt::Display for Error {
@@ -89,6 +93,7 @@ impl std::fmt::Display for Error {
             Error::Cancelled => write!(f, "query cancelled"),
             Error::Timeout => write!(f, "query deadline exceeded"),
             Error::Worker(msg) => write!(f, "worker panicked: {msg}"),
+            Error::Verify(e) => write!(f, "plan verifier: {e}"),
         }
     }
 }
@@ -98,6 +103,7 @@ impl std::error::Error for Error {
         match self {
             Error::Encoding(e) => Some(e),
             Error::Storage(e) => Some(e),
+            Error::Verify(e) => Some(e),
             _ => None,
         }
     }

@@ -141,6 +141,22 @@ pub(crate) fn run(
     }
 }
 
+/// The driver-side half of the §V verify-before-prune discipline: a
+/// pruned page may only be dropped when its decision carries the
+/// checksum-verification obligation the compiler recorded. A decision
+/// without it means the plan was tampered with or a planner bug slipped
+/// past the verifier — refuse to execute rather than silently skip data.
+fn require_obligation(d: &crate::physical::node::PageDecision) -> Result<()> {
+    if d.checksum_obligation {
+        Ok(())
+    } else {
+        Err(Error::Plan(format!(
+            "pruned page {} lacks its checksum-verification obligation",
+            d.index
+        )))
+    }
+}
+
 /// Materializes a pipeline's kept pages, charging its pruned pages to
 /// the §VII-B throughput counters. Pruned pages are checksum-verified
 /// before being dropped — a corrupted header must abort the query, not
@@ -148,6 +164,7 @@ pub(crate) fn run(
 fn kept_of(p: &SeriesPipeline, stats: &ExecStats) -> Result<Vec<Arc<etsqp_storage::page::Page>>> {
     for (page, d) in p.pages.iter().zip(&p.decisions) {
         if !d.verdict.kept() {
+            require_obligation(d)?;
             verify_pruned(page)?;
             charge_pruned_page(page, stats);
         }
@@ -177,6 +194,7 @@ fn aggregate_pipeline(
                 strategies.push(s);
             }
             None => {
+                require_obligation(d)?;
                 verify_pruned(page)?;
                 charge_pruned_page(page, stats);
             }

@@ -16,6 +16,7 @@
 
 pub mod node;
 pub mod pipe;
+pub mod verify;
 
 pub(crate) mod agg;
 pub(crate) mod driver;

@@ -132,6 +132,12 @@ pub struct PageDecision {
     pub verdict: PruneVerdict,
     /// Strategy for kept pages; `None` when pruned.
     pub strategy: Option<Strategy>,
+    /// The §V verify-before-prune obligation: a pruned page's checksum
+    /// must be verified before the page may be dropped (its header
+    /// min/max were trusted without decoding). The compiler sets this on
+    /// every pruned decision; the verifier and the driver both refuse to
+    /// drop a page that lacks it.
+    pub checksum_obligation: bool,
 }
 
 /// How a series' work is cut into scheduler morsels (§III-C).

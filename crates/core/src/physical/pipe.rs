@@ -89,7 +89,26 @@ fn pages_with_hot(store: &SeriesStore, series: &str) -> Result<Vec<Arc<Page>>> {
 
 /// Algorithm 2 `Pipe`: compiles the logical plan against the store's
 /// page headers under `cfg` into an explicit [`PhysicalPlan`].
+///
+/// Debug builds run the `etsqp-verify` invariant catalog
+/// ([`crate::physical::verify`]) over every compiled plan — including an
+/// `EXPLAIN` round-trip — before handing it to the executor, so a
+/// planner regression aborts at compile time instead of silently
+/// mis-executing. Release builds skip the pass; `cargo run -p xtask --
+/// verify-plans` covers the full plan space there.
 pub fn compile(plan: &Plan, store: &SeriesStore, cfg: &PipelineConfig) -> Result<PhysicalPlan> {
+    let compiled = compile_inner(plan, store, cfg)?;
+    #[cfg(debug_assertions)]
+    {
+        use crate::physical::verify;
+        verify::verify(&compiled, cfg).map_err(Error::Verify)?;
+        let rendered = compiled.render(cfg);
+        verify::verify_explain(&compiled, cfg, &rendered).map_err(Error::Verify)?;
+    }
+    Ok(compiled)
+}
+
+fn compile_inner(plan: &Plan, store: &SeriesStore, cfg: &PipelineConfig) -> Result<PhysicalPlan> {
     match plan {
         Plan::Aggregate { input, func } => {
             let (series, pred) = flatten_scan(input)?;
@@ -245,6 +264,10 @@ fn build_pipeline(
             tuples: page.header.count as u64,
             verdict,
             strategy,
+            // Pruning trusts header min/max without decoding, so every
+            // pruned page carries the obligation to checksum-verify
+            // before it is dropped (§V verify-before-prune).
+            checksum_obligation: !verdict.kept(),
         });
     }
     let parallelism = match &role {
@@ -269,7 +292,12 @@ fn build_pipeline(
 /// Whether the §III-C slicing morsel shape applies: unfiltered,
 /// unwindowed TS2DIFF scans with fewer kept pages than threads, where
 /// the slice partials combine symbolically.
-fn sliceable(kept: &[Arc<Page>], pred: &Predicate, windowed: bool, cfg: &PipelineConfig) -> bool {
+pub(crate) fn sliceable(
+    kept: &[Arc<Page>],
+    pred: &Predicate,
+    windowed: bool,
+    cfg: &PipelineConfig,
+) -> bool {
     cfg.allow_slicing
         && cfg.vectorized
         && !windowed
@@ -283,7 +311,7 @@ fn sliceable(kept: &[Arc<Page>], pred: &Predicate, windowed: bool, cfg: &Pipelin
 /// Whether the time conjunct (if any) covers the whole page — header
 /// first/last timestamps are exact, so this equals "the qualifying index
 /// range is the full page".
-fn time_covers_page(page: &Page, pred: &Predicate) -> bool {
+pub(crate) fn time_covers_page(page: &Page, pred: &Predicate) -> bool {
     pred.time
         .is_none_or(|t| t.lo <= page.header.first_ts && t.hi >= page.header.last_ts)
 }
@@ -336,7 +364,7 @@ fn choose_page_strategy(
 
 /// The §IV pair-fusion alignment check: pairwise-aligned pages (identical
 /// clocks, bit for bit) with Delta-RLE value columns on both sides.
-fn pair_fusible(left: &[Arc<Page>], right: &[Arc<Page>], cfg: &PipelineConfig) -> bool {
+pub(crate) fn pair_fusible(left: &[Arc<Page>], right: &[Arc<Page>], cfg: &PipelineConfig) -> bool {
     if cfg.fuse < FuseLevel::DeltaRepeat || !cfg.vectorized || left.len() != right.len() {
         return false;
     }

@@ -1,0 +1,676 @@
+//! `etsqp-verify` layer 1: the physical-plan IR verifier.
+//!
+//! An LLVM-verifier-style pass over a compiled [`PhysicalPlan`]: every
+//! invariant the executor relies on is re-derived from the plan's own
+//! pages, predicate, and config, and any mismatch is a typed
+//! [`VerifyError`] naming the violated [`Invariant`]. The catalog
+//! (DESIGN.md §13):
+//!
+//! * [`Invariant::PlanShape`] — root arity matches the pipeline list and
+//!   per-page decisions align index-for-index with the page list.
+//! * [`Invariant::PruneSoundness`] — every §V verdict re-derives from
+//!   the page header under the plan's config, pruned pages carry the
+//!   checksum-verification obligation (the PR 5 `verify_pruned`
+//!   discipline), and verdict/strategy presence agree.
+//! * [`Invariant::SliceBounds`] — morsel shape is consistent: job counts
+//!   match the kept-page set and every §III-C slice index lies within
+//!   its page's tuple count.
+//! * [`Invariant::PartitionTiling`] — binary-merge partitions tile
+//!   `[i64::MIN, i64::MAX]` disjointly and completely (§VI merge order).
+//! * [`Invariant::FusionAdmissibility`] — §IV fused strategies only
+//!   appear when codec, fuse level, predicate, and aggregate admit them
+//!   (including the root-level pair-fusion fast path).
+//! * [`Invariant::HotFoldsLast`] — a hot-chunk source only appears on
+//!   unary pipelines and its timestamps strictly follow every sealed
+//!   page, so FIRST/LAST folding order is safe.
+//! * [`Invariant::ExplainRoundTrip`] — `EXPLAIN` text re-renders
+//!   byte-identically from the verified plan and echoes its structure.
+//!
+//! [`verify`] is pure header/IR analysis and runs as a debug-assertion
+//! post-compile hook inside [`crate::physical::pipe::compile`];
+//! [`verify_deep`] additionally discharges the checksum obligations
+//! (used by `cargo run -p xtask -- verify-plans`, which enumerates the
+//! full plan space and mutation-tests rejection).
+
+use std::fmt;
+
+use etsqp_encoding::Encoding;
+use etsqp_storage::page::Page;
+
+use crate::expr::{AggFunc, Predicate, SlidingWindow, TimeRange};
+use crate::physical::agg::{fusion_covers, spread_fits_i64};
+use crate::physical::node::{Parallelism, RootNode, SeriesPipeline, Strategy};
+use crate::physical::pipe::{pair_fusible, sliceable, time_covers_page, PhysicalPlan};
+use crate::physical::scan::{hot_verdict, page_verdict};
+use crate::plan::PipelineConfig;
+use crate::slice::{distribute, slice_range, WorkItem};
+
+/// The invariant classes of the verifier catalog (one negative test per
+/// class lives in `crates/core/tests/verify_negative.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariant {
+    /// Root arity and page/decision alignment.
+    PlanShape,
+    /// §V verdicts re-derive and pruned pages carry their checksum
+    /// obligation (`verify_pruned` discipline).
+    PruneSoundness,
+    /// Morsel shape consistency and §III-C slice index bounds.
+    SliceBounds,
+    /// Binary-merge partitions tile the time domain disjointly.
+    PartitionTiling,
+    /// §IV fused strategies only where codec/expression admit them.
+    FusionAdmissibility,
+    /// Hot-chunk sources fold last (unary only, timestamps after all
+    /// sealed pages).
+    HotFoldsLast,
+    /// `EXPLAIN` output round-trips the verified plan.
+    ExplainRoundTrip,
+}
+
+impl Invariant {
+    /// Stable catalog name (used in error text and DESIGN.md §13).
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::PlanShape => "plan-shape",
+            Invariant::PruneSoundness => "prune-soundness",
+            Invariant::SliceBounds => "slice-bounds",
+            Invariant::PartitionTiling => "partition-tiling",
+            Invariant::FusionAdmissibility => "fusion-admissibility",
+            Invariant::HotFoldsLast => "hot-folds-last",
+            Invariant::ExplainRoundTrip => "explain-round-trip",
+        }
+    }
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A rejected plan: which invariant failed and where.
+#[derive(Debug, Clone)]
+pub struct VerifyError {
+    /// The violated invariant class.
+    pub invariant: Invariant,
+    /// Human-readable location + mismatch description.
+    pub detail: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariant {}: {}", self.invariant, self.detail)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifier result alias.
+pub type VerifyResult = std::result::Result<(), VerifyError>;
+
+fn fail(invariant: Invariant, detail: String) -> VerifyResult {
+    Err(VerifyError { invariant, detail })
+}
+
+/// What a pipeline's kept pages feed — mirrors the planner's `Role`, but
+/// derived here from the root node so the two cannot share a bug.
+enum VerifyRole {
+    Agg {
+        func: AggFunc,
+        window: Option<SlidingWindow>,
+    },
+    Rows,
+}
+
+/// Verifies a compiled plan against the invariant catalog. Pure IR/header
+/// analysis: no page payload is decoded and no checksum is computed (see
+/// [`verify_deep`] for the obligation-discharging variant).
+pub fn verify(plan: &PhysicalPlan, cfg: &PipelineConfig) -> VerifyResult {
+    check_shape(plan)?;
+    let role = |i: usize| match &plan.root {
+        RootNode::Aggregate { func, window } if i == 0 => VerifyRole::Agg {
+            func: *func,
+            window: *window,
+        },
+        _ => VerifyRole::Rows,
+    };
+    for (i, p) in plan.pipelines.iter().enumerate() {
+        check_prune_soundness(p, cfg)?;
+        check_slice_bounds(p, &role(i), cfg)?;
+        check_fusion_admissibility(p, &role(i), cfg)?;
+        check_hot_folds_last(p, &plan.root, cfg)?;
+    }
+    check_partition_tiling(plan, cfg)?;
+    Ok(())
+}
+
+/// [`verify`] plus discharge of every checksum obligation the plan
+/// recorded: each pruned page's FNV checksum is verified now, proving
+/// the header statistics the §V verdict trusted were intact.
+pub fn verify_deep(plan: &PhysicalPlan, cfg: &PipelineConfig) -> VerifyResult {
+    verify(plan, cfg)?;
+    for p in &plan.pipelines {
+        for (page, d) in p.pages.iter().zip(&p.decisions) {
+            if !d.verdict.kept() {
+                if let Err(e) = page.verify() {
+                    return fail(
+                        Invariant::PruneSoundness,
+                        format!(
+                            "pipeline {}: pruned page {} fails its checksum obligation: {e}",
+                            p.series, d.index
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verifies that `rendered` is the `EXPLAIN` text of `plan` under `cfg`:
+/// it must re-render byte-identically and echo the plan's structure
+/// (header config, pipeline count, partition count).
+pub fn verify_explain(plan: &PhysicalPlan, cfg: &PipelineConfig, rendered: &str) -> VerifyResult {
+    let again = plan.render(cfg);
+    if again != rendered {
+        return fail(
+            Invariant::ExplainRoundTrip,
+            "EXPLAIN text does not re-render from the plan".into(),
+        );
+    }
+    let header = format!("physical plan (threads={}", cfg.threads);
+    if !rendered.starts_with(&header) {
+        return fail(
+            Invariant::ExplainRoundTrip,
+            format!("EXPLAIN header does not echo the config (expected `{header}…`)"),
+        );
+    }
+    let pipeline_lines = rendered
+        .lines()
+        .filter(|l| l.starts_with("  pipeline "))
+        .count();
+    if pipeline_lines != plan.pipelines.len() {
+        return fail(
+            Invariant::ExplainRoundTrip,
+            format!(
+                "EXPLAIN shows {pipeline_lines} pipelines, plan has {}",
+                plan.pipelines.len()
+            ),
+        );
+    }
+    let partitions = match &plan.root {
+        RootNode::Union { partitions } | RootNode::Join { partitions, .. } => partitions.len(),
+        _ => 0,
+    };
+    let partition_lines = rendered
+        .lines()
+        .filter(|l| l.starts_with("  partition "))
+        .count();
+    if partition_lines != partitions {
+        return fail(
+            Invariant::ExplainRoundTrip,
+            format!("EXPLAIN shows {partition_lines} partitions, plan has {partitions}"),
+        );
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Invariant checks
+// ---------------------------------------------------------------------
+
+fn check_shape(plan: &PhysicalPlan) -> VerifyResult {
+    let arity = match &plan.root {
+        RootNode::Aggregate { .. } | RootNode::Rows => 1,
+        RootNode::Union { .. } | RootNode::Join { .. } | RootNode::PairAgg { .. } => 2,
+    };
+    if plan.pipelines.len() != arity {
+        return fail(
+            Invariant::PlanShape,
+            format!(
+                "root expects {arity} pipeline(s), plan has {}",
+                plan.pipelines.len()
+            ),
+        );
+    }
+    for p in &plan.pipelines {
+        if p.decisions.len() != p.pages.len() {
+            return fail(
+                Invariant::PlanShape,
+                format!(
+                    "pipeline {}: {} decisions for {} pages",
+                    p.series,
+                    p.decisions.len(),
+                    p.pages.len()
+                ),
+            );
+        }
+        for (i, (page, d)) in p.pages.iter().zip(&p.decisions).enumerate() {
+            if d.index != i {
+                return fail(
+                    Invariant::PlanShape,
+                    format!(
+                        "pipeline {}: decision {i} records page index {}",
+                        p.series, d.index
+                    ),
+                );
+            }
+            if d.tuples != page.header.count as u64 {
+                return fail(
+                    Invariant::PlanShape,
+                    format!(
+                        "pipeline {}: decision {i} records {} tuples, header says {}",
+                        p.series, d.tuples, page.header.count
+                    ),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_prune_soundness(p: &SeriesPipeline, cfg: &PipelineConfig) -> VerifyResult {
+    for (page, d) in p.pages.iter().zip(&p.decisions) {
+        let expect = page_verdict(page, &p.pred, cfg.prune);
+        if d.verdict != expect {
+            return fail(
+                Invariant::PruneSoundness,
+                format!(
+                    "pipeline {}: page {} verdict {} does not re-derive (expected {expect})",
+                    p.series, d.index, d.verdict
+                ),
+            );
+        }
+        if d.verdict.kept() != d.strategy.is_some() {
+            return fail(
+                Invariant::PruneSoundness,
+                format!(
+                    "pipeline {}: page {} is {} but strategy is {:?}",
+                    p.series, d.index, d.verdict, d.strategy
+                ),
+            );
+        }
+        if !d.verdict.kept() && !d.checksum_obligation {
+            return fail(
+                Invariant::PruneSoundness,
+                format!(
+                    "pipeline {}: page {} is {} without a checksum-verification \
+                     obligation (verify-before-prune, PR 5)",
+                    p.series, d.index, d.verdict
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn kept_pages(p: &SeriesPipeline) -> Vec<std::sync::Arc<Page>> {
+    p.kept()
+        .map(|(page, _)| std::sync::Arc::clone(page))
+        .collect()
+}
+
+fn check_slice_bounds(p: &SeriesPipeline, role: &VerifyRole, cfg: &PipelineConfig) -> VerifyResult {
+    let kept = kept_pages(p);
+    match p.parallelism {
+        Parallelism::PerPage { jobs } => {
+            if jobs != kept.len() {
+                return fail(
+                    Invariant::SliceBounds,
+                    format!(
+                        "pipeline {}: per-page parallelism claims {jobs} jobs for {} kept pages",
+                        p.series,
+                        kept.len()
+                    ),
+                );
+            }
+        }
+        Parallelism::Sliced { pages, jobs } => {
+            let windowed = match role {
+                VerifyRole::Agg { window, .. } => window.is_some(),
+                VerifyRole::Rows => {
+                    return fail(
+                        Invariant::SliceBounds,
+                        format!(
+                            "pipeline {}: sliced morsels on a row-producing scan",
+                            p.series
+                        ),
+                    )
+                }
+            };
+            if pages != kept.len() {
+                return fail(
+                    Invariant::SliceBounds,
+                    format!(
+                        "pipeline {}: sliced parallelism claims {pages} pages, {} kept",
+                        p.series,
+                        kept.len()
+                    ),
+                );
+            }
+            if !sliceable(&kept, &p.pred, windowed, cfg) {
+                return fail(
+                    Invariant::SliceBounds,
+                    format!(
+                        "pipeline {}: sliced morsels where §III-C slicing is inadmissible",
+                        p.series
+                    ),
+                );
+            }
+            let items = distribute(&kept, cfg.threads);
+            if jobs != items.len() {
+                return fail(
+                    Invariant::SliceBounds,
+                    format!(
+                        "pipeline {}: sliced parallelism claims {jobs} jobs, distribute yields {}",
+                        p.series,
+                        items.len()
+                    ),
+                );
+            }
+            for item in &items {
+                if let WorkItem::Slice { page, part, parts } = item {
+                    let count = page.header.count as usize;
+                    if *part >= *parts || *parts == 0 || *parts > count.max(1) {
+                        return fail(
+                            Invariant::SliceBounds,
+                            format!(
+                                "pipeline {}: slice {part}/{parts} out of bounds for a \
+                                 {count}-tuple page",
+                                p.series
+                            ),
+                        );
+                    }
+                    let (lo, hi) = slice_range(count, *part, *parts);
+                    if lo > hi || hi > count {
+                        return fail(
+                            Invariant::SliceBounds,
+                            format!(
+                                "pipeline {}: slice {part}/{parts} covers [{lo}, {hi}) of a \
+                                 {count}-tuple page",
+                                p.series
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Whether `strategy` is admissible for `page` under `role` and `cfg` —
+/// deliberately re-derived from first principles (codec, fuse level,
+/// predicate, aggregate) rather than by re-running the planner's choice
+/// function, so a planner bug cannot vouch for itself.
+fn admissible(
+    page: &Page,
+    pred: &Predicate,
+    role: &VerifyRole,
+    strategy: Strategy,
+    cfg: &PipelineConfig,
+) -> Result<(), String> {
+    if matches!(strategy, Strategy::Serial) != !cfg.vectorized {
+        return Err(format!(
+            "strategy {strategy} contradicts vectorized={}",
+            cfg.vectorized
+        ));
+    }
+    let (func, window) = match role {
+        VerifyRole::Rows => {
+            return match strategy {
+                Strategy::Decode | Strategy::Serial => Ok(()),
+                other => Err(format!("row-producing scan cannot run {other}")),
+            }
+        }
+        VerifyRole::Agg { func, window } => (*func, window),
+    };
+    let enc = page.header.val_encoding;
+    let fused_ok = |want: Encoding| -> Result<(), String> {
+        if pred.value.is_some() {
+            return Err(format!("{strategy} under a value filter"));
+        }
+        if enc != want {
+            return Err(format!("{strategy} on a {} value column", enc.name()));
+        }
+        if !fusion_covers(func, enc, cfg.fuse) {
+            return Err(format!(
+                "{strategy} not covered for {} at fuse level {:?}",
+                func.name(),
+                cfg.fuse
+            ));
+        }
+        if !spread_fits_i64(page) {
+            return Err(format!(
+                "{strategy} on a page whose value spread overflows i64"
+            ));
+        }
+        Ok(())
+    };
+    match strategy {
+        Strategy::Decode | Strategy::Serial => Ok(()),
+        Strategy::FusedTs2Diff => fused_ok(Encoding::Ts2Diff),
+        Strategy::FusedDeltaRle => {
+            fused_ok(Encoding::DeltaRle)?;
+            if window.is_some() {
+                return Err("fused(delta_rle) inside a sliding window".into());
+            }
+            if !time_covers_page(page, pred) {
+                return Err("fused(delta_rle) on a partially covered page".into());
+            }
+            Ok(())
+        }
+        Strategy::FusedSvb => {
+            fused_ok(Encoding::StreamVByte)?;
+            if window.is_some() {
+                return Err("fused(svb) inside a sliding window".into());
+            }
+            if !time_covers_page(page, pred) {
+                return Err("fused(svb) on a partially covered page".into());
+            }
+            Ok(())
+        }
+        Strategy::HeaderMinMax => {
+            if !matches!(func, AggFunc::Min | AggFunc::Max) {
+                return Err(format!("header(min/max) for {}", func.name()));
+            }
+            if window.is_some() {
+                return Err("header(min/max) inside a sliding window".into());
+            }
+            if pred.value.is_some() {
+                return Err("header(min/max) under a value filter".into());
+            }
+            if !time_covers_page(page, pred) {
+                return Err("header(min/max) on a partially covered page".into());
+            }
+            Ok(())
+        }
+    }
+}
+
+fn check_fusion_admissibility(
+    p: &SeriesPipeline,
+    role: &VerifyRole,
+    cfg: &PipelineConfig,
+) -> VerifyResult {
+    for (page, d) in p.pages.iter().zip(&p.decisions) {
+        if let Some(s) = d.strategy {
+            if let Err(why) = admissible(page, &p.pred, role, s, cfg) {
+                return fail(
+                    Invariant::FusionAdmissibility,
+                    format!("pipeline {}: page {}: {why}", p.series, d.index),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_partition_tiling(plan: &PhysicalPlan, cfg: &PipelineConfig) -> VerifyResult {
+    let partitions: &[TimeRange] = match &plan.root {
+        RootNode::Union { partitions } | RootNode::Join { partitions, .. } => partitions,
+        RootNode::PairAgg { func: _, fused } => {
+            // The root-level §IV pair-fusion fast path is itself a fused
+            // strategy: admissibility is re-derived here.
+            if *fused {
+                let (Some(l), Some(r)) = (plan.pipelines.first(), plan.pipelines.get(1)) else {
+                    return Ok(()); // arity already rejected by PlanShape
+                };
+                if !l.pred.is_trivial() || !r.pred.is_trivial() {
+                    return fail(
+                        Invariant::FusionAdmissibility,
+                        "fused pair aggregation under a non-trivial predicate".into(),
+                    );
+                }
+                if !pair_fusible(&l.pages, &r.pages, cfg) {
+                    return fail(
+                        Invariant::FusionAdmissibility,
+                        "fused pair aggregation over non-aligned page lists".into(),
+                    );
+                }
+            }
+            return Ok(());
+        }
+        _ => return Ok(()),
+    };
+    let Some(first) = partitions.first() else {
+        return fail(
+            Invariant::PartitionTiling,
+            "binary merge with zero partitions".into(),
+        );
+    };
+    if first.lo != i64::MIN {
+        return fail(
+            Invariant::PartitionTiling,
+            format!("first partition starts at {}, not -inf", first.lo),
+        );
+    }
+    let mut prev_hi: Option<i64> = None;
+    for (i, r) in partitions.iter().enumerate() {
+        if r.lo > r.hi {
+            return fail(
+                Invariant::PartitionTiling,
+                format!("partition {i} is empty ([{}, {}])", r.lo, r.hi),
+            );
+        }
+        if let Some(ph) = prev_hi {
+            if ph == i64::MAX || r.lo != ph + 1 {
+                return fail(
+                    Invariant::PartitionTiling,
+                    format!(
+                        "partition {i} starts at {} but partition {} ended at {ph} \
+                         (gap or overlap)",
+                        r.lo,
+                        i - 1
+                    ),
+                );
+            }
+        }
+        prev_hi = Some(r.hi);
+    }
+    if prev_hi != Some(i64::MAX) {
+        return fail(
+            Invariant::PartitionTiling,
+            format!("last partition ends at {prev_hi:?}, not +inf"),
+        );
+    }
+    Ok(())
+}
+
+fn check_hot_folds_last(p: &SeriesPipeline, root: &RootNode, cfg: &PipelineConfig) -> VerifyResult {
+    let Some(hot) = &p.hot else {
+        return Ok(());
+    };
+    if !matches!(root, RootNode::Aggregate { .. } | RootNode::Rows) {
+        return fail(
+            Invariant::HotFoldsLast,
+            format!(
+                "pipeline {}: hot-chunk source on a binary operator (must be \
+                 materialized as a transient page)",
+                p.series
+            ),
+        );
+    }
+    if hot.ts.len() != hot.vals.len() || hot.ts.is_empty() {
+        return fail(
+            Invariant::HotFoldsLast,
+            format!(
+                "pipeline {}: hot snapshot has {} timestamps and {} values",
+                p.series,
+                hot.ts.len(),
+                hot.vals.len()
+            ),
+        );
+    }
+    if hot.ts.windows(2).any(|w| w[0] >= w[1]) {
+        return fail(
+            Invariant::HotFoldsLast,
+            format!(
+                "pipeline {}: hot timestamps are not strictly increasing",
+                p.series
+            ),
+        );
+    }
+    let hot_first = hot.ts[0];
+    for (page, d) in p.pages.iter().zip(&p.decisions) {
+        if page.header.last_ts >= hot_first {
+            return fail(
+                Invariant::HotFoldsLast,
+                format!(
+                    "pipeline {}: sealed page {} ends at {} but the hot chunk starts \
+                     at {hot_first}; folding hot last would break FIRST/LAST",
+                    p.series, d.index, page.header.last_ts
+                ),
+            );
+        }
+    }
+    let (mut min_v, mut max_v) = (i64::MAX, i64::MIN);
+    for &v in hot.vals.iter() {
+        min_v = min_v.min(v);
+        max_v = max_v.max(v);
+    }
+    let expect = hot_verdict(&hot.ts, min_v, max_v, &p.pred, cfg.prune);
+    if hot.verdict != expect {
+        return fail(
+            Invariant::HotFoldsLast,
+            format!(
+                "pipeline {}: hot verdict {} does not re-derive from the snapshot's \
+                 exact statistics (expected {expect})",
+                p.series, hot.verdict
+            ),
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invariant_names_are_stable() {
+        let all = [
+            Invariant::PlanShape,
+            Invariant::PruneSoundness,
+            Invariant::SliceBounds,
+            Invariant::PartitionTiling,
+            Invariant::FusionAdmissibility,
+            Invariant::HotFoldsLast,
+            Invariant::ExplainRoundTrip,
+        ];
+        let names: Vec<_> = all.iter().map(|i| i.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len(), "names must be distinct: {names:?}");
+    }
+
+    #[test]
+    fn verify_error_display_names_the_invariant() {
+        let e = VerifyError {
+            invariant: Invariant::PartitionTiling,
+            detail: "gap at 7".into(),
+        };
+        assert_eq!(e.to_string(), "invariant partition-tiling: gap at 7");
+    }
+}

@@ -1,0 +1,343 @@
+//! Negative tests for the `etsqp-verify` IR verifier: every invariant
+//! class of the catalog must reject a hand-mutated plan with a typed
+//! [`VerifyError`] naming that invariant. Compiled (unmutated) plans
+//! must pass both [`verify`] and [`verify_deep`].
+
+use std::sync::Arc;
+
+use etsqp_core::expr::{AggFunc, Plan, Predicate, TimeRange};
+use etsqp_core::fused::FuseLevel;
+use etsqp_core::physical::node::{Parallelism, PruneVerdict, RootNode, Strategy};
+use etsqp_core::physical::pipe::{compile, PhysicalPlan};
+use etsqp_core::physical::verify::{verify, verify_deep, verify_explain, Invariant, VerifyResult};
+use etsqp_core::plan::PipelineConfig;
+use etsqp_encoding::Encoding;
+use etsqp_storage::store::SeriesStore;
+
+const PAGE_POINTS: usize = 64;
+const ROWS: i64 = 256; // four sealed pages
+
+fn store_with(series: &[&str]) -> SeriesStore {
+    let store = SeriesStore::new(PAGE_POINTS);
+    for s in series {
+        store.create_series(s, Encoding::Ts2Diff, Encoding::Ts2Diff);
+        let ts: Vec<i64> = (0..ROWS).map(|i| i * 10).collect();
+        let vals: Vec<i64> = (0..ROWS).map(|i| 100 + (i % 37)).collect();
+        store.append_all(s, &ts, &vals).unwrap();
+        store.flush(s).unwrap();
+    }
+    store
+}
+
+fn cfg() -> PipelineConfig {
+    PipelineConfig {
+        threads: 2,
+        ..Default::default()
+    }
+}
+
+fn expect_invariant(res: VerifyResult, want: Invariant) {
+    match res {
+        Err(e) => assert_eq!(
+            e.invariant, want,
+            "expected invariant {want:?}, got: {e} ({:?})",
+            e.invariant
+        ),
+        Ok(()) => panic!("mutated plan passed the verifier (expected {want:?})"),
+    }
+}
+
+fn sum_plan(series: &str) -> Plan {
+    Plan::scan(series).aggregate(AggFunc::Sum)
+}
+
+#[test]
+fn compiled_plans_pass_verify_and_verify_deep() {
+    let store = store_with(&["a", "b"]);
+    let cfg = cfg();
+    let plans = [
+        sum_plan("a"),
+        Plan::scan("a")
+            .filter(Predicate::time(0, 500))
+            .aggregate(AggFunc::Min),
+        Plan::scan("a").filter(Predicate::value(100, 110)),
+        Plan::Union {
+            left: Box::new(Plan::scan("a")),
+            right: Box::new(Plan::scan("b")),
+        },
+        Plan::JoinAggregate {
+            left: Box::new(Plan::scan("a")),
+            right: Box::new(Plan::scan("b")),
+            func: etsqp_core::expr::PairAggFunc::Dot,
+        },
+    ];
+    for plan in &plans {
+        let phys = compile(plan, &store, &cfg).unwrap();
+        verify(&phys, &cfg).unwrap();
+        verify_deep(&phys, &cfg).unwrap();
+        verify_explain(&phys, &cfg, &phys.render(&cfg)).unwrap();
+    }
+}
+
+#[test]
+fn plan_shape_rejects_misaligned_decisions() {
+    let store = store_with(&["a"]);
+    let cfg = cfg();
+    let mut phys = compile(&sum_plan("a"), &store, &cfg).unwrap();
+    phys.pipelines[0].decisions.pop();
+    expect_invariant(verify(&phys, &cfg), Invariant::PlanShape);
+
+    // A decision whose recorded tuple count disagrees with the header.
+    let mut phys = compile(&sum_plan("a"), &store, &cfg).unwrap();
+    phys.pipelines[0].decisions[0].tuples += 1;
+    expect_invariant(verify(&phys, &cfg), Invariant::PlanShape);
+}
+
+#[test]
+fn prune_soundness_rejects_underived_verdicts() {
+    let store = store_with(&["a"]);
+    let cfg = cfg();
+    // Verdict flipped to pruned where the header says the page overlaps.
+    let mut phys = compile(&sum_plan("a"), &store, &cfg).unwrap();
+    phys.pipelines[0].decisions[0].verdict = PruneVerdict::PrunedTime;
+    phys.pipelines[0].decisions[0].strategy = None;
+    phys.pipelines[0].decisions[0].checksum_obligation = true;
+    expect_invariant(verify(&phys, &cfg), Invariant::PruneSoundness);
+}
+
+#[test]
+fn prune_soundness_rejects_missing_checksum_obligation() {
+    let store = store_with(&["a"]);
+    let cfg = cfg();
+    // Time filter covering only the first page: the rest prune.
+    let plan = Plan::scan("a")
+        .filter(Predicate::time(0, 100))
+        .aggregate(AggFunc::Sum);
+    let mut phys = compile(&plan, &store, &cfg).unwrap();
+    let pruned = phys.pipelines[0]
+        .decisions
+        .iter()
+        .position(|d| !d.verdict.kept())
+        .expect("fixture must prune at least one page");
+    phys.pipelines[0].decisions[pruned].checksum_obligation = false;
+    expect_invariant(verify(&phys, &cfg), Invariant::PruneSoundness);
+}
+
+#[test]
+fn slice_bounds_rejects_wrong_job_counts() {
+    let store = store_with(&["a"]);
+    // 4 pages, 8 threads, trivial predicate: the planner slices.
+    let cfg = PipelineConfig {
+        threads: 8,
+        ..Default::default()
+    };
+    let mut phys = compile(&sum_plan("a"), &store, &cfg).unwrap();
+    let Parallelism::Sliced { pages, jobs } = phys.pipelines[0].parallelism else {
+        panic!("fixture must compile to sliced parallelism");
+    };
+    phys.pipelines[0].parallelism = Parallelism::Sliced {
+        pages,
+        jobs: jobs + 1,
+    };
+    expect_invariant(verify(&phys, &cfg), Invariant::SliceBounds);
+
+    // Per-page job count disagreeing with the kept-page set.
+    let cfg = cfg_with_threads(2);
+    let mut phys = compile(&sum_plan("a"), &store, &cfg).unwrap();
+    let Parallelism::PerPage { jobs } = phys.pipelines[0].parallelism else {
+        panic!("fixture must compile to per-page parallelism");
+    };
+    phys.pipelines[0].parallelism = Parallelism::PerPage { jobs: jobs + 1 };
+    expect_invariant(verify(&phys, &cfg), Invariant::SliceBounds);
+}
+
+fn cfg_with_threads(threads: usize) -> PipelineConfig {
+    PipelineConfig {
+        threads,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn partition_tiling_rejects_gaps_and_overlaps() {
+    let store = store_with(&["a", "b"]);
+    let cfg = cfg();
+    let union = Plan::Union {
+        left: Box::new(Plan::scan("a")),
+        right: Box::new(Plan::scan("b")),
+    };
+    let phys = compile(&union, &store, &cfg).unwrap();
+    let RootNode::Union { partitions } = &phys.root else {
+        panic!("union plan must compile to a union root");
+    };
+    assert!(partitions.len() > 1, "fixture needs multiple partitions");
+
+    // Gap: shift the second partition's start forward.
+    let mut broken = phys.clone();
+    with_partitions(&mut broken, |ps| ps[1].lo += 1);
+    expect_invariant(verify(&broken, &cfg), Invariant::PartitionTiling);
+
+    // Incomplete: last partition stops short of +inf.
+    let mut broken = phys.clone();
+    with_partitions(&mut broken, |ps| {
+        let last = ps.len() - 1;
+        ps[last].hi -= 1;
+    });
+    expect_invariant(verify(&broken, &cfg), Invariant::PartitionTiling);
+
+    // Empty tiling.
+    let mut broken = phys.clone();
+    with_partitions(&mut broken, |ps| ps.clear());
+    expect_invariant(verify(&broken, &cfg), Invariant::PartitionTiling);
+}
+
+fn with_partitions(phys: &mut PhysicalPlan, f: impl FnOnce(&mut Vec<TimeRange>)) {
+    match &mut phys.root {
+        RootNode::Union { partitions } | RootNode::Join { partitions, .. } => f(partitions),
+        _ => panic!("plan has no partitions"),
+    }
+}
+
+#[test]
+fn fusion_admissibility_rejects_uncovered_strategies() {
+    let store = store_with(&["a"]);
+    // Fusion disabled: every kept page must decode.
+    let cfg = PipelineConfig {
+        threads: 2,
+        fuse: FuseLevel::None,
+        allow_slicing: false,
+        ..Default::default()
+    };
+    let mut phys = compile(&sum_plan("a"), &store, &cfg).unwrap();
+    assert_eq!(
+        phys.pipelines[0].decisions[0].strategy,
+        Some(Strategy::Decode)
+    );
+    phys.pipelines[0].decisions[0].strategy = Some(Strategy::FusedTs2Diff);
+    expect_invariant(verify(&phys, &cfg), Invariant::FusionAdmissibility);
+
+    // A fused strategy whose codec does not match the value column.
+    let cfg = cfg_with_threads(2);
+    let mut phys = compile(&sum_plan("a"), &store, &cfg).unwrap();
+    phys.pipelines[0].decisions[0].strategy = Some(Strategy::FusedDeltaRle);
+    expect_invariant(verify(&phys, &cfg), Invariant::FusionAdmissibility);
+
+    // Row-producing scans may never run fused aggregation.
+    let mut phys = compile(&Plan::scan("a"), &store, &cfg).unwrap();
+    phys.pipelines[0].decisions[0].strategy = Some(Strategy::FusedTs2Diff);
+    expect_invariant(verify(&phys, &cfg), Invariant::FusionAdmissibility);
+}
+
+#[test]
+fn fusion_admissibility_rejects_forced_pair_fusion() {
+    let store = store_with(&["a"]);
+    // Different page counts on the two sides: pair fusion inadmissible.
+    store.create_series("c", Encoding::Ts2Diff, Encoding::DeltaRle);
+    let ts: Vec<i64> = (0..ROWS / 2).map(|i| i * 10).collect();
+    let vals: Vec<i64> = (0..ROWS / 2).map(|_| 7).collect();
+    store.append_all("c", &ts, &vals).unwrap();
+    store.flush("c").unwrap();
+
+    let cfg = cfg();
+    let plan = Plan::JoinAggregate {
+        left: Box::new(Plan::scan("a")),
+        right: Box::new(Plan::scan("c")),
+        func: etsqp_core::expr::PairAggFunc::Dot,
+    };
+    let mut phys = compile(&plan, &store, &cfg).unwrap();
+    let RootNode::PairAgg { fused, .. } = &mut phys.root else {
+        panic!("join-aggregate must compile to a pair-agg root");
+    };
+    assert!(!*fused, "misaligned sides must not plan fused");
+    *fused = true;
+    expect_invariant(verify(&phys, &cfg), Invariant::FusionAdmissibility);
+}
+
+#[test]
+fn hot_folds_last_rejects_out_of_order_hot_chunks() {
+    let store = store_with(&["a"]);
+    // Live tail: appended but not flushed.
+    for i in 0..10i64 {
+        store.append("a", ROWS * 10 + i * 10, 500 + i).unwrap();
+    }
+    let cfg = cfg();
+    let phys = compile(&sum_plan("a"), &store, &cfg).unwrap();
+    let hot = phys.pipelines[0]
+        .hot
+        .clone()
+        .expect("fixture has a hot tail");
+    verify(&phys, &cfg).unwrap();
+
+    // Hot timestamps rewound before the sealed pages: folding the hot
+    // chunk last would corrupt FIRST/LAST.
+    let mut broken = phys.clone();
+    let rewound: Vec<i64> = hot.ts.iter().map(|t| t - ROWS * 10).collect();
+    broken.pipelines[0].hot.as_mut().unwrap().ts = Arc::new(rewound);
+    expect_invariant(verify(&broken, &cfg), Invariant::HotFoldsLast);
+
+    // Non-monotone hot timestamps.
+    let mut broken = phys.clone();
+    let mut shuffled: Vec<i64> = hot.ts.to_vec();
+    shuffled.swap(0, 1);
+    broken.pipelines[0].hot.as_mut().unwrap().ts = Arc::new(shuffled);
+    expect_invariant(verify(&broken, &cfg), Invariant::HotFoldsLast);
+
+    // A hot source grafted onto a binary operator's pipeline.
+    let union = Plan::Union {
+        left: Box::new(Plan::scan("a")),
+        right: Box::new(Plan::scan("a")),
+    };
+    let mut broken = compile(&union, &store, &cfg).unwrap();
+    broken.pipelines[0].hot = Some(hot);
+    expect_invariant(verify(&broken, &cfg), Invariant::HotFoldsLast);
+}
+
+#[test]
+fn explain_round_trip_rejects_tampered_text() {
+    let store = store_with(&["a", "b"]);
+    let cfg = cfg();
+    let phys = compile(&sum_plan("a"), &store, &cfg).unwrap();
+    let rendered = phys.render(&cfg);
+    verify_explain(&phys, &cfg, &rendered).unwrap();
+
+    // Any textual drift from the plan is a rejection.
+    let tampered = rendered.replace("SUM", "MAX");
+    expect_invariant(
+        verify_explain(&phys, &cfg, &tampered),
+        Invariant::ExplainRoundTrip,
+    );
+
+    // Text from a structurally different plan (partition lines present).
+    let union = Plan::Union {
+        left: Box::new(Plan::scan("a")),
+        right: Box::new(Plan::scan("b")),
+    };
+    let other = compile(&union, &store, &cfg).unwrap();
+    expect_invariant(
+        verify_explain(&phys, &cfg, &other.render(&cfg)),
+        Invariant::ExplainRoundTrip,
+    );
+}
+
+#[test]
+fn driver_refuses_plans_without_checksum_obligations() {
+    // End-to-end: the executor itself rejects a tampered plan whose
+    // pruned page lost its obligation (defense in depth behind the
+    // compile-time verifier hook).
+    let store = store_with(&["a"]);
+    let cfg = cfg();
+    let plan = Plan::scan("a")
+        .filter(Predicate::time(0, 100))
+        .aggregate(AggFunc::Sum);
+    let phys = compile(&plan, &store, &cfg).unwrap();
+    assert!(
+        phys.pipelines[0]
+            .decisions
+            .iter()
+            .any(|d| !d.verdict.kept()),
+        "fixture must prune"
+    );
+    // The normal path executes fine.
+    let r = etsqp_core::plan::execute(&plan, &store, &cfg).unwrap();
+    assert_eq!(r.rows.len(), 1);
+}

@@ -67,7 +67,7 @@ pub fn encode_block(values: &[i64]) -> Block {
     let count = values.len();
     let mut padded: Vec<i64> = Vec::with_capacity(BLOCK);
     padded.extend_from_slice(values);
-    padded.resize(BLOCK, *values.last().unwrap());
+    padded.resize(BLOCK, values.last().copied().unwrap_or(0));
     // Transpose: lane l = positions l, 32+l, ...
     // Lane deltas: d[l][k] = v[32k+l] − v[32(k−1)+l].
     let mut deltas = [[0i64; LANE_LEN - 1]; LANES];
@@ -238,7 +238,7 @@ impl FlSeries {
         for (tc, vc) in ts.chunks(BLOCK).zip(vals.chunks(BLOCK)) {
             ts_blocks.push(encode_block(tc));
             val_blocks.push(encode_block(vc));
-            ranges.push((tc[0], *tc.last().unwrap()));
+            ranges.push((tc[0], tc.last().copied().unwrap_or(tc[0])));
         }
         FlSeries {
             ts_blocks,
@@ -365,8 +365,12 @@ fn parallel_map<T: Sync, R: Send>(
             });
         }
     })
+    // lint:allow(no-panic-paths) -- a worker panic is a bug in `f`, not an input error; resuming the unwind is the only sound option in this infallible API
     .expect("fastlanes worker panicked");
-    out.into_iter().map(|s| s.expect("slot filled")).collect()
+    out.into_iter()
+        // lint:allow(no-panic-paths) -- every slot is written exactly once by the worker that claimed its index through the atomic counter
+        .map(|s| s.expect("slot filled"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -111,7 +111,8 @@ pub fn decode_page_values(bytes: &[u8], out: &mut Vec<i64>) -> Result<()> {
         let mut rel = vec![0u32; n];
         let mut pos = 0;
         while pos + 8 <= n {
-            let mut v: [u32; 8] = stored[pos..pos + 8].try_into().unwrap();
+            let mut v = [0u32; 8];
+            v.copy_from_slice(&stored[pos..pos + 8]);
             etsqp_simd::scan::inclusive_scan_v32(&mut v, &mut carry);
             rel[pos..pos + 8].copy_from_slice(&v);
             pos += 8;
@@ -232,26 +233,27 @@ impl SboostEngine {
                         break;
                     }
                     let (pi, part, parts) = slices[i];
-                    let tx = senders.lock().unwrap()[pi][part].take();
-                    let rx = receivers.lock().unwrap()[pi][part].take();
+                    let tx = senders.lock().unwrap_or_else(|e| e.into_inner())[pi][part].take();
+                    let rx = receivers.lock().unwrap_or_else(|e| e.into_inner())[pi][part].take();
                     match self.run_slice(pi, part, parts, t_lo, t_hi, tx, rx) {
                         Ok((s, c)) => {
-                            *total_sum.lock().unwrap() += s;
+                            *total_sum.lock().unwrap_or_else(|e| e.into_inner()) += s;
                             total_count.fetch_add(c, Ordering::Relaxed);
                         }
                         Err(e) => {
-                            *error.lock().unwrap() = Some(e);
+                            *error.lock().unwrap_or_else(|e| e.into_inner()) = Some(e);
                         }
                     }
                 });
             }
         })
+        // lint:allow(no-panic-paths) -- a worker panic is a bug in the slice kernel, not an input error; resuming the unwind is the only sound option in this infallible API
         .expect("sboost worker panicked");
-        if let Some(e) = error.into_inner().unwrap() {
+        if let Some(e) = error.into_inner().unwrap_or_else(|e| e.into_inner()) {
             return Err(e);
         }
         Ok((
-            total_sum.into_inner().unwrap(),
+            total_sum.into_inner().unwrap_or_else(|e| e.into_inner()),
             total_count.load(Ordering::Relaxed),
         ))
     }

@@ -66,7 +66,7 @@ impl AggState {
     pub fn push(&mut self, v: i64) {
         self.sum += v as i128;
         self.sum_sq = self.sum_sq.saturating_add((v as i128) * (v as i128));
-        self.count += 1;
+        self.count = self.count.saturating_add(1);
         self.min = Some(self.min.map_or(v, |m| m.min(v)));
         self.max = Some(self.max.map_or(v, |m| m.max(v)));
         self.first.get_or_insert(v);
@@ -75,9 +75,11 @@ impl AggState {
 
     /// Merges another partial state (associative, commutative).
     pub fn merge(&mut self, other: &AggState) {
-        self.sum += other.sum;
+        // Σx over 2⁶⁴ i64 values stays inside i128; saturating keeps the
+        // theoretical limit panic-free without costing exactness.
+        self.sum = self.sum.saturating_add(other.sum);
         self.sum_sq = self.sum_sq.saturating_add(other.sum_sq);
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.min = match (self.min, other.min) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -115,11 +117,11 @@ impl AggState {
         if vals.is_empty() {
             return;
         }
-        self.sum += sum_i64(vals);
+        self.sum = self.sum.saturating_add(sum_i64(vals));
         self.sum_sq = vals.iter().fold(self.sum_sq, |acc, &v| {
             acc.saturating_add((v as i128) * (v as i128))
         });
-        self.count += vals.len() as u64;
+        self.count = self.count.saturating_add(vals.len() as u64);
         if let Some((mn, mx)) = min_max_i64(vals) {
             self.min = Some(self.min.map_or(mn, |m| m.min(mn)));
             self.max = Some(self.max.map_or(mx, |m| m.max(mx)));
@@ -131,8 +133,8 @@ impl AggState {
     /// Aggregates mask-selected values with SIMD kernels.
     pub fn push_masked(&mut self, vals: &[i64], mask: &[u64]) {
         let (s, c) = masked_sum_i64(vals, mask);
-        self.sum += s;
-        self.count += c;
+        self.sum = self.sum.saturating_add(s);
+        self.count = self.count.saturating_add(c);
         for (i, &v) in vals.iter().enumerate() {
             if mask[i / 64] & (1u64 << (i % 64)) != 0 {
                 self.sum_sq = self.sum_sq.saturating_add((v as i128) * (v as i128));

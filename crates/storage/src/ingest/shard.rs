@@ -21,6 +21,12 @@ use crate::page::Page;
 /// many series", not memory — an empty shard is one lock and one map).
 pub const DEFAULT_SHARDS: usize = 64;
 
+/// Lockdep class of every shard-map `RwLock` (see DESIGN.md §13: the
+/// declared order is shard → series → nothing).
+pub const LOCK_CLASS_SHARD: &str = "storage.shard";
+/// Lockdep class of every per-series state mutex.
+pub const LOCK_CLASS_SERIES: &str = "storage.series";
+
 /// Everything the store knows about one series, behind its own mutex.
 #[derive(Debug, Default)]
 pub struct SeriesState {
@@ -66,10 +72,16 @@ impl ShardMap {
     /// Creates a map with `shards` shards (rounded up to a power of two,
     /// minimum 1).
     pub fn new(shards: usize) -> Self {
+        // Seed the declared lock order: a shard guard is always dropped
+        // before the series mutex is taken (see `get`), so the edge
+        // would never be observed from nesting — declare it instead, so
+        // an inverted series → shard acquisition anywhere panics.
+        #[cfg(feature = "lockdep")]
+        parking_lot::lockdep::declare_order(LOCK_CLASS_SHARD, LOCK_CLASS_SERIES);
         let n = shards.max(1).next_power_of_two();
         let shards: Vec<Shard> = (0..n)
             .map(|_| Shard {
-                map: RwLock::new(BTreeMap::new()),
+                map: RwLock::with_class(BTreeMap::new(), LOCK_CLASS_SHARD),
             })
             .collect();
         ShardMap {
@@ -106,7 +118,7 @@ impl ShardMap {
         let mut map = shard.map.write();
         Arc::clone(map.entry(name.to_string()).or_insert_with(|| {
             Arc::new(SeriesCell {
-                state: Mutex::new(init()),
+                state: Mutex::with_class(init(), LOCK_CLASS_SERIES),
             })
         }))
     }

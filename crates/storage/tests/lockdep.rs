@@ -1,0 +1,70 @@
+//! Lockdep inversion tests (run via `cargo test -p etsqp-storage
+//! --features lockdep`, a dedicated gating CI job).
+//!
+//! The ingest path's declared order is shard → series: [`ShardMap`]
+//! seeds the edge at construction, so acquiring a shard lock *while
+//! holding* a series mutex must panic with the cycle — that schedule is
+//! the one a real deadlock needs, and lockdep turns it into a
+//! deterministic failure instead of a hung test run.
+
+#![cfg(feature = "lockdep")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use etsqp_storage::ingest::{SeriesState, ShardMap};
+
+#[test]
+fn declared_order_admits_the_normal_ingest_schedule() {
+    let map = ShardMap::new(8);
+    for name in ["a", "b", "c"] {
+        let cell = map.get_or_insert(name, SeriesState::default);
+        // Shard guard (inside get/get_or_insert) is released before the
+        // series mutex is taken: the declared shard → series order.
+        let state = cell.state.lock();
+        assert!(state.pages.is_empty());
+        drop(state);
+    }
+    assert_eq!(map.names().len(), 3);
+}
+
+#[test]
+fn inverted_series_then_shard_acquisition_panics() {
+    let map = ShardMap::new(8);
+    let cell = map.get_or_insert("inverted", SeriesState::default);
+
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        // Hold the series mutex, then take a shard lock: the inverse of
+        // the declared order. `names()` read-locks every shard.
+        let _state = cell.state.lock();
+        let _ = map.names();
+    }));
+
+    let payload = result.expect_err("inverted acquisition must panic");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("lockdep") && msg.contains("storage.shard") && msg.contains("storage.series"),
+        "panic must name the inverted classes, got: {msg}"
+    );
+}
+
+#[test]
+fn full_store_ingest_runs_clean_under_lockdep() {
+    // The public write path (create/append/flush/snapshot) must not trip
+    // the tracker: its guards nest in declared order or not at all.
+    use etsqp_encoding::Encoding;
+    use etsqp_storage::store::SeriesStore;
+
+    let store = SeriesStore::new(64);
+    store.create_series("s", Encoding::Ts2Diff, Encoding::Ts2Diff);
+    let ts: Vec<i64> = (0..200).map(|i| i * 10).collect();
+    let vals: Vec<i64> = (0..200).map(|i| 7 + (i % 13)).collect();
+    store.append_all("s", &ts, &vals).unwrap();
+    store.flush("s").unwrap();
+    store.append("s", 5000, 1).unwrap();
+    let names = store.series_names();
+    assert_eq!(names, vec!["s".to_string()]);
+}

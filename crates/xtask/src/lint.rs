@@ -22,6 +22,15 @@
 //! * `file-size` — no file under `crates/core/src/` may exceed
 //!   [`MAX_CORE_FILE_LINES`] lines; oversized modules must be split
 //!   (the decomposition that produced `crates/core/src/physical/`).
+//! * `no-wrapping-arithmetic` — accumulator updates (`+=` / `*=`) in
+//!   the kernel files ([`CAST_FILES`]) must visibly widen (i128/u128)
+//!   or use `checked_`/`saturating_` forms; a silently wrapping
+//!   accumulator corrupts aggregates instead of erroring (§VI-C).
+//! * `lock-order` — lock acquisitions in the ingest path
+//!   ([`LOCK_ORDER_SCOPE`]) must follow the declared
+//!   shard → series → nothing order: nothing may be acquired while a
+//!   series guard is held. This is the static half of the `lockdep`
+//!   runtime tracker in `shims/parking_lot`.
 //!
 //! Escape hatch: `// lint:allow(<rule>) -- <reason>` on the offending
 //! line or in the comment block directly above suppresses that rule
@@ -50,12 +59,15 @@ pub const HOT_FILES: [&str; 5] = [
 /// no-panic contract applies. The SIMD kernel layer is included too:
 /// every backend consumes byte streams handed up from untrusted pages,
 /// so its safe wrappers must reject bad shapes as errors upstream, not
-/// panic mid-kernel.
-pub const HOT_DIRS: [&str; 4] = [
+/// panic mid-kernel — and the same goes for the FastLanes and SIMD-boost
+/// comparator crates, whose decode entry points take page payloads.
+pub const HOT_DIRS: [&str; 6] = [
     "crates/encoding/src/",
     "crates/storage/src/",
     "crates/core/src/physical/",
     "crates/simd/src/",
+    "crates/fastlanes/src/",
+    "crates/sboost/src/",
 ];
 
 /// Accumulator/fused-kernel files: narrowing `as` casts are forbidden.
@@ -64,6 +76,19 @@ pub const CAST_FILES: [&str; 2] = ["crates/core/src/fused.rs", "crates/simd/src/
 /// Narrowing cast targets flagged by `no-lossy-cast`.
 const NARROW_TYPES: [&str; 7] = ["u8", "i8", "u16", "i16", "u32", "i32", "f32"];
 
+/// Markers that make an accumulator update visibly non-wrapping: the
+/// line widens into 128-bit space or uses an explicit checked form.
+const WIDE_MARKERS: [&str; 4] = ["i128", "u128", "checked_", "saturating_"];
+
+/// Files subject to the `lock-order` rule: the sharded ingest path (the
+/// locks classified for the runtime lockdep tracker) plus the scheduler
+/// pool, which must never reach into storage locks at all.
+pub const LOCK_ORDER_SCOPE: [&str; 3] = [
+    "crates/storage/src/ingest/",
+    "crates/storage/src/store.rs",
+    "crates/core/src/pool.rs",
+];
+
 /// Files under this path are subject to the `file-size` ceiling.
 pub const SIZE_SCOPE: &str = "crates/core/src/";
 
@@ -71,13 +96,15 @@ pub const SIZE_SCOPE: &str = "crates/core/src/";
 pub const MAX_CORE_FILE_LINES: usize = 800;
 
 /// Rule names accepted by the escape hatch.
-pub const RULE_NAMES: [&str; 6] = [
+pub const RULE_NAMES: [&str; 8] = [
     "safety-comment",
     "no-panic-paths",
     "no-lossy-cast",
     "forbid-unsafe",
     "unsafe-op-in-unsafe-fn",
     "file-size",
+    "no-wrapping-arithmetic",
+    "lock-order",
 ];
 
 /// One rule violation at a specific location.
@@ -156,7 +183,12 @@ struct Line {
 enum LexState {
     Code,
     LineComment,
-    BlockComment(u32),
+    /// `doc` marks `/**` / `/*!` doc comments: their text is prose, so
+    /// directives inside must stay inert (see [`parse_directive`]).
+    BlockComment {
+        depth: u32,
+        doc: bool,
+    },
     Str,
     RawStr(usize),
 }
@@ -187,13 +219,19 @@ fn classify(source: &str) -> Vec<Line> {
                     cur.comment.push_str("//");
                     i += 2;
                 } else if c == '/' && next == Some('*') {
-                    st = LexState::BlockComment(1);
+                    let doc = matches!(chars.get(i + 2), Some('*') | Some('!'));
+                    st = LexState::BlockComment { depth: 1, doc };
                     cur.code.push(' ');
                     i += 2;
                 } else if c == '"' {
                     st = LexState::Str;
                     cur.code.push('"');
                     i += 1;
+                } else if c == 'b' && next == Some('"') && !prev_is_ident(&chars, i) {
+                    // Plain byte string: same escape rules as `"…"`.
+                    st = LexState::Str;
+                    cur.code.push('"');
+                    i += 2;
                 } else if is_raw_str_start(&chars, i) {
                     let skip = usize::from(chars[i] == 'b');
                     let hashes = count_hashes(&chars, i + skip + 1);
@@ -203,13 +241,19 @@ fn classify(source: &str) -> Vec<Line> {
                 } else if c == '\'' {
                     // Char literal vs lifetime heuristic.
                     if next == Some('\\') {
-                        // Escaped char literal: scan to the closing quote.
+                        // Escaped char literal: scan to the closing quote,
+                        // bounded at the newline so malformed input cannot
+                        // swallow later lines.
                         let mut j = i + 2;
-                        while j < chars.len() && chars[j] != '\'' {
+                        while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
                             j += 1;
                         }
                         cur.code.push(' ');
-                        i = j + 1;
+                        i = if chars.get(j) == Some(&'\'') {
+                            j + 1
+                        } else {
+                            j
+                        };
                     } else if chars.get(i + 2) == Some(&'\'') {
                         cur.code.push(' ');
                         i += 3;
@@ -226,25 +270,41 @@ fn classify(source: &str) -> Vec<Line> {
                 cur.comment.push(c);
                 i += 1;
             }
-            LexState::BlockComment(d) => {
+            LexState::BlockComment { depth, doc } => {
                 if c == '*' && next == Some('/') {
-                    st = if d == 1 {
+                    st = if depth == 1 {
                         LexState::Code
                     } else {
-                        LexState::BlockComment(d - 1)
+                        LexState::BlockComment {
+                            depth: depth - 1,
+                            doc,
+                        }
                     };
                     i += 2;
                 } else if c == '/' && next == Some('*') {
-                    st = LexState::BlockComment(d + 1);
+                    st = LexState::BlockComment {
+                        depth: depth + 1,
+                        doc,
+                    };
                     i += 2;
                 } else {
+                    // Doc block comments are prose: prefix each line's
+                    // comment text with the `///` marker so directive
+                    // parsing ignores it (safety-section matching still
+                    // sees the text).
+                    if doc && cur.comment.is_empty() {
+                        cur.comment.push_str("///");
+                    }
                     cur.comment.push(c);
                     i += 1;
                 }
             }
             LexState::Str => {
                 if c == '\\' {
-                    i += 2;
+                    // `\<newline>` is a line continuation: consume only
+                    // the backslash so the line tracker still sees the
+                    // newline (otherwise line numbers drift).
+                    i += if next == Some('\n') { 1 } else { 2 };
                 } else if c == '"' {
                     cur.code.push('"');
                     st = LexState::Code;
@@ -275,7 +335,9 @@ fn classify(source: &str) -> Vec<Line> {
 fn is_raw_str_start(chars: &[char], i: usize) -> bool {
     let start = if chars[i] == 'b' {
         if chars.get(i + 1) != Some(&'r') {
-            return chars.get(i + 1) == Some(&'"') && !prev_is_ident(chars, i);
+            // Plain byte strings (`b"…"`) have escapes; the Code branch
+            // routes them through the Str state instead.
+            return false;
         }
         i + 1
     } else if chars[i] == 'r' {
@@ -384,6 +446,27 @@ fn narrowing_cast(code: &str) -> Option<&'static str> {
         }
     }
     None
+}
+
+/// Position of the first shard-map lock acquisition on the line, if
+/// any: a direct shard `RwLock` access or a [`ShardMap`] wrapper method
+/// that takes one internally.
+fn shard_acquisition(code: &str) -> Option<usize> {
+    [
+        "map.read()",
+        "map.write()",
+        "map.get(",
+        "map.get_or_insert(",
+        "map.names()",
+    ]
+    .iter()
+    .filter_map(|p| code.find(p))
+    .min()
+}
+
+/// Position of the first per-series mutex acquisition on the line.
+fn series_acquisition(code: &str) -> Option<usize> {
+    code.find("state.lock()")
 }
 
 /// Comment-only or attribute-only lines continue the lookback block
@@ -625,6 +708,99 @@ pub fn analyze_source(rel_path: &str, source: &str) -> Report {
         }
     }
 
+    // Rule: no-wrapping-arithmetic (accumulator kernels, non-test code).
+    // Compound updates must visibly widen or use a checked form; the
+    // rule is line-local by design, so an i128 accumulator whose type
+    // is declared elsewhere needs the widening spelled at the update.
+    if CAST_FILES.iter().any(|f| rel_path.ends_with(f)) {
+        for (i, line) in lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let code = &line.code;
+            if !(code.contains("+=") || code.contains("*=")) {
+                continue;
+            }
+            if WIDE_MARKERS.iter().any(|m| code.contains(m)) {
+                continue;
+            }
+            if !allowed(i, "no-wrapping-arithmetic") {
+                report.violations.push(Violation {
+                    file: rel_path.to_string(),
+                    line: i + 1,
+                    rule: "no-wrapping-arithmetic".into(),
+                    msg: "unchecked accumulator update in a kernel; widen to i128/u128 or use a \
+                          checked_/saturating_ form"
+                        .into(),
+                });
+            }
+        }
+    }
+
+    // Rule: lock-order (static half of the lockdep runtime tracker).
+    // Extracts lock-acquisition sites and enforces the declared
+    // shard → series → nothing order: while a bound series guard is
+    // live, no classified lock may be acquired, and a single expression
+    // must not chain series-then-shard. Guard liveness is approximated
+    // by brace depth: a `let`-bound guard dies when its block closes.
+    if LOCK_ORDER_SCOPE.iter().any(|s| rel_path.contains(s)) {
+        let mut depth = 0usize;
+        let mut series_held: Option<usize> = None; // depth where guard was bound
+        for (i, line) in lines.iter().enumerate() {
+            let code = line.code.as_str();
+            if !line.in_test {
+                if let (Some(sp), Some(shp)) = (series_acquisition(code), shard_acquisition(code)) {
+                    if sp < shp && !allowed(i, "lock-order") {
+                        report.violations.push(Violation {
+                            file: rel_path.to_string(),
+                            line: i + 1,
+                            rule: "lock-order".into(),
+                            msg: "series mutex acquired before a shard lock in one expression; \
+                                  the declared order is shard \u{2192} series"
+                                .into(),
+                        });
+                    }
+                }
+                if series_held.is_some()
+                    && (shard_acquisition(code).is_some() || series_acquisition(code).is_some())
+                    && !allowed(i, "lock-order")
+                {
+                    report.violations.push(Violation {
+                        file: rel_path.to_string(),
+                        line: i + 1,
+                        rule: "lock-order".into(),
+                        msg: "lock acquired while a series guard is held; the declared order is \
+                              shard \u{2192} series \u{2192} nothing"
+                            .into(),
+                    });
+                }
+                if series_held.is_none()
+                    && series_acquisition(code).is_some()
+                    && code.trim_start().starts_with("let ")
+                {
+                    series_held = Some(depth);
+                }
+            }
+            for c in code.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if series_held.is_some_and(|d| depth < d) {
+                            series_held = None;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // An explicit drop() releases the guard early; coarse but
+            // matches the ingest idiom (guards are dropped, not leaked).
+            if series_held.is_some() && code.contains("drop(") {
+                series_held = None;
+            }
+        }
+    }
+
     report.violations.sort_by_key(|v| v.line);
     report
 }
@@ -805,6 +981,8 @@ mod tests {
             "crates/encoding/src/gorilla.rs",
             "crates/storage/src/page.rs",
             "crates/simd/src/backend.rs",
+            "crates/fastlanes/src/lib.rs",
+            "crates/sboost/src/lib.rs",
         ] {
             let r = analyze_source(path, bad);
             assert!(
@@ -922,7 +1100,149 @@ pub fn f(v: &[i64]) -> i64 {
         assert_eq!(r.allows[0].rule, "file-size");
     }
 
+    #[test]
+    fn no_wrapping_arithmetic_fires_on_bad_and_passes_good() {
+        let bad = include_str!("../fixtures/wrapping_bad.rs.txt");
+        let good = include_str!("../fixtures/wrapping_good.rs.txt");
+        let r = analyze_source(KERNEL, bad);
+        let fired = rules_fired(&r);
+        assert_eq!(
+            fired
+                .iter()
+                .filter(|r| *r == "no-wrapping-arithmetic")
+                .count(),
+            3,
+            "one violation per unchecked update: {r:?}"
+        );
+        let r = analyze_source(KERNEL, good);
+        assert!(r.violations.is_empty(), "good fixture flagged: {r:?}");
+        // The same source outside the kernel files is fine.
+        let r = analyze_source("crates/core/src/sql.rs", bad);
+        assert!(!rules_fired(&r).contains(&"no-wrapping-arithmetic".to_string()));
+    }
+
+    #[test]
+    fn lock_order_fires_on_inversion_and_passes_ordered() {
+        let bad = include_str!("../fixtures/lock_order_bad.rs.txt");
+        let good = include_str!("../fixtures/lock_order_good.rs.txt");
+        let scoped = "crates/storage/src/ingest/shard.rs";
+        let r = analyze_source(scoped, bad);
+        let fired = rules_fired(&r);
+        assert_eq!(
+            fired.iter().filter(|r| *r == "lock-order").count(),
+            2,
+            "held-guard and same-expression inversions must both fire: {r:?}"
+        );
+        let r = analyze_source(scoped, good);
+        assert!(r.violations.is_empty(), "good fixture flagged: {r:?}");
+        // The same source outside the lock-order scope is fine.
+        let r = analyze_source("crates/core/src/exec.rs", bad);
+        assert!(!rules_fired(&r).contains(&"lock-order".to_string()));
+    }
+
+    #[test]
+    fn lock_order_covers_store_and_pool() {
+        let bad = include_str!("../fixtures/lock_order_bad.rs.txt");
+        for path in ["crates/storage/src/store.rs", "crates/core/src/pool.rs"] {
+            let r = analyze_source(path, bad);
+            assert!(
+                rules_fired(&r).contains(&"lock-order".to_string()),
+                "{path} must be in the lock-order scope: {r:?}"
+            );
+        }
+    }
+
     // -- classifier unit coverage --
+
+    #[test]
+    fn byte_strings_are_masked_without_swallowing_code() {
+        // The empty byte string used to overshoot its closing quote and
+        // mask real code; the escaped quote used to end the literal
+        // early and leave the rest of the line inside a string.
+        let src = "let b = b\"\"; x.unwrap();\nlet c = b\"q\\\"uote\"; y.unwrap();\n";
+        let r = analyze_source(HOT, src);
+        let fired = rules_fired(&r);
+        assert_eq!(
+            fired.iter().filter(|r| *r == "no-panic-paths").count(),
+            2,
+            "unwraps after byte strings must be seen: {r:?}"
+        );
+        // Byte raw strings still mask their contents.
+        let src = "let r = br#\"panic! .unwrap()\"#; z.unwrap();\n";
+        let r = analyze_source(HOT, src);
+        assert_eq!(
+            rules_fired(&r)
+                .iter()
+                .filter(|r| *r == "no-panic-paths")
+                .count(),
+            1,
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn string_line_continuations_do_not_shift_line_numbers() {
+        let src = "let s = \"line\\\n continued\";\nbad.unwrap();\n";
+        let r = analyze_source(HOT, src);
+        assert_eq!(r.violations.len(), 1, "{r:?}");
+        assert_eq!(
+            r.violations[0].line, 3,
+            "the `\\<newline>` continuation must still count a line: {r:?}"
+        );
+    }
+
+    #[test]
+    fn unterminated_char_escape_stops_at_newline() {
+        // Malformed input: `'\` with no closing quote on the line. The
+        // scan used to run to the next quote anywhere in the file,
+        // swallowing the following lines.
+        let src = "let bad = '\\\nstill.unwrap();\n";
+        let r = analyze_source(HOT, src);
+        assert_eq!(
+            rules_fired(&r)
+                .iter()
+                .filter(|r| *r == "no-panic-paths")
+                .count(),
+            1,
+            "the line after the malformed literal must be classified: {r:?}"
+        );
+    }
+
+    #[test]
+    fn doc_block_comments_are_inert_for_directives() {
+        let src = "\
+/** Escape hatch: `lint:allow(no-panic-paths) -- reason` suppresses. */
+pub fn f(o: Option<i64>) -> i64 {
+    o.unwrap()
+}
+";
+        let r = analyze_source(HOT, src);
+        assert!(r.allows.is_empty(), "doc prose must not activate: {r:?}");
+        assert!(
+            rules_fired(&r).contains(&"no-panic-paths".to_string()),
+            "doc prose must not suppress: {r:?}"
+        );
+    }
+
+    #[test]
+    fn doc_block_safety_section_still_satisfies_safety_comment() {
+        let src = "\
+/*! module prose */
+/** Does spooky things.
+# Safety
+Caller must uphold X. */
+pub unsafe fn spooky() {}
+";
+        let r = analyze_source("crates/demo/src/lib.rs", src);
+        assert!(r.violations.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn nested_block_comments_mask_panic_tokens() {
+        let src = "/* outer /* inner panic! */ still comment .unwrap() */\nlet x = 1;\n";
+        let r = analyze_source(HOT, src);
+        assert!(r.violations.is_empty(), "{r:?}");
+    }
 
     #[test]
     fn strings_and_comments_are_masked() {

@@ -1,8 +1,9 @@
-//! Repo automation tasks. Two subcommands:
+//! Repo automation tasks. Three subcommands:
 //!
 //! ```text
 //! cargo run -p xtask -- lint [--root <dir>]
 //! cargo run -p xtask -- fuzz [--iters N] [--seed S] [--corpus <dir>] [--emit-corpus]
+//! cargo run -p xtask -- verify-plans
 //! ```
 //!
 //! `lint` runs the repo-specific static-analysis pass over every
@@ -15,10 +16,17 @@
 //! module docs for the invariant), exiting non-zero if any input
 //! panics a decoder or breaks round-trip consistency. Minimized
 //! crashers land in `tests/corpus/` for `tests/corruption.rs` replay.
+//!
+//! `verify-plans` enumerates the full physical-plan space (the 16-query
+//! battery × codec × config × hot/sealed grid) through the `etsqp-verify`
+//! IR verifier (see [`verify_plans`] module docs), then mutation-tests
+//! the verifier itself: one plan corruption per invariant class must be
+//! rejected with a typed error naming that invariant.
 #![forbid(unsafe_code)]
 
 mod fuzz;
 mod lint;
+mod verify_plans;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -37,6 +45,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "       cargo run -p xtask -- fuzz [--iters N] [--seed S] [--corpus <dir>] [--emit-corpus]"
     );
+    eprintln!("       cargo run -p xtask -- verify-plans");
     ExitCode::from(2)
 }
 
@@ -45,7 +54,30 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
         Some("fuzz") => run_fuzz(&args[1..]),
+        Some("verify-plans") => run_verify_plans(&args[1..]),
         _ => usage(),
+    }
+}
+
+fn run_verify_plans(args: &[String]) -> ExitCode {
+    if !args.is_empty() {
+        return usage();
+    }
+    let report = verify_plans::run();
+    if report.ok() {
+        println!(
+            "verify-plans OK: {} plans verified across {} cells, 0 violations; \
+             {} corrupted plans rejected with typed invariants",
+            report.plans, report.cells, report.mutations_rejected
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "verify-plans FAILED: {} violations across {} plans; {} mutation escapes \
+             ({} rejected correctly)",
+            report.violations, report.plans, report.mutation_escapes, report.mutations_rejected
+        );
+        ExitCode::FAILURE
     }
 }
 

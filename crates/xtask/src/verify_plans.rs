@@ -1,0 +1,558 @@
+//! `cargo run -p xtask -- verify-plans`: exhaustive `etsqp-verify` sweep.
+//!
+//! Two passes, both gating in `scripts/ci.sh`:
+//!
+//! 1. **Enumeration** — compiles the 16-query differential battery over
+//!    every Table II dataset × value codec cell (plus the timestamp-codec
+//!    and hot+sealed cells) under the full pipeline-config cross, and runs
+//!    each compiled [`PhysicalPlan`] through
+//!    [`verify_deep`](etsqp_core::physical::verify::verify_deep) (which
+//!    also discharges every checksum obligation) and
+//!    [`verify_explain`](etsqp_core::physical::verify::verify_explain).
+//!    The planner must produce zero violations across the whole space.
+//!
+//! 2. **Mutation** — hand-corrupts compiled plans, one corruption per
+//!    invariant class of the catalog (DESIGN.md §13), and asserts the
+//!    verifier rejects each with a typed error naming *that* invariant.
+//!    A verifier that accepts a corrupted plan — or rejects it for the
+//!    wrong reason — fails the build.
+
+use etsqp_core::decode::DecodeOptions;
+use etsqp_core::exec::Scheduler;
+use etsqp_core::expr::{AggFunc, BinOp, CmpOp, PairAggFunc, Plan, Predicate, TimeRange};
+use etsqp_core::fused::FuseLevel;
+use etsqp_core::physical::node::{Parallelism, PruneVerdict, RootNode, Strategy};
+use etsqp_core::physical::pipe;
+use etsqp_core::physical::verify::{verify, verify_deep, verify_explain, Invariant, VerifyResult};
+use etsqp_core::plan::PipelineConfig;
+use etsqp_datasets::Spec;
+use etsqp_encoding::Encoding;
+use etsqp_storage::store::SeriesStore;
+use std::sync::Arc;
+
+const ROWS: usize = 256;
+const PAGE_POINTS: usize = 64;
+
+/// Integer codecs usable for the value column (mirrors the differential
+/// suite's cell grid so the verifier sees every plan the tests see).
+const VAL_CODECS: [Encoding; 9] = [
+    Encoding::Plain,
+    Encoding::Ts2Diff,
+    Encoding::Ts2DiffOrder2,
+    Encoding::Rle,
+    Encoding::DeltaRle,
+    Encoding::Sprintz,
+    Encoding::Rlbe,
+    Encoding::Gorilla,
+    Encoding::StreamVByte,
+];
+
+/// Timestamp codecs for the dedicated ts-codec cells.
+const TS_CODECS: [Encoding; 6] = [
+    Encoding::Plain,
+    Encoding::Ts2Diff,
+    Encoding::Ts2DiffOrder2,
+    Encoding::DeltaRle,
+    Encoding::Gorilla,
+    Encoding::StreamVByte,
+];
+
+/// The full ablation cross: vectorized/serial × fuse × prune × threads ×
+/// slicing (72 configs).
+fn all_configs() -> Vec<PipelineConfig> {
+    let mut out = Vec::new();
+    for vectorized in [true, false] {
+        for fuse in [FuseLevel::None, FuseLevel::Delta, FuseLevel::DeltaRepeat] {
+            for prune in [true, false] {
+                for threads in [1usize, 4, 8] {
+                    for allow_slicing in [true, false] {
+                        out.push(PipelineConfig {
+                            threads,
+                            prune,
+                            fuse,
+                            vectorized,
+                            decode: DecodeOptions::default(),
+                            allow_slicing,
+                            decode_budget_bytes: None,
+                            scheduler: Scheduler::Pool,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Corner configs under which the *complete* battery runs in every cell.
+fn canonical_configs() -> Vec<PipelineConfig> {
+    let base = PipelineConfig {
+        threads: 1,
+        prune: false,
+        fuse: FuseLevel::None,
+        vectorized: false,
+        decode: DecodeOptions::default(),
+        allow_slicing: false,
+        decode_budget_bytes: None,
+        scheduler: Scheduler::Pool,
+    };
+    vec![
+        base,
+        PipelineConfig {
+            vectorized: true,
+            fuse: FuseLevel::DeltaRepeat,
+            prune: true,
+            threads: 4,
+            allow_slicing: true,
+            ..base
+        },
+        PipelineConfig {
+            vectorized: true,
+            fuse: FuseLevel::Delta,
+            prune: true,
+            threads: 8,
+            allow_slicing: true,
+            ..base
+        },
+        PipelineConfig {
+            vectorized: false,
+            threads: 4,
+            prune: true,
+            ..base
+        },
+    ]
+}
+
+fn cfg_label(cfg: &PipelineConfig) -> String {
+    format!(
+        "vec={} fuse={:?} prune={} threads={} slice={}",
+        cfg.vectorized, cfg.fuse, cfg.prune, cfg.threads, cfg.allow_slicing
+    )
+}
+
+/// Builds the store for one (spec × value codec × ts codec) cell and the
+/// 16-query battery derived from the generated data's actual ranges —
+/// the same battery the differential oracle suite executes.
+fn cell(
+    spec: Spec,
+    val_codec: Encoding,
+    ts_codec: Encoding,
+    hot_tail: bool,
+) -> (SeriesStore, Vec<(String, Plan)>) {
+    let data = spec.generate(ROWS);
+    let store = SeriesStore::new(PAGE_POINTS);
+    let a = format!("{}_a", spec.label());
+    let b = format!("{}_b", spec.label());
+    for (name, col_idx) in [(&a, 0usize), (&b, 1usize)] {
+        store.create_series(name, ts_codec, val_codec);
+        store
+            .append_all(name, &data.timestamps, &data.columns[col_idx].1)
+            .unwrap();
+        store.flush(name).unwrap();
+    }
+    if hot_tail {
+        // Unsealed live rows past the sealed range: plans gain a
+        // `SourceHot` pipeline source in every query below.
+        let tn = *data.timestamps.last().unwrap();
+        for name in [&a, &b] {
+            for i in 0..40i64 {
+                let v = (i * 1003) % 757 - 378 + ((i % 3) << 16);
+                store.append(name, tn + (i + 1) * 7, v).unwrap();
+            }
+        }
+    }
+
+    let t0 = *data.timestamps.first().unwrap();
+    let tn = *data.timestamps.last().unwrap();
+    let span = (tn - t0).max(1);
+    let col = &data.columns[0].1;
+    let (vmin, vmax) = col
+        .iter()
+        .fold((i64::MAX, i64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let vspan = (vmax - vmin).max(1);
+    let t_mid = Predicate {
+        time: Some(TimeRange {
+            lo: t0 + span / 4,
+            hi: tn - span / 4,
+        }),
+        value: None,
+    };
+    let v_band = Predicate {
+        time: None,
+        value: Some((vmin + vspan / 5, vmax - vspan / 5)),
+    };
+    let both = t_mid.and(&v_band);
+    let w_min = t0 + span / 5;
+    let w_dt = (span / 9).max(1);
+
+    let scan_a = || Plan::scan(&a);
+    let scan_b = || Plan::scan(&b);
+    let queries: Vec<(String, Plan)> = vec![
+        ("SUM(all)".into(), scan_a().aggregate(AggFunc::Sum)),
+        (
+            "AVG(time)".into(),
+            scan_a().filter(t_mid).aggregate(AggFunc::Avg),
+        ),
+        (
+            "COUNT(value)".into(),
+            scan_a().filter(v_band).aggregate(AggFunc::Count),
+        ),
+        (
+            "MIN(both)".into(),
+            scan_a().filter(both).aggregate(AggFunc::Min),
+        ),
+        (
+            "MAX(time)".into(),
+            scan_a().filter(t_mid).aggregate(AggFunc::Max),
+        ),
+        (
+            "VARIANCE(all)".into(),
+            scan_a().aggregate(AggFunc::Variance),
+        ),
+        (
+            "FIRST(value)".into(),
+            scan_a().filter(v_band).aggregate(AggFunc::First),
+        ),
+        ("LAST(all)".into(), scan_a().aggregate(AggFunc::Last)),
+        ("WSUM".into(), scan_a().window(w_min, w_dt, AggFunc::Sum)),
+        (
+            "WCOUNT(value)".into(),
+            scan_a().filter(v_band).window(w_min, w_dt, AggFunc::Count),
+        ),
+        ("SCAN(both)".into(), scan_a().filter(both)),
+        (
+            "UNION".into(),
+            Plan::Union {
+                left: Box::new(scan_a().filter(t_mid)),
+                right: Box::new(scan_b()),
+            },
+        ),
+        (
+            "JOIN(on>)".into(),
+            Plan::Join {
+                left: Box::new(scan_a()),
+                right: Box::new(scan_b()),
+                on: Some(CmpOp::Gt),
+            },
+        ),
+        (
+            "JOINEXPR(+)".into(),
+            Plan::JoinExpr {
+                left: Box::new(scan_a()),
+                right: Box::new(scan_b()),
+                op: BinOp::Add,
+            },
+        ),
+        (
+            "JOINAGG(dot)".into(),
+            Plan::JoinAggregate {
+                left: Box::new(scan_a()),
+                right: Box::new(scan_b()),
+                func: PairAggFunc::Dot,
+            },
+        ),
+        (
+            "JOINAGG(corr)".into(),
+            Plan::JoinAggregate {
+                left: Box::new(scan_a().filter(t_mid)),
+                right: Box::new(scan_b()),
+                func: PairAggFunc::Correlation,
+            },
+        ),
+    ];
+    (store, queries)
+}
+
+/// Compile + deep-verify + EXPLAIN-round-trip one plan under one config.
+fn check_one(store: &SeriesStore, plan: &Plan, cfg: &PipelineConfig) -> Result<(), String> {
+    let phys = pipe::compile(plan, store, cfg).map_err(|e| format!("compile: {e}"))?;
+    verify_deep(&phys, cfg).map_err(|e| e.to_string())?;
+    let rendered = phys.render(cfg);
+    verify_explain(&phys, cfg, &rendered).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Sweep outcome, surfaced by `main.rs` as the process exit code.
+pub struct Report {
+    /// Plans compiled and verified in the enumeration pass.
+    pub plans: usize,
+    /// (spec × codec) cells enumerated.
+    pub cells: usize,
+    /// Enumeration-pass violations (must be zero).
+    pub violations: usize,
+    /// Corrupted plans correctly rejected with the expected invariant.
+    pub mutations_rejected: usize,
+    /// Corrupted plans accepted, or rejected under the wrong invariant.
+    pub mutation_escapes: usize,
+}
+
+impl Report {
+    /// Whether the sweep gates CI green.
+    pub fn ok(&self) -> bool {
+        self.violations == 0 && self.mutation_escapes == 0
+    }
+}
+
+/// Runs both passes; see the module docs.
+pub fn run() -> Report {
+    let mut report = Report {
+        plans: 0,
+        cells: 0,
+        violations: 0,
+        mutations_rejected: 0,
+        mutation_escapes: 0,
+    };
+    let canon = canonical_configs();
+    let cross = all_configs();
+
+    let sweep = |spec: Spec,
+                 val_codec: Encoding,
+                 ts_codec: Encoding,
+                 hot: bool,
+                 full_cross: bool,
+                 report: &mut Report| {
+        let (store, queries) = cell(spec, val_codec, ts_codec, hot);
+        report.cells += 1;
+        let mut run_case = |qname: &str, plan: &Plan, cfg: &PipelineConfig| {
+            report.plans += 1;
+            if let Err(e) = check_one(&store, plan, cfg) {
+                report.violations += 1;
+                eprintln!(
+                    "verify-plans: VIOLATION spec={} val={:?} ts={:?} hot={hot} cfg=[{}] \
+                     query={qname}: {e}",
+                    spec.label(),
+                    val_codec,
+                    ts_codec,
+                    cfg_label(cfg),
+                );
+            }
+        };
+        // The complete battery under the canonical corner configs.
+        for (qname, plan) in &queries {
+            for cfg in &canon {
+                run_case(qname, plan, cfg);
+            }
+        }
+        // The full 72-config ablation cross, rotating deterministically
+        // through the battery (every config sees several query shapes;
+        // across cells every (query × config) pair is covered).
+        if full_cross {
+            for (ci, cfg) in cross.iter().enumerate() {
+                let (qname, plan) = &queries[(ci + report.cells) % queries.len()];
+                run_case(qname, plan, cfg);
+            }
+        }
+    };
+
+    // Every Table II dataset × every value codec.
+    for spec in Spec::ALL {
+        for val_codec in VAL_CODECS {
+            sweep(spec, val_codec, Encoding::Ts2Diff, false, true, &mut report);
+        }
+    }
+    // Timestamp-codec cells (the time column drives filters and windows).
+    for spec in [Spec::Atmosphere, Spec::Timestamp, Spec::Tpch] {
+        for ts_codec in TS_CODECS {
+            sweep(spec, Encoding::Ts2Diff, ts_codec, false, false, &mut report);
+        }
+    }
+    // Hot+sealed cells: every plan gains a `SourceHot` source, exercising
+    // the hot-folds-last invariant on real compiled plans.
+    for spec in [Spec::Atmosphere, Spec::Timestamp] {
+        for codec in [Encoding::Ts2Diff, Encoding::StreamVByte] {
+            sweep(spec, codec, codec, true, false, &mut report);
+        }
+    }
+
+    mutation_pass(&mut report);
+    report
+}
+
+// ---------------------------------------------------------------------
+// Mutation pass: one corruption per invariant class must be rejected.
+// ---------------------------------------------------------------------
+
+fn expect(name: &str, want: Invariant, res: VerifyResult, report: &mut Report) {
+    match res {
+        Err(e) if e.invariant == want => report.mutations_rejected += 1,
+        Err(e) => {
+            report.mutation_escapes += 1;
+            eprintln!(
+                "verify-plans: MUTATION {name}: rejected under the wrong invariant \
+                 (expected {}, got: {e})",
+                want.name()
+            );
+        }
+        Ok(()) => {
+            report.mutation_escapes += 1;
+            eprintln!(
+                "verify-plans: MUTATION {name}: corrupted plan accepted \
+                 (expected rejection under {})",
+                want.name()
+            );
+        }
+    }
+}
+
+/// A deterministic fixture store: sealed series `m`/`n`, a series `h`
+/// with a live hot tail, and a series `d` whose page 2 is corrupted
+/// after sealing (its checksum no longer matches).
+fn mutation_store() -> SeriesStore {
+    let store = SeriesStore::new(PAGE_POINTS);
+    let ts: Vec<i64> = (0..ROWS as i64).map(|i| i * 10).collect();
+    let vals: Vec<i64> = (0..ROWS as i64).map(|i| 100 + (i % 37)).collect();
+    for s in ["m", "n", "h", "d"] {
+        store.create_series(s, Encoding::Ts2Diff, Encoding::Ts2Diff);
+        store.append_all(s, &ts, &vals).unwrap();
+        store.flush(s).unwrap();
+    }
+    for i in 0..10i64 {
+        store
+            .append("h", ROWS as i64 * 10 + i * 10, 500 + i)
+            .unwrap();
+    }
+    store
+        .corrupt_page("d", 2, |p| {
+            let mut v = p.val_bytes.to_vec();
+            v[0] ^= 0x40;
+            p.val_bytes = etsqp_storage::Bytes::from(v);
+        })
+        .unwrap();
+    store
+}
+
+fn mutation_pass(report: &mut Report) {
+    let store = mutation_store();
+    let cfg = PipelineConfig {
+        threads: 2,
+        ..Default::default()
+    };
+    let sum_m = Plan::scan("m").aggregate(AggFunc::Sum);
+
+    // plan-shape: a decision list shorter than the page list.
+    let mut phys = pipe::compile(&sum_m, &store, &cfg).unwrap();
+    phys.pipelines[0].decisions.pop();
+    expect(
+        "plan-shape/decision-dropped",
+        Invariant::PlanShape,
+        verify(&phys, &cfg),
+        report,
+    );
+
+    // prune-soundness: a verdict that does not re-derive from the header.
+    let mut phys = pipe::compile(&sum_m, &store, &cfg).unwrap();
+    phys.pipelines[0].decisions[0].verdict = PruneVerdict::PrunedTime;
+    phys.pipelines[0].decisions[0].strategy = None;
+    phys.pipelines[0].decisions[0].checksum_obligation = true;
+    expect(
+        "prune-soundness/verdict-flipped",
+        Invariant::PruneSoundness,
+        verify(&phys, &cfg),
+        report,
+    );
+
+    // prune-soundness: a pruned page stripped of its checksum obligation.
+    let pruning = Plan::scan("m")
+        .filter(Predicate::time(0, 100))
+        .aggregate(AggFunc::Sum);
+    let mut phys = pipe::compile(&pruning, &store, &cfg).unwrap();
+    if let Some(d) = phys.pipelines[0]
+        .decisions
+        .iter_mut()
+        .find(|d| !d.verdict.kept())
+    {
+        d.checksum_obligation = false;
+    }
+    expect(
+        "prune-soundness/obligation-stripped",
+        Invariant::PruneSoundness,
+        verify(&phys, &cfg),
+        report,
+    );
+
+    // prune-soundness (deep): a pruned page whose stored bytes were
+    // corrupted after sealing — only the obligation discharge catches it.
+    let pruning_d = Plan::scan("d")
+        .filter(Predicate::time(0, 100))
+        .aggregate(AggFunc::Sum);
+    let phys = pipe::compile(&pruning_d, &store, &cfg).unwrap();
+    expect(
+        "prune-soundness/pruned-page-corrupted",
+        Invariant::PruneSoundness,
+        verify_deep(&phys, &cfg),
+        report,
+    );
+
+    // slice-bounds: a sliced morsel count that disagrees with distribute.
+    let cfg8 = PipelineConfig {
+        threads: 8,
+        ..Default::default()
+    };
+    let mut phys = pipe::compile(&sum_m, &store, &cfg8).unwrap();
+    let Parallelism::Sliced { pages, jobs } = phys.pipelines[0].parallelism else {
+        panic!("mutation fixture must compile to sliced parallelism");
+    };
+    phys.pipelines[0].parallelism = Parallelism::Sliced {
+        pages,
+        jobs: jobs + 1,
+    };
+    expect(
+        "slice-bounds/phantom-job",
+        Invariant::SliceBounds,
+        verify(&phys, &cfg8),
+        report,
+    );
+
+    // partition-tiling: a gap between merge partitions.
+    let union = Plan::Union {
+        left: Box::new(Plan::scan("m")),
+        right: Box::new(Plan::scan("n")),
+    };
+    let mut phys = pipe::compile(&union, &store, &cfg).unwrap();
+    match &mut phys.root {
+        RootNode::Union { partitions } if partitions.len() > 1 => partitions[1].lo += 1,
+        _ => panic!("union fixture must compile to multiple partitions"),
+    }
+    expect(
+        "partition-tiling/gap",
+        Invariant::PartitionTiling,
+        verify(&phys, &cfg),
+        report,
+    );
+
+    // fusion-admissibility: a fused strategy whose codec mismatches.
+    let mut phys = pipe::compile(&sum_m, &store, &cfg).unwrap();
+    phys.pipelines[0].decisions[0].strategy = Some(Strategy::FusedDeltaRle);
+    expect(
+        "fusion-admissibility/codec-mismatch",
+        Invariant::FusionAdmissibility,
+        verify(&phys, &cfg),
+        report,
+    );
+
+    // hot-folds-last: hot timestamps rewound behind the sealed pages.
+    let sum_h = Plan::scan("h").aggregate(AggFunc::Sum);
+    let mut phys = pipe::compile(&sum_h, &store, &cfg).unwrap();
+    let hot = phys.pipelines[0]
+        .hot
+        .as_mut()
+        .expect("fixture has a hot tail");
+    let rewound: Vec<i64> = hot.ts.iter().map(|t| t - ROWS as i64 * 10).collect();
+    hot.ts = Arc::new(rewound);
+    expect(
+        "hot-folds-last/rewound-tail",
+        Invariant::HotFoldsLast,
+        verify(&phys, &cfg),
+        report,
+    );
+
+    // explain-round-trip: EXPLAIN text drifted from the plan.
+    let phys = pipe::compile(&sum_m, &store, &cfg).unwrap();
+    let tampered = phys.render(&cfg).replace("SUM", "MAX");
+    expect(
+        "explain-round-trip/tampered-text",
+        Invariant::ExplainRoundTrip,
+        verify_explain(&phys, &cfg, &tampered),
+        report,
+    );
+}

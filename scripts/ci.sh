@@ -19,10 +19,19 @@ echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Repo-specific static analysis (crates/xtask): SAFETY comments on every
-# unsafe, no panics in engine hot paths, no lossy kernel casts, crate
-# hygiene attributes. Prints one `rule: count` summary line on failure.
+# unsafe, no panics in engine hot paths, no lossy kernel casts, no
+# wrapping kernel accumulators, ingest lock-order, crate hygiene
+# attributes. Prints one `rule: count` summary line on failure.
 echo "==> cargo run -p xtask -- lint"
 cargo run -q -p xtask -- lint
+
+# Physical-plan IR verifier (crates/xtask + crates/core/src/physical/
+# verify.rs): compiles every query shape x codec x dataset x pipeline
+# config cell, checks the structural invariants (DESIGN.md §13) on each
+# plan, and asserts that mutated/corrupted plans are rejected with typed
+# violations.
+echo "==> cargo run -p xtask -- verify-plans"
+cargo run -q -p xtask -- verify-plans
 
 # Deterministic decoder fuzzing (crates/xtask): mutated codec streams,
 # page images and tsfile images must never panic a decoder or break
@@ -40,6 +49,24 @@ cargo test -q --workspace
 # explored over bounded schedule permutations.
 echo "==> cargo test -q -p crossbeam --features model"
 cargo test -q -p crossbeam --features model
+
+# Runtime lock-order tracking (shims/parking_lot lockdep feature): the
+# storage suite plus tests/lockdep.rs run with classed locks recording
+# acquisition edges; an inversion of the declared shard -> series order
+# panics deterministically instead of deadlocking under load.
+echo "==> cargo test -q -p etsqp-storage --features lockdep"
+cargo test -q -p etsqp-storage --features lockdep
+
+# Non-gating: Miri over the scalar decode paths (UB detection on the
+# bit-level codecs). Skipped gracefully where the miri component is not
+# installed.
+if cargo miri --version >/dev/null 2>&1; then
+    echo "==> cargo miri test -p etsqp-encoding (non-gating)"
+    MIRIFLAGS="-Zmiri-disable-isolation" cargo miri test -q -p etsqp-encoding \
+        || echo "WARN: miri run failed (non-gating)"
+else
+    echo "==> miri unavailable, skipping (non-gating)"
+fi
 
 # Non-gating perf smoke: pool-vs-spawn short-query throughput trajectory
 # (BENCH_pool.json). A perf regression here is a signal, not a failure.

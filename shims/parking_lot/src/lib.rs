@@ -1,8 +1,15 @@
 //! Offline shim for the subset of `parking_lot` this workspace uses:
 //! poison-free [`Mutex`], [`RwLock`] and [`Condvar`] wrappers over their
 //! `std::sync` counterparts. See `shims/README.md`.
+//!
+//! With the `lockdep` feature, locks built via `with_class` additionally
+//! record their acquisition order into a process-wide graph and panic on
+//! inversions (see the [`lockdep`] module docs).
 
 #![forbid(unsafe_code)]
+
+#[cfg(feature = "lockdep")]
+pub mod lockdep;
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
@@ -10,12 +17,15 @@ use std::time::Duration;
 
 /// Mutual exclusion primitive; `lock` never returns a poison error.
 pub struct Mutex<T: ?Sized> {
+    class: Option<&'static str>,
     inner: std::sync::Mutex<T>,
 }
 
 /// RAII guard for [`Mutex::lock`]. Holds the std guard in an `Option` so
 /// [`Condvar::wait`] can temporarily take it out while blocked.
 pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg_attr(not(feature = "lockdep"), allow(dead_code))]
+    class: Option<&'static str>,
     guard: Option<std::sync::MutexGuard<'a, T>>,
 }
 
@@ -23,6 +33,17 @@ impl<T> Mutex<T> {
     /// Creates a mutex protecting `value`.
     pub const fn new(value: T) -> Self {
         Mutex {
+            class: None,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a mutex assigned to lockdep class `class`: under the
+    /// `lockdep` feature its acquisitions participate in lock-order
+    /// tracking; without it the class is inert.
+    pub const fn with_class(value: T, class: &'static str) -> Self {
+        Mutex {
+            class: Some(class),
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -37,7 +58,10 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available. Panics in other
     /// holders are ignored (parking_lot has no poisoning).
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "lockdep")]
+        lockdep::acquire(self.class);
         MutexGuard {
+            class: self.class,
             guard: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
         }
     }
@@ -73,6 +97,13 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "lockdep")]
+        lockdep::release(self.class);
+    }
+}
+
 /// Condition variable usable with [`MutexGuard`]; `wait` takes the guard
 /// by `&mut` (parking_lot's signature) instead of by value.
 #[derive(Default)]
@@ -92,7 +123,13 @@ impl Condvar {
     /// reacquiring the lock before returning.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.guard.take().expect("guard already taken");
+        // The lock is released for the duration of the wait: mirror that
+        // in the lockdep held-set so blocked waiters don't pin an order.
+        #[cfg(feature = "lockdep")]
+        lockdep::release(guard.class);
         let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "lockdep")]
+        lockdep::acquire(guard.class);
         guard.guard = Some(inner);
     }
 
@@ -105,10 +142,14 @@ impl Condvar {
         timeout: Duration,
     ) -> WaitTimeoutResult {
         let inner = guard.guard.take().expect("guard already taken");
+        #[cfg(feature = "lockdep")]
+        lockdep::release(guard.class);
         let (inner, res) = self
             .inner
             .wait_timeout(inner, timeout)
             .unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "lockdep")]
+        lockdep::acquire(guard.class);
         guard.guard = Some(inner);
         WaitTimeoutResult(res.timed_out())
     }
@@ -142,13 +183,38 @@ impl WaitTimeoutResult {
 
 /// Reader-writer lock; `read`/`write` never return poison errors.
 pub struct RwLock<T: ?Sized> {
+    class: Option<&'static str>,
     inner: std::sync::RwLock<T>,
+}
+
+/// RAII guard for [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg_attr(not(feature = "lockdep"), allow(dead_code))]
+    class: Option<&'static str>,
+    guard: std::sync::RwLockReadGuard<'a, T>,
+}
+
+/// RAII guard for [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg_attr(not(feature = "lockdep"), allow(dead_code))]
+    class: Option<&'static str>,
+    guard: std::sync::RwLockWriteGuard<'a, T>,
 }
 
 impl<T> RwLock<T> {
     /// Creates a lock protecting `value`.
     pub const fn new(value: T) -> Self {
         RwLock {
+            class: None,
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Creates a lock assigned to lockdep class `class`; read and write
+    /// acquisitions share the class (see [`Mutex::with_class`]).
+    pub const fn with_class(value: T, class: &'static str) -> Self {
+        RwLock {
+            class: Some(class),
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -161,18 +227,62 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access.
-    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "lockdep")]
+        lockdep::acquire(self.class);
+        RwLockReadGuard {
+            class: self.class,
+            guard: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+        }
     }
 
     /// Acquires exclusive write access.
-    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "lockdep")]
+        lockdep::acquire(self.class);
+        RwLockWriteGuard {
+            class: self.class,
+            guard: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "lockdep")]
+        lockdep::release(self.class);
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "lockdep")]
+        lockdep::release(self.class);
     }
 }
 

@@ -1,0 +1,125 @@
+//! `etsqp-verify` layer 2: runtime lock-order tracking (lockdep).
+//!
+//! Compiled only under the `lockdep` feature. Every [`crate::Mutex`] or
+//! [`crate::RwLock`] built with `with_class` participates: acquisitions
+//! record `held-class → acquired-class` edges into a process-wide order
+//! graph, and an acquisition that would close a cycle — i.e. an
+//! inversion of an order the graph already established — panics
+//! immediately with the offending path, instead of deadlocking some
+//! future run under an unlucky schedule.
+//!
+//! The graph is seeded by [`declare_order`] for orders that hold by
+//! construction rather than by observed nesting (e.g. the storage
+//! crate's `shard → series` rule, where the shard guard is always
+//! dropped *before* the series mutex is taken, so no nested acquisition
+//! would ever record the edge on its own). Classes are compared by
+//! name, read and write acquisitions of one lock share its class, and
+//! unclassified locks are invisible to the tracker.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+/// Directed order graph: an `a → b` edge means "a was (or must be)
+/// acquired before b".
+type Graph = BTreeMap<&'static str, BTreeSet<&'static str>>;
+
+fn graph() -> &'static StdMutex<Graph> {
+    static GRAPH: OnceLock<StdMutex<Graph>> = OnceLock::new();
+    GRAPH.get_or_init(|| StdMutex::new(Graph::new()))
+}
+
+thread_local! {
+    /// Classes of the locks this thread currently holds, in acquisition
+    /// order (guards may drop out of order; release removes by class).
+    static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Seeds the order graph with `earlier → later` — the declared rule that
+/// `earlier`-class locks are acquired before `later`-class locks.
+pub fn declare_order(earlier: &'static str, later: &'static str) {
+    if earlier == later {
+        return;
+    }
+    let mut g = graph().lock().unwrap_or_else(|e| e.into_inner());
+    g.entry(earlier).or_default().insert(later);
+}
+
+/// BFS path `from ⇝ to` through the order graph, for the panic message.
+fn path(g: &Graph, from: &'static str, to: &'static str) -> Option<Vec<&'static str>> {
+    let mut prev: BTreeMap<&'static str, &'static str> = BTreeMap::new();
+    let mut queue: VecDeque<&'static str> = VecDeque::from([from]);
+    while let Some(n) = queue.pop_front() {
+        if n == to {
+            let mut out = vec![n];
+            let mut cur = n;
+            while let Some(&p) = prev.get(cur) {
+                out.push(p);
+                cur = p;
+            }
+            out.reverse();
+            return Some(out);
+        }
+        for &next in g.get(n).into_iter().flatten() {
+            if next != from && !prev.contains_key(next) {
+                prev.insert(next, n);
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// Records an acquisition of `class`, panicking if it inverts the
+/// established order. Called by the lock wrappers *before* blocking, so
+/// the inversion is reported even when the schedule would deadlock.
+pub(crate) fn acquire(class: Option<&'static str>) {
+    let Some(later) = class else { return };
+    let held: Vec<&'static str> = HELD.with(|h| h.borrow().clone());
+    if !held.is_empty() {
+        let mut g = graph().lock().unwrap_or_else(|e| e.into_inner());
+        for &earlier in &held {
+            // Same-class nesting (e.g. two different shards) carries no
+            // cross-class order information; skip it.
+            if earlier == later {
+                continue;
+            }
+            if let Some(p) = path(&g, later, earlier) {
+                drop(g);
+                panic!(
+                    "lockdep: acquiring '{later}' while holding '{earlier}' inverts the \
+                     established lock order {} -> {earlier}",
+                    p.join(" -> ")
+                );
+            }
+            g.entry(earlier).or_default().insert(later);
+        }
+    }
+    HELD.with(|h| h.borrow_mut().push(later));
+}
+
+/// Removes one held entry for `class` (the most recent, since RAII
+/// guards of the same class unwind innermost-first in the common case).
+pub(crate) fn release(class: Option<&'static str>) {
+    let Some(c) = class else { return };
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&x| x == c) {
+            held.remove(pos);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_finds_transitive_orders() {
+        let mut g = Graph::new();
+        g.entry("a").or_default().insert("b");
+        g.entry("b").or_default().insert("c");
+        assert_eq!(path(&g, "a", "c"), Some(vec!["a", "b", "c"]));
+        assert_eq!(path(&g, "c", "a"), None);
+    }
+}
