@@ -1,0 +1,154 @@
+//! Bucketed-aggregation benchmark (ISSUE 9 tentpole measurement):
+//! fused single-bucket pages vs the straddling decode path, and the
+//! per-page partial cache cold vs warm.
+//!
+//! Three comparisons over one sealed store:
+//!
+//! 1. **fused vs decode** — page-aligned sliding-window SUM (every page
+//!    lands in one bucket, so the §IV closed forms run) against the
+//!    same width with a misaligned origin (every page straddles and
+//!    must decode);
+//! 2. **P95 cold vs warm** — whole-range quantile aggregation with the
+//!    partial cache cleared before every run vs primed; the warm runs
+//!    skip decode + sketch construction per page;
+//! 3. **bucketed SUM cold vs warm** — the aligned windowed query under
+//!    the same cache regimes.
+//!
+//! Emits JSON on stdout (redirected to `BENCH_bucket.json` by
+//! `scripts/bench.sh`). The headline `p95_warm_speedup` is the
+//! acceptance number (warm ≥ 5× cold). Scale with
+//! `ETSQP_BENCH_BUCKET_REPS` (repetitions per cell, default 30).
+
+use std::time::Instant;
+
+use etsqp_core::engine::{EngineOptions, IotDb};
+use etsqp_core::expr::{AggFunc, Plan};
+use etsqp_core::partial::PartialCache;
+use etsqp_core::plan::{execute, Value};
+
+const PAGE_POINTS: usize = 1024;
+const PAGES: usize = 64;
+const T0: i64 = 1_000;
+const DT: i64 = 10;
+
+fn build_db() -> IotDb {
+    let db = IotDb::new(EngineOptions::default().with_page_points(PAGE_POINTS));
+    db.create_series("sensor").unwrap();
+    let rows = (PAGE_POINTS * PAGES) as i64;
+    let ts: Vec<i64> = (0..rows).map(|i| T0 + i * DT).collect();
+    let vals: Vec<i64> = (0..rows).map(|i| 60 + (i % 25) - (i % 7)).collect();
+    db.append_all("sensor", &ts, &vals).unwrap();
+    db.flush().unwrap();
+    db
+}
+
+fn checksum(rows: &[Vec<Value>]) -> i64 {
+    let mut acc = 0i64;
+    for row in rows {
+        for v in row {
+            let x = match v {
+                Value::Int(i) => *i,
+                Value::Float(f) => f.to_bits() as i64,
+                Value::Null => -1,
+            };
+            acc = acc.wrapping_mul(31).wrapping_add(x);
+        }
+    }
+    acc
+}
+
+/// Times `reps` executions of `plan`; `cold` clears the partial cache
+/// before every rep. Returns (seconds per query, result checksum,
+/// cache hits + misses of the final rep).
+fn run_cell(db: &IotDb, plan: &Plan, reps: usize, cold: bool) -> (f64, i64, u64, u64) {
+    let cfg = db.options().pipeline;
+    if !cold {
+        // Prime outside the timed region.
+        PartialCache::global().clear();
+        let _ = execute(plan, db.store(), &cfg).unwrap();
+    }
+    let mut acc = 0i64;
+    let (mut hits, mut misses) = (0u64, 0u64);
+    let start = Instant::now();
+    for _ in 0..reps {
+        if cold {
+            PartialCache::global().clear();
+        }
+        let r = execute(plan, db.store(), &cfg).unwrap();
+        acc = acc.wrapping_mul(7).wrapping_add(checksum(&r.rows));
+        hits = r.stats.cache_hits;
+        misses = r.stats.cache_misses;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (secs / reps as f64, acc, hits, misses)
+}
+
+fn main() {
+    let reps: usize = std::env::var("ETSQP_BENCH_BUCKET_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    let db = build_db();
+    let page_span = PAGE_POINTS as i64 * DT;
+
+    // Aligned: bucket origin on the first page boundary, width = one
+    // page span — every page is a single-bucket page (fused path).
+    let aligned = Plan::scan("sensor").window(T0, page_span, AggFunc::Sum);
+    // Misaligned: same width, origin shifted half a page — every page
+    // straddles a bucket boundary (decode path).
+    let straddling = Plan::scan("sensor").window(T0 - page_span / 2, page_span, AggFunc::Sum);
+    let p95 = Plan::scan("sensor").aggregate(AggFunc::P95);
+
+    // Warm both builds outside any timed region.
+    run_cell(&db, &aligned, 2, true);
+
+    let (fused_s, _, _, _) = run_cell(&db, &aligned, reps, true);
+    let (decode_s, _, _, _) = run_cell(&db, &straddling, reps, true);
+
+    let (p95_cold_s, p95_cold_sum, _, p95_cold_miss) = run_cell(&db, &p95, reps, true);
+    let (p95_warm_s, p95_warm_sum, p95_warm_hit, _) = run_cell(&db, &p95, reps, false);
+    assert_eq!(p95_cold_sum, p95_warm_sum, "cache changed the P95 answer");
+    assert_eq!(
+        p95_cold_miss as usize, PAGES,
+        "cold P95 run must miss once per page"
+    );
+    assert_eq!(
+        p95_warm_hit as usize, PAGES,
+        "warm P95 run must hit once per page"
+    );
+
+    let (sum_cold_s, sum_cold_sum, _, _) = run_cell(&db, &aligned, reps, true);
+    let (sum_warm_s, sum_warm_sum, _, _) = run_cell(&db, &aligned, reps, false);
+    assert_eq!(sum_cold_sum, sum_warm_sum, "cache changed the SUM answer");
+
+    let decode_ratio = decode_s / fused_s;
+    let p95_speedup = p95_cold_s / p95_warm_s;
+    let sum_speedup = sum_cold_s / sum_warm_s;
+    eprintln!(
+        "fused {:.1}us vs decode {:.1}us ({decode_ratio:.2}x); \
+         P95 cold {:.1}us vs warm {:.1}us ({p95_speedup:.2}x); \
+         bucketed SUM cold {:.1}us vs warm {:.1}us ({sum_speedup:.2}x)",
+        fused_s * 1e6,
+        decode_s * 1e6,
+        p95_cold_s * 1e6,
+        p95_warm_s * 1e6,
+        sum_cold_s * 1e6,
+        sum_warm_s * 1e6,
+    );
+
+    println!("{{");
+    println!("  \"bench\": \"bucketed_aggregation_partial_cache\",");
+    println!("  \"reps_per_cell\": {reps},");
+    println!("  \"pages\": {PAGES},");
+    println!("  \"page_points\": {PAGE_POINTS},");
+    println!("  \"fused_aligned_us\": {:.3},", fused_s * 1e6);
+    println!("  \"decode_straddling_us\": {:.3},", decode_s * 1e6);
+    println!("  \"decode_over_fused\": {decode_ratio:.3},");
+    println!("  \"p95_cold_us\": {:.3},", p95_cold_s * 1e6);
+    println!("  \"p95_warm_us\": {:.3},", p95_warm_s * 1e6);
+    println!("  \"p95_warm_speedup\": {p95_speedup:.3},");
+    println!("  \"bucketed_sum_cold_us\": {:.3},", sum_cold_s * 1e6);
+    println!("  \"bucketed_sum_warm_us\": {:.3},", sum_warm_s * 1e6);
+    println!("  \"bucketed_sum_warm_speedup\": {sum_speedup:.3}");
+    println!("}}");
+}

@@ -117,6 +117,36 @@ pub fn theorem2_speedup(
     serial_per_value / compute.max(mem_floor)
 }
 
+/// Modelled per-value cost of aggregating one page under a bucketed
+/// (`GROUP BY time(..)` / sliding-window) root.
+///
+/// A page whose time span lands in a **single bucket** keeps the §IV
+/// fused path: deltas are unpacked but the prefix-reconstruction ladder
+/// is skipped (the closed forms fold packed deltas directly), so the
+/// prefix share of Proposition 1's `T_AVG` drops out. A page
+/// **straddling** a bucket boundary must fully decode and additionally
+/// pays a per-value bucket-index computation and scalar fold (≈ one
+/// divide + compare + accumulate, 3 simple ops). This asymmetry is why
+/// the planner only relaxes the fused arms to single-bucket pages and
+/// why the partial cache keys whole-page partials.
+pub fn bucketed_page_cost(
+    packed_width: u8,
+    unpacked_width: u8,
+    straddles: bool,
+    c: &CostConstants,
+) -> f64 {
+    let nv = choose_nv(packed_width, unpacked_width, c);
+    let full = avg_time_per_value(packed_width, unpacked_width, nv, c);
+    if straddles {
+        full + 3.0
+    } else {
+        // Prefix ladder share per value, amortized over the round.
+        let wp = unpacked_width as f64;
+        let prefix_share = (c.t_prefix_minus_add + 1.0) / (nv as f64 * SIMD_BITS / wp);
+        full - prefix_share
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +196,23 @@ mod tests {
             for &nv in &etsqp_simd::transpose::SUPPORTED_NV {
                 assert!(t_best <= avg_time_per_value(w, 32, nv, &c) + 1e-12, "w={w}");
             }
+        }
+    }
+
+    #[test]
+    fn single_bucket_pages_model_cheaper_than_straddling() {
+        let c = CostConstants::default();
+        for w in 1..=32u8 {
+            let aligned = bucketed_page_cost(w, 32, false, &c);
+            let straddling = bucketed_page_cost(w, 32, true, &c);
+            assert!(aligned > 0.0, "w={w}: non-positive fused cost {aligned}");
+            assert!(
+                straddling > aligned,
+                "w={w}: straddling {straddling} !> aligned {aligned}"
+            );
+            // The straddle premium is at least the per-value bucketing
+            // work — the planner's fused/decode split is never a wash.
+            assert!(straddling - aligned >= 3.0, "w={w}");
         }
     }
 

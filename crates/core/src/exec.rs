@@ -49,6 +49,11 @@ pub struct ExecStats {
     pub local_pops: AtomicU64,
     /// Morsels stolen from the shared queue or a sibling runner's deque.
     pub steals: AtomicU64,
+    /// Whole-page partials served from the global partial cache.
+    pub cache_hits: AtomicU64,
+    /// Cache-eligible pages whose partial had to be computed (and was
+    /// then inserted).
+    pub cache_misses: AtomicU64,
 }
 
 /// A plain-value snapshot of [`ExecStats`].
@@ -82,6 +87,10 @@ pub struct StatsSnapshot {
     pub local_pops: u64,
     /// See [`ExecStats::steals`].
     pub steals: u64,
+    /// See [`ExecStats::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`ExecStats::cache_misses`].
+    pub cache_misses: u64,
 }
 
 impl ExecStats {
@@ -113,6 +122,8 @@ impl ExecStats {
             materialized_bytes: self.materialized_bytes.load(Ordering::Relaxed),
             local_pops: self.local_pops.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
         }
     }
 }

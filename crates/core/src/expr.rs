@@ -3,7 +3,7 @@
 //! the input to the `Pipe` pipeline generator (Algorithm 2).
 
 /// Aggregation functions (`f` in `f(e, mask)` / `G_sw:f`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggFunc {
     /// Σ of valid values.
     Sum,
@@ -21,6 +21,18 @@ pub enum AggFunc {
     First,
     /// Last qualifying value in time order (IoT LAST_VALUE).
     Last,
+    /// Median (50th percentile), estimated by a t-digest sketch.
+    P50,
+    /// 95th percentile, estimated by a t-digest sketch.
+    P95,
+    /// 99th percentile, estimated by a t-digest sketch.
+    P99,
+    /// `(last − first) / (last_ts − first_ts)` — per-time-unit rate of
+    /// change between the first and last qualifying tuples.
+    Rate,
+    /// `last − first` — value change between the first and last
+    /// qualifying tuples.
+    Delta,
 }
 
 impl AggFunc {
@@ -35,7 +47,41 @@ impl AggFunc {
             AggFunc::Variance => "VARIANCE",
             AggFunc::First => "FIRST",
             AggFunc::Last => "LAST",
+            AggFunc::P50 => "P50",
+            AggFunc::P95 => "P95",
+            AggFunc::P99 => "P99",
+            AggFunc::Rate => "RATE",
+            AggFunc::Delta => "DELTA",
         }
+    }
+
+    /// The quantile level of a percentile aggregate, if this is one.
+    pub fn quantile(self) -> Option<f64> {
+        match self {
+            AggFunc::P50 => Some(0.5),
+            AggFunc::P95 => Some(0.95),
+            AggFunc::P99 => Some(0.99),
+            _ => None,
+        }
+    }
+
+    /// Whether finalization needs a t-digest sketch of the values.
+    pub fn needs_digest(self) -> bool {
+        self.quantile().is_some()
+    }
+
+    /// Whether finalization needs the first/last qualifying timestamps
+    /// (rate/delta read the time axis, not just the values).
+    pub fn needs_ts(self) -> bool {
+        matches!(self, AggFunc::Rate | AggFunc::Delta)
+    }
+
+    /// Aggregates computable only from tuple-level partials: they never
+    /// take the §IV closed-form fused path and are never sliced — every
+    /// kept page decodes (with its timestamps) into a
+    /// [`crate::partial::PartialState`].
+    pub fn partial_only(self) -> bool {
+        self.needs_digest() || self.needs_ts()
     }
 }
 

@@ -92,8 +92,16 @@ impl FloatAgg {
             AggFunc::Max => self.max,
             AggFunc::Variance => self.variance(),
             // First/last qualifying float values are not tracked by this
-            // state (the float path targets algebraic aggregates).
-            AggFunc::First | AggFunc::Last => None,
+            // state (the float path targets algebraic aggregates), and
+            // the partial-only functions (quantile sketches, rate/delta)
+            // need a PartialState the float path does not build.
+            AggFunc::First
+            | AggFunc::Last
+            | AggFunc::P50
+            | AggFunc::P95
+            | AggFunc::P99
+            | AggFunc::Rate
+            | AggFunc::Delta => None,
         }
     }
 }

@@ -45,6 +45,7 @@ pub mod expr;
 pub mod float;
 pub mod fused;
 pub mod oracle;
+pub mod partial;
 pub mod physical;
 pub mod plan;
 pub mod pool;

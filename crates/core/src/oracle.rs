@@ -25,7 +25,7 @@ use std::collections::BTreeMap;
 use etsqp_simd::agg::AggState;
 use etsqp_storage::store::SeriesStore;
 
-use crate::expr::{BinOp, CmpOp, Plan, Predicate, SlidingWindow};
+use crate::expr::{AggFunc, BinOp, CmpOp, Plan, Predicate, SlidingWindow};
 use crate::plan::{finalize, finalize_pair, flatten_scan, PairMoments, Value};
 use crate::Result;
 
@@ -36,13 +36,9 @@ pub fn execute(plan: &Plan, store: &SeriesStore) -> Result<(Vec<String>, Vec<Vec
     match plan {
         Plan::Aggregate { input, func } => {
             let (series, pred) = flatten_scan(input)?;
-            let (_, vals) = scan_tuples(store, &series, &pred)?;
-            let mut state = AggState::new();
-            for v in vals {
-                state.push(v);
-            }
+            let (ts, vals) = scan_tuples(store, &series, &pred)?;
             let col = format!("{}({series})", func.name());
-            Ok((vec![col], vec![vec![finalize(*func, &state)]]))
+            Ok((vec![col], vec![vec![exact_agg(*func, &ts, &vals)]]))
         }
         Plan::WindowAggregate {
             input,
@@ -51,14 +47,14 @@ pub fn execute(plan: &Plan, store: &SeriesStore) -> Result<(Vec<String>, Vec<Vec
         } => {
             let (series, pred) = flatten_scan(input)?;
             let (ts, vals) = scan_tuples(store, &series, &pred)?;
-            let per_window = window_states(&ts, &vals, window);
+            let per_window = window_tuples(&ts, &vals, window);
             let col = format!("{}({series})", func.name());
             let rows = per_window
                 .into_iter()
-                .map(|(k, s)| {
+                .map(|(k, (wts, wvals))| {
                     vec![
                         Value::Int(window.t_min + k as i64 * window.dt),
-                        finalize(*func, &s),
+                        exact_agg(*func, &wts, &wvals),
                     ]
                 })
                 .collect();
@@ -160,13 +156,69 @@ fn scan_tuples(
     Ok((out_ts, out_vals))
 }
 
-/// Buckets qualifying tuples into window states, ascending by window
-/// index; only non-empty windows appear (matching the engine contract).
-fn window_states(ts: &[i64], vals: &[i64], w: &SlidingWindow) -> Vec<(usize, AggState)> {
-    let mut windows: BTreeMap<usize, AggState> = BTreeMap::new();
+/// The exact (reference) aggregate over time-ordered qualifying tuples.
+///
+/// * Quantiles use the **nearest-rank** definition over a full sorted
+///   copy — `sorted[round(q·(n−1))]`. The engine's t-digest answer is
+///   *not* expected to match this bit-for-bit; the differential harness
+///   compares by rank within [`crate::partial::TDigest::rank_error_bound`].
+/// * `RATE`/`DELTA` use the same `i128` first/last formulas as
+///   [`crate::plan::finalize_partial`], so they compare bit-exact.
+/// * Everything else accumulates through [`AggState`] and shares
+///   [`finalize`]'s widening rules with the engine.
+pub fn exact_agg(func: AggFunc, ts: &[i64], vals: &[i64]) -> Value {
+    if vals.is_empty() {
+        return Value::Null;
+    }
+    match func {
+        AggFunc::P50 | AggFunc::P95 | AggFunc::P99 => {
+            let q = func.quantile().unwrap_or(0.5);
+            let mut sorted = vals.to_vec();
+            sorted.sort_unstable();
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            Value::Float(sorted[idx.min(sorted.len() - 1)] as f64)
+        }
+        AggFunc::Rate => {
+            let (ft, lt) = (ts[0], ts[ts.len() - 1]);
+            if ft == lt {
+                return Value::Null; // fewer than two distinct instants
+            }
+            let dv = vals[vals.len() - 1] as i128 - vals[0] as i128;
+            let dt = lt as i128 - ft as i128;
+            Value::Float(dv as f64 / dt as f64)
+        }
+        AggFunc::Delta => {
+            let dv = vals[vals.len() - 1] as i128 - vals[0] as i128;
+            i64::try_from(dv)
+                .map(Value::Int)
+                .unwrap_or(Value::Float(dv as f64))
+        }
+        _ => {
+            let mut state = AggState::new();
+            for &v in vals {
+                state.push(v);
+            }
+            finalize(func, &state)
+        }
+    }
+}
+
+/// Buckets qualifying tuples into per-window tuple lists, ascending by
+/// window index; only non-empty windows appear (matching the engine
+/// contract). Tuples stay in time order inside each bucket, which the
+/// order-sensitive reference aggregates (FIRST/LAST/RATE/DELTA) rely on.
+#[allow(clippy::type_complexity)]
+fn window_tuples(
+    ts: &[i64],
+    vals: &[i64],
+    w: &SlidingWindow,
+) -> Vec<(usize, (Vec<i64>, Vec<i64>))> {
+    let mut windows: BTreeMap<usize, (Vec<i64>, Vec<i64>)> = BTreeMap::new();
     for (&t, &v) in ts.iter().zip(vals) {
         if let Some(k) = w.window_of(t) {
-            windows.entry(k).or_default().push(v);
+            let bucket = windows.entry(k).or_default();
+            bucket.0.push(t);
+            bucket.1.push(v);
         }
     }
     windows.into_iter().collect()

@@ -1,0 +1,780 @@
+//! Partializable aggregate states: the mergeable per-page/per-bucket
+//! partials behind `GROUP BY time(..)`, `rate()`/`delta()` and the
+//! sketch-based `p50/p95/p99` quantiles, plus the process-global
+//! partial cache keyed by page checksums.
+//!
+//! The paper's §IV closed-form polynomials already compute page-local
+//! moments without decoding — exactly a partial aggregate. This module
+//! makes that notion explicit: a [`PartialState`] wraps the exact
+//! moments ([`AggState`]) with the first/last *timestamps* (for
+//! `rate()`/`delta()`) and an optional [`TDigest`] quantile sketch, and
+//! merges **in time order** (the same discipline the driver already
+//! follows: sealed pages in storage order, hot chunk last).
+//!
+//! Merge algebra (property-tested in `tests/partial_properties.rs`):
+//!
+//! * all exact fields are associative; sums/counts/min/max are also
+//!   commutative, FIRST/LAST and the timestamp bounds are
+//!   order-sensitive (time-ordered merging keeps them exact);
+//! * the empty partial is a two-sided identity, bit for bit (an empty
+//!   digest merge never re-clusters);
+//! * t-digest quantiles are *approximate*: for compression `δ =`
+//!   [`TDIGEST_COMPRESSION`], the rank error of `quantile(q)` against
+//!   the exact sorted ranks stays within [`TDigest::rank_error_bound`]
+//!   (`3·n/δ + 2`), regardless of how the input was split into merged
+//!   partials.
+//!
+//! The serialized form ([`PartialState::to_bytes`]) is the wire format
+//! future scatter-gather shard layers ship between sub-pipelines; it is
+//! fuzzed (hostile centroid counts, non-finite means, weight lies) by
+//! the `partial` target of `cargo run -p xtask -- fuzz`.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+
+use etsqp_simd::agg::AggState;
+use etsqp_storage::page::Page;
+
+use crate::expr::AggFunc;
+use crate::{Error, Result};
+
+/// t-digest compression factor `δ`: the sketch keeps roughly `δ..2δ`
+/// centroids after compression, giving a worst-case rank error that
+/// shrinks toward the distribution tails (where p95/p99 live).
+pub const TDIGEST_COMPRESSION: usize = 100;
+
+/// Uncompressed centroids accumulate up to this many before a merge
+/// pass runs (amortizes the sort; bounds transient memory).
+const TDIGEST_BUFFER: usize = 4 * TDIGEST_COMPRESSION;
+
+/// Clustering threshold for [`TDigest::merge`], deliberately larger
+/// than the push-path buffer: the cross-page merge chain appends one
+/// compressed (~2δ-centroid) block per page, and clustering after every
+/// block would re-traverse the whole accumulator per merge. 64 KiB of
+/// transient centroids buys an amortized-linear chain.
+const TDIGEST_MERGE_BUFFER: usize = 4096;
+
+/// Hard ceiling on centroid counts accepted by [`TDigest::from_bytes`]
+/// — a hostile length prefix must not drive allocation.
+const TDIGEST_MAX_SERIALIZED: usize = 4096;
+
+/// One weighted cluster of the sketch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Centroid {
+    /// Weighted mean of the cluster's values.
+    pub mean: f64,
+    /// Number of values absorbed by the cluster (never zero).
+    pub weight: u64,
+}
+
+/// A merging t-digest (Dunning): an ordered list of weighted centroids
+/// whose per-cluster weight is capped by `4·n·q(1−q)/δ`, so clusters
+/// near the tails stay tiny and extreme quantiles stay sharp.
+///
+/// Determinism: compression sorts with `f64::total_cmp` (stable) and
+/// merges in one sequential pass, so the same push/merge sequence always
+/// yields the same centroids — required by the differential oracle and
+/// the partial cache.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TDigest {
+    /// Centroids; the first `len − unsorted` are sorted and compressed,
+    /// the tail is a raw append buffer.
+    centroids: Vec<Centroid>,
+    /// Trailing raw (possibly unsorted) centroids.
+    unsorted: usize,
+    /// Total weight across all centroids.
+    count: u64,
+    /// Exact minimum pushed value (valid when `count > 0`).
+    min: f64,
+    /// Exact maximum pushed value (valid when `count > 0`).
+    max: f64,
+}
+
+impl TDigest {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        TDigest::default()
+    }
+
+    /// Total weight (number of pushed values).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Current centroid count (compressed + buffered).
+    pub fn centroid_count(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Exact minimum pushed value, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum pushed value, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The documented worst-case rank error of [`TDigest::quantile`]
+    /// for a sketch over `n` values: `3·n/δ + 2` ranks. (Measured error
+    /// is typically `n/δ`; the slack covers repeated partial merges.)
+    pub fn rank_error_bound(n: u64) -> f64 {
+        3.0 * n as f64 / TDIGEST_COMPRESSION as f64 + 2.0
+    }
+
+    /// Pushes one value. Non-finite values are ignored (the engine only
+    /// pushes integer-valued samples; the guard keeps hostile merges
+    /// from poisoning the means).
+    pub fn push(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.centroids.push(Centroid { mean: v, weight: 1 });
+        self.unsorted += 1;
+        self.count += 1;
+        if self.centroids.len() >= TDIGEST_BUFFER {
+            self.compress();
+        }
+    }
+
+    /// Merges `other` into `self`. Merging an empty sketch is a no-op
+    /// (bit-for-bit identity — the property tests rely on this).
+    pub fn merge(&mut self, other: &TDigest) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        // Append the incoming block and defer clustering: the driver's
+        // warm-cache path merges one ~2δ-centroid partial per page, and
+        // re-clustering the whole accumulator on every merge made the
+        // chain quadratic. The larger merge buffer amortizes clustering
+        // to O(total/TDIGEST_MERGE_BUFFER) passes, and the stable sort
+        // in [`TDigest::compress`] is near-linear on the concatenation
+        // of already-sorted runs cached partials produce.
+        self.centroids.extend_from_slice(&other.centroids);
+        self.unsorted += other.centroids.len();
+        self.count += other.count;
+        if self.centroids.len() >= TDIGEST_MERGE_BUFFER {
+            self.compress();
+        }
+    }
+
+    /// Sorts and re-clusters the centroids under the `4·n·q(1−q)/δ`
+    /// per-cluster weight cap. Deterministic: stable sort by
+    /// `total_cmp`, one sequential merging pass.
+    pub fn compress(&mut self) {
+        if self.centroids.len() <= 1 {
+            self.unsorted = 0;
+            return;
+        }
+        if self.unsorted > 0 {
+            self.centroids.sort_by(|a, b| a.mean.total_cmp(&b.mean));
+        }
+        let total = self.count as f64;
+        let delta = TDIGEST_COMPRESSION as f64;
+        let mut out: Vec<Centroid> = Vec::with_capacity(self.centroids.len().min(512));
+        let mut iter = self.centroids.iter();
+        // `len > 1` above guarantees a first centroid.
+        let Some(first) = iter.next() else {
+            self.unsorted = 0;
+            return;
+        };
+        let mut acc = *first;
+        let mut w_before = 0.0f64;
+        for c in iter {
+            let merged = acc.weight.saturating_add(c.weight);
+            let q = (w_before + merged as f64 / 2.0) / total;
+            let cap = (4.0 * total * q * (1.0 - q) / delta).max(1.0);
+            if (merged as f64) <= cap {
+                let wa = acc.weight as f64;
+                let wc = c.weight as f64;
+                acc.mean = (acc.mean * wa + c.mean * wc) / (wa + wc);
+                acc.weight = merged;
+            } else {
+                w_before += acc.weight as f64;
+                out.push(acc);
+                acc = *c;
+            }
+        }
+        out.push(acc);
+        self.centroids = out;
+        self.unsorted = 0;
+    }
+
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`). Returns
+    /// `NaN` on an empty sketch; otherwise the covering centroid's mean
+    /// clamped into the exact `[min, max]` envelope.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        if self.unsorted > 0 {
+            let mut c = self.clone();
+            c.compress();
+            return c.quantile_sorted(q);
+        }
+        self.quantile_sorted(q)
+    }
+
+    fn quantile_sorted(&self, q: f64) -> f64 {
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0.0f64;
+        let last = self.centroids.len().saturating_sub(1);
+        for (i, c) in self.centroids.iter().enumerate() {
+            let w = c.weight as f64;
+            if cum + w >= target || i == last {
+                return c.mean.clamp(self.min, self.max);
+            }
+            cum += w;
+        }
+        self.max
+    }
+
+    /// Canonical serialized form: compressed centroids as
+    /// `[m: u32][m × (mean: f64, weight: u64)][count: u64][min: f64]
+    /// [max: f64]`, all little-endian. Round-trips bit-exactly through
+    /// [`TDigest::from_bytes`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let canon;
+        let src = if self.unsorted > 0 {
+            let mut c = self.clone();
+            c.compress();
+            canon = c;
+            &canon
+        } else {
+            self
+        };
+        let mut out = Vec::with_capacity(4 + src.centroids.len() * 16 + 24);
+        out.extend_from_slice(&(src.centroids.len() as u32).to_le_bytes());
+        for c in &src.centroids {
+            out.extend_from_slice(&c.mean.to_le_bytes());
+            out.extend_from_slice(&c.weight.to_le_bytes());
+        }
+        out.extend_from_slice(&src.count.to_le_bytes());
+        out.extend_from_slice(&src.min.to_le_bytes());
+        out.extend_from_slice(&src.max.to_le_bytes());
+        out
+    }
+
+    /// Parses and validates a serialized sketch. Every structural lie a
+    /// hostile stream can tell — oversized centroid counts, non-finite
+    /// or unsorted means, zero weights, weight sums that disagree with
+    /// the count, means outside the `[min, max]` envelope, truncation
+    /// or trailing bytes — is a typed [`Error::Decode`], never a panic.
+    pub fn from_bytes(data: &[u8]) -> Result<TDigest> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            let end = pos
+                .checked_add(n)
+                .ok_or(Error::Decode("tdigest: length overflow"))?;
+            let s = data
+                .get(*pos..end)
+                .ok_or(Error::Decode("tdigest: truncated"))?;
+            *pos = end;
+            Ok(s)
+        };
+        let m_bytes: [u8; 4] = take(&mut pos, 4)?
+            .try_into()
+            .map_err(|_| Error::Decode("tdigest: truncated count"))?;
+        let m = u32::from_le_bytes(m_bytes) as usize;
+        if m > TDIGEST_MAX_SERIALIZED {
+            return Err(Error::Decode("tdigest: hostile centroid count"));
+        }
+        let mut centroids = Vec::with_capacity(m);
+        let mut weight_sum: u64 = 0;
+        let mut prev = f64::NEG_INFINITY;
+        for _ in 0..m {
+            let mean_b: [u8; 8] = take(&mut pos, 8)?
+                .try_into()
+                .map_err(|_| Error::Decode("tdigest: truncated mean"))?;
+            let w_b: [u8; 8] = take(&mut pos, 8)?
+                .try_into()
+                .map_err(|_| Error::Decode("tdigest: truncated weight"))?;
+            let mean = f64::from_le_bytes(mean_b);
+            let weight = u64::from_le_bytes(w_b);
+            if !mean.is_finite() {
+                return Err(Error::Decode("tdigest: non-finite mean"));
+            }
+            if weight == 0 {
+                return Err(Error::Decode("tdigest: zero-weight centroid"));
+            }
+            if mean < prev {
+                return Err(Error::Decode("tdigest: unsorted means"));
+            }
+            prev = mean;
+            weight_sum = weight_sum
+                .checked_add(weight)
+                .ok_or(Error::Decode("tdigest: weight sum overflow"))?;
+            centroids.push(Centroid { mean, weight });
+        }
+        let count_b: [u8; 8] = take(&mut pos, 8)?
+            .try_into()
+            .map_err(|_| Error::Decode("tdigest: truncated total"))?;
+        let count = u64::from_le_bytes(count_b);
+        let min_b: [u8; 8] = take(&mut pos, 8)?
+            .try_into()
+            .map_err(|_| Error::Decode("tdigest: truncated min"))?;
+        let max_b: [u8; 8] = take(&mut pos, 8)?
+            .try_into()
+            .map_err(|_| Error::Decode("tdigest: truncated max"))?;
+        let (min, max) = (f64::from_le_bytes(min_b), f64::from_le_bytes(max_b));
+        if pos != data.len() {
+            return Err(Error::Decode("tdigest: trailing bytes"));
+        }
+        if count != weight_sum {
+            return Err(Error::Decode("tdigest: count disagrees with weights"));
+        }
+        if count > 0 {
+            if !min.is_finite() || !max.is_finite() || min > max {
+                return Err(Error::Decode("tdigest: bad min/max envelope"));
+            }
+            if centroids.is_empty() {
+                return Err(Error::Decode("tdigest: count without centroids"));
+            }
+            if centroids.iter().any(|c| c.mean < min || c.mean > max) {
+                return Err(Error::Decode("tdigest: mean outside envelope"));
+            }
+        } else if !centroids.is_empty() {
+            return Err(Error::Decode("tdigest: centroids without count"));
+        }
+        Ok(TDigest {
+            centroids,
+            unsorted: 0,
+            count,
+            min,
+            max,
+        })
+    }
+
+    /// Approximate heap footprint, for the cache's byte accounting.
+    fn approx_bytes(&self) -> usize {
+        48 + self.centroids.capacity() * std::mem::size_of::<Centroid>()
+    }
+}
+
+/// A mergeable partial aggregate state: the exact moments plus the
+/// timestamp bounds (`rate`/`delta`) and the optional quantile sketch.
+/// [`PartialState::merge`] must be called **in time order** — the same
+/// contract [`AggState::merge`] already documents for FIRST/LAST.
+#[derive(Debug, Clone, Default)]
+pub struct PartialState {
+    /// Exact first-order/second-order moments, min/max, first/last.
+    pub agg: AggState,
+    /// Timestamp of the first qualifying tuple (set on tuple-level
+    /// paths; fused whole-page paths leave it `None` — only
+    /// `rate()`/`delta()` read it, and those never fuse).
+    pub first_ts: Option<i64>,
+    /// Timestamp of the last qualifying tuple.
+    pub last_ts: Option<i64>,
+    /// Quantile sketch; allocated only when the aggregate needs it.
+    pub digest: Option<TDigest>,
+}
+
+impl PartialState {
+    /// An empty partial shaped for `func`: the digest is allocated only
+    /// for quantile aggregates.
+    pub fn new(func: AggFunc) -> Self {
+        PartialState {
+            digest: func.needs_digest().then(TDigest::new),
+            ..PartialState::default()
+        }
+    }
+
+    /// Folds one qualifying tuple, tracking timestamps and the sketch.
+    pub fn push_tv(&mut self, t: i64, v: i64) {
+        self.agg.push(v);
+        self.first_ts.get_or_insert(t);
+        self.last_ts = Some(t);
+        if let Some(d) = &mut self.digest {
+            d.push(v as f64);
+        }
+    }
+
+    /// Merges `other` after `self` in time order. Exact fields combine
+    /// exactly; an empty `other` is a bit-for-bit no-op.
+    pub fn merge(&mut self, other: &PartialState) {
+        if other.agg.count == 0 {
+            return;
+        }
+        self.agg.merge(&other.agg);
+        if self.first_ts.is_none() {
+            self.first_ts = other.first_ts;
+        }
+        if other.last_ts.is_some() {
+            self.last_ts = other.last_ts;
+        }
+        match (&mut self.digest, &other.digest) {
+            (Some(a), Some(b)) => a.merge(b),
+            (d @ None, Some(b)) => *d = Some(b.clone()),
+            _ => {}
+        }
+    }
+
+    /// Serialized wire form:
+    /// `[sum: i128][sum_sq: i128][count: u64][6 × option(i64)]`
+    /// `[option(digest bytes)]`, options as a `0/1` tag byte. This is
+    /// the format sub-pipelines will ship partials in (ROADMAP item 4);
+    /// it round-trips through [`PartialState::from_bytes`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(96);
+        out.extend_from_slice(&self.agg.sum.to_le_bytes());
+        out.extend_from_slice(&self.agg.sum_sq.to_le_bytes());
+        out.extend_from_slice(&self.agg.count.to_le_bytes());
+        let opt = |out: &mut Vec<u8>, v: Option<i64>| match v {
+            Some(v) => {
+                out.push(1);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            None => out.push(0),
+        };
+        opt(&mut out, self.agg.min);
+        opt(&mut out, self.agg.max);
+        opt(&mut out, self.agg.first);
+        opt(&mut out, self.agg.last);
+        opt(&mut out, self.first_ts);
+        opt(&mut out, self.last_ts);
+        match &self.digest {
+            Some(d) => {
+                out.push(1);
+                out.extend_from_slice(&d.to_bytes());
+            }
+            None => out.push(0),
+        }
+        out
+    }
+
+    /// Parses and validates a serialized partial. Structural lies —
+    /// bad option tags, inverted min/max, counts that disagree with
+    /// presence, a corrupt embedded digest — are typed
+    /// [`Error::Decode`]s, never panics.
+    pub fn from_bytes(data: &[u8]) -> Result<PartialState> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            let end = pos
+                .checked_add(n)
+                .ok_or(Error::Decode("partial: length overflow"))?;
+            let s = data
+                .get(*pos..end)
+                .ok_or(Error::Decode("partial: truncated"))?;
+            *pos = end;
+            Ok(s)
+        };
+        let i128_of = |b: &[u8]| -> Result<i128> {
+            b.try_into()
+                .map(i128::from_le_bytes)
+                .map_err(|_| Error::Decode("partial: truncated i128"))
+        };
+        let sum = i128_of(take(&mut pos, 16)?)?;
+        let sum_sq = i128_of(take(&mut pos, 16)?)?;
+        let count_b: [u8; 8] = take(&mut pos, 8)?
+            .try_into()
+            .map_err(|_| Error::Decode("partial: truncated count"))?;
+        let count = u64::from_le_bytes(count_b);
+        let opt = |pos: &mut usize| -> Result<Option<i64>> {
+            let tag = take(pos, 1)?[0];
+            match tag {
+                0 => Ok(None),
+                1 => {
+                    let b: [u8; 8] = take(pos, 8)?
+                        .try_into()
+                        .map_err(|_| Error::Decode("partial: truncated option"))?;
+                    Ok(Some(i64::from_le_bytes(b)))
+                }
+                _ => Err(Error::Decode("partial: bad option tag")),
+            }
+        };
+        let min = opt(&mut pos)?;
+        let max = opt(&mut pos)?;
+        let first = opt(&mut pos)?;
+        let last = opt(&mut pos)?;
+        let first_ts = opt(&mut pos)?;
+        let last_ts = opt(&mut pos)?;
+        let digest = match take(&mut pos, 1)?[0] {
+            0 => None,
+            1 => Some(TDigest::from_bytes(
+                data.get(pos..).ok_or(Error::Decode("partial: truncated"))?,
+            )?),
+            _ => return Err(Error::Decode("partial: bad digest tag")),
+        };
+        if digest.is_none() && pos != data.len() {
+            return Err(Error::Decode("partial: trailing bytes"));
+        }
+        if let (Some(lo), Some(hi)) = (min, max) {
+            if lo > hi {
+                return Err(Error::Decode("partial: inverted min/max"));
+            }
+        }
+        if let (Some(ft), Some(lt)) = (first_ts, last_ts) {
+            if ft > lt {
+                return Err(Error::Decode("partial: inverted timestamps"));
+            }
+        }
+        if count == 0 && (min.is_some() || first.is_some() || first_ts.is_some()) {
+            return Err(Error::Decode("partial: fields present on empty state"));
+        }
+        let mut agg = AggState::new();
+        agg.sum = sum;
+        agg.sum_sq = sum_sq;
+        agg.count = count;
+        agg.min = min;
+        agg.max = max;
+        agg.first = first;
+        agg.last = last;
+        Ok(PartialState {
+            agg,
+            first_ts,
+            last_ts,
+            digest,
+        })
+    }
+
+    /// Approximate heap footprint, for the cache's byte accounting.
+    fn approx_bytes(&self) -> usize {
+        128 + self.digest.as_ref().map_or(0, TDigest::approx_bytes)
+    }
+}
+
+impl From<AggState> for PartialState {
+    fn from(agg: AggState) -> Self {
+        PartialState {
+            agg,
+            ..PartialState::default()
+        }
+    }
+}
+
+/// Content-addressed key of one cached whole-page partial: the page's
+/// FNV checksum plus every exact header statistic and the aggregate
+/// function. Two pages colliding on the full key while differing in
+/// content would need an FNV-32 collision *and* identical header
+/// statistics; the hit path still re-verifies the page checksum before
+/// trusting the entry (the cache-obligation invariant), so a stale or
+/// colliding entry can never silently stand in for corrupted bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Page FNV checksum ([`Page::checksum`]).
+    pub checksum: u32,
+    /// Header tuple count.
+    pub count: u32,
+    /// Header first timestamp.
+    pub first_ts: i64,
+    /// Header last timestamp.
+    pub last_ts: i64,
+    /// Header minimum value.
+    pub min_value: i64,
+    /// Header maximum value.
+    pub max_value: i64,
+    /// The aggregate the partial was computed for.
+    pub func: AggFunc,
+}
+
+impl CacheKey {
+    /// The key for `page`'s whole-page partial under `func`.
+    pub fn for_page(page: &Page, func: AggFunc) -> CacheKey {
+        CacheKey {
+            checksum: page.checksum,
+            count: page.header.count,
+            first_ts: page.header.first_ts,
+            last_ts: page.header.last_ts,
+            min_value: page.header.min_value,
+            max_value: page.header.max_value,
+            func,
+        }
+    }
+}
+
+/// Bounded FIFO cache state behind the [`PartialCache`] mutex.
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<CacheKey, PartialState>,
+    order: VecDeque<CacheKey>,
+    bytes: usize,
+}
+
+/// Maximum cached entries (FIFO-evicted beyond this).
+const CACHE_MAX_ENTRIES: usize = 8192;
+
+/// Approximate byte budget for cached states (digests dominate).
+const CACHE_MAX_BYTES: usize = 8 << 20;
+
+/// The process-global cache of whole-page partial aggregate states,
+/// keyed by [`CacheKey`] (content-addressed — safe to share across
+/// stores and queries). Bounded by entry count and approximate bytes
+/// with FIFO eviction; `EXPLAIN` renders the static `[cacheable]`
+/// eligibility and [`crate::exec::ExecStats`] counts the live
+/// hits/misses (EXPLAIN text must stay a pure function of the plan).
+#[derive(Debug, Default)]
+pub struct PartialCache {
+    inner: Mutex<CacheInner>,
+}
+
+impl PartialCache {
+    /// The process-global instance.
+    pub fn global() -> &'static PartialCache {
+        static CACHE: OnceLock<PartialCache> = OnceLock::new();
+        CACHE.get_or_init(PartialCache::default)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        // A panic while holding the lock cannot corrupt the FIFO
+        // invariants (no partial mutations escape), so poisoning is
+        // recovered instead of propagated.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Looks up a cached whole-page partial.
+    pub fn get(&self, key: &CacheKey) -> Option<PartialState> {
+        self.lock().map.get(key).cloned()
+    }
+
+    /// Inserts a whole-page partial, evicting FIFO past the bounds.
+    /// The digest (if any) is compressed first so cached entries hold
+    /// their minimal form.
+    pub fn insert(&self, key: CacheKey, mut state: PartialState) {
+        if let Some(d) = &mut state.digest {
+            d.compress();
+        }
+        let bytes = state.approx_bytes();
+        let mut inner = self.lock();
+        if inner.map.insert(key, state).is_none() {
+            inner.order.push_back(key);
+            inner.bytes += bytes;
+        }
+        while inner.order.len() > CACHE_MAX_ENTRIES || inner.bytes > CACHE_MAX_BYTES {
+            let Some(old) = inner.order.pop_front() else {
+                break;
+            };
+            if let Some(evicted) = inner.map.remove(&old) {
+                inner.bytes = inner.bytes.saturating_sub(evicted.approx_bytes());
+            }
+        }
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (benchmark cold-start; tests).
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.order.clear();
+        inner.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest_of(vals: &[i64]) -> TDigest {
+        let mut d = TDigest::new();
+        for &v in vals {
+            d.push(v as f64);
+        }
+        d
+    }
+
+    #[test]
+    fn tdigest_quantile_within_rank_bound() {
+        let vals: Vec<i64> = (0..5000).map(|i| (i * 37) % 4999).collect();
+        let d = digest_of(&vals);
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        for q in [0.01, 0.25, 0.5, 0.75, 0.95, 0.99] {
+            let est = d.quantile(q);
+            let rank = sorted.partition_point(|&v| (v as f64) <= est) as f64;
+            let target = q * sorted.len() as f64;
+            let bound = TDigest::rank_error_bound(sorted.len() as u64);
+            assert!(
+                (rank - target).abs() <= bound,
+                "q={q}: est={est} rank={rank} target={target} bound={bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn tdigest_roundtrip_and_rejects_lies() {
+        let d = digest_of(&[5, 1, 9, 3, 3, 7]);
+        let bytes = d.to_bytes();
+        let back = TDigest::from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bytes(), bytes, "canonical form round-trips");
+        assert_eq!(back.count(), 6);
+        // Truncation, hostile counts, non-finite means: typed errors.
+        assert!(TDigest::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut hostile = bytes.clone();
+        hostile[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(TDigest::from_bytes(&hostile).is_err());
+        let mut nan = bytes.clone();
+        nan[4..12].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(TDigest::from_bytes(&nan).is_err());
+    }
+
+    #[test]
+    fn empty_merge_is_identity() {
+        let mut d = digest_of(&[1, 2, 3]);
+        let before = d.clone();
+        d.merge(&TDigest::new());
+        assert_eq!(d, before);
+        let mut empty = TDigest::new();
+        empty.merge(&before);
+        assert_eq!(empty.to_bytes(), before.to_bytes());
+    }
+
+    #[test]
+    fn partial_state_roundtrip() {
+        let mut p = PartialState::new(AggFunc::P95);
+        for (t, v) in [(10, 4), (20, -1), (30, 9)] {
+            p.push_tv(t, v);
+        }
+        let bytes = p.to_bytes();
+        let back = PartialState::from_bytes(&bytes).unwrap();
+        assert_eq!(back.agg.count, 3);
+        assert_eq!(back.first_ts, Some(10));
+        assert_eq!(back.last_ts, Some(30));
+        assert_eq!(back.to_bytes(), bytes);
+        assert!(PartialState::from_bytes(&bytes[..5]).is_err());
+    }
+
+    #[test]
+    fn cache_bounds_and_clear() {
+        let cache = PartialCache::default();
+        let mut key = CacheKey {
+            checksum: 0,
+            count: 1,
+            first_ts: 0,
+            last_ts: 0,
+            min_value: 0,
+            max_value: 0,
+            func: AggFunc::Sum,
+        };
+        for i in 0..(CACHE_MAX_ENTRIES + 10) as u32 {
+            key.checksum = i;
+            cache.insert(key, PartialState::default());
+        }
+        assert!(cache.len() <= CACHE_MAX_ENTRIES);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -14,19 +14,19 @@ use etsqp_simd::agg::AggState;
 use etsqp_storage::page::Page;
 use etsqp_storage::store::SeriesStore;
 
-use crate::decode::{decode_column, DecodeOptions};
 use crate::exec::ExecStats;
 use crate::expr::{AggFunc, Predicate, SlidingWindow, TimeRange};
 use crate::fused::{aggregate_delta_rle, sum_svb, sum_ts2diff, sum_ts2diff_range, FuseLevel};
+use crate::partial::{CacheKey, PartialCache, PartialState};
 use crate::physical::node::{Stage, Strategy};
 use crate::physical::scan::{charge_page_io, decode_ts_column, decode_val_column};
+use crate::physical::window::{constant_positions, whole_page_bucket, window_index_ranges};
 use crate::plan::PipelineConfig;
-use crate::prune::constant_interval_positions;
 use crate::slice::slice_range;
 use crate::{Error, Result};
 
 /// Partial aggregate states keyed by window index (0 when unwindowed).
-pub(crate) type WindowStates = Vec<(usize, AggState)>;
+pub(crate) type WindowStates = Vec<(usize, PartialState)>;
 
 /// True when the page's value spread `max − min` is representable in
 /// `i64`, which guarantees every pairwise difference — in particular
@@ -48,6 +48,13 @@ pub(crate) fn spread_fits_i64(page: &Page) -> bool {
 
 /// Whether the fused path can produce what `func` needs without decode.
 pub(crate) fn fusion_covers(func: AggFunc, val_enc: Encoding, fuse: FuseLevel) -> bool {
+    // Quantile sketches and rate/delta need per-tuple values and
+    // timestamps; no closed form over (Δ, run-length) pairs produces
+    // them. This gate must stay ahead of the per-encoding arms — the
+    // Delta-RLE arm below claims *all* remaining functions.
+    if func.partial_only() {
+        return false;
+    }
     match val_enc {
         Encoding::Ts2Diff => {
             fuse >= FuseLevel::Delta && matches!(func, AggFunc::Sum | AggFunc::Avg | AggFunc::Count)
@@ -86,6 +93,12 @@ pub(crate) fn agg_slice(state: &mut AggState, slice: &[i64], func: AggFunc) {
             state.last = slice.last().copied().or(state.last);
             state.count += slice.len() as u64;
         }
+        // Partial-only aggregates take the tuple-level path (they need
+        // timestamps and/or a sketch); fold the exact moments anyway so
+        // a planner slip degrades to a sound superset, never silence.
+        AggFunc::P50 | AggFunc::P95 | AggFunc::P99 | AggFunc::Rate | AggFunc::Delta => {
+            state.push_slice(slice)
+        }
     }
 }
 
@@ -113,6 +126,10 @@ pub(crate) fn agg_masked(state: &mut AggState, slice: &[i64], mask: &[u64], func
                     state.count += 1;
                 }
             }
+        }
+        // See agg_slice: unreachable for partial-only aggregates.
+        AggFunc::P50 | AggFunc::P95 | AggFunc::P99 | AggFunc::Rate | AggFunc::Delta => {
+            state.push_masked(slice, mask)
         }
     }
 }
@@ -244,6 +261,13 @@ pub(crate) fn slice_coeff_job(
 /// The per-page aggregation pipeline, executing the planner's
 /// [`Strategy`]. Returns partial states keyed by window index (0 when
 /// unwindowed).
+///
+/// `cacheable` is the planner's [`crate::physical::node::PageDecision::cacheable`]
+/// verdict: the page's whole-range partial is content-addressed in the
+/// global [`PartialCache`]. The hit path still charges I/O and
+/// re-verifies the page checksum first (the cache-obligation
+/// invariant), so a cached entry can never stand in for corrupted
+/// bytes.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn agg_page_job(
     page: &Page,
@@ -251,6 +275,7 @@ pub(crate) fn agg_page_job(
     window: Option<SlidingWindow>,
     func: AggFunc,
     strategy: Strategy,
+    cacheable: bool,
     cfg: &PipelineConfig,
     stats: &ExecStats,
     store: &SeriesStore,
@@ -259,11 +284,59 @@ pub(crate) fn agg_page_job(
     // Every non-serial strategy below reads chunk bytes without going
     // through the checksum-verified Page::decode — the fused closed
     // forms would otherwise turn corruption into a silently wrong
-    // aggregate rather than an error.
+    // aggregate rather than an error. The checksum re-verification also
+    // discharges the cache hit path: the cache key embeds this checksum.
     page.verify().map_err(Error::Storage)?;
 
+    // The planner only marks pages cacheable when the whole page
+    // qualifies and lands in one bucket; re-derive the bucket index
+    // defensively (a straddling page just skips the cache).
+    let cached_bucket = if cacheable {
+        whole_page_bucket(page, window).map(|k| (k, CacheKey::for_page(page, func)))
+    } else {
+        None
+    };
+    if let Some((k, key)) = &cached_bucket {
+        if let Some(state) = PartialCache::global().get(key) {
+            stats
+                .cache_hits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if state.agg.count == 0 {
+                return Ok(Vec::new());
+            }
+            return Ok(vec![(*k, state)]);
+        }
+        stats
+            .cache_misses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+    let out = agg_page_states(page, pred, window, func, strategy, cfg, stats)?;
+    if let Some((_, key)) = cached_bucket {
+        // Cache-eligible pages aggregate whole-page into one bucket, so
+        // `out` holds at most one state; an empty page caches an empty
+        // partial (served as "no states" above).
+        let state = out
+            .first()
+            .map(|(_, s)| s.clone())
+            .unwrap_or_else(|| PartialState::new(func));
+        PartialCache::global().insert(key, state);
+    }
+    Ok(out)
+}
+
+/// Strategy dispatch body of [`agg_page_job`] (everything after the I/O
+/// charge, checksum verification and cache probe).
+fn agg_page_states(
+    page: &Page,
+    pred: &Predicate,
+    window: Option<SlidingWindow>,
+    func: AggFunc,
+    strategy: Strategy,
+    cfg: &PipelineConfig,
+    stats: &ExecStats,
+) -> Result<WindowStates> {
     if strategy == Strategy::Serial {
-        return serial_agg_page(page, pred, window, cfg, stats);
+        return serial_agg_page(page, pred, window, func, cfg, stats);
     }
 
     let count = page.header.count as usize;
@@ -318,27 +391,35 @@ pub(crate) fn agg_page_job(
             } else {
                 sum_ts2diff_range(&parsed, a, b, &cfg.decode)?
             };
-            return Ok(vec![(0, state)]);
+            return Ok(vec![(0, state.into())]);
         }
-        // Delta-RLE fusion and header MIN/MAX are whole-page forms; the
-        // planner chose them from exact header bounds, but the resolved
-        // range is re-checked so any mismatch falls back to decode.
-        Strategy::FusedDeltaRle if window.is_none() && a == 0 && b + 1 == count => {
-            let parsed = delta_rle::parse(&page.val_bytes)?;
-            let _a = Stage::Agg.timer(stats);
-            return Ok(vec![(0, aggregate_delta_rle(&parsed)?)]);
+        // Delta-RLE fusion, SVB fusion and header MIN/MAX are whole-page
+        // forms; the planner chose them from exact header bounds (for a
+        // windowed aggregate additionally proving the page lies inside
+        // one bucket), but both conditions are re-checked so any
+        // mismatch falls through to the decode path below.
+        Strategy::FusedDeltaRle if a == 0 && b + 1 == count => {
+            if let Some(k) = whole_page_bucket(page, window) {
+                let parsed = delta_rle::parse(&page.val_bytes)?;
+                let _a = Stage::Agg.timer(stats);
+                return Ok(vec![(k, aggregate_delta_rle(&parsed)?.into())]);
+            }
         }
-        Strategy::FusedSvb if window.is_none() && a == 0 && b + 1 == count => {
-            let parsed = stream_vbyte::parse(&page.val_bytes)?;
-            let _a = Stage::Agg.timer(stats);
-            return Ok(vec![(0, sum_svb(&parsed, &cfg.decode)?)]);
+        Strategy::FusedSvb if a == 0 && b + 1 == count => {
+            if let Some(k) = whole_page_bucket(page, window) {
+                let parsed = stream_vbyte::parse(&page.val_bytes)?;
+                let _a = Stage::Agg.timer(stats);
+                return Ok(vec![(k, sum_svb(&parsed, &cfg.decode)?.into())]);
+            }
         }
-        Strategy::HeaderMinMax if window.is_none() && a == 0 && b + 1 == count => {
-            let mut s = AggState::new();
-            s.count = count as u64;
-            s.min = Some(page.header.min_value);
-            s.max = Some(page.header.max_value);
-            return Ok(vec![(0, s)]);
+        Strategy::HeaderMinMax if a == 0 && b + 1 == count => {
+            if let Some(k) = whole_page_bucket(page, window) {
+                let mut s = AggState::new();
+                s.count = count as u64;
+                s.min = Some(page.header.min_value);
+                s.max = Some(page.header.max_value);
+                return Ok(vec![(k, s.into())]);
+            }
         }
         // Windowed fused path: resolve each window's index subrange
         // (constant-interval arithmetic or binary search over decoded
@@ -359,7 +440,7 @@ pub(crate) fn agg_page_job(
                     sum_ts2diff_range(&parsed, i, j, &cfg.decode)?
                 };
                 if state.count > 0 {
-                    out.push((k, state));
+                    out.push((k, state.into()));
                 }
             }
             return Ok(out);
@@ -380,6 +461,43 @@ pub(crate) fn agg_page_job(
     }
 
     let _a = Stage::Agg.timer(stats);
+
+    // Partial-only aggregates (quantile sketches, rate/delta) fold
+    // tuple-at-a-time with timestamps — this is the "straddling pages
+    // decode" leg of the bucket pipeline.
+    if func.partial_only() {
+        let ts_owned;
+        let ts: &[i64] = match &ts_decoded {
+            Some(t) => t,
+            None => {
+                ts_owned = decode_ts_column(page, cfg, stats)?;
+                &ts_owned
+            }
+        };
+        let hi = b.min(vals.len() - 1).min(ts.len().saturating_sub(1));
+        let mut windows: std::collections::BTreeMap<usize, PartialState> =
+            std::collections::BTreeMap::new();
+        for (&t, &v) in ts[a..=hi].iter().zip(&vals[a..=hi]) {
+            if let Some((vlo, vhi)) = pred.value {
+                if v < vlo || v > vhi {
+                    continue;
+                }
+            }
+            let k = match window {
+                Some(w) => match w.window_of(t) {
+                    Some(k) => k,
+                    None => continue,
+                },
+                None => 0,
+            };
+            windows
+                .entry(k)
+                .or_insert_with(|| PartialState::new(func))
+                .push_tv(t, v);
+        }
+        return Ok(windows.into_iter().collect());
+    }
+
     let mut out: WindowStates = Vec::new();
     match window {
         None => {
@@ -395,7 +513,7 @@ pub(crate) fn agg_page_job(
                 }
             }
             if state.count > 0 {
-                out.push((0, state));
+                out.push((0, state.into()));
             }
         }
         Some(w) => {
@@ -434,7 +552,7 @@ pub(crate) fn agg_page_job(
                         }
                     }
                     if state.count > 0 {
-                        out.push((k, state));
+                        out.push((k, state.into()));
                     }
                     i = j;
                 } else {
@@ -446,112 +564,13 @@ pub(crate) fn agg_page_job(
     Ok(out)
 }
 
-/// Splits the qualifying index range `[a, b]` of a page into per-window
-/// inclusive subranges `(window, i, j)`. Uses constant-interval position
-/// arithmetic when the timestamp page allows (§V-A), decoded timestamps
-/// otherwise.
-fn window_index_ranges(
-    page: &Page,
-    w: &SlidingWindow,
-    trange: &TimeRange,
-    a: usize,
-    b: usize,
-    ts_decoded: Option<&[i64]>,
-) -> Result<Vec<(usize, usize, usize)>> {
-    let mut out = Vec::new();
-    // Constant-interval shortcut: no timestamp decode at all.
-    if ts_decoded.is_none() {
-        if let Ok(parsed) = ts2diff::parse(&page.ts_bytes) {
-            if parsed.order == 1 && parsed.width == 0 && parsed.min_delta > 0 && parsed.count > 0 {
-                let first = parsed.first[0];
-                let interval = parsed.min_delta;
-                let last = first + (parsed.count as i64 - 1) * interval;
-                let mut k = w.window_of(first.max(w.t_min)).unwrap_or(0);
-                loop {
-                    let wr = w.range(k).intersect(trange);
-                    if wr.lo > last {
-                        break;
-                    }
-                    if !wr.is_empty() {
-                        if let Some((i, j)) =
-                            constant_interval_positions(first, interval, parsed.count, wr.lo, wr.hi)
-                        {
-                            let i = i.max(a);
-                            let j = j.min(b);
-                            if i <= j {
-                                out.push((k, i, j));
-                            }
-                        }
-                    }
-                    k += 1;
-                }
-                return Ok(out);
-            }
-        }
-    }
-    // General: binary-search window boundaries over decoded timestamps.
-    let ts_owned;
-    let ts: &[i64] = match ts_decoded {
-        Some(t) => t,
-        None => {
-            let mut buf = Vec::new();
-            decode_column(
-                page.header.ts_encoding,
-                &page.ts_bytes,
-                &DecodeOptions::default(),
-                &mut buf,
-            )?;
-            ts_owned = buf;
-            &ts_owned
-        }
-    };
-    let mut i = a;
-    let hi = b.min(ts.len().saturating_sub(1));
-    while i <= hi {
-        let Some(k) = w.window_of(ts[i]) else {
-            i += 1;
-            continue;
-        };
-        let wr = w.range(k).intersect(trange);
-        let j = i + ts[i..=hi].partition_point(|&t| t <= wr.hi);
-        if j > i {
-            out.push((k, i, j - 1));
-            i = j;
-        } else {
-            i += 1;
-        }
-    }
-    Ok(out)
-}
-
-/// Constant-interval shortcut (§V-A): for width-0 order-1 TS2DIFF
-/// timestamps the qualifying index range is solved arithmetically.
-/// Returns `None` when the shortcut does not apply, `Some(None)` when it
-/// applies and proves emptiness.
-#[allow(clippy::option_option)]
-fn constant_positions(page: &Page, t_lo: i64, t_hi: i64) -> Option<Option<(usize, usize)>> {
-    if page.header.ts_encoding != Encoding::Ts2Diff {
-        return None;
-    }
-    let parsed = ts2diff::parse(&page.ts_bytes).ok()?;
-    if parsed.order != 1 || parsed.width != 0 {
-        return None;
-    }
-    Some(constant_interval_positions(
-        parsed.first[0],
-        parsed.min_delta,
-        parsed.count,
-        t_lo,
-        t_hi,
-    ))
-}
-
 /// Byte-serial per-value pipeline — the "Serial"/"IoTDB" baseline: decode
 /// value-at-a-time with the reference decoders, branch per tuple.
 fn serial_agg_page(
     page: &Page,
     pred: &Predicate,
     window: Option<SlidingWindow>,
+    func: AggFunc,
     _cfg: &PipelineConfig,
     stats: &ExecStats,
 ) -> Result<WindowStates> {
@@ -564,7 +583,7 @@ fn serial_agg_page(
         std::sync::atomic::Ordering::Relaxed,
     );
     let _a = Stage::Agg.timer(stats);
-    let mut windows: std::collections::BTreeMap<usize, AggState> =
+    let mut windows: std::collections::BTreeMap<usize, PartialState> =
         std::collections::BTreeMap::new();
     for (&t, &v) in ts.iter().zip(&vals) {
         if let Some(tr) = pred.time {
@@ -584,7 +603,10 @@ fn serial_agg_page(
             },
             None => 0,
         };
-        windows.entry(k).or_default().push(v);
+        windows
+            .entry(k)
+            .or_insert_with(|| PartialState::new(func))
+            .push_tv(t, v);
     }
     Ok(windows.into_iter().collect())
 }

@@ -6,12 +6,12 @@
 
 use std::sync::Arc;
 
-use etsqp_simd::agg::AggState;
 use etsqp_storage::store::SeriesStore;
 
 use crate::cancel::CancellationToken;
 use crate::exec::{run_jobs_ctl, ExecStats};
 use crate::expr::{AggFunc, SlidingWindow};
+use crate::partial::PartialState;
 use crate::physical::agg::{agg_page_job, slice_coeff_job, SliceCoeff, WindowStates};
 use crate::physical::merge::{
     binary_merge_partitioned, fused_pair_aggregate, merge_join_moments, BinaryKind,
@@ -21,7 +21,7 @@ use crate::physical::pipe::PhysicalPlan;
 use crate::physical::scan::{
     charge_pruned_hot, charge_pruned_page, hot_rows, scan_rows, verify_pruned,
 };
-use crate::plan::{finalize, finalize_pair, PipelineConfig, Value};
+use crate::plan::{finalize_pair, finalize_partial, PipelineConfig, Value};
 use crate::slice::{distribute, WorkItem};
 use crate::{Error, Result};
 
@@ -38,14 +38,17 @@ pub(crate) fn run(
     match &phys.root {
         RootNode::Aggregate { func, window: None } => {
             let p = &phys.pipelines[0];
+            // Partials merge in kept-page time order (hot last), so the
+            // fold below keeps FIRST/LAST, timestamp bounds and sketch
+            // merges exact per the PartialState::merge contract.
             let state = aggregate_pipeline(store, p, None, *func, cfg, stats, ctl)?
                 .into_iter()
-                .fold(AggState::new(), |mut acc, (_, s)| {
+                .fold(PartialState::new(*func), |mut acc, (_, s)| {
                     acc.merge(&s);
                     acc
                 });
             let col = format!("{}({})", func.name(), p.series);
-            Ok((vec![col], vec![vec![finalize(*func, &state)]]))
+            Ok((vec![col], vec![vec![finalize_partial(*func, &state)]]))
         }
         RootNode::Aggregate {
             func,
@@ -59,7 +62,7 @@ pub(crate) fn run(
                 .map(|(k, s)| {
                     vec![
                         Value::Int(window.t_min + k as i64 * window.dt),
-                        finalize(*func, &s),
+                        finalize_partial(*func, &s),
                     ]
                 })
                 .collect();
@@ -187,11 +190,13 @@ fn aggregate_pipeline(
     let pred = &pipeline.pred;
     let mut kept: Vec<Arc<etsqp_storage::page::Page>> = Vec::new();
     let mut strategies: Vec<Strategy> = Vec::new();
+    let mut cacheables: Vec<bool> = Vec::new();
     for (page, d) in pipeline.pages.iter().zip(&pipeline.decisions) {
         match d.strategy {
             Some(s) => {
                 kept.push(Arc::clone(page));
                 strategies.push(s);
+                cacheables.push(d.cacheable);
             }
             None => {
                 require_obligation(d)?;
@@ -246,6 +251,7 @@ fn aggregate_pipeline(
                     window,
                     func,
                     strategies[page_seq],
+                    cacheables[page_seq],
                     cfg,
                     stats,
                     store,
@@ -267,10 +273,14 @@ fn aggregate_pipeline(
         },
     )?;
 
-    let mut windows: std::collections::BTreeMap<usize, AggState> =
+    let mut windows: std::collections::BTreeMap<usize, PartialState> =
         std::collections::BTreeMap::new();
     {
-        // Merge node (sequential, timed).
+        // Merge node (sequential, timed). Job outputs arrive in kept-page
+        // time order, so each per-window merge chain is itself
+        // time-ordered — the PartialState::merge contract that keeps
+        // FIRST/LAST, timestamp bounds and digest merges deterministic
+        // across thread counts.
         let _m = crate::physical::node::Stage::Merge.timer(stats);
         let mut v_pre: i128 = 0;
         let mut cur_page = usize::MAX;
@@ -292,8 +302,10 @@ fn aggregate_pipeline(
                         debug_assert_eq!(part, 0, "slices arrive in order");
                         v_pre = coeff.first_value as i128;
                     }
+                    // Slices only exist for non-partial-only aggregates;
+                    // the coefficients resolve into the exact moments.
                     let state = windows.entry(0).or_default();
-                    coeff.fold_into(state, v_pre);
+                    coeff.fold_into(&mut state.agg, v_pre);
                     v_pre += coeff.delta_total as i128;
                 }
             }
@@ -301,22 +313,26 @@ fn aggregate_pipeline(
     }
     // The hot-chunk source folds last: its timestamps are strictly
     // greater than every sealed timestamp, so pushing after all page
-    // partials keeps order-sensitive aggregates (FIRST/LAST) correct.
+    // partials keeps order-sensitive aggregates (FIRST/LAST, timestamp
+    // bounds, sketches) correct.
     if let Some(hot) = &pipeline.hot {
         if hot.verdict.kept() {
             let (hts, hvals) = hot_rows(hot, pred, stats);
             let _a = crate::physical::node::Stage::Agg.timer(stats);
             match window {
                 None => {
-                    let state = windows.entry(0).or_default();
-                    for v in hvals {
-                        state.push(v);
+                    let state = windows.entry(0).or_insert_with(|| PartialState::new(func));
+                    for (t, v) in hts.into_iter().zip(hvals) {
+                        state.push_tv(t, v);
                     }
                 }
                 Some(w) => {
                     for (t, v) in hts.into_iter().zip(hvals) {
                         if let Some(k) = w.window_of(t) {
-                            windows.entry(k).or_default().push(v);
+                            windows
+                                .entry(k)
+                                .or_insert_with(|| PartialState::new(func))
+                                .push_tv(t, v);
                         }
                     }
                 }

@@ -22,3 +22,5 @@ pub(crate) mod agg;
 pub(crate) mod driver;
 pub(crate) mod merge;
 pub(crate) mod scan;
+pub(crate) mod verify_partial;
+pub(crate) mod window;

@@ -24,6 +24,7 @@ use crate::physical::node::{
     HotScan, Node, PageDecision, Parallelism, RootNode, SeriesPipeline, Strategy,
 };
 use crate::physical::scan::{hot_verdict, page_verdict};
+use crate::physical::window::single_bucket_index;
 use crate::plan::{flatten_scan, PipelineConfig};
 use crate::slice::distribute;
 use crate::{Error, Result};
@@ -268,10 +269,11 @@ fn build_pipeline(
             // pruned page carries the obligation to checksum-verify
             // before it is dropped (§V verify-before-prune).
             checksum_obligation: !verdict.kept(),
+            cacheable: cacheable_page(page, &pred, &role, verdict.kept(), cfg),
         });
     }
     let parallelism = match &role {
-        Role::Agg { window, .. } if sliceable(&kept, &pred, window.is_some(), cfg) => {
+        Role::Agg { func, window } if sliceable(&kept, &pred, window.is_some(), *func, cfg) => {
             Parallelism::Sliced {
                 pages: kept.len(),
                 jobs: distribute(&kept, cfg.threads).len(),
@@ -279,6 +281,13 @@ fn build_pipeline(
         }
         _ => Parallelism::PerPage { jobs: kept.len() },
     };
+    if matches!(parallelism, Parallelism::Sliced { .. }) {
+        // Sliced pipelines run slice-coefficient jobs, which never probe
+        // the partial cache; a `[cacheable]` tag would be a lie.
+        for d in &mut decisions {
+            d.cacheable = false;
+        }
+    }
     SeriesPipeline {
         series,
         pred,
@@ -289,18 +298,47 @@ fn build_pipeline(
     }
 }
 
+/// The static partial-cache eligibility of one page (rendered as
+/// `[cacheable]` in `EXPLAIN`; checked by the cache-obligation
+/// invariant): the whole-page partial must be a pure function of the
+/// page content — kept, no value filter, time filter covering the whole
+/// page, and (under a windowed aggregate) the page inside one bucket.
+fn cacheable_page(
+    page: &Page,
+    pred: &Predicate,
+    role: &Role,
+    kept: bool,
+    cfg: &PipelineConfig,
+) -> bool {
+    let Role::Agg { window, .. } = role else {
+        return false;
+    };
+    cfg.partial_cache
+        && kept
+        && pred.value.is_none()
+        && time_covers_page(page, pred)
+        && match window {
+            None => true,
+            Some(w) => single_bucket_index(page, w).is_some(),
+        }
+}
+
 /// Whether the §III-C slicing morsel shape applies: unfiltered,
 /// unwindowed TS2DIFF scans with fewer kept pages than threads, where
-/// the slice partials combine symbolically.
+/// the slice partials combine symbolically. Partial-only aggregates
+/// (quantiles, rate/delta) never slice — a symbolic slice coefficient
+/// cannot carry a sketch or the covered timestamps.
 pub(crate) fn sliceable(
     kept: &[Arc<Page>],
     pred: &Predicate,
     windowed: bool,
+    func: AggFunc,
     cfg: &PipelineConfig,
 ) -> bool {
     cfg.allow_slicing
         && cfg.vectorized
         && !windowed
+        && !func.partial_only()
         && pred.is_trivial()
         && kept.len() < cfg.threads
         && kept
@@ -352,9 +390,21 @@ fn choose_page_strategy(
                 Strategy::Decode
             }
         }
-        Some(_) => {
+        // Windowed: TS2DIFF fuses per-window index subranges on any
+        // page; the whole-page forms (Delta-RLE, SVB, header MIN/MAX)
+        // additionally apply when the page is *bucket-aligned* — fully
+        // covered by the time filter and inside a single bucket — so
+        // only straddling pages decode.
+        Some(w) => {
+            let aligned = time_covers_page(page, pred) && single_bucket_index(page, w).is_some();
             if covers && page.header.val_encoding == Encoding::Ts2Diff {
                 Strategy::FusedTs2Diff
+            } else if covers && page.header.val_encoding == Encoding::DeltaRle && aligned {
+                Strategy::FusedDeltaRle
+            } else if covers && page.header.val_encoding == Encoding::StreamVByte && aligned {
+                Strategy::FusedSvb
+            } else if matches!(func, AggFunc::Min | AggFunc::Max) && aligned {
+                Strategy::HeaderMinMax
             } else {
                 Strategy::Decode
             }
@@ -501,12 +551,13 @@ impl PhysicalPlan {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "physical plan (threads={}, prune={}, fuse={}, vectorized={}, slicing={})",
+            "physical plan (threads={}, prune={}, fuse={}, vectorized={}, slicing={}, cache={})",
             cfg.threads,
             on_off(cfg.prune),
             fuse_name(cfg.fuse),
             on_off(cfg.vectorized),
             on_off(cfg.allow_slicing),
+            on_off(cfg.partial_cache),
         );
         let role_func = match &self.root {
             RootNode::Aggregate { func, window } => {
@@ -603,6 +654,7 @@ impl PhysicalPlan {
                 while j + 1 < p.decisions.len()
                     && p.decisions[j + 1].verdict == d.verdict
                     && p.decisions[j + 1].strategy == d.strategy
+                    && p.decisions[j + 1].cacheable == d.cacheable
                 {
                     j += 1;
                 }
@@ -611,11 +663,15 @@ impl PhysicalPlan {
                 } else {
                     format!("pages {i}-{j}")
                 };
+                // Static cache *eligibility* only — never live hit/miss
+                // counts, which would break the EXPLAIN purity check
+                // (`verify_explain` re-renders byte-identically).
+                let cache_tag = if d.cacheable { " [cacheable]" } else { "" };
                 match d.strategy {
                     Some(s) => {
                         let _ = writeln!(
                             out,
-                            "    {span}: {} -> {}",
+                            "    {span}: {} -> {}{cache_tag}",
                             d.verdict,
                             chain(s, &p.pred, role_func, sliced)
                         );

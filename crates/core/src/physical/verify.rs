@@ -25,6 +25,17 @@
 //!   page, so FIRST/LAST folding order is safe.
 //! * [`Invariant::ExplainRoundTrip`] — `EXPLAIN` text re-renders
 //!   byte-identically from the verified plan and echoes its structure.
+//! * [`Invariant::BucketTiling`] — windowed roots use a positive bucket
+//!   width, every kept page's window arithmetic is overflow-free, bucket
+//!   indices are monotone over each page, and consecutive bucket ranges
+//!   tile the time axis without gap or overlap.
+//! * [`Invariant::CacheObligation`] — a `[cacheable]` page decision only
+//!   appears where the partial cache is sound: cache enabled, page kept,
+//!   no value filter, time range covers the page, the page lands in a
+//!   single bucket, and the pipeline is not sliced.
+//! * [`Invariant::PartialMergeOrder`] — kept pages are strictly
+//!   time-ordered and internally consistent, so the sequential partial
+//!   merge (FIRST/LAST, timestamp bounds, sketches) is order-safe.
 //!
 //! [`verify`] is pure header/IR analysis and runs as a debug-assertion
 //! post-compile hook inside [`crate::physical::pipe::compile`];
@@ -42,6 +53,10 @@ use crate::physical::agg::{fusion_covers, spread_fits_i64};
 use crate::physical::node::{Parallelism, RootNode, SeriesPipeline, Strategy};
 use crate::physical::pipe::{pair_fusible, sliceable, time_covers_page, PhysicalPlan};
 use crate::physical::scan::{hot_verdict, page_verdict};
+use crate::physical::verify_partial::{
+    check_bucket_tiling, check_cache_obligations, check_partial_merge_order,
+};
+use crate::physical::window::single_bucket_index;
 use crate::plan::PipelineConfig;
 use crate::slice::{distribute, slice_range, WorkItem};
 
@@ -65,6 +80,13 @@ pub enum Invariant {
     HotFoldsLast,
     /// `EXPLAIN` output round-trips the verified plan.
     ExplainRoundTrip,
+    /// Windowed buckets are well-formed: positive width, overflow-free
+    /// index arithmetic, monotone over pages, gap/overlap-free ranges.
+    BucketTiling,
+    /// `[cacheable]` decisions only where the partial cache is sound.
+    CacheObligation,
+    /// Kept pages are strictly time-ordered (order-safe partial merge).
+    PartialMergeOrder,
 }
 
 impl Invariant {
@@ -78,6 +100,9 @@ impl Invariant {
             Invariant::FusionAdmissibility => "fusion-admissibility",
             Invariant::HotFoldsLast => "hot-folds-last",
             Invariant::ExplainRoundTrip => "explain-round-trip",
+            Invariant::BucketTiling => "bucket-tiling",
+            Invariant::CacheObligation => "cache-obligation",
+            Invariant::PartialMergeOrder => "partial-merge-order",
         }
     }
 }
@@ -108,13 +133,13 @@ impl std::error::Error for VerifyError {}
 /// Verifier result alias.
 pub type VerifyResult = std::result::Result<(), VerifyError>;
 
-fn fail(invariant: Invariant, detail: String) -> VerifyResult {
+pub(super) fn fail(invariant: Invariant, detail: String) -> VerifyResult {
     Err(VerifyError { invariant, detail })
 }
 
 /// What a pipeline's kept pages feed — mirrors the planner's `Role`, but
 /// derived here from the root node so the two cannot share a bug.
-enum VerifyRole {
+pub(super) enum VerifyRole {
     Agg {
         func: AggFunc,
         window: Option<SlidingWindow>,
@@ -139,6 +164,9 @@ pub fn verify(plan: &PhysicalPlan, cfg: &PipelineConfig) -> VerifyResult {
         check_slice_bounds(p, &role(i), cfg)?;
         check_fusion_admissibility(p, &role(i), cfg)?;
         check_hot_folds_last(p, &plan.root, cfg)?;
+        check_bucket_tiling(p, &role(i))?;
+        check_cache_obligations(p, &role(i), cfg)?;
+        check_partial_merge_order(p)?;
     }
     check_partition_tiling(plan, cfg)?;
     Ok(())
@@ -326,8 +354,8 @@ fn check_slice_bounds(p: &SeriesPipeline, role: &VerifyRole, cfg: &PipelineConfi
             }
         }
         Parallelism::Sliced { pages, jobs } => {
-            let windowed = match role {
-                VerifyRole::Agg { window, .. } => window.is_some(),
+            let (windowed, func) = match role {
+                VerifyRole::Agg { func, window } => (window.is_some(), *func),
                 VerifyRole::Rows => {
                     return fail(
                         Invariant::SliceBounds,
@@ -348,7 +376,7 @@ fn check_slice_bounds(p: &SeriesPipeline, role: &VerifyRole, cfg: &PipelineConfi
                     ),
                 );
             }
-            if !sliceable(&kept, &p.pred, windowed, cfg) {
+            if !sliceable(&kept, &p.pred, windowed, func, cfg) {
                 return fail(
                     Invariant::SliceBounds,
                     format!(
@@ -452,8 +480,12 @@ fn admissible(
         Strategy::FusedTs2Diff => fused_ok(Encoding::Ts2Diff),
         Strategy::FusedDeltaRle => {
             fused_ok(Encoding::DeltaRle)?;
-            if window.is_some() {
-                return Err("fused(delta_rle) inside a sliding window".into());
+            if let Some(w) = window {
+                // A windowed whole-page fusion is only exact when the
+                // page lands in a single bucket.
+                if single_bucket_index(page, w).is_none() {
+                    return Err("fused(delta_rle) on a page straddling a bucket boundary".into());
+                }
             }
             if !time_covers_page(page, pred) {
                 return Err("fused(delta_rle) on a partially covered page".into());
@@ -462,8 +494,10 @@ fn admissible(
         }
         Strategy::FusedSvb => {
             fused_ok(Encoding::StreamVByte)?;
-            if window.is_some() {
-                return Err("fused(svb) inside a sliding window".into());
+            if let Some(w) = window {
+                if single_bucket_index(page, w).is_none() {
+                    return Err("fused(svb) on a page straddling a bucket boundary".into());
+                }
             }
             if !time_covers_page(page, pred) {
                 return Err("fused(svb) on a partially covered page".into());
@@ -474,8 +508,10 @@ fn admissible(
             if !matches!(func, AggFunc::Min | AggFunc::Max) {
                 return Err(format!("header(min/max) for {}", func.name()));
             }
-            if window.is_some() {
-                return Err("header(min/max) inside a sliding window".into());
+            if let Some(w) = window {
+                if single_bucket_index(page, w).is_none() {
+                    return Err("header(min/max) on a page straddling a bucket boundary".into());
+                }
             }
             if pred.value.is_some() {
                 return Err("header(min/max) under a value filter".into());
@@ -657,6 +693,9 @@ mod tests {
             Invariant::FusionAdmissibility,
             Invariant::HotFoldsLast,
             Invariant::ExplainRoundTrip,
+            Invariant::BucketTiling,
+            Invariant::CacheObligation,
+            Invariant::PartialMergeOrder,
         ];
         let names: Vec<_> = all.iter().map(|i| i.name()).collect();
         let mut dedup = names.clone();

@@ -18,6 +18,7 @@ use crate::decode::DecodeOptions;
 use crate::exec::{ExecStats, Scheduler, StatsSnapshot};
 use crate::expr::{AggFunc, PairAggFunc, Plan, Predicate};
 use crate::fused::FuseLevel;
+use crate::partial::PartialState;
 use crate::physical::{driver, pipe};
 use crate::{Error, Result};
 
@@ -43,6 +44,13 @@ pub struct PipelineConfig {
     /// Executor dispatching the page/slice jobs: the persistent
     /// work-stealing pool (default) or the spawn-per-query baseline.
     pub scheduler: Scheduler,
+    /// Serve/store whole-page partial aggregate states through the
+    /// process-global [`crate::partial::PartialCache`] (content-
+    /// addressed by page checksum + header statistics + function).
+    /// `EXPLAIN` renders the static eligibility as `[cacheable]`;
+    /// [`StatsSnapshot::cache_hits`]/[`StatsSnapshot::cache_misses`]
+    /// count the live traffic.
+    pub partial_cache: bool,
 }
 
 impl Default for PipelineConfig {
@@ -58,6 +66,7 @@ impl Default for PipelineConfig {
             allow_slicing: true,
             decode_budget_bytes: None,
             scheduler: Scheduler::Pool,
+            partial_cache: true,
         }
     }
 }
@@ -214,6 +223,11 @@ pub(crate) fn flatten_scan(plan: &Plan) -> Result<(String, Predicate)> {
 }
 
 /// Converts a final aggregate state into the result cell for `func`.
+///
+/// Only the scalar-state aggregates finalize here; the partial-only
+/// functions (quantiles, rate/delta) need a [`PartialState`] and go
+/// through [`finalize_partial`] — handed a bare [`AggState`] they
+/// answer `Null`.
 pub fn finalize(func: AggFunc, state: &AggState) -> Value {
     if state.count == 0 {
         return Value::Null;
@@ -229,5 +243,50 @@ pub fn finalize(func: AggFunc, state: &AggState) -> Value {
         AggFunc::Variance => state.variance().map(Value::Float).unwrap_or(Value::Null),
         AggFunc::First => state.first.map(Value::Int).unwrap_or(Value::Null),
         AggFunc::Last => state.last.map(Value::Int).unwrap_or(Value::Null),
+        AggFunc::P50 | AggFunc::P95 | AggFunc::P99 | AggFunc::Rate | AggFunc::Delta => Value::Null,
+    }
+}
+
+/// Converts a final [`PartialState`] into the result cell for `func`:
+/// quantiles read the t-digest sketch, `RATE`/`DELTA` read the exact
+/// first/last values and timestamps, and everything else delegates to
+/// [`finalize`] on the embedded exact moments.
+pub fn finalize_partial(func: AggFunc, state: &PartialState) -> Value {
+    if state.agg.count == 0 {
+        return Value::Null;
+    }
+    match func {
+        AggFunc::P50 | AggFunc::P95 | AggFunc::P99 => {
+            let q = func.quantile().unwrap_or(0.5);
+            match &state.digest {
+                Some(d) if d.count() > 0 => Value::Float(d.quantile(q)),
+                _ => Value::Null,
+            }
+        }
+        AggFunc::Rate => match (
+            state.agg.first,
+            state.agg.last,
+            state.first_ts,
+            state.last_ts,
+        ) {
+            (Some(f), Some(l), Some(ft), Some(lt)) if ft != lt => {
+                // i128 intermediates: the value or time span may exceed
+                // i64 even though each endpoint fits.
+                let dv = l as i128 - f as i128;
+                let dt = lt as i128 - ft as i128;
+                Value::Float(dv as f64 / dt as f64)
+            }
+            _ => Value::Null, // fewer than two distinct instants
+        },
+        AggFunc::Delta => match (state.agg.first, state.agg.last) {
+            (Some(f), Some(l)) => {
+                let dv = l as i128 - f as i128;
+                i64::try_from(dv)
+                    .map(Value::Int)
+                    .unwrap_or(Value::Float(dv as f64))
+            }
+            _ => Value::Null,
+        },
+        _ => finalize(func, &state.agg),
     }
 }

@@ -10,11 +10,19 @@
 //! SELECT * FROM ts1 UNION ts2 ORDER BY TIME;                -- Q5
 //! SELECT * FROM ts1, ts2;                                   -- Q6
 //! SELECT AVG(v) FROM v WHERE time >= 3 AND time <= 5;       -- Example 2
+//! SELECT P95(A) FROM ts GROUP BY TIME(1000);                 -- bucketed quantile
+//! SELECT RATE(A) FROM ts WHERE time >= 5000 GROUP BY TIME(60000);
 //! ```
 //!
 //! `WHERE` accepts conjunctions of comparisons over `time` and the value
 //! column (any other identifier). Strict comparisons are normalized to
 //! inclusive integer bounds (`A > a` ⇒ `A ≥ a+1`).
+//!
+//! `GROUP BY TIME(dt)` is the epoch-aligned spelling of the `SW(t_min,
+//! dt)` sliding window: the bucket origin snaps the `WHERE` time lower
+//! bound (when one is given) down to a multiple of `dt`, so the same
+//! interval always produces the same bucket boundaries regardless of the
+//! filter. Without a time filter the origin is 0.
 
 use crate::expr::{AggFunc, BinOp, CmpOp, PairAggFunc, Plan, Predicate};
 use crate::{Error, Result};
@@ -281,6 +289,26 @@ fn parse_query(p: &mut Parser) -> Result<Plan> {
             return Err(Error::Sql("sliding window width must be positive".into()));
         }
         Some((t_min, dt))
+    } else if p.peek_kw("GROUP") {
+        p.next();
+        p.expect_kw("BY")?;
+        p.expect_kw("TIME")?;
+        p.expect(Token::LParen)?;
+        let dt = p.number()?;
+        p.expect(Token::RParen)?;
+        if dt <= 0 {
+            return Err(Error::Sql(
+                "GROUP BY TIME(..) interval must be positive".into(),
+            ));
+        }
+        // Epoch-aligned buckets: snap the WHERE time lower bound (if
+        // any) down to a multiple of dt so bucket boundaries depend only
+        // on the interval, never on the filter.
+        let t_min = match pred.as_ref().and_then(|pr| pr.time) {
+            Some(tr) if tr.lo != i64::MIN => tr.lo.div_euclid(dt).checked_mul(dt).unwrap_or(0),
+            _ => 0,
+        };
+        Some((t_min, dt))
     } else {
         None
     };
@@ -383,6 +411,11 @@ fn parse_select_item(p: &mut Parser) -> Result<SelectItem> {
                 "VARIANCE" | "VAR" => Some(AggFunc::Variance),
                 "FIRST" | "FIRST_VALUE" => Some(AggFunc::First),
                 "LAST" | "LAST_VALUE" => Some(AggFunc::Last),
+                "P50" | "MEDIAN" => Some(AggFunc::P50),
+                "P95" => Some(AggFunc::P95),
+                "P99" => Some(AggFunc::P99),
+                "RATE" => Some(AggFunc::Rate),
+                "DELTA" => Some(AggFunc::Delta),
                 _ => None,
             };
             let pair = match name.to_ascii_uppercase().as_str() {
@@ -563,172 +596,5 @@ fn parse_comparison(p: &mut Parser) -> Result<Conjunct> {
         Ok(Conjunct::Single(Predicate::time(lo, hi)))
     } else {
         Ok(Conjunct::Single(Predicate::value(lo, hi)))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::expr::{SlidingWindow, TimeRange};
-
-    #[test]
-    fn q1_window_sum() {
-        let plan = parse("SELECT SUM(A) FROM ts SW(0, 1000);").unwrap();
-        match plan {
-            Plan::WindowAggregate {
-                window,
-                func,
-                input,
-            } => {
-                assert_eq!(window, SlidingWindow { t_min: 0, dt: 1000 });
-                assert_eq!(func, AggFunc::Sum);
-                assert!(matches!(*input, Plan::Scan { .. }));
-            }
-            other => panic!("{other:?}"),
-        }
-    }
-
-    #[test]
-    fn q2_schema_annotation_ignored() {
-        let plan = parse("SELECT AVG(A) FROM ts(T, A) SW(100, 50)").unwrap();
-        assert!(matches!(
-            plan,
-            Plan::WindowAggregate {
-                func: AggFunc::Avg,
-                ..
-            }
-        ));
-    }
-
-    #[test]
-    fn q3_subquery_value_filter() {
-        let plan = parse("SELECT SUM(A) FROM (SELECT * FROM ts WHERE A > 10);").unwrap();
-        match plan {
-            Plan::Aggregate {
-                input,
-                func: AggFunc::Sum,
-            } => match *input {
-                Plan::Filter { pred, .. } => assert_eq!(pred.value, Some((11, i64::MAX))),
-                other => panic!("{other:?}"),
-            },
-            other => panic!("{other:?}"),
-        }
-    }
-
-    #[test]
-    fn q4_join_expression() {
-        let plan = parse("SELECT ts1.A+ts2.A FROM ts1, ts2;").unwrap();
-        assert!(matches!(plan, Plan::JoinExpr { op: BinOp::Add, .. }));
-    }
-
-    #[test]
-    fn q5_union_order_by_time() {
-        let plan = parse("SELECT * FROM ts1 UNION ts2 ORDER BY TIME;").unwrap();
-        assert!(matches!(plan, Plan::Union { .. }));
-    }
-
-    #[test]
-    fn q6_natural_join() {
-        let plan = parse("SELECT * FROM ts1, ts2;").unwrap();
-        assert!(matches!(plan, Plan::Join { .. }));
-    }
-
-    #[test]
-    fn example2_time_range_avg() {
-        let plan =
-            parse("SELECT AVG(Velocity) FROM Velocity WHERE Time >= 180000 AND Time <= 300000")
-                .unwrap();
-        match plan {
-            Plan::Aggregate {
-                input,
-                func: AggFunc::Avg,
-            } => match *input {
-                Plan::Filter { pred, .. } => {
-                    assert_eq!(
-                        pred.time,
-                        Some(TimeRange {
-                            lo: 180_000,
-                            hi: 300_000
-                        })
-                    );
-                }
-                other => panic!("{other:?}"),
-            },
-            other => panic!("{other:?}"),
-        }
-    }
-
-    #[test]
-    fn strict_bounds_normalized() {
-        let plan = parse("SELECT * FROM ts WHERE A > 5 AND A < 10").unwrap();
-        match plan {
-            Plan::Filter { pred, .. } => assert_eq!(pred.value, Some((6, 9))),
-            other => panic!("{other:?}"),
-        }
-    }
-
-    #[test]
-    fn negative_literals() {
-        let plan = parse("SELECT * FROM ts WHERE A >= -20 AND A <= -3").unwrap();
-        match plan {
-            Plan::Filter { pred, .. } => assert_eq!(pred.value, Some((-20, -3))),
-            other => panic!("{other:?}"),
-        }
-    }
-
-    #[test]
-    fn errors_are_reported() {
-        assert!(parse("SELECT").is_err());
-        assert!(parse("SELECT * FROM").is_err());
-        assert!(parse("FROBNICATE x").is_err());
-        assert!(parse("SELECT SUM(A) FROM ts SW(0, 0)").is_err());
-        assert!(parse("SELECT * FROM ts WHERE A !! 3").is_err());
-        assert!(parse("SELECT * FROM ts extra garbage").is_err());
-    }
-
-    #[test]
-    fn inter_column_predicate_attaches_to_join() {
-        let plan = parse("SELECT * FROM ts1, ts2 WHERE ts1.A > ts2.A").unwrap();
-        match plan {
-            Plan::Join { on, .. } => assert_eq!(on, Some(CmpOp::Gt)),
-            other => panic!("{other:?}"),
-        }
-        // Mixed with single-column conjuncts: Eq. 1 separation.
-        let plan = parse("SELECT * FROM ts1, ts2 WHERE time >= 5 AND ts1.A <= ts2.A").unwrap();
-        match plan {
-            Plan::Join { on, left, .. } => {
-                assert_eq!(on, Some(CmpOp::Le));
-                assert!(
-                    matches!(*left, Plan::Filter { .. }),
-                    "time filter pushed to scans"
-                );
-            }
-            other => panic!("{other:?}"),
-        }
-        // Two inter-column conjuncts are rejected.
-        assert!(parse("SELECT * FROM a, b WHERE a.A > b.A AND a.A < b.A").is_err());
-    }
-
-    #[test]
-    fn first_last_keywords() {
-        for (kw, func) in [("FIRST", AggFunc::First), ("LAST_VALUE", AggFunc::Last)] {
-            let plan = parse(&format!("SELECT {kw}(A) FROM ts WHERE time >= 3")).unwrap();
-            match plan {
-                Plan::Aggregate { func: f, .. } => assert_eq!(f, func),
-                other => panic!("{other:?}"),
-            }
-        }
-    }
-
-    #[test]
-    fn count_star() {
-        let plan = parse("SELECT COUNT(*) FROM ts WHERE time >= 0 AND time <= 10").unwrap();
-        assert!(matches!(
-            plan,
-            Plan::Aggregate {
-                func: AggFunc::Count,
-                ..
-            }
-        ));
     }
 }

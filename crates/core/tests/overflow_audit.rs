@@ -48,6 +48,7 @@ fn sliced_cfg() -> PipelineConfig {
         allow_slicing: true,
         decode_budget_bytes: None,
         scheduler: etsqp_core::exec::Scheduler::Pool,
+        partial_cache: true,
     }
 }
 

@@ -157,6 +157,7 @@ mod verdict_validation {
             allow_slicing: false,
             decode_budget_bytes: None,
             scheduler: Scheduler::Pool,
+            partial_cache: true,
         }
     }
 

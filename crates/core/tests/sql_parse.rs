@@ -1,0 +1,241 @@
+//! Parser acceptance tests for the SQL front end (`etsqp_core::sql`),
+//! kept out-of-crate so `sql.rs` stays within the module size budget —
+//! everything here drives the public `parse` entry point only.
+
+use etsqp_core::expr::{AggFunc, BinOp, CmpOp, Plan, SlidingWindow, TimeRange};
+use etsqp_core::sql::parse;
+
+#[test]
+fn q1_window_sum() {
+    let plan = parse("SELECT SUM(A) FROM ts SW(0, 1000);").unwrap();
+    match plan {
+        Plan::WindowAggregate {
+            window,
+            func,
+            input,
+        } => {
+            assert_eq!(window, SlidingWindow { t_min: 0, dt: 1000 });
+            assert_eq!(func, AggFunc::Sum);
+            assert!(matches!(*input, Plan::Scan { .. }));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn q2_schema_annotation_ignored() {
+    let plan = parse("SELECT AVG(A) FROM ts(T, A) SW(100, 50)").unwrap();
+    assert!(matches!(
+        plan,
+        Plan::WindowAggregate {
+            func: AggFunc::Avg,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn q3_subquery_value_filter() {
+    let plan = parse("SELECT SUM(A) FROM (SELECT * FROM ts WHERE A > 10);").unwrap();
+    match plan {
+        Plan::Aggregate {
+            input,
+            func: AggFunc::Sum,
+        } => match *input {
+            Plan::Filter { pred, .. } => assert_eq!(pred.value, Some((11, i64::MAX))),
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn q4_join_expression() {
+    let plan = parse("SELECT ts1.A+ts2.A FROM ts1, ts2;").unwrap();
+    assert!(matches!(plan, Plan::JoinExpr { op: BinOp::Add, .. }));
+}
+
+#[test]
+fn q5_union_order_by_time() {
+    let plan = parse("SELECT * FROM ts1 UNION ts2 ORDER BY TIME;").unwrap();
+    assert!(matches!(plan, Plan::Union { .. }));
+}
+
+#[test]
+fn q6_natural_join() {
+    let plan = parse("SELECT * FROM ts1, ts2;").unwrap();
+    assert!(matches!(plan, Plan::Join { .. }));
+}
+
+#[test]
+fn example2_time_range_avg() {
+    let plan =
+        parse("SELECT AVG(Velocity) FROM Velocity WHERE Time >= 180000 AND Time <= 300000")
+            .unwrap();
+    match plan {
+        Plan::Aggregate {
+            input,
+            func: AggFunc::Avg,
+        } => match *input {
+            Plan::Filter { pred, .. } => {
+                assert_eq!(
+                    pred.time,
+                    Some(TimeRange {
+                        lo: 180_000,
+                        hi: 300_000
+                    })
+                );
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn strict_bounds_normalized() {
+    let plan = parse("SELECT * FROM ts WHERE A > 5 AND A < 10").unwrap();
+    match plan {
+        Plan::Filter { pred, .. } => assert_eq!(pred.value, Some((6, 9))),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn negative_literals() {
+    let plan = parse("SELECT * FROM ts WHERE A >= -20 AND A <= -3").unwrap();
+    match plan {
+        Plan::Filter { pred, .. } => assert_eq!(pred.value, Some((-20, -3))),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn errors_are_reported() {
+    assert!(parse("SELECT").is_err());
+    assert!(parse("SELECT * FROM").is_err());
+    assert!(parse("FROBNICATE x").is_err());
+    assert!(parse("SELECT SUM(A) FROM ts SW(0, 0)").is_err());
+    assert!(parse("SELECT * FROM ts WHERE A !! 3").is_err());
+    assert!(parse("SELECT * FROM ts extra garbage").is_err());
+}
+
+#[test]
+fn inter_column_predicate_attaches_to_join() {
+    let plan = parse("SELECT * FROM ts1, ts2 WHERE ts1.A > ts2.A").unwrap();
+    match plan {
+        Plan::Join { on, .. } => assert_eq!(on, Some(CmpOp::Gt)),
+        other => panic!("{other:?}"),
+    }
+    // Mixed with single-column conjuncts: Eq. 1 separation.
+    let plan = parse("SELECT * FROM ts1, ts2 WHERE time >= 5 AND ts1.A <= ts2.A").unwrap();
+    match plan {
+        Plan::Join { on, left, .. } => {
+            assert_eq!(on, Some(CmpOp::Le));
+            assert!(
+                matches!(*left, Plan::Filter { .. }),
+                "time filter pushed to scans"
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+    // Two inter-column conjuncts are rejected.
+    assert!(parse("SELECT * FROM a, b WHERE a.A > b.A AND a.A < b.A").is_err());
+}
+
+#[test]
+fn first_last_keywords() {
+    for (kw, func) in [("FIRST", AggFunc::First), ("LAST_VALUE", AggFunc::Last)] {
+        let plan = parse(&format!("SELECT {kw}(A) FROM ts WHERE time >= 3")).unwrap();
+        match plan {
+            Plan::Aggregate { func: f, .. } => assert_eq!(f, func),
+            other => panic!("{other:?}"),
+        }
+    }
+}
+
+#[test]
+fn group_by_time_epoch_aligned() {
+    // No time filter: bucket origin 0.
+    let plan = parse("SELECT SUM(A) FROM ts GROUP BY TIME(1000)").unwrap();
+    match plan {
+        Plan::WindowAggregate { window, func, .. } => {
+            assert_eq!(window, SlidingWindow { t_min: 0, dt: 1000 });
+            assert_eq!(func, AggFunc::Sum);
+        }
+        other => panic!("{other:?}"),
+    }
+    // Lower bound 2500 snaps down to the bucket multiple 2000.
+    let plan = parse("SELECT AVG(A) FROM ts WHERE time >= 2500 GROUP BY TIME(1000)").unwrap();
+    match plan {
+        Plan::WindowAggregate { window, .. } => {
+            assert_eq!(
+                window,
+                SlidingWindow {
+                    t_min: 2000,
+                    dt: 1000
+                }
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+    // Negative bounds snap toward negative infinity.
+    let plan = parse("SELECT MAX(A) FROM ts WHERE time >= -1500 GROUP BY TIME(1000)").unwrap();
+    match plan {
+        Plan::WindowAggregate { window, .. } => {
+            assert_eq!(
+                window,
+                SlidingWindow {
+                    t_min: -2000,
+                    dt: 1000
+                }
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn quantile_rate_delta_keywords() {
+    for (kw, func) in [
+        ("P50", AggFunc::P50),
+        ("MEDIAN", AggFunc::P50),
+        ("P95", AggFunc::P95),
+        ("P99", AggFunc::P99),
+        ("RATE", AggFunc::Rate),
+        ("DELTA", AggFunc::Delta),
+    ] {
+        let plan = parse(&format!("SELECT {kw}(A) FROM ts")).unwrap();
+        match plan {
+            Plan::Aggregate { func: f, .. } => assert_eq!(f, func, "{kw}"),
+            other => panic!("{other:?}"),
+        }
+        let plan = parse(&format!("SELECT {kw}(A) FROM ts GROUP BY TIME(500)")).unwrap();
+        match plan {
+            Plan::WindowAggregate { func: f, .. } => assert_eq!(f, func, "{kw}"),
+            other => panic!("{other:?}"),
+        }
+    }
+}
+
+#[test]
+fn group_by_time_rejects_malformed() {
+    assert!(parse("SELECT SUM(A) FROM ts GROUP BY TIME(0)").is_err());
+    assert!(parse("SELECT SUM(A) FROM ts GROUP BY TIME(-5)").is_err());
+    assert!(parse("SELECT SUM(A) FROM ts GROUP BY TIME()").is_err());
+    assert!(parse("SELECT SUM(A) FROM ts GROUP BY VALUE(10)").is_err());
+    assert!(parse("SELECT SUM(A) FROM ts GROUP TIME(10)").is_err());
+    assert!(parse("SELECT * FROM ts GROUP BY TIME(10)").is_err());
+}
+
+#[test]
+fn count_star() {
+    let plan = parse("SELECT COUNT(*) FROM ts WHERE time >= 0 AND time <= 10").unwrap();
+    assert!(matches!(
+        plan,
+        Plan::Aggregate {
+            func: AggFunc::Count,
+            ..
+        }
+    ));
+}

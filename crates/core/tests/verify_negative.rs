@@ -320,6 +320,69 @@ fn explain_round_trip_rejects_tampered_text() {
 }
 
 #[test]
+fn bucket_tiling_rejects_degenerate_widths() {
+    let store = store_with(&["a"]);
+    let cfg = cfg();
+    // dt = 640 page-aligns the 64-point pages (ts step 10, t_min 0).
+    let plan = Plan::scan("a").window(0, 640, AggFunc::Sum);
+    let phys = compile(&plan, &store, &cfg).unwrap();
+    verify(&phys, &cfg).unwrap();
+
+    // Zero bucket width: window arithmetic would divide by zero.
+    let mut broken = phys.clone();
+    let RootNode::Aggregate {
+        window: Some(w), ..
+    } = &mut broken.root
+    else {
+        panic!("windowed plan must compile to a windowed aggregate root");
+    };
+    w.dt = 0;
+    expect_invariant(verify(&broken, &cfg), Invariant::BucketTiling);
+}
+
+#[test]
+fn cache_obligation_rejects_value_filtered_pages() {
+    let store = store_with(&["a"]);
+    let cfg = cfg();
+    // A value filter means a page's whole-page partial is not its exact
+    // contribution, so no decision may be marked cacheable.
+    let plan = Plan::scan("a")
+        .filter(Predicate::value(100, 110))
+        .aggregate(AggFunc::Sum);
+    let mut phys = compile(&plan, &store, &cfg).unwrap();
+    assert!(
+        phys.pipelines[0].decisions.iter().all(|d| !d.cacheable),
+        "value-filtered pages must not plan cacheable"
+    );
+    let kept = phys.pipelines[0]
+        .decisions
+        .iter()
+        .position(|d| d.verdict.kept())
+        .expect("fixture keeps at least one page");
+    phys.pipelines[0].decisions[kept].cacheable = true;
+    expect_invariant(verify(&phys, &cfg), Invariant::CacheObligation);
+}
+
+#[test]
+fn partial_merge_order_rejects_out_of_order_pages() {
+    let store = store_with(&["a"]);
+    let cfg = cfg();
+    let mut phys = compile(&sum_plan("a"), &store, &cfg).unwrap();
+    // Swap the first two pages (and their decisions, repairing the
+    // per-index bookkeeping so PlanShape still holds): the sequential
+    // partial merge would now fold page 1's span before page 0's.
+    let p = &mut phys.pipelines[0];
+    p.pages.swap(0, 1);
+    p.decisions.swap(0, 1);
+    let counts: Vec<u64> = p.pages.iter().map(|pg| pg.header.count as u64).collect();
+    for (i, d) in p.decisions.iter_mut().enumerate() {
+        d.index = i;
+        d.tuples = counts[i];
+    }
+    expect_invariant(verify(&phys, &cfg), Invariant::PartialMergeOrder);
+}
+
+#[test]
 fn driver_refuses_plans_without_checksum_obligations() {
     // End-to-end: the executor itself rejects a tampered plan whose
     // pruned page lost its obligation (defense in depth behind the

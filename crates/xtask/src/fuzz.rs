@@ -1,5 +1,7 @@
 //! Deterministic mutational fuzzer for the untrusted-input surfaces:
-//! every codec decoder, `Page::from_bytes`, and `tsfile::read`.
+//! every codec decoder, `Page::from_bytes`, `tsfile::read`, and the
+//! partial-state wire format (`PartialState::from_bytes`, including the
+//! embedded t-digest parser).
 //!
 //! ```text
 //! cargo run -p xtask -- fuzz [--iters N] [--seed S] [--corpus <dir>]
@@ -29,6 +31,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use etsqp_core::expr::AggFunc;
+use etsqp_core::partial::PartialState;
 use etsqp_encoding::Encoding;
 use etsqp_storage::page::Page;
 use etsqp_storage::store::SeriesStore;
@@ -77,6 +81,10 @@ enum Target {
     Float(Encoding),
     PageImage,
     TsFileImage,
+    /// `PartialState::from_bytes` — the partial-aggregate wire format,
+    /// including the embedded t-digest (hostile centroid counts,
+    /// non-finite means/weights, envelope lies).
+    Partial,
 }
 
 impl Target {
@@ -85,6 +93,7 @@ impl Target {
             Target::Int(e) | Target::Float(e) => e.name().to_string(),
             Target::PageImage => "page".to_string(),
             Target::TsFileImage => "tsfile".to_string(),
+            Target::Partial => "partial".to_string(),
         }
     }
 }
@@ -152,6 +161,20 @@ fn build_seeds(target: &Target, rng: &mut Rng, scratch: &Path) -> Vec<Vec<u8>> {
             if let Ok(p) = Page::encode_f64(&ts, &vals, Encoding::Ts2Diff, Encoding::Chimp) {
                 seeds.push(p.to_bytes());
             }
+            seeds
+        }
+        Target::Partial => {
+            // Valid serialized partials across the state shapes: plain
+            // moments, timestamp bounds, quantile sketch, and empty.
+            let mut seeds = Vec::new();
+            for func in [AggFunc::Sum, AggFunc::P95, AggFunc::First, AggFunc::Rate] {
+                let mut s = PartialState::new(func);
+                for i in 0..300i64 {
+                    s.push_tv(1_000 + i * 10, (i * 37) % 211 - 100);
+                }
+                seeds.push(s.to_bytes());
+            }
+            seeds.push(PartialState::new(AggFunc::Count).to_bytes());
             seeds
         }
         Target::TsFileImage => {
@@ -290,6 +313,36 @@ fn check(target: &Target, input: &[u8], scratch: &Path) -> Verdict {
                 }
                 Ok(())
             }
+            Target::Partial => {
+                if let Ok(state) = PartialState::from_bytes(input) {
+                    // Accepted partials must re-serialize canonically…
+                    let canon = state.to_bytes();
+                    let back = PartialState::from_bytes(&canon)
+                        .map_err(|e| format!("accepted partial fails re-parse: {e}"))?;
+                    if back.to_bytes() != canon {
+                        return Err("accepted partial breaks canonical round-trip".into());
+                    }
+                    // …merge panic-free (the hot cross-page path)…
+                    let mut doubled = state.clone();
+                    doubled.merge(&state);
+                    // …and keep quantile estimates inside the envelope.
+                    if let Some(d) = &state.digest {
+                        for q in [0.0, 0.5, 1.0] {
+                            let est = d.quantile(q);
+                            if d.count() > 0 {
+                                let lo = d.min().unwrap_or(f64::NEG_INFINITY);
+                                let hi = d.max().unwrap_or(f64::INFINITY);
+                                if !(est >= lo && est <= hi) {
+                                    return Err(format!(
+                                        "quantile({q}) = {est} escaped [{lo}, {hi}]"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
             Target::TsFileImage => {
                 let path = scratch.join("fuzz.etsqp");
                 if std::fs::write(&path, input).is_err() {
@@ -373,7 +426,10 @@ fn content_hash(bytes: &[u8]) -> u64 {
 ///   `trail` 64 and overflowed the shift) — kept as a regression;
 /// - `page__payload_bitflip`: a valid page image with one payload bit
 ///   flipped — must be rejected by the checksum trailer;
-/// - `tsfile__bad_magic` / `tsfile__truncated`: file-level corruption.
+/// - `tsfile__bad_magic` / `tsfile__truncated`: file-level corruption;
+/// - `partial__*`: partial-state wire-format hostility — truncation, a
+///   count field spliced to `u64::MAX`, a hostile embedded-digest
+///   centroid count, and a NaN centroid mean.
 pub fn emit_corpus(dir: &Path) -> std::io::Result<usize> {
     std::fs::create_dir_all(dir)?;
     let mut written = 0usize;
@@ -442,6 +498,37 @@ pub fn emit_corpus(dir: &Path) -> std::io::Result<usize> {
         emit("page__truncated".to_string(), &image[..image.len() / 2])?;
     }
 
+    // Partial-state wire format: one valid quantile partial, then the
+    // hostile variants the parser must reject as typed errors.
+    {
+        let mut state = PartialState::new(AggFunc::P95);
+        for i in 0..300i64 {
+            state.push_tv(1_000 + i * 10, (i * 37) % 211 - 100);
+        }
+        let valid = state.to_bytes();
+        emit("partial__truncated".to_string(), &valid[..valid.len() / 2])?;
+        // The count field (offset 32, u64 LE) lies: presence checks must
+        // catch a count that disagrees with the digest's weights.
+        let mut hostile = valid.clone();
+        hostile[32..40].copy_from_slice(&u64::MAX.to_le_bytes());
+        emit("partial__hostile_count".to_string(), &hostile)?;
+        // The embedded digest trails the fixed fields; locate it by
+        // length so the splice targets its leading centroid count and
+        // first centroid mean regardless of option-tag layout.
+        let dbytes = state
+            .digest
+            .as_ref()
+            .map(|d| d.to_bytes())
+            .unwrap_or_default();
+        let doff = valid.len() - dbytes.len();
+        let mut hostile_m = valid.clone();
+        hostile_m[doff..doff + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        emit("partial__hostile_centroids".to_string(), &hostile_m)?;
+        let mut nan_mean = valid.clone();
+        nan_mean[doff + 4..doff + 12].copy_from_slice(&f64::NAN.to_le_bytes());
+        emit("partial__nan_mean".to_string(), &nan_mean)?;
+    }
+
     let scratch = std::env::temp_dir().join(format!("etsqp-corpus-{}", std::process::id()));
     std::fs::create_dir_all(&scratch)?;
     let mut rng = Rng::new(1);
@@ -479,7 +566,7 @@ pub fn run(cfg: &FuzzConfig) -> u64 {
         .iter()
         .map(|&e| Target::Int(e))
         .chain(FLOAT_CODECS.iter().map(|&e| Target::Float(e)))
-        .chain([Target::PageImage, Target::TsFileImage])
+        .chain([Target::PageImage, Target::TsFileImage, Target::Partial])
         .collect();
     let seeds: Vec<Vec<Vec<u8>>> = targets
         .iter()

@@ -2,7 +2,7 @@
 //!
 //! Two passes, both gating in `scripts/ci.sh`:
 //!
-//! 1. **Enumeration** — compiles the 16-query differential battery over
+//! 1. **Enumeration** — compiles the 20-query differential battery over
 //!    every Table II dataset × value codec cell (plus the timestamp-codec
 //!    and hot+sealed cells) under the full pipeline-config cross, and runs
 //!    each compiled [`PhysicalPlan`] through
@@ -75,6 +75,7 @@ fn all_configs() -> Vec<PipelineConfig> {
                             allow_slicing,
                             decode_budget_bytes: None,
                             scheduler: Scheduler::Pool,
+                            partial_cache: true,
                         });
                     }
                 }
@@ -95,6 +96,7 @@ fn canonical_configs() -> Vec<PipelineConfig> {
         allow_slicing: false,
         decode_budget_bytes: None,
         scheduler: Scheduler::Pool,
+        partial_cache: true,
     };
     vec![
         base,
@@ -131,7 +133,7 @@ fn cfg_label(cfg: &PipelineConfig) -> String {
 }
 
 /// Builds the store for one (spec × value codec × ts codec) cell and the
-/// 16-query battery derived from the generated data's actual ranges —
+/// 20-query battery derived from the generated data's actual ranges —
 /// the same battery the differential oracle suite executes.
 fn cell(
     spec: Spec,
@@ -218,6 +220,16 @@ fn cell(
         (
             "WCOUNT(value)".into(),
             scan_a().filter(v_band).window(w_min, w_dt, AggFunc::Count),
+        ),
+        ("P95(all)".into(), scan_a().aggregate(AggFunc::P95)),
+        ("WP50".into(), scan_a().window(w_min, w_dt, AggFunc::P50)),
+        (
+            "WRATE(time)".into(),
+            scan_a().filter(t_mid).window(w_min, w_dt, AggFunc::Rate),
+        ),
+        (
+            "DELTA(time)".into(),
+            scan_a().filter(t_mid).aggregate(AggFunc::Delta),
         ),
         ("SCAN(both)".into(), scan_a().filter(both)),
         (
@@ -553,6 +565,62 @@ fn mutation_pass(report: &mut Report) {
         "explain-round-trip/tampered-text",
         Invariant::ExplainRoundTrip,
         verify_explain(&phys, &cfg, &tampered),
+        report,
+    );
+
+    // bucket-tiling: a windowed root whose bucket width was zeroed.
+    let wsum = Plan::scan("m").window(0, 640, AggFunc::Sum);
+    let mut phys = pipe::compile(&wsum, &store, &cfg).unwrap();
+    match &mut phys.root {
+        RootNode::Aggregate {
+            window: Some(w), ..
+        } => w.dt = 0,
+        other => panic!("windowed fixture compiled to {other:?}"),
+    }
+    expect(
+        "bucket-tiling/zero-width",
+        Invariant::BucketTiling,
+        verify(&phys, &cfg),
+        report,
+    );
+
+    // cache-obligation: a page under a value filter marked cacheable
+    // (a cache keyed only on (checksum, func) statistics would serve a
+    // filtered partial as if it were the whole page).
+    let filtered = Plan::scan("m")
+        .filter(Predicate::value(100, 130))
+        .aggregate(AggFunc::Sum);
+    let mut phys = pipe::compile(&filtered, &store, &cfg).unwrap();
+    let d = phys.pipelines[0]
+        .decisions
+        .iter_mut()
+        .find(|d| d.verdict.kept())
+        .expect("fixture keeps at least one page");
+    d.cacheable = true;
+    expect(
+        "cache-obligation/value-filtered",
+        Invariant::CacheObligation,
+        verify(&phys, &cfg),
+        report,
+    );
+
+    // partial-merge-order: adjacent pages swapped (index/tuples patched
+    // so PlanShape holds) — the merge chain is no longer time-ordered.
+    let mut phys = pipe::compile(&sum_m, &store, &cfg).unwrap();
+    {
+        let p = &mut phys.pipelines[0];
+        assert!(p.pages.len() >= 2, "fixture seals multiple pages");
+        p.pages.swap(0, 1);
+        p.decisions.swap(0, 1);
+        for (i, d) in p.decisions.iter_mut().enumerate() {
+            d.index = i;
+            d.tuples = p.pages[i].header.count as u64;
+        }
+    }
+    expect(
+        "partial-merge-order/pages-swapped",
+        Invariant::PartialMergeOrder,
+        verify(&phys, &cfg),
         report,
     );
 }

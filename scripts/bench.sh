@@ -71,3 +71,18 @@ echo "==> decode_bench (ETSQP_BENCH_DECODE_INTS=${ETSQP_BENCH_DECODE_INTS:-26214
 
 echo "==> BENCH_decode.json"
 cat BENCH_decode.json
+
+# Bucketed aggregation + partial cache (BENCH_bucket.json): fused
+# single-bucket pages vs the straddling decode path, and P95 / bucketed
+# SUM with the per-page partial cache cold vs warm. The headline
+# p95_warm_speedup is the ISSUE 9 acceptance number (warm >= 5x cold).
+# Non-gating; scale with ETSQP_BENCH_BUCKET_REPS (reps per cell,
+# default 30).
+echo "==> cargo build --release -p etsqp-bench --bin bucket_bench"
+cargo build --release -p etsqp-bench --bin bucket_bench
+
+echo "==> bucket_bench (ETSQP_BENCH_BUCKET_REPS=${ETSQP_BENCH_BUCKET_REPS:-30}) -> BENCH_bucket.json"
+./target/release/bucket_bench > BENCH_bucket.json
+
+echo "==> BENCH_bucket.json"
+cat BENCH_bucket.json

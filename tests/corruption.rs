@@ -12,13 +12,15 @@
 //! as `chimp__zero_sig.bin` (a flag-`01` code with zero significant
 //! bits used to overflow a shift by 64). File names are
 //! `<target>__<description>.bin`, where `<target>` is a codec name from
-//! `Encoding::name()`, `page` (a `Page::to_bytes` image), or `tsfile`
-//! (an on-disk file image). Regenerate with
+//! `Encoding::name()`, `page` (a `Page::to_bytes` image), `tsfile`
+//! (an on-disk file image), or `partial` (a `PartialState::to_bytes`
+//! wire image with its embedded t-digest). Regenerate with
 //! `cargo run -p xtask -- fuzz --emit-corpus`.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
+use etsqp::core::partial::PartialState;
 use etsqp::encoding::Encoding;
 use etsqp::storage::page::Page;
 use etsqp::storage::tsfile;
@@ -58,6 +60,19 @@ fn check(target: &str, bytes: &[u8]) -> Option<String> {
                     } else {
                         let _ = page.decode();
                     }
+                }
+                Ok(())
+            }
+            "partial" => {
+                if let Ok(state) = PartialState::from_bytes(bytes) {
+                    let canon = state.to_bytes();
+                    let back = PartialState::from_bytes(&canon)
+                        .map_err(|e| format!("accepted partial fails re-parse: {e}"))?;
+                    if back.to_bytes() != canon {
+                        return Err("accepted partial breaks canonical round-trip".into());
+                    }
+                    let mut doubled = state.clone();
+                    doubled.merge(&state);
                 }
                 Ok(())
             }

@@ -60,6 +60,7 @@ fn all_configs() -> Vec<PipelineConfig> {
                             allow_slicing,
                             decode_budget_bytes: None,
                             scheduler: Scheduler::Pool,
+                            partial_cache: true,
                         });
                     }
                 }
@@ -80,6 +81,7 @@ fn canonical_configs() -> Vec<PipelineConfig> {
         allow_slicing: false,
         decode_budget_bytes: None,
         scheduler: Scheduler::Pool,
+        partial_cache: true,
     };
     vec![
         base,
@@ -252,6 +254,30 @@ fn fixture(spec: Spec, val_codec: Encoding, ts_codec: Encoding) -> Fixture {
                 right: Box::new(scan_b()),
                 func: PairAggFunc::Correlation,
             },
+        ),
+        // Partial-state battery (appended so earlier indices stay
+        // stable for Block D): exact first/last-derived aggregates and
+        // bucketed order-sensitive merges — all compare bit-exact.
+        ("DELTA(all)".into(), scan_a().aggregate(AggFunc::Delta)),
+        (
+            "RATE(value)".into(),
+            scan_a().filter(v_band).aggregate(AggFunc::Rate),
+        ),
+        (
+            "WRATE(time)".into(),
+            scan_a().filter(t_mid).window(w_min, w_dt, AggFunc::Rate),
+        ),
+        (
+            "WDELTA".into(),
+            scan_a().window(w_min, w_dt, AggFunc::Delta),
+        ),
+        (
+            "WFIRST".into(),
+            scan_a().window(w_min, w_dt, AggFunc::First),
+        ),
+        (
+            "WLAST(time)".into(),
+            scan_a().filter(t_mid).window(w_min, w_dt, AggFunc::Last),
         ),
     ];
     let n = queries.len();
@@ -511,4 +537,123 @@ fn corrupted_pages_abort_never_lie() {
     }
     assert!(cases >= 60, "fault sweep too small: {cases} cases");
     eprintln!("differential fault injection: {cases} cases, all aborted with typed errors");
+}
+
+/// Block F: quantile sketches. The t-digest answer is approximate, so
+/// this block checks the documented *rank* contract instead of equality:
+/// the engine's estimate, ranked against the exact sorted qualifying
+/// values of its bucket, lies within `TDigest::rank_error_bound(n)` ranks
+/// of the target `q·n` — across codecs, configs (partial cache on and
+/// off), whole-range and bucketed shapes, and a hot+sealed tail. Each
+/// query also runs twice per config: the second run answers from the
+/// partial cache and must reproduce the first bit-for-bit.
+#[test]
+fn quantile_sketches_stay_within_rank_bound() {
+    use etsqp::core::partial::TDigest;
+
+    let check_rank = |est: f64, bucket: &mut Vec<i64>, q: f64, label: &str| {
+        bucket.sort_unstable();
+        let n = bucket.len();
+        assert!(n > 0, "{label}: engine answered for an empty bucket");
+        let rank = bucket.partition_point(|&v| (v as f64) <= est) as f64;
+        let target = q * n as f64;
+        let bound = TDigest::rank_error_bound(n as u64);
+        assert!(
+            (rank - target).abs() <= bound,
+            "{label}: est={est} rank={rank} target={target} bound={bound} n={n}"
+        );
+        assert!(
+            est >= bucket[0] as f64 && est <= bucket[n - 1] as f64,
+            "{label}: est={est} outside the exact [min, max] envelope"
+        );
+    };
+
+    let mut configs = canonical_configs();
+    configs.push(PipelineConfig {
+        partial_cache: false,
+        ..Default::default()
+    });
+    let mut cases = 0usize;
+    for spec in [Spec::Atmosphere, Spec::Timestamp, Spec::Tpch] {
+        for codec in [Encoding::Ts2Diff, Encoding::DeltaRle, Encoding::StreamVByte] {
+            for hot in [false, true] {
+                let data = spec.generate(ROWS);
+                let store = SeriesStore::new(PAGE_POINTS);
+                let name = format!("{}_q", spec.label());
+                store.create_series(&name, Encoding::Ts2Diff, codec);
+                store
+                    .append_all(&name, &data.timestamps, &data.columns[0].1)
+                    .unwrap();
+                store.flush(&name).unwrap();
+                let mut ts = data.timestamps.clone();
+                let mut vals = data.columns[0].1.clone();
+                if hot {
+                    let tn = *ts.last().unwrap();
+                    for i in 0..40i64 {
+                        let v = (i * 907) % 511 - 200;
+                        store.append(&name, tn + (i + 1) * 3, v).unwrap();
+                        ts.push(tn + (i + 1) * 3);
+                        vals.push(v);
+                    }
+                }
+                let t0 = ts[0];
+                let span = (*ts.last().unwrap() - t0).max(1);
+                let w_dt = (span / 7).max(1);
+                for (func, q) in [
+                    (AggFunc::P50, 0.5),
+                    (AggFunc::P95, 0.95),
+                    (AggFunc::P99, 0.99),
+                ] {
+                    for windowed in [false, true] {
+                        let plan = if windowed {
+                            Plan::scan(&name).window(t0, w_dt, func)
+                        } else {
+                            Plan::scan(&name).aggregate(func)
+                        };
+                        for cfg in &configs {
+                            let label = format!(
+                                "spec={} codec={codec:?} hot={hot} {func:?} windowed={windowed} \
+                                 cfg=[{}]",
+                                spec.label(),
+                                cfg_label(cfg)
+                            );
+                            let r = execute(&plan, &store, cfg).unwrap();
+                            let again = execute(&plan, &store, cfg).unwrap();
+                            assert!(
+                                rows_eq(&r.rows, &again.rows),
+                                "{label}: cached re-run diverged from the first answer"
+                            );
+                            if windowed {
+                                for row in &r.rows {
+                                    let (Value::Int(start), v) = (row[0], row[1]) else {
+                                        panic!("{label}: malformed window row {row:?}");
+                                    };
+                                    let Value::Float(est) = v else {
+                                        panic!("{label}: quantile cell was {v:?}");
+                                    };
+                                    let mut bucket: Vec<i64> = ts
+                                        .iter()
+                                        .zip(&vals)
+                                        .filter(|(&t, _)| t >= start && t < start + w_dt)
+                                        .map(|(_, &v)| v)
+                                        .collect();
+                                    check_rank(est, &mut bucket, q, &label);
+                                    cases += 1;
+                                }
+                            } else {
+                                let Value::Float(est) = r.rows[0][0] else {
+                                    panic!("{label}: quantile cell was {:?}", r.rows[0][0]);
+                                };
+                                let mut bucket = vals.clone();
+                                check_rank(est, &mut bucket, q, &label);
+                                cases += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(cases >= 200, "quantile sweep too small: {cases} cases");
+    eprintln!("differential quantile sweep: {cases} cases within the rank bound");
 }

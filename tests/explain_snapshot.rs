@@ -1,5 +1,5 @@
 //! Snapshot tests for `EXPLAIN`: the rendered physical pipeline for the
-//! 16-query battery is pinned byte for byte against
+//! 23-query battery is pinned byte for byte against
 //! `tests/snapshots/explain.snap`, through both the library entry point
 //! (`IotDb::query` / `IotDb::explain`) and the `etsqp-cli` binary.
 //!
@@ -38,7 +38,7 @@ fn fixture() -> IotDb {
     db
 }
 
-/// The 16-query battery of `tests/differential.rs`, in SQL form. Ranges
+/// The query battery of `tests/differential.rs`, in SQL form. Ranges
 /// mirror the differential fixture's quartile time band, value band, and
 /// ~span/9 window width against the fixed fixture above.
 fn battery() -> Vec<&'static str> {
@@ -59,6 +59,21 @@ fn battery() -> Vec<&'static str> {
         "SELECT snap_a.A + snap_b.A FROM snap_a, snap_b",
         "SELECT DOT(snap_a, snap_b) FROM snap_a, snap_b",
         "SELECT CORR(snap_a, snap_b) FROM snap_a, snap_b",
+        // Partial-state surface: bucketed windows, quantile sketches,
+        // rate/delta, and cache-eligibility (`[cacheable]`) markings.
+        // SW(1000, 640) aligns bucket boundaries with the 64-point pages
+        // (dt = 10, pages start at t = 1000), so whole pages land in
+        // single buckets: the planner keeps them fused and cacheable.
+        // GROUP BY TIME(640) snaps the origin to the epoch instead, so
+        // the same width straddles pages across buckets and falls back
+        // to the decode path.
+        "SELECT P95(A) FROM snap_a",
+        "SELECT SUM(A) FROM snap_a SW(1000, 640)",
+        "SELECT P50(A) FROM snap_a SW(1000, 640)",
+        "SELECT SUM(A) FROM snap_a GROUP BY TIME(640)",
+        "SELECT RATE(A) FROM snap_a WHERE time >= 1750 AND time <= 3240",
+        "SELECT DELTA(A) FROM snap_a SW(1000, 640)",
+        "SELECT P99(A) FROM snap_a WHERE A >= 10 AND A <= 60",
     ]
 }
 
