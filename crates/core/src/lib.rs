@@ -73,6 +73,16 @@ pub enum Error {
     /// The query ran past its deadline (`--timeout-ms` /
     /// [`cancel::CancellationToken::with_timeout`]).
     Timeout,
+    /// The service shed this query at admission because both the
+    /// in-flight bound and the wait queue were full. Failing fast here
+    /// is the point: stacking the query behind a saturated queue would
+    /// only add latency for everyone. `retry_after_ms` is the server's
+    /// estimate of when capacity frees up (clients should back off at
+    /// least this long before retrying).
+    Overloaded {
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// A scheduler worker panicked; the payload message is preserved so
     /// one bad page aborts the query, not the process.
     Worker(String),
@@ -93,6 +103,9 @@ impl std::fmt::Display for Error {
             Error::Overflow => write!(f, "aggregate overflow"),
             Error::Cancelled => write!(f, "query cancelled"),
             Error::Timeout => write!(f, "query deadline exceeded"),
+            Error::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms} ms")
+            }
             Error::Worker(msg) => write!(f, "worker panicked: {msg}"),
             Error::Verify(e) => write!(f, "plan verifier: {e}"),
         }
@@ -119,6 +132,45 @@ impl From<etsqp_encoding::Error> for Error {
 impl From<etsqp_storage::Error> for Error {
     fn from(e: etsqp_storage::Error) -> Self {
         Error::Storage(e)
+    }
+}
+
+impl Error {
+    /// Whether this error traces back to rejected (corrupt or hostile)
+    /// input rather than usage or transient conditions.
+    pub fn is_corrupt(&self) -> bool {
+        match self {
+            Error::Encoding(_) | Error::Decode(_) => true,
+            Error::Storage(e) => matches!(
+                e,
+                etsqp_storage::Error::Corrupt { .. } | etsqp_storage::Error::Encoding(_)
+            ),
+            _ => false,
+        }
+    }
+
+    /// The process exit status for this error, shared by every binary
+    /// front end (CLI and server) so scripts can react to the failure
+    /// class. The table (documented in the README):
+    ///
+    /// | code | meaning |
+    /// |------|---------|
+    /// | 1    | generic failure (SQL, plan, worker, verifier, I/O…) |
+    /// | 3    | corrupt input rejected (checksum, hostile header…) |
+    /// | 4    | query deadline exceeded ([`Error::Timeout`]) |
+    /// | 5    | shed at admission ([`Error::Overloaded`]) |
+    /// | 6    | query cancelled ([`Error::Cancelled`]) |
+    ///
+    /// (0 is success and 2 is a usage error, per convention; neither
+    /// reaches this function.)
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            _ if self.is_corrupt() => 3,
+            Error::Timeout => 4,
+            Error::Overloaded { .. } => 5,
+            Error::Cancelled => 6,
+            _ => 1,
+        }
     }
 }
 

@@ -69,9 +69,8 @@ fn q6_natural_join() {
 
 #[test]
 fn example2_time_range_avg() {
-    let plan =
-        parse("SELECT AVG(Velocity) FROM Velocity WHERE Time >= 180000 AND Time <= 300000")
-            .unwrap();
+    let plan = parse("SELECT AVG(Velocity) FROM Velocity WHERE Time >= 180000 AND Time <= 300000")
+        .unwrap();
     match plan {
         Plan::Aggregate {
             input,

@@ -1,0 +1,712 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Frame grammar (all integers little-endian):
+//!
+//! ```text
+//! frame   := version:u8  type:u8  len:u32  payload:len bytes
+//! version := 0x01
+//! type    := 0x01 Query   (client → server; payload = SQL, UTF-8)
+//!          | 0x02 Ping    (client → server; empty payload)
+//!          | 0x81 Result  (server → client; payload = result set)
+//!          | 0x82 Error   (server → client; payload = typed error)
+//!          | 0x83 Pong    (server → client; empty payload)
+//!
+//! result  := elapsed_us:u64  ncols:u16  col*ncols  nrows:u32  row*nrows
+//! col     := len:u16  name:len bytes (UTF-8)
+//! row     := cell*ncols
+//! cell    := 0x00                      (NULL)
+//!          | 0x01 value:i64            (integer)
+//!          | 0x02 value:f64 (IEEE 754) (float)
+//!
+//! error   := code:u8  retry_after_ms:u32  len:u16  message:len bytes
+//! ```
+//!
+//! This module is an untrusted-input surface on both sides (hostile
+//! clients attack the server's parser, a hostile server attacks the
+//! client's), so every parse path returns a typed [`ProtoError`] and
+//! never panics — enforced statically by the `no-panic-paths` lint and
+//! dynamically by the `proto` fuzz target and the committed corpus
+//! replayed in `tests/corruption.rs`.
+//!
+//! Design constraints the grammar encodes:
+//!
+//! * the 4-byte length prefix is validated against a hard cap *before*
+//!   any allocation, so a hostile `len = u32::MAX` cannot balloon
+//!   memory ([`FrameDecoder`] buffers at most `max_frame_len` +
+//!   [`HEADER_LEN`] bytes per connection);
+//! * the version byte leads, so a speaker of a future protocol is
+//!   rejected on the first byte rather than misparsed;
+//! * error frames carry the retry-after hint in-band, so an
+//!   [`ErrorCode::Overloaded`] response is actionable without any
+//!   out-of-band channel.
+
+use etsqp_core::plan::{QueryResult, Value};
+use etsqp_core::Error as CoreError;
+
+/// Protocol version spoken by this build.
+pub const VERSION: u8 = 1;
+
+/// Bytes in a frame header: version + type + u32 length.
+pub const HEADER_LEN: usize = 6;
+
+/// Default cap on a frame payload (requests and responses).
+pub const DEFAULT_MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Frame type tags on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    /// SQL query request.
+    Query,
+    /// Liveness probe.
+    Ping,
+    /// Query result set.
+    Result,
+    /// Typed error response.
+    Error,
+    /// Liveness reply.
+    Pong,
+}
+
+impl FrameType {
+    fn from_byte(b: u8) -> Option<FrameType> {
+        match b {
+            0x01 => Some(FrameType::Query),
+            0x02 => Some(FrameType::Ping),
+            0x81 => Some(FrameType::Result),
+            0x82 => Some(FrameType::Error),
+            0x83 => Some(FrameType::Pong),
+            _ => None,
+        }
+    }
+
+    fn byte(self) -> u8 {
+        match self {
+            FrameType::Query => 0x01,
+            FrameType::Ping => 0x02,
+            FrameType::Result => 0x81,
+            FrameType::Error => 0x82,
+            FrameType::Pong => 0x83,
+        }
+    }
+}
+
+/// A complete frame lifted off the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the payload means.
+    pub kind: FrameType,
+    /// The raw payload bytes (interpreted per [`Frame::kind`]).
+    pub payload: Vec<u8>,
+}
+
+/// Typed parse failures; every variant is a protocol violation by the
+/// peer (the connection is closed after reporting it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// First byte was not [`VERSION`].
+    BadVersion(u8),
+    /// Unknown frame-type byte.
+    BadType(u8),
+    /// Declared payload length exceeds the negotiated cap.
+    Oversized {
+        /// Length the header declared.
+        declared: u64,
+        /// The cap it exceeded.
+        max: u64,
+    },
+    /// The payload did not parse as its frame type demands.
+    BadPayload(&'static str),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::BadType(t) => write!(f, "unknown frame type 0x{t:02x}"),
+            ProtoError::Oversized { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds the {max}-byte cap")
+            }
+            ProtoError::BadPayload(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Incremental frame decoder with a bounded buffer.
+///
+/// Feed raw socket bytes with [`FrameDecoder::extend`], pull complete
+/// frames with [`FrameDecoder::next_frame`]. The internal buffer never
+/// holds more than one maximum-size frame plus the following header, so
+/// a connection's parse state is bounded regardless of client behaviour.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    max_frame_len: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing `max_frame_len` as the payload cap.
+    pub fn new(max_frame_len: usize) -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            max_frame_len,
+        }
+    }
+
+    /// Appends raw bytes read from the peer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether a frame header has arrived but its payload is still
+    /// incomplete — the "half-open frame" state a slow-loris client
+    /// parks a connection in.
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+            && (self.buf.len() < HEADER_LEN || {
+                let need = header_payload_len(&self.buf);
+                matches!(need, Some(n) if self.buf.len() < HEADER_LEN + n)
+            })
+    }
+
+    /// Extracts the next complete frame, `Ok(None)` if more bytes are
+    /// needed, or a typed error on a protocol violation (the caller
+    /// should close the connection; the decoder state is poisoned in
+    /// the sense that resynchronization is not attempted).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ProtoError> {
+        if self.buf.is_empty() {
+            return Ok(None);
+        }
+        if self.buf[0] != VERSION {
+            return Err(ProtoError::BadVersion(self.buf[0]));
+        }
+        if self.buf.len() < 2 {
+            return Ok(None);
+        }
+        let kind = FrameType::from_byte(self.buf[1]).ok_or(ProtoError::BadType(self.buf[1]))?;
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        // Validate the declared length against the cap *before* waiting
+        // for (or allocating) the payload.
+        let declared = u32::from_le_bytes([self.buf[2], self.buf[3], self.buf[4], self.buf[5]]);
+        let len = declared as usize;
+        if len > self.max_frame_len {
+            return Err(ProtoError::Oversized {
+                declared: declared as u64,
+                max: self.max_frame_len as u64,
+            });
+        }
+        if self.buf.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let payload = self.buf[HEADER_LEN..HEADER_LEN + len].to_vec();
+        self.buf.drain(..HEADER_LEN + len);
+        Ok(Some(Frame { kind, payload }))
+    }
+}
+
+/// The payload length a buffered header declares, if enough bytes are
+/// present to read it.
+fn header_payload_len(buf: &[u8]) -> Option<usize> {
+    if buf.len() < HEADER_LEN {
+        return None;
+    }
+    Some(u32::from_le_bytes([buf[2], buf[3], buf[4], buf[5]]) as usize)
+}
+
+/// Encodes one frame (header + payload) into a fresh buffer.
+pub fn encode_frame(kind: FrameType, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.push(VERSION);
+    out.push(kind.byte());
+    // Payloads are produced by this process and bounded well below
+    // u32::MAX by the frame cap; saturate rather than wrap if a caller
+    // ever exceeds it (the peer then rejects the frame as truncated,
+    // which is the safe failure).
+    let len = u32::try_from(payload.len()).unwrap_or(u32::MAX);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Error payloads
+// ---------------------------------------------------------------------
+
+/// Error classes on the wire. The mapping from engine errors is total:
+/// every [`CoreError`] lands in exactly one code, so a client can react
+/// (back off, re-submit, give up) without parsing prose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// SQL text rejected by the parser.
+    Sql = 1,
+    /// Logical plan not executable (unknown series, bad window…).
+    Plan = 2,
+    /// Corrupt or hostile input rejected by a checksum/preflight.
+    Corrupt = 3,
+    /// Per-query deadline exceeded.
+    Timeout = 4,
+    /// Query cancelled (e.g. its connection went away mid-execution).
+    Cancelled = 5,
+    /// Shed at admission; `retry_after_ms` is the back-off hint.
+    Overloaded = 6,
+    /// A pool worker failed while executing the query.
+    Worker = 7,
+    /// Protocol violation by the client (reported before closing).
+    Proto = 8,
+    /// Anything else (aggregate overflow, verifier rejection…).
+    Internal = 9,
+}
+
+impl ErrorCode {
+    /// Parses a code byte from the wire.
+    pub fn from_byte(b: u8) -> Option<ErrorCode> {
+        match b {
+            1 => Some(ErrorCode::Sql),
+            2 => Some(ErrorCode::Plan),
+            3 => Some(ErrorCode::Corrupt),
+            4 => Some(ErrorCode::Timeout),
+            5 => Some(ErrorCode::Cancelled),
+            6 => Some(ErrorCode::Overloaded),
+            7 => Some(ErrorCode::Worker),
+            8 => Some(ErrorCode::Proto),
+            9 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+
+    /// Classifies an engine error.
+    pub fn from_core(e: &CoreError) -> ErrorCode {
+        match e {
+            _ if e.is_corrupt() => ErrorCode::Corrupt,
+            CoreError::Sql(_) => ErrorCode::Sql,
+            CoreError::Plan(_) => ErrorCode::Plan,
+            CoreError::Timeout => ErrorCode::Timeout,
+            CoreError::Cancelled => ErrorCode::Cancelled,
+            CoreError::Overloaded { .. } => ErrorCode::Overloaded,
+            CoreError::Worker(_) => ErrorCode::Worker,
+            _ => ErrorCode::Internal,
+        }
+    }
+}
+
+/// A decoded error frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Error class.
+    pub code: ErrorCode,
+    /// Back-off hint (0 when not applicable).
+    pub retry_after_ms: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)?;
+        if self.retry_after_ms > 0 {
+            write!(f, " (retry after {} ms)", self.retry_after_ms)?;
+        }
+        Ok(())
+    }
+}
+
+/// Serializes an error payload.
+pub fn encode_error(code: ErrorCode, retry_after_ms: u32, message: &str) -> Vec<u8> {
+    let msg = message.as_bytes();
+    let take = msg.len().min(u16::MAX as usize);
+    // A multi-byte UTF-8 sequence may straddle the cap; back up to a
+    // boundary so the truncated message stays valid UTF-8.
+    let mut cut = take;
+    while cut > 0 && !message.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    let mut out = Vec::with_capacity(7 + cut);
+    out.push(code as u8);
+    out.extend_from_slice(&retry_after_ms.to_le_bytes());
+    let len = u16::try_from(cut).unwrap_or(u16::MAX);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&msg[..cut]);
+    out
+}
+
+/// Serializes an engine error, deriving code and retry hint.
+pub fn encode_core_error(e: &CoreError) -> Vec<u8> {
+    let retry = match e {
+        CoreError::Overloaded { retry_after_ms } => {
+            u32::try_from(*retry_after_ms).unwrap_or(u32::MAX)
+        }
+        _ => 0,
+    };
+    encode_error(ErrorCode::from_core(e), retry, &e.to_string())
+}
+
+/// Parses an error payload.
+pub fn decode_error(payload: &[u8]) -> Result<WireError, ProtoError> {
+    if payload.len() < 7 {
+        return Err(ProtoError::BadPayload("error frame shorter than 7 bytes"));
+    }
+    let code = ErrorCode::from_byte(payload[0])
+        .ok_or(ProtoError::BadPayload("unknown error code byte"))?;
+    let retry_after_ms = u32::from_le_bytes([payload[1], payload[2], payload[3], payload[4]]);
+    let len = u16::from_le_bytes([payload[5], payload[6]]) as usize;
+    let rest = &payload[7..];
+    if rest.len() != len {
+        return Err(ProtoError::BadPayload("error message length mismatch"));
+    }
+    let message = std::str::from_utf8(rest)
+        .map_err(|_| ProtoError::BadPayload("error message is not UTF-8"))?
+        .to_string();
+    Ok(WireError {
+        code,
+        retry_after_ms,
+        message,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Result payloads
+// ---------------------------------------------------------------------
+
+/// A decoded result frame: the row data of a [`QueryResult`] plus the
+/// server-side execution time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireResult {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Server-side execution time in microseconds.
+    pub elapsed_us: u64,
+}
+
+impl WireResult {
+    /// Canonical re-serialization, byte-identical to what
+    /// [`encode_result`] produces for the same data. The fuzzer and the
+    /// corpus replay use it for the accepted-implies-round-trip check.
+    pub fn encode(&self) -> Vec<u8> {
+        encode_result_parts(&self.columns, &self.rows, self.elapsed_us)
+    }
+}
+
+/// Serializes a query result payload.
+pub fn encode_result(r: &QueryResult) -> Vec<u8> {
+    let elapsed_us = u64::try_from(r.elapsed.as_micros()).unwrap_or(u64::MAX);
+    encode_result_parts(&r.columns, &r.rows, elapsed_us)
+}
+
+fn encode_result_parts(columns: &[String], rows: &[Vec<Value>], elapsed_us: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&elapsed_us.to_le_bytes());
+    let ncols = u16::try_from(columns.len()).unwrap_or(u16::MAX);
+    out.extend_from_slice(&ncols.to_le_bytes());
+    for c in columns.iter().take(ncols as usize) {
+        let b = c.as_bytes();
+        let take = b.len().min(u16::MAX as usize);
+        let mut cut = take;
+        while cut > 0 && !c.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let len = u16::try_from(cut).unwrap_or(u16::MAX);
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&b[..cut]);
+    }
+    let nrows = u32::try_from(rows.len()).unwrap_or(u32::MAX);
+    out.extend_from_slice(&nrows.to_le_bytes());
+    for row in rows.iter().take(nrows as usize) {
+        for i in 0..ncols as usize {
+            match row.get(i) {
+                None | Some(Value::Null) => out.push(0),
+                Some(Value::Int(v)) => {
+                    out.push(1);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                Some(Value::Float(v)) => {
+                    out.push(2);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A bounds-checked little-endian reader over a result payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(ProtoError::BadPayload("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(ProtoError::BadPayload("payload truncated"));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+}
+
+/// Parses a result payload. Row and column counts are validated against
+/// the bytes actually present before any allocation is sized from them,
+/// so a hostile `nrows = u32::MAX` cannot balloon memory.
+pub fn decode_result(payload: &[u8]) -> Result<WireResult, ProtoError> {
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let elapsed_us = r.u64()?;
+    let ncols = r.u16()? as usize;
+    // Each column needs at least its 2-byte length on the wire.
+    if ncols > payload.len() / 2 {
+        return Err(ProtoError::BadPayload("column count exceeds payload"));
+    }
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let len = r.u16()? as usize;
+        let name = std::str::from_utf8(r.take(len)?)
+            .map_err(|_| ProtoError::BadPayload("column name is not UTF-8"))?;
+        columns.push(name.to_string());
+    }
+    let nrows = r.u32()? as usize;
+    // Every cell is at least one tag byte; reject counts the remaining
+    // bytes cannot possibly satisfy. A zero-column result must declare
+    // zero rows — its rows consume no payload at all, so any nonzero
+    // count would drive an unbounded decode loop (fuzzer-found).
+    let remaining = payload.len() - r.pos;
+    if ncols == 0 && nrows != 0 {
+        return Err(ProtoError::BadPayload("rows declared without columns"));
+    }
+    if ncols != 0 && nrows > remaining / ncols {
+        return Err(ProtoError::BadPayload("row count exceeds payload"));
+    }
+    let mut rows = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        let mut row = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let tag = r.take(1)?[0];
+            row.push(match tag {
+                0 => Value::Null,
+                1 => {
+                    let b = r.take(8)?;
+                    let mut a = [0u8; 8];
+                    a.copy_from_slice(b);
+                    Value::Int(i64::from_le_bytes(a))
+                }
+                2 => {
+                    let b = r.take(8)?;
+                    let mut a = [0u8; 8];
+                    a.copy_from_slice(b);
+                    Value::Float(f64::from_le_bytes(a))
+                }
+                _ => return Err(ProtoError::BadPayload("unknown cell tag")),
+            });
+        }
+        rows.push(row);
+    }
+    if r.pos != payload.len() {
+        return Err(ProtoError::BadPayload("trailing bytes after result"));
+    }
+    Ok(WireResult {
+        columns,
+        rows,
+        elapsed_us,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample_result() -> QueryResult {
+        QueryResult {
+            columns: vec!["time".into(), "SUM(v)".into()],
+            rows: vec![
+                vec![Value::Int(1000), Value::Int(42)],
+                vec![Value::Int(2000), Value::Float(6.5)],
+                vec![Value::Int(3000), Value::Null],
+            ],
+            stats: etsqp_core::exec::ExecStats::default().snapshot(),
+            elapsed: Duration::from_micros(1234),
+            explain: None,
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let wire = encode_frame(FrameType::Query, b"SELECT 1");
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        dec.extend(&wire);
+        let f = dec.next_frame().unwrap().unwrap();
+        assert_eq!(f.kind, FrameType::Query);
+        assert_eq!(f.payload, b"SELECT 1");
+        assert!(dec.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn frame_roundtrip_byte_at_a_time() {
+        let wire = encode_frame(FrameType::Ping, &[]);
+        let mut dec = FrameDecoder::new(64);
+        for (i, b) in wire.iter().enumerate() {
+            dec.extend(&[*b]);
+            let got = dec.next_frame().unwrap();
+            if i + 1 < wire.len() {
+                assert!(got.is_none(), "frame complete early at byte {i}");
+                assert!(dec.mid_frame());
+            } else {
+                assert_eq!(got.unwrap().kind, FrameType::Ping);
+                assert!(!dec.mid_frame());
+            }
+        }
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut dec = FrameDecoder::new(64);
+        dec.extend(&[0x7f, 0x01, 0, 0, 0, 0]);
+        assert_eq!(dec.next_frame(), Err(ProtoError::BadVersion(0x7f)));
+    }
+
+    #[test]
+    fn bad_type_rejected() {
+        let mut dec = FrameDecoder::new(64);
+        dec.extend(&[VERSION, 0x55, 0, 0, 0, 0]);
+        assert_eq!(dec.next_frame(), Err(ProtoError::BadType(0x55)));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_payload_arrives() {
+        let mut dec = FrameDecoder::new(16);
+        let mut hdr = vec![VERSION, 0x01];
+        hdr.extend_from_slice(&u32::MAX.to_le_bytes());
+        dec.extend(&hdr);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(ProtoError::Oversized { max: 16, .. })
+        ));
+    }
+
+    #[test]
+    fn pipelined_frames_split_correctly() {
+        let mut wire = encode_frame(FrameType::Query, b"a");
+        wire.extend(encode_frame(FrameType::Query, b"bb"));
+        let mut dec = FrameDecoder::new(64);
+        dec.extend(&wire);
+        assert_eq!(dec.next_frame().unwrap().unwrap().payload, b"a");
+        assert_eq!(dec.next_frame().unwrap().unwrap().payload, b"bb");
+        assert!(dec.next_frame().unwrap().is_none());
+        assert!(!dec.mid_frame());
+    }
+
+    #[test]
+    fn result_roundtrip() {
+        let r = sample_result();
+        let wire = encode_result(&r);
+        let back = decode_result(&wire).unwrap();
+        assert_eq!(back.columns, r.columns);
+        assert_eq!(back.rows, r.rows);
+        assert_eq!(back.elapsed_us, 1234);
+    }
+
+    #[test]
+    fn result_hostile_counts_rejected() {
+        let r = sample_result();
+        let mut wire = encode_result(&r);
+        // Splice the row count (offset 8 + 2 + cols…) — easier: splice
+        // the column count at offset 8 to u16::MAX.
+        wire[8..10].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert!(decode_result(&wire).is_err());
+    }
+
+    #[test]
+    fn error_roundtrip() {
+        let payload = encode_error(ErrorCode::Overloaded, 250, "queue full");
+        let back = decode_error(&payload).unwrap();
+        assert_eq!(back.code, ErrorCode::Overloaded);
+        assert_eq!(back.retry_after_ms, 250);
+        assert_eq!(back.message, "queue full");
+    }
+
+    #[test]
+    fn core_error_mapping_is_total() {
+        use etsqp_core::Error;
+        let cases: Vec<(Error, ErrorCode)> = vec![
+            (Error::Sql("x".into()), ErrorCode::Sql),
+            (Error::Plan("x".into()), ErrorCode::Plan),
+            (Error::Timeout, ErrorCode::Timeout),
+            (Error::Cancelled, ErrorCode::Cancelled),
+            (
+                Error::Overloaded { retry_after_ms: 9 },
+                ErrorCode::Overloaded,
+            ),
+            (Error::Worker("w".into()), ErrorCode::Worker),
+            (Error::Overflow, ErrorCode::Internal),
+            (Error::Decode("d"), ErrorCode::Corrupt),
+        ];
+        for (e, want) in cases {
+            assert_eq!(ErrorCode::from_core(&e), want, "{e}");
+        }
+        let wire = encode_core_error(&etsqp_core::Error::Overloaded { retry_after_ms: 77 });
+        let back = decode_error(&wire).unwrap();
+        assert_eq!(back.retry_after_ms, 77);
+    }
+
+    #[test]
+    fn result_zero_cols_nonzero_rows_rejected() {
+        // Fuzzer-found DoS: ncols = 0 means rows consume no payload,
+        // so a hostile nrows once drove an unbounded decode loop.
+        let mut p = Vec::new();
+        p.extend_from_slice(&0u64.to_le_bytes());
+        p.extend_from_slice(&0u16.to_le_bytes());
+        p.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_result(&p).is_err());
+        // The legal zero-column shape (no rows) still parses.
+        let mut ok = Vec::new();
+        ok.extend_from_slice(&0u64.to_le_bytes());
+        ok.extend_from_slice(&0u16.to_le_bytes());
+        ok.extend_from_slice(&0u32.to_le_bytes());
+        let r = decode_result(&ok).unwrap();
+        assert!(r.columns.is_empty() && r.rows.is_empty());
+    }
+
+    #[test]
+    fn truncated_error_rejected() {
+        assert!(decode_error(&[6, 0, 0]).is_err());
+        assert!(decode_error(&[]).is_err());
+        // Length field lies about the remaining bytes.
+        let mut p = encode_error(ErrorCode::Sql, 0, "hello");
+        p.truncate(p.len() - 2);
+        assert!(decode_error(&p).is_err());
+    }
+}

@@ -1,0 +1,316 @@
+//! The accept loop, connection registry, stats surface, and graceful
+//! drain.
+//!
+//! The accept loop is deliberately thin: a non-blocking listener polled
+//! on its own thread, whose only decisions are (a) are we draining?
+//! drop the socket, (b) is the connection cap reached? send one
+//! `Overloaded` farewell frame and close, (c) otherwise register the
+//! connection and hand the socket to its handler thread
+//! ([`crate::conn`]). Everything stateful — admission, backpressure,
+//! cancellation — lives behind those handlers, so the accept path can
+//! never block on a misbehaving peer.
+//!
+//! Shutdown protocol ([`ServerHandle::shutdown`]):
+//!
+//! 1. stop accepting (drain flag; the accept thread exits);
+//! 2. the admission pool stops admitting — late queries shed typed;
+//! 3. queued and in-flight queries finish (or are cancelled at the
+//!    drain deadline) and their responses are flushed;
+//! 4. connection handlers close once idle; the handle joins every
+//!    thread and returns the final stats snapshot.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use etsqp_core::engine::IotDb;
+use parking_lot::Mutex;
+
+use crate::admission::{AdmissionConfig, RunnerPool};
+use crate::proto::{encode_error, encode_frame, ErrorCode, FrameType, DEFAULT_MAX_FRAME_LEN};
+
+/// Server tuning knobs. Defaults are production-shaped: bounded
+/// everything, generous enough for interactive use.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Admission bounds (in-flight, queue, default deadline).
+    pub admission: AdmissionConfig,
+    /// Connection cap; past it, new sockets get an `Overloaded`
+    /// farewell frame and are closed.
+    pub max_connections: usize,
+    /// Frame payload cap, both directions.
+    pub max_frame_len: usize,
+    /// How long a half-open request frame may sit without progress
+    /// before the connection is closed (slow-loris bound).
+    pub partial_frame_timeout: Duration,
+    /// How long a peer may refuse to drain its responses before the
+    /// connection is closed (slow-reader bound).
+    pub write_stall_timeout: Duration,
+    /// Bound on the graceful-drain phase of shutdown; in-flight queries
+    /// still running past it are cancelled.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            admission: AdmissionConfig::default(),
+            max_connections: 2048,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            partial_frame_timeout: Duration::from_secs(2),
+            write_stall_timeout: Duration::from_secs(5),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Monotonic server counters (connection + protocol level; query-level
+/// counters live on [`crate::admission::AdmissionStats`]).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted and registered.
+    pub conns_accepted: AtomicU64,
+    /// Connections refused at the cap (got an `Overloaded` farewell).
+    pub conns_refused: AtomicU64,
+    /// Complete frames received from clients.
+    pub frames_rx: AtomicU64,
+    /// Raw bytes received from clients.
+    pub bytes_rx: AtomicU64,
+    /// Query frames received.
+    pub queries_rx: AtomicU64,
+    /// Protocol violations observed (bad version/type/length/payload).
+    pub proto_errors: AtomicU64,
+    /// Connections closed by the half-open-frame (slow-loris) bound.
+    pub slow_loris_closed: AtomicU64,
+    /// In-flight queries cancelled because their connection vanished.
+    pub disconnect_cancels: AtomicU64,
+    /// Results that exceeded the frame cap and were errored instead.
+    pub oversized_results: AtomicU64,
+}
+
+/// A point-in-time copy of every counter, for tests and reporting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatsSnapshot {
+    /// Connections accepted and registered.
+    pub conns_accepted: u64,
+    /// Connections refused at the cap.
+    pub conns_refused: u64,
+    /// Complete frames received.
+    pub frames_rx: u64,
+    /// Raw bytes received.
+    pub bytes_rx: u64,
+    /// Query frames received.
+    pub queries_rx: u64,
+    /// Protocol violations.
+    pub proto_errors: u64,
+    /// Slow-loris closures.
+    pub slow_loris_closed: u64,
+    /// Disconnect-triggered query cancellations.
+    pub disconnect_cancels: u64,
+    /// Oversized results errored.
+    pub oversized_results: u64,
+    /// Queries admitted by the gate.
+    pub admitted: u64,
+    /// Queries shed with `Overloaded`.
+    pub shed: u64,
+    /// Queries finished successfully.
+    pub done_ok: u64,
+    /// Queries finished with a typed error.
+    pub done_err: u64,
+    /// Finished-with-error queries that were cancellations.
+    pub cancelled: u64,
+    /// Finished-with-error queries that were deadline expiries.
+    pub timeouts: u64,
+}
+
+/// State shared between the accept loop, connection handlers, and the
+/// handle. Crate-visible: connection handlers live in [`crate::conn`].
+pub struct Shared {
+    /// Tuning knobs.
+    pub cfg: ServeConfig,
+    /// The admission gate + runner threads.
+    pub pool: RunnerPool,
+    /// Connection/protocol counters.
+    pub stats: ServerStats,
+    draining: AtomicBool,
+    drain_deadline: Mutex<Option<Instant>>,
+}
+
+impl Shared {
+    /// Whether shutdown has begun (handlers finish and close).
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Whether the graceful-drain deadline has passed.
+    pub fn drain_expired(&self) -> bool {
+        matches!(*self.drain_deadline.lock(), Some(d) if Instant::now() >= d)
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        let s = &self.stats;
+        let a = self.pool.stats();
+        StatsSnapshot {
+            conns_accepted: s.conns_accepted.load(Ordering::Relaxed),
+            conns_refused: s.conns_refused.load(Ordering::Relaxed),
+            frames_rx: s.frames_rx.load(Ordering::Relaxed),
+            bytes_rx: s.bytes_rx.load(Ordering::Relaxed),
+            queries_rx: s.queries_rx.load(Ordering::Relaxed),
+            proto_errors: s.proto_errors.load(Ordering::Relaxed),
+            slow_loris_closed: s.slow_loris_closed.load(Ordering::Relaxed),
+            disconnect_cancels: s.disconnect_cancels.load(Ordering::Relaxed),
+            oversized_results: s.oversized_results.load(Ordering::Relaxed),
+            admitted: a.admitted.load(Ordering::Relaxed),
+            shed: a.shed.load(Ordering::Relaxed),
+            done_ok: a.done_ok.load(Ordering::Relaxed),
+            done_err: a.done_err.load(Ordering::Relaxed),
+            cancelled: a.cancelled.load(Ordering::Relaxed),
+            timeouts: a.timeouts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`] for the graceful drain.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Instantaneous (inflight, queued) gauge.
+    pub fn load(&self) -> (usize, usize) {
+        self.shared.pool.load()
+    }
+
+    /// Graceful drain: stop accepting, shed late arrivals, finish (or
+    /// cancel at the drain deadline) in-flight queries, flush and close
+    /// every connection, join every thread. Returns the final stats.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        {
+            let mut d = self.shared.drain_deadline.lock();
+            *d = Some(Instant::now() + self.shared.cfg.drain_timeout);
+        }
+        self.shared.draining.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Drain the admission pool first: queued/in-flight queries land
+        // their outcomes on the connections' channels…
+        self.shared.pool.drain(self.shared.cfg.drain_timeout);
+        // …then the handlers flush those responses and exit.
+        let handles: Vec<_> = self.conn_threads.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        self.shared.snapshot()
+    }
+}
+
+/// Binds `addr` and starts the accept loop over `db`.
+pub fn start(
+    db: Arc<IotDb>,
+    addr: impl ToSocketAddrs,
+    cfg: ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        cfg,
+        pool: RunnerPool::start(db, cfg.admission),
+        stats: ServerStats::default(),
+        draining: AtomicBool::new(false),
+        drain_deadline: Mutex::new(None),
+    });
+    let conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+        Arc::new(Mutex::new(Vec::new()));
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_conns = Arc::clone(&conn_threads);
+    let accept_thread = std::thread::Builder::new()
+        .name("etsqp-accept".into())
+        .spawn(move || accept_loop(&accept_shared, &listener, &accept_conns))
+        .map_err(std::io::Error::other)?;
+
+    Ok(ServerHandle {
+        shared,
+        addr: local,
+        accept_thread: Some(accept_thread),
+        conn_threads,
+    })
+}
+
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    conn_threads: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.is_draining() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Opportunistically reap finished handler threads so the
+                // registry does not grow with connection churn.
+                conn_threads.lock().retain(|h| !h.is_finished());
+                let active = conn_threads.lock().len();
+                if active >= shared.cfg.max_connections {
+                    refuse(shared, stream);
+                    continue;
+                }
+                shared.stats.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name("etsqp-conn".into())
+                    .spawn(move || crate::conn::handle(&conn_shared, stream));
+                match spawned {
+                    Ok(h) => conn_threads.lock().push(h),
+                    // Out of threads: treat like the connection cap.
+                    Err(_) => {
+                        shared.stats.conns_refused.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // Transient accept errors (EMFILE under pressure…) —
+                // back off instead of spinning.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// Sends a best-effort `Overloaded` farewell on a refused connection.
+fn refuse(shared: &Arc<Shared>, mut stream: TcpStream) {
+    shared.stats.conns_refused.fetch_add(1, Ordering::Relaxed);
+    let frame = encode_frame(
+        FrameType::Error,
+        &encode_error(
+            ErrorCode::Overloaded,
+            1_000,
+            "connection limit reached; retry later",
+        ),
+    );
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.write_all(&frame);
+}

@@ -1,7 +1,9 @@
 //! Deterministic mutational fuzzer for the untrusted-input surfaces:
-//! every codec decoder, `Page::from_bytes`, `tsfile::read`, and the
+//! every codec decoder, `Page::from_bytes`, `tsfile::read`, the
 //! partial-state wire format (`PartialState::from_bytes`, including the
-//! embedded t-digest parser).
+//! embedded t-digest parser), and the network wire-frame parser
+//! (`etsqp_serve::proto` — hostile length prefixes, truncated and
+//! oversized frames, bad version bytes, lying result/error payloads).
 //!
 //! ```text
 //! cargo run -p xtask -- fuzz [--iters N] [--seed S] [--corpus <dir>]
@@ -33,7 +35,11 @@ use std::time::Instant;
 
 use etsqp_core::expr::AggFunc;
 use etsqp_core::partial::PartialState;
+use etsqp_core::plan::Value;
 use etsqp_encoding::Encoding;
+use etsqp_serve::proto::{
+    self, ErrorCode, FrameDecoder, FrameType, WireResult, DEFAULT_MAX_FRAME_LEN,
+};
 use etsqp_storage::page::Page;
 use etsqp_storage::store::SeriesStore;
 use etsqp_storage::tsfile;
@@ -85,6 +91,10 @@ enum Target {
     /// including the embedded t-digest (hostile centroid counts,
     /// non-finite means/weights, envelope lies).
     Partial,
+    /// The network wire-frame grammar (`etsqp_serve::proto`): the
+    /// incremental `FrameDecoder` plus the typed error/result payload
+    /// parsers behind it.
+    Proto,
 }
 
 impl Target {
@@ -94,6 +104,7 @@ impl Target {
             Target::PageImage => "page".to_string(),
             Target::TsFileImage => "tsfile".to_string(),
             Target::Partial => "partial".to_string(),
+            Target::Proto => "proto".to_string(),
         }
     }
 }
@@ -130,6 +141,19 @@ fn float_seed_values(rng: &mut Rng) -> Vec<Vec<f64>> {
         vec![2.25],
         vec![],
     ]
+}
+
+/// A representative result payload (mixed cell tags, two rows) for the
+/// proto seeds and corpus.
+fn sample_wire_result() -> WireResult {
+    WireResult {
+        columns: vec!["COUNT(s)".to_string(), "AVG(s)".to_string()],
+        rows: vec![
+            vec![Value::Int(20_000), Value::Float(499.5)],
+            vec![Value::Null, Value::Int(-1)],
+        ],
+        elapsed_us: 3_808,
+    }
 }
 
 /// Builds the per-target seed corpora (all *valid* encodings).
@@ -175,6 +199,24 @@ fn build_seeds(target: &Target, rng: &mut Rng, scratch: &Path) -> Vec<Vec<u8>> {
                 seeds.push(s.to_bytes());
             }
             seeds.push(PartialState::new(AggFunc::Count).to_bytes());
+            seeds
+        }
+        Target::Proto => {
+            // Valid frames of every type, alone and pipelined, so the
+            // mutator attacks version bytes, length prefixes, error
+            // codes, column counts, and cell tags from real layouts.
+            let mut seeds = vec![
+                proto::encode_frame(FrameType::Query, b"SELECT COUNT(s) FROM s"),
+                proto::encode_frame(FrameType::Ping, &[]),
+                proto::encode_frame(
+                    FrameType::Error,
+                    &proto::encode_error(ErrorCode::Overloaded, 250, "queue full"),
+                ),
+                proto::encode_frame(FrameType::Result, &sample_wire_result().encode()),
+            ];
+            let mut pipelined = proto::encode_frame(FrameType::Ping, &[]);
+            pipelined.extend(proto::encode_frame(FrameType::Query, b"SELECT 1"));
+            seeds.push(pipelined);
             seeds
         }
         Target::TsFileImage => {
@@ -343,6 +385,56 @@ fn check(target: &Target, input: &[u8], scratch: &Path) -> Verdict {
                 }
                 Ok(())
             }
+            Target::Proto => {
+                // Drive the whole input through the incremental decoder.
+                // Every complete frame must re-encode to a stream that
+                // parses back identically; typed payloads (error,
+                // result) must additionally round-trip canonically.
+                // A typed `ProtoError` ends the stream — that is the
+                // decoder's contract with hostile peers.
+                let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+                dec.extend(input);
+                while let Ok(Some(frame)) = dec.next_frame() {
+                    let bytes = proto::encode_frame(frame.kind, &frame.payload);
+                    let mut again = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+                    again.extend(&bytes);
+                    match again.next_frame() {
+                        Ok(Some(back)) if back == frame => {}
+                        other => {
+                            return Err(format!("accepted frame breaks round-trip: {other:?}"))
+                        }
+                    }
+                    match frame.kind {
+                        FrameType::Error => {
+                            if let Ok(e) = proto::decode_error(&frame.payload) {
+                                let canon =
+                                    proto::encode_error(e.code, e.retry_after_ms, &e.message);
+                                let back = proto::decode_error(&canon).map_err(|x| {
+                                    format!("accepted error payload fails re-decode: {x}")
+                                })?;
+                                if back != e {
+                                    return Err("accepted error payload breaks round-trip".into());
+                                }
+                            }
+                        }
+                        FrameType::Result => {
+                            if let Ok(r) = proto::decode_result(&frame.payload) {
+                                // Compare canonical bytes, not values:
+                                // NaN cells are legal and NaN != NaN.
+                                let canon = r.encode();
+                                let back = proto::decode_result(&canon).map_err(|x| {
+                                    format!("accepted result payload fails re-decode: {x}")
+                                })?;
+                                if back.encode() != canon {
+                                    return Err("accepted result payload breaks round-trip".into());
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(())
+            }
             Target::TsFileImage => {
                 let path = scratch.join("fuzz.etsqp");
                 if std::fs::write(&path, input).is_err() {
@@ -429,7 +521,12 @@ fn content_hash(bytes: &[u8]) -> u64 {
 /// - `tsfile__bad_magic` / `tsfile__truncated`: file-level corruption;
 /// - `partial__*`: partial-state wire-format hostility — truncation, a
 ///   count field spliced to `u64::MAX`, a hostile embedded-digest
-///   centroid count, and a NaN centroid mean.
+///   centroid count, and a NaN centroid mean;
+/// - `proto__*`: network wire-frame hostility — a bad version byte, an
+///   unknown frame type, a length prefix of `u32::MAX` (must be
+///   rejected from the header, never buffered), a truncated header, a
+///   result payload whose column count lies, and an error payload with
+///   a non-UTF-8 message.
 pub fn emit_corpus(dir: &Path) -> std::io::Result<usize> {
     std::fs::create_dir_all(dir)?;
     let mut written = 0usize;
@@ -529,6 +626,54 @@ pub fn emit_corpus(dir: &Path) -> std::io::Result<usize> {
         emit("partial__nan_mean".to_string(), &nan_mean)?;
     }
 
+    // Network wire-frame hostility. Each is a deterministic byte-level
+    // attack on a different validation step of the frame grammar.
+    {
+        let valid = proto::encode_frame(FrameType::Query, b"SELECT COUNT(s) FROM s");
+        emit("proto__truncated_header".to_string(), &valid[..3])?;
+        let mut bad_version = valid.clone();
+        bad_version[0] = 0xFF;
+        emit("proto__bad_version".to_string(), &bad_version)?;
+        let mut bad_type = valid.clone();
+        bad_type[1] = 0x7F;
+        emit("proto__bad_type".to_string(), &bad_type)?;
+        let mut oversized = valid.clone();
+        oversized[2..6].copy_from_slice(&u32::MAX.to_le_bytes());
+        emit("proto__oversized_len".to_string(), &oversized)?;
+
+        // A result payload whose column count exceeds what the bytes
+        // can hold — the preflight must reject before allocating.
+        let mut lying = sample_wire_result().encode();
+        lying[8..10].copy_from_slice(&u16::MAX.to_le_bytes());
+        emit(
+            "proto__result_hostile_ncols".to_string(),
+            &proto::encode_frame(FrameType::Result, &lying),
+        )?;
+
+        // The fuzzer-found result-payload DoS, reconstructed: zero
+        // columns with nrows = u32::MAX. Zero-column rows consume no
+        // payload bytes, so the per-row byte preflight bounded nothing
+        // and the decode loop span 4 billion iterations faulting in
+        // gigabytes. Must stay a typed rejection.
+        let mut zero_cols = Vec::new();
+        zero_cols.extend_from_slice(&0u64.to_le_bytes()); // elapsed_us
+        zero_cols.extend_from_slice(&0u16.to_le_bytes()); // ncols = 0
+        zero_cols.extend_from_slice(&u32::MAX.to_le_bytes()); // nrows lie
+        emit(
+            "proto__result_zero_cols".to_string(),
+            &proto::encode_frame(FrameType::Result, &zero_cols),
+        )?;
+
+        // An error payload whose message bytes are not UTF-8.
+        let mut bad_msg = proto::encode_error(ErrorCode::Timeout, 0, "xx");
+        let n = bad_msg.len();
+        bad_msg[n - 2..].copy_from_slice(&[0xFF, 0xFE]);
+        emit(
+            "proto__error_bad_utf8".to_string(),
+            &proto::encode_frame(FrameType::Error, &bad_msg),
+        )?;
+    }
+
     let scratch = std::env::temp_dir().join(format!("etsqp-corpus-{}", std::process::id()));
     std::fs::create_dir_all(&scratch)?;
     let mut rng = Rng::new(1);
@@ -566,7 +711,12 @@ pub fn run(cfg: &FuzzConfig) -> u64 {
         .iter()
         .map(|&e| Target::Int(e))
         .chain(FLOAT_CODECS.iter().map(|&e| Target::Float(e)))
-        .chain([Target::PageImage, Target::TsFileImage, Target::Partial])
+        .chain([
+            Target::PageImage,
+            Target::TsFileImage,
+            Target::Partial,
+            Target::Proto,
+        ])
         .collect();
     let seeds: Vec<Vec<Vec<u8>>> = targets
         .iter()
@@ -595,6 +745,9 @@ pub fn run(cfg: &FuzzConfig) -> u64 {
             mutate(&mut input, &mut rng);
         }
         executed += 1;
+        if std::env::var("ETSQP_FUZZ_TRACE").is_ok() {
+            eprintln!("iter {i} target {} len {}", target.name(), input.len());
+        }
         if let Verdict::Violation(msg) = check(target, &input, &scratch) {
             violations += 1;
             let min = minimize(target, &input, &scratch);

@@ -61,13 +61,17 @@ pub const HOT_FILES: [&str; 5] = [
 /// so its safe wrappers must reject bad shapes as errors upstream, not
 /// panic mid-kernel — and the same goes for the FastLanes and SIMD-boost
 /// comparator crates, whose decode entry points take page payloads.
-pub const HOT_DIRS: [&str; 6] = [
+/// The network service crate faces the most hostile input of all —
+/// arbitrary bytes from remote peers — so it is covered wholesale: a
+/// panic in a frame parser or connection handler is a remote DoS.
+pub const HOT_DIRS: [&str; 7] = [
     "crates/encoding/src/",
     "crates/storage/src/",
     "crates/core/src/physical/",
     "crates/simd/src/",
     "crates/fastlanes/src/",
     "crates/sboost/src/",
+    "crates/serve/src/",
 ];
 
 /// Accumulator/fused-kernel files: narrowing `as` casts are forbidden.

@@ -72,6 +72,22 @@ echo "==> decode_bench (ETSQP_BENCH_DECODE_INTS=${ETSQP_BENCH_DECODE_INTS:-26214
 echo "==> BENCH_decode.json"
 cat BENCH_decode.json
 
+# Network service load (BENCH_serve.json): closed-loop client fleets at
+# 1/64/1024 connections (qps + p99), plus a 2x-overload cell measuring
+# the typed shed rate and the p99 of accepted queries, which must stay
+# within 3x the uncontended p99 — shedding, not queueing, absorbs the
+# overload. Non-gating; scale with ETSQP_BENCH_SERVE_QUERIES (total
+# queries per cell, default 2000) and ETSQP_BENCH_SERVE_MAX_CLIENTS
+# (fleet-size cap, default 1024).
+echo "==> cargo build --release -p etsqp-bench --bin serve_bench"
+cargo build --release -p etsqp-bench --bin serve_bench
+
+echo "==> serve_bench (ETSQP_BENCH_SERVE_QUERIES=${ETSQP_BENCH_SERVE_QUERIES:-2000}) -> BENCH_serve.json"
+./target/release/serve_bench > BENCH_serve.json
+
+echo "==> BENCH_serve.json"
+cat BENCH_serve.json
+
 # Bucketed aggregation + partial cache (BENCH_bucket.json): fused
 # single-bucket pages vs the straddling decode path, and P95 / bucketed
 # SUM with the per-page partial cache cold vs warm. The headline

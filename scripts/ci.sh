@@ -34,8 +34,9 @@ echo "==> cargo run -p xtask -- verify-plans"
 cargo run -q -p xtask -- verify-plans
 
 # Deterministic decoder fuzzing (crates/xtask): mutated codec streams,
-# page images and tsfile images must never panic a decoder or break
-# round-trip consistency — Err(Corrupt) is the only acceptable failure.
+# page images, tsfile images, partial-state wire images and network
+# wire frames (the `proto` target) must never panic a decoder or break
+# round-trip consistency — a typed error is the only acceptable failure.
 # Runs in debug mode on purpose: overflow/shift panics are live there.
 # Scale with ETSQP_FUZZ_ITERS (default 20000, the gating profile).
 echo "==> cargo run -p xtask -- fuzz --iters ${ETSQP_FUZZ_ITERS:-20000} --seed 5"
@@ -57,6 +58,41 @@ cargo test -q -p crossbeam --features model
 echo "==> cargo test -q -p etsqp-storage --features lockdep"
 cargo test -q -p etsqp-storage --features lockdep
 
+# Non-gating serve smoke: start the network server over a generated
+# dataset, run three queries through the wire client, then shut down via
+# the stdin `quit` line and confirm the graceful drain reported. Client
+# exit codes follow the README "Exit codes" table.
+echo "==> serve smoke (non-gating)"
+serve_smoke() (
+    set -euo pipefail
+    cargo build -q --bin etsqp-serve
+    dir="$(mktemp -d)"
+    trap 'rm -rf "${dir}"' EXIT
+    mkfifo "${dir}/ctl"
+    # Hold a read-write fd on the fifo so the server's stdin stays open
+    # between control lines.
+    exec 3<>"${dir}/ctl"
+    ./target/debug/etsqp-serve --listen 127.0.0.1:0 --gen sine 20000 \
+        <"${dir}/ctl" >"${dir}/out" 2>"${dir}/err" &
+    srv=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^listening on //p' "${dir}/out" | head -1)"
+        [ -n "${addr}" ] && break
+        sleep 0.1
+    done
+    [ -n "${addr}" ] || { echo "server never came up"; exit 1; }
+    for sql in "SELECT COUNT(sine_sine0) FROM sine_sine0" \
+               "SELECT SUM(sine_sine1) FROM sine_sine1" \
+               "SELECT AVG(sine_sine2) FROM sine_sine2"; do
+        ./target/debug/etsqp-serve query --addr "${addr}" "${sql}" >/dev/null
+    done
+    echo quit >&3
+    wait "${srv}"
+    grep -q "drained:" "${dir}/err"
+)
+serve_smoke || echo "WARN: serve smoke failed (non-gating)"
+
 # Non-gating: Miri over the scalar decode paths (UB detection on the
 # bit-level codecs). Skipped gracefully where the miri component is not
 # installed.
@@ -71,7 +107,10 @@ fi
 # Non-gating perf smoke: pool-vs-spawn short-query throughput trajectory
 # (BENCH_pool.json). A perf regression here is a signal, not a failure.
 echo "==> scripts/bench.sh (non-gating smoke)"
-ETSQP_BENCH_QUERIES="${ETSQP_BENCH_QUERIES:-100}" bash scripts/bench.sh \
+ETSQP_BENCH_QUERIES="${ETSQP_BENCH_QUERIES:-100}" \
+ETSQP_BENCH_SERVE_QUERIES="${ETSQP_BENCH_SERVE_QUERIES:-200}" \
+ETSQP_BENCH_SERVE_MAX_CLIENTS="${ETSQP_BENCH_SERVE_MAX_CLIENTS:-64}" \
+    bash scripts/bench.sh \
     || echo "WARN: bench smoke failed (non-gating)"
 
 echo "CI OK"

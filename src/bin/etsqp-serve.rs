@@ -1,0 +1,223 @@
+//! `etsqp-serve` — the ETSQP network query server and its client mode.
+//!
+//! Server:
+//!
+//! ```sh
+//! etsqp-serve --listen 127.0.0.1:7878 [--load file.etsqp] [--gen spec rows]
+//!             [--max-inflight N] [--max-queue N] [--max-conns N]
+//!             [--timeout-ms N] [--drain-ms N]
+//! ```
+//!
+//! The server prints `listening on <addr>` once ready, then serves
+//! until stdin reaches EOF or a `quit` line arrives, at which point it
+//! drains gracefully: stops accepting, finishes (or cancels past the
+//! drain deadline) in-flight queries, flushes responses, and exits 0.
+//! Driving shutdown through stdin keeps scripted lifecycles simple:
+//! `scripts/ci.sh` runs the smoke as  `etsqp-serve … < fifo`  and
+//! closes the fifo to stop the server.
+//!
+//! Client mode (used by the CI smoke and handy for scripting):
+//!
+//! ```sh
+//! etsqp-serve query --addr 127.0.0.1:7878 "SELECT COUNT(s) FROM s"
+//! ```
+//!
+//! Exit codes (documented in README "Exit codes", shared with
+//! `etsqp-cli` via `etsqp::core::Error::exit_code`): 0 success,
+//! 1 generic failure, 2 usage, 3 corrupt input, 4 query timeout,
+//! 5 shed with `Overloaded`, 6 cancelled.
+
+use std::io::BufRead;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use etsqp::core::engine::{EngineOptions, IotDb};
+use etsqp::datasets::Spec;
+use etsqp::serve::client::{Client, Response};
+use etsqp::serve::proto::ErrorCode;
+use etsqp::serve::{server, AdmissionConfig, ServeConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: etsqp-serve --listen HOST:PORT [--load FILE] [--gen SPEC ROWS]\n\
+         \x20                 [--max-inflight N] [--max-queue N] [--max-conns N]\n\
+         \x20                 [--timeout-ms N] [--drain-ms N]\n\
+         \x20      etsqp-serve query --addr HOST:PORT \"SQL\""
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("query") {
+        client_main(&args[1..]);
+    }
+    server_main(&args);
+}
+
+fn parse<T: std::str::FromStr>(v: Option<&String>) -> T {
+    match v.and_then(|s| s.parse().ok()) {
+        Some(x) => x,
+        None => usage(),
+    }
+}
+
+fn server_main(args: &[String]) -> ! {
+    let mut listen: Option<String> = None;
+    let mut load: Option<String> = None;
+    let mut gen: Option<(String, usize)> = None;
+    let mut cfg = ServeConfig::default();
+    let mut admission = AdmissionConfig::default();
+
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => listen = Some(parse(it.next())),
+            "--load" => load = Some(parse(it.next())),
+            "--gen" => {
+                let spec: String = parse(it.next());
+                let rows: usize = parse(it.next());
+                gen = Some((spec, rows));
+            }
+            "--max-inflight" => admission.max_inflight = parse(it.next()),
+            "--max-queue" => admission.max_queue = parse(it.next()),
+            "--max-conns" => cfg.max_connections = parse(it.next()),
+            "--timeout-ms" => {
+                admission.default_deadline = Some(Duration::from_millis(parse(it.next())))
+            }
+            "--drain-ms" => cfg.drain_timeout = Duration::from_millis(parse(it.next())),
+            _ => usage(),
+        }
+    }
+    cfg.admission = admission;
+    let Some(listen) = listen else { usage() };
+
+    let db = match load {
+        Some(path) => match etsqp::storage::tsfile::read(Path::new(&path)) {
+            Ok(store) => IotDb::with_store(store, EngineOptions::default()),
+            Err(e) => {
+                eprintln!("cannot load {path}: {e}");
+                let code = etsqp::core::Error::from(e).exit_code();
+                std::process::exit(code);
+            }
+        },
+        None => IotDb::new(EngineOptions::default()),
+    };
+    if let Some((spec, rows)) = gen {
+        let spec = match spec.as_str() {
+            "atm" => Spec::Atmosphere,
+            "clim" => Spec::Climate,
+            "gas" => Spec::Gas,
+            "time" => Spec::Timestamp,
+            "sine" => Spec::Sine,
+            "tpch" => Spec::Tpch,
+            _ => usage(),
+        };
+        let d = spec.generate(rows);
+        for (name, col) in &d.columns {
+            let series = format!("{}_{name}", d.label.to_ascii_lowercase());
+            let _ = db.create_series(&series);
+            if let Err(e) = db.append_all(&series, &d.timestamps, col) {
+                eprintln!("ingest {series}: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Err(e) = db.flush() {
+            eprintln!("flush: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "generated {} ({} rows x {} attrs)",
+            d.name,
+            d.rows(),
+            d.attrs()
+        );
+    }
+
+    let handle = match server::start(Arc::new(db), listen.as_str(), cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot listen on {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Flushed line the smoke script waits for before connecting.
+    println!("listening on {}", handle.addr());
+
+    // Serve until stdin closes (or an explicit `quit`), then drain.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(l) if l.trim() == "stats" => {
+                let s = handle.stats();
+                eprintln!("{s:?}");
+            }
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    let stats = handle.shutdown();
+    eprintln!(
+        "drained: {} queries ok, {} errors, {} shed, {} conns",
+        stats.done_ok, stats.done_err, stats.shed, stats.conns_accepted
+    );
+    std::process::exit(0);
+}
+
+fn client_main(args: &[String]) -> ! {
+    let mut addr: Option<String> = None;
+    let mut sql: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(parse(it.next())),
+            _ if sql.is_none() => sql = Some(arg.clone()),
+            _ => usage(),
+        }
+    }
+    let (Some(addr), Some(sql)) = (addr, sql) else {
+        usage()
+    };
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match client.query(&sql) {
+        Ok(Response::Rows(r)) => {
+            println!("{}", r.columns.join(" | "));
+            for row in &r.rows {
+                let cells: Vec<String> = row
+                    .iter()
+                    .map(|v| match v {
+                        etsqp::Value::Int(i) => i.to_string(),
+                        etsqp::Value::Float(f) => format!("{f:.4}"),
+                        etsqp::Value::Null => "NULL".to_string(),
+                    })
+                    .collect();
+                println!("{}", cells.join(" | "));
+            }
+            eprintln!("({} rows in {} us server-side)", r.rows.len(), r.elapsed_us);
+            std::process::exit(0);
+        }
+        Ok(Response::ServerError(e)) => {
+            eprintln!("server error: {e}");
+            let code = match e.code {
+                ErrorCode::Corrupt => 3,
+                ErrorCode::Timeout => 4,
+                ErrorCode::Overloaded => 5,
+                ErrorCode::Cancelled => 6,
+                _ => 1,
+            };
+            std::process::exit(code);
+        }
+        Err(e) => {
+            eprintln!("query failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`core`] — the ETSQP engine: cost model (Prop. 1/Thm. 2), vectorized
 //!   decode pipelines, operator fusion (§IV), pruning (§V), the
 //!   Algorithm 2 planner/scheduler, SQL, and the [`IotDb`] facade.
+//! * [`serve`] — the network query service: wire protocol, admission
+//!   control with typed overload shedding, per-connection backpressure,
+//!   graceful drain.
 //! * [`fastlanes`], [`sboost`] — the reimplemented baselines of §VII-A.
 //! * [`comparators`] — MonetDB-like / Spark-like stand-ins for Fig. 13.
 //! * [`datasets`] — deterministic synthetics for Table II.
@@ -44,6 +47,7 @@ pub use etsqp_datasets as datasets;
 pub use etsqp_encoding as encoding;
 pub use etsqp_fastlanes as fastlanes;
 pub use etsqp_sboost as sboost;
+pub use etsqp_serve as serve;
 pub use etsqp_simd as simd;
 pub use etsqp_storage as storage;
 

@@ -13,15 +13,17 @@
 //! bits used to overflow a shift by 64). File names are
 //! `<target>__<description>.bin`, where `<target>` is a codec name from
 //! `Encoding::name()`, `page` (a `Page::to_bytes` image), `tsfile`
-//! (an on-disk file image), or `partial` (a `PartialState::to_bytes`
-//! wire image with its embedded t-digest). Regenerate with
-//! `cargo run -p xtask -- fuzz --emit-corpus`.
+//! (an on-disk file image), `partial` (a `PartialState::to_bytes`
+//! wire image with its embedded t-digest), or `proto` (a network
+//! wire-frame byte stream fed to `etsqp_serve::proto::FrameDecoder`).
+//! Regenerate with `cargo run -p xtask -- fuzz --emit-corpus`.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
 use etsqp::core::partial::PartialState;
 use etsqp::encoding::Encoding;
+use etsqp::serve::proto::{self, FrameDecoder, FrameType, DEFAULT_MAX_FRAME_LEN};
 use etsqp::storage::page::Page;
 use etsqp::storage::tsfile;
 
@@ -73,6 +75,49 @@ fn check(target: &str, bytes: &[u8]) -> Option<String> {
                     }
                     let mut doubled = state.clone();
                     doubled.merge(&state);
+                }
+                Ok(())
+            }
+            "proto" => {
+                // Same invariant the fuzzer's `proto` target enforces:
+                // complete frames re-encode and re-parse identically,
+                // typed payloads round-trip canonically, hostile bytes
+                // end as a typed `ProtoError` — never a panic.
+                let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+                dec.extend(bytes);
+                while let Ok(Some(frame)) = dec.next_frame() {
+                    let wire = proto::encode_frame(frame.kind, &frame.payload);
+                    let mut again = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+                    again.extend(&wire);
+                    match again.next_frame() {
+                        Ok(Some(back)) if back == frame => {}
+                        other => {
+                            return Err(format!("accepted frame breaks round-trip: {other:?}"))
+                        }
+                    }
+                    match frame.kind {
+                        FrameType::Error => {
+                            if let Ok(e) = proto::decode_error(&frame.payload) {
+                                let canon =
+                                    proto::encode_error(e.code, e.retry_after_ms, &e.message);
+                                if proto::decode_error(&canon).as_ref() != Ok(&e) {
+                                    return Err("accepted error payload breaks round-trip".into());
+                                }
+                            }
+                        }
+                        FrameType::Result => {
+                            if let Ok(r) = proto::decode_result(&frame.payload) {
+                                let canon = r.encode();
+                                let back = proto::decode_result(&canon).map_err(|x| {
+                                    format!("accepted result payload fails re-decode: {x}")
+                                })?;
+                                if back.encode() != canon {
+                                    return Err("accepted result payload breaks round-trip".into());
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
                 }
                 Ok(())
             }
@@ -203,4 +248,18 @@ fn hostile_counts_are_rejected() {
         };
         assert!(rejected, "{codec_name}: u32::MAX count must be rejected");
     }
+}
+
+/// A frame declaring a `u32::MAX` payload must be rejected from the
+/// header alone — the decoder may never buffer toward a hostile length.
+#[test]
+fn proto_oversized_len_rejected() {
+    let bytes = std::fs::read(corpus_dir().join("proto__oversized_len.bin"))
+        .expect("proto corpus file present");
+    let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+    dec.extend(&bytes);
+    assert!(
+        dec.next_frame().is_err(),
+        "u32::MAX length prefix must be a typed ProtoError"
+    );
 }
